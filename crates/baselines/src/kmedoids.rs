@@ -1,0 +1,181 @@
+//! k-medoids clustering (Voronoi / Lloyd-style iteration).
+//!
+//! The paper's Section 4 uses k-medoids as a representative-selection
+//! baseline: the medoids minimise
+//! `(1/|P|) Σ_p dist(p, c(p))` where `c(p)` is the closest selected
+//! object. Figure 6(d) shows the characteristic failure mode DisC avoids:
+//! medoids sit in the dense centres and ignore outliers.
+//!
+//! Initialisation is a seeded farthest-first traversal from a random
+//! start (deterministic for a given seed); the swap phase is a Voronoi
+//! iteration (assign, then re-centre each cluster on its cost-minimising
+//! member) which converges in a handful of rounds on the workloads used
+//! here.
+
+// Object ids double as array indices and query arguments here, so
+// indexed loops are the clearer idiom.
+#![allow(clippy::needless_range_loop)]
+
+use disc_metric::{Dataset, ObjId};
+use rand::{rngs::StdRng, RngExt as _, SeedableRng};
+
+/// Result of a k-medoids run.
+#[derive(Clone, Debug)]
+pub struct KMedoidsResult {
+    /// The selected medoids (cluster representatives), sorted by id.
+    pub medoids: Vec<ObjId>,
+    /// Final objective: mean distance to the closest medoid.
+    pub objective: f64,
+    /// Voronoi iterations until convergence (or the iteration cap).
+    pub iterations: usize,
+}
+
+/// Runs k-medoids with `k` clusters and a deterministic seed.
+///
+/// # Panics
+///
+/// Panics if `k` is zero or exceeds the dataset size.
+pub fn kmedoids(data: &Dataset, k: usize, seed: u64) -> KMedoidsResult {
+    let n = data.len();
+    assert!(k >= 1 && k <= n, "k must be within 1..={n}");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Farthest-first initialisation.
+    let mut medoids: Vec<ObjId> = Vec::with_capacity(k);
+    medoids.push(rng.random_range(0..n));
+    let mut min_dist: Vec<f64> = (0..n).map(|p| data.dist(p, medoids[0])).collect();
+    while medoids.len() < k {
+        let next = (0..n)
+            .max_by(|&x, &y| {
+                min_dist[x]
+                    .partial_cmp(&min_dist[y])
+                    .expect("finite distances")
+                    .then(y.cmp(&x))
+            })
+            .expect("non-empty dataset");
+        medoids.push(next);
+        for p in 0..n {
+            let d = data.dist(p, next);
+            if d < min_dist[p] {
+                min_dist[p] = d;
+            }
+        }
+    }
+
+    // Voronoi iteration.
+    let max_iters = 50;
+    let mut iterations = 0;
+    let mut assignment = vec![0usize; n];
+    for iter in 0..max_iters {
+        iterations = iter + 1;
+        // Assign each object to its closest medoid.
+        for p in 0..n {
+            assignment[p] = (0..k)
+                .min_by(|&a, &b| {
+                    data.dist(p, medoids[a])
+                        .partial_cmp(&data.dist(p, medoids[b]))
+                        .expect("finite distances")
+                        .then(medoids[a].cmp(&medoids[b]))
+                })
+                .expect("k >= 1");
+        }
+        // Re-centre each cluster on its cost-minimising member.
+        let mut changed = false;
+        for c in 0..k {
+            let members: Vec<ObjId> = (0..n).filter(|&p| assignment[p] == c).collect();
+            if members.is_empty() {
+                continue;
+            }
+            let best = members
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    let ca: f64 = members.iter().map(|&m| data.dist(a, m)).sum();
+                    let cb: f64 = members.iter().map(|&m| data.dist(b, m)).sum();
+                    ca.partial_cmp(&cb).expect("finite distances").then(a.cmp(&b))
+                })
+                .expect("members is non-empty");
+            if best != medoids[c] {
+                medoids[c] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    medoids.sort_unstable();
+    medoids.dedup();
+    let objective = crate::quality::mean_representation_error(data, &medoids);
+    KMedoidsResult {
+        medoids,
+        objective,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disc_datasets::synthetic::{clustered, uniform};
+    use disc_metric::{Metric, Point};
+
+    #[test]
+    fn finds_obvious_cluster_centres() {
+        // Two tight clusters; k = 2 must place one medoid in each.
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(Point::new2(0.1 + 0.001 * i as f64, 0.1));
+            pts.push(Point::new2(0.9 + 0.001 * i as f64, 0.9));
+        }
+        let data = Dataset::new("two", Metric::Euclidean, pts);
+        let res = kmedoids(&data, 2, 3);
+        assert_eq!(res.medoids.len(), 2);
+        let sides: Vec<bool> = res
+            .medoids
+            .iter()
+            .map(|&m| data.point(m).coord(0) < 0.5)
+            .collect();
+        assert_ne!(sides[0], sides[1], "one medoid per cluster: {:?}", res.medoids);
+        assert!(res.objective < 0.05);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let data = clustered(200, 2, 4, 20);
+        let a = kmedoids(&data, 5, 7);
+        let b = kmedoids(&data, 5, 7);
+        assert_eq!(a.medoids, b.medoids);
+        assert_eq!(a.objective, b.objective);
+    }
+
+    #[test]
+    fn objective_improves_with_more_medoids() {
+        let data = uniform(150, 2, 21);
+        let few = kmedoids(&data, 3, 1).objective;
+        let many = kmedoids(&data, 12, 1).objective;
+        assert!(many < few, "more medoids must fit better: {many} vs {few}");
+    }
+
+    #[test]
+    fn k_equals_n_reaches_zero_objective() {
+        let data = uniform(20, 2, 22);
+        let res = kmedoids(&data, 20, 0);
+        assert!(res.objective < 1e-12);
+    }
+
+    #[test]
+    fn converges_quickly() {
+        let data = clustered(300, 2, 5, 23);
+        let res = kmedoids(&data, 8, 5);
+        assert!(res.iterations < 50, "should converge before the cap");
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be within")]
+    fn rejects_zero_k() {
+        let data = uniform(10, 2, 24);
+        let _ = kmedoids(&data, 0, 0);
+    }
+}

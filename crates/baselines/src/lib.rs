@@ -1,0 +1,29 @@
+//! Comparison diversification models (paper Section 4, Figure 6).
+//!
+//! The paper contrasts DisC diversity with the two dominant
+//! diversification objectives and one representative-selection method:
+//!
+//! * [`maxmin`] — greedy MaxMin: maximise the minimum pairwise distance
+//!   `f_Min` of a size-k subset;
+//! * [`maxsum`] — greedy MaxSum: maximise the sum of pairwise distances
+//!   `f_Sum`;
+//! * [`kmedoids()`] — k-medoids clustering, whose medoids act as
+//!   representatives minimising the mean distance to the closest selected
+//!   object;
+//! * [`quality`] — the metrics used to compare all methods: `f_Min`,
+//!   `f_Sum`, coverage fraction at radius `r`, and mean representation
+//!   error, plus the empirical Lemma 7 check (`λ* ≤ 3λ`).
+//!
+//! All selectors are deterministic (greedy ties towards smaller ids;
+//! k-medoids uses a seeded initialisation), matching the reproducibility
+//! discipline of the rest of the workspace.
+
+pub mod kmedoids;
+pub mod maxmin;
+pub mod maxsum;
+pub mod quality;
+
+pub use kmedoids::{kmedoids, KMedoidsResult};
+pub use maxmin::maxmin_select;
+pub use maxsum::maxsum_select;
+pub use quality::{coverage_fraction, fmin, fsum, mean_representation_error};

@@ -1,0 +1,195 @@
+//! Greedy MaxMin diversification.
+//!
+//! MaxMin selects a size-`k` subset maximising
+//! `f_Min = min_{p_i ≠ p_j ∈ S} dist(p_i, p_j)` (the p-dispersion
+//! objective). The classic greedy heuristic (Gonzalez / Ravi et al.,
+//! which the paper's Section 4 uses) seeds the selection with the
+//! farthest pair and then repeatedly adds the object whose distance to
+//! the current selection is largest. It is a 2-approximation of the
+//! optimum.
+
+// Object ids double as array indices and query arguments here, so
+// indexed loops are the clearer idiom.
+#![allow(clippy::needless_range_loop)]
+
+use disc_metric::{Dataset, ObjId};
+
+/// Selects `k` objects with the greedy MaxMin heuristic. Deterministic:
+/// ties resolve towards smaller ids.
+///
+/// # Panics
+///
+/// Panics if `k` exceeds the dataset size or is zero.
+pub fn maxmin_select(data: &Dataset, k: usize) -> Vec<ObjId> {
+    let n = data.len();
+    assert!(k >= 1 && k <= n, "k must be within 1..={n}");
+    if k == 1 {
+        return vec![0];
+    }
+
+    // Seed: the farthest pair (smallest ids on ties).
+    let (mut a, mut b) = (0, 1);
+    let mut best = f64::NEG_INFINITY;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = data.dist(i, j);
+            if d > best {
+                best = d;
+                (a, b) = (i, j);
+            }
+        }
+    }
+    let mut selected = vec![a, b];
+    // min_dist[p] = distance from p to the closest selected object.
+    let mut min_dist: Vec<f64> = (0..n)
+        .map(|p| data.dist(p, a).min(data.dist(p, b)))
+        .collect();
+
+    while selected.len() < k {
+        let next = (0..n)
+            .filter(|p| !selected.contains(p))
+            .max_by(|&x, &y| {
+                min_dist[x]
+                    .partial_cmp(&min_dist[y])
+                    .expect("finite distances")
+                    .then(y.cmp(&x)) // ties to the smaller id
+            })
+            .expect("k <= n leaves unselected objects");
+        selected.push(next);
+        for p in 0..n {
+            let d = data.dist(p, next);
+            if d < min_dist[p] {
+                min_dist[p] = d;
+            }
+        }
+    }
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::fmin;
+    use disc_datasets::synthetic::uniform;
+    use disc_metric::{Metric, Point};
+    use proptest::prelude::*;
+
+    fn square() -> Dataset {
+        Dataset::new(
+            "square",
+            Metric::Euclidean,
+            vec![
+                Point::new2(0.0, 0.0),
+                Point::new2(1.0, 0.0),
+                Point::new2(0.0, 1.0),
+                Point::new2(1.0, 1.0),
+                Point::new2(0.5, 0.5),
+            ],
+        )
+    }
+
+    #[test]
+    fn picks_opposite_corners_first() {
+        let d = square();
+        let s = maxmin_select(&d, 2);
+        // The farthest pairs are the two diagonals; ties resolve to the
+        // first found: (0, 3).
+        assert_eq!(s, vec![0, 3]);
+    }
+
+    #[test]
+    fn four_corners_beat_the_center() {
+        let d = square();
+        let s = maxmin_select(&d, 4);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3], "center must be excluded: {s:?}");
+    }
+
+    #[test]
+    fn k_equals_n_selects_everything() {
+        let d = square();
+        let mut s = maxmin_select(&d, 5);
+        s.sort_unstable();
+        assert_eq!(s, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn k_one() {
+        let d = square();
+        assert_eq!(maxmin_select(&d, 1), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be within")]
+    fn rejects_oversized_k() {
+        let d = square();
+        let _ = maxmin_select(&d, 6);
+    }
+
+    #[test]
+    fn greedy_is_2_approximation_on_small_instances() {
+        // Exhaustively find the optimal fMin for small n, k and check the
+        // greedy 2-approximation bound.
+        let data = uniform(12, 2, 7);
+        for k in 2..=4usize {
+            let greedy = fmin(&data, &maxmin_select(&data, k));
+            let mut best = 0.0f64;
+            // Enumerate all k-subsets.
+            let n = data.len();
+            let mut idx: Vec<usize> = (0..k).collect();
+            loop {
+                let cand: Vec<usize> = idx.clone();
+                best = best.max(fmin(&data, &cand));
+                // next combination
+                let mut i = k;
+                loop {
+                    if i == 0 {
+                        break;
+                    }
+                    i -= 1;
+                    if idx[i] != i + n - k {
+                        idx[i] += 1;
+                        for j in (i + 1)..k {
+                            idx[j] = idx[j - 1] + 1;
+                        }
+                        break;
+                    }
+                    if i == 0 {
+                        idx.clear();
+                        break;
+                    }
+                }
+                if idx.is_empty() {
+                    break;
+                }
+            }
+            assert!(
+                greedy * 2.0 >= best - 1e-9,
+                "k={k}: greedy {greedy} vs optimal {best}"
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        /// fMin is non-increasing in k, and the selection is always k
+        /// distinct objects.
+        #[test]
+        fn fmin_monotone_in_k(seed in 0u64..1_000) {
+            let data = uniform(40, 2, seed);
+            let mut last = f64::INFINITY;
+            for k in 2..=8usize {
+                let s = maxmin_select(&data, k);
+                prop_assert_eq!(s.len(), k);
+                let mut dedup = s.clone();
+                dedup.sort_unstable();
+                dedup.dedup();
+                prop_assert_eq!(dedup.len(), k, "duplicates selected");
+                let f = fmin(&data, &s);
+                prop_assert!(f <= last + 1e-9);
+                last = f;
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Bench companion of Figure 6: the comparison models (MaxMin, MaxSum,
+//! k-medoids) against DisC and r-C at a matched k.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use disc_baselines::{kmedoids, maxmin_select, maxsum_select};
+use disc_bench::{bench_clustered, bench_tree, BENCH_SEED};
+use disc_core::{fast_c, greedy_c, greedy_disc, GreedyVariant};
+use std::hint::black_box;
+
+fn models(c: &mut Criterion) {
+    let data = bench_clustered(1_000);
+    let tree = bench_tree(&data);
+    let r = 0.15;
+    let k = greedy_disc(&tree, r, GreedyVariant::Grey, true).size().max(2);
+
+    let mut group = c.benchmark_group("fig6_models");
+    group.sample_size(10);
+    group.bench_function("r-DisC (Greedy-DisC)", |b| {
+        b.iter(|| black_box(greedy_disc(&tree, r, GreedyVariant::Grey, true).size()))
+    });
+    group.bench_function("r-C (Greedy-C)", |b| {
+        b.iter(|| black_box(greedy_c(&tree, r).size()))
+    });
+    group.bench_function("Fast-C", |b| {
+        b.iter(|| black_box(fast_c(&tree, r).size()))
+    });
+    group.bench_function("MaxMin", |b| {
+        b.iter(|| black_box(maxmin_select(&data, k).len()))
+    });
+    group.bench_function("MaxSum", |b| {
+        b.iter(|| black_box(maxsum_select(&data, k).len()))
+    });
+    group.bench_function("k-medoids", |b| {
+        b.iter(|| black_box(kmedoids(&data, k, BENCH_SEED).medoids.len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, models);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Bench companion of Figure 10: M-tree construction under the four
+//! splitting policies and the query cost Greedy-DisC pays on each tree.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disc_bench::{bench_uniform, BENCH_SEED};
+use disc_core::{greedy_disc, GreedyVariant};
+use disc_mtree::{MTree, MTreeConfig, SplitPolicy};
+use std::hint::black_box;
+
+fn build(c: &mut Criterion) {
+    let data = bench_uniform(2_000);
+    let mut group = c.benchmark_group("fig10_build");
+    group.sample_size(10);
+    for (name, policy) in SplitPolicy::figure10_policies() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &p| {
+            b.iter(|| {
+                let cfg = MTreeConfig {
+                    capacity: 50,
+                    split_policy: p,
+                    seed: BENCH_SEED,
+                };
+                black_box(MTree::build(&data, cfg).node_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn query(c: &mut Criterion) {
+    let data = bench_uniform(2_000);
+    let mut group = c.benchmark_group("fig10_greedy_on_policy");
+    group.sample_size(10);
+    for (name, policy) in SplitPolicy::figure10_policies() {
+        let tree = MTree::build(
+            &data,
+            MTreeConfig {
+                capacity: 50,
+                split_policy: policy,
+                seed: BENCH_SEED,
+            },
+        );
+        tree.reset_node_accesses();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
+            b.iter(|| black_box(greedy_disc(&tree, 0.2, GreedyVariant::Grey, true).size()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, build, query);
+criterion_main!(benches);

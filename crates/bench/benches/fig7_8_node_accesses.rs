@@ -1,0 +1,42 @@
+//! Bench companion of Figures 7 and 8: wall-clock time of the
+//! basic/greedy heuristics with and without pruning, plus the pruned
+//! greedy update-strategy variants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disc_bench::{bench_clustered, bench_tree, bench_uniform};
+use disc_core::Heuristic;
+use std::hint::black_box;
+
+fn fig7(c: &mut Criterion) {
+    let uniform = bench_uniform(2_000);
+    let clustered = bench_clustered(2_000);
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    for (dname, data) in [("uniform", &uniform), ("clustered", &clustered)] {
+        let tree = bench_tree(data);
+        for (name, h) in Heuristic::figure7_series() {
+            group.bench_with_input(
+                BenchmarkId::new(name.clone(), dname),
+                &0.04,
+                |b, &r| b.iter(|| black_box(h.run(&tree, r).node_accesses)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn fig8(c: &mut Criterion) {
+    let clustered = bench_clustered(2_000);
+    let tree = bench_tree(&clustered);
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    for (name, h) in Heuristic::figure8_series() {
+        group.bench_with_input(BenchmarkId::new(name.clone(), "clustered"), &0.04, |b, &r| {
+            b.iter(|| black_box(h.run(&tree, r).node_accesses))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig7, fig8);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Bench companion of Figure 9: Greedy-DisC scaling with dataset
+//! cardinality and dimensionality.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use disc_bench::{bench_tree, BENCH_SEED};
+use disc_core::{greedy_disc, GreedyVariant};
+use disc_datasets::synthetic::clustered;
+use std::hint::black_box;
+
+fn cardinality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_cardinality");
+    group.sample_size(10);
+    for n in [500usize, 1_000, 2_000, 4_000] {
+        let data = clustered(n, 2, 8, BENCH_SEED);
+        let tree = bench_tree(&data);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(greedy_disc(&tree, 0.04, GreedyVariant::Grey, true).size()))
+        });
+    }
+    group.finish();
+}
+
+fn dimensionality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_dimensionality");
+    group.sample_size(10);
+    for d in [2usize, 4, 6, 8, 10] {
+        let data = clustered(1_000, d, 8, BENCH_SEED);
+        let tree = bench_tree(&data);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| black_box(greedy_disc(&tree, 0.04, GreedyVariant::Grey, true).size()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, cardinality, dimensionality);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Bench companion of Table 3: wall-clock time of every heuristic the
+//! table reports (B-DisC, G-DisC, the Lazy variants and G-C) at a small
+//! and a large radius on the clustered workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disc_bench::{bench_clustered, bench_tree};
+use disc_core::Heuristic;
+use std::hint::black_box;
+
+fn table3(c: &mut Criterion) {
+    let data = bench_clustered(2_000);
+    let tree = bench_tree(&data);
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    for (name, h) in Heuristic::table3_rows() {
+        for r in [0.02, 0.06] {
+            group.bench_with_input(
+                BenchmarkId::new(name.clone(), format!("r={r}")),
+                &r,
+                |b, &r| b.iter(|| black_box(h.run(&tree, r).size())),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table3);
+criterion_main!(benches);

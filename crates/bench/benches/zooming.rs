@@ -1,0 +1,57 @@
+//! Bench companion of Figures 11–16: zoom-in and zoom-out operators
+//! against a from-scratch Greedy-DisC recomputation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disc_bench::{bench_clustered, bench_tree};
+use disc_core::{
+    greedy_disc, greedy_zoom_in, greedy_zoom_out, zoom_in, zoom_out, GreedyVariant,
+    ZoomOutVariant,
+};
+use std::hint::black_box;
+
+fn zoom_in_group(c: &mut Criterion) {
+    let data = bench_clustered(2_000);
+    let tree = bench_tree(&data);
+    let prev = greedy_disc(&tree, 0.06, GreedyVariant::Grey, true);
+    let r_new = 0.03;
+    let mut group = c.benchmark_group("fig11_13_zoom_in");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("scratch", "Greedy-DisC"), |b| {
+        b.iter(|| black_box(greedy_disc(&tree, r_new, GreedyVariant::Grey, true).size()))
+    });
+    group.bench_function(BenchmarkId::new("zoom", "Zoom-In"), |b| {
+        b.iter(|| black_box(zoom_in(&tree, &prev, r_new).result.size()))
+    });
+    group.bench_function(BenchmarkId::new("zoom", "Greedy-Zoom-In"), |b| {
+        b.iter(|| black_box(greedy_zoom_in(&tree, &prev, r_new).result.size()))
+    });
+    group.finish();
+}
+
+fn zoom_out_group(c: &mut Criterion) {
+    let data = bench_clustered(2_000);
+    let tree = bench_tree(&data);
+    let prev = greedy_disc(&tree, 0.03, GreedyVariant::Grey, true);
+    let r_new = 0.06;
+    let mut group = c.benchmark_group("fig14_16_zoom_out");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("scratch", "Greedy-DisC"), |b| {
+        b.iter(|| black_box(greedy_disc(&tree, r_new, GreedyVariant::Grey, true).size()))
+    });
+    group.bench_function(BenchmarkId::new("zoom", "Zoom-Out"), |b| {
+        b.iter(|| black_box(zoom_out(&tree, &prev, r_new).result.size()))
+    });
+    for v in [
+        ZoomOutVariant::GreedyA,
+        ZoomOutVariant::GreedyB,
+        ZoomOutVariant::GreedyC,
+    ] {
+        group.bench_function(BenchmarkId::new("zoom", v.name()), |b| {
+            b.iter(|| black_box(greedy_zoom_out(&tree, &prev, r_new, v).result.size()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, zoom_in_group, zoom_out_group);
+criterion_main!(benches);

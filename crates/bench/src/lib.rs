@@ -1,0 +1,54 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! The benches measure wall-clock time of the same computations whose
+//! node-access counts the `disc-eval` experiments report; one bench
+//! target exists per paper table/figure group (see `benches/`):
+//!
+//! * `table3_solution_sizes` — Table 3 heuristics,
+//! * `fig7_8_node_accesses` — Figures 7–8 basic/greedy/cover heuristics,
+//! * `fig9_scaling` — Figure 9 cardinality/dimensionality scaling,
+//! * `fig10_fat_factor` — Figure 10 splitting policies (build + query),
+//! * `zooming` — Figures 11–16 zoom-in/zoom-out operators,
+//! * `baselines` — Figure 6 comparison models.
+//!
+//! Benchmarks run on bench-scale datasets (a few thousand objects) so a
+//! full `cargo bench` completes in minutes; the eval harness is the tool
+//! for paper-scale numbers.
+
+use disc_datasets::synthetic::{clustered, uniform};
+use disc_metric::Dataset;
+use disc_mtree::{MTree, MTreeConfig};
+
+/// Seed shared by all bench datasets.
+pub const BENCH_SEED: u64 = 77;
+
+/// Bench-scale clustered dataset (2-D).
+pub fn bench_clustered(n: usize) -> Dataset {
+    clustered(n, 2, 8, BENCH_SEED)
+}
+
+/// Bench-scale uniform dataset (2-D).
+pub fn bench_uniform(n: usize) -> Dataset {
+    uniform(n, 2, BENCH_SEED)
+}
+
+/// Default tree (capacity 50, MinOverlap) with the build cost cleared.
+pub fn bench_tree(data: &Dataset) -> MTree<'_> {
+    let tree = MTree::build(data, MTreeConfig::default());
+    tree.reset_node_accesses();
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let d = bench_clustered(300);
+        assert_eq!(d.len(), 300);
+        let t = bench_tree(&d);
+        assert_eq!(t.node_accesses(), 0);
+        assert_eq!(bench_uniform(100).len(), 100);
+    }
+}

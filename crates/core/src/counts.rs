@@ -1,0 +1,189 @@
+//! White-neighbourhood bookkeeping shared by the greedy heuristics.
+//!
+//! `counts[p] = |N_r(p) ∩ white|` — the number of *uncovered* objects a
+//! candidate would newly cover (excluding itself). The paper initialises
+//! these while building the M-tree; here initialisation is an explicit
+//! pass (one range query per object) charged to the calling algorithm,
+//! which preserves the relative cost shapes of the experiments.
+
+// Object ids double as array indices and query arguments here, so
+// indexed loops are the clearer idiom.
+#![allow(clippy::needless_range_loop)]
+
+use disc_metric::ObjId;
+use disc_mtree::{Color, ColorState, MTree};
+
+use crate::heap::LazyMaxHeap;
+
+/// Initialises white-neighbourhood counts for *all* objects of a fresh
+/// (all-white) colouring, pushing every object into the heap. One range
+/// query per object, charged to the tree's access counter.
+pub fn init_all_white(tree: &MTree<'_>, r: f64) -> (Vec<u32>, LazyMaxHeap) {
+    let n = tree.len();
+    let mut counts = vec![0u32; n];
+    let mut heap = LazyMaxHeap::with_capacity(n);
+    for id in 0..n {
+        // Hits include the object itself; the paper's |N^W_r| excludes it.
+        let hits = tree.range_query_obj(id, r);
+        counts[id] = (hits.len() - 1) as u32;
+        heap.push(id, counts[id]);
+    }
+    (counts, heap)
+}
+
+/// Initialises counts for the *white* objects of a partially coloured
+/// state (used by the zooming passes): one pruned range query per white
+/// object, counting only white hits.
+pub fn init_white_subset(
+    tree: &MTree<'_>,
+    r: f64,
+    colors: &ColorState,
+) -> (Vec<u32>, LazyMaxHeap) {
+    let n = tree.len();
+    let mut counts = vec![0u32; n];
+    let mut heap = LazyMaxHeap::with_capacity(colors.white_count());
+    for id in 0..n {
+        if !colors.is_white(id) {
+            continue;
+        }
+        let white_hits = tree
+            .range_query_obj_pruned(id, r, colors)
+            .iter()
+            .filter(|h| colors.is_white(h.object))
+            .count();
+        counts[id] = (white_hits - 1) as u32; // exclude the object itself
+        heap.push(id, counts[id]);
+    }
+    (counts, heap)
+}
+
+/// Colours `picked`'s white neighbours grey and returns them. `hits` are
+/// the results of the main range query `Q(picked, r)`.
+pub fn grey_out_white_hits(
+    tree: &MTree<'_>,
+    colors: &mut ColorState,
+    picked: ObjId,
+    hits: &[disc_mtree::RangeHit],
+) -> Vec<ObjId> {
+    let newly_grey: Vec<ObjId> = hits
+        .iter()
+        .map(|h| h.object)
+        .filter(|&o| o != picked && colors.is_white(o))
+        .collect();
+    for &o in &newly_grey {
+        colors.set_color(tree, o, Color::Grey);
+    }
+    newly_grey
+}
+
+/// The standard (exact) "grey" update of Greedy-DisC: one pruned range
+/// query per newly grey object, decrementing the counts of every white
+/// object that lost a white neighbour. `update_radius` is `r` for
+/// Grey-Greedy-DisC and `r/2` for the Lazy variant (which deliberately
+/// leaves distant counts stale).
+pub fn grey_update(
+    tree: &MTree<'_>,
+    colors: &ColorState,
+    counts: &mut [u32],
+    heap: &mut LazyMaxHeap,
+    newly_grey: &[ObjId],
+    update_radius: f64,
+) {
+    for &pj in newly_grey {
+        let hits = tree.range_query_obj_pruned(pj, update_radius, colors);
+        for h in hits {
+            if colors.is_white(h.object) {
+                counts[h.object] -= 1;
+                heap.push(h.object, counts[h.object]);
+            }
+        }
+    }
+}
+
+/// A greedy selection pass over the remaining white objects (the core of
+/// Greedy-DisC restricted to exact grey updates): used by Greedy-Zoom-In
+/// and the second pass of zoom-out. Counts/heap must already be
+/// initialised for the current white set. Selected objects are appended to
+/// `solution`.
+pub fn greedy_white_pass(
+    tree: &MTree<'_>,
+    r: f64,
+    colors: &mut ColorState,
+    counts: &mut [u32],
+    heap: &mut LazyMaxHeap,
+    solution: &mut Vec<ObjId>,
+) {
+    while colors.any_white() {
+        let picked = heap
+            .pop_valid(|id| colors.is_white(id).then(|| counts[id]))
+            .expect("white objects remain, so the heap holds a candidate");
+        colors.set_color(tree, picked, Color::Black);
+        let hits = tree.range_query_obj_pruned(picked, r, colors);
+        let newly_grey = grey_out_white_hits(tree, colors, picked, &hits);
+        grey_update(tree, colors, counts, heap, &newly_grey, r);
+        solution.push(picked);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disc_datasets::synthetic::uniform;
+    use disc_metric::neighbors;
+    use disc_mtree::MTreeConfig;
+
+    #[test]
+    fn init_all_white_matches_brute_force() {
+        let data = uniform(120, 2, 40);
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(6));
+        let r = 0.12;
+        let (counts, _) = init_all_white(&tree, r);
+        let sizes = neighbors::neighborhood_sizes(&data, r);
+        for id in data.ids() {
+            assert_eq!(counts[id] as usize, sizes[id], "object {id}");
+        }
+    }
+
+    #[test]
+    fn init_white_subset_counts_only_white() {
+        let data = uniform(100, 2, 41);
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(6));
+        let mut colors = ColorState::new(&tree);
+        for id in 0..50 {
+            colors.set_color(&tree, id, Color::Grey);
+        }
+        let r = 0.2;
+        let (counts, _) = init_white_subset(&tree, r, &colors);
+        for id in 50..100 {
+            let expect = neighbors::neighbors(&data, id, r)
+                .into_iter()
+                .filter(|&o| o >= 50)
+                .count();
+            assert_eq!(counts[id] as usize, expect, "object {id}");
+        }
+        // Non-white objects keep a zero count.
+        assert!(counts[..50].iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn greedy_white_pass_covers_everything() {
+        let data = uniform(150, 2, 42);
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(8));
+        let mut colors = ColorState::new(&tree);
+        let r = 0.15;
+        let (mut counts, mut heap) = init_all_white(&tree, r);
+        let mut solution = Vec::new();
+        greedy_white_pass(&tree, r, &mut colors, &mut counts, &mut heap, &mut solution);
+        assert!(!colors.any_white());
+        assert!(!solution.is_empty());
+        // All selected are black, everything else grey.
+        for id in data.ids() {
+            let c = colors.color(id);
+            if solution.contains(&id) {
+                assert_eq!(c, Color::Black);
+            } else {
+                assert_eq!(c, Color::Grey);
+            }
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! The sorted candidate structure `L'` of the paper's greedy heuristics.
+//!
+//! A lazy max-heap: entries are `(key, object)` pairs ordered by key
+//! descending, ties towards the smallest object id (so all algorithms are
+//! deterministic and match the reference implementations in `disc-graph`).
+//! Keys in the heap may go stale when counts are decremented; the caller
+//! supplies the authoritative key at pop time and stale entries are
+//! re-inserted with their current key. This is correct as long as keys
+//! only ever *decrease*, which holds for all DisC heuristics (coverage
+//! counts shrink monotonically).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use disc_metric::ObjId;
+
+/// Lazy max-heap over `(key, object)` with smallest-id tie-breaking.
+#[derive(Clone, Debug, Default)]
+pub struct LazyMaxHeap {
+    heap: BinaryHeap<(u32, Reverse<ObjId>)>,
+}
+
+impl LazyMaxHeap {
+    /// An empty heap with capacity for `n` entries.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            heap: BinaryHeap::with_capacity(n),
+        }
+    }
+
+    /// Inserts (or re-inserts after a key change) an object. Old entries
+    /// for the same object may remain; they are discarded lazily.
+    pub fn push(&mut self, object: ObjId, key: u32) {
+        self.heap.push((key, Reverse(object)));
+    }
+
+    /// Pops the candidate with the largest current key (ties to the
+    /// smallest id). `current_key` returns the authoritative key for a
+    /// still-valid candidate and `None` for objects that are no longer
+    /// candidates.
+    ///
+    /// Returns `None` when no valid candidate remains.
+    pub fn pop_valid(&mut self, mut current_key: impl FnMut(ObjId) -> Option<u32>) -> Option<ObjId> {
+        while let Some((key, Reverse(object))) = self.heap.pop() {
+            match current_key(object) {
+                Some(cur) if cur == key => return Some(object),
+                Some(cur) => {
+                    debug_assert!(
+                        cur < key,
+                        "keys must only decrease (object {object}: {key} -> {cur})"
+                    );
+                    self.heap.push((cur, Reverse(object)));
+                }
+                None => {} // no longer a candidate; drop the entry
+            }
+        }
+        None
+    }
+
+    /// Number of entries (including stale duplicates).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the heap holds no entries at all.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_largest_key_first() {
+        let mut h = LazyMaxHeap::with_capacity(4);
+        h.push(0, 3);
+        h.push(1, 7);
+        h.push(2, 5);
+        let keys = [3u32, 7, 5];
+        assert_eq!(h.pop_valid(|o| Some(keys[o])), Some(1));
+        assert_eq!(h.pop_valid(|o| Some(keys[o])), Some(2));
+        assert_eq!(h.pop_valid(|o| Some(keys[o])), Some(0));
+        assert_eq!(h.pop_valid(|o| Some(keys[o])), None);
+    }
+
+    #[test]
+    fn ties_break_to_smallest_id() {
+        let mut h = LazyMaxHeap::default();
+        h.push(9, 4);
+        h.push(3, 4);
+        h.push(7, 4);
+        let order: Vec<ObjId> = std::iter::from_fn(|| h.pop_valid(|_| Some(4))).collect();
+        assert_eq!(order, vec![3, 7, 9]);
+    }
+
+    #[test]
+    fn stale_entries_reinserted_with_current_key() {
+        let mut h = LazyMaxHeap::default();
+        h.push(0, 10);
+        h.push(1, 8);
+        // Object 0's key dropped to 5 since insertion.
+        let keys = [5u32, 8];
+        assert_eq!(h.pop_valid(|o| Some(keys[o])), Some(1));
+        assert_eq!(h.pop_valid(|o| Some(keys[o])), Some(0));
+    }
+
+    #[test]
+    fn invalid_candidates_are_dropped() {
+        let mut h = LazyMaxHeap::default();
+        h.push(0, 2);
+        h.push(1, 1);
+        // Object 0 is no longer a candidate (e.g. it was greyed).
+        assert_eq!(h.pop_valid(|o| (o == 1).then_some(1)), Some(1));
+        assert_eq!(h.pop_valid(|o| (o == 1).then_some(1)), None);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn duplicate_entries_resolve_to_one_pop() {
+        let mut h = LazyMaxHeap::default();
+        h.push(0, 5);
+        h.push(0, 3); // re-push after decrement
+        let mut alive = true;
+        let first = h.pop_valid(|_| alive.then_some(3));
+        assert_eq!(first, Some(0));
+        alive = false;
+        assert_eq!(h.pop_valid(|_| alive.then_some(3)), None);
+    }
+
+    #[test]
+    fn len_tracks_entries() {
+        let mut h = LazyMaxHeap::with_capacity(2);
+        assert!(h.is_empty());
+        h.push(4, 1);
+        h.push(4, 0);
+        assert_eq!(h.len(), 2);
+    }
+}

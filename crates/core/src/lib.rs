@@ -1,0 +1,64 @@
+//! The DisC diversity heuristics and zooming operators — the primary
+//! contribution of *Drosou & Pitoura, "DisC Diversity: Result
+//! Diversification based on Dissimilarity and Coverage", VLDB 2013* —
+//! implemented over the M-tree index of [`disc_mtree`] with node-access
+//! accounting.
+//!
+//! ## Computing DisC diverse subsets (paper Sections 2 and 5)
+//!
+//! * [`basic_disc`] — Basic-DisC: one left-to-right pass over the leaf
+//!   chain; every still-white object is selected and its neighbourhood
+//!   greyed. Optional pruning (the paper's Pruning Rule).
+//! * [`greedy_disc`] — Greedy-DisC (Algorithm 1): always select the white
+//!   object covering the most uncovered objects. Four update strategies:
+//!   [`GreedyVariant::Grey`], [`GreedyVariant::White`] and their Lazy
+//!   counterparts, matching the paper's Grey-/White-/Lazy-Greedy-DisC.
+//! * [`greedy_c`] — Greedy-C: drops the independence requirement and also
+//!   considers grey candidates (r-C diverse subsets).
+//! * [`fast_c`] — Fast-C: Greedy-C with bottom-up range queries that stop
+//!   climbing at the first grey ancestor (cheaper, possibly larger
+//!   results).
+//!
+//! ## Adaptive diversification (paper Sections 3 and 5.2)
+//!
+//! * [`zoom_in()`] / [`greedy_zoom_in`] — adapt a solution to a smaller
+//!   radius, keeping it a superset of the previous one (Lemma 5).
+//! * [`zoom_out()`] / [`greedy_zoom_out`] — adapt to a larger radius in two
+//!   passes (Algorithm 3) with the paper's three greedy variants.
+//! * [`local_zoom`] — re-diversify only the neighbourhood of one selected
+//!   object (Figures 1(d) and 2).
+//!
+//! ## Validation
+//!
+//! * [`verify_disc`] / [`verify_coverage`] — brute-force checks of
+//!   Definition 1 used by tests and examples.
+//!
+//! All algorithms are deterministic: ties break towards the smallest
+//! object id, so results are reproducible and cross-checkable against the
+//! reference implementations in `disc-graph`.
+
+pub mod basic;
+pub mod counts;
+pub mod cover;
+pub mod greedy;
+pub mod heap;
+pub mod local;
+pub mod multi_radius;
+pub mod result;
+pub mod runner;
+pub mod verify;
+pub mod weighted;
+pub mod zoom_in;
+pub mod zoom_out;
+
+pub use basic::{basic_disc, BasicOrder};
+pub use cover::{fast_c, greedy_c};
+pub use greedy::{greedy_disc, greedy_disc_with_update_radius, GreedyVariant};
+pub use local::{local_zoom, LocalZoomResult};
+pub use multi_radius::{multi_radius_basic_disc, multi_radius_greedy_disc, verify_multi_radius};
+pub use result::{DiscResult, ZoomResult};
+pub use runner::Heuristic;
+pub use verify::{verify_coverage, verify_disc, VerifyReport};
+pub use weighted::{solution_weight, weighted_disc};
+pub use zoom_in::{greedy_zoom_in, zoom_in};
+pub use zoom_out::{greedy_zoom_out, zoom_out, ZoomOutVariant};

@@ -1,0 +1,96 @@
+//! Result types shared by every heuristic.
+
+use disc_metric::ObjId;
+
+/// Outcome of a DisC (or r-C) computation.
+#[derive(Clone, Debug)]
+pub struct DiscResult {
+    /// The radius the subset was computed for.
+    pub radius: f64,
+    /// Short name of the heuristic that produced the result (as used in
+    /// the paper's tables, e.g. `"Gr-G-DisC (Pruned)"`).
+    pub heuristic: String,
+    /// Selected objects in selection order.
+    pub solution: Vec<ObjId>,
+    /// M-tree node accesses charged to this computation (the paper's cost
+    /// metric).
+    pub node_accesses: u64,
+}
+
+impl DiscResult {
+    /// Number of selected objects (`|S|`).
+    pub fn size(&self) -> usize {
+        self.solution.len()
+    }
+
+    /// Solution ids in ascending order (selection order is preserved in
+    /// [`Self::solution`]).
+    pub fn sorted_solution(&self) -> Vec<ObjId> {
+        let mut s = self.solution.clone();
+        s.sort_unstable();
+        s
+    }
+
+    /// Whether `object` was selected.
+    pub fn contains(&self, object: ObjId) -> bool {
+        self.solution.contains(&object)
+    }
+}
+
+/// Outcome of a zooming operation: the adapted solution plus the cost of
+/// the preparatory pass (computing closest-black-neighbour distances for
+/// zoom-in; caching red neighbourhoods for greedy zoom-out).
+#[derive(Clone, Debug)]
+pub struct ZoomResult {
+    /// The adapted solution for the new radius.
+    pub result: DiscResult,
+    /// Node accesses spent preparing the zooming structures (the paper's
+    /// post-processing step for the Zooming Rule). Not included in
+    /// `result.node_accesses`.
+    pub prep_accesses: u64,
+}
+
+impl ZoomResult {
+    /// Total cost including preparation.
+    pub fn total_accesses(&self) -> u64 {
+        self.prep_accesses + self.result.node_accesses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DiscResult {
+        DiscResult {
+            radius: 0.1,
+            heuristic: "test".into(),
+            solution: vec![5, 2, 9],
+            node_accesses: 42,
+        }
+    }
+
+    #[test]
+    fn size_and_membership() {
+        let r = sample();
+        assert_eq!(r.size(), 3);
+        assert!(r.contains(2));
+        assert!(!r.contains(3));
+    }
+
+    #[test]
+    fn sorted_solution_preserves_original() {
+        let r = sample();
+        assert_eq!(r.sorted_solution(), vec![2, 5, 9]);
+        assert_eq!(r.solution, vec![5, 2, 9], "selection order untouched");
+    }
+
+    #[test]
+    fn zoom_total_cost() {
+        let z = ZoomResult {
+            result: sample(),
+            prep_accesses: 8,
+        };
+        assert_eq!(z.total_accesses(), 50);
+    }
+}

@@ -1,0 +1,190 @@
+//! Uniform dispatch over every heuristic, used by the experiment harness
+//! and the benches.
+
+use disc_mtree::MTree;
+
+use crate::basic::{basic_disc, BasicOrder};
+use crate::cover::{fast_c, greedy_c};
+use crate::greedy::{greedy_disc, GreedyVariant};
+use crate::result::DiscResult;
+
+/// Every DisC/r-C heuristic of the paper, runnable through one entry
+/// point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Heuristic {
+    /// Basic-DisC over the leaf chain.
+    Basic {
+        /// Apply the Pruning Rule.
+        pruned: bool,
+    },
+    /// Greedy-DisC (Algorithm 1) with an update strategy.
+    Greedy {
+        /// Count-update strategy.
+        variant: GreedyVariant,
+        /// Apply the Pruning Rule.
+        pruned: bool,
+    },
+    /// Greedy-C (coverage only).
+    GreedyC,
+    /// Fast-C (coverage only, bottom-up stop-at-grey queries).
+    FastC,
+}
+
+impl Heuristic {
+    /// Paper-style display name (matches the legends of Figures 7–8).
+    pub fn name(&self) -> String {
+        match self {
+            Heuristic::Basic { pruned } => {
+                format!("B-DisC{}", if *pruned { " (Pruned)" } else { "" })
+            }
+            Heuristic::Greedy { variant, pruned } => {
+                format!("{}{}", variant.name(), if *pruned { " (Pruned)" } else { "" })
+            }
+            Heuristic::GreedyC => "G-C".into(),
+            Heuristic::FastC => "Fast-C".into(),
+        }
+    }
+
+    /// Runs the heuristic on the indexed dataset.
+    pub fn run(&self, tree: &MTree<'_>, r: f64) -> DiscResult {
+        match self {
+            Heuristic::Basic { pruned } => basic_disc(tree, r, BasicOrder::LeafOrder, *pruned),
+            Heuristic::Greedy { variant, pruned } => greedy_disc(tree, r, *variant, *pruned),
+            Heuristic::GreedyC => greedy_c(tree, r),
+            Heuristic::FastC => fast_c(tree, r),
+        }
+    }
+
+    /// The heuristics of Table 3 (solution sizes), in row order:
+    /// B-DisC, G-DisC, L-Gr-G-DisC, L-Wh-G-DisC, G-C.
+    pub fn table3_rows() -> Vec<(String, Heuristic)> {
+        vec![
+            ("B-DisC".into(), Heuristic::Basic { pruned: true }),
+            (
+                "G-DisC".into(),
+                Heuristic::Greedy {
+                    variant: GreedyVariant::Grey,
+                    pruned: true,
+                },
+            ),
+            (
+                "L-Gr-G-DisC".into(),
+                Heuristic::Greedy {
+                    variant: GreedyVariant::LazyGrey,
+                    pruned: true,
+                },
+            ),
+            (
+                "L-Wh-G-DisC".into(),
+                Heuristic::Greedy {
+                    variant: GreedyVariant::LazyWhite,
+                    pruned: true,
+                },
+            ),
+            ("G-C".into(), Heuristic::GreedyC),
+        ]
+    }
+
+    /// The heuristics of Figure 7 (node accesses, pruning on/off).
+    pub fn figure7_series() -> Vec<(String, Heuristic)> {
+        vec![
+            ("B-DisC".into(), Heuristic::Basic { pruned: false }),
+            ("B-DisC (Pruned)".into(), Heuristic::Basic { pruned: true }),
+            (
+                "Gr-G-DisC".into(),
+                Heuristic::Greedy {
+                    variant: GreedyVariant::Grey,
+                    pruned: false,
+                },
+            ),
+            (
+                "Gr-G-DisC (Pruned)".into(),
+                Heuristic::Greedy {
+                    variant: GreedyVariant::Grey,
+                    pruned: true,
+                },
+            ),
+            ("G-C".into(), Heuristic::GreedyC),
+        ]
+    }
+
+    /// The heuristics of Figure 8 (pruned greedy variants vs pruned
+    /// basic).
+    pub fn figure8_series() -> Vec<(String, Heuristic)> {
+        vec![
+            ("B-DisC (Pruned)".into(), Heuristic::Basic { pruned: true }),
+            (
+                "Gr-G-DisC (Pruned)".into(),
+                Heuristic::Greedy {
+                    variant: GreedyVariant::Grey,
+                    pruned: true,
+                },
+            ),
+            (
+                "Wh-G-DisC (Pruned)".into(),
+                Heuristic::Greedy {
+                    variant: GreedyVariant::White,
+                    pruned: true,
+                },
+            ),
+            (
+                "L-Gr-G-DisC (Pruned)".into(),
+                Heuristic::Greedy {
+                    variant: GreedyVariant::LazyGrey,
+                    pruned: true,
+                },
+            ),
+            (
+                "L-Wh-G-DisC (Pruned)".into(),
+                Heuristic::Greedy {
+                    variant: GreedyVariant::LazyWhite,
+                    pruned: true,
+                },
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{verify_coverage, verify_disc};
+    use disc_datasets::synthetic::uniform;
+    use disc_mtree::MTreeConfig;
+
+    #[test]
+    fn every_heuristic_runs_and_validates() {
+        let data = uniform(150, 2, 110);
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(8));
+        let r = 0.15;
+        let all = [
+            Heuristic::Basic { pruned: false },
+            Heuristic::Basic { pruned: true },
+            Heuristic::Greedy {
+                variant: GreedyVariant::Grey,
+                pruned: true,
+            },
+            Heuristic::GreedyC,
+            Heuristic::FastC,
+        ];
+        for h in all {
+            let res = h.run(&tree, r);
+            assert_eq!(res.heuristic, h.name());
+            match h {
+                Heuristic::GreedyC | Heuristic::FastC => {
+                    assert!(verify_coverage(&data, &res.solution, r).is_empty(), "{h:?}");
+                }
+                _ => assert!(verify_disc(&data, &res.solution, r).is_valid(), "{h:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn table_and_figure_sets_have_paper_rows() {
+        assert_eq!(Heuristic::table3_rows().len(), 5);
+        assert_eq!(Heuristic::figure7_series().len(), 5);
+        assert_eq!(Heuristic::figure8_series().len(), 5);
+        let names: Vec<String> = Heuristic::table3_rows().iter().map(|(n, _)| n.clone()).collect();
+        assert_eq!(names, ["B-DisC", "G-DisC", "L-Gr-G-DisC", "L-Wh-G-DisC", "G-C"]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Brute-force validation of Definition 1: coverage and dissimilarity.
+//!
+//! Used by tests, examples and the experiment harness to certify every
+//! heuristic's output independently of the index.
+
+use disc_metric::{Dataset, ObjId};
+
+/// Violations found in a candidate solution.
+#[derive(Clone, Debug, Default)]
+pub struct VerifyReport {
+    /// Objects with no selected object within the radius (coverage
+    /// condition violated).
+    pub uncovered: Vec<ObjId>,
+    /// Selected pairs at distance ≤ r (dissimilarity condition violated).
+    pub dependent_pairs: Vec<(ObjId, ObjId)>,
+}
+
+impl VerifyReport {
+    /// Whether the solution is a valid r-DisC diverse subset.
+    pub fn is_valid(&self) -> bool {
+        self.uncovered.is_empty() && self.dependent_pairs.is_empty()
+    }
+}
+
+/// Checks both conditions of Definition 1 for `solution` on `data`.
+pub fn verify_disc(data: &Dataset, solution: &[ObjId], r: f64) -> VerifyReport {
+    VerifyReport {
+        uncovered: verify_coverage(data, solution, r),
+        dependent_pairs: dependent_pairs(data, solution, r),
+    }
+}
+
+/// The coverage condition alone (for r-C diverse subsets): returns all
+/// uncovered objects.
+pub fn verify_coverage(data: &Dataset, solution: &[ObjId], r: f64) -> Vec<ObjId> {
+    data.ids()
+        .filter(|&p| {
+            !solution
+                .iter()
+                .any(|&s| s == p || data.dist(p, s) <= r)
+        })
+        .collect()
+}
+
+/// All selected pairs violating the dissimilarity condition.
+pub fn dependent_pairs(data: &Dataset, solution: &[ObjId], r: f64) -> Vec<(ObjId, ObjId)> {
+    let mut pairs = Vec::new();
+    for (i, &a) in solution.iter().enumerate() {
+        for &b in &solution[i + 1..] {
+            if data.dist(a, b) <= r {
+                pairs.push((a, b));
+            }
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disc_metric::{Metric, Point};
+
+    fn line() -> Dataset {
+        Dataset::new(
+            "line",
+            Metric::Euclidean,
+            (0..5).map(|i| Point::new2(i as f64, 0.0)).collect(),
+        )
+    }
+
+    #[test]
+    fn valid_solution_passes() {
+        let d = line();
+        // {1, 3} covers 0..4 at r = 1 and 1,3 are 2 apart.
+        let rep = verify_disc(&d, &[1, 3], 1.0);
+        assert!(rep.is_valid());
+    }
+
+    #[test]
+    fn uncovered_objects_reported() {
+        let d = line();
+        let rep = verify_disc(&d, &[0], 1.0);
+        assert_eq!(rep.uncovered, vec![2, 3, 4]);
+        assert!(!rep.is_valid());
+    }
+
+    #[test]
+    fn dependent_pairs_reported() {
+        let d = line();
+        let rep = verify_disc(&d, &[0, 1, 3], 1.0);
+        assert_eq!(rep.dependent_pairs, vec![(0, 1)]);
+        assert!(!rep.is_valid());
+    }
+
+    #[test]
+    fn coverage_only_check() {
+        let d = line();
+        // {0, 1, 2, 3, 4} over-covers but that is fine for r-C.
+        assert!(verify_coverage(&d, &[0, 2, 4], 1.0).is_empty());
+        assert_eq!(verify_coverage(&d, &[4], 1.0), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn selected_objects_count_as_covered() {
+        let d = line();
+        // r = 0: every object must be selected.
+        assert!(verify_coverage(&d, &[0, 1, 2, 3, 4], 0.0).is_empty());
+        assert_eq!(verify_coverage(&d, &[0], 0.0).len(), 4);
+    }
+}

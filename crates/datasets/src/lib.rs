@@ -1,0 +1,27 @@
+//! Workload generators for the DisC diversity evaluation (paper
+//! Section 6).
+//!
+//! Four datasets, all seeded and fully reproducible:
+//!
+//! * [`synthetic::uniform`] — points uniformly distributed in `[0, 1]^d`;
+//! * [`synthetic::clustered`] — hyper-spherical clusters of different
+//!   sizes (the paper's "Clustered"/"normal" default);
+//! * [`cities`] — a synthetic replica of the paper's 5,922 Greek
+//!   cities/villages (the original rtreeportal.org dump is not
+//!   redistributable; see DESIGN.md §4 for why the substitution preserves
+//!   the experiments' behaviour);
+//! * [`cameras`] — a synthetic replica of the paper's 579-camera
+//!   catalogue with 7 categorical attributes under the Hamming distance
+//!   (the original acme.com source is defunct; see DESIGN.md §4).
+//!
+//! [`spec::Workload`] enumerates the four for the experiment harness and
+//! carries each one's paper radius sweep.
+
+pub mod cameras;
+pub mod cities;
+pub mod spec;
+pub mod synthetic;
+
+pub use cameras::{camera_catalog, CameraCatalog};
+pub use cities::greek_cities;
+pub use spec::Workload;

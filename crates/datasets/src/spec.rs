@@ -1,0 +1,110 @@
+//! Workload enumeration for the experiment harness: the paper's four
+//! datasets with their radius sweeps.
+
+use disc_metric::Dataset;
+
+use crate::{cameras, cities, synthetic};
+
+/// One of the paper's evaluation workloads (Table 2 defaults).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// 10,000 uniform 2-D points.
+    Uniform,
+    /// 10,000 clustered 2-D points (the paper default "normal"
+    /// distribution).
+    Clustered,
+    /// 5,922 Greek cities (synthetic replica).
+    Cities,
+    /// 579 cameras, 7 categorical attributes, Hamming metric.
+    Cameras,
+}
+
+impl Workload {
+    /// All four workloads in the paper's presentation order.
+    pub const ALL: [Workload; 4] = [
+        Workload::Uniform,
+        Workload::Clustered,
+        Workload::Cities,
+        Workload::Cameras,
+    ];
+
+    /// Workload name as used in figure captions.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::Uniform => "Uniform",
+            Workload::Clustered => "Clustered",
+            Workload::Cities => "Cities",
+            Workload::Cameras => "Cameras",
+        }
+    }
+
+    /// Materialises the dataset with the given seed (the two "real"
+    /// replicas use their own fixed internal seeds so they are identical
+    /// across experiments).
+    pub fn build(&self, seed: u64) -> Dataset {
+        match self {
+            Workload::Uniform => synthetic::paper_uniform(seed),
+            Workload::Clustered => synthetic::paper_clustered(seed),
+            Workload::Cities => cities::greek_cities(),
+            Workload::Cameras => cameras::camera_catalog().dataset,
+        }
+    }
+
+    /// The radius sweep used for this workload in Table 3 / Figures 7–8.
+    pub fn paper_radii(&self) -> Vec<f64> {
+        match self {
+            Workload::Uniform | Workload::Clustered => {
+                (1..=7).map(|i| i as f64 * 0.01).collect()
+            }
+            Workload::Cities => vec![0.001, 0.0025, 0.005, 0.0075, 0.010, 0.0125, 0.015],
+            Workload::Cameras => (1..=6).map(|i| i as f64).collect(),
+        }
+    }
+
+    /// The subset of radii used by the zooming experiments
+    /// (Figures 11–16), ordered small → large.
+    pub fn zoom_radii(&self) -> Vec<f64> {
+        match self {
+            Workload::Uniform | Workload::Clustered => {
+                (1..=7).map(|i| i as f64 * 0.01).collect()
+            }
+            Workload::Cities => vec![0.001, 0.0025, 0.005, 0.0075, 0.010, 0.0125],
+            Workload::Cameras => (1..=6).map(|i| i as f64).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disc_metric::Metric;
+
+    #[test]
+    fn builds_all_workloads() {
+        assert_eq!(Workload::Uniform.build(0).len(), 10_000);
+        assert_eq!(Workload::Clustered.build(0).len(), 10_000);
+        assert_eq!(Workload::Cities.build(0).len(), 5_922);
+        assert_eq!(Workload::Cameras.build(0).len(), 579);
+    }
+
+    #[test]
+    fn metric_assignment() {
+        assert_eq!(Workload::Cameras.build(0).metric(), Metric::Hamming);
+        assert_eq!(Workload::Cities.build(0).metric(), Metric::Euclidean);
+    }
+
+    #[test]
+    fn radius_sweeps_match_paper_axes() {
+        assert_eq!(Workload::Uniform.paper_radii().len(), 7);
+        assert_eq!(Workload::Clustered.paper_radii()[0], 0.01);
+        assert_eq!(Workload::Clustered.paper_radii()[6], 0.07);
+        assert_eq!(Workload::Cities.paper_radii()[0], 0.001);
+        assert_eq!(Workload::Cameras.paper_radii(), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn names_and_all() {
+        assert_eq!(Workload::ALL.len(), 4);
+        assert_eq!(Workload::Clustered.name(), "Clustered");
+    }
+}

@@ -1,0 +1,175 @@
+//! Synthetic workloads: "Uniform" and "Clustered" (paper Table 2).
+
+use disc_metric::{Dataset, Metric, Point};
+use rand::{rngs::StdRng, RngExt as _, SeedableRng};
+
+/// `n` points uniformly distributed in `[0, 1]^dim` under the Euclidean
+/// metric.
+pub fn uniform(n: usize, dim: usize, seed: u64) -> Dataset {
+    assert!(n > 0 && dim > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let points = (0..n)
+        .map(|_| Point::new((0..dim).map(|_| rng.random_range(0.0..1.0)).collect()))
+        .collect();
+    Dataset::new(format!("uniform-{n}-{dim}d"), Metric::Euclidean, points)
+}
+
+/// `n` points forming `clusters` hyper-spherical clusters of different
+/// sizes in `[0, 1]^dim` (the paper's "Clustered" distribution: normally
+/// distributed around cluster centres, cluster populations and spreads
+/// varying).
+///
+/// Cluster populations follow a geometric-ish decay so some clusters are
+/// dense and some sparse; spreads vary by a factor of ~4 between clusters.
+/// Points are clamped to `[0, 1]^dim`.
+pub fn clustered(n: usize, dim: usize, clusters: usize, seed: u64) -> Dataset {
+    assert!(n > 0 && dim > 0 && clusters > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Cluster centres keep a margin so most mass stays inside the cube.
+    let centres: Vec<Vec<f64>> = (0..clusters)
+        .map(|_| (0..dim).map(|_| rng.random_range(0.15..0.85)).collect())
+        .collect();
+    // Decaying weights: cluster k gets weight ~ 1 / (1 + k/2).
+    let weights: Vec<f64> = (0..clusters).map(|k| 1.0 / (1.0 + k as f64 / 2.0)).collect();
+    let total_w: f64 = weights.iter().sum();
+    let spreads: Vec<f64> = (0..clusters)
+        .map(|_| rng.random_range(0.02..0.08))
+        .collect();
+
+    let mut points = Vec::with_capacity(n);
+    let mut counts = vec![0usize; clusters];
+    // Deterministic allocation of points to clusters by weight.
+    for (k, w) in weights.iter().enumerate() {
+        counts[k] = ((w / total_w) * n as f64).round() as usize;
+    }
+    // Fix rounding drift on the largest cluster.
+    let assigned: usize = counts.iter().sum();
+    if assigned > n {
+        counts[0] -= assigned - n;
+    } else {
+        counts[0] += n - assigned;
+    }
+
+    for (k, &count) in counts.iter().enumerate() {
+        for _ in 0..count {
+            let coords = (0..dim)
+                .map(|d| {
+                    let offset = gaussian(&mut rng) * spreads[k];
+                    (centres[k][d] + offset).clamp(0.0, 1.0)
+                })
+                .collect();
+            points.push(Point::new(coords));
+        }
+    }
+    Dataset::new(format!("clustered-{n}-{dim}d"), Metric::Euclidean, points)
+}
+
+/// The paper's default clustered workload: 10,000 2-D points (Table 2).
+pub fn paper_clustered(seed: u64) -> Dataset {
+    clustered(10_000, 2, 10, seed)
+}
+
+/// The paper's default uniform workload: 10,000 2-D points (Table 2).
+pub fn paper_uniform(seed: u64) -> Dataset {
+    uniform(10_000, 2, seed)
+}
+
+/// Standard normal sample via Box–Muller (avoids a distribution-crate
+/// dependency).
+pub(crate) fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_has_requested_shape() {
+        let d = uniform(500, 3, 1);
+        assert_eq!(d.len(), 500);
+        assert_eq!(d.dim(), 3);
+        assert_eq!(d.metric(), Metric::Euclidean);
+        for id in d.ids() {
+            for &c in d.point(id).coords() {
+                assert!((0.0..=1.0).contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_is_reproducible_and_seed_sensitive() {
+        let a = uniform(100, 2, 7);
+        let b = uniform(100, 2, 7);
+        let c = uniform(100, 2, 8);
+        assert_eq!(a.point(42), b.point(42));
+        assert_ne!(a.point(42), c.point(42));
+    }
+
+    #[test]
+    fn clustered_has_requested_shape() {
+        let d = clustered(1000, 2, 5, 2);
+        assert_eq!(d.len(), 1000);
+        assert_eq!(d.dim(), 2);
+        for id in d.ids() {
+            for &c in d.point(id).coords() {
+                assert!((0.0..=1.0).contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_is_denser_than_uniform() {
+        // Mean nearest-neighbour distance in a clustered set is much
+        // smaller than in a uniform set of the same size.
+        let n = 400;
+        let (u, c) = (uniform(n, 2, 3), clustered(n, 2, 6, 3));
+        let mean_nn = |d: &Dataset| {
+            d.ids()
+                .map(|i| {
+                    d.ids()
+                        .filter(|&j| j != i)
+                        .map(|j| d.dist(i, j))
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .sum::<f64>()
+                / n as f64
+        };
+        assert!(
+            mean_nn(&c) < mean_nn(&u),
+            "clustered {:.4} should be denser than uniform {:.4}",
+            mean_nn(&c),
+            mean_nn(&u)
+        );
+    }
+
+    #[test]
+    fn clustered_point_count_exact_despite_rounding() {
+        for n in [997, 1000, 1003] {
+            for k in [3, 7, 11] {
+                assert_eq!(clustered(n, 2, k, 4).len(), n, "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn gaussian_moments_are_sane() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let samples: Vec<f64> = (0..20_000).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / samples.len() as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn paper_defaults_have_table2_cardinality() {
+        assert_eq!(paper_uniform(0).len(), 10_000);
+        assert_eq!(paper_clustered(0).len(), 10_000);
+        assert_eq!(paper_clustered(0).dim(), 2);
+    }
+}

@@ -1,0 +1,88 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! run_experiments [--quick] [--csv DIR] [id ...]
+//! ```
+//!
+//! Without ids, every registered experiment runs (paper order). `--quick`
+//! switches to the down-scaled smoke datasets; `--csv DIR` additionally
+//! writes every table as a CSV file into `DIR`.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use disc_eval::{all_experiments, registry, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Full;
+    let mut csv_dir: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--csv" => {
+                csv_dir = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--csv requires a directory argument");
+                    std::process::exit(2);
+                }));
+            }
+            "--help" | "-h" => {
+                println!("usage: run_experiments [--quick] [--csv DIR] [id ...]");
+                println!("experiments:");
+                for e in all_experiments() {
+                    println!("  {:10} {}", e.id, e.title);
+                }
+                return;
+            }
+            id => ids.push(id.to_string()),
+        }
+    }
+
+    let experiments = if ids.is_empty() {
+        all_experiments()
+    } else {
+        ids.iter()
+            .map(|id| {
+                registry::find(id).unwrap_or_else(|| {
+                    eprintln!("unknown experiment id: {id} (try --help)");
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    };
+
+    if let Some(dir) = &csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv output directory");
+    }
+
+    let total = Instant::now();
+    for e in experiments {
+        println!("### {} — {} [{scale:?}]", e.id, e.title);
+        let start = Instant::now();
+        let tables = (e.run)(scale);
+        for t in &tables {
+            println!("{}", t.render());
+            if let Some(dir) = &csv_dir {
+                let file = format!("{dir}/{}_{}.csv", e.id, sanitize(&t.title));
+                let mut f = std::fs::File::create(&file).expect("create csv file");
+                f.write_all(t.to_csv().as_bytes()).expect("write csv");
+            }
+        }
+        println!("[{}: {:.1?}]\n", e.id, start.elapsed());
+    }
+    println!("total: {:.1?}", total.elapsed());
+}
+
+fn sanitize(title: &str) -> String {
+    title
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect::<String>()
+        .trim_matches('_')
+        .chars()
+        .take(60)
+        .collect()
+}

@@ -1,0 +1,87 @@
+//! Figure 10: impact of the M-tree splitting policy (fat-factor) on the
+//! node accesses of Greedy-DisC, for the Uniform and Clustered workloads
+//! at large radii. Splitting policies do not change which objects are
+//! selected — only the cost of finding them.
+
+use disc_core::{greedy_disc, GreedyVariant};
+use disc_datasets::Workload;
+use disc_mtree::{MTree, MTreeConfig, SplitPolicy};
+
+use crate::scale::Scale;
+use crate::table::{fmt_f64, Table};
+
+fn radii(scale: Scale) -> Vec<f64> {
+    match scale {
+        Scale::Full => vec![0.1, 0.3, 0.5, 0.7, 0.9],
+        Scale::Quick => vec![0.1, 0.5],
+    }
+}
+
+/// Runs the experiment: one table per workload; rows are splitting
+/// policies annotated with their measured fat-factor.
+pub fn run(scale: Scale) -> Vec<Table> {
+    [Workload::Uniform, Workload::Clustered]
+        .iter()
+        .map(|&w| {
+            let data = scale.dataset(w);
+            let radii = radii(scale);
+            let mut columns = vec!["policy (fat-factor)".to_string()];
+            columns.extend(radii.iter().map(|r| format!("r={r}")));
+            let mut table = Table::new(
+                format!("Figure 10 ({}): node accesses by splitting policy", w.name()),
+                columns,
+            );
+            for (name, policy) in SplitPolicy::figure10_policies() {
+                let tree = MTree::build(
+                    &data,
+                    MTreeConfig {
+                        capacity: 50,
+                        split_policy: policy,
+                        seed: 7,
+                    },
+                );
+                let fat = tree.stats().fat_factor;
+                tree.reset_node_accesses();
+                let mut row = vec![format!("{name} (f={})", fmt_f64(fat))];
+                for &r in &radii {
+                    let res = greedy_disc(&tree, r, GreedyVariant::Grey, true);
+                    row.push(res.node_accesses.to_string());
+                }
+                table.push_row(row);
+            }
+            table
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_workloads_four_policies() {
+        let tables = run(Scale::Quick);
+        assert_eq!(tables.len(), 2);
+        for t in &tables {
+            assert_eq!(t.rows.len(), 4);
+        }
+    }
+
+    #[test]
+    fn min_overlap_has_lowest_fat_factor_on_uniform() {
+        let tables = run(Scale::Quick);
+        let fat = |row: &Vec<String>| -> f64 {
+            let label = &row[0];
+            let start = label.find("f=").unwrap() + 2;
+            let end = label.find(')').unwrap();
+            label[start..end].parse().unwrap()
+        };
+        let uniform = &tables[0];
+        let min_overlap = fat(&uniform.rows[0]);
+        let random = fat(&uniform.rows[3]);
+        assert!(
+            min_overlap <= random,
+            "MinOverlap {min_overlap} vs Random {random}"
+        );
+    }
+}

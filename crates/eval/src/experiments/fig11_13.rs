@@ -1,0 +1,144 @@
+//! Figures 11–13: incremental zooming-in on the Clustered and Cities
+//! workloads.
+//!
+//! For each radius `r'` of the sweep, the zooming heuristics adapt the
+//! Greedy-DisC solution computed for the immediately larger radius `r`
+//! (as in the paper), and are compared against Greedy-DisC computed from
+//! scratch for `r'` on: solution size (Fig. 11), node accesses (Fig. 12)
+//! and Jaccard distance to the previously seen solution `S^r` (Fig. 13).
+
+use disc_core::{greedy_disc, greedy_zoom_in, zoom_in, GreedyVariant};
+use disc_datasets::Workload;
+use disc_graph::jaccard_distance;
+
+use crate::scale::Scale;
+use crate::table::{fmt_f64, Table};
+
+/// Runs the experiment: three tables (size, accesses, Jaccard) per
+/// workload.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let mut out = Vec::new();
+    for w in [Workload::Clustered, Workload::Cities] {
+        let data = scale.dataset(w);
+        let tree = scale.tree(&data);
+        // Descending radii: each step adapts from the previous (larger)
+        // radius.
+        let mut radii = scale.zoom_radii(w);
+        radii.sort_by(|a, b| b.partial_cmp(a).unwrap());
+
+        let mut columns = vec!["series".to_string()];
+        columns.extend(radii[1..].iter().map(|r| format!("r'={r}")));
+        let mut size_t = Table::new(
+            format!("Figure 11 ({}): zoom-in solution size", w.name()),
+            columns.clone(),
+        );
+        let mut cost_t = Table::new(
+            format!("Figure 12 ({}): zoom-in node accesses", w.name()),
+            columns.clone(),
+        );
+        let mut jacc_t = Table::new(
+            format!("Figure 13 ({}): zoom-in Jaccard distance to S^r", w.name()),
+            columns,
+        );
+
+        let mut rows: Vec<Vec<String>> = vec![
+            vec!["Greedy-DisC".into()],
+            vec!["Zoom-In".into()],
+            vec!["Greedy-Zoom-In".into()],
+        ];
+        let mut cost_rows = rows.clone();
+        let mut jacc_rows = vec![
+            vec!["Greedy-DisC(r) - Greedy-DisC(r')".into()],
+            vec!["Greedy-DisC(r) - Zoom-In(r')".into()],
+            vec!["Greedy-DisC(r) - Greedy-Zoom-In(r')".into()],
+        ];
+
+        let mut prev = greedy_disc(&tree, radii[0], GreedyVariant::Grey, true);
+        for &r_new in &radii[1..] {
+            let scratch = greedy_disc(&tree, r_new, GreedyVariant::Grey, true);
+            let zi = zoom_in(&tree, &prev, r_new);
+            let gzi = greedy_zoom_in(&tree, &prev, r_new);
+
+            rows[0].push(scratch.size().to_string());
+            rows[1].push(zi.result.size().to_string());
+            rows[2].push(gzi.result.size().to_string());
+
+            cost_rows[0].push(scratch.node_accesses.to_string());
+            cost_rows[1].push(zi.result.node_accesses.to_string());
+            cost_rows[2].push(gzi.result.node_accesses.to_string());
+
+            jacc_rows[0].push(fmt_f64(jaccard_distance(&prev.solution, &scratch.solution)));
+            jacc_rows[1].push(fmt_f64(jaccard_distance(
+                &prev.solution,
+                &zi.result.solution,
+            )));
+            jacc_rows[2].push(fmt_f64(jaccard_distance(
+                &prev.solution,
+                &gzi.result.solution,
+            )));
+
+            // The next step adapts from this radius's scratch solution,
+            // mirroring the paper's chained sweep.
+            prev = scratch;
+        }
+        for r in rows {
+            size_t.push_row(r);
+        }
+        for r in cost_rows {
+            cost_t.push_row(r);
+        }
+        for r in jacc_rows {
+            jacc_t.push_row(r);
+        }
+        out.push(size_t);
+        out.push(cost_t);
+        out.push(jacc_t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_tables() {
+        let tables = run(Scale::Quick);
+        assert_eq!(tables.len(), 6);
+    }
+
+    #[test]
+    fn zooming_stays_closer_to_the_seen_result() {
+        // Figure 13's finding: the Jaccard distance of the adapted
+        // solution to S^r is smaller than that of the from-scratch
+        // solution.
+        let tables = run(Scale::Quick);
+        for jacc in [&tables[2], &tables[5]] {
+            let parse = |row: &Vec<String>| -> Vec<f64> {
+                row[1..].iter().map(|c| c.parse().unwrap()).collect()
+            };
+            let scratch = parse(&jacc.rows[0]);
+            let zoom = parse(&jacc.rows[1]);
+            let gzoom = parse(&jacc.rows[2]);
+            for i in 0..scratch.len() {
+                assert!(zoom[i] <= scratch[i] + 1e-9, "{} col {i}", jacc.title);
+                assert!(gzoom[i] <= scratch[i] + 1e-9, "{} col {i}", jacc.title);
+            }
+        }
+    }
+
+    #[test]
+    fn zoom_in_cost_below_scratch_cost() {
+        let tables = run(Scale::Quick);
+        for cost in [&tables[1], &tables[4]] {
+            let sum = |row: &Vec<String>| -> u64 {
+                row[1..].iter().map(|c| c.parse::<u64>().unwrap()).sum()
+            };
+            assert!(
+                sum(&cost.rows[1]) < sum(&cost.rows[0]),
+                "{}: Zoom-In should be cheaper than scratch",
+                cost.title
+            );
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Figures 14–16: incremental zooming-out on the Clustered and Cities
+//! workloads.
+//!
+//! For each radius `r'` of the ascending sweep, the zoom-out heuristics
+//! (plain and greedy variants a/b/c) adapt the Greedy-DisC solution of
+//! the immediately smaller radius, compared against Greedy-DisC from
+//! scratch on: solution size (Fig. 14), node accesses (Fig. 15) and
+//! Jaccard distance to the previously seen solution (Fig. 16).
+
+use disc_core::{greedy_disc, greedy_zoom_out, GreedyVariant, ZoomOutVariant};
+use disc_datasets::Workload;
+use disc_graph::jaccard_distance;
+
+use crate::scale::Scale;
+use crate::table::{fmt_f64, Table};
+
+const VARIANTS: [ZoomOutVariant; 4] = [
+    ZoomOutVariant::Plain,
+    ZoomOutVariant::GreedyA,
+    ZoomOutVariant::GreedyB,
+    ZoomOutVariant::GreedyC,
+];
+
+/// Runs the experiment: three tables (size, accesses, Jaccard) per
+/// workload.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let mut out = Vec::new();
+    for w in [Workload::Clustered, Workload::Cities] {
+        let data = scale.dataset(w);
+        let tree = scale.tree(&data);
+        let radii = scale.zoom_radii(w); // ascending
+
+        let mut columns = vec!["series".to_string()];
+        columns.extend(radii[1..].iter().map(|r| format!("r'={r}")));
+        let mut size_t = Table::new(
+            format!("Figure 14 ({}): zoom-out solution size", w.name()),
+            columns.clone(),
+        );
+        let mut cost_t = Table::new(
+            format!("Figure 15 ({}): zoom-out node accesses", w.name()),
+            columns.clone(),
+        );
+        let mut jacc_t = Table::new(
+            format!("Figure 16 ({}): zoom-out Jaccard distance to S^r", w.name()),
+            columns,
+        );
+
+        let mut size_rows: Vec<Vec<String>> = vec![vec!["Greedy-DisC".into()]];
+        let mut cost_rows: Vec<Vec<String>> = vec![vec!["Greedy-DisC".into()]];
+        let mut jacc_rows: Vec<Vec<String>> =
+            vec![vec!["Greedy-DisC(r) - Greedy-DisC(r')".into()]];
+        for v in VARIANTS {
+            size_rows.push(vec![v.name().into()]);
+            cost_rows.push(vec![v.name().into()]);
+            jacc_rows.push(vec![format!("Greedy-DisC(r) - {}(r')", v.name())]);
+        }
+
+        let mut prev = greedy_disc(&tree, radii[0], GreedyVariant::Grey, true);
+        for &r_new in &radii[1..] {
+            let scratch = greedy_disc(&tree, r_new, GreedyVariant::Grey, true);
+            size_rows[0].push(scratch.size().to_string());
+            cost_rows[0].push(scratch.node_accesses.to_string());
+            jacc_rows[0].push(fmt_f64(jaccard_distance(&prev.solution, &scratch.solution)));
+
+            for (i, v) in VARIANTS.iter().enumerate() {
+                let z = greedy_zoom_out(&tree, &prev, r_new, *v);
+                size_rows[i + 1].push(z.result.size().to_string());
+                cost_rows[i + 1].push(z.total_accesses().to_string());
+                jacc_rows[i + 1].push(fmt_f64(jaccard_distance(
+                    &prev.solution,
+                    &z.result.solution,
+                )));
+            }
+            prev = scratch;
+        }
+        for r in size_rows {
+            size_t.push_row(r);
+        }
+        for r in cost_rows {
+            cost_t.push_row(r);
+        }
+        for r in jacc_rows {
+            jacc_t.push_row(r);
+        }
+        out.push(size_t);
+        out.push(cost_t);
+        out.push(jacc_t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_tables_with_five_series() {
+        let tables = run(Scale::Quick);
+        assert_eq!(tables.len(), 6);
+        for t in &tables {
+            assert_eq!(t.rows.len(), 5);
+        }
+    }
+
+    #[test]
+    fn zoom_out_keeps_more_of_the_seen_result_than_scratch() {
+        let tables = run(Scale::Quick);
+        for jacc in [&tables[2], &tables[5]] {
+            let avg = |row: &Vec<String>| -> f64 {
+                let v: Vec<f64> = row[1..].iter().map(|c| c.parse().unwrap()).collect();
+                v.iter().sum::<f64>() / v.len() as f64
+            };
+            let scratch = avg(&jacc.rows[0]);
+            // Variant (b) maximises retention; on average it must not be
+            // farther from S^r than a from-scratch recomputation.
+            let b = avg(&jacc.rows[3]);
+            assert!(b <= scratch + 1e-9, "{}: {b} vs {scratch}", jacc.title);
+        }
+    }
+
+    #[test]
+    fn plain_zoom_out_is_cheapest_variant() {
+        let tables = run(Scale::Quick);
+        for cost in [&tables[1], &tables[4]] {
+            let sum = |row: &Vec<String>| -> u64 {
+                row[1..].iter().map(|c| c.parse::<u64>().unwrap()).sum()
+            };
+            let plain = sum(&cost.rows[1]);
+            for i in 2..=4 {
+                assert!(
+                    plain <= sum(&cost.rows[i]),
+                    "{}: plain {} vs row {i} {}",
+                    cost.title,
+                    plain,
+                    sum(&cost.rows[i])
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Figure 7(a–d): M-tree node accesses of Basic-DisC, Grey-Greedy-DisC
+//! and Greedy-C, with and without the Pruning Rule, over the radius
+//! sweeps of all four workloads.
+
+use disc_core::Heuristic;
+use disc_datasets::Workload;
+
+use crate::scale::Scale;
+use crate::table::Table;
+
+/// Runs the experiment, one table per workload (paper panels a–d).
+pub fn run(scale: Scale) -> Vec<Table> {
+    Workload::ALL
+        .iter()
+        .map(|&w| {
+            let data = scale.dataset(w);
+            let tree = scale.tree(&data);
+            let radii = scale.radii(w);
+            let mut columns = vec!["heuristic".to_string()];
+            columns.extend(radii.iter().map(|r| format!("r={r}")));
+            let mut table = Table::new(
+                format!("Figure 7 ({}): node accesses", w.name()),
+                columns,
+            );
+            for (name, h) in Heuristic::figure7_series() {
+                let mut row = vec![name];
+                for &r in &radii {
+                    row.push(h.run(&tree, r).node_accesses.to_string());
+                }
+                table.push_row(row);
+            }
+            table
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(t: &Table, name: &str) -> Vec<u64> {
+        t.rows
+            .iter()
+            .find(|r| r[0] == name)
+            .unwrap_or_else(|| panic!("{name} missing"))[1..]
+            .iter()
+            .map(|c| c.parse().unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn pruning_never_costs_more() {
+        for t in run(Scale::Quick) {
+            let basic = series(&t, "B-DisC");
+            let basic_p = series(&t, "B-DisC (Pruned)");
+            let greedy = series(&t, "Gr-G-DisC");
+            let greedy_p = series(&t, "Gr-G-DisC (Pruned)");
+            for i in 0..basic.len() {
+                assert!(basic_p[i] <= basic[i], "{} col {i}", t.title);
+                assert!(greedy_p[i] <= greedy[i], "{} col {i}", t.title);
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_costs_more_than_basic() {
+        // The paper's headline cost finding: the greedy heuristic pays
+        // for its smaller solutions with more node accesses.
+        for t in run(Scale::Quick) {
+            let basic = series(&t, "B-DisC");
+            let greedy = series(&t, "Gr-G-DisC");
+            assert!(
+                greedy.iter().sum::<u64>() > basic.iter().sum::<u64>(),
+                "{}",
+                t.title
+            );
+        }
+    }
+}

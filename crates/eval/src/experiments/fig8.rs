@@ -1,0 +1,74 @@
+//! Figure 8(a–d): node accesses of the pruned Greedy-DisC update
+//! strategies (Grey, White, Lazy-Grey, Lazy-White) against pruned
+//! Basic-DisC, over the radius sweeps of all four workloads.
+
+use disc_core::Heuristic;
+use disc_datasets::Workload;
+
+use crate::scale::Scale;
+use crate::table::Table;
+
+/// Runs the experiment, one table per workload (paper panels a–d).
+pub fn run(scale: Scale) -> Vec<Table> {
+    Workload::ALL
+        .iter()
+        .map(|&w| {
+            let data = scale.dataset(w);
+            let tree = scale.tree(&data);
+            let radii = scale.radii(w);
+            let mut columns = vec!["heuristic".to_string()];
+            columns.extend(radii.iter().map(|r| format!("r={r}")));
+            let mut table = Table::new(
+                format!("Figure 8 ({}): node accesses, pruned variants", w.name()),
+                columns,
+            );
+            for (name, h) in Heuristic::figure8_series() {
+                let mut row = vec![name];
+                for &r in &radii {
+                    row.push(h.run(&tree, r).node_accesses.to_string());
+                }
+                table.push_row(row);
+            }
+            table
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_five_series_per_workload() {
+        let tables = run(Scale::Quick);
+        assert_eq!(tables.len(), 4);
+        for t in &tables {
+            assert_eq!(t.rows.len(), 5);
+        }
+    }
+
+    #[test]
+    fn lazy_variants_do_not_cost_more_than_exact() {
+        for t in run(Scale::Quick) {
+            let get = |name: &str| -> u64 {
+                t.rows
+                    .iter()
+                    .find(|r| r[0] == name)
+                    .unwrap()[1..]
+                    .iter()
+                    .map(|c| c.parse::<u64>().unwrap())
+                    .sum()
+            };
+            assert!(
+                get("L-Gr-G-DisC (Pruned)") <= get("Gr-G-DisC (Pruned)"),
+                "{}",
+                t.title
+            );
+            assert!(
+                get("L-Wh-G-DisC (Pruned)") <= get("Wh-G-DisC (Pruned)"),
+                "{}",
+                t.title
+            );
+        }
+    }
+}

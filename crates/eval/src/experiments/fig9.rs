@@ -1,0 +1,128 @@
+//! Figure 9: scaling of Greedy-DisC on the Clustered workload —
+//! (a, b) solution size and node accesses vs dataset cardinality,
+//! (c, d) solution size and node accesses vs dimensionality.
+
+use disc_core::{greedy_disc, GreedyVariant};
+use disc_datasets::synthetic::clustered;
+
+use crate::scale::{Scale, EVAL_SEED};
+use crate::table::Table;
+
+fn cardinalities(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Full => vec![5_000, 10_000, 15_000],
+        Scale::Quick => vec![400, 800, 1_200],
+    }
+}
+
+fn dimensions(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Full => vec![2, 4, 6, 8, 10],
+        Scale::Quick => vec![2, 4],
+    }
+}
+
+fn radii(scale: Scale) -> Vec<f64> {
+    match scale {
+        Scale::Full => (1..=7).map(|i| i as f64 * 0.01).collect(),
+        Scale::Quick => vec![0.02, 0.05],
+    }
+}
+
+fn quick_n(scale: Scale) -> usize {
+    match scale {
+        Scale::Full => 10_000,
+        Scale::Quick => 800,
+    }
+}
+
+/// Runs the experiment: four tables matching the paper's panels (a)–(d).
+pub fn run(scale: Scale) -> Vec<Table> {
+    let radii = radii(scale);
+    let mut columns = vec!["parameter".to_string()];
+    columns.extend(radii.iter().map(|r| format!("r={r}")));
+
+    let mut size_card = Table::new(
+        "Figure 9(a): solution size vs cardinality (Clustered 2D)",
+        columns.clone(),
+    );
+    let mut cost_card = Table::new(
+        "Figure 9(b): node accesses vs cardinality (Clustered 2D)",
+        columns.clone(),
+    );
+    for n in cardinalities(scale) {
+        let data = clustered(n, 2, 10, EVAL_SEED);
+        let tree = scale.tree(&data);
+        let mut size_row = vec![format!("n={n}")];
+        let mut cost_row = vec![format!("n={n}")];
+        for &r in &radii {
+            let res = greedy_disc(&tree, r, GreedyVariant::Grey, true);
+            size_row.push(res.size().to_string());
+            cost_row.push(res.node_accesses.to_string());
+        }
+        size_card.push_row(size_row);
+        cost_card.push_row(cost_row);
+    }
+
+    let mut size_dim = Table::new(
+        "Figure 9(c): solution size vs dimensionality (Clustered)",
+        columns.clone(),
+    );
+    let mut cost_dim = Table::new(
+        "Figure 9(d): node accesses vs dimensionality (Clustered)",
+        columns,
+    );
+    let n = quick_n(scale);
+    for d in dimensions(scale) {
+        let data = clustered(n, d, 10, EVAL_SEED);
+        let tree = scale.tree(&data);
+        let mut size_row = vec![format!("d={d}")];
+        let mut cost_row = vec![format!("d={d}")];
+        for &r in &radii {
+            let res = greedy_disc(&tree, r, GreedyVariant::Grey, true);
+            size_row.push(res.size().to_string());
+            cost_row.push(res.node_accesses.to_string());
+        }
+        size_dim.push_row(size_row);
+        cost_dim.push_row(cost_row);
+    }
+
+    vec![size_card, cost_card, size_dim, cost_dim]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_panels() {
+        let tables = run(Scale::Quick);
+        assert_eq!(tables.len(), 4);
+    }
+
+    #[test]
+    fn solution_grows_with_cardinality_at_small_radius() {
+        let tables = run(Scale::Quick);
+        let sizes: Vec<usize> = tables[0]
+            .rows
+            .iter()
+            .map(|r| r[1].parse().unwrap())
+            .collect();
+        // More objects -> more representatives at the smallest radius
+        // (paper: "solution size is more sensitive to cardinality when
+        // the radius is small").
+        assert!(sizes[0] <= sizes[2], "{sizes:?}");
+    }
+
+    #[test]
+    fn dimensionality_inflates_solutions() {
+        let tables = run(Scale::Quick);
+        let sizes: Vec<usize> = tables[2]
+            .rows
+            .iter()
+            .map(|r| r[1].parse().unwrap())
+            .collect();
+        // Curse of dimensionality (paper Figure 9(c)).
+        assert!(sizes[0] < sizes[1], "{sizes:?}");
+    }
+}

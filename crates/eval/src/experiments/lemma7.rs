@@ -1,0 +1,76 @@
+//! Lemma 7: for an r-DisC diverse subset `S` with minimum pairwise
+//! distance `λ`, the optimal MaxMin value `λ*` for `k = |S|` satisfies
+//! `λ* ≤ 3λ`. This experiment measures the observed ratio using greedy
+//! MaxMin (a 2-approximation, so `λ_greedy ≤ λ* ≤ 3λ` must also show
+//! `λ_greedy ≤ 3λ`).
+
+use disc_baselines::quality::lemma7_check;
+use disc_core::{greedy_disc, GreedyVariant};
+use disc_datasets::Workload;
+
+use crate::scale::Scale;
+use crate::table::{fmt_f64, Table};
+
+fn radii(scale: Scale, w: Workload) -> Vec<f64> {
+    let all = scale.radii(w);
+    match scale {
+        // MaxMin's O(n²) seeding makes the smallest radii (k in the
+        // thousands) pointless to sweep exhaustively; the bound is about
+        // the ratio, which the larger radii exercise just as well.
+        Scale::Full => all[2..].to_vec(),
+        Scale::Quick => vec![all[all.len() - 1]],
+    }
+}
+
+/// Runs the experiment on the Uniform and Clustered workloads.
+pub fn run(scale: Scale) -> Vec<Table> {
+    [Workload::Uniform, Workload::Clustered]
+        .iter()
+        .map(|&w| {
+            let data = scale.dataset(w);
+            let tree = scale.tree(&data);
+            let mut table = Table::new(
+                format!("Lemma 7 check ({}): λ* ≤ 3λ", w.name()),
+                vec![
+                    "radius".into(),
+                    "k=|S|".into(),
+                    "λ (DisC fMin)".into(),
+                    "λ (MaxMin fMin)".into(),
+                    "ratio".into(),
+                    "within 3x".into(),
+                ],
+            );
+            for r in radii(scale, w) {
+                let disc = greedy_disc(&tree, r, GreedyVariant::Grey, true);
+                let check = lemma7_check(&data, &disc.solution);
+                table.push_row(vec![
+                    r.to_string(),
+                    disc.size().to_string(),
+                    fmt_f64(check.lambda_disc),
+                    fmt_f64(check.lambda_maxmin),
+                    fmt_f64(check.ratio),
+                    check.within_bound.to_string(),
+                ]);
+            }
+            table
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_respect_the_bound() {
+        for t in run(Scale::Quick) {
+            for row in &t.rows {
+                assert_eq!(row[5], "true", "{}: {row:?}", t.title);
+                let lambda: f64 = row[2].parse().unwrap();
+                let r: f64 = row[0].parse().unwrap();
+                // λ > r by the dissimilarity condition.
+                assert!(lambda > r, "{}: λ={lambda} r={r}", t.title);
+            }
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! One module per paper artefact (see the crate docs and DESIGN.md §5).
+
+pub mod bottomup;
+pub mod capacity;
+pub mod fastc;
+pub mod fig10;
+pub mod fig11_13;
+pub mod fig14_16;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod lazy_ablation;
+pub mod lemma7;
+pub mod table3;

@@ -1,0 +1,72 @@
+//! Table 3(a–d): solution sizes of B-DisC, G-DisC, L-Gr-G-DisC,
+//! L-Wh-G-DisC and G-C over the paper's radius sweeps on all four
+//! workloads.
+
+use disc_core::Heuristic;
+use disc_datasets::Workload;
+
+use crate::scale::Scale;
+use crate::table::Table;
+
+/// Runs the experiment, one table per workload (paper sub-tables a–d).
+pub fn run(scale: Scale) -> Vec<Table> {
+    Workload::ALL
+        .iter()
+        .map(|&w| {
+            let data = scale.dataset(w);
+            let tree = scale.tree(&data);
+            let radii = scale.radii(w);
+            let mut columns = vec!["heuristic".to_string()];
+            columns.extend(radii.iter().map(|r| format!("r={r}")));
+            let mut table = Table::new(
+                format!(
+                    "Table 3 ({}): solution size — {} objects",
+                    w.name(),
+                    data.len()
+                ),
+                columns,
+            );
+            for (name, h) in Heuristic::table3_rows() {
+                let mut row = vec![name];
+                for &r in &radii {
+                    row.push(h.run(&tree, r).size().to_string());
+                }
+                table.push_row(row);
+            }
+            table
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_has_paper_shape() {
+        let tables = run(Scale::Quick);
+        assert_eq!(tables.len(), 4, "one table per workload");
+        for t in &tables {
+            assert_eq!(t.rows.len(), 5, "five heuristics");
+            assert_eq!(t.columns.len(), 4, "label + three quick radii");
+        }
+    }
+
+    #[test]
+    fn sizes_decrease_with_radius_and_greedy_beats_basic() {
+        let tables = run(Scale::Quick);
+        for t in &tables {
+            for row in &t.rows {
+                let sizes: Vec<usize> = row[1..].iter().map(|c| c.parse().unwrap()).collect();
+                // Monotone decrease over the radius sweep.
+                for w in sizes.windows(2) {
+                    assert!(w[0] >= w[1], "{}: {row:?}", t.title);
+                }
+            }
+            // G-DisC row (index 1) never exceeds B-DisC (index 0).
+            let basic: usize = t.rows[0][1].parse().unwrap();
+            let greedy: usize = t.rows[1][1].parse().unwrap();
+            assert!(greedy <= basic, "{}", t.title);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (Section 6).
+//!
+//! Each experiment lives in [`experiments`] and maps one-to-one onto a
+//! paper artefact (see DESIGN.md §5 for the full index):
+//!
+//! | id         | paper artefact                                        |
+//! |------------|-------------------------------------------------------|
+//! | `table3`   | Table 3(a–d): solution sizes per heuristic            |
+//! | `fig7`     | Figure 7: node accesses, basic/greedy/G-C ± pruning   |
+//! | `fig8`     | Figure 8: node accesses, pruned greedy variants       |
+//! | `fig9`     | Figure 9: cardinality & dimensionality scaling        |
+//! | `fig10`    | Figure 10: fat-factor (splitting policies)            |
+//! | `fig11_13` | Figures 11–13: zooming-in (size, cost, Jaccard)       |
+//! | `fig14_16` | Figures 14–16: zooming-out (size, cost, Jaccard)      |
+//! | `fig6`     | Figure 6: qualitative model comparison                |
+//! | `capacity` | §6: node capacity 25→100                              |
+//! | `bottomup` | §6: bottom-up vs top-down range queries               |
+//! | `fastc`    | §6: Fast-C vs Greedy-C                                |
+//! | `lazy_ablation` | ablation: the Lazy update-radius factor          |
+//! | `lemma7`   | Lemma 7: empirical λ*/λ ratios                        |
+//!
+//! Run everything with `cargo run --release -p disc-eval --bin
+//! run_experiments`, or a subset with `-- table3 fig7`; add `--quick` for
+//! a down-scaled smoke run. Results render as ASCII tables and can be
+//! exported as CSV.
+
+pub mod registry;
+pub mod scale;
+pub mod table;
+
+pub mod experiments;
+
+pub use registry::{all_experiments, Experiment};
+pub use scale::Scale;
+pub use table::Table;

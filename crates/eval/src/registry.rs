@@ -1,0 +1,117 @@
+//! The experiment registry: id → runnable experiment.
+
+use crate::experiments;
+use crate::scale::Scale;
+use crate::table::Table;
+
+/// A named, runnable experiment.
+#[derive(Clone, Copy)]
+pub struct Experiment {
+    /// Registry id (e.g. `"table3"`).
+    pub id: &'static str,
+    /// One-line description referencing the paper artefact.
+    pub title: &'static str,
+    /// Entry point.
+    pub run: fn(Scale) -> Vec<Table>,
+}
+
+/// All experiments in paper order.
+pub fn all_experiments() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "table3",
+            title: "Table 3(a-d): solution sizes per heuristic",
+            run: experiments::table3::run,
+        },
+        Experiment {
+            id: "fig7",
+            title: "Figure 7(a-d): node accesses with and without pruning",
+            run: experiments::fig7::run,
+        },
+        Experiment {
+            id: "fig8",
+            title: "Figure 8(a-d): node accesses of pruned greedy variants",
+            run: experiments::fig8::run,
+        },
+        Experiment {
+            id: "fig9",
+            title: "Figure 9(a-d): cardinality and dimensionality scaling",
+            run: experiments::fig9::run,
+        },
+        Experiment {
+            id: "fig10",
+            title: "Figure 10(a-b): fat-factor / splitting policies",
+            run: experiments::fig10::run,
+        },
+        Experiment {
+            id: "fig11_13",
+            title: "Figures 11-13: zooming-in (size, cost, Jaccard)",
+            run: experiments::fig11_13::run,
+        },
+        Experiment {
+            id: "fig14_16",
+            title: "Figures 14-16: zooming-out (size, cost, Jaccard)",
+            run: experiments::fig14_16::run,
+        },
+        Experiment {
+            id: "fig6",
+            title: "Figure 6: qualitative model comparison",
+            run: experiments::fig6::run,
+        },
+        Experiment {
+            id: "capacity",
+            title: "Section 6: node capacity sweep",
+            run: experiments::capacity::run,
+        },
+        Experiment {
+            id: "bottomup",
+            title: "Section 6: top-down vs bottom-up range queries",
+            run: experiments::bottomup::run,
+        },
+        Experiment {
+            id: "fastc",
+            title: "Section 6: Greedy-C vs Fast-C",
+            run: experiments::fastc::run,
+        },
+        Experiment {
+            id: "lazy_ablation",
+            title: "Ablation: lazy update-radius factor",
+            run: experiments::lazy_ablation::run,
+        },
+        Experiment {
+            id: "lemma7",
+            title: "Lemma 7: empirical MaxMin quality ratio",
+            run: experiments::lemma7::run,
+        },
+    ]
+}
+
+/// Looks an experiment up by id.
+pub fn find(id: &str) -> Option<Experiment> {
+    all_experiments().into_iter().find(|e| e.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_experiments_registered() {
+        assert_eq!(all_experiments().len(), 13);
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        assert!(find("table3").is_some());
+        assert!(find("fig10").is_some());
+        assert!(find("nope").is_none());
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mut ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 13);
+    }
+}

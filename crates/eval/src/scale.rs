@@ -1,0 +1,111 @@
+//! Experiment scaling: full paper-scale runs vs a quick smoke scale used
+//! by unit tests and `--quick` invocations.
+
+use disc_datasets::{synthetic, Workload};
+use disc_metric::Dataset;
+use disc_mtree::{MTree, MTreeConfig};
+
+/// Seed used for all synthetic paper-scale datasets (one fixed draw, as
+/// in the paper's single-dataset evaluation).
+pub const EVAL_SEED: u64 = 2012;
+
+/// Workload scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-scale (Table 2 defaults: 10,000 synthetic objects, full
+    /// radius sweeps).
+    Full,
+    /// Down-scaled datasets and trimmed sweeps for fast smoke runs and
+    /// unit tests.
+    Quick,
+}
+
+impl Scale {
+    /// Materialises a workload at this scale.
+    pub fn dataset(&self, w: Workload) -> Dataset {
+        match (self, w) {
+            (Scale::Full, w) => w.build(EVAL_SEED),
+            (Scale::Quick, Workload::Uniform) => synthetic::uniform(1_200, 2, EVAL_SEED),
+            (Scale::Quick, Workload::Clustered) => synthetic::clustered(1_200, 2, 8, EVAL_SEED),
+            (Scale::Quick, Workload::Cities) => {
+                // Every fourth city keeps the geography but shrinks the
+                // O(n·queries) work.
+                let full = Workload::Cities.build(EVAL_SEED);
+                let ids: Vec<usize> = (0..full.len()).step_by(4).collect();
+                full.restrict(&ids).0
+            }
+            (Scale::Quick, Workload::Cameras) => Workload::Cameras.build(EVAL_SEED),
+        }
+    }
+
+    /// Radius sweep for a workload at this scale (paper sweep for
+    /// [`Scale::Full`], a three-point subset for [`Scale::Quick`]).
+    pub fn radii(&self, w: Workload) -> Vec<f64> {
+        let full = w.paper_radii();
+        match self {
+            Scale::Full => full,
+            Scale::Quick => {
+                let n = full.len();
+                vec![full[0], full[n / 2], full[n - 1]]
+            }
+        }
+    }
+
+    /// Zooming sweep for a workload at this scale.
+    pub fn zoom_radii(&self, w: Workload) -> Vec<f64> {
+        let full = w.zoom_radii();
+        match self {
+            Scale::Full => full,
+            Scale::Quick => {
+                let n = full.len();
+                vec![full[0], full[n / 2], full[n - 1]]
+            }
+        }
+    }
+
+    /// Builds the default M-tree (Table 2: capacity 50, MinOverlap) over
+    /// a dataset and clears the construction cost from the access
+    /// counter.
+    pub fn tree<'a>(&self, data: &'a Dataset) -> MTree<'a> {
+        let tree = MTree::build(data, MTreeConfig::default());
+        tree.reset_node_accesses();
+        tree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_datasets_are_smaller() {
+        for w in [Workload::Uniform, Workload::Clustered, Workload::Cities] {
+            assert!(
+                Scale::Quick.dataset(w).len() < Workload::build(&w, EVAL_SEED).len(),
+                "{w:?}"
+            );
+        }
+        // Cameras is already tiny and stays as-is.
+        assert_eq!(Scale::Quick.dataset(Workload::Cameras).len(), 579);
+    }
+
+    #[test]
+    fn quick_radii_are_a_subset_of_the_paper_sweep() {
+        for w in Workload::ALL {
+            let quick = Scale::Quick.radii(w);
+            let full = Scale::Full.radii(w);
+            assert_eq!(quick.len(), 3);
+            for r in quick {
+                assert!(full.contains(&r));
+            }
+        }
+    }
+
+    #[test]
+    fn tree_builder_resets_accesses() {
+        let data = Scale::Quick.dataset(Workload::Cameras);
+        let tree = Scale::Quick.tree(&data);
+        assert_eq!(tree.node_accesses(), 0);
+        assert_eq!(tree.config().capacity, 50);
+    }
+}

@@ -1,0 +1,163 @@
+//! Tabular experiment output: ASCII rendering and CSV export.
+
+/// A rectangular result table with a title and column headers.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Display title, e.g. `"Table 3(a): Uniform (2D - 10000 objects)"`.
+    pub title: String,
+    /// Column headers; the first column usually labels the row.
+    pub columns: Vec<String>,
+    /// Rows of cells; each row must have `columns.len()` entries.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, columns: Vec<String>) -> Self {
+        Self {
+            title: title.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width must match the header"
+        );
+        self.rows.push(row);
+    }
+
+    /// Renders the table as aligned ASCII text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.columns, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Exports the table as CSV (headers first; quotes only when needed).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &String| -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.clone()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .columns
+                .iter()
+                .map(esc)
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(esc).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with sensible precision for table cells.
+pub fn fmt_f64(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 100.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 1.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(
+            "demo",
+            vec!["heuristic".into(), "r=0.1".into(), "r=0.2".into()],
+        );
+        t.push_row(vec!["B-DisC".into(), "120".into(), "60".into()]);
+        t.push_row(vec!["G-DisC".into(), "100".into(), "51".into()]);
+        t
+    }
+
+    #[test]
+    fn renders_aligned_ascii() {
+        let s = sample().render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("B-DisC"));
+        // All data lines equally wide.
+        let lines: Vec<&str> = s.lines().skip(1).collect();
+        assert_eq!(lines[1].len(), lines[2].len());
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "heuristic,r=0.1,r=0.2");
+        assert_eq!(lines[2], "G-DisC,100,51");
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new("esc", vec!["a".into(), "b".into()]);
+        t.push_row(vec!["x,y".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = sample();
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(1234.6), "1235");
+        assert_eq!(fmt_f64(7.2512), "7.25");
+        assert_eq!(fmt_f64(0.012345), "0.0123");
+    }
+}

@@ -1,0 +1,152 @@
+//! The graph representation `G_{P,r}` of Section 2.2: one vertex per
+//! object, an edge whenever two objects are within distance `r`.
+
+use disc_metric::{Dataset, ObjId};
+
+/// Undirected graph over the objects of a dataset, with an edge `(i, j)`
+/// iff `dist(i, j) ≤ r` and `i ≠ j`. Adjacency lists are sorted by id.
+#[derive(Clone, Debug)]
+pub struct UnitDiskGraph {
+    radius: f64,
+    adj: Vec<Vec<ObjId>>,
+}
+
+impl UnitDiskGraph {
+    /// Materialises `G_{P,r}` by examining all pairs (O(n²); intended for
+    /// validation workloads and moderate result sizes).
+    pub fn build(data: &Dataset, radius: f64) -> Self {
+        assert!(radius >= 0.0, "radius must be non-negative");
+        let n = data.len();
+        let mut adj = vec![Vec::new(); n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if data.dist(i, j) <= radius {
+                    adj[i].push(j);
+                    adj[j].push(i);
+                }
+            }
+        }
+        Self { radius, adj }
+    }
+
+    /// The radius the graph was built for.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Whether the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Neighbours of `v` (the open neighbourhood `N_r(v)`), sorted by id.
+    pub fn neighbors(&self, v: ObjId) -> &[ObjId] {
+        &self.adj[v]
+    }
+
+    /// Degree of `v` (`|N_r(v)|`).
+    pub fn degree(&self, v: ObjId) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Maximum degree `Δ`, the Theorem 2 parameter.
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Whether `u` and `v` are adjacent (binary search on the sorted
+    /// adjacency list).
+    pub fn adjacent(&self, u: ObjId, v: ObjId) -> bool {
+        self.adj[u].binary_search(&v).is_ok()
+    }
+
+    /// Vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = ObjId> + '_ {
+        0..self.adj.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disc_metric::{Metric, Point};
+
+    /// The Figure 3 configuration of the paper: seven objects forming the
+    /// depicted graph (v1..v7 as ids 0..6). Edges: (v1,v2), (v2,v3),
+    /// (v3,v4), (v4,v5), (v5,v6), (v5,v7), (v6,v7).
+    pub(crate) fn figure3() -> Dataset {
+        // Coordinates engineered so that exactly the listed pairs are
+        // within distance 1.0.
+        Dataset::new(
+            "figure3",
+            Metric::Euclidean,
+            vec![
+                Point::new2(0.0, 0.0),  // v1
+                Point::new2(0.9, 0.0),  // v2
+                Point::new2(1.8, 0.0),  // v3
+                Point::new2(2.7, 0.0),  // v4
+                Point::new2(3.6, 0.0),  // v5
+                Point::new2(4.2, 0.6),  // v6
+                Point::new2(4.2, -0.3), // v7
+            ],
+        )
+    }
+
+    #[test]
+    fn figure3_edges() {
+        let g = UnitDiskGraph::build(&figure3(), 1.0);
+        assert_eq!(g.len(), 7);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(2), &[1, 3]);
+        assert_eq!(g.neighbors(3), &[2, 4]);
+        assert_eq!(g.neighbors(4), &[3, 5, 6]);
+        assert_eq!(g.neighbors(5), &[4, 6]);
+        assert_eq!(g.neighbors(6), &[4, 5]);
+        assert_eq!(g.edge_count(), 7);
+        assert_eq!(g.max_degree(), 3);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let g = UnitDiskGraph::build(&figure3(), 1.0);
+        for u in g.vertices() {
+            for v in g.vertices() {
+                assert_eq!(g.adjacent(u, v), g.adjacent(v, u));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_radius_yields_no_edges_for_distinct_points() {
+        let g = UnitDiskGraph::build(&figure3(), 0.0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn large_radius_yields_complete_graph() {
+        let data = figure3();
+        let g = UnitDiskGraph::build(&data, 100.0);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), data.len() - 1);
+        }
+    }
+
+    #[test]
+    fn radius_accessor() {
+        let g = UnitDiskGraph::build(&figure3(), 0.5);
+        assert_eq!(g.radius(), 0.5);
+        assert!(!g.is_empty());
+    }
+}

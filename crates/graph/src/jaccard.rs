@@ -1,0 +1,88 @@
+//! Jaccard distance between solutions.
+//!
+//! The zooming experiments (Figures 13 and 16) compare an adapted solution
+//! `S^{r'}` against the previously shown solution `S^r` via
+//! `J(A, B) = 1 − |A ∩ B| / |A ∪ B|`: the smaller the distance, the more
+//! of the already-seen result the user keeps after zooming.
+
+use std::collections::HashSet;
+
+use disc_metric::ObjId;
+
+/// Jaccard distance between two object sets. Both empty → 0.
+pub fn jaccard_distance(a: &[ObjId], b: &[ObjId]) -> f64 {
+    let sa: HashSet<ObjId> = a.iter().copied().collect();
+    let sb: HashSet<ObjId> = b.iter().copied().collect();
+    let union = sa.union(&sb).count();
+    if union == 0 {
+        return 0.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    1.0 - inter as f64 / union as f64
+}
+
+/// Jaccard *similarity* (`1 − distance`), for callers that report overlap.
+pub fn jaccard_similarity(a: &[ObjId], b: &[ObjId]) -> f64 {
+    1.0 - jaccard_distance(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_sets_have_zero_distance() {
+        assert_eq!(jaccard_distance(&[1, 2, 3], &[3, 2, 1]), 0.0);
+    }
+
+    #[test]
+    fn disjoint_sets_have_distance_one() {
+        assert_eq!(jaccard_distance(&[1, 2], &[3, 4]), 1.0);
+    }
+
+    #[test]
+    fn both_empty_is_zero() {
+        assert_eq!(jaccard_distance(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn half_overlap() {
+        // |A ∩ B| = 1, |A ∪ B| = 3.
+        let d = jaccard_distance(&[1, 2], &[2, 3]);
+        assert!((d - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicates_are_ignored() {
+        assert_eq!(jaccard_distance(&[1, 1, 2], &[2, 1]), 0.0);
+    }
+
+    #[test]
+    fn similarity_complements_distance() {
+        let (a, b) = ([1, 2, 3, 4], [3, 4, 5]);
+        assert!((jaccard_similarity(&a, &b) + jaccard_distance(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn distance_is_a_metric_on_sets(
+            a in prop::collection::hash_set(0usize..40, 0..20),
+            b in prop::collection::hash_set(0usize..40, 0..20),
+            c in prop::collection::hash_set(0usize..40, 0..20),
+        ) {
+            let av: Vec<usize> = a.iter().copied().collect();
+            let bv: Vec<usize> = b.iter().copied().collect();
+            let cv: Vec<usize> = c.iter().copied().collect();
+            let dab = jaccard_distance(&av, &bv);
+            let dba = jaccard_distance(&bv, &av);
+            let dac = jaccard_distance(&av, &cv);
+            let dcb = jaccard_distance(&cv, &bv);
+            prop_assert!((0.0..=1.0).contains(&dab));
+            prop_assert!((dab - dba).abs() < 1e-12);
+            prop_assert_eq!(jaccard_distance(&av, &av), 0.0);
+            // The Jaccard distance satisfies the triangle inequality.
+            prop_assert!(dab <= dac + dcb + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Unit-disk graph substrate for DisC diversity.
+//!
+//! Section 2.2 of the paper formalises the Minimum r-DisC Diverse Subset
+//! Problem as the **Minimum Independent Dominating Set** problem on the
+//! graph `G_{P,r}` that connects two objects iff they are within distance
+//! `r` (a unit-disk graph under the Euclidean metric). This crate builds
+//! that graph view and provides:
+//!
+//! * [`UnitDiskGraph`] — adjacency lists materialised from a
+//!   [`disc_metric::Dataset`] and a radius,
+//! * [`sets`] — the coverage/dominance and dissimilarity/independence
+//!   predicates of Definition 1,
+//! * [`exact`] — an exact branch-and-bound solver for the minimum
+//!   independent dominating set, tractable for the small instances tests
+//!   use to validate the Theorem 1/2 approximation bounds,
+//! * [`mod@reference`] — index-free reference implementations of Basic-DisC,
+//!   Greedy-DisC and Greedy-C with the same deterministic tie-breaking as
+//!   the M-tree implementations in `disc-core`, used for cross-validation,
+//! * [`jaccard`] — the Jaccard distance between solutions, the similarity
+//!   measure of the zooming experiments (Figures 13 and 16).
+
+pub mod exact;
+pub mod graph;
+pub mod jaccard;
+pub mod reference;
+pub mod sets;
+
+pub use exact::minimum_independent_dominating_set;
+pub use graph::UnitDiskGraph;
+pub use jaccard::jaccard_distance;
+pub use sets::{is_dominating, is_independent, is_independent_dominating};

@@ -1,0 +1,288 @@
+//! Index-free reference implementations of the paper's heuristics.
+//!
+//! These operate directly on the materialised [`UnitDiskGraph`] and use
+//! the same deterministic tie-breaking as the M-tree implementations in
+//! `disc-core` (largest white neighbourhood first, smallest id on ties),
+//! so the integration tests can assert *identical* solutions between the
+//! two implementations — a strong cross-validation of the much more
+//! intricate index-based code.
+
+use disc_metric::ObjId;
+
+use crate::graph::UnitDiskGraph;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum C {
+    White,
+    Grey,
+    Black,
+}
+
+/// Basic-DisC (Section 2.3): process objects in the given order; every
+/// still-white object is selected and its neighbours greyed. The result is
+/// a maximal independent set, hence an r-DisC diverse subset (Lemma 1).
+pub fn basic_disc_ref(g: &UnitDiskGraph, order: &[ObjId]) -> Vec<ObjId> {
+    assert_eq!(order.len(), g.len(), "order must cover every vertex");
+    let mut color = vec![C::White; g.len()];
+    let mut solution = Vec::new();
+    for &v in order {
+        if color[v] == C::White {
+            color[v] = C::Black;
+            solution.push(v);
+            for &u in g.neighbors(v) {
+                if color[u] == C::White {
+                    color[u] = C::Grey;
+                }
+            }
+        }
+    }
+    solution
+}
+
+/// Greedy-DisC (Algorithm 1): repeatedly select the white object with the
+/// largest number of white neighbours (ties to the smallest id), colour it
+/// black and its white neighbours grey.
+pub fn greedy_disc_ref(g: &UnitDiskGraph) -> Vec<ObjId> {
+    let n = g.len();
+    let mut color = vec![C::White; n];
+    // |N^W_r(v)| for every v; exact maintenance.
+    let mut white_nb: Vec<usize> = (0..n).map(|v| g.degree(v)).collect();
+    let mut remaining_white = n;
+    let mut solution = Vec::new();
+    while remaining_white > 0 {
+        // Select the white object with the largest white neighbourhood.
+        let pick = (0..n)
+            .filter(|&v| color[v] == C::White)
+            .max_by(|&a, &b| white_nb[a].cmp(&white_nb[b]).then(b.cmp(&a)))
+            .expect("white objects remain");
+        color[pick] = C::Black;
+        remaining_white -= 1;
+        for &u in g.neighbors(pick) {
+            if color[u] == C::White {
+                white_nb[u] -= 1; // pick is no longer white
+            }
+        }
+        // Grey the white neighbours, updating their neighbours' counts.
+        let newly_grey: Vec<ObjId> = g
+            .neighbors(pick)
+            .iter()
+            .copied()
+            .filter(|&u| color[u] == C::White)
+            .collect();
+        for &u in &newly_grey {
+            color[u] = C::Grey;
+            remaining_white -= 1;
+            for &w in g.neighbors(u) {
+                if color[w] == C::White {
+                    white_nb[w] -= 1;
+                }
+            }
+        }
+        solution.push(pick);
+    }
+    solution
+}
+
+/// Greedy-C (Section 2.3): like Greedy-DisC but the candidate pool also
+/// contains grey objects, so the selection maximises the number of newly
+/// covered objects even when the best candidate is already covered. The
+/// result is an r-C diverse subset (covering, not necessarily
+/// independent).
+///
+/// Selection key: white neighbours, plus one if the candidate itself is
+/// still white (selecting a white object also covers the object itself —
+/// without this term the greedy loop could stall on isolated white
+/// objects).
+pub fn greedy_c_ref(g: &UnitDiskGraph) -> Vec<ObjId> {
+    let n = g.len();
+    let mut color = vec![C::White; n];
+    let mut white_nb: Vec<usize> = (0..n).map(|v| g.degree(v)).collect();
+    let mut remaining_white = n;
+    let mut solution = Vec::new();
+    while remaining_white > 0 {
+        let gain = |v: usize, color: &[C], white_nb: &[usize]| {
+            white_nb[v] + usize::from(color[v] == C::White)
+        };
+        let pick = (0..n)
+            .filter(|&v| color[v] != C::Black)
+            .max_by(|&a, &b| {
+                gain(a, &color, &white_nb)
+                    .cmp(&gain(b, &color, &white_nb))
+                    .then(b.cmp(&a))
+            })
+            .expect("white objects remain, so candidates exist");
+        if color[pick] == C::White {
+            remaining_white -= 1;
+            // Grey objects remain candidates in Greedy-C, so their counts
+            // must be maintained too (unlike Greedy-DisC).
+            for &u in g.neighbors(pick) {
+                white_nb[u] = white_nb[u].saturating_sub(usize::from(color[u] != C::Black));
+            }
+        }
+        color[pick] = C::Black;
+        let newly_grey: Vec<ObjId> = g
+            .neighbors(pick)
+            .iter()
+            .copied()
+            .filter(|&u| color[u] == C::White)
+            .collect();
+        for &u in &newly_grey {
+            color[u] = C::Grey;
+            remaining_white -= 1;
+        }
+        for &u in &newly_grey {
+            for &w in g.neighbors(u) {
+                if color[w] != C::Black {
+                    white_nb[w] -= 1;
+                }
+            }
+        }
+        solution.push(pick);
+    }
+    solution
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sets::{is_dominating, is_independent, is_independent_dominating};
+    use disc_metric::{Dataset, Metric, Point};
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, RngExt as _, SeedableRng};
+
+    fn random_data(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Dataset::new(
+            "rnd",
+            Metric::Euclidean,
+            (0..n)
+                .map(|_| Point::new2(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn basic_disc_produces_independent_dominating_set() {
+        let data = random_data(80, 1);
+        let g = UnitDiskGraph::build(&data, 0.2);
+        let order: Vec<usize> = (0..80).collect();
+        let s = basic_disc_ref(&g, &order);
+        assert!(is_independent_dominating(&g, &s));
+    }
+
+    #[test]
+    fn basic_disc_respects_order() {
+        let data = random_data(50, 2);
+        let g = UnitDiskGraph::build(&data, 0.15);
+        let forward: Vec<usize> = (0..50).collect();
+        let backward: Vec<usize> = (0..50).rev().collect();
+        let a = basic_disc_ref(&g, &forward);
+        let b = basic_disc_ref(&g, &backward);
+        // First element of each must be the first of its order.
+        assert_eq!(a[0], 0);
+        assert_eq!(b[0], 49);
+    }
+
+    #[test]
+    fn greedy_disc_first_pick_has_max_degree() {
+        let data = random_data(60, 3);
+        let g = UnitDiskGraph::build(&data, 0.25);
+        let s = greedy_disc_ref(&g);
+        let max_deg = g.max_degree();
+        assert_eq!(g.degree(s[0]), max_deg);
+        assert!(is_independent_dominating(&g, &s));
+    }
+
+    #[test]
+    fn greedy_ties_break_to_smallest_id() {
+        // Two isolated vertices: both degree 0; greedy must pick id 0
+        // first.
+        let data = Dataset::new(
+            "iso",
+            Metric::Euclidean,
+            vec![Point::new2(0.0, 0.0), Point::new2(1.0, 1.0)],
+        );
+        let g = UnitDiskGraph::build(&data, 0.1);
+        let s = greedy_disc_ref(&g);
+        assert_eq!(s, vec![0, 1]);
+    }
+
+    #[test]
+    fn greedy_c_covers_everything() {
+        let data = random_data(70, 4);
+        let g = UnitDiskGraph::build(&data, 0.2);
+        let s = greedy_c_ref(&g);
+        assert!(is_dominating(&g, &s));
+    }
+
+    #[test]
+    fn greedy_c_terminates_on_isolated_vertices() {
+        let data = Dataset::new(
+            "iso3",
+            Metric::Euclidean,
+            vec![
+                Point::new2(0.0, 0.0),
+                Point::new2(5.0, 0.0),
+                Point::new2(0.0, 5.0),
+            ],
+        );
+        let g = UnitDiskGraph::build(&data, 0.5);
+        let s = greedy_c_ref(&g);
+        assert_eq!(s.len(), 3);
+        assert!(is_dominating(&g, &s));
+    }
+
+    #[test]
+    fn greedy_c_can_beat_independence_constrained_greedy() {
+        // Figure 4 shape (double star with adjacent hubs): Greedy-C may
+        // select the second hub even though it is grey, reaching coverage
+        // with 2 objects where DisC needs 3.
+        let data = Dataset::new(
+            "fig4",
+            Metric::Euclidean,
+            vec![
+                Point::new2(0.2, 0.0),
+                Point::new2(1.0, 0.0),
+                Point::new2(1.2, 0.9),
+                Point::new2(2.8, 0.3),
+                Point::new2(2.0, 0.0),
+                Point::new2(2.2, -0.9),
+            ],
+        );
+        let g = UnitDiskGraph::build(&data, 1.0);
+        let c = greedy_c_ref(&g);
+        let d = greedy_disc_ref(&g);
+        assert!(is_dominating(&g, &c));
+        assert!(is_independent_dominating(&g, &d));
+        assert!(c.len() <= d.len(), "C {c:?} vs DisC {d:?}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        /// Every heuristic returns a covering set; the DisC ones are also
+        /// independent; and Theorem 1 holds relative to Basic-DisC in any
+        /// order (both are maximal independent sets, so each is at most
+        /// B times the other's size).
+        #[test]
+        fn heuristics_valid_on_random_inputs(seed in 0u64..5_000, r in 0.05..0.6f64, n in 5usize..60) {
+            let data = random_data(n, seed);
+            let g = UnitDiskGraph::build(&data, r);
+            let order: Vec<usize> = (0..n).collect();
+
+            let basic = basic_disc_ref(&g, &order);
+            prop_assert!(is_independent_dominating(&g, &basic));
+
+            let greedy = greedy_disc_ref(&g);
+            prop_assert!(is_independent_dominating(&g, &greedy));
+            prop_assert!(is_independent(&g, &greedy));
+
+            let cover = greedy_c_ref(&g);
+            prop_assert!(is_dominating(&g, &cover));
+
+            // Theorem 1 with B = 5 (Euclidean, d = 2) between the two
+            // maximal independent sets.
+            prop_assert!(basic.len() <= 5 * greedy.len());
+            prop_assert!(greedy.len() <= 5 * basic.len());
+        }
+    }
+}

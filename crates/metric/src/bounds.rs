@@ -1,0 +1,227 @@
+//! Analytical bounds from the paper (Lemmas 2–4 and the d=3 remark).
+//!
+//! * `B` — the maximum number of *independent* neighbours any object can
+//!   have, which drives the Theorem 1 approximation factor
+//!   (`|S| ≤ B · |S*|`): 5 for Euclidean d=2, 7 for Manhattan d=2, 24 for
+//!   Euclidean d=3.
+//! * `NI_{r1,r2}(p)` — how many objects can lie within distance `r2` of `p`
+//!   while being pairwise more than `r1` apart (Lemma 4). This bounds the
+//!   growth of zoom-in solutions (Lemma 5(ii)) and the shrinkage of zoom-out
+//!   solutions (Lemma 6(i)).
+
+use crate::distance::Metric;
+
+/// Maximum number of pairwise-independent neighbours `B` of any object,
+/// for the metric/dimension combinations the paper proves bounds for.
+///
+/// Returns `None` when the paper gives no bound (the quantity is still
+/// finite for doubling spaces, but no constant is stated).
+pub fn max_independent_neighbors(metric: Metric, dim: usize) -> Option<u32> {
+    match (metric, dim) {
+        (Metric::Euclidean, 2) => Some(5),  // Lemma 2
+        (Metric::Manhattan, 2) => Some(7),  // Lemma 3
+        (Metric::Euclidean, 3) => Some(24), // packing remark after Lemma 3
+        _ => None,
+    }
+}
+
+/// Lemma 4 bound on `|NI_{r1,r2}(p)|` for 2-dimensional data: the number of
+/// objects at distance ≤ `r2` from `p` that are pairwise more than `r1`
+/// apart.
+///
+/// Returns `None` for metrics/dimensions without a stated bound, and for
+/// degenerate radii (`r1 <= 0` or `r2 < r1`).
+pub fn ni_bound(metric: Metric, dim: usize, r1: f64, r2: f64) -> Option<u64> {
+    if r1 <= 0.0 || r2 < r1 || dim != 2 {
+        return None;
+    }
+    match metric {
+        Metric::Euclidean => {
+            // 9 * ceil(log_beta(r2 / r1)), beta = golden ratio.
+            let beta = (1.0 + 5.0f64.sqrt()) / 2.0;
+            let ratio = r2 / r1;
+            let log = ratio.ln() / beta.ln();
+            Some(9 * (log.ceil().max(1.0) as u64))
+        }
+        Metric::Manhattan => {
+            // 4 * sum_{i=1..gamma} (2i + 1), gamma = ceil((r2 - r1) / r1).
+            let gamma = ((r2 - r1) / r1).ceil().max(1.0) as u64;
+            Some((1..=gamma).map(|i| 4 * (2 * i + 1)).sum())
+        }
+        _ => None,
+    }
+}
+
+/// Theorem 1: any DisC diverse subset is at most `B` times larger than a
+/// minimum one. Given a heuristic solution size and an optimal size, checks
+/// whether the pair respects the bound (used by property tests against the
+/// exact solver).
+pub fn respects_theorem1(metric: Metric, dim: usize, heuristic: usize, optimal: usize) -> bool {
+    match max_independent_neighbors(metric, dim) {
+        Some(b) => heuristic <= (b as usize) * optimal.max(1),
+        // No stated bound: vacuously true.
+        None => true,
+    }
+}
+
+/// Theorem 2: the size of a Greedy-C solution is at most `ln Δ` times the
+/// minimum DisC diverse subset, where `Δ` is the maximum neighbourhood size.
+/// Returns the multiplicative bound (`H(Δ+1)`, the harmonic number the proof
+/// actually derives, which is tighter than `ln Δ` for small `Δ`).
+pub fn theorem2_factor(max_degree: usize) -> f64 {
+    harmonic(max_degree + 1)
+}
+
+/// The `n`-th harmonic number `H(n) = 1 + 1/2 + ... + 1/n`.
+pub fn harmonic(n: usize) -> f64 {
+    (1..=n).map(|i| 1.0 / i as f64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{dataset::Dataset, point::Point};
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_b_values() {
+        assert_eq!(max_independent_neighbors(Metric::Euclidean, 2), Some(5));
+        assert_eq!(max_independent_neighbors(Metric::Manhattan, 2), Some(7));
+        assert_eq!(max_independent_neighbors(Metric::Euclidean, 3), Some(24));
+        assert_eq!(max_independent_neighbors(Metric::Hamming, 7), None);
+        assert_eq!(max_independent_neighbors(Metric::Euclidean, 4), None);
+    }
+
+    #[test]
+    fn ni_bound_euclidean_matches_formula() {
+        // r2/r1 = 4 => ceil(log_phi 4) = ceil(2.88) = 3 => 27.
+        assert_eq!(ni_bound(Metric::Euclidean, 2, 0.25, 1.0), Some(27));
+        // Equal radii: at least one annulus is charged.
+        assert_eq!(ni_bound(Metric::Euclidean, 2, 1.0, 1.0), Some(9));
+    }
+
+    #[test]
+    fn ni_bound_manhattan_matches_formula() {
+        // gamma = ceil((1.0 - 0.25) / 0.25) = 3 => 4*(3 + 5 + 7) = 60.
+        assert_eq!(ni_bound(Metric::Manhattan, 2, 0.25, 1.0), Some(60));
+        // gamma = 1 => 4*3 = 12.
+        assert_eq!(ni_bound(Metric::Manhattan, 2, 0.5, 1.0), Some(12));
+    }
+
+    #[test]
+    fn ni_bound_rejects_degenerate_inputs() {
+        assert_eq!(ni_bound(Metric::Euclidean, 2, 0.0, 1.0), None);
+        assert_eq!(ni_bound(Metric::Euclidean, 2, 2.0, 1.0), None);
+        assert_eq!(ni_bound(Metric::Euclidean, 3, 0.5, 1.0), None);
+        assert_eq!(ni_bound(Metric::Chebyshev, 2, 0.5, 1.0), None);
+    }
+
+    #[test]
+    fn theorem1_check() {
+        assert!(respects_theorem1(Metric::Euclidean, 2, 5, 1));
+        assert!(!respects_theorem1(Metric::Euclidean, 2, 6, 1));
+        // Unknown B: vacuous.
+        assert!(respects_theorem1(Metric::Hamming, 7, 1000, 1));
+    }
+
+    #[test]
+    fn harmonic_numbers() {
+        assert!((harmonic(1) - 1.0).abs() < 1e-12);
+        assert!((harmonic(4) - (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-12);
+        // H(n) ~ ln n + gamma.
+        let h = harmonic(10_000);
+        assert!((h - (10_000f64).ln() - 0.5772).abs() < 1e-3);
+    }
+
+    #[test]
+    fn theorem2_factor_close_to_ln_delta() {
+        let f = theorem2_factor(1000);
+        assert!(f > (1000f64).ln());
+        assert!(f < (1000f64).ln() + 1.0);
+    }
+
+    /// Empirical falsification test of Lemma 2: try to pack more than 5
+    /// pairwise-independent neighbours around a centre in Euclidean 2-D.
+    /// Every randomly generated candidate packing must obey the bound.
+    #[test]
+    fn lemma2_cannot_be_beaten_by_greedy_packing() {
+        use rand::{rngs::StdRng, RngExt as _, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        let r = 0.3;
+        for _ in 0..50 {
+            let centre = Point::new2(0.5, 0.5);
+            // Sample many points in the closed r-ball around the centre and
+            // greedily keep pairwise-independent ones.
+            let mut kept: Vec<Point> = Vec::new();
+            for _ in 0..4000 {
+                let angle = rng.random_range(0.0..std::f64::consts::TAU);
+                let rad = rng.random_range(0.0..=r);
+                let cand = Point::new2(
+                    0.5 + rad * angle.cos(),
+                    0.5 + rad * angle.sin(),
+                );
+                if Metric::Euclidean.dist(&centre, &cand) <= r
+                    && kept
+                        .iter()
+                        .all(|k| Metric::Euclidean.dist(k, &cand) > r)
+                {
+                    kept.push(cand);
+                }
+            }
+            assert!(
+                kept.len() <= 5,
+                "packed {} independent neighbours, Lemma 2 says ≤ 5",
+                kept.len()
+            );
+        }
+    }
+
+    proptest! {
+        /// NI bound is monotone in r2 (a larger annulus can only fit more
+        /// independent objects).
+        #[test]
+        fn ni_bound_monotone_in_r2(r1 in 0.01..0.5f64, extra in 0.0..2.0f64, more in 0.0..2.0f64) {
+            let r2 = r1 + extra;
+            let r3 = r2 + more;
+            for m in [Metric::Euclidean, Metric::Manhattan] {
+                let a = ni_bound(m, 2, r1, r2).unwrap();
+                let b = ni_bound(m, 2, r1, r3).unwrap();
+                prop_assert!(b >= a);
+            }
+        }
+
+        /// Random point sets in the r2-ball, thinned to be r1-independent,
+        /// never exceed the Lemma 4 bound.
+        #[test]
+        fn lemma4_holds_empirically(seed in 0u64..500) {
+            use rand::{rngs::StdRng, RngExt as _, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (r1, r2) = (0.2f64, 0.55f64);
+            for metric in [Metric::Euclidean, Metric::Manhattan] {
+                let centre = Point::new2(0.0, 0.0);
+                let mut kept: Vec<Point> = Vec::new();
+                for _ in 0..600 {
+                    let cand = Point::new2(
+                        rng.random_range(-r2..r2),
+                        rng.random_range(-r2..r2),
+                    );
+                    if metric.dist(&centre, &cand) <= r2
+                        && kept.iter().all(|k| metric.dist(k, &cand) > r1)
+                    {
+                        kept.push(cand);
+                    }
+                }
+                let bound = ni_bound(metric, 2, r1, r2).unwrap();
+                prop_assert!(
+                    (kept.len() as u64) <= bound,
+                    "{} objects exceed NI bound {} for {:?}",
+                    kept.len(), bound, metric
+                );
+            }
+        }
+    }
+
+    // Silence the unused import when proptest shuffles features.
+    #[allow(dead_code)]
+    fn _touch(_: &Dataset) {}
+}

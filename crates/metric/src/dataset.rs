@@ -1,0 +1,253 @@
+//! Datasets: an immutable point collection plus the metric it is compared
+//! under.
+//!
+//! The DisC heuristics, the M-tree and the baselines all take a `&Dataset`
+//! and address objects by [`ObjId`]. Keeping the metric inside the dataset
+//! mirrors the paper's setup, where the metric is a property of the workload
+//! (Euclidean for spatial data, Hamming for the camera catalogue).
+
+use crate::{distance::Metric, point::Point, ObjId};
+
+/// A named collection of points under a fixed metric.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    name: String,
+    metric: Metric,
+    points: Vec<Point>,
+}
+
+impl Dataset {
+    /// Creates a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or if the points disagree on
+    /// dimensionality.
+    pub fn new(name: impl Into<String>, metric: Metric, points: Vec<Point>) -> Self {
+        assert!(!points.is_empty(), "dataset must contain at least one point");
+        let dim = points[0].dim();
+        assert!(
+            points.iter().all(|p| p.dim() == dim),
+            "all points must share dimensionality"
+        );
+        Self {
+            name: name.into(),
+            metric,
+            points,
+        }
+    }
+
+    /// Dataset name (used in experiment output).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The metric objects are compared under.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the dataset is empty (never true by construction; present for
+    /// API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Dimensionality of the space.
+    pub fn dim(&self) -> usize {
+        self.points[0].dim()
+    }
+
+    /// The point with identifier `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn point(&self, id: ObjId) -> &Point {
+        &self.points[id]
+    }
+
+    /// All points, indexable by [`ObjId`].
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Distance between objects `a` and `b`.
+    #[inline]
+    pub fn dist(&self, a: ObjId, b: ObjId) -> f64 {
+        self.metric.dist(&self.points[a], &self.points[b])
+    }
+
+    /// Distance between object `a` and an arbitrary point.
+    #[inline]
+    pub fn dist_to(&self, a: ObjId, p: &Point) -> f64 {
+        self.metric.dist(&self.points[a], p)
+    }
+
+    /// Iterator over all object ids.
+    pub fn ids(&self) -> impl Iterator<Item = ObjId> + '_ {
+        0..self.points.len()
+    }
+
+    /// Rescales every coordinate into `[0, 1]` per dimension (min-max
+    /// normalisation), as the paper does for the Cities dataset. Dimensions
+    /// with zero spread map to 0.
+    pub fn normalized(&self) -> Self {
+        let dim = self.dim();
+        let mut lo = vec![f64::INFINITY; dim];
+        let mut hi = vec![f64::NEG_INFINITY; dim];
+        for p in &self.points {
+            for (d, &c) in p.coords().iter().enumerate() {
+                lo[d] = lo[d].min(c);
+                hi[d] = hi[d].max(c);
+            }
+        }
+        let points = self
+            .points
+            .iter()
+            .map(|p| {
+                Point::new(
+                    p.coords()
+                        .iter()
+                        .enumerate()
+                        .map(|(d, &c)| {
+                            let span = hi[d] - lo[d];
+                            if span > 0.0 {
+                                (c - lo[d]) / span
+                            } else {
+                                0.0
+                            }
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        Self {
+            name: self.name.clone(),
+            metric: self.metric,
+            points,
+        }
+    }
+
+    /// A sub-dataset containing exactly the given objects, preserving their
+    /// order. Returns the mapping from new ids to original ids alongside.
+    ///
+    /// Local zooming (Section 3 of the paper) operates on the neighbourhood
+    /// `N_r(p_i)` of a single object; this is the primitive it uses.
+    pub fn restrict(&self, ids: &[ObjId]) -> (Self, Vec<ObjId>) {
+        assert!(!ids.is_empty(), "restriction must keep at least one object");
+        let points = ids.iter().map(|&i| self.points[i].clone()).collect();
+        (
+            Self {
+                name: format!("{}[{} objects]", self.name, ids.len()),
+                metric: self.metric,
+                points,
+            },
+            ids.to_vec(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> Dataset {
+        Dataset::new(
+            "square",
+            Metric::Euclidean,
+            vec![
+                Point::new2(0.0, 0.0),
+                Point::new2(1.0, 0.0),
+                Point::new2(0.0, 1.0),
+                Point::new2(1.0, 1.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let d = unit_square();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.name(), "square");
+        assert_eq!(d.metric(), Metric::Euclidean);
+        assert!(!d.is_empty());
+        assert_eq!(d.ids().count(), 4);
+    }
+
+    #[test]
+    fn pairwise_distance() {
+        let d = unit_square();
+        assert!((d.dist(0, 3) - std::f64::consts::SQRT_2).abs() < 1e-12);
+        assert_eq!(d.dist(1, 1), 0.0);
+    }
+
+    #[test]
+    fn dist_to_free_point() {
+        let d = unit_square();
+        let q = Point::new2(0.0, 0.5);
+        assert!((d.dist_to(0, &q) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_maps_to_unit_range() {
+        let d = Dataset::new(
+            "raw",
+            Metric::Euclidean,
+            vec![
+                Point::new2(10.0, -5.0),
+                Point::new2(20.0, 5.0),
+                Point::new2(15.0, 0.0),
+            ],
+        )
+        .normalized();
+        assert_eq!(d.point(0).coords(), &[0.0, 0.0]);
+        assert_eq!(d.point(1).coords(), &[1.0, 1.0]);
+        assert_eq!(d.point(2).coords(), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn normalization_handles_constant_dimension() {
+        let d = Dataset::new(
+            "flat",
+            Metric::Euclidean,
+            vec![Point::new2(3.0, 1.0), Point::new2(3.0, 2.0)],
+        )
+        .normalized();
+        assert_eq!(d.point(0).coord(0), 0.0);
+        assert_eq!(d.point(1).coord(0), 0.0);
+    }
+
+    #[test]
+    fn restriction_preserves_points_and_mapping() {
+        let d = unit_square();
+        let (sub, map) = d.restrict(&[3, 1]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.point(0), d.point(3));
+        assert_eq!(sub.point(1), d.point(1));
+        assert_eq!(map, vec![3, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn rejects_empty_dataset() {
+        let _ = Dataset::new("empty", Metric::Euclidean, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "share dimensionality")]
+    fn rejects_mixed_dimensions() {
+        let _ = Dataset::new(
+            "mixed",
+            Metric::Euclidean,
+            vec![Point::new2(0.0, 0.0), Point::new(vec![1.0, 2.0, 3.0])],
+        );
+    }
+}

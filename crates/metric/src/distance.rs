@@ -1,0 +1,215 @@
+//! Distance metrics.
+//!
+//! The paper uses the Euclidean distance for the synthetic and Cities
+//! workloads and the Hamming distance for the categorical Cameras workload
+//! (Section 6); Manhattan appears in the analytical bounds (Lemma 3 and
+//! Lemma 4(ii)). Chebyshev is included because it is the natural third
+//! Minkowski companion and exercises metric-genericity in tests.
+//!
+//! All four are genuine metrics (non-negative, symmetric, zero iff the
+//! points coincide over the compared representation, triangle inequality),
+//! which the M-tree requires for correctness of its covering-radius pruning.
+
+use crate::point::Point;
+
+/// A distance metric over [`Point`]s.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// Straight-line (L2) distance.
+    Euclidean,
+    /// City-block (L1) distance.
+    Manhattan,
+    /// Maximum per-coordinate (L∞) distance.
+    Chebyshev,
+    /// Number of coordinates on which the two points differ. Intended for
+    /// categorical codes; equality is exact.
+    Hamming,
+}
+
+impl Metric {
+    /// Distance between two points.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the points have different dimensionality.
+    #[inline]
+    pub fn dist(&self, a: &Point, b: &Point) -> f64 {
+        debug_assert_eq!(a.dim(), b.dim(), "dimension mismatch");
+        let (xs, ys) = (a.coords(), b.coords());
+        match self {
+            Metric::Euclidean => xs
+                .iter()
+                .zip(ys)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt(),
+            Metric::Manhattan => xs.iter().zip(ys).map(|(x, y)| (x - y).abs()).sum(),
+            Metric::Chebyshev => xs
+                .iter()
+                .zip(ys)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0, f64::max),
+            Metric::Hamming => xs.iter().zip(ys).filter(|(x, y)| x != y).count() as f64,
+        }
+    }
+
+    /// Squared-distance shortcut for Euclidean comparisons that only need
+    /// ordering (avoids the square root); falls back to `dist` squared for
+    /// the other metrics.
+    #[inline]
+    pub fn dist_cmp(&self, a: &Point, b: &Point) -> f64 {
+        match self {
+            Metric::Euclidean => a
+                .coords()
+                .iter()
+                .zip(b.coords())
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>(),
+            _ => {
+                let d = self.dist(a, b);
+                d * d
+            }
+        }
+    }
+
+    /// Whether the metric produces integral distances (true for Hamming);
+    /// the Cameras experiments sweep integer radii.
+    pub fn is_discrete(&self) -> bool {
+        matches!(self, Metric::Hamming)
+    }
+
+    /// A short lowercase name used in experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Metric::Euclidean => "euclidean",
+            Metric::Manhattan => "manhattan",
+            Metric::Chebyshev => "chebyshev",
+            Metric::Hamming => "hamming",
+        }
+    }
+
+    /// The largest possible distance between two points of dimension `dim`
+    /// whose coordinates lie in `[0, 1]` (used to pick radius sweeps).
+    pub fn max_range(&self, dim: usize) -> f64 {
+        match self {
+            Metric::Euclidean => (dim as f64).sqrt(),
+            Metric::Manhattan => dim as f64,
+            Metric::Chebyshev => 1.0,
+            Metric::Hamming => dim as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn p(coords: &[f64]) -> Point {
+        Point::new(coords.to_vec())
+    }
+
+    #[test]
+    fn euclidean_matches_pythagoras() {
+        let d = Metric::Euclidean.dist(&p(&[0.0, 0.0]), &p(&[3.0, 4.0]));
+        assert!((d - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn manhattan_sums_axis_moves() {
+        let d = Metric::Manhattan.dist(&p(&[0.0, 0.0]), &p(&[3.0, 4.0]));
+        assert!((d - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chebyshev_takes_the_max_axis() {
+        let d = Metric::Chebyshev.dist(&p(&[0.0, 0.0]), &p(&[3.0, 4.0]));
+        assert!((d - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hamming_counts_differing_attributes() {
+        let a = Point::categorical(&[1, 2, 3, 4]);
+        let b = Point::categorical(&[1, 9, 3, 0]);
+        assert_eq!(Metric::Hamming.dist(&a, &b), 2.0);
+        assert_eq!(Metric::Hamming.dist(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn discrete_flag_only_for_hamming() {
+        assert!(Metric::Hamming.is_discrete());
+        assert!(!Metric::Euclidean.is_discrete());
+        assert!(!Metric::Manhattan.is_discrete());
+        assert!(!Metric::Chebyshev.is_discrete());
+    }
+
+    #[test]
+    fn max_range_in_unit_cube() {
+        assert!((Metric::Euclidean.max_range(2) - std::f64::consts::SQRT_2).abs() < 1e-12);
+        assert_eq!(Metric::Manhattan.max_range(3), 3.0);
+        assert_eq!(Metric::Chebyshev.max_range(7), 1.0);
+        assert_eq!(Metric::Hamming.max_range(7), 7.0);
+    }
+
+    #[test]
+    fn dist_cmp_orders_like_dist() {
+        let a = p(&[0.1, 0.2]);
+        let b = p(&[0.9, 0.8]);
+        let c = p(&[0.15, 0.25]);
+        for m in [
+            Metric::Euclidean,
+            Metric::Manhattan,
+            Metric::Chebyshev,
+            Metric::Hamming,
+        ] {
+            let near = m.dist_cmp(&a, &c);
+            let far = m.dist_cmp(&a, &b);
+            assert!(near <= far, "{m:?} ordering broken");
+        }
+    }
+
+    const ALL: [Metric; 4] = [
+        Metric::Euclidean,
+        Metric::Manhattan,
+        Metric::Chebyshev,
+        Metric::Hamming,
+    ];
+
+    fn coords() -> impl Strategy<Value = Vec<f64>> {
+        prop::collection::vec(-10.0..10.0f64, 1..6)
+    }
+
+    proptest! {
+        #[test]
+        fn metric_axioms(a in coords(), b in coords(), c in coords()) {
+            // Force equal dimensionality by truncation.
+            let d = a.len().min(b.len()).min(c.len());
+            let (pa, pb, pc) = (
+                p(&a[..d]),
+                p(&b[..d]),
+                p(&c[..d]),
+            );
+            for m in ALL {
+                let dab = m.dist(&pa, &pb);
+                let dba = m.dist(&pb, &pa);
+                let dac = m.dist(&pa, &pc);
+                let dcb = m.dist(&pc, &pb);
+                prop_assert!(dab >= 0.0);
+                prop_assert!((dab - dba).abs() < 1e-12, "symmetry");
+                prop_assert_eq!(m.dist(&pa, &pa), 0.0, "identity");
+                prop_assert!(dab <= dac + dcb + 1e-9, "triangle inequality for {:?}", m);
+            }
+        }
+
+        #[test]
+        fn euclidean_never_exceeds_manhattan(a in coords(), b in coords()) {
+            let d = a.len().min(b.len());
+            let (pa, pb) = (p(&a[..d]), p(&b[..d]));
+            let e = Metric::Euclidean.dist(&pa, &pb);
+            let m = Metric::Manhattan.dist(&pa, &pb);
+            let ch = Metric::Chebyshev.dist(&pa, &pb);
+            prop_assert!(e <= m + 1e-9);
+            prop_assert!(ch <= e + 1e-9);
+        }
+    }
+}

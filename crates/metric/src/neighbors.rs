@@ -1,0 +1,125 @@
+//! Brute-force neighbourhood utilities.
+//!
+//! These are the ground-truth counterparts of the M-tree range queries:
+//! `N_r(p)` (paper Section 2.1) computed by linear scan. Tests use them to
+//! validate the index; the graph substrate uses them to materialise the
+//! unit-disk graph `G_{P,r}`.
+
+// Object ids double as array indices and query arguments here, so
+// indexed loops are the clearer idiom.
+#![allow(clippy::needless_range_loop)]
+
+use crate::{dataset::Dataset, ObjId};
+
+/// `N_r(p)`: ids of all objects within distance `r` of `center`, excluding
+/// `center` itself (the paper's open neighbourhood).
+pub fn neighbors(data: &Dataset, center: ObjId, r: f64) -> Vec<ObjId> {
+    data.ids()
+        .filter(|&j| j != center && data.dist(center, j) <= r)
+        .collect()
+}
+
+/// `N_r^+(p)`: the closed neighbourhood, i.e. `N_r(p) ∪ {p}`, in id order.
+pub fn closed_neighbors(data: &Dataset, center: ObjId, r: f64) -> Vec<ObjId> {
+    data.ids()
+        .filter(|&j| j == center || data.dist(center, j) <= r)
+        .collect()
+}
+
+/// Neighbourhood sizes `|N_r(p)|` for every object, by linear scan over all
+/// pairs (O(n²); intended for tests and small workloads).
+pub fn neighborhood_sizes(data: &Dataset, r: f64) -> Vec<usize> {
+    let n = data.len();
+    let mut sizes = vec![0usize; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if data.dist(i, j) <= r {
+                sizes[i] += 1;
+                sizes[j] += 1;
+            }
+        }
+    }
+    sizes
+}
+
+/// Maximum neighbourhood size `Δ` (the paper's Theorem 2 parameter).
+pub fn max_degree(data: &Dataset, r: f64) -> usize {
+    neighborhood_sizes(data, r).into_iter().max().unwrap_or(0)
+}
+
+/// Distance from each object to its nearest object in `subset`
+/// (`dist(p, c(p))` in the k-medoids objective of Section 4). Objects in
+/// `subset` report 0.
+pub fn dist_to_nearest(data: &Dataset, subset: &[ObjId]) -> Vec<f64> {
+    assert!(!subset.is_empty(), "subset must be non-empty");
+    data.ids()
+        .map(|i| {
+            subset
+                .iter()
+                .map(|&s| data.dist(i, s))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{distance::Metric, point::Point};
+
+    /// Five collinear points spaced 0.1 apart.
+    fn line() -> Dataset {
+        Dataset::new(
+            "line",
+            Metric::Euclidean,
+            (0..5).map(|i| Point::new2(0.1 * i as f64, 0.0)).collect(),
+        )
+    }
+
+    #[test]
+    fn open_neighborhood_excludes_center() {
+        let d = line();
+        let n = neighbors(&d, 2, 0.1 + 1e-9);
+        assert_eq!(n, vec![1, 3]);
+    }
+
+    #[test]
+    fn closed_neighborhood_includes_center() {
+        let d = line();
+        let n = closed_neighbors(&d, 2, 0.1 + 1e-9);
+        assert_eq!(n, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn radius_zero_isolates_points() {
+        let d = line();
+        assert!(neighbors(&d, 0, 0.0).is_empty());
+        assert_eq!(closed_neighbors(&d, 0, 0.0), vec![0]);
+    }
+
+    #[test]
+    fn neighborhood_sizes_match_pointwise_queries() {
+        let d = line();
+        let sizes = neighborhood_sizes(&d, 0.15);
+        for i in 0..d.len() {
+            assert_eq!(sizes[i], neighbors(&d, i, 0.15).len(), "object {i}");
+        }
+    }
+
+    #[test]
+    fn max_degree_on_the_line() {
+        let d = line();
+        // Middle point sees both sides at r=0.25 (two on each side).
+        assert_eq!(max_degree(&d, 0.25), 4);
+        assert_eq!(max_degree(&d, 0.05), 0);
+    }
+
+    #[test]
+    fn dist_to_nearest_is_zero_on_subset() {
+        let d = line();
+        let dists = dist_to_nearest(&d, &[0, 4]);
+        assert_eq!(dists[0], 0.0);
+        assert_eq!(dists[4], 0.0);
+        assert!((dists[2] - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,137 @@
+//! Points in a multi-dimensional space.
+//!
+//! A [`Point`] is a fixed-dimension vector of `f64` coordinates. Numeric
+//! datasets (Uniform, Clustered, Cities) store real coordinates in `[0, 1]`;
+//! categorical datasets (Cameras) store small integer *codes* per attribute
+//! and are compared with the Hamming metric, which only tests coordinate
+//! equality, so the shared representation loses nothing.
+
+use std::fmt;
+
+/// A point in `d`-dimensional space.
+#[derive(Clone, PartialEq)]
+pub struct Point {
+    coords: Vec<f64>,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coords` is empty or contains a non-finite value: the
+    /// M-tree and the DisC heuristics rely on distances being finite.
+    pub fn new(coords: Vec<f64>) -> Self {
+        assert!(!coords.is_empty(), "a point needs at least one dimension");
+        assert!(
+            coords.iter().all(|c| c.is_finite()),
+            "point coordinates must be finite"
+        );
+        Self { coords }
+    }
+
+    /// Creates a 2-dimensional point.
+    pub fn new2(x: f64, y: f64) -> Self {
+        Self::new(vec![x, y])
+    }
+
+    /// Creates a point whose coordinates are categorical codes.
+    pub fn categorical(codes: &[u32]) -> Self {
+        Self::new(codes.iter().map(|&c| f64::from(c)).collect())
+    }
+
+    /// Dimensionality of the point.
+    pub fn dim(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Coordinate slice.
+    pub fn coords(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// Coordinate in dimension `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.dim()`.
+    pub fn coord(&self, i: usize) -> f64 {
+        self.coords[i]
+    }
+}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Point(")?;
+        for (i, c) in self.coords.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c:.4}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<f64>> for Point {
+    fn from(coords: Vec<f64>) -> Self {
+        Self::new(coords)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Self::new2(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_reads_coordinates() {
+        let p = Point::new(vec![0.25, 0.5, 0.75]);
+        assert_eq!(p.dim(), 3);
+        assert_eq!(p.coord(0), 0.25);
+        assert_eq!(p.coords(), &[0.25, 0.5, 0.75]);
+    }
+
+    #[test]
+    fn two_dimensional_constructor() {
+        let p = Point::new2(0.1, 0.9);
+        assert_eq!(p.dim(), 2);
+        assert_eq!(p.coord(1), 0.9);
+    }
+
+    #[test]
+    fn categorical_codes_round_trip() {
+        let p = Point::categorical(&[3, 0, 7]);
+        assert_eq!(p.coords(), &[3.0, 0.0, 7.0]);
+    }
+
+    #[test]
+    fn conversion_from_tuple_and_vec() {
+        let a: Point = (0.5, 0.5).into();
+        let b: Point = vec![0.5, 0.5].into();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dimension")]
+    fn rejects_empty_point() {
+        let _ = Point::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_coordinates() {
+        let _ = Point::new(vec![0.0, f64::NAN]);
+    }
+
+    #[test]
+    fn debug_format_is_compact() {
+        let p = Point::new2(0.12345, 1.0);
+        assert_eq!(format!("{p:?}"), "Point(0.1235, 1.0000)");
+    }
+}

@@ -1,0 +1,256 @@
+//! Colour state shared between the DisC heuristics and the M-tree.
+//!
+//! The paper's algorithms colour objects **white** (unprocessed), **grey**
+//! (covered by a selected object), **black** (selected / diverse) and, in
+//! the first pass of zooming-out, **red** (previously black, pending
+//! re-examination).
+//!
+//! The Pruning Rule (Section 5) lifts colours to nodes: *"A leaf node that
+//! contains no white objects is coloured grey. When all its children become
+//! grey, an internal node is coloured grey."* We represent this with a
+//! per-node count of white objects in the subtree, maintained
+//! incrementally on every colour change — a node is grey exactly when its
+//! count reaches zero.
+
+use disc_metric::ObjId;
+
+use crate::node::NodeId;
+use crate::tree::MTree;
+
+/// Colour of an object during a DisC computation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Color {
+    /// Not yet covered by any selected object.
+    White,
+    /// Covered by a selected object, not itself selected.
+    Grey,
+    /// Selected into the diverse subset.
+    Black,
+    /// Previously black; awaiting re-examination during zooming-out.
+    Red,
+}
+
+/// Object colours plus per-node white counts for the Pruning Rule.
+#[derive(Clone, Debug)]
+pub struct ColorState {
+    colors: Vec<Color>,
+    /// Number of white objects in each node's subtree.
+    node_white: Vec<u32>,
+    /// Total number of white objects.
+    total_white: usize,
+}
+
+impl ColorState {
+    /// All objects start white; node counts reflect subtree sizes.
+    pub fn new(tree: &MTree<'_>) -> Self {
+        let n = tree.len();
+        let mut node_white = vec![0u32; tree.node_count()];
+        for id in 0..n {
+            let mut node = Some(tree.leaf_of(id));
+            while let Some(nid) = node {
+                node_white[nid] += 1;
+                node = tree.node(nid).parent;
+            }
+        }
+        Self {
+            colors: vec![Color::White; n],
+            node_white,
+            total_white: n,
+        }
+    }
+
+    /// Current colour of `object`.
+    #[inline]
+    pub fn color(&self, object: ObjId) -> Color {
+        self.colors[object]
+    }
+
+    /// Whether `object` is white.
+    #[inline]
+    pub fn is_white(&self, object: ObjId) -> bool {
+        self.colors[object] == Color::White
+    }
+
+    /// Number of white objects remaining.
+    pub fn white_count(&self) -> usize {
+        self.total_white
+    }
+
+    /// Whether any white object remains.
+    pub fn any_white(&self) -> bool {
+        self.total_white > 0
+    }
+
+    /// Whether the subtree rooted at `node` holds no white object (the
+    /// node is *grey* in the paper's sense).
+    #[inline]
+    pub fn node_is_grey(&self, node: NodeId) -> bool {
+        self.node_white[node] == 0
+    }
+
+    /// White objects in the subtree rooted at `node`.
+    pub fn node_white_count(&self, node: NodeId) -> u32 {
+        self.node_white[node]
+    }
+
+    /// Recolours `object`, maintaining the per-node white counts.
+    ///
+    /// Colour bookkeeping is metadata maintenance on nodes already touched
+    /// by the triggering query, so it does not charge node accesses.
+    pub fn set_color(&mut self, tree: &MTree<'_>, object: ObjId, new: Color) {
+        let old = self.colors[object];
+        if old == new {
+            return;
+        }
+        self.colors[object] = new;
+        let was_white = old == Color::White;
+        let is_white = new == Color::White;
+        if was_white != is_white {
+            let delta: i64 = if is_white { 1 } else { -1 };
+            self.total_white = (self.total_white as i64 + delta) as usize;
+            let mut node = Some(tree.leaf_of(object));
+            while let Some(nid) = node {
+                let c = &mut self.node_white[nid];
+                *c = (*c as i64 + delta) as u32;
+                node = tree.node(nid).parent;
+            }
+        }
+    }
+
+    /// Ids of all objects with the given colour, in id order.
+    pub fn objects_with(&self, color: Color) -> Vec<ObjId> {
+        self.colors
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c == color)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Number of objects with the given colour.
+    pub fn count(&self, color: Color) -> usize {
+        self.colors.iter().filter(|&&c| c == color).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::MTreeConfig;
+    use disc_metric::{Dataset, Metric, Point};
+    use rand::{rngs::StdRng, RngExt as _, SeedableRng};
+
+    fn data(n: usize) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(21);
+        Dataset::new(
+            "d",
+            Metric::Euclidean,
+            (0..n)
+                .map(|_| Point::new2(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn starts_all_white() {
+        let d = data(60);
+        let tree = MTree::build(&d, MTreeConfig::with_capacity(4));
+        let colors = ColorState::new(&tree);
+        assert_eq!(colors.white_count(), 60);
+        assert!(colors.any_white());
+        assert!(!colors.node_is_grey(tree.root()));
+        assert_eq!(colors.count(Color::White), 60);
+        assert_eq!(colors.objects_with(Color::Black), Vec::<ObjId>::new());
+    }
+
+    #[test]
+    fn recolouring_updates_counts() {
+        let d = data(40);
+        let tree = MTree::build(&d, MTreeConfig::with_capacity(4));
+        let mut colors = ColorState::new(&tree);
+        colors.set_color(&tree, 0, Color::Black);
+        colors.set_color(&tree, 1, Color::Grey);
+        assert_eq!(colors.white_count(), 38);
+        assert_eq!(colors.color(0), Color::Black);
+        assert_eq!(colors.color(1), Color::Grey);
+        // Grey -> Black keeps the white count unchanged.
+        colors.set_color(&tree, 1, Color::Black);
+        assert_eq!(colors.white_count(), 38);
+        // Back to white restores it.
+        colors.set_color(&tree, 1, Color::White);
+        assert_eq!(colors.white_count(), 39);
+    }
+
+    #[test]
+    fn same_colour_is_a_no_op() {
+        let d = data(10);
+        let tree = MTree::build(&d, MTreeConfig::with_capacity(4));
+        let mut colors = ColorState::new(&tree);
+        colors.set_color(&tree, 5, Color::White);
+        assert_eq!(colors.white_count(), 10);
+    }
+
+    #[test]
+    fn node_becomes_grey_when_subtree_has_no_white() {
+        let d = data(80);
+        let tree = MTree::build(&d, MTreeConfig::with_capacity(4));
+        let mut colors = ColorState::new(&tree);
+        // Grey out one whole leaf.
+        let leaf = tree.leaf_of(0);
+        let members: Vec<ObjId> = tree
+            .node(leaf)
+            .leaf_entries()
+            .iter()
+            .map(|e| e.object)
+            .collect();
+        for &o in &members {
+            colors.set_color(&tree, o, Color::Grey);
+        }
+        assert!(colors.node_is_grey(leaf));
+        assert!(!colors.node_is_grey(tree.root()));
+        // Greying everything makes the root grey.
+        for id in d.ids() {
+            colors.set_color(&tree, id, Color::Grey);
+        }
+        assert!(colors.node_is_grey(tree.root()));
+        assert!(!colors.any_white());
+    }
+
+    #[test]
+    fn node_white_counts_are_consistent_with_leaves() {
+        let d = data(100);
+        let tree = MTree::build(&d, MTreeConfig::with_capacity(6));
+        let mut colors = ColorState::new(&tree);
+        let mut rng = StdRng::seed_from_u64(5);
+        for id in d.ids() {
+            if rng.random_range(0.0..1.0) < 0.5 {
+                colors.set_color(&tree, id, Color::Grey);
+            }
+        }
+        // Root count equals the global white count.
+        assert_eq!(
+            colors.node_white_count(tree.root()) as usize,
+            colors.white_count()
+        );
+        // Each leaf count equals its white members.
+        for leaf in tree.leaves() {
+            let expect = tree
+                .node(leaf)
+                .leaf_entries()
+                .iter()
+                .filter(|e| colors.is_white(e.object))
+                .count() as u32;
+            assert_eq!(colors.node_white_count(leaf), expect);
+        }
+    }
+
+    #[test]
+    fn red_counts_as_non_white() {
+        let d = data(20);
+        let tree = MTree::build(&d, MTreeConfig::with_capacity(4));
+        let mut colors = ColorState::new(&tree);
+        colors.set_color(&tree, 3, Color::Red);
+        assert_eq!(colors.white_count(), 19);
+        assert_eq!(colors.objects_with(Color::Red), vec![3]);
+    }
+}

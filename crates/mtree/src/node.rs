@@ -1,0 +1,164 @@
+//! Node layout of the M-tree.
+//!
+//! The arena-based layout keeps every node's routing information (pivot,
+//! covering radius, distance to the parent pivot) *on the node itself*
+//! rather than duplicated in a parent entry; parents store only child ids.
+//! This removes a whole class of synchronisation bugs during splits.
+//!
+//! Access-counting note: in a disk-resident M-tree the routing information
+//! of the children is physically stored in the parent page, so scanning the
+//! children's pivots/radii while processing a node is part of *that node's*
+//! access; a child is only charged when it is itself processed. The query
+//! code in [`crate::query`] follows this accounting.
+
+use disc_metric::ObjId;
+
+/// Index of a node in the tree arena.
+pub type NodeId = usize;
+
+/// A leaf slot: the indexed object and its distance to the leaf's pivot.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LeafEntry {
+    /// The indexed object.
+    pub object: ObjId,
+    /// Cached distance from `object` to the leaf's routing pivot
+    /// (0 when the leaf is the root and has no pivot).
+    pub dist_to_pivot: f64,
+}
+
+/// Payload of a node: children ids for internal nodes, object entries for
+/// leaves.
+#[derive(Clone, Debug)]
+pub enum NodeKind {
+    /// Routing node: ids of child nodes.
+    Internal(Vec<NodeId>),
+    /// Leaf node: the indexed objects.
+    Leaf(Vec<LeafEntry>),
+}
+
+/// An M-tree node.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// Routing pivot. Every node except the root has one; the root routes
+    /// through its children directly.
+    pub pivot: Option<ObjId>,
+    /// Covering radius: upper bound on the distance from `pivot` to any
+    /// object stored in this subtree. 0 for the root (unused).
+    pub radius: f64,
+    /// Cached distance from this node's pivot to the parent node's pivot
+    /// (0 when the parent is the root).
+    pub dist_to_parent: f64,
+    /// Parent node, `None` for the root.
+    pub parent: Option<NodeId>,
+    /// Next leaf in the left-to-right chain (`None` for internal nodes and
+    /// the last leaf).
+    pub next_leaf: Option<NodeId>,
+    /// Children or objects.
+    pub kind: NodeKind,
+}
+
+impl Node {
+    /// Creates an empty leaf.
+    pub fn new_leaf(pivot: Option<ObjId>, parent: Option<NodeId>) -> Self {
+        Self {
+            pivot,
+            radius: 0.0,
+            dist_to_parent: 0.0,
+            parent,
+            next_leaf: None,
+            kind: NodeKind::Leaf(Vec::new()),
+        }
+    }
+
+    /// Creates an internal node over the given children.
+    pub fn new_internal(pivot: Option<ObjId>, parent: Option<NodeId>, children: Vec<NodeId>) -> Self {
+        Self {
+            pivot,
+            radius: 0.0,
+            dist_to_parent: 0.0,
+            parent,
+            next_leaf: None,
+            kind: NodeKind::Internal(children),
+        }
+    }
+
+    /// Whether this node is a leaf.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self.kind, NodeKind::Leaf(_))
+    }
+
+    /// Number of entries (children or objects).
+    pub fn len(&self) -> usize {
+        match &self.kind {
+            NodeKind::Internal(c) => c.len(),
+            NodeKind::Leaf(e) => e.len(),
+        }
+    }
+
+    /// Whether the node holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Leaf entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is internal.
+    pub fn leaf_entries(&self) -> &[LeafEntry] {
+        match &self.kind {
+            NodeKind::Leaf(e) => e,
+            NodeKind::Internal(_) => panic!("leaf_entries on internal node"),
+        }
+    }
+
+    /// Child node ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is a leaf.
+    pub fn children(&self) -> &[NodeId] {
+        match &self.kind {
+            NodeKind::Internal(c) => c,
+            NodeKind::Leaf(_) => panic!("children on leaf node"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_construction() {
+        let n = Node::new_leaf(Some(3), Some(0));
+        assert!(n.is_leaf());
+        assert!(n.is_empty());
+        assert_eq!(n.len(), 0);
+        assert_eq!(n.pivot, Some(3));
+        assert_eq!(n.parent, Some(0));
+        assert!(n.leaf_entries().is_empty());
+    }
+
+    #[test]
+    fn internal_construction() {
+        let n = Node::new_internal(None, None, vec![1, 2]);
+        assert!(!n.is_leaf());
+        assert_eq!(n.len(), 2);
+        assert_eq!(n.children(), &[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "children on leaf")]
+    fn children_on_leaf_panics() {
+        let n = Node::new_leaf(None, None);
+        let _ = n.children();
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf_entries on internal")]
+    fn entries_on_internal_panics() {
+        let n = Node::new_internal(None, None, vec![]);
+        let _ = n.leaf_entries();
+    }
+}

@@ -1,0 +1,391 @@
+//! Range and point queries over the M-tree, with node-access accounting
+//! and the paper's colour-based pruning.
+//!
+//! * [`MTree::range_query`] — top-down `Q(q, r)`: every object within
+//!   distance `r` of `q`.
+//! * [`MTree::range_query_pruned`] — same, but skips *grey* subtrees (the
+//!   Pruning Rule of Section 5: a subtree with no white objects cannot
+//!   contribute anything a colouring pass still needs).
+//! * [`MTree::range_query_bottom_up`] — starts at the leaf holding the
+//!   query object and climbs towards the root, exploring intersecting
+//!   sibling subtrees on the way. With `stop_at_grey`, the climb aborts at
+//!   the first grey ancestor — the Fast-C behaviour, which may miss
+//!   neighbours in distant leaves (by design).
+//! * [`MTree::point_query_accesses`] — exact-match search used by the
+//!   fat-factor computation.
+
+use disc_metric::{ObjId, Point};
+
+use crate::color::ColorState;
+use crate::node::{NodeId, NodeKind};
+use crate::tree::MTree;
+
+/// One range-query result: an object and its distance from the query.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RangeHit {
+    /// The object found within the query ball.
+    pub object: ObjId,
+    /// Its distance from the query point.
+    pub dist: f64,
+}
+
+impl MTree<'_> {
+    /// Top-down range query: all objects within distance `r` of `q`,
+    /// including the query object itself if it is indexed. Results are in
+    /// tree order (deterministic for a given tree).
+    pub fn range_query(&self, q: &Point, r: f64) -> Vec<RangeHit> {
+        let mut hits = Vec::new();
+        self.search_subtree(self.root(), q, r, None, &mut hits);
+        hits
+    }
+
+    /// Top-down range query around an indexed object.
+    pub fn range_query_obj(&self, center: ObjId, r: f64) -> Vec<RangeHit> {
+        self.range_query(self.data().point(center), r)
+    }
+
+    /// Top-down range query that skips grey subtrees (no white objects).
+    /// Objects inside visited leaves are returned regardless of their own
+    /// colour; only whole-subtree pruning applies, exactly as in the
+    /// paper's Pruning Rule.
+    pub fn range_query_pruned(&self, q: &Point, r: f64, colors: &ColorState) -> Vec<RangeHit> {
+        let mut hits = Vec::new();
+        self.search_subtree(self.root(), q, r, Some(colors), &mut hits);
+        hits
+    }
+
+    /// Pruned top-down range query around an indexed object.
+    pub fn range_query_obj_pruned(
+        &self,
+        center: ObjId,
+        r: f64,
+        colors: &ColorState,
+    ) -> Vec<RangeHit> {
+        self.range_query_pruned(self.data().point(center), r, colors)
+    }
+
+    /// Bottom-up range query around the indexed object `center`.
+    ///
+    /// Starts at the leaf holding `center`, then climbs ancestor by
+    /// ancestor, searching every sibling subtree whose ball intersects the
+    /// query ball. Visits the same objects as the top-down query.
+    ///
+    /// * `colors` + grey subtrees are skipped when `colors` is `Some`.
+    /// * `stop_at_grey` aborts the climb at the first grey ancestor (the
+    ///   Fast-C rule); this can miss neighbours whose leaves are only
+    ///   reachable through that ancestor.
+    pub fn range_query_bottom_up(
+        &self,
+        center: ObjId,
+        r: f64,
+        colors: Option<&ColorState>,
+        stop_at_grey: bool,
+    ) -> Vec<RangeHit> {
+        let q = self.data().point(center);
+        let mut hits = Vec::new();
+        let leaf = self.leaf_of(center);
+        self.touch();
+        self.scan_leaf(leaf, q, r, &mut hits);
+        let mut prev = leaf;
+        let mut cur = self.node(leaf).parent;
+        while let Some(p) = cur {
+            // The grey mark lives in the in-memory pruning metadata, so
+            // (as with grey children in the top-down search) consulting it
+            // does not charge a node access.
+            if stop_at_grey {
+                if let Some(c) = colors {
+                    if c.node_is_grey(p) {
+                        break;
+                    }
+                }
+            }
+            self.touch();
+            for &child in self.node(p).children() {
+                if child == prev {
+                    continue;
+                }
+                if let Some(c) = colors {
+                    if c.node_is_grey(child) {
+                        continue;
+                    }
+                }
+                if self.ball_intersects(child, q, r) {
+                    self.search_subtree(child, q, r, colors, &mut hits);
+                }
+            }
+            prev = p;
+            cur = self.node(p).parent;
+        }
+        hits
+    }
+
+    /// Node accesses needed to locate the indexed object `id` by an
+    /// exact-match point query (descends every subtree whose ball contains
+    /// the point). Used by the fat-factor computation; the returned count
+    /// is also added to the tree's global counter.
+    pub fn point_query_accesses(&self, id: ObjId) -> u64 {
+        let before = self.node_accesses();
+        let q = self.data().point(id);
+        let mut stack = vec![self.root()];
+        let mut found = false;
+        while let Some(node) = stack.pop() {
+            self.touch();
+            match &self.node(node).kind {
+                NodeKind::Leaf(entries) => {
+                    if entries.iter().any(|e| e.object == id) {
+                        found = true;
+                    }
+                }
+                NodeKind::Internal(children) => {
+                    for &child in children {
+                        let c = self.node(child);
+                        let pivot = c.pivot.expect("children have pivots");
+                        if self.data().dist_to(pivot, q) <= c.radius {
+                            stack.push(child);
+                        }
+                    }
+                }
+            }
+        }
+        debug_assert!(found, "indexed object must be locatable");
+        self.node_accesses() - before
+    }
+
+    /// Whether the covering ball of `node` intersects the query ball
+    /// `(q, r)`. This reads routing data stored in the parent, so it does
+    /// not charge an access for `node` itself.
+    #[inline]
+    fn ball_intersects(&self, node: NodeId, q: &Point, r: f64) -> bool {
+        let n = self.node(node);
+        match n.pivot {
+            Some(p) => self.data().dist_to(p, q) <= r + n.radius,
+            None => true,
+        }
+    }
+
+    /// Recursive top-down search of one subtree.
+    fn search_subtree(
+        &self,
+        node: NodeId,
+        q: &Point,
+        r: f64,
+        colors: Option<&ColorState>,
+        hits: &mut Vec<RangeHit>,
+    ) {
+        self.touch();
+        match &self.node(node).kind {
+            NodeKind::Leaf(_) => {
+                // Leaf already counted; scan runs on the same page.
+                self.scan_leaf_uncounted(node, q, r, hits);
+            }
+            NodeKind::Internal(children) => {
+                for &child in children {
+                    if let Some(c) = colors {
+                        if c.node_is_grey(child) {
+                            continue;
+                        }
+                    }
+                    if self.ball_intersects(child, q, r) {
+                        self.search_subtree(child, q, r, colors, hits);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Scans one leaf, charging an access.
+    fn scan_leaf(&self, leaf: NodeId, q: &Point, r: f64, hits: &mut Vec<RangeHit>) {
+        self.scan_leaf_uncounted(leaf, q, r, hits);
+    }
+
+    fn scan_leaf_uncounted(&self, leaf: NodeId, q: &Point, r: f64, hits: &mut Vec<RangeHit>) {
+        for e in self.node(leaf).leaf_entries() {
+            let d = self.data().dist_to(e.object, q);
+            if d <= r {
+                hits.push(RangeHit {
+                    object: e.object,
+                    dist: d,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::{Color, ColorState};
+    use crate::tree::MTreeConfig;
+    use disc_metric::{neighbors, Dataset, Metric};
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, RngExt as _, SeedableRng};
+
+    fn random_data(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts = (0..n)
+            .map(|_| Point::new2(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)))
+            .collect();
+        Dataset::new("random", Metric::Euclidean, pts)
+    }
+
+    fn sorted_ids(hits: &[RangeHit]) -> Vec<ObjId> {
+        let mut ids: Vec<ObjId> = hits.iter().map(|h| h.object).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    #[test]
+    fn range_query_matches_linear_scan() {
+        let data = random_data(250, 10);
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(6));
+        for center in [0usize, 17, 120, 249] {
+            for r in [0.05, 0.1, 0.3] {
+                let got = sorted_ids(&tree.range_query_obj(center, r));
+                let mut want = neighbors::closed_neighbors(&data, center, r);
+                want.sort_unstable();
+                assert_eq!(got, want, "center {center} r {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn range_query_includes_center_itself() {
+        let data = random_data(50, 11);
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(4));
+        let hits = tree.range_query_obj(25, 0.2);
+        assert!(hits.iter().any(|h| h.object == 25 && h.dist == 0.0));
+    }
+
+    #[test]
+    fn bottom_up_equals_top_down() {
+        let data = random_data(300, 12);
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(8));
+        for center in [3usize, 99, 250] {
+            for r in [0.02, 0.15, 0.5] {
+                let td = sorted_ids(&tree.range_query_obj(center, r));
+                let bu = sorted_ids(&tree.range_query_bottom_up(center, r, None, false));
+                assert_eq!(td, bu, "center {center} r {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn queries_charge_node_accesses() {
+        let data = random_data(200, 13);
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(8));
+        tree.reset_node_accesses();
+        let _ = tree.range_query_obj(0, 0.1);
+        let td = tree.reset_node_accesses();
+        assert!(td >= 2, "root plus at least one leaf, got {td}");
+        let _ = tree.range_query_bottom_up(0, 0.1, None, false);
+        let bu = tree.reset_node_accesses();
+        assert!(bu >= 2);
+    }
+
+    #[test]
+    fn pruned_query_skips_grey_subtrees() {
+        let data = random_data(400, 14);
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(6));
+        let mut colors = ColorState::new(&tree);
+        // Make the left half of the space grey.
+        for id in data.ids() {
+            if data.point(id).coord(0) < 0.5 {
+                colors.set_color(&tree, id, Color::Grey);
+            }
+        }
+        tree.reset_node_accesses();
+        let full = tree.range_query_obj(200, 0.4).len();
+        let full_cost = tree.reset_node_accesses();
+        let pruned = tree
+            .range_query_obj_pruned(200, 0.4, &colors)
+            .len();
+        let pruned_cost = tree.reset_node_accesses();
+        // Pruning may only drop objects that live in all-grey subtrees.
+        assert!(pruned <= full);
+        assert!(pruned_cost <= full_cost, "{pruned_cost} > {full_cost}");
+    }
+
+    #[test]
+    fn pruned_query_returns_all_white_objects() {
+        let data = random_data(300, 15);
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(5));
+        let mut colors = ColorState::new(&tree);
+        let mut rng = StdRng::seed_from_u64(3);
+        for id in data.ids() {
+            if rng.random_range(0.0..1.0) < 0.6 {
+                colors.set_color(&tree, id, Color::Grey);
+            }
+        }
+        for center in [10usize, 150, 299] {
+            let r = 0.25;
+            let pruned: Vec<ObjId> = tree
+                .range_query_obj_pruned(center, r, &colors)
+                .iter()
+                .map(|h| h.object)
+                .collect();
+            let mut expected_white: Vec<ObjId> = neighbors::closed_neighbors(&data, center, r)
+                .into_iter()
+                .filter(|&o| colors.color(o) == Color::White)
+                .collect();
+            expected_white.retain(|o| !pruned.contains(o));
+            assert!(
+                expected_white.is_empty(),
+                "white neighbours missed by pruned query: {expected_white:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn stop_at_grey_never_returns_more_than_full_query() {
+        let data = random_data(300, 16);
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(5));
+        let mut colors = ColorState::new(&tree);
+        for id in 0..150 {
+            colors.set_color(&tree, id, Color::Grey);
+        }
+        tree.reset_node_accesses();
+        let full = tree.range_query_bottom_up(200, 0.3, Some(&colors), false);
+        let full_cost = tree.reset_node_accesses();
+        let fast = tree.range_query_bottom_up(200, 0.3, Some(&colors), true);
+        let fast_cost = tree.reset_node_accesses();
+        assert!(fast.len() <= full.len());
+        assert!(fast_cost <= full_cost);
+    }
+
+    #[test]
+    fn point_query_finds_every_object() {
+        let data = random_data(150, 17);
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(4));
+        for id in data.ids() {
+            let cost = tree.point_query_accesses(id);
+            assert!(cost as usize >= tree.height(), "cost below tree height");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        /// Range queries agree with a linear scan for arbitrary data,
+        /// radii and node capacities.
+        #[test]
+        fn range_query_is_exact(seed in 0u64..1000, r in 0.0..0.6f64, cap in 2usize..12) {
+            let data = random_data(120, seed);
+            let tree = MTree::build(&data, MTreeConfig::with_capacity(cap));
+            let center = (seed as usize) % data.len();
+            let got = sorted_ids(&tree.range_query_obj(center, r));
+            let mut want = neighbors::closed_neighbors(&data, center, r);
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+
+        /// Bottom-up and top-down agree for arbitrary parameters.
+        #[test]
+        fn bottom_up_is_exact(seed in 0u64..1000, r in 0.0..0.6f64, cap in 2usize..12) {
+            let data = random_data(100, seed);
+            let tree = MTree::build(&data, MTreeConfig::with_capacity(cap));
+            let center = (seed as usize) % data.len();
+            let td = sorted_ids(&tree.range_query_obj(center, r));
+            let bu = sorted_ids(&tree.range_query_bottom_up(center, r, None, false));
+            prop_assert_eq!(td, bu);
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! Node splitting policies.
+//!
+//! When a node overflows its capacity `c`, two of its `c + 1` entries are
+//! *promoted* as the pivots of the two replacement nodes and the remaining
+//! entries are *partitioned* between them (paper Section 5). The choice of
+//! policy controls the overlap between sibling balls, quantified by the
+//! fat-factor, which the Figure 10 experiment varies:
+//!
+//! * [`PromotePolicy::MinOverlap`] + [`PartitionPolicy::ClosestPivot`] —
+//!   the paper's "MinOverlap" policy (lowest fat-factor): keep the
+//!   overflowed node's pivot and promote the entry farthest from it.
+//! * [`PromotePolicy::MaxDistance`] — promote the two entries with the
+//!   greatest pairwise distance (higher fat-factor in the paper).
+//! * [`PartitionPolicy::Balanced`] — assign an equal number of entries to
+//!   each side instead of nearest-pivot assignment (higher still).
+//! * [`PromotePolicy::Random`] — random pivots (highest fat-factor).
+
+use disc_metric::{Dataset, ObjId};
+use rand::{rngs::StdRng, RngExt as _};
+
+/// How the two new pivots are chosen from the `c + 1` entries of an
+/// overflowed node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PromotePolicy {
+    /// Keep the overflowed node's current pivot and promote the entry
+    /// farthest from it. For the (pivot-less) root, falls back to the
+    /// farthest pair found by scanning from the first entry.
+    MinOverlap,
+    /// Promote the two entries with the maximum pairwise distance.
+    MaxDistance,
+    /// Promote two distinct entries uniformly at random (seeded).
+    Random,
+}
+
+/// How the remaining entries are distributed between the two new nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PartitionPolicy {
+    /// Each entry goes to the closer promoted pivot (generalized
+    /// hyperplane).
+    ClosestPivot,
+    /// Entries are sorted by `d(e, p1) - d(e, p2)` and the two halves are
+    /// assigned so that both nodes receive the same number of entries
+    /// (±1).
+    Balanced,
+}
+
+/// A complete splitting policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SplitPolicy {
+    /// Pivot promotion rule.
+    pub promote: PromotePolicy,
+    /// Entry partition rule.
+    pub partition: PartitionPolicy,
+}
+
+impl SplitPolicy {
+    /// The paper's default, lowest-overlap policy.
+    pub const MIN_OVERLAP: Self = Self {
+        promote: PromotePolicy::MinOverlap,
+        partition: PartitionPolicy::ClosestPivot,
+    };
+    /// Promote the farthest pair, assign to the closest pivot.
+    pub const MAX_DISTANCE: Self = Self {
+        promote: PromotePolicy::MaxDistance,
+        partition: PartitionPolicy::ClosestPivot,
+    };
+    /// Promote the farthest pair, balanced assignment.
+    pub const BALANCED: Self = Self {
+        promote: PromotePolicy::MaxDistance,
+        partition: PartitionPolicy::Balanced,
+    };
+    /// Random pivots, balanced assignment (the paper's highest-fat-factor
+    /// configuration).
+    pub const RANDOM: Self = Self {
+        promote: PromotePolicy::Random,
+        partition: PartitionPolicy::Balanced,
+    };
+
+    /// The four policies evaluated in the Figure 10 experiment, from the
+    /// expected lowest to highest fat-factor.
+    pub fn figure10_policies() -> [(&'static str, Self); 4] {
+        [
+            ("min-overlap", Self::MIN_OVERLAP),
+            ("max-distance", Self::MAX_DISTANCE),
+            ("balanced", Self::BALANCED),
+            ("random", Self::RANDOM),
+        ]
+    }
+}
+
+impl Default for SplitPolicy {
+    fn default() -> Self {
+        Self::MIN_OVERLAP
+    }
+}
+
+/// Outcome of a split: promoted pivots and the entry indices assigned to
+/// each side. Index positions refer to the `reps` slice passed to
+/// [`split_entries`].
+#[derive(Debug)]
+pub struct SplitOutcome {
+    /// Pivot of the first (reused) node.
+    pub pivot1: ObjId,
+    /// Pivot of the second (new) node.
+    pub pivot2: ObjId,
+    /// Indices of entries assigned to the first node.
+    pub side1: Vec<usize>,
+    /// Indices of entries assigned to the second node.
+    pub side2: Vec<usize>,
+}
+
+/// Splits a set of entries represented by objects `reps` (the stored object
+/// for leaf entries, the child pivot for internal entries).
+///
+/// `current_pivot` is the overflowed node's routing pivot, used by
+/// [`PromotePolicy::MinOverlap`].
+///
+/// # Panics
+///
+/// Panics if fewer than two entries are given (nothing to split).
+pub fn split_entries(
+    data: &Dataset,
+    reps: &[ObjId],
+    current_pivot: Option<ObjId>,
+    policy: SplitPolicy,
+    rng: &mut StdRng,
+) -> SplitOutcome {
+    assert!(reps.len() >= 2, "cannot split fewer than two entries");
+    let (i1, i2) = match policy.promote {
+        PromotePolicy::MinOverlap => {
+            // Anchor on the current pivot if it is among the entries,
+            // otherwise on the entry closest to it (the pivot object itself
+            // lives in a leaf further down for internal splits).
+            let anchor = match current_pivot {
+                Some(p) => reps
+                    .iter()
+                    .position(|&r| r == p)
+                    .unwrap_or_else(|| nearest_index(data, reps, p)),
+                None => 0,
+            };
+            (anchor, farthest_index(data, reps, reps[anchor], anchor))
+        }
+        PromotePolicy::MaxDistance => farthest_pair(data, reps),
+        PromotePolicy::Random => {
+            let a = rng.random_range(0..reps.len());
+            let mut b = rng.random_range(0..reps.len() - 1);
+            if b >= a {
+                b += 1;
+            }
+            (a, b)
+        }
+    };
+    let (p1, p2) = (reps[i1], reps[i2]);
+
+    let mut side1 = Vec::with_capacity(reps.len() / 2 + 1);
+    let mut side2 = Vec::with_capacity(reps.len() / 2 + 1);
+    match policy.partition {
+        PartitionPolicy::ClosestPivot => {
+            for (i, &r) in reps.iter().enumerate() {
+                if i == i1 {
+                    side1.push(i);
+                } else if i == i2 {
+                    side2.push(i);
+                } else if data.dist(r, p1) <= data.dist(r, p2) {
+                    side1.push(i);
+                } else {
+                    side2.push(i);
+                }
+            }
+        }
+        PartitionPolicy::Balanced => {
+            // Sort by preference for p1, then deal out halves.
+            let mut order: Vec<usize> = (0..reps.len()).filter(|&i| i != i1 && i != i2).collect();
+            order.sort_by(|&a, &b| {
+                let da = data.dist(reps[a], p1) - data.dist(reps[a], p2);
+                let db = data.dist(reps[b], p1) - data.dist(reps[b], p2);
+                da.partial_cmp(&db).expect("finite distances")
+            });
+            side1.push(i1);
+            side2.push(i2);
+            let half = order.len().div_ceil(2);
+            side1.extend_from_slice(&order[..half]);
+            side2.extend_from_slice(&order[half..]);
+        }
+    }
+    debug_assert!(!side1.is_empty() && !side2.is_empty());
+    SplitOutcome {
+        pivot1: p1,
+        pivot2: p2,
+        side1,
+        side2,
+    }
+}
+
+/// Index of the entry farthest from `from`, excluding `skip`.
+fn farthest_index(data: &Dataset, reps: &[ObjId], from: ObjId, skip: usize) -> usize {
+    let mut best = usize::MAX;
+    let mut best_d = f64::NEG_INFINITY;
+    for (i, &r) in reps.iter().enumerate() {
+        if i == skip {
+            continue;
+        }
+        let d = data.dist(r, from);
+        if d > best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Index of the entry nearest to object `to`.
+fn nearest_index(data: &Dataset, reps: &[ObjId], to: ObjId) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (i, &r) in reps.iter().enumerate() {
+        let d = data.dist(r, to);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+/// The exact farthest pair of entries (O(k²), with k ≤ capacity + 1).
+fn farthest_pair(data: &Dataset, reps: &[ObjId]) -> (usize, usize) {
+    let mut best = (0, 1);
+    let mut best_d = f64::NEG_INFINITY;
+    for i in 0..reps.len() {
+        for j in (i + 1)..reps.len() {
+            let d = data.dist(reps[i], reps[j]);
+            if d > best_d {
+                best_d = d;
+                best = (i, j);
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disc_metric::{Metric, Point};
+    use rand::SeedableRng;
+
+    /// Two clusters far apart: {0,1,2} near the origin, {3,4,5} near (1,1).
+    fn two_clusters() -> Dataset {
+        Dataset::new(
+            "two-clusters",
+            Metric::Euclidean,
+            vec![
+                Point::new2(0.00, 0.00),
+                Point::new2(0.02, 0.00),
+                Point::new2(0.00, 0.03),
+                Point::new2(1.00, 1.00),
+                Point::new2(0.98, 1.00),
+                Point::new2(1.00, 0.97),
+            ],
+        )
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn max_distance_separates_clusters() {
+        let data = two_clusters();
+        let reps: Vec<ObjId> = (0..6).collect();
+        let out = split_entries(&data, &reps, None, SplitPolicy::MAX_DISTANCE, &mut rng());
+        let s1: Vec<ObjId> = out.side1.iter().map(|&i| reps[i]).collect();
+        let s2: Vec<ObjId> = out.side2.iter().map(|&i| reps[i]).collect();
+        // Each side should be one of the two clusters.
+        let mut a = s1.clone();
+        let mut b = s2.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        if a[0] == 0 {
+            assert_eq!(a, vec![0, 1, 2]);
+            assert_eq!(b, vec![3, 4, 5]);
+        } else {
+            assert_eq!(a, vec![3, 4, 5]);
+            assert_eq!(b, vec![0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn min_overlap_keeps_current_pivot() {
+        let data = two_clusters();
+        let reps: Vec<ObjId> = (0..6).collect();
+        let out = split_entries(&data, &reps, Some(1), SplitPolicy::MIN_OVERLAP, &mut rng());
+        assert_eq!(out.pivot1, 1);
+        // Farthest from object 1 is in the other cluster.
+        assert!(out.pivot2 >= 3);
+    }
+
+    #[test]
+    fn min_overlap_without_pivot_anchors_on_first_entry() {
+        let data = two_clusters();
+        let reps: Vec<ObjId> = (0..6).collect();
+        let out = split_entries(&data, &reps, None, SplitPolicy::MIN_OVERLAP, &mut rng());
+        assert_eq!(out.pivot1, 0);
+        assert!(out.pivot2 >= 3);
+    }
+
+    #[test]
+    fn balanced_partition_is_balanced() {
+        let data = two_clusters();
+        let reps: Vec<ObjId> = (0..6).collect();
+        let out = split_entries(&data, &reps, None, SplitPolicy::BALANCED, &mut rng());
+        assert_eq!(out.side1.len(), 3);
+        assert_eq!(out.side2.len(), 3);
+    }
+
+    #[test]
+    fn balanced_partition_with_odd_entries() {
+        let data = two_clusters();
+        let reps: Vec<ObjId> = (0..5).collect();
+        let out = split_entries(&data, &reps, None, SplitPolicy::BALANCED, &mut rng());
+        let (a, b) = (out.side1.len(), out.side2.len());
+        assert_eq!(a + b, 5);
+        assert!(a.abs_diff(b) <= 1);
+    }
+
+    #[test]
+    fn random_promotion_is_deterministic_under_seed() {
+        let data = two_clusters();
+        let reps: Vec<ObjId> = (0..6).collect();
+        let a = split_entries(&data, &reps, None, SplitPolicy::RANDOM, &mut rng());
+        let b = split_entries(&data, &reps, None, SplitPolicy::RANDOM, &mut rng());
+        assert_eq!(a.pivot1, b.pivot1);
+        assert_eq!(a.pivot2, b.pivot2);
+        assert_ne!(a.pivot1, a.pivot2);
+    }
+
+    #[test]
+    fn every_entry_lands_on_exactly_one_side() {
+        let data = two_clusters();
+        let reps: Vec<ObjId> = (0..6).collect();
+        for (_, policy) in SplitPolicy::figure10_policies() {
+            let out = split_entries(&data, &reps, Some(0), policy, &mut rng());
+            let mut all: Vec<usize> = out.side1.iter().chain(&out.side2).copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..6).collect::<Vec<_>>(), "{policy:?}");
+            assert!(!out.side1.is_empty() && !out.side2.is_empty());
+        }
+    }
+
+    #[test]
+    fn split_of_two_entries() {
+        let data = two_clusters();
+        let reps = vec![0, 5];
+        for (_, policy) in SplitPolicy::figure10_policies() {
+            let out = split_entries(&data, &reps, None, policy, &mut rng());
+            assert_eq!(out.side1.len(), 1);
+            assert_eq!(out.side2.len(), 1);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Tree statistics, most importantly the **fat-factor** of
+//! Traina et al. used by the paper's Figure 10 experiment:
+//!
+//! ```text
+//! f(T) = (Z - n·h) / n · 1 / (m - h)
+//! ```
+//!
+//! where `Z` is the total number of node accesses required to answer a
+//! point query for every indexed object, `n` the number of objects, `h`
+//! the height of the tree and `m` its node count. An overlap-free tree
+//! answers each point query along a single root-to-leaf path (`Z = n·h`,
+//! `f = 0`); the worst tree visits every node for every query (`f = 1`).
+
+use crate::tree::MTree;
+
+/// Summary statistics of a built M-tree.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TreeStats {
+    /// Number of indexed objects (`n`).
+    pub objects: usize,
+    /// Number of nodes (`m`).
+    pub nodes: usize,
+    /// Number of leaf nodes.
+    pub leaves: usize,
+    /// Tree height in levels (`h`).
+    pub height: usize,
+    /// Total accesses over point queries for all objects (`Z`).
+    pub point_query_accesses: u64,
+    /// The fat-factor `f(T) ∈ [0, 1]`.
+    pub fat_factor: f64,
+    /// Mean leaf fill (entries / capacity).
+    pub avg_leaf_fill: f64,
+}
+
+impl MTree<'_> {
+    /// Computes tree statistics, including the fat-factor. Runs one point
+    /// query per object; the access cost of doing so is charged to the
+    /// tree's counter (callers typically reset afterwards).
+    pub fn stats(&self) -> TreeStats {
+        let n = self.len();
+        let m = self.node_count();
+        let h = self.height();
+        let z: u64 = self
+            .data()
+            .ids()
+            .map(|id| self.point_query_accesses(id))
+            .sum();
+        let denom = n as f64 * (m as f64 - h as f64);
+        let fat_factor = if denom > 0.0 {
+            ((z as f64 - (n * h) as f64) / denom).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let leaves = self.leaves().count();
+        let fill: f64 = self
+            .leaves()
+            .map(|l| self.node(l).len() as f64 / self.config().capacity as f64)
+            .sum::<f64>()
+            / leaves.max(1) as f64;
+        TreeStats {
+            objects: n,
+            nodes: m,
+            leaves,
+            height: h,
+            point_query_accesses: z,
+            fat_factor,
+            avg_leaf_fill: fill,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::split::SplitPolicy;
+    use crate::tree::MTreeConfig;
+    use disc_metric::{Dataset, Metric, Point};
+    use rand::{rngs::StdRng, RngExt as _, SeedableRng};
+
+    fn uniform(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Dataset::new(
+            "u",
+            Metric::Euclidean,
+            (0..n)
+                .map(|_| Point::new2(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn fat_factor_in_unit_interval() {
+        let data = uniform(400, 30);
+        for (name, policy) in SplitPolicy::figure10_policies() {
+            let tree = MTree::build(
+                &data,
+                MTreeConfig {
+                    capacity: 10,
+                    split_policy: policy,
+                    seed: 4,
+                },
+            );
+            let s = tree.stats();
+            assert!(
+                (0.0..=1.0).contains(&s.fat_factor),
+                "{name}: fat factor {} out of range",
+                s.fat_factor
+            );
+            assert_eq!(s.objects, 400);
+            assert!(s.leaves > 1);
+            assert!(s.height >= 2);
+            assert!(s.avg_leaf_fill > 0.0 && s.avg_leaf_fill <= 1.0);
+        }
+    }
+
+    #[test]
+    fn min_overlap_beats_random_on_uniform_data() {
+        let data = uniform(600, 31);
+        let f = |policy| {
+            MTree::build(
+                &data,
+                MTreeConfig {
+                    capacity: 10,
+                    split_policy: policy,
+                    seed: 9,
+                },
+            )
+            .stats()
+            .fat_factor
+        };
+        let min_overlap = f(SplitPolicy::MIN_OVERLAP);
+        let random = f(SplitPolicy::RANDOM);
+        assert!(
+            min_overlap < random,
+            "expected MinOverlap ({min_overlap:.3}) < Random ({random:.3})"
+        );
+    }
+
+    #[test]
+    fn single_leaf_tree_has_zero_fat_factor() {
+        let data = uniform(10, 32);
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(50));
+        let s = tree.stats();
+        assert_eq!(s.nodes, 1);
+        assert_eq!(s.fat_factor, 0.0);
+        assert_eq!(s.point_query_accesses, 10);
+    }
+}

@@ -1,0 +1,602 @@
+//! The M-tree proper: construction, insertion with recursive splitting,
+//! leaf chaining and node-access accounting.
+
+use std::cell::Cell;
+
+use disc_metric::{Dataset, ObjId, Point};
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::node::{LeafEntry, Node, NodeId, NodeKind};
+use crate::split::{split_entries, SplitPolicy};
+
+/// Construction parameters (paper Table 2: capacity 50, MinOverlap policy).
+#[derive(Clone, Copy, Debug)]
+pub struct MTreeConfig {
+    /// Maximum number of entries per node before it splits.
+    pub capacity: usize,
+    /// Splitting policy.
+    pub split_policy: SplitPolicy,
+    /// Seed for the random promotion policy (ignored by the deterministic
+    /// policies).
+    pub seed: u64,
+}
+
+impl Default for MTreeConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 50,
+            split_policy: SplitPolicy::MIN_OVERLAP,
+            seed: 0,
+        }
+    }
+}
+
+impl MTreeConfig {
+    /// Config with a specific node capacity, otherwise defaults.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            capacity,
+            ..Self::default()
+        }
+    }
+
+    /// Config with a specific splitting policy, otherwise defaults.
+    pub fn with_policy(split_policy: SplitPolicy) -> Self {
+        Self {
+            split_policy,
+            ..Self::default()
+        }
+    }
+}
+
+/// A balanced metric tree over a [`Dataset`].
+///
+/// The tree borrows the dataset; objects are addressed by [`ObjId`].
+pub struct MTree<'a> {
+    data: &'a Dataset,
+    config: MTreeConfig,
+    nodes: Vec<Node>,
+    root: NodeId,
+    height: usize,
+    first_leaf: NodeId,
+    /// Leaf currently holding each object.
+    obj_leaf: Vec<NodeId>,
+    /// Node accesses (the paper's cost metric). Interior mutability so
+    /// read-only queries can account their cost.
+    accesses: Cell<u64>,
+    rng: StdRng,
+}
+
+impl<'a> MTree<'a> {
+    /// Builds a tree by inserting every object of `data` in id order.
+    pub fn build(data: &'a Dataset, config: MTreeConfig) -> Self {
+        assert!(config.capacity >= 2, "node capacity must be at least 2");
+        let n = data.len();
+        let root = 0;
+        let mut tree = Self {
+            data,
+            config,
+            nodes: vec![Node::new_leaf(None, None)],
+            root,
+            height: 1,
+            first_leaf: root,
+            obj_leaf: vec![usize::MAX; n],
+            accesses: Cell::new(0),
+            rng: StdRng::seed_from_u64(config.seed),
+        };
+        for id in data.ids() {
+            tree.insert(id);
+        }
+        tree
+    }
+
+    /// The dataset this tree indexes.
+    pub fn data(&self) -> &'a Dataset {
+        self.data
+    }
+
+    /// Construction parameters.
+    pub fn config(&self) -> &MTreeConfig {
+        &self.config
+    }
+
+    /// Number of indexed objects.
+    pub fn len(&self) -> usize {
+        self.obj_leaf.len()
+    }
+
+    /// Whether the tree indexes no objects.
+    pub fn is_empty(&self) -> bool {
+        self.obj_leaf.is_empty()
+    }
+
+    /// Number of nodes (`m` in the fat-factor formula).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Height of the tree in levels (`h` in the fat-factor formula);
+    /// a single root leaf has height 1.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Root node id.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// First leaf of the left-to-right chain.
+    pub fn first_leaf(&self) -> NodeId {
+        self.first_leaf
+    }
+
+    /// The node with the given id.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// Leaf currently holding `object`.
+    pub fn leaf_of(&self, object: ObjId) -> NodeId {
+        self.obj_leaf[object]
+    }
+
+    /// Total node accesses so far.
+    pub fn node_accesses(&self) -> u64 {
+        self.accesses.get()
+    }
+
+    /// Resets the access counter (e.g. after the build phase) and returns
+    /// the previous value.
+    pub fn reset_node_accesses(&self) -> u64 {
+        self.accesses.replace(0)
+    }
+
+    /// Records one node access. Exposed to query code in this crate.
+    #[inline]
+    pub(crate) fn touch(&self) {
+        self.accesses.set(self.accesses.get() + 1);
+    }
+
+    /// Records one node access on behalf of an algorithm that reads a node
+    /// directly (e.g. the leaf pass of Basic-DisC scanning a leaf page).
+    #[inline]
+    pub fn charge_access(&self) {
+        self.touch();
+    }
+
+    /// Iterator over leaf node ids in chain order.
+    pub fn leaves(&self) -> LeafIter<'_, 'a> {
+        LeafIter {
+            tree: self,
+            next: Some(self.first_leaf),
+        }
+    }
+
+    /// Iterator over all objects in leaf-chain order, charging one node
+    /// access per visited leaf (this is the "single left-to-right
+    /// traversal" of Basic-DisC).
+    pub fn objects_in_leaf_order(&self) -> impl Iterator<Item = ObjId> + '_ {
+        self.leaves().flat_map(move |leaf| {
+            self.touch();
+            self.nodes[leaf]
+                .leaf_entries()
+                .iter()
+                .map(|e| e.object)
+                .collect::<Vec<_>>()
+        })
+    }
+
+    /// Objects in leaf order without charging node accesses (for tests and
+    /// result presentation).
+    pub fn objects_in_leaf_order_uncounted(&self) -> Vec<ObjId> {
+        self.leaves()
+            .flat_map(|leaf| self.nodes[leaf].leaf_entries().iter().map(|e| e.object))
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Insertion
+    // ------------------------------------------------------------------
+
+    /// Inserts `object` (already present in the dataset) into the tree.
+    fn insert(&mut self, object: ObjId) {
+        let point = self.data.point(object);
+        // Descend to the best leaf, enlarging covering radii on the way.
+        let mut node = self.root;
+        loop {
+            self.touch();
+            match &self.nodes[node].kind {
+                NodeKind::Leaf(_) => break,
+                NodeKind::Internal(children) => {
+                    let next = self.choose_child(children, point);
+                    let d = self.dist_to_pivot(next, point);
+                    let child = &mut self.nodes[next];
+                    if d > child.radius {
+                        child.radius = d;
+                    }
+                    node = next;
+                }
+            }
+        }
+        let d_pivot = self.dist_to_pivot(node, point);
+        {
+            let leaf = &mut self.nodes[node];
+            if d_pivot > leaf.radius {
+                leaf.radius = d_pivot;
+            }
+            match &mut leaf.kind {
+                NodeKind::Leaf(entries) => entries.push(LeafEntry {
+                    object,
+                    dist_to_pivot: d_pivot,
+                }),
+                NodeKind::Internal(_) => unreachable!("descent ends at a leaf"),
+            }
+        }
+        self.obj_leaf[object] = node;
+        if self.nodes[node].len() > self.config.capacity {
+            self.split(node);
+        }
+    }
+
+    /// Picks the child to descend into: prefer a child whose ball already
+    /// contains the point (smallest distance); otherwise the child needing
+    /// the least radius enlargement.
+    fn choose_child(&self, children: &[NodeId], point: &Point) -> NodeId {
+        let mut best_inside: Option<(f64, NodeId)> = None;
+        let mut best_enlarge: Option<(f64, NodeId)> = None;
+        for &c in children {
+            let node = &self.nodes[c];
+            let pivot = node.pivot.expect("non-root nodes have pivots");
+            let d = self.data.dist_to(pivot, point);
+            if d <= node.radius {
+                if best_inside.is_none_or(|(bd, _)| d < bd) {
+                    best_inside = Some((d, c));
+                }
+            } else {
+                let enlarge = d - node.radius;
+                if best_enlarge.is_none_or(|(be, _)| enlarge < be) {
+                    best_enlarge = Some((enlarge, c));
+                }
+            }
+        }
+        best_inside
+            .or(best_enlarge)
+            .map(|(_, c)| c)
+            .expect("internal node has at least one child")
+    }
+
+    /// Distance from `point` to the pivot of `node` (0 if the node has no
+    /// pivot, i.e. is the root).
+    fn dist_to_pivot(&self, node: NodeId, point: &Point) -> f64 {
+        match self.nodes[node].pivot {
+            Some(p) => self.data.dist_to(p, point),
+            None => 0.0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Splitting
+    // ------------------------------------------------------------------
+
+    /// Splits the overflowed `node`, recursing up the tree as needed.
+    fn split(&mut self, node: NodeId) {
+        // Representative object of each entry: the stored object for leaf
+        // entries, the child pivot for internal entries.
+        let reps: Vec<ObjId> = match &self.nodes[node].kind {
+            NodeKind::Leaf(entries) => entries.iter().map(|e| e.object).collect(),
+            NodeKind::Internal(children) => children
+                .iter()
+                .map(|&c| self.nodes[c].pivot.expect("children have pivots"))
+                .collect(),
+        };
+        let outcome = split_entries(
+            self.data,
+            &reps,
+            self.nodes[node].pivot,
+            self.config.split_policy,
+            &mut self.rng,
+        );
+
+        // Two accesses: the reused node and its new sibling are rewritten.
+        self.touch();
+        self.touch();
+
+        let new_id = self.nodes.len();
+        let parent = self.nodes[node].parent;
+        let is_leaf = self.nodes[node].is_leaf();
+
+        // Distribute entries.
+        match std::mem::replace(
+            &mut self.nodes[node].kind,
+            if is_leaf {
+                NodeKind::Leaf(Vec::new())
+            } else {
+                NodeKind::Internal(Vec::new())
+            },
+        ) {
+            NodeKind::Leaf(entries) => {
+                let pick = |idx: &[usize]| -> Vec<LeafEntry> {
+                    idx.iter().map(|&i| entries[i]).collect()
+                };
+                let e1 = pick(&outcome.side1);
+                let e2 = pick(&outcome.side2);
+                self.nodes.push(Node::new_leaf(Some(outcome.pivot2), parent));
+                for e in &e2 {
+                    self.obj_leaf[e.object] = new_id;
+                }
+                self.install_leaf(node, outcome.pivot1, e1);
+                self.install_leaf(new_id, outcome.pivot2, e2);
+                // Chain the new leaf right after the reused one.
+                let next = self.nodes[node].next_leaf;
+                self.nodes[node].next_leaf = Some(new_id);
+                self.nodes[new_id].next_leaf = next;
+            }
+            NodeKind::Internal(children) => {
+                let pick = |idx: &[usize]| -> Vec<NodeId> {
+                    idx.iter().map(|&i| children[i]).collect()
+                };
+                let c1 = pick(&outcome.side1);
+                let c2 = pick(&outcome.side2);
+                self.nodes
+                    .push(Node::new_internal(Some(outcome.pivot2), parent, Vec::new()));
+                for &c in &c2 {
+                    self.nodes[c].parent = Some(new_id);
+                }
+                self.install_internal(node, outcome.pivot1, c1);
+                self.install_internal(new_id, outcome.pivot2, c2);
+            }
+        }
+
+        match parent {
+            Some(p) => {
+                // Register the sibling with the parent and refresh the
+                // cached parent distances of both halves.
+                self.touch();
+                match &mut self.nodes[p].kind {
+                    NodeKind::Internal(children) => children.push(new_id),
+                    NodeKind::Leaf(_) => unreachable!("parents are internal"),
+                }
+                self.refresh_dist_to_parent(node);
+                self.refresh_dist_to_parent(new_id);
+                // The parent's covering radius still bounds every object in
+                // its subtree (the object set did not change), so no
+                // enlargement is needed.
+                if self.nodes[p].len() > self.config.capacity {
+                    self.split(p);
+                }
+            }
+            None => {
+                // The root split: grow a new root above the two halves.
+                let new_root = self.nodes.len();
+                self.nodes
+                    .push(Node::new_internal(None, None, vec![node, new_id]));
+                self.touch();
+                self.nodes[node].parent = Some(new_root);
+                self.nodes[new_id].parent = Some(new_root);
+                self.nodes[node].dist_to_parent = 0.0;
+                self.nodes[new_id].dist_to_parent = 0.0;
+                self.root = new_root;
+                self.height += 1;
+            }
+        }
+    }
+
+    /// Rewrites a leaf node's pivot and entries, recomputing cached
+    /// distances and the covering radius.
+    fn install_leaf(&mut self, id: NodeId, pivot: ObjId, mut entries: Vec<LeafEntry>) {
+        let mut radius = 0.0f64;
+        for e in &mut entries {
+            e.dist_to_pivot = self.data.dist(e.object, pivot);
+            radius = radius.max(e.dist_to_pivot);
+        }
+        let node = &mut self.nodes[id];
+        node.pivot = Some(pivot);
+        node.radius = radius;
+        node.kind = NodeKind::Leaf(entries);
+    }
+
+    /// Rewrites an internal node's pivot and children, recomputing the
+    /// children's cached parent distances and the covering radius.
+    fn install_internal(&mut self, id: NodeId, pivot: ObjId, children: Vec<NodeId>) {
+        let mut radius = 0.0f64;
+        for &c in &children {
+            let child_pivot = self.nodes[c].pivot.expect("children have pivots");
+            let d = self.data.dist(child_pivot, pivot);
+            self.nodes[c].dist_to_parent = d;
+            radius = radius.max(d + self.nodes[c].radius);
+        }
+        let node = &mut self.nodes[id];
+        node.pivot = Some(pivot);
+        node.radius = radius;
+        node.kind = NodeKind::Internal(children);
+    }
+
+    /// Refreshes `dist_to_parent` of `node` against its parent's pivot.
+    fn refresh_dist_to_parent(&mut self, node: NodeId) {
+        let parent = self.nodes[node].parent.expect("called on non-root");
+        let d = match (self.nodes[parent].pivot, self.nodes[node].pivot) {
+            (Some(pp), Some(np)) => self.data.dist(np, pp),
+            _ => 0.0,
+        };
+        self.nodes[node].dist_to_parent = d;
+    }
+
+}
+
+/// Iterator over leaf ids following the leaf chain.
+pub struct LeafIter<'t, 'a> {
+    tree: &'t MTree<'a>,
+    next: Option<NodeId>,
+}
+
+impl Iterator for LeafIter<'_, '_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.next?;
+        self.next = self.tree.nodes[id].next_leaf;
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::check_invariants;
+    use disc_metric::Metric;
+    use rand::RngExt as _;
+
+    fn grid(n_side: usize) -> Dataset {
+        let mut pts = Vec::new();
+        for i in 0..n_side {
+            for j in 0..n_side {
+                pts.push(Point::new2(
+                    i as f64 / n_side as f64,
+                    j as f64 / n_side as f64,
+                ));
+            }
+        }
+        Dataset::new("grid", Metric::Euclidean, pts)
+    }
+
+    fn random_points(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts = (0..n)
+            .map(|_| Point::new2(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)))
+            .collect();
+        Dataset::new("random", Metric::Euclidean, pts)
+    }
+
+    #[test]
+    fn single_object_tree() {
+        let data = Dataset::new("one", Metric::Euclidean, vec![Point::new2(0.5, 0.5)]);
+        let tree = MTree::build(&data, MTreeConfig::default());
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.height(), 1);
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.leaf_of(0), tree.root());
+        check_invariants(&tree).unwrap();
+    }
+
+    #[test]
+    fn splits_produce_multiple_levels() {
+        let data = grid(10); // 100 objects
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(4));
+        assert!(tree.height() >= 3, "height {}", tree.height());
+        assert!(tree.node_count() > 25);
+        check_invariants(&tree).unwrap();
+    }
+
+    #[test]
+    fn all_objects_reachable_via_leaf_chain() {
+        let data = random_points(300, 1);
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(8));
+        let mut seen = tree.objects_in_leaf_order_uncounted();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..300).collect::<Vec<_>>());
+        check_invariants(&tree).unwrap();
+    }
+
+    #[test]
+    fn obj_leaf_mapping_is_consistent() {
+        let data = random_points(150, 2);
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(5));
+        for id in data.ids() {
+            let leaf = tree.leaf_of(id);
+            assert!(
+                tree.node(leaf)
+                    .leaf_entries()
+                    .iter()
+                    .any(|e| e.object == id),
+                "object {id} not found in its registered leaf"
+            );
+        }
+    }
+
+    #[test]
+    fn build_counts_node_accesses() {
+        let data = random_points(100, 3);
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(8));
+        assert!(tree.node_accesses() >= 100, "at least one per insert");
+        let before = tree.node_accesses();
+        assert_eq!(tree.reset_node_accesses(), before);
+        assert_eq!(tree.node_accesses(), 0);
+    }
+
+    #[test]
+    fn leaf_order_traversal_charges_leaf_accesses() {
+        let data = random_points(100, 4);
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(8));
+        tree.reset_node_accesses();
+        let n_leaves = tree.leaves().count();
+        tree.reset_node_accesses();
+        let objs: Vec<ObjId> = tree.objects_in_leaf_order().collect();
+        assert_eq!(objs.len(), 100);
+        assert_eq!(tree.node_accesses(), n_leaves as u64);
+    }
+
+    #[test]
+    fn all_split_policies_build_valid_trees() {
+        let data = random_points(200, 5);
+        for (name, policy) in SplitPolicy::figure10_policies() {
+            let tree = MTree::build(
+                &data,
+                MTreeConfig {
+                    capacity: 6,
+                    split_policy: policy,
+                    seed: 11,
+                },
+            );
+            check_invariants(&tree).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn identical_seeds_build_identical_random_trees() {
+        let data = random_points(120, 6);
+        let cfg = MTreeConfig {
+            capacity: 5,
+            split_policy: SplitPolicy::RANDOM,
+            seed: 99,
+        };
+        let a = MTree::build(&data, cfg);
+        let b = MTree::build(&data, cfg);
+        assert_eq!(
+            a.objects_in_leaf_order_uncounted(),
+            b.objects_in_leaf_order_uncounted()
+        );
+        assert_eq!(a.node_count(), b.node_count());
+    }
+
+    #[test]
+    fn hamming_metric_tree_is_valid() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let pts = (0..120)
+            .map(|_| {
+                Point::categorical(&[
+                    rng.random_range(0..4u32),
+                    rng.random_range(0..4u32),
+                    rng.random_range(0..4u32),
+                    rng.random_range(0..4u32),
+                ])
+            })
+            .collect();
+        let data = Dataset::new("cat", Metric::Hamming, pts);
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(6));
+        check_invariants(&tree).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 2")]
+    fn rejects_capacity_below_two() {
+        let data = grid(2);
+        let _ = MTree::build(
+            &data,
+            MTreeConfig {
+                capacity: 1,
+                ..MTreeConfig::default()
+            },
+        );
+    }
+}

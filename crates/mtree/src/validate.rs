@@ -1,0 +1,245 @@
+//! Structural invariant checking for the M-tree. Used pervasively by
+//! tests (including property-based tests in dependent crates); not called
+//! on hot paths.
+
+use std::collections::HashSet;
+
+use disc_metric::ObjId;
+
+use crate::node::{NodeId, NodeKind};
+use crate::tree::MTree;
+
+/// Checks every structural invariant of the tree and returns a description
+/// of the first violation found.
+///
+/// Invariants:
+/// 1. every node except the root has a pivot and a parent that lists it;
+/// 2. covering radii bound the distance from each node's pivot to every
+///    object in its subtree;
+/// 3. cached `dist_to_pivot` / `dist_to_parent` values are correct;
+/// 4. all leaves are at the same depth (the tree is balanced);
+/// 5. node sizes never exceed the capacity;
+/// 6. every object appears in exactly one leaf and `leaf_of` agrees;
+/// 7. the leaf chain enumerates every leaf exactly once, in a single pass.
+pub fn check_invariants(tree: &MTree<'_>) -> Result<(), String> {
+    let root = tree.root();
+    if tree.node(root).parent.is_some() {
+        return Err("root must not have a parent".into());
+    }
+
+    let mut seen_objects: HashSet<ObjId> = HashSet::new();
+    let mut leaf_depths: Vec<usize> = Vec::new();
+    let mut reachable_leaves: HashSet<NodeId> = HashSet::new();
+
+    check_node(tree, root, 1, &mut seen_objects, &mut leaf_depths, &mut reachable_leaves)?;
+
+    // 4. balanced
+    if let Some((&first, rest)) = leaf_depths.split_first() {
+        if rest.iter().any(|&d| d != first) {
+            return Err(format!("unbalanced tree: leaf depths {leaf_depths:?}"));
+        }
+        if first != tree.height() {
+            return Err(format!(
+                "height {} disagrees with leaf depth {first}",
+                tree.height()
+            ));
+        }
+    }
+
+    // 6. object coverage
+    if seen_objects.len() != tree.len() {
+        return Err(format!(
+            "tree stores {} of {} objects",
+            seen_objects.len(),
+            tree.len()
+        ));
+    }
+
+    // 7. leaf chain
+    let chained: Vec<NodeId> = tree.leaves().collect();
+    let chained_set: HashSet<NodeId> = chained.iter().copied().collect();
+    if chained.len() != chained_set.len() {
+        return Err("leaf chain visits a leaf twice".into());
+    }
+    if chained_set != reachable_leaves {
+        return Err(format!(
+            "leaf chain covers {} leaves, tree has {}",
+            chained_set.len(),
+            reachable_leaves.len()
+        ));
+    }
+
+    Ok(())
+}
+
+fn check_node(
+    tree: &MTree<'_>,
+    node: NodeId,
+    depth: usize,
+    seen: &mut HashSet<ObjId>,
+    leaf_depths: &mut Vec<usize>,
+    leaves: &mut HashSet<NodeId>,
+) -> Result<(), String> {
+    let n = tree.node(node);
+    let data = tree.data();
+
+    if node != tree.root() && n.pivot.is_none() {
+        return Err(format!("non-root node {node} lacks a pivot"));
+    }
+    // 5. capacity
+    if n.len() > tree.config().capacity {
+        return Err(format!(
+            "node {node} holds {} entries over capacity {}",
+            n.len(),
+            tree.config().capacity
+        ));
+    }
+    if node != tree.root() && n.is_empty() {
+        return Err(format!("non-root node {node} is empty"));
+    }
+
+    // 3. cached distance to parent pivot
+    if let Some(parent) = n.parent {
+        let pn = tree.node(parent);
+        if !pn.children().contains(&node) {
+            return Err(format!("parent {parent} does not list child {node}"));
+        }
+        let expect = match (pn.pivot, n.pivot) {
+            (Some(pp), Some(np)) => data.dist(np, pp),
+            _ => 0.0,
+        };
+        if (n.dist_to_parent - expect).abs() > 1e-9 {
+            return Err(format!(
+                "node {node}: dist_to_parent {} should be {expect}",
+                n.dist_to_parent
+            ));
+        }
+    }
+
+    match &n.kind {
+        NodeKind::Leaf(entries) => {
+            leaf_depths.push(depth);
+            leaves.insert(node);
+            for e in entries {
+                if !seen.insert(e.object) {
+                    return Err(format!("object {} stored twice", e.object));
+                }
+                if tree.leaf_of(e.object) != node {
+                    return Err(format!(
+                        "object {} registered to leaf {} but stored in {node}",
+                        e.object,
+                        tree.leaf_of(e.object)
+                    ));
+                }
+                if let Some(p) = n.pivot {
+                    let d = data.dist(e.object, p);
+                    if (e.dist_to_pivot - d).abs() > 1e-9 {
+                        return Err(format!(
+                            "object {}: cached pivot distance {} should be {d}",
+                            e.object, e.dist_to_pivot
+                        ));
+                    }
+                    // 2. radius bounds objects
+                    if d > n.radius + 1e-9 {
+                        return Err(format!(
+                            "object {} at distance {d} exceeds leaf {node} radius {}",
+                            e.object, n.radius
+                        ));
+                    }
+                }
+            }
+        }
+        NodeKind::Internal(children) => {
+            if children.is_empty() {
+                return Err(format!("internal node {node} has no children"));
+            }
+            for &c in children {
+                if tree.node(c).parent != Some(node) {
+                    return Err(format!("child {c} does not point back to {node}"));
+                }
+                check_node(tree, c, depth + 1, seen, leaf_depths, leaves)?;
+            }
+            // 2. radius bounds every object in the subtree.
+            if let Some(p) = n.pivot {
+                for obj in subtree_objects(tree, node) {
+                    let d = data.dist(obj, p);
+                    if d > n.radius + 1e-9 {
+                        return Err(format!(
+                            "object {obj} at distance {d} exceeds node {node} radius {}",
+                            n.radius
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// All objects stored under `node`.
+pub fn subtree_objects(tree: &MTree<'_>, node: NodeId) -> Vec<ObjId> {
+    let mut out = Vec::new();
+    let mut stack = vec![node];
+    while let Some(id) = stack.pop() {
+        match &tree.node(id).kind {
+            NodeKind::Leaf(entries) => out.extend(entries.iter().map(|e| e.object)),
+            NodeKind::Internal(children) => stack.extend_from_slice(children),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{MTree, MTreeConfig};
+    use disc_metric::{Dataset, Metric, Point};
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, RngExt as _, SeedableRng};
+
+    #[test]
+    fn valid_tree_passes() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let data = Dataset::new(
+            "d",
+            Metric::Euclidean,
+            (0..200)
+                .map(|_| Point::new2(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)))
+                .collect(),
+        );
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(5));
+        check_invariants(&tree).unwrap();
+        let objs = subtree_objects(&tree, tree.root());
+        assert_eq!(objs.len(), 200);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        /// Trees over arbitrary point sets, capacities, metrics and split
+        /// policies satisfy all invariants.
+        #[test]
+        fn arbitrary_trees_are_valid(
+            seed in 0u64..10_000,
+            n in 2usize..150,
+            cap in 2usize..14,
+            policy_idx in 0usize..4,
+            metric_idx in 0usize..3,
+        ) {
+            let metric = [Metric::Euclidean, Metric::Manhattan, Metric::Chebyshev][metric_idx];
+            let mut rng = StdRng::seed_from_u64(seed);
+            let data = Dataset::new(
+                "prop",
+                metric,
+                (0..n)
+                    .map(|_| Point::new2(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)))
+                    .collect(),
+            );
+            let policy = crate::split::SplitPolicy::figure10_policies()[policy_idx].1;
+            let tree = MTree::build(
+                &data,
+                MTreeConfig { capacity: cap, split_policy: policy, seed },
+            );
+            prop_assert!(check_invariants(&tree).is_ok());
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Quickstart: compute an r-DisC diverse subset of a clustered dataset,
+//! verify it, inspect the cost, and adapt it by zooming.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use disc_diversity::prelude::*;
+
+fn main() {
+    // 1. A workload: 2,000 clustered points in [0,1]² (the paper's
+    //    default "normal" distribution, scaled down for a quick demo).
+    let data = disc_diversity::datasets::synthetic::clustered(2_000, 2, 8, 42);
+    println!("dataset: {} objects, {} dims", data.len(), data.dim());
+
+    // 2. Index it with an M-tree (Table 2 defaults: capacity 50,
+    //    MinOverlap splitting policy).
+    let tree = MTree::build(&data, MTreeConfig::default());
+    println!(
+        "M-tree: {} nodes, height {}, built with {} node accesses",
+        tree.node_count(),
+        tree.height(),
+        tree.reset_node_accesses()
+    );
+
+    // 3. Pick a radius and compute a DisC diverse subset. The radius is
+    //    the only tuning knob: every object will have a representative
+    //    within r, and representatives are pairwise more than r apart.
+    let r = 0.08;
+    let result = greedy_disc(&tree, r, GreedyVariant::Grey, true);
+    println!(
+        "\nGreedy-DisC at r={r}: {} representatives, {} node accesses",
+        result.size(),
+        result.node_accesses
+    );
+
+    // 4. Verify both conditions of Definition 1 independently of the
+    //    index.
+    let report = verify_disc(&data, &result.solution, r);
+    println!(
+        "valid r-DisC subset: {} (uncovered: {}, dependent pairs: {})",
+        report.is_valid(),
+        report.uncovered.len(),
+        report.dependent_pairs.len()
+    );
+
+    // 5. The user wants more detail: zoom in (smaller radius, more
+    //    representatives, superset of what they already saw).
+    let zoomed = greedy_zoom_in(&tree, &result, r / 2.0);
+    println!(
+        "\nzoom-in to r={}: {} representatives ({} kept, {} new), {} node accesses (+{} prep)",
+        r / 2.0,
+        zoomed.result.size(),
+        result.size(),
+        zoomed.result.size() - result.size(),
+        zoomed.result.node_accesses,
+        zoomed.prep_accesses
+    );
+
+    // 6. Or less detail: zoom out (larger radius, fewer representatives).
+    let out = greedy_zoom_out(&tree, &result, r * 2.0, ZoomOutVariant::GreedyA);
+    let kept = out
+        .result
+        .solution
+        .iter()
+        .filter(|o| result.contains(**o))
+        .count();
+    println!(
+        "zoom-out to r={}: {} representatives ({} kept from the seen result)",
+        r * 2.0,
+        out.result.size(),
+        kept
+    );
+
+    // 7. Compare against the cheaper Basic-DisC and the covering-only
+    //    Greedy-C.
+    let basic = basic_disc(&tree, r, BasicOrder::LeafOrder, true);
+    let cover = greedy_c(&tree, r);
+    println!(
+        "\ncomparison at r={r}: Basic-DisC {} ({} accesses), Greedy-C {} ({} accesses)",
+        basic.size(),
+        basic.node_accesses,
+        cover.size(),
+        cover.node_accesses
+    );
+}

@@ -1,0 +1,162 @@
+//! Degenerate and adversarial inputs across the whole stack: duplicate
+//! objects, collinear data, single objects, tiny node capacities,
+//! all-identical points and extreme radii.
+
+use disc_diversity::datasets::synthetic;
+use disc_diversity::metric::{Dataset, Metric, Point};
+use disc_diversity::mtree::validate::check_invariants;
+use disc_diversity::prelude::*;
+
+fn build(data: &Dataset, cap: usize) -> MTree<'_> {
+    let tree = MTree::build(data, MTreeConfig::with_capacity(cap));
+    tree.reset_node_accesses();
+    tree
+}
+
+#[test]
+fn duplicate_objects_are_deduplicated_by_disc() {
+    // Ten copies of each of three locations. DisC never selects two
+    // duplicates (they are at distance 0 ≤ r), unlike MaxSum/k-medoids
+    // (paper Section 4: "MaxSum and k-medoids may select duplicate
+    // objects while DisC and MaxMin do not").
+    let mut pts = Vec::new();
+    for _ in 0..10 {
+        pts.push(Point::new2(0.1, 0.1));
+        pts.push(Point::new2(0.5, 0.5));
+        pts.push(Point::new2(0.9, 0.9));
+    }
+    let data = Dataset::new("dups", Metric::Euclidean, pts);
+    let tree = build(&data, 4);
+    check_invariants(&tree).unwrap();
+    for r in [0.05, 0.3] {
+        let res = greedy_disc(&tree, r, GreedyVariant::Grey, true);
+        assert!(verify_disc(&data, &res.solution, r).is_valid());
+        // At r = 0.05 exactly one representative per location.
+        if r == 0.05 {
+            assert_eq!(res.size(), 3, "{:?}", res.solution);
+        }
+    }
+}
+
+#[test]
+fn all_identical_points_collapse_to_one() {
+    let data = Dataset::new(
+        "same",
+        Metric::Euclidean,
+        vec![Point::new2(0.4, 0.4); 64],
+    );
+    let tree = build(&data, 5);
+    check_invariants(&tree).unwrap();
+    let res = basic_disc(&tree, 0.0, BasicOrder::LeafOrder, true);
+    assert_eq!(res.size(), 1, "duplicates are within distance 0");
+    assert!(verify_disc(&data, &res.solution, 0.0).is_valid());
+}
+
+#[test]
+fn single_object_dataset() {
+    let data = Dataset::new("one", Metric::Euclidean, vec![Point::new2(0.5, 0.5)]);
+    let tree = build(&data, 4);
+    for r in [0.0, 1.0] {
+        let res = greedy_disc(&tree, r, GreedyVariant::Grey, true);
+        assert_eq!(res.solution, vec![0]);
+    }
+    let res = greedy_c(&tree, 0.5);
+    assert_eq!(res.solution, vec![0]);
+}
+
+#[test]
+fn collinear_points_behave_like_the_line_problem() {
+    // 101 points spaced 0.01 apart on a line; at r = 0.02 a maximal
+    // independent set selects roughly every 5th object (coverage 2 cells
+    // each side, independence > 2 cells).
+    let data = Dataset::new(
+        "line",
+        Metric::Euclidean,
+        (0..101).map(|i| Point::new2(i as f64 * 0.01, 0.0)).collect(),
+    );
+    let tree = build(&data, 6);
+    let res = greedy_disc(&tree, 0.02, GreedyVariant::Grey, true);
+    assert!(verify_disc(&data, &res.solution, 0.02).is_valid());
+    // Perfect packing needs ceil(101/5) = 21; any maximal independent set
+    // lies between 21 and 34 here.
+    assert!(
+        (21..=34).contains(&res.size()),
+        "unexpected size {}",
+        res.size()
+    );
+}
+
+#[test]
+fn minimum_capacity_tree_still_works() {
+    let data = synthetic::uniform(200, 2, 40);
+    let tree = build(&data, 2);
+    check_invariants(&tree).unwrap();
+    let res = greedy_disc(&tree, 0.1, GreedyVariant::Grey, true);
+    assert!(verify_disc(&data, &res.solution, 0.1).is_valid());
+    // Capacity 2 must produce the same solution as capacity 50
+    // (index-agnostic algorithms).
+    let tree50 = build(&data, 50);
+    let res50 = greedy_disc(&tree50, 0.1, GreedyVariant::Grey, true);
+    assert_eq!(res.solution, res50.solution);
+}
+
+#[test]
+fn manhattan_and_chebyshev_metrics_work_end_to_end() {
+    for metric in [Metric::Manhattan, Metric::Chebyshev] {
+        let base = synthetic::uniform(150, 2, 41);
+        let pts = base.points().to_vec();
+        let data = Dataset::new("alt-metric", metric, pts);
+        let tree = build(&data, 8);
+        check_invariants(&tree).unwrap();
+        let res = greedy_disc(&tree, 0.15, GreedyVariant::Grey, true);
+        assert!(
+            verify_disc(&data, &res.solution, 0.15).is_valid(),
+            "{metric:?}"
+        );
+    }
+}
+
+#[test]
+fn zoom_chain_down_and_up_stays_valid() {
+    // r -> r/2 -> r/4 (zooming in twice), then back out to r.
+    let data = synthetic::clustered(500, 2, 5, 42);
+    let tree = build(&data, 10);
+    let r = 0.12;
+    let s0 = greedy_disc(&tree, r, GreedyVariant::Grey, true);
+    let s1 = greedy_zoom_in(&tree, &s0, r / 2.0);
+    let s2 = greedy_zoom_in(&tree, &s1.result, r / 4.0);
+    assert!(verify_disc(&data, &s2.result.solution, r / 4.0).is_valid());
+    // Chained supersets.
+    for o in &s0.solution {
+        assert!(s2.result.solution.contains(o));
+    }
+    let s3 = greedy_zoom_out(&tree, &s2.result, r, ZoomOutVariant::GreedyB);
+    assert!(verify_disc(&data, &s3.result.solution, r).is_valid());
+}
+
+#[test]
+fn hamming_radius_boundaries() {
+    let catalog = disc_diversity::datasets::camera_catalog();
+    let data = &catalog.dataset;
+    let tree = MTree::build(data, MTreeConfig::default());
+    tree.reset_node_accesses();
+    // r = 0: only exact duplicates are covered together.
+    let res = basic_disc(&tree, 0.0, BasicOrder::LeafOrder, true);
+    assert!(verify_disc(data, &res.solution, 0.0).is_valid());
+    assert!(res.size() < data.len(), "catalogue contains exact duplicates");
+    // r = 7 (all attributes): a single representative suffices.
+    let res = greedy_disc(&tree, 7.0, GreedyVariant::Grey, true);
+    assert_eq!(res.size(), 1);
+}
+
+#[test]
+fn fractional_hamming_radii_behave_like_floor() {
+    // Hamming distances are integers, so r = 2.5 must equal r = 2.
+    let catalog = disc_diversity::datasets::camera_catalog();
+    let data = &catalog.dataset;
+    let tree = MTree::build(data, MTreeConfig::default());
+    tree.reset_node_accesses();
+    let a = greedy_disc(&tree, 2.0, GreedyVariant::Grey, true);
+    let b = greedy_disc(&tree, 2.5, GreedyVariant::Grey, true);
+    assert_eq!(a.solution, b.solution);
+}
