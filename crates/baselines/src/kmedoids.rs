@@ -92,7 +92,9 @@ pub fn kmedoids(data: &Dataset, k: usize, seed: u64) -> KMedoidsResult {
                 .min_by(|&a, &b| {
                     let ca: f64 = members.iter().map(|&m| data.dist(a, m)).sum();
                     let cb: f64 = members.iter().map(|&m| data.dist(b, m)).sum();
-                    ca.partial_cmp(&cb).expect("finite distances").then(a.cmp(&b))
+                    ca.partial_cmp(&cb)
+                        .expect("finite distances")
+                        .then(a.cmp(&b))
                 })
                 .expect("members is non-empty");
             if best != medoids[c] {
@@ -137,7 +139,11 @@ mod tests {
             .iter()
             .map(|&m| data.point(m).coord(0) < 0.5)
             .collect();
-        assert_ne!(sides[0], sides[1], "one medoid per cluster: {:?}", res.medoids);
+        assert_ne!(
+            sides[0], sides[1],
+            "one medoid per cluster: {:?}",
+            res.medoids
+        );
         assert!(res.objective < 0.05);
     }
 

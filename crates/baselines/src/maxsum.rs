@@ -59,7 +59,9 @@ pub fn maxsum_select(data: &Dataset, k: usize) -> Vec<ObjId> {
             .max_by(|&x, &y| {
                 let sx: f64 = selected.iter().map(|&s| data.dist(x, s)).sum();
                 let sy: f64 = selected.iter().map(|&s| data.dist(y, s)).sum();
-                sx.partial_cmp(&sy).expect("finite distances").then(y.cmp(&x))
+                sx.partial_cmp(&sy)
+                    .expect("finite distances")
+                    .then(y.cmp(&x))
             })
             .expect("k <= n leaves available objects");
         selected.push(next);

@@ -11,7 +11,9 @@ fn models(c: &mut Criterion) {
     let data = bench_clustered(1_000);
     let tree = bench_tree(&data);
     let r = 0.15;
-    let k = greedy_disc(&tree, r, GreedyVariant::Grey, true).size().max(2);
+    let k = greedy_disc(&tree, r, GreedyVariant::Grey, true)
+        .size()
+        .max(2);
 
     let mut group = c.benchmark_group("fig6_models");
     group.sample_size(10);
@@ -21,9 +23,7 @@ fn models(c: &mut Criterion) {
     group.bench_function("r-C (Greedy-C)", |b| {
         b.iter(|| black_box(greedy_c(&tree, r).size()))
     });
-    group.bench_function("Fast-C", |b| {
-        b.iter(|| black_box(fast_c(&tree, r).size()))
-    });
+    group.bench_function("Fast-C", |b| b.iter(|| black_box(fast_c(&tree, r).size())));
     group.bench_function("MaxMin", |b| {
         b.iter(|| black_box(maxmin_select(&data, k).len()))
     });

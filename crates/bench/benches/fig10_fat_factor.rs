@@ -18,6 +18,7 @@ fn build(c: &mut Criterion) {
                     capacity: 50,
                     split_policy: p,
                     seed: BENCH_SEED,
+                    ..MTreeConfig::default()
                 };
                 black_box(MTree::build(&data, cfg).node_count())
             })
@@ -37,6 +38,7 @@ fn query(c: &mut Criterion) {
                 capacity: 50,
                 split_policy: policy,
                 seed: BENCH_SEED,
+                ..MTreeConfig::default()
             },
         );
         tree.reset_node_accesses();

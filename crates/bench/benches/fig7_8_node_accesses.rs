@@ -15,11 +15,9 @@ fn fig7(c: &mut Criterion) {
     for (dname, data) in [("uniform", &uniform), ("clustered", &clustered)] {
         let tree = bench_tree(data);
         for (name, h) in Heuristic::figure7_series() {
-            group.bench_with_input(
-                BenchmarkId::new(name.clone(), dname),
-                &0.04,
-                |b, &r| b.iter(|| black_box(h.run(&tree, r).node_accesses)),
-            );
+            group.bench_with_input(BenchmarkId::new(name.clone(), dname), &0.04, |b, &r| {
+                b.iter(|| black_box(h.run(&tree, r).node_accesses))
+            });
         }
     }
     group.finish();
@@ -31,9 +29,11 @@ fn fig8(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8");
     group.sample_size(10);
     for (name, h) in Heuristic::figure8_series() {
-        group.bench_with_input(BenchmarkId::new(name.clone(), "clustered"), &0.04, |b, &r| {
-            b.iter(|| black_box(h.run(&tree, r).node_accesses))
-        });
+        group.bench_with_input(
+            BenchmarkId::new(name.clone(), "clustered"),
+            &0.04,
+            |b, &r| b.iter(|| black_box(h.run(&tree, r).node_accesses)),
+        );
     }
     group.finish();
 }

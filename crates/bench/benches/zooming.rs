@@ -4,8 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use disc_bench::{bench_clustered, bench_tree};
 use disc_core::{
-    greedy_disc, greedy_zoom_in, greedy_zoom_out, zoom_in, zoom_out, GreedyVariant,
-    ZoomOutVariant,
+    greedy_disc, greedy_zoom_in, greedy_zoom_out, zoom_in, zoom_out, GreedyVariant, ZoomOutVariant,
 };
 use std::hint::black_box;
 

@@ -1,0 +1,205 @@
+//! fig9 perf report: pins the query-hot-path optimisations on the
+//! Figure 9 scaling workload (clustered, n ≥ 10k, Greedy-DisC and
+//! Greedy-C) and writes the numbers to `BENCH_fig9.json` so the perf
+//! trajectory accumulates across PRs.
+//!
+//! Reported:
+//!
+//! * **distance computations** of the count-seeding pass and of the full
+//!   Greedy-DisC / Greedy-C runs, with the M-tree parent-distance lemma
+//!   off vs on (`MTreeConfig::parent_pruning`) — the ratio is the
+//!   index-layer saving;
+//! * **wall-clock** of the count-seeding pass, serial vs threaded
+//!   (`disc-core`'s `parallel` feature; on a single-core host both sides
+//!   coincide, so the thread count is recorded alongside).
+//!
+//! Usage: `cargo run --release -p disc-bench --features parallel --bin
+//! fig9_report [-- <output-path>]` (default output `BENCH_fig9.json`).
+//! `FIG9_N` overrides the object count (the acceptance workload is
+//! 10_000; lower it only for smoke runs, which mark the JSON
+//! accordingly).
+
+use std::time::Instant;
+
+use disc_bench::BENCH_SEED;
+use disc_core::{fast_c, greedy_c, greedy_disc, par, GreedyVariant};
+use disc_datasets::synthetic::clustered;
+use disc_mtree::{MTree, MTreeConfig};
+
+/// Figure 9's default radius for the clustered workload.
+const RADIUS: f64 = 0.04;
+
+struct PruningRow {
+    label: &'static str,
+    off: u64,
+    on: u64,
+}
+
+impl PruningRow {
+    fn ratio(&self) -> f64 {
+        self.off as f64 / self.on.max(1) as f64
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_fig9.json".to_string());
+    let n: usize = std::env::var("FIG9_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000);
+    let smoke = n < 10_000;
+
+    eprintln!("fig9_report: clustered n={n} dim=2 clusters=8 seed={BENCH_SEED} r={RADIUS}");
+    let data = clustered(n, 2, 8, BENCH_SEED);
+    let tree_on = MTree::build(&data, MTreeConfig::default());
+    let tree_off = MTree::build(&data, MTreeConfig::default().with_parent_pruning(false));
+
+    // ---------------------------------------------------------------
+    // Distance computations: parent-distance lemma off vs on.
+    // ---------------------------------------------------------------
+    // The seeding pass is measured exactly as the heuristics run it:
+    // object-only queries (counting needs no distances).
+    let seeding_dc = |tree: &MTree<'_>| {
+        tree.reset_distance_computations();
+        let counts = par::seed_counts_serial(data.len(), |id, scratch: &mut Vec<usize>| {
+            tree.range_query_objs_into(id, RADIUS, scratch);
+            (scratch.len() - 1) as u32
+        });
+        assert!(!counts.is_empty());
+        tree.reset_distance_computations()
+    };
+    let full_dc = |tree: &MTree<'_>, algo: &dyn Fn(&MTree<'_>)| {
+        tree.reset_distance_computations();
+        algo(tree);
+        tree.reset_distance_computations()
+    };
+
+    let rows = vec![
+        PruningRow {
+            label: "count_seeding",
+            off: seeding_dc(&tree_off),
+            on: seeding_dc(&tree_on),
+        },
+        PruningRow {
+            label: "greedy_disc_full",
+            off: full_dc(&tree_off, &|t| {
+                greedy_disc(t, RADIUS, GreedyVariant::Grey, true);
+            }),
+            on: full_dc(&tree_on, &|t| {
+                greedy_disc(t, RADIUS, GreedyVariant::Grey, true);
+            }),
+        },
+        PruningRow {
+            label: "greedy_c_full",
+            off: full_dc(&tree_off, &|t| {
+                greedy_c(t, RADIUS);
+            }),
+            on: full_dc(&tree_on, &|t| {
+                greedy_c(t, RADIUS);
+            }),
+        },
+        PruningRow {
+            label: "fast_c_full",
+            off: full_dc(&tree_off, &|t| {
+                fast_c(t, RADIUS);
+            }),
+            on: full_dc(&tree_on, &|t| {
+                fast_c(t, RADIUS);
+            }),
+        },
+    ];
+    for row in &rows {
+        eprintln!(
+            "  dist comps {:<18} off={:>12} on={:>12} ratio={:.2}x",
+            row.label,
+            row.off,
+            row.on,
+            row.ratio()
+        );
+    }
+
+    // ---------------------------------------------------------------
+    // Count-seeding wall clock: serial vs threaded fan-out.
+    // ---------------------------------------------------------------
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let time_seeding = |run: &dyn Fn() -> Vec<u32>| {
+        let _warmup = run();
+        let reps = 3;
+        let start = Instant::now();
+        for _ in 0..reps {
+            let counts = run();
+            std::hint::black_box(&counts);
+        }
+        start.elapsed().as_secs_f64() * 1_000.0 / f64::from(reps)
+    };
+    let serial_ms = time_seeding(&|| {
+        par::seed_counts_serial(data.len(), |id, scratch: &mut Vec<usize>| {
+            tree_on.range_query_objs_into(id, RADIUS, scratch);
+            (scratch.len() - 1) as u32
+        })
+    });
+    #[cfg(feature = "parallel")]
+    let parallel_ms = time_seeding(&|| {
+        par::seed_counts_parallel(data.len(), |id, scratch: &mut Vec<usize>| {
+            tree_on.range_query_objs_into(id, RADIUS, scratch);
+            (scratch.len() - 1) as u32
+        })
+    });
+    #[cfg(not(feature = "parallel"))]
+    let parallel_ms = f64::NAN;
+    let speedup = serial_ms / parallel_ms;
+    eprintln!(
+        "  seeding wall-clock serial={serial_ms:.1}ms parallel={parallel_ms:.1}ms \
+         speedup={speedup:.2}x (threads={threads}, parallel feature {})",
+        cfg!(feature = "parallel")
+    );
+
+    // ---------------------------------------------------------------
+    // Hand-rolled JSON (no serde in the environment).
+    // ---------------------------------------------------------------
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"workload\": {{\"dataset\": \"clustered\", \"n\": {n}, \"dim\": 2, \
+         \"clusters\": 8, \"seed\": {BENCH_SEED}, \"radius\": {RADIUS}, \"smoke\": {smoke}}},\n"
+    ));
+    json.push_str("  \"distance_computations\": {\n");
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\": {{\"parent_pruning_off\": {}, \"parent_pruning_on\": {}, \
+             \"ratio\": {:.3}}}{}\n",
+            row.label,
+            row.off,
+            row.on,
+            row.ratio(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  },\n");
+    // NaN is not valid JSON; a build without the `parallel` feature
+    // reports null for the threaded side.
+    let js_num = |v: f64| {
+        if v.is_finite() {
+            format!("{v:.3}")
+        } else {
+            "null".to_string()
+        }
+    };
+    json.push_str(&format!(
+        "  \"count_seeding_wall_clock\": {{\"serial_ms\": {serial_ms:.3}, \
+         \"parallel_ms\": {}, \"speedup\": {}, \
+         \"threads\": {threads}, \"parallel_feature\": {}}}\n",
+        js_num(parallel_ms),
+        js_num(speedup),
+        cfg!(feature = "parallel")
+    ));
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_fig9.json");
+    eprintln!("fig9_report: wrote {out_path}");
+    println!("{json}");
+}

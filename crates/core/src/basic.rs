@@ -61,10 +61,7 @@ pub fn basic_disc(tree: &MTree<'_>, r: f64, order: BasicOrder, pruned: bool) -> 
     debug_assert!(!colors.any_white());
     DiscResult {
         radius: r,
-        heuristic: format!(
-            "B-DisC{}",
-            if pruned { " (Pruned)" } else { "" }
-        ),
+        heuristic: format!("B-DisC{}", if pruned { " (Pruned)" } else { "" }),
         solution,
         node_accesses: tree.node_accesses() - start,
     }

@@ -5,28 +5,33 @@
 //! these while building the M-tree; here initialisation is an explicit
 //! pass (one range query per object) charged to the calling algorithm,
 //! which preserves the relative cost shapes of the experiments.
-
-// Object ids double as array indices and query arguments here, so
-// indexed loops are the clearer idiom.
-#![allow(clippy::needless_range_loop)]
+//!
+//! The seeding pass fans out across threads when the `parallel` feature
+//! is on (see [`crate::par`]); results and cost counters are identical
+//! either way. Update loops reuse one scratch hit buffer per algorithm
+//! run instead of allocating a fresh `Vec` per range query.
 
 use disc_metric::ObjId;
 use disc_mtree::{Color, ColorState, MTree};
 
 use crate::heap::LazyMaxHeap;
+use crate::par;
 
 /// Initialises white-neighbourhood counts for *all* objects of a fresh
 /// (all-white) colouring, pushing every object into the heap. One range
 /// query per object, charged to the tree's access counter.
 pub fn init_all_white(tree: &MTree<'_>, r: f64) -> (Vec<u32>, LazyMaxHeap) {
     let n = tree.len();
-    let mut counts = vec![0u32; n];
-    let mut heap = LazyMaxHeap::with_capacity(n);
-    for id in 0..n {
+    let counts = par::seed_counts(n, |id, scratch: &mut Vec<ObjId>| {
         // Hits include the object itself; the paper's |N^W_r| excludes it.
-        let hits = tree.range_query_obj(id, r);
-        counts[id] = (hits.len() - 1) as u32;
-        heap.push(id, counts[id]);
+        // Object-only query: counting needs no distances, which unlocks
+        // the index's inclusion shortcuts.
+        tree.range_query_objs_into(id, r, scratch);
+        (scratch.len() - 1) as u32
+    });
+    let mut heap = LazyMaxHeap::with_capacity(n);
+    for (id, &c) in counts.iter().enumerate() {
+        heap.push(id, c);
     }
     (counts, heap)
 }
@@ -34,40 +39,36 @@ pub fn init_all_white(tree: &MTree<'_>, r: f64) -> (Vec<u32>, LazyMaxHeap) {
 /// Initialises counts for the *white* objects of a partially coloured
 /// state (used by the zooming passes): one pruned range query per white
 /// object, counting only white hits.
-pub fn init_white_subset(
-    tree: &MTree<'_>,
-    r: f64,
-    colors: &ColorState,
-) -> (Vec<u32>, LazyMaxHeap) {
+pub fn init_white_subset(tree: &MTree<'_>, r: f64, colors: &ColorState) -> (Vec<u32>, LazyMaxHeap) {
     let n = tree.len();
-    let mut counts = vec![0u32; n];
-    let mut heap = LazyMaxHeap::with_capacity(colors.white_count());
-    for id in 0..n {
+    let counts = par::seed_counts(n, |id, scratch: &mut Vec<ObjId>| {
         if !colors.is_white(id) {
-            continue;
+            return 0;
         }
-        let white_hits = tree
-            .range_query_obj_pruned(id, r, colors)
-            .iter()
-            .filter(|h| colors.is_white(h.object))
-            .count();
-        counts[id] = (white_hits - 1) as u32; // exclude the object itself
-        heap.push(id, counts[id]);
+        tree.range_query_objs_pruned_into(id, r, colors, scratch);
+        let white_hits = scratch.iter().filter(|&&o| colors.is_white(o)).count();
+        (white_hits - 1) as u32 // exclude the object itself
+    });
+    let mut heap = LazyMaxHeap::with_capacity(colors.white_count());
+    for (id, &c) in counts.iter().enumerate() {
+        if colors.is_white(id) {
+            heap.push(id, c);
+        }
     }
     (counts, heap)
 }
 
 /// Colours `picked`'s white neighbours grey and returns them. `hits` are
-/// the results of the main range query `Q(picked, r)`.
+/// the objects returned by the main range query `Q(picked, r)`.
 pub fn grey_out_white_hits(
     tree: &MTree<'_>,
     colors: &mut ColorState,
     picked: ObjId,
-    hits: &[disc_mtree::RangeHit],
+    hits: &[ObjId],
 ) -> Vec<ObjId> {
     let newly_grey: Vec<ObjId> = hits
         .iter()
-        .map(|h| h.object)
+        .copied()
         .filter(|&o| o != picked && colors.is_white(o))
         .collect();
     for &o in &newly_grey {
@@ -89,12 +90,36 @@ pub fn grey_update(
     newly_grey: &[ObjId],
     update_radius: f64,
 ) {
+    let mut scratch: Vec<ObjId> = Vec::new();
+    grey_update_with_scratch(
+        tree,
+        colors,
+        counts,
+        heap,
+        newly_grey,
+        update_radius,
+        &mut scratch,
+    );
+}
+
+/// [`grey_update`] writing its range queries into a caller-owned scratch
+/// buffer, so per-selection update rounds share one allocation.
+#[allow(clippy::too_many_arguments)]
+pub fn grey_update_with_scratch(
+    tree: &MTree<'_>,
+    colors: &ColorState,
+    counts: &mut [u32],
+    heap: &mut LazyMaxHeap,
+    newly_grey: &[ObjId],
+    update_radius: f64,
+    scratch: &mut Vec<ObjId>,
+) {
     for &pj in newly_grey {
-        let hits = tree.range_query_obj_pruned(pj, update_radius, colors);
-        for h in hits {
-            if colors.is_white(h.object) {
-                counts[h.object] -= 1;
-                heap.push(h.object, counts[h.object]);
+        tree.range_query_objs_pruned_into(pj, update_radius, colors, scratch);
+        for &o in scratch.iter() {
+            if colors.is_white(o) {
+                counts[o] -= 1;
+                heap.push(o, counts[o]);
             }
         }
     }
@@ -113,14 +138,16 @@ pub fn greedy_white_pass(
     heap: &mut LazyMaxHeap,
     solution: &mut Vec<ObjId>,
 ) {
+    let mut sel_scratch: Vec<ObjId> = Vec::new();
+    let mut upd_scratch: Vec<ObjId> = Vec::new();
     while colors.any_white() {
         let picked = heap
             .pop_valid(|id| colors.is_white(id).then(|| counts[id]))
             .expect("white objects remain, so the heap holds a candidate");
         colors.set_color(tree, picked, Color::Black);
-        let hits = tree.range_query_obj_pruned(picked, r, colors);
-        let newly_grey = grey_out_white_hits(tree, colors, picked, &hits);
-        grey_update(tree, colors, counts, heap, &newly_grey, r);
+        tree.range_query_objs_pruned_into(picked, r, colors, &mut sel_scratch);
+        let newly_grey = grey_out_white_hits(tree, colors, picked, &sel_scratch);
+        grey_update_with_scratch(tree, colors, counts, heap, &newly_grey, r, &mut upd_scratch);
         solution.push(picked);
     }
 }
@@ -154,6 +181,8 @@ mod tests {
         }
         let r = 0.2;
         let (counts, _) = init_white_subset(&tree, r, &colors);
+        // Object ids double as count indices here.
+        #[allow(clippy::needless_range_loop)]
         for id in 50..100 {
             let expect = neighbors::neighbors(&data, id, r)
                 .into_iter()

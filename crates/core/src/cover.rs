@@ -29,14 +29,11 @@
 //! reproduces the paper's remark that Fast-C solutions contain a larger
 //! share of independent objects.
 
-// Object ids double as array indices and query arguments here, so
-// indexed loops are the clearer idiom.
-#![allow(clippy::needless_range_loop)]
-
 use disc_metric::ObjId;
-use disc_mtree::{Color, ColorState, MTree, RangeHit};
+use disc_mtree::{Color, ColorState, MTree};
 
 use crate::heap::LazyMaxHeap;
+use crate::par;
 use crate::result::DiscResult;
 
 /// Computes an r-C diverse subset (coverage only) with Greedy-C.
@@ -57,13 +54,15 @@ fn run_cover(tree: &MTree<'_>, r: f64, fast: bool) -> DiscResult {
     let mut colors = ColorState::new(tree);
 
     // counts[p] = |N_r(p) ∩ white| for every object, initialised by one
-    // range query per object (exact: nothing is grey yet).
-    let mut counts = vec![0u32; n];
+    // range query per object (exact: nothing is grey yet). The queries
+    // are independent, so the pass fans out when `parallel` is enabled.
+    let mut counts = par::seed_counts(n, |id, scratch: &mut Vec<ObjId>| {
+        query_into(tree, id, r, fast, &colors, scratch);
+        (scratch.len() - 1) as u32
+    });
     let mut heap = LazyMaxHeap::with_capacity(n);
-    for id in 0..n {
-        let hits = query(tree, id, r, fast, &colors);
-        counts[id] = (hits.len() - 1) as u32;
-        heap.push(id, counts[id] + 1); // all white: self-term applies
+    for (id, &c) in counts.iter().enumerate() {
+        heap.push(id, c + 1); // all white: self-term applies
     }
 
     let key_of = |id: ObjId, colors: &ColorState, counts: &[u32]| -> Option<u32> {
@@ -75,21 +74,30 @@ fn run_cover(tree: &MTree<'_>, r: f64, fast: bool) -> DiscResult {
     };
 
     let mut solution: Vec<ObjId> = Vec::new();
+    // Scratch buffers reused across the whole run: `sel_scratch` holds
+    // the selection query's hits (including the Fast-C revalidation
+    // query, whose hit list doubles as the selection hit list — the
+    // pop-time query and the post-pick query are the same query, so it
+    // is never reissued), `upd_scratch` the per-grey refresh queries.
+    let mut sel_scratch: Vec<ObjId> = Vec::new();
+    let mut upd_scratch: Vec<ObjId> = Vec::new();
     while colors.any_white() {
         // Select a candidate. Greedy-C keeps counts exact, so the heap's
-        // answer is authoritative; Fast-C revalidates the popped candidate
-        // with a fresh (truncated) query and re-queues it if its key
-        // dropped.
-        let (picked, picked_hits) = if fast {
+        // answer is authoritative and one post-pop query suffices; Fast-C
+        // revalidates the popped candidate with a fresh (truncated) query
+        // and re-queues it if its key dropped.
+        let picked = if fast {
             let mut selected = None;
             while let Some(cand) = heap.pop_valid(|id| key_of(id, &colors, &counts)) {
-                let hits = query(tree, cand, r, true, &colors);
-                let fresh = hits
+                query_into(tree, cand, r, true, &colors, &mut sel_scratch);
+                let fresh = sel_scratch
                     .iter()
-                    .filter(|h| h.object != cand && colors.is_white(h.object))
+                    .filter(|&&o| o != cand && colors.is_white(o))
                     .count() as u32;
                 if fresh == counts[cand] {
-                    selected = Some((cand, hits));
+                    // `sel_scratch` already holds Q(cand, r): reuse it as
+                    // the selection hit list below.
+                    selected = Some(cand);
                     break;
                 }
                 debug_assert!(fresh < counts[cand], "truncated counts only shrink");
@@ -102,9 +110,10 @@ fn run_cover(tree: &MTree<'_>, r: f64, fast: bool) -> DiscResult {
             let cand = heap
                 .pop_valid(|id| key_of(id, &colors, &counts))
                 .expect("white objects remain, so candidates exist");
-            let hits = query(tree, cand, r, false, &colors);
-            (cand, hits)
+            query_into(tree, cand, r, false, &colors, &mut sel_scratch);
+            cand
         };
+        let picked_hits = &sel_scratch;
 
         let was_white = colors.is_white(picked);
         colors.set_color(tree, picked, Color::Black);
@@ -112,20 +121,17 @@ fn run_cover(tree: &MTree<'_>, r: f64, fast: bool) -> DiscResult {
         // Decrement for `picked` leaving white: every non-black neighbour
         // keeps a candidate count.
         if was_white {
-            for h in &picked_hits {
-                if h.object != picked && colors.color(h.object) != Color::Black {
-                    counts[h.object] = counts[h.object].saturating_sub(1);
-                    heap.push(
-                        h.object,
-                        counts[h.object] + u32::from(colors.is_white(h.object)),
-                    );
+            for &o in picked_hits.iter() {
+                if o != picked && colors.color(o) != Color::Black {
+                    counts[o] = counts[o].saturating_sub(1);
+                    heap.push(o, counts[o] + u32::from(colors.is_white(o)));
                 }
             }
         }
 
         let newly_grey: Vec<ObjId> = picked_hits
             .iter()
-            .map(|h| h.object)
+            .copied()
             .filter(|&o| o != picked && colors.is_white(o))
             .collect();
         for &pj in &newly_grey {
@@ -137,14 +143,11 @@ fn run_cover(tree: &MTree<'_>, r: f64, fast: bool) -> DiscResult {
             // Greedy-C: exact refresh — one query per newly grey object,
             // decrementing everything that lost a white neighbour.
             for &pj in &newly_grey {
-                let uhits = query(tree, pj, r, false, &colors);
-                for h in uhits {
-                    if h.object != pj && colors.color(h.object) != Color::Black {
-                        counts[h.object] = counts[h.object].saturating_sub(1);
-                        heap.push(
-                            h.object,
-                            counts[h.object] + u32::from(colors.is_white(h.object)),
-                        );
+                query_into(tree, pj, r, false, &colors, &mut upd_scratch);
+                for &o in upd_scratch.iter() {
+                    if o != pj && colors.color(o) != Color::Black {
+                        counts[o] = counts[o].saturating_sub(1);
+                        heap.push(o, counts[o] + u32::from(colors.is_white(o)));
                     }
                 }
             }
@@ -156,8 +159,7 @@ fn run_cover(tree: &MTree<'_>, r: f64, fast: bool) -> DiscResult {
             // candidates in the (r, 2r] annulus stay stale until the
             // pop-time revalidation catches them.
             let data = tree.data();
-            for h in &picked_hits {
-                let x = h.object;
+            for &x in picked_hits.iter() {
                 if x == picked || colors.color(x) == Color::Black {
                     continue;
                 }
@@ -182,11 +184,18 @@ fn run_cover(tree: &MTree<'_>, r: f64, fast: bool) -> DiscResult {
     }
 }
 
-fn query(tree: &MTree<'_>, center: ObjId, r: f64, fast: bool, colors: &ColorState) -> Vec<RangeHit> {
+fn query_into(
+    tree: &MTree<'_>,
+    center: ObjId,
+    r: f64,
+    fast: bool,
+    colors: &ColorState,
+    hits: &mut Vec<ObjId>,
+) {
     if fast {
-        tree.range_query_bottom_up(center, r, Some(colors), true)
+        tree.range_query_objs_bottom_up_into(center, r, Some(colors), true, hits);
     } else {
-        tree.range_query_obj(center, r)
+        tree.range_query_objs_into(center, r, hits);
     }
 }
 
@@ -240,9 +249,17 @@ mod tests {
         let d = crate::greedy::greedy_disc(&tree, r, crate::GreedyVariant::Grey, true);
         assert!(verify_coverage(&data, &c.solution, r).is_empty());
         assert!(verify_disc(&data, &d.solution, r).is_valid());
-        assert!(c.size() < d.size(), "C {:?} vs DisC {:?}", c.solution, d.solution);
+        assert!(
+            c.size() < d.size(),
+            "C {:?} vs DisC {:?}",
+            c.solution,
+            d.solution
+        );
         let g = UnitDiskGraph::build(&data, r);
-        assert!(!is_independent(&g, &c.solution), "C result is dependent here");
+        assert!(
+            !is_independent(&g, &c.solution),
+            "C result is dependent here"
+        );
     }
 
     #[test]

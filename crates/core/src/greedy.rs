@@ -24,9 +24,9 @@
 //! exactness is unaffected.
 
 use disc_metric::ObjId;
-use disc_mtree::{Color, ColorState, MTree, RangeHit};
+use disc_mtree::{Color, ColorState, MTree};
 
-use crate::counts::{grey_out_white_hits, grey_update, init_all_white};
+use crate::counts::{grey_out_white_hits, grey_update_with_scratch, init_all_white};
 use crate::heap::LazyMaxHeap;
 use crate::result::DiscResult;
 
@@ -68,7 +68,11 @@ pub fn greedy_disc(tree: &MTree<'_>, r: f64, variant: GreedyVariant, pruned: boo
         GreedyVariant::White => 2.0 * r,
         GreedyVariant::LazyWhite => 1.5 * r, // the paper's lazy choice
     };
-    let label = format!("{}{}", variant.name(), if pruned { " (Pruned)" } else { "" });
+    let label = format!(
+        "{}{}",
+        variant.name(),
+        if pruned { " (Pruned)" } else { "" }
+    );
     run_greedy(tree, r, variant, update_radius, pruned, label)
 }
 
@@ -107,18 +111,31 @@ fn run_greedy(
     let mut colors = ColorState::new(tree);
     let (mut counts, mut heap) = init_all_white(tree, r);
     let mut solution: Vec<ObjId> = Vec::new();
+    // One selection-query buffer and one update-query buffer reused
+    // across the whole run: the per-selection `Vec<RangeHit>` allocation
+    // disappears from the hot loop.
+    let mut sel_scratch: Vec<ObjId> = Vec::new();
+    let mut upd_scratch: Vec<ObjId> = Vec::new();
 
     while colors.any_white() {
         let picked = heap
             .pop_valid(|id| colors.is_white(id).then(|| counts[id]))
             .expect("white objects remain, so the heap holds a candidate");
         colors.set_color(tree, picked, Color::Black);
-        let hits = query(tree, picked, r, pruned, &colors);
-        let newly_grey = grey_out_white_hits(tree, &mut colors, picked, &hits);
+        query_into(tree, picked, r, pruned, &colors, &mut sel_scratch);
+        let newly_grey = grey_out_white_hits(tree, &mut colors, picked, &sel_scratch);
 
         match variant {
             GreedyVariant::Grey | GreedyVariant::LazyGrey => {
-                grey_update(tree, &colors, &mut counts, &mut heap, &newly_grey, update_radius);
+                grey_update_with_scratch(
+                    tree,
+                    &colors,
+                    &mut counts,
+                    &mut heap,
+                    &newly_grey,
+                    update_radius,
+                    &mut upd_scratch,
+                );
             }
             GreedyVariant::White | GreedyVariant::LazyWhite => {
                 white_update(
@@ -131,6 +148,7 @@ fn run_greedy(
                     r,
                     update_radius,
                     pruned,
+                    &mut upd_scratch,
                 );
             }
         }
@@ -145,17 +163,18 @@ fn run_greedy(
     }
 }
 
-fn query(
+fn query_into(
     tree: &MTree<'_>,
     center: ObjId,
     r: f64,
     pruned: bool,
     colors: &ColorState,
-) -> Vec<RangeHit> {
+    hits: &mut Vec<ObjId>,
+) {
     if pruned {
-        tree.range_query_obj_pruned(center, r, colors)
+        tree.range_query_objs_pruned_into(center, r, colors, hits);
     } else {
-        tree.range_query_obj(center, r)
+        tree.range_query_objs_into(center, r, hits);
     }
 }
 
@@ -174,23 +193,24 @@ fn white_update(
     r: f64,
     update_radius: f64,
     pruned: bool,
+    scratch: &mut Vec<ObjId>,
 ) {
     if newly_grey.is_empty() {
         return;
     }
     let data = tree.data();
-    let hits = query(tree, picked, update_radius, pruned, colors);
-    for h in hits {
-        if !colors.is_white(h.object) {
+    query_into(tree, picked, update_radius, pruned, colors, scratch);
+    for &o in scratch.iter() {
+        if !colors.is_white(o) {
             continue;
         }
         let delta = newly_grey
             .iter()
-            .filter(|&&pj| data.dist(h.object, pj) <= r)
+            .filter(|&&pj| data.dist(o, pj) <= r)
             .count() as u32;
         if delta > 0 {
-            counts[h.object] -= delta;
-            heap.push(h.object, counts[h.object]);
+            counts[o] -= delta;
+            heap.push(o, counts[o]);
         }
     }
 }

@@ -40,7 +40,10 @@ impl LazyMaxHeap {
     /// candidates.
     ///
     /// Returns `None` when no valid candidate remains.
-    pub fn pop_valid(&mut self, mut current_key: impl FnMut(ObjId) -> Option<u32>) -> Option<ObjId> {
+    pub fn pop_valid(
+        &mut self,
+        mut current_key: impl FnMut(ObjId) -> Option<u32>,
+    ) -> Option<ObjId> {
         while let Some((key, Reverse(object))) = self.heap.pop() {
             match current_key(object) {
                 Some(cur) if cur == key => return Some(object),

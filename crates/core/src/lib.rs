@@ -44,6 +44,7 @@ pub mod greedy;
 pub mod heap;
 pub mod local;
 pub mod multi_radius;
+pub mod par;
 pub mod result;
 pub mod runner;
 pub mod verify;

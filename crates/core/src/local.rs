@@ -69,8 +69,10 @@ pub fn local_zoom(
     ids.sort_unstable();
     let main_accesses = tree.node_accesses() - start;
 
-    // 2. Restrict and index.
-    let (sub, map) = data.restrict(&ids);
+    // 2. Restrict and index. `ids` doubles as the local-to-original
+    //    mapping: local id `i` is original id `ids[i]`.
+    let sub = data.restrict(&ids);
+    let map = &ids;
     let sub_tree = MTree::build(&sub, MTreeConfig::default());
     // Previous solution inside the neighbourhood, in local ids.
     let local_prev: Vec<usize> = map
@@ -92,17 +94,17 @@ pub fn local_zoom(
     let adapted = if r_new < prev.radius {
         greedy_zoom_in(&sub_tree, &local_prev_result, r_new)
     } else {
-        greedy_zoom_out(&sub_tree, &local_prev_result, r_new, ZoomOutVariant::GreedyA)
+        greedy_zoom_out(
+            &sub_tree,
+            &local_prev_result,
+            r_new,
+            ZoomOutVariant::GreedyA,
+        )
     };
     let local_accesses = sub_tree.node_accesses();
 
     // 4. Map back and splice.
-    let new_local: Vec<ObjId> = adapted
-        .result
-        .solution
-        .iter()
-        .map(|&l| map[l])
-        .collect();
+    let new_local: Vec<ObjId> = adapted.result.solution.iter().map(|&l| map[l]).collect();
     let removed: Vec<ObjId> = local_prev
         .iter()
         .map(|&l| map[l])
@@ -189,12 +191,9 @@ mod tests {
         let res = local_zoom(&tree, &prev, center, r_new);
         // Restricted to the neighbourhood, the adapted selection is a
         // valid r'-DisC subset.
-        let ids: Vec<usize> = data
-            .ids()
-            .filter(|&o| data.dist(o, center) <= r)
-            .collect();
-        let (sub, map) = data.restrict(&ids);
-        let local_solution: Vec<usize> = map
+        let ids: Vec<usize> = data.ids().filter(|&o| data.dist(o, center) <= r).collect();
+        let sub = data.restrict(&ids);
+        let local_solution: Vec<usize> = ids
             .iter()
             .enumerate()
             .filter(|(_, orig)| res.solution.contains(orig))

@@ -31,6 +31,7 @@ use disc_metric::ObjId;
 use disc_mtree::{Color, ColorState, MTree, RangeHit};
 
 use crate::heap::LazyMaxHeap;
+use crate::par;
 use crate::result::DiscResult;
 
 /// Computes a multi-radius DisC diverse subset in leaf order (the
@@ -86,11 +87,14 @@ pub fn multi_radius_greedy_disc(tree: &MTree<'_>, radii: &[f64], pruned: bool) -
     let n = tree.len();
     let mut colors = ColorState::new(tree);
 
-    let mut counts = vec![0u32; n];
+    // Seeding: one `Q(p, r(p))` query per object, independent across
+    // objects — fans out under the `parallel` feature.
+    let mut counts = par::seed_counts(n, |id, scratch| {
+        count_neighbors_into(tree, id, radii, pruned, &colors, scratch)
+    });
     let mut heap = LazyMaxHeap::with_capacity(n);
-    for id in 0..n {
-        counts[id] = neighbors_of(tree, id, radii, pruned, &colors).len() as u32;
-        heap.push(id, counts[id]);
+    for (id, &c) in counts.iter().enumerate() {
+        heap.push(id, c);
     }
 
     let mut solution = Vec::new();
@@ -160,15 +164,45 @@ fn neighbors_of(
     pruned: bool,
     colors: &ColorState,
 ) -> Vec<(ObjId, f64)> {
-    let hits: Vec<RangeHit> = if pruned {
-        tree.range_query_obj_pruned(p, radii[p], colors)
-    } else {
-        tree.range_query_obj(p, radii[p])
-    };
+    let mut hits: Vec<RangeHit> = Vec::new();
+    query_into(tree, p, radii, pruned, colors, &mut hits);
     hits.into_iter()
         .filter(|h| h.object != p && h.dist <= radii[p].min(radii[h.object]))
         .map(|h| (h.object, h.dist))
         .collect()
+}
+
+/// Number of `min`-rule neighbours of `p`, using a reusable scratch
+/// buffer (the seeding pass only needs the count, not the pairs).
+fn count_neighbors_into(
+    tree: &MTree<'_>,
+    p: ObjId,
+    radii: &[f64],
+    pruned: bool,
+    colors: &ColorState,
+    scratch: &mut Vec<RangeHit>,
+) -> u32 {
+    query_into(tree, p, radii, pruned, colors, scratch);
+    scratch
+        .iter()
+        .filter(|h| h.object != p && h.dist <= radii[p].min(radii[h.object]))
+        .count() as u32
+}
+
+/// `Q(p, r(p))`, optionally colour-pruned, into a scratch buffer.
+fn query_into(
+    tree: &MTree<'_>,
+    p: ObjId,
+    radii: &[f64],
+    pruned: bool,
+    colors: &ColorState,
+    hits: &mut Vec<RangeHit>,
+) {
+    if pruned {
+        tree.range_query_obj_pruned_into(p, radii[p], colors, hits);
+    } else {
+        tree.range_query_obj_into(p, radii[p], hits);
+    }
 }
 
 fn check_radii(tree: &MTree<'_>, radii: &[f64]) {

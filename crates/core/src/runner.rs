@@ -38,7 +38,11 @@ impl Heuristic {
                 format!("B-DisC{}", if *pruned { " (Pruned)" } else { "" })
             }
             Heuristic::Greedy { variant, pruned } => {
-                format!("{}{}", variant.name(), if *pruned { " (Pruned)" } else { "" })
+                format!(
+                    "{}{}",
+                    variant.name(),
+                    if *pruned { " (Pruned)" } else { "" }
+                )
             }
             Heuristic::GreedyC => "G-C".into(),
             Heuristic::FastC => "Fast-C".into(),
@@ -184,7 +188,13 @@ mod tests {
         assert_eq!(Heuristic::table3_rows().len(), 5);
         assert_eq!(Heuristic::figure7_series().len(), 5);
         assert_eq!(Heuristic::figure8_series().len(), 5);
-        let names: Vec<String> = Heuristic::table3_rows().iter().map(|(n, _)| n.clone()).collect();
-        assert_eq!(names, ["B-DisC", "G-DisC", "L-Gr-G-DisC", "L-Wh-G-DisC", "G-C"]);
+        let names: Vec<String> = Heuristic::table3_rows()
+            .iter()
+            .map(|(n, _)| n.clone())
+            .collect();
+        assert_eq!(
+            names,
+            ["B-DisC", "G-DisC", "L-Gr-G-DisC", "L-Wh-G-DisC", "G-C"]
+        );
     }
 }

@@ -34,11 +34,7 @@ pub fn verify_disc(data: &Dataset, solution: &[ObjId], r: f64) -> VerifyReport {
 /// uncovered objects.
 pub fn verify_coverage(data: &Dataset, solution: &[ObjId], r: f64) -> Vec<ObjId> {
     data.ids()
-        .filter(|&p| {
-            !solution
-                .iter()
-                .any(|&s| s == p || data.dist(p, s) <= r)
-        })
+        .filter(|&p| !solution.iter().any(|&s| s == p || data.dist(p, s) <= r))
         .collect()
 }
 

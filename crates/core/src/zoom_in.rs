@@ -23,11 +23,7 @@ use crate::result::{DiscResult, ZoomResult};
 /// Distances from every object to its closest black neighbour, computed
 /// with one range query per black object (the paper's post-processing
 /// step). Black objects report 0.
-pub(crate) fn closest_black_distances(
-    tree: &MTree<'_>,
-    blacks: &[ObjId],
-    r: f64,
-) -> Vec<f64> {
+pub(crate) fn closest_black_distances(tree: &MTree<'_>, blacks: &[ObjId], r: f64) -> Vec<f64> {
     let mut dist = vec![f64::INFINITY; tree.len()];
     for &b in blacks {
         dist[b] = 0.0;
@@ -139,7 +135,14 @@ pub fn greedy_zoom_in(tree: &MTree<'_>, prev: &DiscResult, r_new: f64) -> ZoomRe
     }
     let (mut counts, mut heap) = init_white_subset(tree, r_new, &colors);
     let mut solution = prev.solution.clone();
-    greedy_white_pass(tree, r_new, &mut colors, &mut counts, &mut heap, &mut solution);
+    greedy_white_pass(
+        tree,
+        r_new,
+        &mut colors,
+        &mut counts,
+        &mut heap,
+        &mut solution,
+    );
 
     ZoomResult {
         result: DiscResult {

@@ -124,8 +124,10 @@ fn run_zoom_out(
                     .iter()
                     .filter(|(red, _)| colors.color(*red) == Color::Red)
                     .map(|(red, hits)| {
-                        let red_nb =
-                            hits.iter().filter(|&&o| colors.color(o) == Color::Red).count();
+                        let red_nb = hits
+                            .iter()
+                            .filter(|&&o| colors.color(o) == Color::Red)
+                            .count();
                         (*red, red_nb)
                     })
                     .max_by(|a, b| {

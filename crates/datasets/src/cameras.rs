@@ -63,11 +63,28 @@ impl CameraCatalog {
 }
 
 const BRANDS: [&str; 12] = [
-    "Canon", "Nikon", "Sony", "FujiFilm", "Pentax", "Olympus", "Kodak", "Ricoh", "Epson",
-    "Toshiba", "Panasonic", "Casio",
+    "Canon",
+    "Nikon",
+    "Sony",
+    "FujiFilm",
+    "Pentax",
+    "Olympus",
+    "Kodak",
+    "Ricoh",
+    "Epson",
+    "Toshiba",
+    "Panasonic",
+    "Casio",
 ];
 const LINES: [&str; 8] = [
-    "Compact", "Ultracompact", "Superzoom", "Bridge", "DSLR", "Rugged", "Entry", "Pro",
+    "Compact",
+    "Ultracompact",
+    "Superzoom",
+    "Bridge",
+    "DSLR",
+    "Rugged",
+    "Entry",
+    "Pro",
 ];
 const MEGAPIXELS: [&str; 14] = [
     "0.8", "1.2", "1.4", "1.9", "2.2", "3.0", "3.9", "5.0", "6.0", "8.0", "10.0", "12.0", "14.0",
@@ -286,13 +303,9 @@ mod tests {
         // so the r = 6 DisC solution should be tiny (paper: 2-4).
         let c = camera_catalog();
         let d = &c.dataset;
-        let sampled: Vec<(usize, usize)> = (0..100)
-            .flat_map(|i| (0..i).map(move |j| (i, j)))
-            .collect();
-        let far_pairs = sampled
-            .iter()
-            .filter(|&&(i, j)| d.dist(i, j) > 6.0)
-            .count();
+        let sampled: Vec<(usize, usize)> =
+            (0..100).flat_map(|i| (0..i).map(move |j| (i, j))).collect();
+        let far_pairs = sampled.iter().filter(|&&(i, j)| d.dist(i, j) > 6.0).count();
         assert!(
             far_pairs * 5 < sampled.len(),
             "{far_pairs}/{} pairs differ in all attributes",

@@ -53,10 +53,7 @@ pub fn cities_with_seed(seed: u64) -> Dataset {
     let towns = 45usize;
     let mut town_centres = Vec::with_capacity(towns);
     for _ in 0..towns {
-        town_centres.push((
-            rng.random_range(0.08..0.92),
-            rng.random_range(0.08..0.92),
-        ));
+        town_centres.push((rng.random_range(0.08..0.92), rng.random_range(0.08..0.92)));
     }
     let town_total: usize = CITIES_CARDINALITY - 1_770 - 700; // rest after conurbations and scatter
     let weights: Vec<f64> = (0..towns).map(|k| 1.0 / (1.0 + k as f64)).collect();

@@ -53,9 +53,7 @@ impl Workload {
     /// The radius sweep used for this workload in Table 3 / Figures 7–8.
     pub fn paper_radii(&self) -> Vec<f64> {
         match self {
-            Workload::Uniform | Workload::Clustered => {
-                (1..=7).map(|i| i as f64 * 0.01).collect()
-            }
+            Workload::Uniform | Workload::Clustered => (1..=7).map(|i| i as f64 * 0.01).collect(),
             Workload::Cities => vec![0.001, 0.0025, 0.005, 0.0075, 0.010, 0.0125, 0.015],
             Workload::Cameras => (1..=6).map(|i| i as f64).collect(),
         }
@@ -65,9 +63,7 @@ impl Workload {
     /// (Figures 11–16), ordered small → large.
     pub fn zoom_radii(&self) -> Vec<f64> {
         match self {
-            Workload::Uniform | Workload::Clustered => {
-                (1..=7).map(|i| i as f64 * 0.01).collect()
-            }
+            Workload::Uniform | Workload::Clustered => (1..=7).map(|i| i as f64 * 0.01).collect(),
             Workload::Cities => vec![0.001, 0.0025, 0.005, 0.0075, 0.010, 0.0125],
             Workload::Cameras => (1..=6).map(|i| i as f64).collect(),
         }
@@ -99,7 +95,10 @@ mod tests {
         assert_eq!(Workload::Clustered.paper_radii()[0], 0.01);
         assert_eq!(Workload::Clustered.paper_radii()[6], 0.07);
         assert_eq!(Workload::Cities.paper_radii()[0], 0.001);
-        assert_eq!(Workload::Cameras.paper_radii(), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(
+            Workload::Cameras.paper_radii(),
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        );
     }
 
     #[test]

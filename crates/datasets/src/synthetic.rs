@@ -31,7 +31,9 @@ pub fn clustered(n: usize, dim: usize, clusters: usize, seed: u64) -> Dataset {
         .map(|_| (0..dim).map(|_| rng.random_range(0.15..0.85)).collect())
         .collect();
     // Decaying weights: cluster k gets weight ~ 1 / (1 + k/2).
-    let weights: Vec<f64> = (0..clusters).map(|k| 1.0 / (1.0 + k as f64 / 2.0)).collect();
+    let weights: Vec<f64> = (0..clusters)
+        .map(|k| 1.0 / (1.0 + k as f64 / 2.0))
+        .collect();
     let total_w: f64 = weights.iter().sum();
     let spreads: Vec<f64> = (0..clusters)
         .map(|_| rng.random_range(0.02..0.08))
@@ -160,8 +162,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let samples: Vec<f64> = (0..20_000).map(|_| gaussian(&mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-            / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
         assert!(mean.abs() < 0.03, "mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "var {var}");
     }

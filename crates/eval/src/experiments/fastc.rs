@@ -39,9 +39,8 @@ pub fn run(scale: Scale) -> Vec<Table> {
             for r in radii(scale, w) {
                 let slow = greedy_c(&tree, r);
                 let fast = fast_c(&tree, r);
-                let savings =
-                    100.0 * (slow.node_accesses as f64 - fast.node_accesses as f64)
-                        / slow.node_accesses as f64;
+                let savings = 100.0 * (slow.node_accesses as f64 - fast.node_accesses as f64)
+                    / slow.node_accesses as f64;
                 // Independence share indicator: is the Fast-C solution an
                 // independent set (it often is; Greedy-C's usually not).
                 let g = UnitDiskGraph::build(&data, r);

@@ -28,7 +28,10 @@ pub fn run(scale: Scale) -> Vec<Table> {
             let mut columns = vec!["policy (fat-factor)".to_string()];
             columns.extend(radii.iter().map(|r| format!("r={r}")));
             let mut table = Table::new(
-                format!("Figure 10 ({}): node accesses by splitting policy", w.name()),
+                format!(
+                    "Figure 10 ({}): node accesses by splitting policy",
+                    w.name()
+                ),
                 columns,
             );
             for (name, policy) in SplitPolicy::figure10_policies() {
@@ -38,6 +41,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
                         capacity: 50,
                         split_policy: policy,
                         seed: 7,
+                        ..MTreeConfig::default()
                     },
                 );
                 let fat = tree.stats().fat_factor;

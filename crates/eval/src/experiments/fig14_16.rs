@@ -47,8 +47,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
 
         let mut size_rows: Vec<Vec<String>> = vec![vec!["Greedy-DisC".into()]];
         let mut cost_rows: Vec<Vec<String>> = vec![vec!["Greedy-DisC".into()]];
-        let mut jacc_rows: Vec<Vec<String>> =
-            vec![vec!["Greedy-DisC(r) - Greedy-DisC(r')".into()]];
+        let mut jacc_rows: Vec<Vec<String>> = vec![vec!["Greedy-DisC(r) - Greedy-DisC(r')".into()]];
         for v in VARIANTS {
             size_rows.push(vec![v.name().into()]);
             cost_rows.push(vec![v.name().into()]);

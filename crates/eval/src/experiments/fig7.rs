@@ -18,10 +18,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
             let radii = scale.radii(w);
             let mut columns = vec!["heuristic".to_string()];
             columns.extend(radii.iter().map(|r| format!("r={r}")));
-            let mut table = Table::new(
-                format!("Figure 7 ({}): node accesses", w.name()),
-                columns,
-            );
+            let mut table = Table::new(format!("Figure 7 ({}): node accesses", w.name()), columns);
             for (name, h) in Heuristic::figure7_series() {
                 let mut row = vec![name];
                 for &r in &radii {

@@ -51,10 +51,7 @@ mod tests {
     fn lazy_variants_do_not_cost_more_than_exact() {
         for t in run(Scale::Quick) {
             let get = |name: &str| -> u64 {
-                t.rows
-                    .iter()
-                    .find(|r| r[0] == name)
-                    .unwrap()[1..]
+                t.rows.iter().find(|r| r[0] == name).unwrap()[1..]
                     .iter()
                     .map(|c| c.parse::<u64>().unwrap())
                     .sum()

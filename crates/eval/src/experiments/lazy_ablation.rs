@@ -40,8 +40,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
         ],
     );
     for f in grey_factors {
-        let res =
-            greedy_disc_with_update_radius(&tree, r, GreedyVariant::LazyGrey, f * r, true);
+        let res = greedy_disc_with_update_radius(&tree, r, GreedyVariant::LazyGrey, f * r, true);
         grey_t.push_row(vec![
             format!("{f}"),
             res.size().to_string(),
@@ -58,8 +57,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
         ],
     );
     for f in white_factors {
-        let res =
-            greedy_disc_with_update_radius(&tree, r, GreedyVariant::LazyWhite, f * r, true);
+        let res = greedy_disc_with_update_radius(&tree, r, GreedyVariant::LazyWhite, f * r, true);
         white_t.push_row(vec![
             format!("{f}"),
             res.size().to_string(),
@@ -103,8 +101,7 @@ mod tests {
         let tree = Scale::Quick.tree(&data);
         let r = radius(Scale::Quick);
         // f = 1.0 grey is Grey-Greedy; f = 2.0 white is White-Greedy.
-        let ablated =
-            greedy_disc_with_update_radius(&tree, r, GreedyVariant::LazyGrey, r, true);
+        let ablated = greedy_disc_with_update_radius(&tree, r, GreedyVariant::LazyGrey, r, true);
         let exact = greedy_disc(&tree, r, GreedyVariant::Grey, true);
         assert_eq!(ablated.solution, exact.solution);
 

@@ -32,7 +32,7 @@ impl Scale {
                 // O(n·queries) work.
                 let full = Workload::Cities.build(EVAL_SEED);
                 let ids: Vec<usize> = (0..full.len()).step_by(4).collect();
-                full.restrict(&ids).0
+                full.restrict(&ids)
             }
             (Scale::Quick, Workload::Cameras) => Workload::Cameras.build(EVAL_SEED),
         }

@@ -209,7 +209,10 @@ mod tests {
         let g = UnitDiskGraph::build(&data, 1.0);
         // Check the intended topology: {v2, v5} dominates everything.
         assert!(crate::sets::is_dominating(&g, &[1, 4]));
-        assert!(g.adjacent(1, 4), "hubs are adjacent, so {{v2,v5}} is not independent");
+        assert!(
+            g.adjacent(1, 4),
+            "hubs are adjacent, so {{v2,v5}} is not independent"
+        );
         let s = minimum_independent_dominating_set(&g);
         assert_eq!(s.len(), 3, "paper's example needs 3: {s:?}");
         assert!(is_independent_dominating(&g, &s));

@@ -33,9 +33,8 @@ pub fn is_dominating(g: &UnitDiskGraph, set: &[ObjId]) -> bool {
     for &s in set {
         selected[s] = true;
     }
-    g.vertices().all(|v| {
-        selected[v] || g.neighbors(v).iter().any(|&u| selected[u])
-    })
+    g.vertices()
+        .all(|v| selected[v] || g.neighbors(v).iter().any(|&u| selected[u]))
 }
 
 /// Whether `set` is an independent dominating set — i.e. an r-DisC diverse

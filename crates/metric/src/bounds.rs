@@ -156,14 +156,9 @@ mod tests {
             for _ in 0..4000 {
                 let angle = rng.random_range(0.0..std::f64::consts::TAU);
                 let rad = rng.random_range(0.0..=r);
-                let cand = Point::new2(
-                    0.5 + rad * angle.cos(),
-                    0.5 + rad * angle.sin(),
-                );
+                let cand = Point::new2(0.5 + rad * angle.cos(), 0.5 + rad * angle.sin());
                 if Metric::Euclidean.dist(&centre, &cand) <= r
-                    && kept
-                        .iter()
-                        .all(|k| Metric::Euclidean.dist(k, &cand) > r)
+                    && kept.iter().all(|k| Metric::Euclidean.dist(k, &cand) > r)
                 {
                     kept.push(cand);
                 }

@@ -5,35 +5,94 @@
 //! and address objects by [`ObjId`]. Keeping the metric inside the dataset
 //! mirrors the paper's setup, where the metric is a property of the workload
 //! (Euclidean for spatial data, Hamming for the camera catalogue).
+//!
+//! ## Storage layout
+//!
+//! Coordinates live in one flat, contiguous `Vec<f64>` in row-major
+//! order (`coords[id * dim .. (id + 1) * dim]` is object `id`). Every
+//! distance computation on the query hot path reads two slices of this
+//! buffer directly — no per-point heap allocation, no pointer chase —
+//! and derived datasets ([`Dataset::restrict`], [`Dataset::normalized`])
+//! are single-allocation copies of the relevant rows.
 
-use crate::{distance::Metric, point::Point, ObjId};
+use crate::{
+    distance::Metric,
+    point::{Point, PointView},
+    ObjId,
+};
 
 /// A named collection of points under a fixed metric.
 #[derive(Clone, Debug)]
 pub struct Dataset {
     name: String,
     metric: Metric,
-    points: Vec<Point>,
+    dim: usize,
+    /// Row-major coordinate buffer, `len() * dim` values.
+    coords: Vec<f64>,
 }
 
 impl Dataset {
-    /// Creates a dataset.
+    /// Creates a dataset from owned points (flattening them into the
+    /// contiguous buffer).
     ///
     /// # Panics
     ///
     /// Panics if `points` is empty or if the points disagree on
     /// dimensionality.
     pub fn new(name: impl Into<String>, metric: Metric, points: Vec<Point>) -> Self {
-        assert!(!points.is_empty(), "dataset must contain at least one point");
+        assert!(
+            !points.is_empty(),
+            "dataset must contain at least one point"
+        );
         let dim = points[0].dim();
         assert!(
             points.iter().all(|p| p.dim() == dim),
             "all points must share dimensionality"
         );
+        let mut coords = Vec::with_capacity(points.len() * dim);
+        for p in &points {
+            coords.extend_from_slice(p.coords());
+        }
         Self {
             name: name.into(),
             metric,
-            points,
+            dim,
+            coords,
+        }
+    }
+
+    /// Creates a dataset directly from a flat row-major coordinate
+    /// buffer of `dim`-wide rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero, `coords` is empty, `coords.len()` is not
+    /// a multiple of `dim`, or any coordinate is non-finite.
+    pub fn from_flat(
+        name: impl Into<String>,
+        metric: Metric,
+        dim: usize,
+        coords: Vec<f64>,
+    ) -> Self {
+        assert!(dim > 0, "a point needs at least one dimension");
+        assert!(
+            !coords.is_empty(),
+            "dataset must contain at least one point"
+        );
+        assert_eq!(
+            coords.len() % dim,
+            0,
+            "coordinate buffer must hold whole {dim}-wide rows"
+        );
+        assert!(
+            coords.iter().all(|c| c.is_finite()),
+            "point coordinates must be finite"
+        );
+        Self {
+            name: name.into(),
+            metric,
+            dim,
+            coords,
         }
     }
 
@@ -48,109 +107,137 @@ impl Dataset {
     }
 
     /// Number of objects.
+    #[inline]
     pub fn len(&self) -> usize {
-        self.points.len()
+        self.coords.len() / self.dim
     }
 
     /// Whether the dataset is empty (never true by construction; present for
     /// API completeness).
     pub fn is_empty(&self) -> bool {
-        self.points.is_empty()
+        self.coords.is_empty()
     }
 
     /// Dimensionality of the space.
+    #[inline]
     pub fn dim(&self) -> usize {
-        self.points[0].dim()
+        self.dim
     }
 
-    /// The point with identifier `id`.
+    /// Coordinate row of object `id` — the raw hot-path accessor.
     ///
     /// # Panics
     ///
     /// Panics if `id` is out of range.
     #[inline]
-    pub fn point(&self, id: ObjId) -> &Point {
-        &self.points[id]
+    pub fn row(&self, id: ObjId) -> &[f64] {
+        &self.coords[id * self.dim..(id + 1) * self.dim]
     }
 
-    /// All points, indexable by [`ObjId`].
-    pub fn points(&self) -> &[Point] {
-        &self.points
+    /// The point with identifier `id`, as a borrowed view into the flat
+    /// buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn point(&self, id: ObjId) -> PointView<'_> {
+        PointView::new(self.row(id))
+    }
+
+    /// The whole flat row-major coordinate buffer.
+    pub fn flat_coords(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// Iterator over all points as views (replacement for the old
+    /// `&[Point]` accessor; materialise with `.map(|v| v.to_point())` if
+    /// owned points are needed).
+    pub fn iter_points(&self) -> impl Iterator<Item = PointView<'_>> + '_ {
+        (0..self.len()).map(move |id| self.point(id))
     }
 
     /// Distance between objects `a` and `b`.
     #[inline]
     pub fn dist(&self, a: ObjId, b: ObjId) -> f64 {
-        self.metric.dist(&self.points[a], &self.points[b])
+        self.metric.dist_coords(self.row(a), self.row(b))
     }
 
     /// Distance between object `a` and an arbitrary point.
     #[inline]
     pub fn dist_to(&self, a: ObjId, p: &Point) -> f64 {
-        self.metric.dist(&self.points[a], p)
+        self.metric.dist_coords(self.row(a), p.coords())
+    }
+
+    /// Distance between object `a` and a raw coordinate slice (hot-path
+    /// variant of [`Dataset::dist_to`]).
+    #[inline]
+    pub fn dist_to_coords(&self, a: ObjId, q: &[f64]) -> f64 {
+        self.metric.dist_coords(self.row(a), q)
     }
 
     /// Iterator over all object ids.
     pub fn ids(&self) -> impl Iterator<Item = ObjId> + '_ {
-        0..self.points.len()
+        0..self.len()
     }
 
     /// Rescales every coordinate into `[0, 1]` per dimension (min-max
     /// normalisation), as the paper does for the Cities dataset. Dimensions
     /// with zero spread map to 0.
     pub fn normalized(&self) -> Self {
-        let dim = self.dim();
+        let dim = self.dim;
         let mut lo = vec![f64::INFINITY; dim];
         let mut hi = vec![f64::NEG_INFINITY; dim];
-        for p in &self.points {
-            for (d, &c) in p.coords().iter().enumerate() {
+        for row in self.coords.chunks_exact(dim) {
+            for (d, &c) in row.iter().enumerate() {
                 lo[d] = lo[d].min(c);
                 hi[d] = hi[d].max(c);
             }
         }
-        let points = self
-            .points
+        let span: Vec<f64> = lo.iter().zip(&hi).map(|(&l, &h)| h - l).collect();
+        // One pass over the flat buffer, one output allocation.
+        let coords = self
+            .coords
             .iter()
-            .map(|p| {
-                Point::new(
-                    p.coords()
-                        .iter()
-                        .enumerate()
-                        .map(|(d, &c)| {
-                            let span = hi[d] - lo[d];
-                            if span > 0.0 {
-                                (c - lo[d]) / span
-                            } else {
-                                0.0
-                            }
-                        })
-                        .collect(),
-                )
+            .enumerate()
+            .map(|(i, &c)| {
+                let d = i % dim;
+                if span[d] > 0.0 {
+                    (c - lo[d]) / span[d]
+                } else {
+                    0.0
+                }
             })
             .collect();
         Self {
             name: self.name.clone(),
             metric: self.metric,
-            points,
+            dim,
+            coords,
         }
     }
 
-    /// A sub-dataset containing exactly the given objects, preserving their
-    /// order. Returns the mapping from new ids to original ids alongside.
+    /// A sub-dataset containing exactly the given objects, preserving
+    /// their order: new id `i` is old id `ids[i]`, so the argument slice
+    /// *is* the new-to-old mapping (earlier revisions returned a clone of
+    /// it alongside).
     ///
     /// Local zooming (Section 3 of the paper) operates on the neighbourhood
-    /// `N_r(p_i)` of a single object; this is the primitive it uses.
-    pub fn restrict(&self, ids: &[ObjId]) -> (Self, Vec<ObjId>) {
+    /// `N_r(p_i)` of a single object; this is the primitive it uses. The
+    /// rows are copied into one fresh contiguous buffer in a single
+    /// allocation.
+    pub fn restrict(&self, ids: &[ObjId]) -> Self {
         assert!(!ids.is_empty(), "restriction must keep at least one object");
-        let points = ids.iter().map(|&i| self.points[i].clone()).collect();
-        (
-            Self {
-                name: format!("{}[{} objects]", self.name, ids.len()),
-                metric: self.metric,
-                points,
-            },
-            ids.to_vec(),
-        )
+        let mut coords = Vec::with_capacity(ids.len() * self.dim);
+        for &id in ids {
+            coords.extend_from_slice(self.row(id));
+        }
+        Self {
+            name: format!("{}[{} objects]", self.name, ids.len()),
+            metric: self.metric,
+            dim: self.dim,
+            coords,
+        }
     }
 }
 
@@ -183,6 +270,34 @@ mod tests {
     }
 
     #[test]
+    fn storage_is_flat_and_row_major() {
+        let d = unit_square();
+        assert_eq!(d.flat_coords(), &[0.0, 0.0, 1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        assert_eq!(d.row(2), &[0.0, 1.0]);
+        assert_eq!(d.iter_points().count(), 4);
+    }
+
+    #[test]
+    fn from_flat_matches_point_construction() {
+        let a = unit_square();
+        let b = Dataset::from_flat(
+            "square",
+            Metric::Euclidean,
+            2,
+            vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0, 1.0, 1.0],
+        );
+        for id in a.ids() {
+            assert_eq!(a.point(id), b.point(id));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "whole")]
+    fn from_flat_rejects_ragged_buffers() {
+        let _ = Dataset::from_flat("bad", Metric::Euclidean, 2, vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
     fn pairwise_distance() {
         let d = unit_square();
         assert!((d.dist(0, 3) - std::f64::consts::SQRT_2).abs() < 1e-12);
@@ -194,6 +309,7 @@ mod tests {
         let d = unit_square();
         let q = Point::new2(0.0, 0.5);
         assert!((d.dist_to(0, &q) - 0.5).abs() < 1e-12);
+        assert!((d.dist_to_coords(0, q.coords()) - 0.5).abs() < 1e-12);
     }
 
     #[test]
@@ -226,13 +342,12 @@ mod tests {
     }
 
     #[test]
-    fn restriction_preserves_points_and_mapping() {
+    fn restriction_preserves_points_in_argument_order() {
         let d = unit_square();
-        let (sub, map) = d.restrict(&[3, 1]);
+        let sub = d.restrict(&[3, 1]);
         assert_eq!(sub.len(), 2);
         assert_eq!(sub.point(0), d.point(3));
         assert_eq!(sub.point(1), d.point(1));
-        assert_eq!(map, vec![3, 1]);
     }
 
     #[test]

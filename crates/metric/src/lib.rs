@@ -23,7 +23,7 @@ pub mod point;
 
 pub use dataset::Dataset;
 pub use distance::Metric;
-pub use point::Point;
+pub use point::{Point, PointView};
 
 /// Identifier of an object inside a [`Dataset`]: its position in the
 /// underlying point vector.

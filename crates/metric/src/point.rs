@@ -1,14 +1,25 @@
 //! Points in a multi-dimensional space.
 //!
-//! A [`Point`] is a fixed-dimension vector of `f64` coordinates. Numeric
-//! datasets (Uniform, Clustered, Cities) store real coordinates in `[0, 1]`;
-//! categorical datasets (Cameras) store small integer *codes* per attribute
-//! and are compared with the Hamming metric, which only tests coordinate
-//! equality, so the shared representation loses nothing.
+//! Two representations exist:
+//!
+//! * [`Point`] — an *owned* fixed-dimension vector of `f64` coordinates,
+//!   used to construct datasets and as free-standing query centres;
+//! * [`PointView`] — a *borrowed* view into a [`Dataset`]'s flat
+//!   coordinate buffer (`crate::dataset`). All stored points live
+//!   contiguously in that buffer; a view is just a slice, so the query
+//!   hot path never chases a per-point heap allocation.
+//!
+//! Numeric datasets (Uniform, Clustered, Cities) store real coordinates
+//! in `[0, 1]`; categorical datasets (Cameras) store small integer
+//! *codes* per attribute and are compared with the Hamming metric, which
+//! only tests coordinate equality, so the shared representation loses
+//! nothing.
+//!
+//! [`Dataset`]: crate::dataset::Dataset
 
 use std::fmt;
 
-/// A point in `d`-dimensional space.
+/// A point in `d`-dimensional space (owned).
 #[derive(Clone, PartialEq)]
 pub struct Point {
     coords: Vec<f64>,
@@ -58,18 +69,19 @@ impl Point {
     pub fn coord(&self, i: usize) -> f64 {
         self.coords[i]
     }
+
+    /// A borrowed view of this point (same shape a dataset-stored point
+    /// presents).
+    pub fn view(&self) -> PointView<'_> {
+        PointView {
+            coords: &self.coords,
+        }
+    }
 }
 
 impl fmt::Debug for Point {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Point(")?;
-        for (i, c) in self.coords.iter().enumerate() {
-            if i > 0 {
-                write!(f, ", ")?;
-            }
-            write!(f, "{c:.4}")?;
-        }
-        write!(f, ")")
+        fmt_coords(&self.coords, f)
     }
 }
 
@@ -83,6 +95,91 @@ impl From<(f64, f64)> for Point {
     fn from((x, y): (f64, f64)) -> Self {
         Self::new2(x, y)
     }
+}
+
+/// A borrowed point: a view into a dataset's flat coordinate buffer.
+///
+/// Cheap to copy (one slice), hashable by identity of its coordinates,
+/// and comparable against owned [`Point`]s in both directions.
+#[derive(Clone, Copy)]
+pub struct PointView<'a> {
+    coords: &'a [f64],
+}
+
+impl<'a> PointView<'a> {
+    /// Wraps a raw coordinate slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `coords` is empty (points have at
+    /// least one dimension).
+    pub fn new(coords: &'a [f64]) -> Self {
+        debug_assert!(!coords.is_empty(), "a point needs at least one dimension");
+        Self { coords }
+    }
+
+    /// Dimensionality of the point.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Coordinate slice (borrows the dataset's buffer).
+    #[inline]
+    pub fn coords(&self) -> &'a [f64] {
+        self.coords
+    }
+
+    /// Coordinate in dimension `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.dim()`.
+    #[inline]
+    pub fn coord(&self, i: usize) -> f64 {
+        self.coords[i]
+    }
+
+    /// Copies the view into an owned [`Point`].
+    pub fn to_point(&self) -> Point {
+        Point::new(self.coords.to_vec())
+    }
+}
+
+impl PartialEq for PointView<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.coords == other.coords
+    }
+}
+
+impl PartialEq<Point> for PointView<'_> {
+    fn eq(&self, other: &Point) -> bool {
+        self.coords == other.coords()
+    }
+}
+
+impl PartialEq<PointView<'_>> for Point {
+    fn eq(&self, other: &PointView<'_>) -> bool {
+        self.coords() == other.coords
+    }
+}
+
+impl fmt::Debug for PointView<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_coords(self.coords, f)
+    }
+}
+
+/// Shared `Point(…)` rendering for owned points and views.
+fn fmt_coords(coords: &[f64], f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    write!(f, "Point(")?;
+    for (i, c) in coords.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "{c:.4}")?;
+    }
+    write!(f, ")")
 }
 
 #[cfg(test)]
@@ -133,5 +230,27 @@ mod tests {
     fn debug_format_is_compact() {
         let p = Point::new2(0.12345, 1.0);
         assert_eq!(format!("{p:?}"), "Point(0.1235, 1.0000)");
+        assert_eq!(format!("{:?}", p.view()), "Point(0.1235, 1.0000)");
+    }
+
+    #[test]
+    fn views_compare_against_points_both_ways() {
+        let p = Point::new2(0.5, 0.25);
+        let buf = [0.5, 0.25];
+        let v = PointView::new(&buf);
+        assert_eq!(v, p);
+        assert_eq!(p, v);
+        assert_eq!(v, v);
+        let other = Point::new2(0.5, 0.26);
+        assert!(v != other);
+    }
+
+    #[test]
+    fn view_round_trips_to_owned_point() {
+        let buf = [1.0, 2.0, 3.0];
+        let v = PointView::new(&buf);
+        assert_eq!(v.to_point().coords(), &buf);
+        assert_eq!(v.dim(), 3);
+        assert_eq!(v.coord(2), 3.0);
     }
 }

@@ -16,7 +16,7 @@ use disc_metric::ObjId;
 /// Index of a node in the tree arena.
 pub type NodeId = usize;
 
-/// A leaf slot: the indexed object and its distance to the leaf's pivot.
+/// A leaf slot: the indexed object and its cached reference distances.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LeafEntry {
     /// The indexed object.
@@ -24,6 +24,15 @@ pub struct LeafEntry {
     /// Cached distance from `object` to the leaf's routing pivot
     /// (0 when the leaf is the root and has no pivot).
     pub dist_to_pivot: f64,
+    /// Cached distance from `object` to the leaf's vantage object
+    /// ([`Node::vantage`]). A second triangle-inequality reference:
+    /// during a range scan, `|d(q, v) − d(object, v)| > r` discards the
+    /// entry without computing `d(q, object)`, independently of the pivot
+    /// bound.
+    pub dist_to_vantage: f64,
+    /// Cached distance from `object` to the leaf's second vantage object
+    /// ([`Node::vantage2`]) — a third annulus bound.
+    pub dist_to_vantage2: f64,
 }
 
 /// Payload of a node: children ids for internal nodes, object entries for
@@ -45,6 +54,17 @@ pub struct Node {
     /// Covering radius: upper bound on the distance from `pivot` to any
     /// object stored in this subtree. 0 for the root (unused).
     pub radius: f64,
+    /// Leaf-only second reference object (LAESA-style): entries cache
+    /// their distance to it in [`LeafEntry::dist_to_vantage`]. Chosen as
+    /// the entry farthest from the pivot when the leaf is (re)written,
+    /// so the two reference annuli intersect at a steep angle and prune
+    /// complementary regions. `None` for internal nodes and empty leaves.
+    pub vantage: Option<ObjId>,
+    /// Second leaf vantage: the entry farthest from [`Node::vantage`]
+    /// (approximately the other end of the leaf's diameter), giving a
+    /// third reference annulus. `None` for internal nodes and empty
+    /// leaves.
+    pub vantage2: Option<ObjId>,
     /// Cached distance from this node's pivot to the parent node's pivot
     /// (0 when the parent is the root).
     pub dist_to_parent: f64,
@@ -63,6 +83,8 @@ impl Node {
         Self {
             pivot,
             radius: 0.0,
+            vantage: None,
+            vantage2: None,
             dist_to_parent: 0.0,
             parent,
             next_leaf: None,
@@ -71,10 +93,16 @@ impl Node {
     }
 
     /// Creates an internal node over the given children.
-    pub fn new_internal(pivot: Option<ObjId>, parent: Option<NodeId>, children: Vec<NodeId>) -> Self {
+    pub fn new_internal(
+        pivot: Option<ObjId>,
+        parent: Option<NodeId>,
+        children: Vec<NodeId>,
+    ) -> Self {
         Self {
             pivot,
             radius: 0.0,
+            vantage: None,
+            vantage2: None,
             dist_to_parent: 0.0,
             parent,
             next_leaf: None,

@@ -98,6 +98,7 @@ mod tests {
                     capacity: 10,
                     split_policy: policy,
                     seed: 4,
+                    ..MTreeConfig::default()
                 },
             );
             let s = tree.stats();
@@ -123,6 +124,7 @@ mod tests {
                     capacity: 10,
                     split_policy: policy,
                     seed: 9,
+                    ..MTreeConfig::default()
                 },
             )
             .stats()

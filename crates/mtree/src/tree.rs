@@ -1,13 +1,21 @@
 //! The M-tree proper: construction, insertion with recursive splitting,
-//! leaf chaining and node-access accounting.
+//! leaf chaining, and node-access plus distance-computation accounting.
 
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
-use disc_metric::{Dataset, ObjId, Point};
+use disc_metric::{Dataset, ObjId};
 use rand::{rngs::StdRng, SeedableRng};
 
 use crate::node::{LeafEntry, Node, NodeId, NodeKind};
 use crate::split::{split_entries, SplitPolicy};
+
+/// An atomic counter padded to its own cache line, so the access and
+/// distance counters don't false-share under the parallel seeding
+/// fan-out. (True contention on one counter remains; per-thread
+/// sharding is a noted follow-up if profiles show it mattering.)
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct PaddedCounter(AtomicU64);
 
 /// Construction parameters (paper Table 2: capacity 50, MinOverlap policy).
 #[derive(Clone, Copy, Debug)]
@@ -19,6 +27,12 @@ pub struct MTreeConfig {
     /// Seed for the random promotion policy (ignored by the deterministic
     /// policies).
     pub seed: u64,
+    /// Whether queries apply the classic M-tree parent-distance lemma:
+    /// a child (or leaf entry) whose cached distance to its parent pivot
+    /// already proves it outside the query ball is skipped *without*
+    /// computing its own distance. Never changes results; disable only to
+    /// measure the saving.
+    pub parent_pruning: bool,
 }
 
 impl Default for MTreeConfig {
@@ -27,6 +41,7 @@ impl Default for MTreeConfig {
             capacity: 50,
             split_policy: SplitPolicy::MIN_OVERLAP,
             seed: 0,
+            parent_pruning: true,
         }
     }
 }
@@ -47,6 +62,14 @@ impl MTreeConfig {
             ..Self::default()
         }
     }
+
+    /// Same config with parent-distance pruning switched on or off.
+    pub fn with_parent_pruning(self, parent_pruning: bool) -> Self {
+        Self {
+            parent_pruning,
+            ..self
+        }
+    }
 }
 
 /// A balanced metric tree over a [`Dataset`].
@@ -61,9 +84,17 @@ pub struct MTree<'a> {
     first_leaf: NodeId,
     /// Leaf currently holding each object.
     obj_leaf: Vec<NodeId>,
-    /// Node accesses (the paper's cost metric). Interior mutability so
-    /// read-only queries can account their cost.
-    accesses: Cell<u64>,
+    /// Node accesses (the paper's cost metric). Atomic (relaxed) so
+    /// read-only queries can account their cost, including from the
+    /// parallel seeding fan-out in `disc-core`.
+    accesses: PaddedCounter,
+    /// Distance computations performed through the tree (insertions and
+    /// queries). The paper counts node accesses; wall-clock time is
+    /// dominated by distance computations, and this counter makes the
+    /// parent-distance-pruning saving observable. Distances evaluated
+    /// inside the split policies are not routed through the tree and stay
+    /// uncounted (they are a one-off construction cost).
+    dist_comps: PaddedCounter,
     rng: StdRng,
 }
 
@@ -81,7 +112,8 @@ impl<'a> MTree<'a> {
             height: 1,
             first_leaf: root,
             obj_leaf: vec![usize::MAX; n],
-            accesses: Cell::new(0),
+            accesses: PaddedCounter::default(),
+            dist_comps: PaddedCounter::default(),
             rng: StdRng::seed_from_u64(config.seed),
         };
         for id in data.ids() {
@@ -143,19 +175,46 @@ impl<'a> MTree<'a> {
 
     /// Total node accesses so far.
     pub fn node_accesses(&self) -> u64 {
-        self.accesses.get()
+        self.accesses.0.load(Ordering::Relaxed)
     }
 
     /// Resets the access counter (e.g. after the build phase) and returns
     /// the previous value.
     pub fn reset_node_accesses(&self) -> u64 {
-        self.accesses.replace(0)
+        self.accesses.0.swap(0, Ordering::Relaxed)
+    }
+
+    /// Total distance computations performed through the tree so far.
+    pub fn distance_computations(&self) -> u64 {
+        self.dist_comps.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets the distance-computation counter and returns the previous
+    /// value.
+    pub fn reset_distance_computations(&self) -> u64 {
+        self.dist_comps.0.swap(0, Ordering::Relaxed)
     }
 
     /// Records one node access. Exposed to query code in this crate.
     #[inline]
     pub(crate) fn touch(&self) {
-        self.accesses.set(self.accesses.get() + 1);
+        self.accesses.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Distance from indexed object `obj` to the query coordinates,
+    /// charged to the distance-computation counter. Every distance the
+    /// tree evaluates goes through here (or [`MTree::dist_objs`]).
+    #[inline]
+    pub(crate) fn dist_q(&self, obj: ObjId, q: &[f64]) -> f64 {
+        self.dist_comps.0.fetch_add(1, Ordering::Relaxed);
+        self.data.dist_to_coords(obj, q)
+    }
+
+    /// Counted distance between two indexed objects.
+    #[inline]
+    pub(crate) fn dist_objs(&self, a: ObjId, b: ObjId) -> f64 {
+        self.dist_comps.0.fetch_add(1, Ordering::Relaxed);
+        self.data.dist(a, b)
     }
 
     /// Records one node access on behalf of an algorithm that reads a node
@@ -201,7 +260,7 @@ impl<'a> MTree<'a> {
 
     /// Inserts `object` (already present in the dataset) into the tree.
     fn insert(&mut self, object: ObjId) {
-        let point = self.data.point(object);
+        let point = self.data.row(object);
         // Descend to the best leaf, enlarging covering radii on the way.
         let mut node = self.root;
         loop {
@@ -220,6 +279,45 @@ impl<'a> MTree<'a> {
             }
         }
         let d_pivot = self.dist_to_pivot(node, point);
+        // The first entry of a leaf becomes its vantage, the second its
+        // second vantage; later entries cache their distances to the
+        // established references.
+        let d_vantage = match self.nodes[node].vantage {
+            Some(v) => self.dist_q(v, point),
+            None => {
+                self.nodes[node].vantage = Some(object);
+                0.0
+            }
+        };
+        let d_vantage2 = match self.nodes[node].vantage2 {
+            Some(v) => self.dist_q(v, point),
+            None if self.nodes[node].vantage != Some(object) => {
+                // `object` becomes the second vantage: refresh the cached
+                // vantage2 distances of the entries already present, so
+                // the exactness invariant the scan filter relies on holds
+                // even before the leaf's first split rewrites it.
+                self.nodes[node].vantage2 = Some(object);
+                let existing: Vec<ObjId> = self.nodes[node]
+                    .leaf_entries()
+                    .iter()
+                    .map(|e| e.object)
+                    .collect();
+                let dists: Vec<f64> = existing
+                    .iter()
+                    .map(|&o| self.dist_objs(o, object))
+                    .collect();
+                match &mut self.nodes[node].kind {
+                    NodeKind::Leaf(entries) => {
+                        for (e, d) in entries.iter_mut().zip(dists) {
+                            e.dist_to_vantage2 = d;
+                        }
+                    }
+                    NodeKind::Internal(_) => unreachable!("descent ends at a leaf"),
+                }
+                0.0
+            }
+            None => 0.0,
+        };
         {
             let leaf = &mut self.nodes[node];
             if d_pivot > leaf.radius {
@@ -229,6 +327,8 @@ impl<'a> MTree<'a> {
                 NodeKind::Leaf(entries) => entries.push(LeafEntry {
                     object,
                     dist_to_pivot: d_pivot,
+                    dist_to_vantage: d_vantage,
+                    dist_to_vantage2: d_vantage2,
                 }),
                 NodeKind::Internal(_) => unreachable!("descent ends at a leaf"),
             }
@@ -242,13 +342,13 @@ impl<'a> MTree<'a> {
     /// Picks the child to descend into: prefer a child whose ball already
     /// contains the point (smallest distance); otherwise the child needing
     /// the least radius enlargement.
-    fn choose_child(&self, children: &[NodeId], point: &Point) -> NodeId {
+    fn choose_child(&self, children: &[NodeId], point: &[f64]) -> NodeId {
         let mut best_inside: Option<(f64, NodeId)> = None;
         let mut best_enlarge: Option<(f64, NodeId)> = None;
         for &c in children {
             let node = &self.nodes[c];
             let pivot = node.pivot.expect("non-root nodes have pivots");
-            let d = self.data.dist_to(pivot, point);
+            let d = self.dist_q(pivot, point);
             if d <= node.radius {
                 if best_inside.is_none_or(|(bd, _)| d < bd) {
                     best_inside = Some((d, c));
@@ -268,9 +368,9 @@ impl<'a> MTree<'a> {
 
     /// Distance from `point` to the pivot of `node` (0 if the node has no
     /// pivot, i.e. is the root).
-    fn dist_to_pivot(&self, node: NodeId, point: &Point) -> f64 {
+    fn dist_to_pivot(&self, node: NodeId, point: &[f64]) -> f64 {
         match self.nodes[node].pivot {
-            Some(p) => self.data.dist_to(p, point),
+            Some(p) => self.dist_q(p, point),
             None => 0.0,
         }
     }
@@ -316,12 +416,12 @@ impl<'a> MTree<'a> {
             },
         ) {
             NodeKind::Leaf(entries) => {
-                let pick = |idx: &[usize]| -> Vec<LeafEntry> {
-                    idx.iter().map(|&i| entries[i]).collect()
-                };
+                let pick =
+                    |idx: &[usize]| -> Vec<LeafEntry> { idx.iter().map(|&i| entries[i]).collect() };
                 let e1 = pick(&outcome.side1);
                 let e2 = pick(&outcome.side2);
-                self.nodes.push(Node::new_leaf(Some(outcome.pivot2), parent));
+                self.nodes
+                    .push(Node::new_leaf(Some(outcome.pivot2), parent));
                 for e in &e2 {
                     self.obj_leaf[e.object] = new_id;
                 }
@@ -333,9 +433,8 @@ impl<'a> MTree<'a> {
                 self.nodes[new_id].next_leaf = next;
             }
             NodeKind::Internal(children) => {
-                let pick = |idx: &[usize]| -> Vec<NodeId> {
-                    idx.iter().map(|&i| children[i]).collect()
-                };
+                let pick =
+                    |idx: &[usize]| -> Vec<NodeId> { idx.iter().map(|&i| children[i]).collect() };
                 let c1 = pick(&outcome.side1);
                 let c2 = pick(&outcome.side2);
                 self.nodes
@@ -383,16 +482,38 @@ impl<'a> MTree<'a> {
     }
 
     /// Rewrites a leaf node's pivot and entries, recomputing cached
-    /// distances and the covering radius.
+    /// distances (pivot and vantage) and the covering radius. The vantage
+    /// is re-chosen as the entry farthest from the new pivot, so the two
+    /// reference annuli used by the scan filter cross at a steep angle.
     fn install_leaf(&mut self, id: NodeId, pivot: ObjId, mut entries: Vec<LeafEntry>) {
         let mut radius = 0.0f64;
+        let mut vantage = pivot;
         for e in &mut entries {
-            e.dist_to_pivot = self.data.dist(e.object, pivot);
-            radius = radius.max(e.dist_to_pivot);
+            e.dist_to_pivot = self.dist_objs(e.object, pivot);
+            if e.dist_to_pivot > radius {
+                radius = e.dist_to_pivot;
+                vantage = e.object;
+            }
+        }
+        // Second vantage: the entry farthest from the first, i.e. roughly
+        // the other end of the leaf's diameter.
+        let mut vantage2 = vantage;
+        let mut far2 = -1.0f64;
+        for e in &mut entries {
+            e.dist_to_vantage = self.dist_objs(e.object, vantage);
+            if e.dist_to_vantage > far2 {
+                far2 = e.dist_to_vantage;
+                vantage2 = e.object;
+            }
+        }
+        for e in &mut entries {
+            e.dist_to_vantage2 = self.dist_objs(e.object, vantage2);
         }
         let node = &mut self.nodes[id];
         node.pivot = Some(pivot);
         node.radius = radius;
+        node.vantage = (!entries.is_empty()).then_some(vantage);
+        node.vantage2 = (!entries.is_empty()).then_some(vantage2);
         node.kind = NodeKind::Leaf(entries);
     }
 
@@ -402,7 +523,7 @@ impl<'a> MTree<'a> {
         let mut radius = 0.0f64;
         for &c in &children {
             let child_pivot = self.nodes[c].pivot.expect("children have pivots");
-            let d = self.data.dist(child_pivot, pivot);
+            let d = self.dist_objs(child_pivot, pivot);
             self.nodes[c].dist_to_parent = d;
             radius = radius.max(d + self.nodes[c].radius);
         }
@@ -416,12 +537,11 @@ impl<'a> MTree<'a> {
     fn refresh_dist_to_parent(&mut self, node: NodeId) {
         let parent = self.nodes[node].parent.expect("called on non-root");
         let d = match (self.nodes[parent].pivot, self.nodes[node].pivot) {
-            (Some(pp), Some(np)) => self.data.dist(np, pp),
+            (Some(pp), Some(np)) => self.dist_objs(np, pp),
             _ => 0.0,
         };
         self.nodes[node].dist_to_parent = d;
     }
-
 }
 
 /// Iterator over leaf ids following the leaf chain.
@@ -444,7 +564,7 @@ impl Iterator for LeafIter<'_, '_> {
 mod tests {
     use super::*;
     use crate::validate::check_invariants;
-    use disc_metric::Metric;
+    use disc_metric::{Metric, Point};
     use rand::RngExt as _;
 
     fn grid(n_side: usize) -> Dataset {
@@ -546,6 +666,7 @@ mod tests {
                     capacity: 6,
                     split_policy: policy,
                     seed: 11,
+                    ..MTreeConfig::default()
                 },
             );
             check_invariants(&tree).unwrap_or_else(|e| panic!("{name}: {e}"));
@@ -559,6 +680,7 @@ mod tests {
             capacity: 5,
             split_policy: SplitPolicy::RANDOM,
             seed: 99,
+            ..MTreeConfig::default()
         };
         let a = MTree::build(&data, cfg);
         let b = MTree::build(&data, cfg);

@@ -31,7 +31,14 @@ pub fn check_invariants(tree: &MTree<'_>) -> Result<(), String> {
     let mut leaf_depths: Vec<usize> = Vec::new();
     let mut reachable_leaves: HashSet<NodeId> = HashSet::new();
 
-    check_node(tree, root, 1, &mut seen_objects, &mut leaf_depths, &mut reachable_leaves)?;
+    check_node(
+        tree,
+        root,
+        1,
+        &mut seen_objects,
+        &mut leaf_depths,
+        &mut reachable_leaves,
+    )?;
 
     // 4. balanced
     if let Some((&first, rest)) = leaf_depths.split_first() {
@@ -237,7 +244,7 @@ mod tests {
             let policy = crate::split::SplitPolicy::figure10_policies()[policy_idx].1;
             let tree = MTree::build(
                 &data,
-                MTreeConfig { capacity: cap, split_policy: policy, seed },
+                MTreeConfig { capacity: cap, split_policy: policy, seed, ..MTreeConfig::default() },
             );
             prop_assert!(check_invariants(&tree).is_ok());
         }

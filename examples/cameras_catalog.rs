@@ -37,12 +37,7 @@ fn main() {
         catalog.describe(center)
     );
     let local = local_zoom(&tree, &overview, center, 2.0);
-    let mut detail: Vec<ObjId> = local
-        .added
-        .iter()
-        .copied()
-        .chain([center])
-        .collect();
+    let mut detail: Vec<ObjId> = local.added.iter().copied().chain([center]).collect();
     detail.sort_unstable();
     for id in detail {
         let marker = if id == center { "→" } else { " " };

@@ -97,11 +97,7 @@ fn main() {
     let center = *initial
         .solution
         .iter()
-        .max_by_key(|&&c| {
-            data.ids()
-                .filter(|&o| data.dist(o, c) <= r)
-                .count()
-        })
+        .max_by_key(|&&c| data.ids().filter(|&o| data.dist(o, c) <= r).count())
         .expect("non-empty solution");
     let local = local_zoom(&tree, &initial, center, r / 2.0);
     render_map(

@@ -7,11 +7,11 @@
 //! cargo run --release --example compare_models
 //! ```
 
+use disc_diversity::baselines::quality::lemma7_check;
 use disc_diversity::baselines::{
     coverage_fraction, fmin, fsum, kmedoids, maxmin_select, maxsum_select,
     mean_representation_error,
 };
-use disc_diversity::baselines::quality::lemma7_check;
 use disc_diversity::prelude::*;
 
 fn main() {
@@ -29,7 +29,10 @@ fn main() {
         disc = greedy_disc(&tree, r, GreedyVariant::Grey, true);
     }
     let (r, k) = (disc.radius, disc.size());
-    println!("clustered dataset: {} objects; DisC radius {r} -> k = {k}\n", data.len());
+    println!(
+        "clustered dataset: {} objects; DisC radius {r} -> k = {k}\n",
+        data.len()
+    );
 
     let cover = greedy_c(&tree, r);
     let mm = maxmin_select(&data, k);

@@ -19,7 +19,10 @@ fn main() {
 
     // Baseline: relevance-blind DisC.
     let plain = greedy_disc(&tree, r, GreedyVariant::Grey, true);
-    println!("plain Greedy-DisC at r={r}: {} representatives", plain.size());
+    println!(
+        "plain Greedy-DisC at r={r}: {} representatives",
+        plain.size()
+    );
 
     // (a) Weighted DisC: relevance scores as weights — here, proximity to
     // the "query point" (0.3, 0.3). The diverse subset still covers
@@ -73,7 +76,5 @@ fn main() {
         near,
         uncovered.is_empty() && dependent.is_empty()
     );
-    println!(
-        "   -> fine granularity (r=0.03) near the query point, coarse (r=0.12) elsewhere"
-    );
+    println!("   -> fine granularity (r=0.03) near the query point, coarse (r=0.12) elsewhere");
 }

@@ -84,6 +84,7 @@ fn results_are_independent_of_tree_shape() {
                     capacity: cap,
                     split_policy: policy,
                     seed: 3,
+                    ..MTreeConfig::default()
                 },
             );
             tree.reset_node_accesses();

@@ -40,11 +40,7 @@ fn duplicate_objects_are_deduplicated_by_disc() {
 
 #[test]
 fn all_identical_points_collapse_to_one() {
-    let data = Dataset::new(
-        "same",
-        Metric::Euclidean,
-        vec![Point::new2(0.4, 0.4); 64],
-    );
+    let data = Dataset::new("same", Metric::Euclidean, vec![Point::new2(0.4, 0.4); 64]);
     let tree = build(&data, 5);
     check_invariants(&tree).unwrap();
     let res = basic_disc(&tree, 0.0, BasicOrder::LeafOrder, true);
@@ -72,7 +68,9 @@ fn collinear_points_behave_like_the_line_problem() {
     let data = Dataset::new(
         "line",
         Metric::Euclidean,
-        (0..101).map(|i| Point::new2(i as f64 * 0.01, 0.0)).collect(),
+        (0..101)
+            .map(|i| Point::new2(i as f64 * 0.01, 0.0))
+            .collect(),
     );
     let tree = build(&data, 6);
     let res = greedy_disc(&tree, 0.02, GreedyVariant::Grey, true);
@@ -104,8 +102,12 @@ fn minimum_capacity_tree_still_works() {
 fn manhattan_and_chebyshev_metrics_work_end_to_end() {
     for metric in [Metric::Manhattan, Metric::Chebyshev] {
         let base = synthetic::uniform(150, 2, 41);
-        let pts = base.points().to_vec();
-        let data = Dataset::new("alt-metric", metric, pts);
+        let data = Dataset::from_flat(
+            "alt-metric",
+            metric,
+            base.dim(),
+            base.flat_coords().to_vec(),
+        );
         let tree = build(&data, 8);
         check_invariants(&tree).unwrap();
         let res = greedy_disc(&tree, 0.15, GreedyVariant::Grey, true);
@@ -143,7 +145,10 @@ fn hamming_radius_boundaries() {
     // r = 0: only exact duplicates are covered together.
     let res = basic_disc(&tree, 0.0, BasicOrder::LeafOrder, true);
     assert!(verify_disc(data, &res.solution, 0.0).is_valid());
-    assert!(res.size() < data.len(), "catalogue contains exact duplicates");
+    assert!(
+        res.size() < data.len(),
+        "catalogue contains exact duplicates"
+    );
     // r = 7 (all attributes): a single representative suffices.
     let res = greedy_disc(&tree, 7.0, GreedyVariant::Grey, true);
     assert_eq!(res.size(), 1);

@@ -4,8 +4,7 @@
 use disc_diversity::baselines::{coverage_fraction, fmin};
 use disc_diversity::datasets::{camera_catalog, greek_cities, synthetic};
 use disc_diversity::graph::{
-    is_independent_dominating, jaccard_distance, minimum_independent_dominating_set,
-    UnitDiskGraph,
+    is_independent_dominating, jaccard_distance, minimum_independent_dominating_set, UnitDiskGraph,
 };
 use disc_diversity::metric::bounds::respects_theorem1;
 use disc_diversity::prelude::*;
@@ -94,7 +93,7 @@ fn zooming_round_trip_keeps_solutions_valid_and_close() {
     let data = greek_cities();
     // Work on a subsample to keep the test quick in debug builds.
     let ids: Vec<usize> = (0..data.len()).step_by(6).collect();
-    let (data, _) = data.restrict(&ids);
+    let data = data.restrict(&ids);
     let tree = MTree::build(&data, MTreeConfig::default());
     tree.reset_node_accesses();
 
@@ -139,8 +138,5 @@ fn radius_extremes_match_theory() {
         basic_disc(&tree, 0.0, BasicOrder::LeafOrder, true).size(),
         120
     );
-    assert_eq!(
-        greedy_disc(&tree, 2.0, GreedyVariant::Grey, true).size(),
-        1
-    );
+    assert_eq!(greedy_disc(&tree, 2.0, GreedyVariant::Grey, true).size(), 1);
 }

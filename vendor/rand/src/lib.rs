@@ -1,0 +1,214 @@
+//! Minimal stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! shim provides exactly the surface the workspace uses: a seedable
+//! deterministic generator ([`rngs::StdRng`]), the [`SeedableRng`]
+//! seeding trait, and [`RngExt::random_range`] over half-open and
+//! inclusive numeric ranges.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — a
+//! well-studied, fast PRNG that is more than adequate for synthetic
+//! workload generation and property tests (nothing here is
+//! cryptographic). Determinism per seed is the only contract the
+//! workspace relies on.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Sources of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Types constructible from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Convenience sampling methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait RngExt: RngCore + Sized {
+    /// A uniform sample from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore + Sized> RngExt for R {}
+
+/// Ranges a uniform sample can be drawn from.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = unit_f64(rng.next_u64());
+        self.start + (self.end - self.start) * unit
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        // The closed upper end matters only at f64 resolution; scaling
+        // the 53-bit unit sample over [lo, hi] reaches both ends.
+        lo + (hi - lo) * (unit_f64(rng.next_u64()) * (1.0 + f64::EPSILON)).min(1.0)
+    }
+}
+
+/// 53-bit mantissa sample in `[0, 1)`.
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                // Multiply-shift bounded sampling (Lemire); bias is at
+                // most 2^-64 per draw, irrelevant for test workloads.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start + hi as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let draw = ((rng.next_u64() as u128 * (span as u128 + 1)) >> 64) as u64;
+                lo + draw as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_sample_range {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = self.end.wrapping_sub(self.start) as $u as u64;
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start.wrapping_add(hi as $t)
+            }
+        }
+    )*};
+}
+
+impl_signed_sample_range!(i32 => u32, i64 => u64);
+
+/// Generator types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (stand-in for rand's
+    /// `StdRng`; the workspace only relies on seed-determinism).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed, as recommended by the
+            // xoshiro authors.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngCore, RngExt, SeedableRng};
+
+    #[test]
+    fn identical_seeds_give_identical_streams() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let f = rng.random_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let u = rng.random_range(3u32..9);
+            assert!((3..9).contains(&u));
+            let i = rng.random_range(0usize..=4);
+            assert!(i <= 4);
+            let n = rng.random_range(-5i32..5);
+            assert!((-5..5).contains(&n));
+            let c = rng.random_range(0.0..=1.0);
+            assert!((0.0..=1.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn samples_cover_the_range() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[rng.random_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
