@@ -11,7 +11,13 @@
 //!   index-layer saving;
 //! * **wall-clock** of the count-seeding pass, serial vs threaded
 //!   (`disc-core`'s `parallel` feature; on a single-core host both sides
-//!   coincide, so the thread count is recorded alongside).
+//!   coincide, so the thread count is recorded alongside);
+//! * **graph-resident vs tree-backed Greedy-DisC** — one
+//!   `MTree::range_self_join` materialises the CSR neighbourhood graph
+//!   (distance computations recorded against the O(n²) pair count),
+//!   then selection runs with zero index queries; build + select
+//!   wall-clock and distance computations for both pipelines (see the
+//!   `fig_graph_vs_tree` binary for the gated CI companion).
 //!
 //! Usage: `cargo run --release -p disc-bench --features parallel --bin
 //! fig9_report [-- <output-path>]` (default output `BENCH_fig9.json`).
@@ -159,6 +165,22 @@ fn main() {
     );
 
     // ---------------------------------------------------------------
+    // Graph-resident vs tree-backed Greedy-DisC (build + select),
+    // shared with the gated `fig_graph_vs_tree` binary.
+    // ---------------------------------------------------------------
+    let gvt = disc_bench::measure_graph_vs_tree(&tree_on, RADIUS);
+    eprintln!(
+        "  graph vs tree: self-join {} dc ({:.1}% of {} pairs), \
+         graph {:.1}ms end-to-end vs tree {:.1}ms / {} dc",
+        gvt.self_join_dc,
+        100.0 * gvt.self_join_dc as f64 / gvt.pairs_all as f64,
+        gvt.pairs_all,
+        gvt.build_ms + gvt.disc_select_ms,
+        gvt.disc_tree_ms,
+        gvt.disc_tree_dc
+    );
+
+    // ---------------------------------------------------------------
     // Hand-rolled JSON (no serde in the environment).
     // ---------------------------------------------------------------
     let mut json = String::new();
@@ -192,10 +214,28 @@ fn main() {
     json.push_str(&format!(
         "  \"count_seeding_wall_clock\": {{\"serial_ms\": {serial_ms:.3}, \
          \"parallel_ms\": {}, \"speedup\": {}, \
-         \"threads\": {threads}, \"parallel_feature\": {}}}\n",
+         \"threads\": {threads}, \"parallel_feature\": {}}},\n",
         js_num(parallel_ms),
         js_num(speedup),
         cfg!(feature = "parallel")
+    ));
+    json.push_str(&format!(
+        "  \"graph_vs_tree\": {{\"pairs_all\": {}, \
+         \"self_join\": {{\"distance_computations\": {}, \"edges\": {}, \
+         \"build_ms\": {:.3}}}, \
+         \"greedy_disc_graph\": {{\"total_distance_computations\": {}, \
+         \"build_plus_select_ms\": {:.3}}}, \
+         \"greedy_disc_tree_pruned\": {{\"distance_computations\": {}, \
+         \"total_ms\": {:.3}}}, \"solution_size\": {}}}\n",
+        gvt.pairs_all,
+        gvt.self_join_dc,
+        gvt.edges,
+        gvt.build_ms,
+        gvt.self_join_dc,
+        gvt.build_ms + gvt.disc_select_ms,
+        gvt.disc_tree_dc,
+        gvt.disc_tree_ms,
+        gvt.disc_size
     ));
     json.push_str("}\n");
 

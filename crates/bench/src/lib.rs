@@ -9,13 +9,19 @@
 //! * `fig9_scaling` — Figure 9 cardinality/dimensionality scaling,
 //! * `fig10_fat_factor` — Figure 10 splitting policies (build + query),
 //! * `zooming` — Figures 11–16 zoom-in/zoom-out operators,
-//! * `baselines` — Figure 6 comparison models.
+//! * `baselines` — Figure 6 comparison models,
+//! * `graph_vs_tree` — CSR graph materialisation (self-join vs O(n²)
+//!   scans) and graph-resident vs tree-backed selection loops.
 //!
 //! Benchmarks run on bench-scale datasets (a few thousand objects) so a
 //! full `cargo bench` completes in minutes; the eval harness is the tool
 //! for paper-scale numbers.
 
+use std::time::Instant;
+
+use disc_core::{greedy_c, greedy_c_graph, greedy_disc, greedy_disc_graph, GreedyVariant};
 use disc_datasets::synthetic::{clustered, uniform};
+use disc_graph::UnitDiskGraph;
 use disc_metric::Dataset;
 use disc_mtree::{MTree, MTreeConfig};
 
@@ -39,6 +45,92 @@ pub fn bench_tree(data: &Dataset) -> MTree<'_> {
     tree
 }
 
+/// One graph-resident vs tree-backed pipeline measurement (shared by
+/// `fig9_report`'s `graph_vs_tree` section and the gated
+/// `fig_graph_vs_tree` binary, so the two reports cannot drift).
+pub struct GraphVsTree {
+    /// `n(n−1)/2`, the O(n²) scan's distance-computation count.
+    pub pairs_all: u64,
+    /// Distance computations of the self-join materialisation (the
+    /// graph pipeline's *total*: selection adds zero).
+    pub self_join_dc: u64,
+    /// Undirected edges of `G_{P,r}`.
+    pub edges: usize,
+    /// Self-join + CSR assembly wall-clock.
+    pub build_ms: f64,
+    /// Graph-resident Greedy-DisC selection wall-clock.
+    pub disc_select_ms: f64,
+    /// Tree-backed pruned Greedy-DisC distance computations.
+    pub disc_tree_dc: u64,
+    /// Tree-backed pruned Greedy-DisC wall-clock.
+    pub disc_tree_ms: f64,
+    /// Greedy-DisC solution size (identical across pipelines).
+    pub disc_size: usize,
+    /// Graph-resident Greedy-C selection wall-clock.
+    pub c_select_ms: f64,
+    /// Tree-backed Greedy-C distance computations.
+    pub c_tree_dc: u64,
+    /// Tree-backed Greedy-C wall-clock.
+    pub c_tree_ms: f64,
+    /// Greedy-C solution size (identical across pipelines).
+    pub c_size: usize,
+}
+
+/// Runs both pipelines at `radius` and asserts the graph-resident
+/// solutions equal the tree-backed exact ones. Resets (and so consumes)
+/// the tree's distance-computation counter.
+pub fn measure_graph_vs_tree(tree: &MTree<'_>, radius: f64) -> GraphVsTree {
+    let n = tree.len() as u64;
+
+    tree.reset_distance_computations();
+    let t = Instant::now();
+    let graph = UnitDiskGraph::from_mtree(tree, radius);
+    let build_ms = t.elapsed().as_secs_f64() * 1_000.0;
+    let self_join_dc = tree.reset_distance_computations();
+
+    let t = Instant::now();
+    let graph_disc = greedy_disc_graph(&graph);
+    let disc_select_ms = t.elapsed().as_secs_f64() * 1_000.0;
+    let t = Instant::now();
+    let graph_c = greedy_c_graph(&graph);
+    let c_select_ms = t.elapsed().as_secs_f64() * 1_000.0;
+
+    tree.reset_distance_computations();
+    let t = Instant::now();
+    let tree_disc = greedy_disc(tree, radius, GreedyVariant::Grey, true);
+    let disc_tree_ms = t.elapsed().as_secs_f64() * 1_000.0;
+    let disc_tree_dc = tree.reset_distance_computations();
+
+    let t = Instant::now();
+    let tree_c = greedy_c(tree, radius);
+    let c_tree_ms = t.elapsed().as_secs_f64() * 1_000.0;
+    let c_tree_dc = tree.reset_distance_computations();
+
+    assert_eq!(
+        graph_disc.solution, tree_disc.solution,
+        "graph-resident Greedy-DisC diverged from the tree-backed exact solution"
+    );
+    assert_eq!(
+        graph_c.solution, tree_c.solution,
+        "graph-resident Greedy-C diverged from the tree-backed solution"
+    );
+
+    GraphVsTree {
+        pairs_all: n * n.saturating_sub(1) / 2,
+        self_join_dc,
+        edges: graph.edge_count(),
+        build_ms,
+        disc_select_ms,
+        disc_tree_dc,
+        disc_tree_ms,
+        disc_size: tree_disc.size(),
+        c_select_ms,
+        c_tree_dc,
+        c_tree_ms,
+        c_size: tree_c.size(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -50,5 +142,16 @@ mod tests {
         let t = bench_tree(&d);
         assert_eq!(t.node_accesses(), 0);
         assert_eq!(bench_uniform(100).len(), 100);
+    }
+
+    #[test]
+    fn graph_vs_tree_measurement_is_consistent() {
+        let d = bench_clustered(400);
+        let t = bench_tree(&d);
+        let m = measure_graph_vs_tree(&t, 0.04);
+        assert_eq!(m.pairs_all, 400 * 399 / 2);
+        assert!(m.self_join_dc > 0 && m.self_join_dc < m.pairs_all);
+        assert!(m.edges > 0);
+        assert!(m.disc_size > 0 && m.c_size > 0);
     }
 }

@@ -81,7 +81,9 @@ pub fn grey_out_white_hits(
 /// query per newly grey object, decrementing the counts of every white
 /// object that lost a white neighbour. `update_radius` is `r` for
 /// Grey-Greedy-DisC and `r/2` for the Lazy variant (which deliberately
-/// leaves distant counts stale).
+/// leaves distant counts stale). `exact` marks the full-radius case:
+/// decrements saturate at zero either way, and debug builds assert the
+/// exact path never actually saturates.
 pub fn grey_update(
     tree: &MTree<'_>,
     colors: &ColorState,
@@ -89,6 +91,7 @@ pub fn grey_update(
     heap: &mut LazyMaxHeap,
     newly_grey: &[ObjId],
     update_radius: f64,
+    exact: bool,
 ) {
     let mut scratch: Vec<ObjId> = Vec::new();
     grey_update_with_scratch(
@@ -98,6 +101,7 @@ pub fn grey_update(
         heap,
         newly_grey,
         update_radius,
+        exact,
         &mut scratch,
     );
 }
@@ -112,13 +116,18 @@ pub fn grey_update_with_scratch(
     heap: &mut LazyMaxHeap,
     newly_grey: &[ObjId],
     update_radius: f64,
+    exact: bool,
     scratch: &mut Vec<ObjId>,
 ) {
     for &pj in newly_grey {
         tree.range_query_objs_pruned_into(pj, update_radius, colors, scratch);
         for &o in scratch.iter() {
             if colors.is_white(o) {
-                counts[o] -= 1;
+                debug_assert!(
+                    !exact || counts[o] > 0,
+                    "exact grey update underflows object {o}"
+                );
+                counts[o] = counts[o].saturating_sub(1);
                 heap.push(o, counts[o]);
             }
         }
@@ -147,7 +156,16 @@ pub fn greedy_white_pass(
         colors.set_color(tree, picked, Color::Black);
         tree.range_query_objs_pruned_into(picked, r, colors, &mut sel_scratch);
         let newly_grey = grey_out_white_hits(tree, colors, picked, &sel_scratch);
-        grey_update_with_scratch(tree, colors, counts, heap, &newly_grey, r, &mut upd_scratch);
+        grey_update_with_scratch(
+            tree,
+            colors,
+            counts,
+            heap,
+            &newly_grey,
+            r,
+            true,
+            &mut upd_scratch,
+        );
         solution.push(picked);
     }
 }

@@ -127,6 +127,9 @@ fn run_greedy(
 
         match variant {
             GreedyVariant::Grey | GreedyVariant::LazyGrey => {
+                // Exact when the update queries run at the full radius;
+                // lazy radii leave counts stale (too high, never low).
+                let exact = update_radius >= r;
                 grey_update_with_scratch(
                     tree,
                     &colors,
@@ -134,10 +137,12 @@ fn run_greedy(
                     &mut heap,
                     &newly_grey,
                     update_radius,
+                    exact,
                     &mut upd_scratch,
                 );
             }
             GreedyVariant::White | GreedyVariant::LazyWhite => {
+                let exact = update_radius >= 2.0 * r;
                 white_update(
                     tree,
                     &colors,
@@ -148,6 +153,7 @@ fn run_greedy(
                     r,
                     update_radius,
                     pruned,
+                    exact,
                     &mut upd_scratch,
                 );
             }
@@ -182,6 +188,11 @@ fn query_into(
 /// retrieves candidate white objects; each one's count is decremented by
 /// the number of newly greyed objects within `r`, computed with local
 /// distance comparisons (no further tree access).
+///
+/// Decrements saturate at zero: the Lazy variant operates on counts that
+/// were never fully refreshed, so the arithmetic must not rely on them
+/// being exact. `exact` asserts (debug builds) that the exact variants
+/// never actually hit the saturation branch.
 #[allow(clippy::too_many_arguments)]
 fn white_update(
     tree: &MTree<'_>,
@@ -193,6 +204,7 @@ fn white_update(
     r: f64,
     update_radius: f64,
     pruned: bool,
+    exact: bool,
     scratch: &mut Vec<ObjId>,
 ) {
     if newly_grey.is_empty() {
@@ -209,7 +221,12 @@ fn white_update(
             .filter(|&&pj| data.dist(o, pj) <= r)
             .count() as u32;
         if delta > 0 {
-            counts[o] -= delta;
+            debug_assert!(
+                !exact || counts[o] >= delta,
+                "exact white update underflows object {o}: {} - {delta}",
+                counts[o]
+            );
+            counts[o] = counts[o].saturating_sub(delta);
             heap.push(o, counts[o]);
         }
     }

@@ -8,16 +8,38 @@
 //! re-inserted with their current key. This is correct as long as keys
 //! only ever *decrease*, which holds for all DisC heuristics (coverage
 //! counts shrink monotonically).
+//!
+//! ## Stale-entry cap
+//!
+//! Every `push` after a key change leaves the object's previous entry in
+//! the heap. The heap tracks the key of each object's *latest* push
+//! (`latest`) and the number of objects with a live entry (`live`);
+//! entries whose key no longer matches `latest` are discarded on pop
+//! without consulting the caller. When total entries exceed **2× the
+//! live objects** (plus a small floor to avoid thrashing tiny heaps),
+//! the heap rebuilds itself from `latest` — one entry per live object —
+//! so memory stays `O(live)` instead of `O(total pushes)` even for the
+//! Lazy variants' long runs of decrement-and-repush.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use disc_metric::ObjId;
 
+/// Entry floor below which no rebuild triggers (rebuilding a tiny heap
+/// costs more than the duplicates it reclaims).
+const REBUILD_FLOOR: usize = 64;
+
 /// Lazy max-heap over `(key, object)` with smallest-id tie-breaking.
 #[derive(Clone, Debug, Default)]
 pub struct LazyMaxHeap {
     heap: BinaryHeap<(u32, Reverse<ObjId>)>,
+    /// Key of each object's most recent push, `None` once the object has
+    /// been popped successfully or reported gone by the caller. Grown on
+    /// demand.
+    latest: Vec<Option<u32>>,
+    /// Number of `Some` slots in `latest`.
+    live: usize,
 }
 
 impl LazyMaxHeap {
@@ -25,13 +47,47 @@ impl LazyMaxHeap {
     pub fn with_capacity(n: usize) -> Self {
         Self {
             heap: BinaryHeap::with_capacity(n),
+            latest: vec![None; n],
+            live: 0,
         }
     }
 
     /// Inserts (or re-inserts after a key change) an object. Old entries
-    /// for the same object may remain; they are discarded lazily.
+    /// for the same object may remain; they are discarded lazily, and a
+    /// rebuild reclaims them once they outnumber live entries 2:1.
     pub fn push(&mut self, object: ObjId, key: u32) {
+        if object >= self.latest.len() {
+            self.latest.resize(object + 1, None);
+        }
+        if self.latest[object].is_none() {
+            self.live += 1;
+        }
+        self.latest[object] = Some(key);
         self.heap.push((key, Reverse(object)));
+        if self.heap.len() > REBUILD_FLOOR && self.heap.len() > 2 * self.live {
+            self.rebuild();
+        }
+    }
+
+    /// Drops every superseded entry, keeping exactly one entry (the
+    /// latest key) per live object. Works over the heap's own entries —
+    /// O(entries + live), independent of how many objects ever existed —
+    /// temporarily clearing `latest` as a seen-mark so equal-key
+    /// duplicates of one object collapse too.
+    fn rebuild(&mut self) {
+        let entries = std::mem::take(&mut self.heap).into_vec();
+        let mut kept: Vec<(u32, Reverse<ObjId>)> = Vec::with_capacity(self.live);
+        for (key, Reverse(object)) in entries {
+            if self.latest[object] == Some(key) {
+                kept.push((key, Reverse(object)));
+                self.latest[object] = None;
+            }
+        }
+        debug_assert_eq!(kept.len(), self.live);
+        for &(key, Reverse(object)) in &kept {
+            self.latest[object] = Some(key);
+        }
+        self.heap = BinaryHeap::from(kept);
     }
 
     /// Pops the candidate with the largest current key (ties to the
@@ -45,22 +101,36 @@ impl LazyMaxHeap {
         mut current_key: impl FnMut(ObjId) -> Option<u32>,
     ) -> Option<ObjId> {
         while let Some((key, Reverse(object))) = self.heap.pop() {
+            if self.latest[object] != Some(key) {
+                // Superseded by a later push, or the object was already
+                // retired: a fresher entry (if any) is still queued.
+                continue;
+            }
             match current_key(object) {
-                Some(cur) if cur == key => return Some(object),
+                Some(cur) if cur == key => {
+                    // The entry leaves the heap with the pop.
+                    self.latest[object] = None;
+                    self.live -= 1;
+                    return Some(object);
+                }
                 Some(cur) => {
                     debug_assert!(
                         cur < key,
                         "keys must only decrease (object {object}: {key} -> {cur})"
                     );
+                    self.latest[object] = Some(cur);
                     self.heap.push((cur, Reverse(object)));
                 }
-                None => {} // no longer a candidate; drop the entry
+                None => {
+                    self.latest[object] = None;
+                    self.live -= 1;
+                }
             }
         }
         None
     }
 
-    /// Number of entries (including stale duplicates).
+    /// Number of entries (including stale duplicates pending cleanup).
     pub fn len(&self) -> usize {
         self.heap.len()
     }
@@ -68,6 +138,11 @@ impl LazyMaxHeap {
     /// Whether the heap holds no entries at all.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Number of objects with a live (non-superseded) entry.
+    pub fn live_len(&self) -> usize {
+        self.live
     }
 }
 
@@ -139,5 +214,55 @@ mod tests {
         h.push(4, 1);
         h.push(4, 0);
         assert_eq!(h.len(), 2);
+        assert_eq!(h.live_len(), 1);
+    }
+
+    #[test]
+    fn rebuild_caps_stale_entries() {
+        // Two live objects, thousands of decrement-and-repush rounds:
+        // without the rebuild the heap would hold every push.
+        let mut h = LazyMaxHeap::with_capacity(2);
+        let rounds = 10_000u32;
+        for k in (0..rounds).rev() {
+            h.push(0, k);
+            h.push(1, k);
+        }
+        assert!(
+            h.len() <= 2 * REBUILD_FLOOR + 2,
+            "stale entries unbounded: {}",
+            h.len()
+        );
+        assert_eq!(h.live_len(), 2);
+        // Popping still yields both objects at their final keys, ties to
+        // the smallest id.
+        assert_eq!(h.pop_valid(|_| Some(0)), Some(0));
+        assert_eq!(h.pop_valid(|_| Some(0)), Some(1));
+        assert_eq!(h.pop_valid(|_| Some(0)), None);
+    }
+
+    #[test]
+    fn rebuild_preserves_pop_order_across_many_objects() {
+        // Interleave pushes so rebuilds trigger mid-stream, then verify
+        // the pop sequence equals the sorted (key desc, id asc) order.
+        let n = 200usize;
+        let mut keys: Vec<u32> = (0..n).map(|i| ((i * 37) % 91) as u32 + 1).collect();
+        let mut h = LazyMaxHeap::with_capacity(n);
+        for (i, &k) in keys.iter().enumerate() {
+            // Push a decreasing ladder per object to pile up staleness.
+            for extra in (0..4).rev() {
+                h.push(i, k + extra);
+            }
+        }
+        // Final authoritative key is `keys[i]`; the ladder pushed
+        // k+3..k, so the latest push already matches.
+        let mut want: Vec<(u32, usize)> = keys.iter().copied().zip(0..n).collect();
+        want.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let mut got = Vec::new();
+        while let Some(o) = h.pop_valid(|o| Some(keys[o])) {
+            got.push((keys[o], o));
+            keys[o] = 0; // retired objects keep returning their key; mark
+        }
+        assert_eq!(got.len(), n);
+        assert_eq!(got, want);
     }
 }

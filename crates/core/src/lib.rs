@@ -19,6 +19,15 @@
 //!   climbing at the first grey ancestor (cheaper, possibly larger
 //!   results).
 //!
+//! ## Graph-resident execution ([`resident`])
+//!
+//! * [`greedy_disc_graph`] / [`greedy_c_graph`] / [`fast_c_graph`] — the
+//!   same heuristics over a [`disc_graph::UnitDiskGraph`] materialised
+//!   once (typically via the M-tree range self-join), with zero tree
+//!   queries in the selection loop. Exact runners are pinned
+//!   byte-identical to their tree-backed counterparts; see [`resident`]
+//!   for the memory-vs-query trade.
+//!
 //! ## Adaptive diversification (paper Sections 3 and 5.2)
 //!
 //! * [`zoom_in()`] / [`greedy_zoom_in`] — adapt a solution to a smaller
@@ -45,6 +54,7 @@ pub mod heap;
 pub mod local;
 pub mod multi_radius;
 pub mod par;
+pub mod resident;
 pub mod result;
 pub mod runner;
 pub mod verify;
@@ -57,6 +67,7 @@ pub use cover::{fast_c, greedy_c};
 pub use greedy::{greedy_disc, greedy_disc_with_update_radius, GreedyVariant};
 pub use local::{local_zoom, LocalZoomResult};
 pub use multi_radius::{multi_radius_basic_disc, multi_radius_greedy_disc, verify_multi_radius};
+pub use resident::{fast_c_graph, greedy_c_graph, greedy_disc_graph};
 pub use result::{DiscResult, ZoomResult};
 pub use runner::Heuristic;
 pub use verify::{verify_coverage, verify_disc, VerifyReport};

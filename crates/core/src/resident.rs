@@ -1,0 +1,334 @@
+//! Graph-resident selection loops: the paper's heuristics executed over
+//! a materialised [`UnitDiskGraph`] with **zero tree queries**.
+//!
+//! The tree-backed runners in [`crate::greedy`] and [`crate::cover`]
+//! re-derive neighbourhoods with M-tree range queries on every
+//! selection round. When the whole graph `G_{P,r}` is needed anyway — a
+//! full Greedy-DisC or Greedy-C run consumes every neighbourhood at
+//! least once — it is cheaper to materialise `G_{P,r}` once (one
+//! [`range_self_join`](disc_mtree::MTree::range_self_join) traversal)
+//! and run the selection loop over CSR adjacency. The trade:
+//!
+//! * **graph-resident** — pays the self-join up front (memory: one CSR,
+//!   8 bytes per directed edge) and then selects with pure array scans;
+//!   total distance computations equal the self-join's, typically far
+//!   below the tree-backed run's.
+//! * **tree-backed** — no edge materialisation, so it wins when memory
+//!   is tight, when only a small part of the graph will be consumed
+//!   (local zooms, early termination), or when the radius changes
+//!   between selections (each radius would need its own graph).
+//!
+//! The runners reuse the tree pipeline's [`LazyMaxHeap`] and a
+//! `ColorState`-style colour array, and keep the same deterministic
+//! tie-breaking (largest count first, smallest id on ties), so
+//! [`greedy_disc_graph`] is pinned **byte-identical** to the exact
+//! tree-backed Greedy-DisC variants and [`greedy_c_graph`] to
+//! Greedy-C. [`fast_c_graph`] keeps Fast-C's lazy-update strategy
+//! (no per-grey cascades, pop-time revalidation) but — because CSR
+//! adjacency is exact where Fast-C's truncated climbs are not — its
+//! solutions also coincide with Greedy-C's.
+
+use disc_graph::UnitDiskGraph;
+use disc_metric::ObjId;
+use disc_mtree::Color;
+
+use crate::heap::LazyMaxHeap;
+use crate::result::DiscResult;
+
+/// Greedy-DisC (Algorithm 1) over a materialised graph. Identical
+/// solutions to the exact tree-backed variants
+/// ([`crate::greedy_disc`] with [`crate::GreedyVariant::Grey`] or
+/// [`crate::GreedyVariant::White`]) and to
+/// [`disc_graph::reference::greedy_disc_ref`]; no node accesses.
+pub fn greedy_disc_graph(g: &UnitDiskGraph) -> DiscResult {
+    let n = g.len();
+    let mut color = vec![Color::White; n];
+    let mut white = n;
+    // counts[v] = |N_r(v) ∩ white|, exact throughout.
+    let mut counts: Vec<u32> = (0..n).map(|v| g.degree(v) as u32).collect();
+    let mut heap = LazyMaxHeap::with_capacity(n);
+    for (id, &c) in counts.iter().enumerate() {
+        heap.push(id, c);
+    }
+    let mut newly_grey: Vec<ObjId> = Vec::new();
+    let mut solution = Vec::new();
+    while white > 0 {
+        let picked = heap
+            .pop_valid(|id| (color[id] == Color::White).then(|| counts[id]))
+            .expect("white objects remain, so the heap holds a candidate");
+        color[picked] = Color::Black;
+        white -= 1;
+        newly_grey.clear();
+        newly_grey.extend(
+            g.neighbors(picked)
+                .iter()
+                .copied()
+                .filter(|&u| color[u] == Color::White),
+        );
+        for &u in &newly_grey {
+            color[u] = Color::Grey;
+            white -= 1;
+        }
+        for &u in &newly_grey {
+            for &w in g.neighbors(u) {
+                if color[w] == Color::White {
+                    debug_assert!(counts[w] > 0, "exact counts cannot underflow");
+                    counts[w] -= 1;
+                    heap.push(w, counts[w]);
+                }
+            }
+        }
+        solution.push(picked);
+    }
+    DiscResult {
+        radius: g.radius(),
+        heuristic: "G-DisC (Graph)".into(),
+        solution,
+        node_accesses: 0,
+    }
+}
+
+/// Selection key of the coverage heuristics: white neighbours plus one
+/// while the candidate itself is still uncovered.
+#[inline]
+fn cover_key(color: &[Color], counts: &[u32], id: ObjId) -> Option<u32> {
+    match color[id] {
+        Color::Black => None,
+        Color::White => Some(counts[id] + 1),
+        _ => Some(counts[id]),
+    }
+}
+
+/// Greedy-C (Section 2.3) over a materialised graph: candidates include
+/// grey objects, counts maintained exactly. Identical solutions to the
+/// tree-backed [`crate::greedy_c`] and to
+/// [`disc_graph::reference::greedy_c_ref`]; no node accesses.
+pub fn greedy_c_graph(g: &UnitDiskGraph) -> DiscResult {
+    run_cover_graph(g, false)
+}
+
+/// Fast-C over a materialised graph: the lazy-update strategy (no
+/// per-grey count cascades; a popped candidate is revalidated with one
+/// adjacency scan and re-queued if its key dropped). With exact CSR
+/// adjacency the revalidated keys are exact, so — unlike the
+/// tree-backed [`crate::fast_c`], whose truncated bottom-up climbs can
+/// leave counts stale — the solutions coincide with Greedy-C's.
+pub fn fast_c_graph(g: &UnitDiskGraph) -> DiscResult {
+    run_cover_graph(g, true)
+}
+
+fn run_cover_graph(g: &UnitDiskGraph, lazy: bool) -> DiscResult {
+    let n = g.len();
+    let mut color = vec![Color::White; n];
+    let mut white = n;
+    let mut counts: Vec<u32> = (0..n).map(|v| g.degree(v) as u32).collect();
+    let mut heap = LazyMaxHeap::with_capacity(n);
+    for (id, &c) in counts.iter().enumerate() {
+        heap.push(id, c + 1); // all white: self-term applies
+    }
+    // Lazy mode: `key[v]` mirrors the last key pushed for `v`, so the
+    // pop closure can acknowledge stale keys and the revalidation scan
+    // decides whether they are still current.
+    let mut key: Vec<u32> = if lazy {
+        counts.iter().map(|&c| c + 1).collect()
+    } else {
+        Vec::new()
+    };
+    let mut newly_grey: Vec<ObjId> = Vec::new();
+    let mut solution = Vec::new();
+    while white > 0 {
+        let picked = if lazy {
+            let mut selected = None;
+            while let Some(cand) = heap.pop_valid(|id| (color[id] != Color::Black).then(|| key[id]))
+            {
+                let fresh = g
+                    .neighbors(cand)
+                    .iter()
+                    .filter(|&&u| color[u] == Color::White)
+                    .count() as u32
+                    + u32::from(color[cand] == Color::White);
+                if fresh == key[cand] {
+                    selected = Some(cand);
+                    break;
+                }
+                debug_assert!(fresh < key[cand], "keys only shrink");
+                key[cand] = fresh;
+                heap.push(cand, fresh);
+            }
+            selected.expect("white objects remain, so candidates exist")
+        } else {
+            heap.pop_valid(|id| cover_key(&color, &counts, id))
+                .expect("white objects remain, so candidates exist")
+        };
+
+        let was_white = color[picked] == Color::White;
+        color[picked] = Color::Black;
+        if was_white {
+            white -= 1;
+            if !lazy {
+                // `picked` left the white set: every non-black
+                // neighbour's count drops.
+                for &u in g.neighbors(picked) {
+                    if color[u] != Color::Black {
+                        debug_assert!(counts[u] > 0, "exact counts cannot underflow");
+                        counts[u] -= 1;
+                        heap.push(u, counts[u] + u32::from(color[u] == Color::White));
+                    }
+                }
+            }
+        }
+        newly_grey.clear();
+        newly_grey.extend(
+            g.neighbors(picked)
+                .iter()
+                .copied()
+                .filter(|&u| color[u] == Color::White),
+        );
+        for &u in &newly_grey {
+            color[u] = Color::Grey;
+            white -= 1;
+            if !lazy {
+                // The candidate lost its self-term.
+                heap.push(u, counts[u]);
+            }
+        }
+        if !lazy {
+            for &u in &newly_grey {
+                for &w in g.neighbors(u) {
+                    if color[w] != Color::Black {
+                        debug_assert!(counts[w] > 0, "exact counts cannot underflow");
+                        counts[w] -= 1;
+                        heap.push(w, counts[w] + u32::from(color[w] == Color::White));
+                    }
+                }
+            }
+        }
+        solution.push(picked);
+    }
+    DiscResult {
+        radius: g.radius(),
+        heuristic: if lazy {
+            "Fast-C (Graph)".into()
+        } else {
+            "G-C (Graph)".into()
+        },
+        solution,
+        node_accesses: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cover::{fast_c, greedy_c};
+    use crate::greedy::{greedy_disc, GreedyVariant};
+    use crate::verify::{verify_coverage, verify_disc};
+    use disc_datasets::synthetic::{clustered, uniform};
+    use disc_graph::reference::{greedy_c_ref, greedy_disc_ref};
+    use disc_mtree::{MTree, MTreeConfig};
+    use proptest::prelude::*;
+
+    #[test]
+    fn greedy_disc_graph_matches_tree_backed_exact_variants() {
+        let data = clustered(400, 2, 5, 80);
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(10));
+        let r = 0.06;
+        let g = UnitDiskGraph::from_mtree(&tree, r);
+        let resident = greedy_disc_graph(&g);
+        for v in [GreedyVariant::Grey, GreedyVariant::White] {
+            let res = greedy_disc(&tree, r, v, true);
+            assert_eq!(resident.solution, res.solution, "{v:?}");
+        }
+        assert_eq!(resident.solution, greedy_disc_ref(&g));
+        assert!(verify_disc(&data, &resident.solution, r).is_valid());
+        assert_eq!(resident.node_accesses, 0);
+        assert_eq!(resident.radius, r);
+    }
+
+    #[test]
+    fn cover_graph_runners_match_tree_backed_greedy_c() {
+        let data = clustered(350, 2, 4, 81);
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(9));
+        let r = 0.07;
+        let g = UnitDiskGraph::from_mtree(&tree, r);
+        let tree_res = greedy_c(&tree, r);
+        let exact = greedy_c_graph(&g);
+        let lazy = fast_c_graph(&g);
+        assert_eq!(exact.solution, tree_res.solution);
+        assert_eq!(lazy.solution, tree_res.solution);
+        assert_eq!(exact.solution, greedy_c_ref(&g));
+        assert!(verify_coverage(&data, &exact.solution, r).is_empty());
+    }
+
+    #[test]
+    fn fast_c_graph_covers_where_tree_fast_c_may_drift() {
+        // Tree-backed Fast-C's truncated climbs make its solution
+        // tree-shape dependent; the graph-resident runner is exact, so
+        // both must cover but need not agree.
+        let data = clustered(500, 2, 6, 82);
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(12));
+        let r = 0.05;
+        let g = UnitDiskGraph::from_mtree(&tree, r);
+        let resident = fast_c_graph(&g);
+        let tree_fast = fast_c(&tree, r);
+        assert!(verify_coverage(&data, &resident.solution, r).is_empty());
+        assert!(verify_coverage(&data, &tree_fast.solution, r).is_empty());
+    }
+
+    #[test]
+    fn heuristic_labels() {
+        let data = uniform(40, 2, 83);
+        let g = UnitDiskGraph::build(&data, 0.2);
+        assert_eq!(greedy_disc_graph(&g).heuristic, "G-DisC (Graph)");
+        assert_eq!(greedy_c_graph(&g).heuristic, "G-C (Graph)");
+        assert_eq!(fast_c_graph(&g).heuristic, "Fast-C (Graph)");
+    }
+
+    #[test]
+    fn isolated_objects_terminate() {
+        use disc_metric::{Dataset, Metric, Point};
+        let data = Dataset::new(
+            "iso",
+            Metric::Euclidean,
+            vec![
+                Point::new2(0.0, 0.0),
+                Point::new2(5.0, 0.0),
+                Point::new2(0.0, 5.0),
+                Point::new2(5.0, 5.0),
+            ],
+        );
+        let g = UnitDiskGraph::build(&data, 0.5);
+        assert_eq!(greedy_disc_graph(&g).size(), 4);
+        assert_eq!(greedy_c_graph(&g).size(), 4);
+        assert_eq!(fast_c_graph(&g).size(), 4);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        /// Graph-resident heuristics over the self-join graph equal the
+        /// tree-backed exact variants (and the index-free references)
+        /// for arbitrary data, radii and tree capacities.
+        #[test]
+        fn resident_equals_tree_backed_exact(
+            seed in 0u64..2_000,
+            r in 0.02..0.4f64,
+            cap in 4usize..12,
+        ) {
+            let data = uniform(100, 2, seed);
+            let tree = MTree::build(&data, MTreeConfig::with_capacity(cap));
+            let g = UnitDiskGraph::from_mtree(&tree, r);
+
+            let disc = greedy_disc_graph(&g);
+            prop_assert_eq!(
+                &disc.solution,
+                &greedy_disc(&tree, r, GreedyVariant::Grey, true).solution
+            );
+            prop_assert_eq!(&disc.solution, &greedy_disc_ref(&g));
+            prop_assert!(verify_disc(&data, &disc.solution, r).is_valid());
+
+            let cover_tree = greedy_c(&tree, r).solution;
+            prop_assert_eq!(&greedy_c_graph(&g).solution, &cover_tree);
+            prop_assert_eq!(&fast_c_graph(&g).solution, &cover_tree);
+        }
+    }
+}

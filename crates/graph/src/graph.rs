@@ -1,32 +1,159 @@
 //! The graph representation `G_{P,r}` of Section 2.2: one vertex per
 //! object, an edge whenever two objects are within distance `r`.
+//!
+//! ## Layout
+//!
+//! Adjacency is stored in **CSR** (compressed sparse row) form: one flat
+//! `neighbors` array plus an `offsets` array with `n + 1` entries, so
+//! `neighbors[offsets[v]..offsets[v + 1]]` is `N_r(v)` sorted by id.
+//! Compared to the previous `Vec<Vec<ObjId>>` this is one allocation
+//! instead of `n`, keeps every neighbourhood contiguous for the
+//! selection loops' linear scans, and halves pointer-chasing during the
+//! graph-resident heuristics in `disc-core`.
+//!
+//! ## Construction, and when to prefer which pipeline
+//!
+//! * [`UnitDiskGraph::from_mtree`] — bulk-materialises the graph with
+//!   one M-tree [`range_self_join`](disc_mtree::MTree::range_self_join)
+//!   traversal. This is the production path: node-pair pruning computes
+//!   far fewer than `n(n−1)/2` distances, and once the CSR is resident
+//!   the selection heuristics run with **zero** further index queries.
+//!   Prefer it whenever the edge list fits in memory (≈16 bytes per
+//!   edge transiently, 8 bytes per directed edge resident) and the
+//!   whole graph will be consumed — i.e. a full Greedy-DisC / Greedy-C
+//!   run. Prefer the tree-backed runners instead when memory is tight,
+//!   when only a few selections are needed (zooming a small
+//!   neighbourhood), or when the radius changes between selections.
+//! * [`UnitDiskGraph::build`] — the O(n²) all-pairs scan, kept as the
+//!   validation reference the property tests compare against.
+//! * [`UnitDiskGraph::build_parallel`] — the same scan sharded across
+//!   threads with `std::thread::scope` (behind the `parallel` feature);
+//!   byte-identical output, useful on multi-core hosts when no M-tree
+//!   exists yet.
+//! * [`UnitDiskGraph::from_edges`] — CSR assembly from any edge list
+//!   (the self-join's output format), public so other producers can
+//!   feed the same consumers.
 
 use disc_metric::{Dataset, ObjId};
+use disc_mtree::MTree;
 
 /// Undirected graph over the objects of a dataset, with an edge `(i, j)`
-/// iff `dist(i, j) ≤ r` and `i ≠ j`. Adjacency lists are sorted by id.
-#[derive(Clone, Debug)]
+/// iff `dist(i, j) ≤ r` and `i ≠ j`. Stored as CSR; adjacency rows are
+/// sorted by id.
+#[derive(Clone, Debug, PartialEq)]
 pub struct UnitDiskGraph {
     radius: f64,
-    adj: Vec<Vec<ObjId>>,
+    /// Row boundaries: `n + 1` entries, `offsets[0] == 0`.
+    offsets: Vec<usize>,
+    /// Concatenated sorted adjacency rows (each undirected edge appears
+    /// twice, once per endpoint).
+    neighbors: Vec<ObjId>,
 }
 
 impl UnitDiskGraph {
-    /// Materialises `G_{P,r}` by examining all pairs (O(n²); intended for
-    /// validation workloads and moderate result sizes).
+    /// Materialises `G_{P,r}` by examining all pairs (O(n²); the
+    /// validation reference — see the module docs for the bulk path).
     pub fn build(data: &Dataset, radius: f64) -> Self {
         assert!(radius >= 0.0, "radius must be non-negative");
         let n = data.len();
-        let mut adj = vec![Vec::new(); n];
+        let mut edges = Vec::new();
         for i in 0..n {
             for j in (i + 1)..n {
                 if data.dist(i, j) <= radius {
-                    adj[i].push(j);
-                    adj[j].push(i);
+                    edges.push((i, j));
                 }
             }
         }
-        Self { radius, adj }
+        Self::from_edges(n, radius, &edges)
+    }
+
+    /// Materialises `G_{P,r}` with one M-tree range self-join (the bulk
+    /// production path; distance computations are charged to the tree's
+    /// counter).
+    pub fn from_mtree(tree: &MTree<'_>, radius: f64) -> Self {
+        let edges = tree.range_self_join(radius);
+        Self::from_edges(tree.len(), radius, &edges)
+    }
+
+    /// Assembles the CSR from an undirected edge list over `n` vertices.
+    /// Edges may be in any order and orientation; each unordered pair
+    /// must appear at most once, and self-loops are rejected (debug).
+    pub fn from_edges(n: usize, radius: f64, edges: &[(ObjId, ObjId)]) -> Self {
+        assert!(radius >= 0.0, "radius must be non-negative");
+        let mut offsets = vec![0usize; n + 1];
+        for &(i, j) in edges {
+            debug_assert!(i != j, "self-loop ({i}, {j})");
+            offsets[i + 1] += 1;
+            offsets[j + 1] += 1;
+        }
+        for v in 0..n {
+            offsets[v + 1] += offsets[v];
+        }
+        let mut neighbors = vec![0 as ObjId; offsets[n]];
+        let mut cursor = offsets.clone();
+        for &(i, j) in edges {
+            neighbors[cursor[i]] = j;
+            cursor[i] += 1;
+            neighbors[cursor[j]] = i;
+            cursor[j] += 1;
+        }
+        for v in 0..n {
+            let row = &mut neighbors[offsets[v]..offsets[v + 1]];
+            row.sort_unstable();
+            debug_assert!(
+                row.windows(2).all(|w| w[0] != w[1]),
+                "duplicate edge incident to vertex {v}"
+            );
+        }
+        Self {
+            radius,
+            offsets,
+            neighbors,
+        }
+    }
+
+    /// The O(n²) scan sharded over `std::thread::scope` threads: each
+    /// thread scans the upper-triangle pairs of a strided row subset
+    /// (stride balances the shrinking rows), producing per-thread edge
+    /// lists merged by [`UnitDiskGraph::from_edges`] — the same total
+    /// distance work as the serial scan and byte-identical output to
+    /// [`UnitDiskGraph::build`].
+    #[cfg(feature = "parallel")]
+    pub fn build_parallel(data: &Dataset, radius: f64) -> Self {
+        assert!(radius >= 0.0, "radius must be non-negative");
+        let n = data.len();
+        // Below this size thread spawn/join dominates the scan.
+        const MIN_PARALLEL: usize = 512;
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        if threads <= 1 || n < MIN_PARALLEL {
+            return Self::build(data, radius);
+        }
+        let edges: Vec<(ObjId, ObjId)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    s.spawn(move || {
+                        let mut edges = Vec::new();
+                        let mut i = t;
+                        while i < n {
+                            for j in (i + 1)..n {
+                                if data.dist(i, j) <= radius {
+                                    edges.push((i, j));
+                                }
+                            }
+                            i += threads;
+                        }
+                        edges
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("scan shard panicked"))
+                .collect()
+        });
+        Self::from_edges(n, radius, &edges)
     }
 
     /// The radius the graph was built for.
@@ -36,43 +163,45 @@ impl UnitDiskGraph {
 
     /// Number of vertices.
     pub fn len(&self) -> usize {
-        self.adj.len()
+        self.offsets.len() - 1
     }
 
     /// Whether the graph has no vertices.
     pub fn is_empty(&self) -> bool {
-        self.adj.is_empty()
+        self.offsets.len() == 1
     }
 
     /// Neighbours of `v` (the open neighbourhood `N_r(v)`), sorted by id.
+    #[inline]
     pub fn neighbors(&self, v: ObjId) -> &[ObjId] {
-        &self.adj[v]
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
     }
 
     /// Degree of `v` (`|N_r(v)|`).
+    #[inline]
     pub fn degree(&self, v: ObjId) -> usize {
-        self.adj[v].len()
+        self.offsets[v + 1] - self.offsets[v]
     }
 
     /// Maximum degree `Δ`, the Theorem 2 parameter.
     pub fn max_degree(&self) -> usize {
-        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+        (0..self.len()).map(|v| self.degree(v)).max().unwrap_or(0)
     }
 
     /// Number of undirected edges.
     pub fn edge_count(&self) -> usize {
-        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+        self.neighbors.len() / 2
     }
 
     /// Whether `u` and `v` are adjacent (binary search on the sorted
-    /// adjacency list).
+    /// adjacency row).
     pub fn adjacent(&self, u: ObjId, v: ObjId) -> bool {
-        self.adj[u].binary_search(&v).is_ok()
+        self.neighbors(u).binary_search(&v).is_ok()
     }
 
     /// Vertex ids.
     pub fn vertices(&self) -> impl Iterator<Item = ObjId> + '_ {
-        0..self.adj.len()
+        0..self.len()
     }
 }
 
@@ -80,6 +209,9 @@ impl UnitDiskGraph {
 mod tests {
     use super::*;
     use disc_metric::{Metric, Point};
+    use disc_mtree::MTreeConfig;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, RngExt as _, SeedableRng};
 
     /// The Figure 3 configuration of the paper: seven objects forming the
     /// depicted graph (v1..v7 as ids 0..6). Edges: (v1,v2), (v2,v3),
@@ -100,6 +232,27 @@ mod tests {
                 Point::new2(4.2, -0.3), // v7
             ],
         )
+    }
+
+    /// Random data under any of the four metrics; Hamming gets
+    /// categorical codes so ties and exact matches actually occur.
+    fn random_data_metric(n: usize, seed: u64, metric: Metric) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts = (0..n)
+            .map(|_| {
+                if metric == Metric::Hamming {
+                    Point::categorical(&[
+                        rng.random_range(0..4u32),
+                        rng.random_range(0..4u32),
+                        rng.random_range(0..4u32),
+                        rng.random_range(0..4u32),
+                    ])
+                } else {
+                    Point::new2(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0))
+                }
+            })
+            .collect();
+        Dataset::new("random", metric, pts)
     }
 
     #[test]
@@ -148,5 +301,95 @@ mod tests {
         let g = UnitDiskGraph::build(&figure3(), 0.5);
         assert_eq!(g.radius(), 0.5);
         assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn from_edges_any_orientation_and_order() {
+        // Unsorted, mixed-orientation edge list assembles the same CSR.
+        let g = UnitDiskGraph::from_edges(4, 1.0, &[(2, 0), (3, 2), (0, 1)]);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[0]);
+        assert_eq!(g.neighbors(2), &[0, 3]);
+        assert_eq!(g.neighbors(3), &[2]);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn from_edges_isolated_vertices_and_empty_graph() {
+        let g = UnitDiskGraph::from_edges(3, 0.5, &[]);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.neighbors(1).is_empty());
+        let empty = UnitDiskGraph::from_edges(0, 0.5, &[]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.len(), 0);
+    }
+
+    #[test]
+    fn from_mtree_matches_scan_on_figure3() {
+        let data = figure3();
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(3));
+        for r in [0.0, 0.5, 1.0, 2.0] {
+            assert_eq!(
+                UnitDiskGraph::from_mtree(&tree, r),
+                UnitDiskGraph::build(&data, r),
+                "r={r}"
+            );
+        }
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_build_matches_serial() {
+        let data = random_data_metric(700, 9, Metric::Euclidean);
+        for r in [0.02, 0.1, 0.4] {
+            assert_eq!(
+                UnitDiskGraph::build_parallel(&data, r),
+                UnitDiskGraph::build(&data, r),
+                "r={r}"
+            );
+        }
+    }
+
+    const ALL_METRICS: [Metric; 4] = [
+        Metric::Euclidean,
+        Metric::Manhattan,
+        Metric::Chebyshev,
+        Metric::Hamming,
+    ];
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        /// The self-join-built CSR graph equals the O(n²) reference graph
+        /// on all four metrics across random radii and tree capacities
+        /// (mirror of the mtree crate's
+        /// `all_variants_match_linear_scan_on_every_metric`).
+        #[test]
+        fn self_join_graph_matches_reference_on_every_metric(
+            seed in 0u64..500,
+            frac in 0.0..1.05f64,
+            cap in 2usize..10,
+            metric_idx in 0usize..4,
+        ) {
+            let metric = ALL_METRICS[metric_idx];
+            let data = random_data_metric(90, seed, metric);
+            let r = frac * metric.max_range(data.dim());
+            let r = if metric.is_discrete() { r.floor() } else { r };
+            let tree = MTree::build(&data, MTreeConfig::with_capacity(cap));
+            let from_join = UnitDiskGraph::from_mtree(&tree, r);
+            let reference = UnitDiskGraph::build(&data, r);
+            prop_assert_eq!(&from_join, &reference, "{:?} r={}", metric, r);
+            let plain = MTree::build(
+                &data,
+                MTreeConfig::with_capacity(cap).with_parent_pruning(false),
+            );
+            prop_assert_eq!(
+                &UnitDiskGraph::from_mtree(&plain, r),
+                &reference,
+                "no lemma, {:?} r={}",
+                metric,
+                r
+            );
+        }
     }
 }

@@ -6,8 +6,11 @@
 //! `r` (a unit-disk graph under the Euclidean metric). This crate builds
 //! that graph view and provides:
 //!
-//! * [`UnitDiskGraph`] — adjacency lists materialised from a
-//!   [`disc_metric::Dataset`] and a radius,
+//! * [`UnitDiskGraph`] — CSR adjacency materialised either by an O(n²)
+//!   scan over a [`disc_metric::Dataset`] (validation reference) or in
+//!   bulk from one M-tree range self-join
+//!   ([`UnitDiskGraph::from_mtree`]) — see [`graph`] for when to prefer
+//!   the graph-resident pipeline over tree-backed execution,
 //! * [`sets`] — the coverage/dominance and dissimilarity/independence
 //!   predicates of Definition 1,
 //! * [`exact`] — an exact branch-and-bound solver for the minimum

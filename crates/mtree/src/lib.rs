@@ -19,11 +19,16 @@
 //!   skip them;
 //! * **top-down and bottom-up range queries**, the latter with the
 //!   stop-at-grey climb used by the Fast-C heuristic;
+//! * **a batched range self-join** ([`MTree::range_self_join`]) that
+//!   materialises the whole neighbourhood graph `G_{P,r}` in one
+//!   dual-tree traversal with node-pair pruning — the bulk counterpart
+//!   of issuing one range query per object;
 //! * **fat-factor computation** ([`stats`]) for the Figure 10 experiment.
 
 pub mod color;
 pub mod node;
 pub mod query;
+pub mod selfjoin;
 pub mod split;
 pub mod stats;
 pub mod tree;

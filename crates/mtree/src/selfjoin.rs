@@ -1,0 +1,385 @@
+//! Batched range self-join: all pairs of indexed objects within `r`, in
+//! one dual-tree traversal.
+//!
+//! The DisC heuristics are computations over the neighbourhood graph
+//! `G_{P,r}` (paper Section 2.2). Deriving that graph with one range
+//! query per object costs `n` root-to-leaf traversals and re-examines
+//! every node pair from both sides. The self-join instead walks *node
+//! pairs* top-down, visiting each unordered pair of subtrees at most
+//! once, and emits every object pair `(i, j)` with `i < j` and
+//! `d(i, j) ≤ r` exactly once — the edge list of `G_{P,r}`.
+//!
+//! ## Pruning
+//!
+//! Three layers of bounds cut the pair space, all reusing the cached
+//! distances PR 1 introduced and all charged to
+//! [`MTree::distance_computations`] when they do compute a distance:
+//!
+//! * **covering-radius bound** — a node pair `(A, B)` with
+//!   `d(p_A, p_B) > r + radius(A) + radius(B)` contains no joining pair
+//!   and is discarded whole;
+//! * **parent-distance bound** (gated on
+//!   [`MTreeConfig::parent_pruning`](crate::MTreeConfig)) — before
+//!   computing `d(p_A, p_c)` for a child `c` of `B`, the cached
+//!   `d(p_c, p_B)` gives `d(p_A, p_c) ≥ |d(p_A, p_B) − d(p_c, p_B)|`;
+//!   when that lower bound already exceeds `r + radius(A) + radius(c)`
+//!   the child pair dies distance-free. Sibling pairs inside one node
+//!   use the same lemma through their shared parent pivot.
+//! * **leaf-entry bounds** — inside leaf pairs, every entry's cached
+//!   pivot (and, intra-leaf, vantage) distances give exclusion *and*
+//!   inclusion tests per object pair, so most pairs resolve without a
+//!   fresh distance computation.
+//!
+//! None of the bounds is approximate: the emitted edge set is exactly
+//! the O(n²) scan's (the property tests in `disc-graph` pin this on all
+//! four metrics).
+
+use disc_metric::ObjId;
+
+use crate::node::{LeafEntry, NodeId, NodeKind};
+use crate::tree::MTree;
+
+impl MTree<'_> {
+    /// Computes the range self-join: every unordered pair of indexed
+    /// objects within distance `r`, as `(i, j)` with `i < j`, each pair
+    /// exactly once. This is the edge list of the neighbourhood graph
+    /// `G_{P,r}` materialised in one traversal.
+    pub fn range_self_join(&self, r: f64) -> Vec<(ObjId, ObjId)> {
+        let mut out = Vec::new();
+        self.range_self_join_into(r, &mut out);
+        out
+    }
+
+    /// [`MTree::range_self_join`] into a reusable edge buffer (cleared
+    /// first).
+    pub fn range_self_join_into(&self, r: f64, out: &mut Vec<(ObjId, ObjId)>) {
+        assert!(r >= 0.0, "radius must be non-negative");
+        out.clear();
+        if self.is_empty() {
+            return;
+        }
+        self.join_same(self.root(), r, out);
+    }
+
+    /// Joins a subtree with itself.
+    fn join_same(&self, node: NodeId, r: f64, out: &mut Vec<(ObjId, ObjId)>) {
+        self.touch();
+        match &self.node(node).kind {
+            NodeKind::Leaf(entries) => self.join_leaf_self(node, entries, r, out),
+            NodeKind::Internal(children) => {
+                let lemma = self.config().parent_pruning && self.node(node).pivot.is_some();
+                for (i, &ci) in children.iter().enumerate() {
+                    self.join_same(ci, r, out);
+                    let ni = self.node(ci);
+                    for &cj in &children[i + 1..] {
+                        let nj = self.node(cj);
+                        // Sibling lower bound through the shared parent
+                        // pivot: d(p_i, p_j) ≥ |d(p_i, p) − d(p_j, p)|.
+                        if lemma
+                            && (ni.dist_to_parent - nj.dist_to_parent).abs()
+                                > r + ni.radius + nj.radius
+                        {
+                            continue;
+                        }
+                        let pi = ni.pivot.expect("children have pivots");
+                        let pj = nj.pivot.expect("children have pivots");
+                        let d = self.dist_objs(pi, pj);
+                        if d <= r + ni.radius + nj.radius {
+                            self.join_pair(ci, cj, d, r, out);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Joins two *distinct* subtrees whose pivot distance `d_pivots` is
+    /// already known (and already passed the covering-radius bound).
+    fn join_pair(
+        &self,
+        a: NodeId,
+        b: NodeId,
+        d_pivots: f64,
+        r: f64,
+        out: &mut Vec<(ObjId, ObjId)>,
+    ) {
+        let na = self.node(a);
+        let nb = self.node(b);
+        match (&na.kind, &nb.kind) {
+            (NodeKind::Leaf(ea), NodeKind::Leaf(eb)) => {
+                self.touch();
+                self.touch();
+                self.join_leaf_cross(a, ea, b, eb, d_pivots, r, out);
+            }
+            _ => {
+                // Expand the node with the larger covering radius (its
+                // children shrink the bound the most); expand the
+                // internal one when the other is a leaf.
+                let expand_a = match (&na.kind, &nb.kind) {
+                    (NodeKind::Internal(_), NodeKind::Leaf(_)) => true,
+                    (NodeKind::Leaf(_), NodeKind::Internal(_)) => false,
+                    _ => na.radius >= nb.radius,
+                };
+                let (fixed, expanded, d_known) = if expand_a {
+                    (b, a, d_pivots)
+                } else {
+                    (a, b, d_pivots)
+                };
+                self.touch();
+                let nf = self.node(fixed);
+                let pf = nf.pivot.expect("non-root nodes have pivots");
+                let lemma = self.config().parent_pruning;
+                for &child in self.node(expanded).children() {
+                    let nc = self.node(child);
+                    // Parent-distance bound: d(p_f, p_c) is at least
+                    // |d(p_f, p_e) − d(p_c, p_e)| for the expanded
+                    // node's pivot p_e.
+                    if lemma && (d_known - nc.dist_to_parent).abs() > r + nf.radius + nc.radius {
+                        continue;
+                    }
+                    let pc = nc.pivot.expect("children have pivots");
+                    let d = self.dist_objs(pf, pc);
+                    if d <= r + nf.radius + nc.radius {
+                        self.join_pair(fixed, child, d, r, out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// All joining pairs within one leaf. Every bound below uses only
+    /// distances cached in the leaf entries, so pairs that resolve via a
+    /// bound cost zero distance computations.
+    fn join_leaf_self(
+        &self,
+        leaf: NodeId,
+        entries: &[LeafEntry],
+        r: f64,
+        out: &mut Vec<(ObjId, ObjId)>,
+    ) {
+        let has_pivot = self.node(leaf).pivot.is_some();
+        let use_cached = self.config().parent_pruning && has_pivot;
+        for (i, ei) in entries.iter().enumerate() {
+            for ej in &entries[i + 1..] {
+                if use_cached {
+                    // Exclusion by any cached reference annulus
+                    // (pivot, vantage, second vantage).
+                    if (ei.dist_to_pivot - ej.dist_to_pivot).abs() > r
+                        || (ei.dist_to_vantage - ej.dist_to_vantage).abs() > r
+                        || (ei.dist_to_vantage2 - ej.dist_to_vantage2).abs() > r
+                    {
+                        continue;
+                    }
+                    // Inclusion: d(e_i, e_j) ≤ d(e_i, ref) + d(ref, e_j).
+                    if ei.dist_to_pivot + ej.dist_to_pivot <= r
+                        || ei.dist_to_vantage + ej.dist_to_vantage <= r
+                        || ei.dist_to_vantage2 + ej.dist_to_vantage2 <= r
+                    {
+                        push_edge(out, ei.object, ej.object);
+                        continue;
+                    }
+                }
+                if self.dist_objs(ei.object, ej.object) <= r {
+                    push_edge(out, ei.object, ej.object);
+                }
+            }
+        }
+    }
+
+    /// All joining pairs across two distinct leaves with known pivot
+    /// distance `d_pivots`. Each surviving left entry computes one
+    /// distance to the right pivot, turning the right scan into a
+    /// cached-annulus filter (exclusion and inclusion) per entry.
+    #[allow(clippy::too_many_arguments)]
+    fn join_leaf_cross(
+        &self,
+        _a: NodeId,
+        ea: &[LeafEntry],
+        b: NodeId,
+        eb: &[LeafEntry],
+        d_pivots: f64,
+        r: f64,
+        out: &mut Vec<(ObjId, ObjId)>,
+    ) {
+        let nb = self.node(b);
+        let pb = nb.pivot.expect("non-root nodes have pivots");
+        let lemma = self.config().parent_pruning;
+        for e1 in ea {
+            // d(e1, anything in B) ≥ d(p_A, p_B) − d(e1, p_A) − radius(B).
+            if lemma && d_pivots - e1.dist_to_pivot - nb.radius > r {
+                continue;
+            }
+            let d1b = self.dist_objs(e1.object, pb);
+            if d1b > r + nb.radius {
+                continue;
+            }
+            for e2 in eb {
+                if lemma {
+                    if (d1b - e2.dist_to_pivot).abs() > r {
+                        continue;
+                    }
+                    if d1b + e2.dist_to_pivot <= r {
+                        push_edge(out, e1.object, e2.object);
+                        continue;
+                    }
+                }
+                if self.dist_objs(e1.object, e2.object) <= r {
+                    push_edge(out, e1.object, e2.object);
+                }
+            }
+        }
+    }
+}
+
+#[inline]
+fn push_edge(out: &mut Vec<(ObjId, ObjId)>, a: ObjId, b: ObjId) {
+    if a < b {
+        out.push((a, b));
+    } else {
+        out.push((b, a));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::MTreeConfig;
+    use disc_metric::{Dataset, Metric, Point};
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, RngExt as _, SeedableRng};
+
+    fn random_data(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts = (0..n)
+            .map(|_| Point::new2(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)))
+            .collect();
+        Dataset::new("random", Metric::Euclidean, pts)
+    }
+
+    /// Brute-force edge list, sorted.
+    fn scan_edges(data: &Dataset, r: f64) -> Vec<(ObjId, ObjId)> {
+        let mut edges = Vec::new();
+        for i in 0..data.len() {
+            for j in (i + 1)..data.len() {
+                if data.dist(i, j) <= r {
+                    edges.push((i, j));
+                }
+            }
+        }
+        edges
+    }
+
+    fn sorted(mut edges: Vec<(ObjId, ObjId)>) -> Vec<(ObjId, ObjId)> {
+        edges.sort_unstable();
+        edges
+    }
+
+    #[test]
+    fn self_join_matches_scan() {
+        let data = random_data(250, 31);
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(8));
+        for r in [0.0, 0.03, 0.1, 0.4, 1.5] {
+            let got = sorted(tree.range_self_join(r));
+            assert_eq!(got, scan_edges(&data, r), "r={r}");
+        }
+    }
+
+    #[test]
+    fn self_join_matches_scan_without_parent_pruning() {
+        let data = random_data(200, 32);
+        let tree = MTree::build(
+            &data,
+            MTreeConfig::with_capacity(6).with_parent_pruning(false),
+        );
+        for r in [0.05, 0.2] {
+            assert_eq!(sorted(tree.range_self_join(r)), scan_edges(&data, r));
+        }
+    }
+
+    #[test]
+    fn self_join_emits_each_pair_once() {
+        let data = random_data(300, 33);
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(10));
+        let edges = tree.range_self_join(0.15);
+        let mut seen = std::collections::HashSet::new();
+        for &(i, j) in &edges {
+            assert!(i < j, "normalised order");
+            assert!(seen.insert((i, j)), "duplicate edge ({i}, {j})");
+        }
+    }
+
+    #[test]
+    fn self_join_computes_fewer_distances_than_all_pairs() {
+        let data = random_data(600, 34);
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(16));
+        tree.reset_distance_computations();
+        let edges = tree.range_self_join(0.05);
+        let dc = tree.reset_distance_computations();
+        let n = data.len() as u64;
+        assert!(
+            dc < n * (n - 1) / 2,
+            "self-join {dc} distances vs all-pairs {}",
+            n * (n - 1) / 2
+        );
+        assert!(!edges.is_empty());
+    }
+
+    #[test]
+    fn self_join_charges_node_accesses() {
+        let data = random_data(150, 35);
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(6));
+        tree.reset_node_accesses();
+        let _ = tree.range_self_join(0.1);
+        assert!(tree.node_accesses() > 0);
+    }
+
+    #[test]
+    fn single_object_and_tiny_trees() {
+        let one = Dataset::new("one", Metric::Euclidean, vec![Point::new2(0.5, 0.5)]);
+        let tree = MTree::build(&one, MTreeConfig::default());
+        assert!(tree.range_self_join(10.0).is_empty());
+
+        let two = Dataset::new(
+            "two",
+            Metric::Euclidean,
+            vec![Point::new2(0.0, 0.0), Point::new2(0.5, 0.0)],
+        );
+        let tree = MTree::build(&two, MTreeConfig::default());
+        assert_eq!(tree.range_self_join(1.0), vec![(0, 1)]);
+        assert!(tree.range_self_join(0.1).is_empty());
+    }
+
+    #[test]
+    fn duplicate_points_join_at_radius_zero() {
+        let data = Dataset::new(
+            "dups",
+            Metric::Euclidean,
+            vec![
+                Point::new2(0.3, 0.3),
+                Point::new2(0.3, 0.3),
+                Point::new2(0.9, 0.9),
+            ],
+        );
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(2));
+        assert_eq!(sorted(tree.range_self_join(0.0)), vec![(0, 1)]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        /// The self-join equals the O(n²) scan for arbitrary data, radii
+        /// and node capacities, with and without the parent-distance
+        /// lemma.
+        #[test]
+        fn self_join_is_exact(seed in 0u64..1000, r in 0.0..0.7f64, cap in 2usize..12) {
+            let data = random_data(120, seed);
+            let want = scan_edges(&data, r);
+            let lemma = MTree::build(&data, MTreeConfig::with_capacity(cap));
+            prop_assert_eq!(&sorted(lemma.range_self_join(r)), &want);
+            let plain = MTree::build(
+                &data,
+                MTreeConfig::with_capacity(cap).with_parent_pruning(false),
+            );
+            prop_assert_eq!(&sorted(plain.range_self_join(r)), &want);
+        }
+    }
+}

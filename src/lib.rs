@@ -44,8 +44,9 @@ pub use disc_mtree as mtree;
 /// Commonly used items, importable in one line.
 pub mod prelude {
     pub use disc_core::{
-        basic_disc, fast_c, greedy_c, greedy_disc, greedy_zoom_in, greedy_zoom_out, local_zoom,
-        verify_disc, zoom_in, zoom_out, BasicOrder, DiscResult, GreedyVariant, ZoomOutVariant,
+        basic_disc, fast_c, fast_c_graph, greedy_c, greedy_c_graph, greedy_disc, greedy_disc_graph,
+        greedy_zoom_in, greedy_zoom_out, local_zoom, verify_disc, zoom_in, zoom_out, BasicOrder,
+        DiscResult, GreedyVariant, ZoomOutVariant,
     };
     pub use disc_metric::{Dataset, Metric, ObjId, Point};
     pub use disc_mtree::{MTree, MTreeConfig, PartitionPolicy, PromotePolicy, SplitPolicy};

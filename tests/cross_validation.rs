@@ -65,6 +65,37 @@ fn greedy_c_matches_reference_exactly() {
 }
 
 #[test]
+fn graph_resident_pipeline_matches_tree_backed_and_reference() {
+    // End-to-end pin of the bulk pipeline: self-join materialisation,
+    // CSR assembly, graph-resident selection — against both the
+    // tree-backed exact runners and the index-free references.
+    for data in workloads() {
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(10));
+        tree.reset_node_accesses();
+        for r in [0.05, 0.12, 0.3] {
+            let g = UnitDiskGraph::from_mtree(&tree, r);
+            assert_eq!(g, UnitDiskGraph::build(&data, r), "{} r={r}", data.name());
+            let disc = greedy_disc_graph(&g);
+            assert_eq!(disc.solution, greedy_disc_ref(&g), "{} r={r}", data.name());
+            assert_eq!(
+                disc.solution,
+                greedy_disc(&tree, r, GreedyVariant::Grey, true).solution,
+                "{} r={r}",
+                data.name()
+            );
+            let cover = greedy_c_graph(&g);
+            assert_eq!(cover.solution, greedy_c_ref(&g), "{} r={r}", data.name());
+            assert_eq!(
+                fast_c_graph(&g).solution,
+                cover.solution,
+                "{} r={r}",
+                data.name()
+            );
+        }
+    }
+}
+
+#[test]
 fn results_are_independent_of_tree_shape() {
     // The greedy selection is defined by counts and ids, not by the
     // index layout: different capacities and splitting policies must
