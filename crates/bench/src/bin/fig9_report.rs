@@ -181,6 +181,37 @@ fn main() {
     );
 
     // ---------------------------------------------------------------
+    // Serial vs parallel self-join build (SELF_JOIN_THREADS forces the
+    // worker count; parity of counters/edges/CSR/solutions must hold).
+    // ---------------------------------------------------------------
+    let sj = disc_bench::measure_selfjoin_par(
+        &tree_on,
+        RADIUS,
+        disc_bench::self_join_threads_from_env(),
+    );
+    assert!(
+        sj.parity(),
+        "parallel self-join diverged from serial (dc {} vs {}, edges_identical={}, \
+         csr_identical={}, solutions_identical={})",
+        sj.parallel_dc,
+        sj.serial_dc,
+        sj.edges_identical,
+        sj.csr_identical,
+        sj.solutions_identical
+    );
+    eprintln!(
+        "  self-join build serial={:.1}ms parallel={:.1}ms speedup={:.2}x \
+         (threads={}{}, dc parity {} == {})",
+        sj.serial_ms,
+        sj.parallel_ms,
+        sj.speedup(),
+        sj.threads,
+        if sj.forced { " forced" } else { "" },
+        sj.serial_dc,
+        sj.parallel_dc
+    );
+
+    // ---------------------------------------------------------------
     // Hand-rolled JSON (no serde in the environment).
     // ---------------------------------------------------------------
     let mut json = String::new();
@@ -226,7 +257,7 @@ fn main() {
          \"greedy_disc_graph\": {{\"total_distance_computations\": {}, \
          \"build_plus_select_ms\": {:.3}}}, \
          \"greedy_disc_tree_pruned\": {{\"distance_computations\": {}, \
-         \"total_ms\": {:.3}}}, \"solution_size\": {}}}\n",
+         \"total_ms\": {:.3}}}, \"solution_size\": {}}},\n",
         gvt.pairs_all,
         gvt.self_join_dc,
         gvt.edges,
@@ -237,6 +268,7 @@ fn main() {
         gvt.disc_tree_ms,
         gvt.disc_size
     ));
+    json.push_str(&format!("  \"selfjoin_par\": {}\n", sj.to_json()));
     json.push_str("}\n");
 
     std::fs::write(&out_path, &json).expect("write BENCH_fig9.json");

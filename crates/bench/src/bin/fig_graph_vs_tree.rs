@@ -18,14 +18,21 @@
 //!    O(n²) all-pairs count `n(n−1)/2`;
 //! 2. the graph-resident end-to-end run (self-join build + select) must
 //!    not exceed the tree-backed pruned run's distance computations;
-//! 3. graph-resident solutions must equal the tree-backed exact ones.
+//! 3. graph-resident solutions must equal the tree-backed exact ones;
+//! 4. **parallel/serial parity** — the parallel self-join must charge
+//!    exactly the serial traversal's `distance_computations()`, emit a
+//!    byte-identical edge list, assemble a byte-identical sharded CSR,
+//!    and select the same solution (the `selfjoin_par` section).
 //!
 //! Usage: `cargo run --release -p disc-bench --bin fig_graph_vs_tree
 //! [-- <output-path>]` (default `BENCH_graph_vs_tree.json`). `GRAPH_N`
 //! overrides the object count: CI's smoke gate runs at `GRAPH_N=2000`;
-//! the acceptance workload is 10_000.
+//! the acceptance workload is 10_000. `SELF_JOIN_THREADS` forces the
+//! parallel side's worker count (CI runs a 1/2/3/8 matrix of these).
 
-use disc_bench::{measure_graph_vs_tree, BENCH_SEED};
+use disc_bench::{
+    measure_graph_vs_tree, measure_selfjoin_par, self_join_threads_from_env, BENCH_SEED,
+};
 use disc_datasets::synthetic::clustered;
 use disc_mtree::{MTree, MTreeConfig};
 
@@ -75,6 +82,22 @@ fn main() {
     );
 
     // ---------------------------------------------------------------
+    // Serial vs parallel self-join build.
+    // ---------------------------------------------------------------
+    let sj = measure_selfjoin_par(&tree, RADIUS, self_join_threads_from_env());
+    eprintln!(
+        "  self-join par: serial {:.1}ms vs parallel {:.1}ms ({:.2}x, threads={}{}), \
+         dc {} vs {}",
+        sj.serial_ms,
+        sj.parallel_ms,
+        sj.speedup(),
+        sj.threads,
+        if sj.forced { " forced" } else { "" },
+        sj.serial_dc,
+        sj.parallel_dc
+    );
+
+    // ---------------------------------------------------------------
     // Gates (solution equality is asserted inside the measurement).
     // ---------------------------------------------------------------
     assert!(
@@ -90,6 +113,22 @@ fn main() {
         m.self_join_dc,
         m.disc_tree_dc
     );
+    assert_eq!(
+        sj.parallel_dc, sj.serial_dc,
+        "parallel self-join lost or double-counted distance computations"
+    );
+    assert!(
+        sj.edges_identical,
+        "parallel self-join edge list diverged from the serial traversal"
+    );
+    assert!(
+        sj.csr_identical,
+        "sharded CSR assembly diverged from the serial assembly"
+    );
+    assert!(
+        sj.solutions_identical,
+        "greedy_disc_graph solutions diverged between serial and parallel builds"
+    );
 
     let json = format!(
         "{{\n  \"workload\": {{\"dataset\": \"clustered\", \"n\": {n}, \"dim\": 2, \
@@ -102,7 +141,8 @@ fn main() {
          {}, \"total_ms\": {:.3}}}, \"solution_size\": {}}},\n\
          \x20 \"greedy_c\": {{\"graph\": {{\"total_distance_computations\": {}, \
          \"build_plus_select_ms\": {:.3}}}, \"tree\": {{\"distance_computations\": {}, \
-         \"total_ms\": {:.3}}}, \"solution_size\": {}}}\n}}\n",
+         \"total_ms\": {:.3}}}, \"solution_size\": {}}},\n\
+         \x20 \"selfjoin_par\": {}\n}}\n",
         m.pairs_all,
         m.self_join_dc,
         m.edges,
@@ -117,6 +157,7 @@ fn main() {
         m.c_tree_dc,
         m.c_tree_ms,
         m.c_size,
+        sj.to_json(),
     );
     std::fs::write(&out_path, &json).expect("write graph-vs-tree report");
     eprintln!("fig_graph_vs_tree: wrote {out_path}; all gates passed");

@@ -23,7 +23,7 @@ use disc_core::{greedy_c, greedy_c_graph, greedy_disc, greedy_disc_graph, Greedy
 use disc_datasets::synthetic::{clustered, uniform};
 use disc_graph::UnitDiskGraph;
 use disc_metric::Dataset;
-use disc_mtree::{MTree, MTreeConfig};
+use disc_mtree::{MTree, MTreeConfig, SelfJoinConfig};
 
 /// Seed shared by all bench datasets.
 pub const BENCH_SEED: u64 = 77;
@@ -131,6 +131,137 @@ pub fn measure_graph_vs_tree(tree: &MTree<'_>, radius: f64) -> GraphVsTree {
     }
 }
 
+/// One serial-vs-parallel self-join build measurement (the
+/// `selfjoin_par` section of `BENCH_fig9.json` and
+/// `BENCH_graph_vs_tree.json`, shared so the two reports cannot drift).
+pub struct SelfJoinPar {
+    /// Worker thread count of the parallel side.
+    pub threads: usize,
+    /// Whether the thread count was forced (e.g. via `SELF_JOIN_THREADS`)
+    /// rather than auto-detected.
+    pub forced: bool,
+    /// Serial dual-tree traversal wall-clock (ms).
+    pub serial_ms: f64,
+    /// Parallel dual-tree traversal wall-clock (ms).
+    pub parallel_ms: f64,
+    /// Distance computations charged by the serial traversal.
+    pub serial_dc: u64,
+    /// Distance computations charged by the parallel traversal (the
+    /// parity gate requires this to equal `serial_dc` exactly).
+    pub parallel_dc: u64,
+    /// Undirected edges found (identical on both sides by construction;
+    /// `edges_identical` pins it).
+    pub edges: usize,
+    /// Whether the two edge lists are byte-identical (set and order).
+    pub edges_identical: bool,
+    /// Whether serial `from_edges` and sharded `from_edges_sharded`
+    /// assemble byte-identical CSR arrays (`offsets` and `neighbors`).
+    pub csr_identical: bool,
+    /// Whether graph-resident Greedy-DisC picks the same solution on
+    /// both graphs.
+    pub solutions_identical: bool,
+}
+
+impl SelfJoinPar {
+    /// Serial / parallel wall-clock ratio.
+    pub fn speedup(&self) -> f64 {
+        self.serial_ms / self.parallel_ms
+    }
+
+    /// The CI parity gate: distance-computation totals, edge lists, CSR
+    /// bytes and solutions must all agree between the serial and
+    /// parallel pipelines.
+    pub fn parity(&self) -> bool {
+        self.serial_dc == self.parallel_dc
+            && self.edges_identical
+            && self.csr_identical
+            && self.solutions_identical
+    }
+
+    /// The `selfjoin_par` JSON object, shared verbatim by
+    /// `BENCH_fig9.json` and `BENCH_graph_vs_tree.json` so the two
+    /// reports cannot drift (no serde in the environment; a non-finite
+    /// speedup serialises as `null`).
+    pub fn to_json(&self) -> String {
+        let speedup = if self.speedup().is_finite() {
+            format!("{:.3}", self.speedup())
+        } else {
+            "null".to_string()
+        };
+        format!(
+            "{{\"threads\": {}, \"forced\": {}, \"serial_ms\": {:.3}, \
+             \"parallel_ms\": {:.3}, \"speedup\": {speedup}, \
+             \"serial_distance_computations\": {}, \
+             \"parallel_distance_computations\": {}, \"edges\": {}, \
+             \"parity\": {}}}",
+            self.threads,
+            self.forced,
+            self.serial_ms,
+            self.parallel_ms,
+            self.serial_dc,
+            self.parallel_dc,
+            self.edges,
+            self.parity()
+        )
+    }
+}
+
+/// The `SELF_JOIN_THREADS` override both perf binaries honour (CI's
+/// thread-count matrix smoke); `None` when unset or unparsable.
+pub fn self_join_threads_from_env() -> Option<usize> {
+    std::env::var("SELF_JOIN_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+}
+
+/// Measures the serial vs parallel self-join build at `radius` and
+/// cross-checks every determinism guarantee the parallel path makes
+/// (edge order, distance counter, sharded CSR bytes, selection output).
+/// `forced_threads` overrides the worker count (CI's `SELF_JOIN_THREADS`
+/// matrix); `None` auto-detects. Resets (and so consumes) the tree's
+/// distance-computation counter.
+pub fn measure_selfjoin_par(
+    tree: &MTree<'_>,
+    radius: f64,
+    forced_threads: Option<usize>,
+) -> SelfJoinPar {
+    let threads = forced_threads.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    });
+
+    tree.reset_distance_computations();
+    let t = Instant::now();
+    let serial_edges = tree.range_self_join_serial(radius);
+    let serial_ms = t.elapsed().as_secs_f64() * 1_000.0;
+    let serial_dc = tree.reset_distance_computations();
+
+    let t = Instant::now();
+    let parallel_edges = tree.range_self_join_with(radius, SelfJoinConfig { threads });
+    let parallel_ms = t.elapsed().as_secs_f64() * 1_000.0;
+    let parallel_dc = tree.reset_distance_computations();
+
+    let serial_graph = UnitDiskGraph::from_edges(tree.len(), radius, &serial_edges);
+    let sharded_graph =
+        UnitDiskGraph::from_edges_sharded(tree.len(), radius, &parallel_edges, threads);
+
+    SelfJoinPar {
+        threads,
+        forced: forced_threads.is_some(),
+        serial_ms,
+        parallel_ms,
+        serial_dc,
+        parallel_dc,
+        edges: serial_edges.len(),
+        edges_identical: serial_edges == parallel_edges,
+        csr_identical: serial_graph.offsets() == sharded_graph.offsets()
+            && serial_graph.neighbors_flat() == sharded_graph.neighbors_flat(),
+        solutions_identical: greedy_disc_graph(&serial_graph).solution
+            == greedy_disc_graph(&sharded_graph).solution,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,6 +273,20 @@ mod tests {
         let t = bench_tree(&d);
         assert_eq!(t.node_accesses(), 0);
         assert_eq!(bench_uniform(100).len(), 100);
+    }
+
+    #[test]
+    fn selfjoin_par_measurement_holds_parity() {
+        let d = bench_clustered(500);
+        let t = bench_tree(&d);
+        for threads in [1, 2, 3, 8] {
+            let m = measure_selfjoin_par(&t, 0.04, Some(threads));
+            assert!(m.parity(), "parity failed at threads={threads}");
+            assert!(m.forced && m.threads == threads);
+            assert!(m.edges > 0 && m.serial_dc > 0);
+        }
+        let auto = measure_selfjoin_par(&t, 0.04, None);
+        assert!(auto.parity() && !auto.forced);
     }
 
     #[test]

@@ -24,15 +24,25 @@
 //!   run. Prefer the tree-backed runners instead when memory is tight,
 //!   when only a few selections are needed (zooming a small
 //!   neighbourhood), or when the radius changes between selections.
+//!   With the `parallel` feature enabled, both the self-join traversal
+//!   (see `disc-mtree`) and the CSR assembly below run multi-threaded,
+//!   producing a byte-identical graph.
 //! * [`UnitDiskGraph::build`] — the O(n²) all-pairs scan, kept as the
 //!   validation reference the property tests compare against.
 //! * [`UnitDiskGraph::build_parallel`] — the same scan sharded across
 //!   threads with `std::thread::scope` (behind the `parallel` feature);
 //!   byte-identical output, useful on multi-core hosts when no M-tree
 //!   exists yet.
-//! * [`UnitDiskGraph::from_edges`] — CSR assembly from any edge list
-//!   (the self-join's output format), public so other producers can
-//!   feed the same consumers.
+//! * [`UnitDiskGraph::from_edges`] — serial CSR assembly from any edge
+//!   list (the self-join's output format), public so other producers
+//!   can feed the same consumers.
+//! * [`UnitDiskGraph::from_edges_sharded`] — the same assembly as a
+//!   parallel counting sort: shards own contiguous vertex ranges,
+//!   count degrees and prefix-sum locally, then fill and sort disjoint
+//!   slices of the `neighbors` array. Byte-identical `offsets` /
+//!   `neighbors` for every shard count, because the offsets are pure
+//!   degree counts and each adjacency row is sorted (and duplicate
+//!   free), so its final content is independent of fill order.
 
 use disc_metric::{Dataset, ObjId};
 use disc_mtree::MTree;
@@ -69,10 +79,19 @@ impl UnitDiskGraph {
 
     /// Materialises `G_{P,r}` with one M-tree range self-join (the bulk
     /// production path; distance computations are charged to the tree's
-    /// counter).
+    /// counter). With the `parallel` feature enabled both the self-join
+    /// traversal and the CSR assembly run multi-threaded — the graph is
+    /// byte-identical either way.
     pub fn from_mtree(tree: &MTree<'_>, radius: f64) -> Self {
         let edges = tree.range_self_join(radius);
-        Self::from_edges(tree.len(), radius, &edges)
+        #[cfg(feature = "parallel")]
+        {
+            Self::from_edges_sharded(tree.len(), radius, &edges, 0)
+        }
+        #[cfg(not(feature = "parallel"))]
+        {
+            Self::from_edges(tree.len(), radius, &edges)
+        }
     }
 
     /// Assembles the CSR from an undirected edge list over `n` vertices.
@@ -105,6 +124,149 @@ impl UnitDiskGraph {
                 "duplicate edge incident to vertex {v}"
             );
         }
+        Self {
+            radius,
+            offsets,
+            neighbors,
+        }
+    }
+
+    /// [`UnitDiskGraph::from_edges`] as a parallel counting sort over
+    /// `std::thread::scope` workers. One serial pass buckets the edges
+    /// by owning shard (contiguous vertex ranges; an edge crossing two
+    /// shards lands in both buckets), then each shard counts the
+    /// degrees of its range, prefix-sums them locally and — after the
+    /// shard bases are combined serially — fills and sorts its disjoint
+    /// slice of the `neighbors` array, touching only its own bucket.
+    /// The resulting `offsets` / `neighbors` are **byte-identical** to
+    /// the serial assembly for every shard count: offsets are pure
+    /// degree counts, and every adjacency row is sorted and
+    /// duplicate-free, so its content does not depend on fill order.
+    ///
+    /// `shards == 0` picks one shard per available core and falls back
+    /// to the serial assembly when that is 1 or the input is small; an
+    /// explicit shard count is honoured exactly (the concurrency tests
+    /// force 1, 2, 3 and 8).
+    pub fn from_edges_sharded(
+        n: usize,
+        radius: f64,
+        edges: &[(ObjId, ObjId)],
+        shards: usize,
+    ) -> Self {
+        assert!(radius >= 0.0, "radius must be non-negative");
+        let shards = if shards == 0 {
+            // Below this size the serial assembly beats spawn + join.
+            const MIN_PARALLEL_EDGES: usize = 4_096;
+            let auto = std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1);
+            if auto <= 1 || edges.len() < MIN_PARALLEL_EDGES {
+                return Self::from_edges(n, radius, edges);
+            }
+            auto
+        } else {
+            shards
+        };
+        let shards = shards.clamp(1, n.max(1));
+        // Vertex ranges: shard s owns [s * span, min((s + 1) * span, n)).
+        let span = n.div_ceil(shards).max(1);
+        let range = |s: usize| (s * span).min(n)..((s + 1) * span).min(n);
+
+        // Bucket edges by owning shard once, preserving input order, so
+        // the counting and fill phases each scan O(|E|) total instead of
+        // O(shards × |E|) (an edge whose endpoints fall in different
+        // shards is duplicated into both buckets).
+        let mut buckets: Vec<Vec<(ObjId, ObjId)>> = vec![Vec::new(); shards];
+        for &(i, j) in edges {
+            debug_assert!(i != j, "self-loop ({i}, {j})");
+            let si = (i / span).min(shards - 1);
+            let sj = (j / span).min(shards - 1);
+            buckets[si].push((i, j));
+            if sj != si {
+                buckets[sj].push((i, j));
+            }
+        }
+
+        // Phase 1: per-shard degree counts with a local exclusive prefix
+        // sum (index k holds the sum of degrees of the range's first k
+        // vertices; the final extra slot holds the shard total).
+        let locals: Vec<Vec<usize>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..shards)
+                .map(|s| {
+                    let r = range(s);
+                    let bucket = &buckets[s];
+                    scope.spawn(move || {
+                        let mut counts = vec![0usize; r.len() + 1];
+                        for &(i, j) in bucket {
+                            if r.contains(&i) {
+                                counts[i - r.start + 1] += 1;
+                            }
+                            if r.contains(&j) {
+                                counts[j - r.start + 1] += 1;
+                            }
+                        }
+                        for k in 0..r.len() {
+                            counts[k + 1] += counts[k];
+                        }
+                        counts
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("degree-count shard panicked"))
+                .collect()
+        });
+
+        // Combine: exclusive scan of the shard totals gives each shard's
+        // base offset; local prefix sums shift by the base.
+        let mut offsets = vec![0usize; n + 1];
+        let mut base = 0usize;
+        for (s, local) in locals.iter().enumerate() {
+            let r = range(s);
+            for (k, v) in r.clone().enumerate() {
+                offsets[v] = base + local[k];
+            }
+            base += local[r.len()];
+        }
+        offsets[n] = base;
+
+        // Phase 2: each shard fills and sorts its disjoint slice of the
+        // neighbor array (slices handed out via split_at_mut).
+        let mut neighbors = vec![0 as ObjId; base];
+        std::thread::scope(|scope| {
+            let offsets = &offsets;
+            let mut rest: &mut [ObjId] = &mut neighbors;
+            for (s, bucket) in buckets.iter().enumerate() {
+                let r = range(s);
+                let shard_len = offsets[r.end] - offsets[r.start];
+                let (mine, tail) = rest.split_at_mut(shard_len);
+                rest = tail;
+                scope.spawn(move || {
+                    let shard_base = offsets[r.start];
+                    let mut cursor: Vec<usize> =
+                        offsets[r.clone()].iter().map(|&o| o - shard_base).collect();
+                    for &(i, j) in bucket {
+                        if r.contains(&i) {
+                            mine[cursor[i - r.start]] = j;
+                            cursor[i - r.start] += 1;
+                        }
+                        if r.contains(&j) {
+                            mine[cursor[j - r.start]] = i;
+                            cursor[j - r.start] += 1;
+                        }
+                    }
+                    for v in r.clone() {
+                        let row = &mut mine[offsets[v] - shard_base..offsets[v + 1] - shard_base];
+                        row.sort_unstable();
+                        debug_assert!(
+                            row.windows(2).all(|w| w[0] != w[1]),
+                            "duplicate edge incident to vertex {v}"
+                        );
+                    }
+                });
+            }
+        });
         Self {
             radius,
             offsets,
@@ -175,6 +337,19 @@ impl UnitDiskGraph {
     #[inline]
     pub fn neighbors(&self, v: ObjId) -> &[ObjId] {
         &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// The raw CSR row-boundary array (`n + 1` entries, first is 0).
+    /// Exposed so the concurrency tests can pin byte-equality of
+    /// serially and shardedly assembled graphs.
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The raw concatenated adjacency array (each undirected edge twice;
+    /// see [`UnitDiskGraph::offsets`]).
+    pub fn neighbors_flat(&self) -> &[ObjId] {
+        &self.neighbors
     }
 
     /// Degree of `v` (`|N_r(v)|`).
@@ -323,6 +498,96 @@ mod tests {
         let empty = UnitDiskGraph::from_edges(0, 0.5, &[]);
         assert!(empty.is_empty());
         assert_eq!(empty.len(), 0);
+    }
+
+    const SHARD_COUNTS: [usize; 4] = [1, 2, 3, 8];
+
+    #[test]
+    fn sharded_assembly_is_byte_identical_to_serial() {
+        let data = random_data_metric(300, 11, Metric::Euclidean);
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(8));
+        for r in [0.0, 0.05, 0.2, 2.0] {
+            let edges = tree.range_self_join_serial(r);
+            let serial = UnitDiskGraph::from_edges(data.len(), r, &edges);
+            for shards in SHARD_COUNTS {
+                let sharded = UnitDiskGraph::from_edges_sharded(data.len(), r, &edges, shards);
+                assert_eq!(sharded.offsets(), serial.offsets(), "shards={shards} r={r}");
+                assert_eq!(
+                    sharded.neighbors_flat(),
+                    serial.neighbors_flat(),
+                    "shards={shards} r={r}"
+                );
+            }
+            // More shards than vertices clamps without panicking.
+            assert_eq!(
+                UnitDiskGraph::from_edges_sharded(data.len(), r, &edges, data.len() + 50),
+                serial
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_assembly_degenerate_inputs() {
+        for shards in SHARD_COUNTS {
+            // No vertices at all.
+            let empty = UnitDiskGraph::from_edges_sharded(0, 0.5, &[], shards);
+            assert!(empty.is_empty());
+            assert_eq!(empty.offsets(), &[0]);
+            // A single vertex (no possible edge).
+            let one = UnitDiskGraph::from_edges_sharded(1, 0.5, &[], shards);
+            assert_eq!(one.len(), 1);
+            assert!(one.neighbors(0).is_empty());
+            // Isolated vertices, mixed-orientation edge list.
+            let g = UnitDiskGraph::from_edges_sharded(4, 1.0, &[(2, 0), (3, 2), (0, 1)], shards);
+            assert_eq!(
+                g,
+                UnitDiskGraph::from_edges(4, 1.0, &[(2, 0), (3, 2), (0, 1)])
+            );
+        }
+    }
+
+    #[test]
+    fn all_duplicate_points_build_complete_graph_at_radius_zero() {
+        // Degenerate dataset: every point identical, so at r = 0 the
+        // graph is complete. All three construction pipelines agree.
+        let n = 24;
+        let data = Dataset::new(
+            "all-dups",
+            Metric::Euclidean,
+            vec![Point::new2(0.4, 0.6); n],
+        );
+        let reference = UnitDiskGraph::build(&data, 0.0);
+        for v in reference.vertices() {
+            assert_eq!(reference.degree(v), n - 1);
+        }
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(3));
+        assert_eq!(UnitDiskGraph::from_mtree(&tree, 0.0), reference);
+        let edges = tree.range_self_join_serial(0.0);
+        for shards in SHARD_COUNTS {
+            assert_eq!(
+                UnitDiskGraph::from_edges_sharded(n, 0.0, &edges, shards),
+                reference
+            );
+        }
+    }
+
+    #[test]
+    fn radius_at_least_diameter_matches_reference_complete_graph() {
+        let data = random_data_metric(60, 12, Metric::Euclidean);
+        // Unit-square diameter is √2 < 2.0: complete graph.
+        let reference = UnitDiskGraph::build(&data, 2.0);
+        for v in reference.vertices() {
+            assert_eq!(reference.degree(v), data.len() - 1);
+        }
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(5));
+        assert_eq!(UnitDiskGraph::from_mtree(&tree, 2.0), reference);
+        let edges = tree.range_self_join_serial(2.0);
+        for shards in SHARD_COUNTS {
+            assert_eq!(
+                UnitDiskGraph::from_edges_sharded(data.len(), 2.0, &edges, shards),
+                reference
+            );
+        }
     }
 
     #[test]

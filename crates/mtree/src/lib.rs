@@ -22,7 +22,10 @@
 //! * **a batched range self-join** ([`MTree::range_self_join`]) that
 //!   materialises the whole neighbourhood graph `G_{P,r}` in one
 //!   dual-tree traversal with node-pair pruning — the bulk counterpart
-//!   of issuing one range query per object;
+//!   of issuing one range query per object. Behind the `parallel`
+//!   feature the traversal fans out over `std::thread::scope` workers
+//!   with byte-identical output and exact counters
+//!   ([`SelfJoinConfig`] forces the thread count in tests);
 //! * **fat-factor computation** ([`stats`]) for the Figure 10 experiment.
 
 pub mod color;
@@ -37,6 +40,7 @@ pub mod validate;
 pub use color::{Color, ColorState};
 pub use node::{LeafEntry, Node, NodeId, NodeKind};
 pub use query::RangeHit;
+pub use selfjoin::SelfJoinConfig;
 pub use split::{PartitionPolicy, PromotePolicy, SplitPolicy};
 pub use stats::TreeStats;
 pub use tree::{MTree, MTreeConfig};

@@ -1,5 +1,6 @@
 //! Batched range self-join: all pairs of indexed objects within `r`, in
-//! one dual-tree traversal.
+//! one dual-tree traversal — serial or parallel, with byte-identical
+//! output either way.
 //!
 //! The DisC heuristics are computations over the neighbourhood graph
 //! `G_{P,r}` (paper Section 2.2). Deriving that graph with one range
@@ -31,116 +32,444 @@
 //!   fresh distance computation.
 //!
 //! None of the bounds is approximate: the emitted edge set is exactly
-//! the O(n²) scan's (the property tests in `disc-graph` pin this on all
-//! four metrics).
+//! the O(n²) scan's (the property tests in `disc-graph` and the
+//! workspace concurrency tier pin this on all four metrics).
+//!
+//! ## Ordering contract
+//!
+//! Every edge is emitted as `(a, b)` with `a < b`, and the edge list is
+//! in **task order**: the traversal is a sequence of *node-pair tasks*
+//! ([`Task`] below — a subtree joined with itself, or two disjoint
+//! subtrees joined with a known pivot distance), visited in depth-first
+//! serial order; the output is the concatenation of each leaf-level
+//! task's edges in that order. The serial and parallel drivers produce
+//! the *same byte-identical* `Vec` — order included — so downstream CSR
+//! assembly never needs a sort.
+//!
+//! All `*_into` variants clear the output buffer first, matching the
+//! query `*_into` family in [`crate::query`].
+//!
+//! ## Parallel execution and why it is deterministic
+//!
+//! [`MTree::range_self_join_with`] splits the traversal in two phases:
+//!
+//! 1. **Bounded-depth serial expansion.** Starting from the root task
+//!    `Same(root)`, tasks are repeatedly *expanded one level* — exactly
+//!    the step the serial recursion would take, including every pruning
+//!    bound and every pivot-distance computation — until the work list
+//!    holds at least `threads × TASKS_PER_WORKER` leaf-or-internal
+//!    tasks or no task can expand further. Expansion happens on the
+//!    calling thread in serial traversal order, so the work list is a
+//!    *frontier* of the serial recursion tree: independent tasks whose
+//!    concatenated outputs, in list order, are precisely the serial
+//!    output. Edges are only ever emitted by leaf-level tasks, so
+//!    expansion itself emits nothing.
+//! 2. **Scoped workers.** `std::thread::scope` workers drain the work
+//!    list through an atomic cursor. Each task's edges go to a buffer
+//!    slot keyed by its work-list index, and each worker accumulates
+//!    its distance-computation and node-access counts locally. After
+//!    the scope joins, slots are concatenated in index order and the
+//!    per-worker counters are added to the tree's global counters in
+//!    one bulk charge each — the totals equal the serial traversal's
+//!    exactly, because the multiset of distances computed is scheduling
+//!    independent (expansion order is fixed, and each task's internal
+//!    traversal is sequential).
+//!
+//! No step of either phase consults thread identity, timing, or
+//! scheduling order for anything except *which worker* runs a task, so
+//! the result is a pure function of `(tree, r, nothing else)` — the
+//! thread count only changes wall-clock time. The workspace
+//! `tests/concurrency.rs` tier pins this across thread counts 1, 2, 3
+//! and 8 on all four metrics.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use disc_metric::ObjId;
 
 use crate::node::{LeafEntry, NodeId, NodeKind};
 use crate::tree::MTree;
 
+/// How many work items the expansion phase aims to produce per worker
+/// thread. More items smooth out load imbalance between cheap and
+/// expensive node pairs; the expansion cost is a handful of tree levels
+/// either way.
+const TASKS_PER_WORKER: usize = 8;
+
+/// Hard bound on expansion passes. Each pass descends at most one tree
+/// level on one side of every task, so `2 × height` passes reach the
+/// leaves; 64 covers any tree this workspace can build while keeping
+/// the expansion provably finite.
+const MAX_EXPANSION_PASSES: usize = 64;
+
+/// Below this many indexed objects the auto-threaded dispatch falls
+/// back to the serial traversal (thread spawn/join dominates).
+const MIN_PARALLEL: usize = 1_024;
+
+/// Tuning knobs for [`MTree::range_self_join_with`].
+///
+/// Primarily a **test override**: the workspace concurrency tier forces
+/// `threads` to 1, 2, 3 and 8 to pin that the parallel traversal is
+/// byte-identical to the serial one regardless of worker count.
+/// Production callers normally use [`MTree::range_self_join`], which
+/// picks the thread count automatically (and only goes parallel when
+/// the `parallel` feature is enabled).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SelfJoinConfig {
+    /// Worker thread count. `0` (the default) means one worker per
+    /// available core, falling back to the serial traversal for small
+    /// trees; any explicit value is honoured exactly, even on small
+    /// inputs (so tests can exercise the parallel machinery on tiny
+    /// trees).
+    pub threads: usize,
+}
+
+impl SelfJoinConfig {
+    /// Config with an explicit worker count.
+    pub fn with_threads(threads: usize) -> Self {
+        Self { threads }
+    }
+}
+
+/// Edges produced by one work-list task, keyed by its task index (the
+/// merge key that restores serial output order).
+type TaskEdges = (usize, Vec<(ObjId, ObjId)>);
+
+/// One worker's results: per-task edge lists plus the worker's locally
+/// accumulated distance-computation and node-access counts.
+type WorkerResult = (Vec<TaskEdges>, u64, u64);
+
+/// One independent unit of traversal work: a subtree joined with
+/// itself, or two disjoint subtrees joined with their pivot distance
+/// already computed (and already past the covering-radius bound).
+#[derive(Clone, Copy, Debug)]
+enum Task {
+    /// Join `node`'s subtree with itself.
+    Same(NodeId),
+    /// Join two distinct subtrees whose pivot distance is known.
+    Pair(NodeId, NodeId, f64),
+}
+
+/// Thread-local traversal state: the edges found so far plus the
+/// distance-computation and node-access counts accrued while finding
+/// them. Workers keep one of these and flush the counters into the
+/// tree's global atomics in a single bulk charge at the end, so the
+/// global totals stay exact without per-distance atomic traffic.
+#[derive(Default)]
+struct JoinBuf {
+    edges: Vec<(ObjId, ObjId)>,
+    dist_comps: u64,
+    accesses: u64,
+}
+
+impl JoinBuf {
+    /// Records one node access.
+    #[inline]
+    fn touch(&mut self) {
+        self.accesses += 1;
+    }
+
+    /// Counted distance between two indexed objects.
+    #[inline]
+    fn dist_objs(&mut self, tree: &MTree<'_>, a: ObjId, b: ObjId) -> f64 {
+        self.dist_comps += 1;
+        tree.data().dist(a, b)
+    }
+
+    /// Emits one edge in normalised `(min, max)` orientation.
+    #[inline]
+    fn push_edge(&mut self, a: ObjId, b: ObjId) {
+        if a < b {
+            self.edges.push((a, b));
+        } else {
+            self.edges.push((b, a));
+        }
+    }
+}
+
 impl MTree<'_> {
     /// Computes the range self-join: every unordered pair of indexed
     /// objects within distance `r`, as `(i, j)` with `i < j`, each pair
-    /// exactly once. This is the edge list of the neighbourhood graph
-    /// `G_{P,r}` materialised in one traversal.
+    /// exactly once, in the deterministic task order described in the
+    /// [module docs](self). This is the edge list of the neighbourhood
+    /// graph `G_{P,r}` materialised in one traversal.
+    ///
+    /// With the `parallel` feature enabled this dispatches to the
+    /// multi-threaded traversal (auto thread count, byte-identical
+    /// output); without it, to the serial traversal.
     pub fn range_self_join(&self, r: f64) -> Vec<(ObjId, ObjId)> {
         let mut out = Vec::new();
         self.range_self_join_into(r, &mut out);
         out
     }
 
-    /// [`MTree::range_self_join`] into a reusable edge buffer (cleared
-    /// first).
+    /// [`MTree::range_self_join`] into a reusable edge buffer. The
+    /// buffer is cleared first (like every `*_into` API in this crate)
+    /// and refilled in task order, `(a, b)` with `a < b`.
     pub fn range_self_join_into(&self, r: f64, out: &mut Vec<(ObjId, ObjId)>) {
+        #[cfg(feature = "parallel")]
+        self.range_self_join_with_into(r, SelfJoinConfig::default(), out);
+        #[cfg(not(feature = "parallel"))]
+        self.range_self_join_serial_into(r, out);
+    }
+
+    /// The single-threaded self-join traversal (always available; the
+    /// reference side of the serial-vs-parallel parity gates).
+    pub fn range_self_join_serial(&self, r: f64) -> Vec<(ObjId, ObjId)> {
+        let mut out = Vec::new();
+        self.range_self_join_serial_into(r, &mut out);
+        out
+    }
+
+    /// [`MTree::range_self_join_serial`] into a reusable edge buffer
+    /// (cleared first; same ordering contract).
+    pub fn range_self_join_serial_into(&self, r: f64, out: &mut Vec<(ObjId, ObjId)>) {
         assert!(r >= 0.0, "radius must be non-negative");
         out.clear();
         if self.is_empty() {
             return;
         }
-        self.join_same(self.root(), r, out);
+        let mut buf = JoinBuf {
+            edges: std::mem::take(out),
+            ..JoinBuf::default()
+        };
+        self.run_task(Task::Same(self.root()), r, &mut buf);
+        self.charge_accesses_bulk(buf.accesses);
+        self.charge_distances_bulk(buf.dist_comps);
+        *out = buf.edges;
     }
 
-    /// Joins a subtree with itself.
-    fn join_same(&self, node: NodeId, r: f64, out: &mut Vec<(ObjId, ObjId)>) {
-        self.touch();
-        match &self.node(node).kind {
-            NodeKind::Leaf(entries) => self.join_leaf_self(node, entries, r, out),
-            NodeKind::Internal(children) => {
-                let lemma = self.config().parent_pruning && self.node(node).pivot.is_some();
-                for (i, &ci) in children.iter().enumerate() {
-                    self.join_same(ci, r, out);
-                    let ni = self.node(ci);
-                    for &cj in &children[i + 1..] {
-                        let nj = self.node(cj);
-                        // Sibling lower bound through the shared parent
-                        // pivot: d(p_i, p_j) ≥ |d(p_i, p) − d(p_j, p)|.
-                        if lemma
-                            && (ni.dist_to_parent - nj.dist_to_parent).abs()
-                                > r + ni.radius + nj.radius
-                        {
-                            continue;
-                        }
-                        let pi = ni.pivot.expect("children have pivots");
-                        let pj = nj.pivot.expect("children have pivots");
-                        let d = self.dist_objs(pi, pj);
-                        if d <= r + ni.radius + nj.radius {
-                            self.join_pair(ci, cj, d, r, out);
-                        }
-                    }
+    /// The self-join with an explicit thread count (see
+    /// [`SelfJoinConfig`]). Byte-identical output — edge set *and*
+    /// order — and identical [`MTree::distance_computations`] /
+    /// [`MTree::node_accesses`] totals for every thread count,
+    /// including 1.
+    pub fn range_self_join_with(&self, r: f64, config: SelfJoinConfig) -> Vec<(ObjId, ObjId)> {
+        let mut out = Vec::new();
+        self.range_self_join_with_into(r, config, &mut out);
+        out
+    }
+
+    /// [`MTree::range_self_join_with`] into a reusable edge buffer
+    /// (cleared first; same ordering contract).
+    pub fn range_self_join_with_into(
+        &self,
+        r: f64,
+        config: SelfJoinConfig,
+        out: &mut Vec<(ObjId, ObjId)>,
+    ) {
+        assert!(r >= 0.0, "radius must be non-negative");
+        let threads = if config.threads == 0 {
+            let auto = std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1);
+            if auto <= 1 || self.len() < MIN_PARALLEL {
+                return self.range_self_join_serial_into(r, out);
+            }
+            auto
+        } else {
+            config.threads
+        };
+        out.clear();
+        if self.is_empty() {
+            return;
+        }
+
+        // Phase 1: bounded-depth serial expansion of the task frontier
+        // (charges the expansion-level pivot distances and accesses on
+        // this thread, exactly as the serial recursion would).
+        let mut expand_buf = JoinBuf {
+            edges: std::mem::take(out),
+            ..JoinBuf::default()
+        };
+        let target = threads.max(1) * TASKS_PER_WORKER;
+        let mut tasks = vec![Task::Same(self.root())];
+        for _ in 0..MAX_EXPANSION_PASSES {
+            if tasks.len() >= target || tasks.iter().all(|&t| self.is_leaf_level(t)) {
+                break;
+            }
+            let mut next = Vec::with_capacity(tasks.len() * 4);
+            for &t in &tasks {
+                if self.is_leaf_level(t) {
+                    next.push(t);
+                } else {
+                    let done = self.step(t, r, &mut expand_buf, &mut next);
+                    debug_assert!(!done, "internal tasks expand, they never emit");
                 }
+            }
+            tasks = next;
+        }
+        debug_assert!(
+            expand_buf.edges.is_empty(),
+            "expansion visits only internal node pairs and emits no edges"
+        );
+
+        // Phase 2: scoped workers drain the frontier through an atomic
+        // cursor; edges land in per-task slots, counters in per-worker
+        // accumulators.
+        let workers = threads.min(tasks.len()).max(1);
+        let mut slots: Vec<Vec<(ObjId, ObjId)>> = Vec::new();
+        if workers <= 1 {
+            // One worker (or a frontier of one task): run in place.
+            for &t in &tasks {
+                self.run_task(t, r, &mut expand_buf);
+            }
+        } else {
+            let cursor = AtomicUsize::new(0);
+            slots = vec![Vec::new(); tasks.len()];
+            let per_worker: Vec<WorkerResult> = std::thread::scope(|s| {
+                let tasks = &tasks;
+                let cursor = &cursor;
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        s.spawn(move || {
+                            let mut buf = JoinBuf::default();
+                            let mut done = Vec::new();
+                            loop {
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                let Some(&task) = tasks.get(i) else { break };
+                                self.run_task(task, r, &mut buf);
+                                done.push((i, std::mem::take(&mut buf.edges)));
+                            }
+                            (done, buf.dist_comps, buf.accesses)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("self-join worker panicked"))
+                    .collect()
+            });
+            for (done, dist_comps, accesses) in per_worker {
+                expand_buf.dist_comps += dist_comps;
+                expand_buf.accesses += accesses;
+                for (i, edges) in done {
+                    slots[i] = edges;
+                }
+            }
+        }
+
+        // Merge in task order: the concatenation equals the serial
+        // traversal's output byte for byte.
+        for slot in &mut slots {
+            expand_buf.edges.append(slot);
+        }
+        self.charge_accesses_bulk(expand_buf.accesses);
+        self.charge_distances_bulk(expand_buf.dist_comps);
+        *out = expand_buf.edges;
+    }
+
+    /// Whether a task is leaf-level (runs to completion in one step,
+    /// emitting edges) as opposed to internal (expands into subtasks).
+    fn is_leaf_level(&self, task: Task) -> bool {
+        match task {
+            Task::Same(n) => self.node(n).is_leaf(),
+            Task::Pair(a, b, _) => self.node(a).is_leaf() && self.node(b).is_leaf(),
+        }
+    }
+
+    /// Runs a task to completion, depth-first, emitting its edges into
+    /// `buf` in serial traversal order.
+    fn run_task(&self, task: Task, r: f64, buf: &mut JoinBuf) {
+        let mut stack = vec![task];
+        let mut scratch = Vec::new();
+        while let Some(t) = stack.pop() {
+            if !self.step(t, r, buf, &mut scratch) {
+                // Subtasks were produced in serial order; the stack pops
+                // in reverse, so push them reversed.
+                stack.extend(scratch.drain(..).rev());
             }
         }
     }
 
-    /// Joins two *distinct* subtrees whose pivot distance `d_pivots` is
-    /// already known (and already passed the covering-radius bound).
-    fn join_pair(
-        &self,
-        a: NodeId,
-        b: NodeId,
-        d_pivots: f64,
-        r: f64,
-        out: &mut Vec<(ObjId, ObjId)>,
-    ) {
-        let na = self.node(a);
-        let nb = self.node(b);
-        match (&na.kind, &nb.kind) {
-            (NodeKind::Leaf(ea), NodeKind::Leaf(eb)) => {
-                self.touch();
-                self.touch();
-                self.join_leaf_cross(a, ea, b, eb, d_pivots, r, out);
-            }
-            _ => {
-                // Expand the node with the larger covering radius (its
-                // children shrink the bound the most); expand the
-                // internal one when the other is a leaf.
-                let expand_a = match (&na.kind, &nb.kind) {
-                    (NodeKind::Internal(_), NodeKind::Leaf(_)) => true,
-                    (NodeKind::Leaf(_), NodeKind::Internal(_)) => false,
-                    _ => na.radius >= nb.radius,
-                };
-                let (fixed, expanded, d_known) = if expand_a {
-                    (b, a, d_pivots)
-                } else {
-                    (a, b, d_pivots)
-                };
-                self.touch();
-                let nf = self.node(fixed);
-                let pf = nf.pivot.expect("non-root nodes have pivots");
-                let lemma = self.config().parent_pruning;
-                for &child in self.node(expanded).children() {
-                    let nc = self.node(child);
-                    // Parent-distance bound: d(p_f, p_c) is at least
-                    // |d(p_f, p_e) − d(p_c, p_e)| for the expanded
-                    // node's pivot p_e.
-                    if lemma && (d_known - nc.dist_to_parent).abs() > r + nf.radius + nc.radius {
-                        continue;
+    /// Executes one level of the traversal. Leaf-level tasks run to
+    /// completion (edges into `buf`) and return `true`; internal tasks
+    /// push their surviving subtasks onto `out` *in serial traversal
+    /// order* and return `false`. All pruning bounds and all counter
+    /// charges happen here, identically for the serial recursion and
+    /// the parallel expansion.
+    fn step(&self, task: Task, r: f64, buf: &mut JoinBuf, out: &mut Vec<Task>) -> bool {
+        match task {
+            Task::Same(node) => {
+                buf.touch();
+                match &self.node(node).kind {
+                    NodeKind::Leaf(entries) => {
+                        self.join_leaf_self(node, entries, r, buf);
+                        true
                     }
-                    let pc = nc.pivot.expect("children have pivots");
-                    let d = self.dist_objs(pf, pc);
-                    if d <= r + nf.radius + nc.radius {
-                        self.join_pair(fixed, child, d, r, out);
+                    NodeKind::Internal(children) => {
+                        let lemma = self.config().parent_pruning && self.node(node).pivot.is_some();
+                        for (i, &ci) in children.iter().enumerate() {
+                            out.push(Task::Same(ci));
+                            let ni = self.node(ci);
+                            for &cj in &children[i + 1..] {
+                                let nj = self.node(cj);
+                                // Sibling lower bound through the shared
+                                // parent pivot:
+                                // d(p_i, p_j) ≥ |d(p_i, p) − d(p_j, p)|.
+                                if lemma
+                                    && (ni.dist_to_parent - nj.dist_to_parent).abs()
+                                        > r + ni.radius + nj.radius
+                                {
+                                    continue;
+                                }
+                                let pi = ni.pivot.expect("children have pivots");
+                                let pj = nj.pivot.expect("children have pivots");
+                                let d = buf.dist_objs(self, pi, pj);
+                                if d <= r + ni.radius + nj.radius {
+                                    out.push(Task::Pair(ci, cj, d));
+                                }
+                            }
+                        }
+                        false
+                    }
+                }
+            }
+            Task::Pair(a, b, d_pivots) => {
+                let na = self.node(a);
+                let nb = self.node(b);
+                match (&na.kind, &nb.kind) {
+                    (NodeKind::Leaf(ea), NodeKind::Leaf(eb)) => {
+                        buf.touch();
+                        buf.touch();
+                        self.join_leaf_cross(ea, b, eb, d_pivots, r, buf);
+                        true
+                    }
+                    _ => {
+                        // Expand the node with the larger covering radius
+                        // (its children shrink the bound the most);
+                        // expand the internal one when the other is a
+                        // leaf.
+                        let expand_a = match (&na.kind, &nb.kind) {
+                            (NodeKind::Internal(_), NodeKind::Leaf(_)) => true,
+                            (NodeKind::Leaf(_), NodeKind::Internal(_)) => false,
+                            _ => na.radius >= nb.radius,
+                        };
+                        let (fixed, expanded, d_known) = if expand_a {
+                            (b, a, d_pivots)
+                        } else {
+                            (a, b, d_pivots)
+                        };
+                        buf.touch();
+                        let nf = self.node(fixed);
+                        let pf = nf.pivot.expect("non-root nodes have pivots");
+                        let lemma = self.config().parent_pruning;
+                        for &child in self.node(expanded).children() {
+                            let nc = self.node(child);
+                            // Parent-distance bound: d(p_f, p_c) is at
+                            // least |d(p_f, p_e) − d(p_c, p_e)| for the
+                            // expanded node's pivot p_e.
+                            if lemma
+                                && (d_known - nc.dist_to_parent).abs() > r + nf.radius + nc.radius
+                            {
+                                continue;
+                            }
+                            let pc = nc.pivot.expect("children have pivots");
+                            let d = buf.dist_objs(self, pf, pc);
+                            if d <= r + nf.radius + nc.radius {
+                                out.push(Task::Pair(fixed, child, d));
+                            }
+                        }
+                        false
                     }
                 }
             }
@@ -150,13 +479,7 @@ impl MTree<'_> {
     /// All joining pairs within one leaf. Every bound below uses only
     /// distances cached in the leaf entries, so pairs that resolve via a
     /// bound cost zero distance computations.
-    fn join_leaf_self(
-        &self,
-        leaf: NodeId,
-        entries: &[LeafEntry],
-        r: f64,
-        out: &mut Vec<(ObjId, ObjId)>,
-    ) {
+    fn join_leaf_self(&self, leaf: NodeId, entries: &[LeafEntry], r: f64, buf: &mut JoinBuf) {
         let has_pivot = self.node(leaf).pivot.is_some();
         let use_cached = self.config().parent_pruning && has_pivot;
         for (i, ei) in entries.iter().enumerate() {
@@ -175,12 +498,12 @@ impl MTree<'_> {
                         || ei.dist_to_vantage + ej.dist_to_vantage <= r
                         || ei.dist_to_vantage2 + ej.dist_to_vantage2 <= r
                     {
-                        push_edge(out, ei.object, ej.object);
+                        buf.push_edge(ei.object, ej.object);
                         continue;
                     }
                 }
-                if self.dist_objs(ei.object, ej.object) <= r {
-                    push_edge(out, ei.object, ej.object);
+                if buf.dist_objs(self, ei.object, ej.object) <= r {
+                    buf.push_edge(ei.object, ej.object);
                 }
             }
         }
@@ -190,16 +513,14 @@ impl MTree<'_> {
     /// distance `d_pivots`. Each surviving left entry computes one
     /// distance to the right pivot, turning the right scan into a
     /// cached-annulus filter (exclusion and inclusion) per entry.
-    #[allow(clippy::too_many_arguments)]
     fn join_leaf_cross(
         &self,
-        _a: NodeId,
         ea: &[LeafEntry],
         b: NodeId,
         eb: &[LeafEntry],
         d_pivots: f64,
         r: f64,
-        out: &mut Vec<(ObjId, ObjId)>,
+        buf: &mut JoinBuf,
     ) {
         let nb = self.node(b);
         let pb = nb.pivot.expect("non-root nodes have pivots");
@@ -209,7 +530,7 @@ impl MTree<'_> {
             if lemma && d_pivots - e1.dist_to_pivot - nb.radius > r {
                 continue;
             }
-            let d1b = self.dist_objs(e1.object, pb);
+            let d1b = buf.dist_objs(self, e1.object, pb);
             if d1b > r + nb.radius {
                 continue;
             }
@@ -219,24 +540,15 @@ impl MTree<'_> {
                         continue;
                     }
                     if d1b + e2.dist_to_pivot <= r {
-                        push_edge(out, e1.object, e2.object);
+                        buf.push_edge(e1.object, e2.object);
                         continue;
                     }
                 }
-                if self.dist_objs(e1.object, e2.object) <= r {
-                    push_edge(out, e1.object, e2.object);
+                if buf.dist_objs(self, e1.object, e2.object) <= r {
+                    buf.push_edge(e1.object, e2.object);
                 }
             }
         }
-    }
-}
-
-#[inline]
-fn push_edge(out: &mut Vec<(ObjId, ObjId)>, a: ObjId, b: ObjId) {
-    if a < b {
-        out.push((a, b));
-    } else {
-        out.push((b, a));
     }
 }
 
@@ -338,6 +650,9 @@ mod tests {
         let one = Dataset::new("one", Metric::Euclidean, vec![Point::new2(0.5, 0.5)]);
         let tree = MTree::build(&one, MTreeConfig::default());
         assert!(tree.range_self_join(10.0).is_empty());
+        assert!(tree
+            .range_self_join_with(10.0, SelfJoinConfig::with_threads(4))
+            .is_empty());
 
         let two = Dataset::new(
             "two",
@@ -364,6 +679,104 @@ mod tests {
         assert_eq!(sorted(tree.range_self_join(0.0)), vec![(0, 1)]);
     }
 
+    #[test]
+    fn all_duplicate_points_form_complete_graph_at_radius_zero() {
+        // Degenerate input: every point identical, so every pair joins
+        // even at r = 0 (zero-distance tie handling must not drop or
+        // double pairs), with a tree deep enough to force splits.
+        let n = 40;
+        let data = Dataset::new(
+            "all-dups",
+            Metric::Euclidean,
+            vec![Point::new2(0.5, 0.5); n],
+        );
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(3));
+        let want = scan_edges(&data, 0.0);
+        assert_eq!(want.len(), n * (n - 1) / 2);
+        assert_eq!(sorted(tree.range_self_join(0.0)), want);
+        for threads in [1, 2, 3, 8] {
+            assert_eq!(
+                sorted(tree.range_self_join_with(0.0, SelfJoinConfig::with_threads(threads))),
+                want,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn radius_at_least_diameter_yields_complete_graph() {
+        let data = random_data(80, 36);
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(4));
+        // The unit square's diameter is √2 < 2.0.
+        let edges = tree.range_self_join(2.0);
+        assert_eq!(edges.len(), 80 * 79 / 2);
+        assert_eq!(
+            tree.range_self_join_with(2.0, SelfJoinConfig::with_threads(3)),
+            edges
+        );
+    }
+
+    #[test]
+    fn parallel_output_is_byte_identical_to_serial() {
+        // Not just the same set: the same Vec, order included, for
+        // every forced thread count (including degenerate counts larger
+        // than the task frontier).
+        let data = random_data(350, 37);
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(7));
+        for r in [0.0, 0.05, 0.2, 2.0] {
+            let serial = tree.range_self_join_serial(r);
+            for threads in [1, 2, 3, 8, 64] {
+                let par = tree.range_self_join_with(r, SelfJoinConfig::with_threads(threads));
+                assert_eq!(par, serial, "threads={threads} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_charges_exactly_the_serial_counters() {
+        // Fixed-seed workload: every thread count charges the same
+        // distance-computation and node-access totals as the serial
+        // traversal (lost or double-counted per-worker counters would
+        // show up here).
+        let data = random_data(500, 38);
+        for parent_pruning in [true, false] {
+            let tree = MTree::build(
+                &data,
+                MTreeConfig::with_capacity(9).with_parent_pruning(parent_pruning),
+            );
+            tree.reset_distance_computations();
+            tree.reset_node_accesses();
+            let serial = tree.range_self_join_serial(0.08);
+            let serial_dc = tree.reset_distance_computations();
+            let serial_acc = tree.reset_node_accesses();
+            assert!(serial_dc > 0);
+            for threads in [1, 2, 3, 8] {
+                let par = tree.range_self_join_with(0.08, SelfJoinConfig::with_threads(threads));
+                let par_dc = tree.reset_distance_computations();
+                let par_acc = tree.reset_node_accesses();
+                assert_eq!(par, serial, "threads={threads}");
+                assert_eq!(par_dc, serial_dc, "distance comps, threads={threads}");
+                assert_eq!(par_acc, serial_acc, "node accesses, threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn into_variants_clear_the_buffer() {
+        let data = random_data(60, 39);
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(5));
+        let mut buf = vec![(7usize, 9usize); 4]; // stale content
+        tree.range_self_join_into(0.1, &mut buf);
+        let fresh = tree.range_self_join(0.1);
+        assert_eq!(buf, fresh, "range_self_join_into must clear first");
+        buf.push((1, 2));
+        tree.range_self_join_serial_into(0.1, &mut buf);
+        assert_eq!(buf, fresh);
+        buf.push((3, 4));
+        tree.range_self_join_with_into(0.1, SelfJoinConfig::with_threads(2), &mut buf);
+        assert_eq!(buf, fresh);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(24))]
         /// The self-join equals the O(n²) scan for arbitrary data, radii
@@ -380,6 +793,22 @@ mod tests {
                 MTreeConfig::with_capacity(cap).with_parent_pruning(false),
             );
             prop_assert_eq!(&sorted(plain.range_self_join(r)), &want);
+        }
+
+        /// The parallel traversal is byte-identical to the serial one
+        /// for arbitrary data, radii, capacities and thread counts.
+        #[test]
+        fn parallel_self_join_is_serial(
+            seed in 0u64..1000,
+            r in 0.0..0.5f64,
+            cap in 2usize..12,
+            threads in 1usize..9,
+        ) {
+            let data = random_data(100, seed);
+            let tree = MTree::build(&data, MTreeConfig::with_capacity(cap));
+            let serial = tree.range_self_join_serial(r);
+            let par = tree.range_self_join_with(r, SelfJoinConfig::with_threads(threads));
+            prop_assert_eq!(par, serial);
         }
     }
 }

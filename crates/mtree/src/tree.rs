@@ -224,6 +224,21 @@ impl<'a> MTree<'a> {
         self.touch();
     }
 
+    /// Adds `n` node accesses in one bulk charge. The self-join workers
+    /// count locally and flush here once per worker, so the global total
+    /// stays exact without per-access atomic traffic.
+    #[inline]
+    pub(crate) fn charge_accesses_bulk(&self, n: u64) {
+        self.accesses.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds `n` distance computations in one bulk charge (see
+    /// [`MTree::charge_accesses_bulk`]).
+    #[inline]
+    pub(crate) fn charge_distances_bulk(&self, n: u64) {
+        self.dist_comps.0.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Iterator over leaf node ids in chain order.
     pub fn leaves(&self) -> LeafIter<'_, 'a> {
         LeafIter {

@@ -1,0 +1,247 @@
+//! Concurrency test tier: the parallel self-join and sharded CSR
+//! assembly are pinned **deterministic** — byte-identical to their
+//! serial counterparts and to the O(n²) reference — across metrics,
+//! thread/shard counts and degenerate inputs.
+//!
+//! PR 2 made the graph-resident runners byte-identical to the exact
+//! tree-backed variants; that pin is only as strong as the graph build
+//! feeding them. This tier therefore checks, for thread/shard counts
+//! 1, 2, 3 and 8 (forced via [`SelfJoinConfig`] and the explicit shard
+//! parameter of [`UnitDiskGraph::from_edges_sharded`], independent of
+//! the host's core count):
+//!
+//! * parallel self-join edge list ≡ serial self-join ≡ O(n²) scan, on
+//!   all four metrics — as *ordered* lists, not just sets;
+//! * CSR byte-equality (`offsets` and `neighbors`) between the serial
+//!   and sharded assemblies, and for `from_mtree` against the scan
+//!   reference;
+//! * exact `distance_computations()` parity between the parallel and
+//!   serial traversals (lost or double-counted per-worker counters
+//!   would break every future hot-path claim pinned on the counter);
+//! * degenerate inputs: single object, all-duplicate points, r = 0 and
+//!   r ≥ diameter.
+
+use disc_diversity::graph::UnitDiskGraph;
+use disc_diversity::metric::{Dataset, Metric, ObjId, Point};
+use disc_diversity::mtree::{MTree, MTreeConfig, SelfJoinConfig};
+use disc_diversity::prelude::*;
+use rand::{rngs::StdRng, RngExt as _, SeedableRng};
+
+/// Thread/shard counts every assertion runs under (1 pins the
+/// single-worker path through the parallel machinery; 8 exceeds the
+/// dev container's core count).
+const COUNTS: [usize; 4] = [1, 2, 3, 8];
+
+const ALL_METRICS: [Metric; 4] = [
+    Metric::Euclidean,
+    Metric::Manhattan,
+    Metric::Chebyshev,
+    Metric::Hamming,
+];
+
+fn random_data_metric(n: usize, seed: u64, metric: Metric) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pts = (0..n)
+        .map(|_| {
+            if metric == Metric::Hamming {
+                Point::categorical(&[
+                    rng.random_range(0..4u32),
+                    rng.random_range(0..4u32),
+                    rng.random_range(0..4u32),
+                    rng.random_range(0..4u32),
+                ])
+            } else {
+                Point::new2(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0))
+            }
+        })
+        .collect();
+    Dataset::new("random", metric, pts)
+}
+
+/// Brute-force edge list (sorted by construction).
+fn scan_edges(data: &Dataset, r: f64) -> Vec<(ObjId, ObjId)> {
+    let mut edges = Vec::new();
+    for i in 0..data.len() {
+        for j in (i + 1)..data.len() {
+            if data.dist(i, j) <= r {
+                edges.push((i, j));
+            }
+        }
+    }
+    edges
+}
+
+fn sorted(mut edges: Vec<(ObjId, ObjId)>) -> Vec<(ObjId, ObjId)> {
+    edges.sort_unstable();
+    edges
+}
+
+/// Per-metric radii that exercise empty, sparse, dense and complete
+/// graphs.
+fn radii_for(metric: Metric) -> Vec<f64> {
+    if metric == Metric::Hamming {
+        vec![0.0, 1.0, 2.0, 4.0]
+    } else {
+        vec![0.0, 0.05, 0.15, 2.0]
+    }
+}
+
+#[test]
+fn parallel_self_join_equals_serial_equals_scan_on_all_metrics() {
+    for metric in ALL_METRICS {
+        let data = random_data_metric(160, 41, metric);
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(6));
+        for r in radii_for(metric) {
+            let serial = tree.range_self_join_serial(r);
+            assert_eq!(
+                sorted(serial.clone()),
+                scan_edges(&data, r),
+                "{metric:?} r={r}: serial self-join vs O(n²) scan"
+            );
+            for threads in COUNTS {
+                let par = tree.range_self_join_with(r, SelfJoinConfig { threads });
+                // Byte-identical: same edges in the same order.
+                assert_eq!(par, serial, "{metric:?} r={r} threads={threads}");
+            }
+        }
+    }
+}
+
+#[test]
+fn csr_is_byte_identical_across_shard_counts_on_all_metrics() {
+    for metric in ALL_METRICS {
+        let data = random_data_metric(140, 42, metric);
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(7));
+        for r in radii_for(metric) {
+            let reference = UnitDiskGraph::build(&data, r);
+            let from_tree = UnitDiskGraph::from_mtree(&tree, r);
+            assert_eq!(from_tree, reference, "{metric:?} r={r}: from_mtree");
+            let edges = tree.range_self_join_serial(r);
+            let serial = UnitDiskGraph::from_edges(data.len(), r, &edges);
+            for shards in COUNTS {
+                let sharded = UnitDiskGraph::from_edges_sharded(data.len(), r, &edges, shards);
+                assert_eq!(
+                    sharded.offsets(),
+                    serial.offsets(),
+                    "{metric:?} r={r} shards={shards}: offsets"
+                );
+                assert_eq!(
+                    sharded.neighbors_flat(),
+                    serial.neighbors_flat(),
+                    "{metric:?} r={r} shards={shards}: neighbors"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_self_join_charges_exact_distance_computations() {
+    // Fixed-seed workload; each metric and thread count must charge
+    // exactly the serial traversal's totals.
+    for metric in ALL_METRICS {
+        let data = random_data_metric(220, 43, metric);
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(8));
+        let r = if metric == Metric::Hamming { 2.0 } else { 0.1 };
+
+        tree.reset_distance_computations();
+        tree.reset_node_accesses();
+        let serial = tree.range_self_join_serial(r);
+        let serial_dc = tree.reset_distance_computations();
+        let serial_acc = tree.reset_node_accesses();
+        assert!(serial_dc > 0, "{metric:?}: self-join computed no distances");
+
+        for threads in COUNTS {
+            let par = tree.range_self_join_with(r, SelfJoinConfig { threads });
+            let par_dc = tree.reset_distance_computations();
+            let par_acc = tree.reset_node_accesses();
+            assert_eq!(par, serial, "{metric:?} threads={threads}");
+            assert_eq!(
+                par_dc, serial_dc,
+                "{metric:?} threads={threads}: distance computations"
+            );
+            assert_eq!(
+                par_acc, serial_acc,
+                "{metric:?} threads={threads}: node accesses"
+            );
+        }
+    }
+}
+
+#[test]
+fn degenerate_inputs_are_deterministic_across_thread_counts() {
+    // Single object: no edges, whatever the radius or thread count.
+    let one = Dataset::new("one", Metric::Euclidean, vec![Point::new2(0.5, 0.5)]);
+    let tree = MTree::build(&one, MTreeConfig::default());
+    for threads in COUNTS {
+        assert!(tree
+            .range_self_join_with(10.0, SelfJoinConfig { threads })
+            .is_empty());
+    }
+
+    // All-duplicate points: complete graph even at r = 0.
+    let n = 30;
+    let dups = Dataset::new("dups", Metric::Euclidean, vec![Point::new2(0.2, 0.8); n]);
+    let tree = MTree::build(&dups, MTreeConfig::with_capacity(3));
+    let serial = tree.range_self_join_serial(0.0);
+    assert_eq!(serial.len(), n * (n - 1) / 2);
+    for threads in COUNTS {
+        assert_eq!(
+            tree.range_self_join_with(0.0, SelfJoinConfig { threads }),
+            serial
+        );
+        assert_eq!(
+            UnitDiskGraph::from_edges_sharded(n, 0.0, &serial, threads),
+            UnitDiskGraph::build(&dups, 0.0)
+        );
+    }
+
+    // r = 0 on distinct points: no edges; r ≥ diameter: complete graph.
+    let data = random_data_metric(90, 44, Metric::Euclidean);
+    let tree = MTree::build(&data, MTreeConfig::with_capacity(5));
+    for (r, want_edges) in [(0.0, 0), (2.0, 90 * 89 / 2)] {
+        let serial = tree.range_self_join_serial(r);
+        assert_eq!(serial.len(), want_edges, "r={r}");
+        for threads in COUNTS {
+            assert_eq!(
+                tree.range_self_join_with(r, SelfJoinConfig { threads }),
+                serial,
+                "r={r} threads={threads}"
+            );
+        }
+    }
+
+    // Empty CSR assemblies (a Dataset cannot be empty, but the edge-list
+    // constructors accept n = 0).
+    for shards in COUNTS {
+        assert!(UnitDiskGraph::from_edges_sharded(0, 1.0, &[], shards).is_empty());
+    }
+}
+
+#[test]
+fn graph_resident_solutions_are_thread_count_independent() {
+    // End-to-end: the full graph pipeline (parallel self-join → sharded
+    // CSR → graph-resident selection) picks the same solutions as the
+    // serial pipeline and the tree-backed exact runners.
+    let data = random_data_metric(250, 45, Metric::Euclidean);
+    let tree = MTree::build(&data, MTreeConfig::default());
+    let r = 0.1;
+    let serial_graph = UnitDiskGraph::from_edges(data.len(), r, &tree.range_self_join_serial(r));
+    let want_disc = greedy_disc_graph(&serial_graph).solution;
+    let want_c = greedy_c_graph(&serial_graph).solution;
+    assert_eq!(
+        want_disc,
+        greedy_disc(&tree, r, GreedyVariant::Grey, true).solution
+    );
+    for threads in COUNTS {
+        let edges = tree.range_self_join_with(r, SelfJoinConfig { threads });
+        let graph = UnitDiskGraph::from_edges_sharded(data.len(), r, &edges, threads);
+        assert_eq!(
+            greedy_disc_graph(&graph).solution,
+            want_disc,
+            "threads={threads}"
+        );
+        assert_eq!(greedy_c_graph(&graph).solution, want_c, "threads={threads}");
+        assert!(verify_disc(&data, &want_disc, r).is_valid());
+    }
+}
