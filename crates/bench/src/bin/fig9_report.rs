@@ -181,6 +181,45 @@ fn main() {
     );
 
     // ---------------------------------------------------------------
+    // Graph-resident vs tree-backed zooming: a chained zoom-in sweep
+    // over four radii, one stratified build vs per-step tree queries
+    // (shared with the gated `zoom_graph_vs_tree` binary).
+    // ---------------------------------------------------------------
+    let zg = disc_bench::measure_zoom_graph_vs_tree(
+        &tree_on,
+        0.08,
+        &[0.06, RADIUS, 0.02],
+        disc_bench::self_join_threads_from_env(),
+    );
+    assert!(
+        zg.parity(),
+        "graph-resident zooming diverged from tree-backed (solutions_identical={}, \
+         dc {} vs {}, edges_identical={}, csr_identical={})",
+        zg.solutions_identical,
+        zg.annotated_serial_dc,
+        zg.annotated_parallel_dc,
+        zg.annotated_edges_identical,
+        zg.stratified_csr_identical
+    );
+    eprintln!(
+        "  zoom graph vs tree: sweep sizes {:?}, graph {} dc total (extra {}) vs \
+         tree {} dc, build {:.1}ms + sweep {:.1}ms vs tree {:.1}ms",
+        zg.sizes,
+        zg.graph_total_dc(),
+        zg.graph_sweep_extra_dc,
+        zg.tree_sweep_dc,
+        zg.strat_build_ms,
+        zg.graph_sweep_ms,
+        zg.tree_sweep_ms
+    );
+    // Only the JSON (scalar fields) is needed past this point; free the
+    // carried stratified graph before the wall-clock-sensitive
+    // self-join timing below so its resident set cannot skew the
+    // serial-vs-parallel numbers.
+    let zoom_graph_json = zg.to_json();
+    drop(zg);
+
+    // ---------------------------------------------------------------
     // Serial vs parallel self-join build (SELF_JOIN_THREADS forces the
     // worker count; parity of counters/edges/CSR/solutions must hold).
     // ---------------------------------------------------------------
@@ -268,6 +307,7 @@ fn main() {
         gvt.disc_tree_ms,
         gvt.disc_size
     ));
+    json.push_str(&format!("  \"zoom_graph\": {zoom_graph_json},\n"));
     json.push_str(&format!("  \"selfjoin_par\": {}\n", sj.to_json()));
     json.push_str("}\n");
 

@@ -1,0 +1,178 @@
+//! Graph-resident vs tree-backed **zooming** comparison, with
+//! regression gates — the CI companion of the `zoom_graph` section that
+//! `fig9_report` records into `BENCH_fig9.json`.
+//!
+//! The workload is a chained zoom-in sweep over four radii on the fig9
+//! clustered dataset: Greedy-DisC at `r_max`, then Greedy-Zoom-In to
+//! each smaller radius, adapting the previous solution (Lemma 5 chain).
+//! Two executions:
+//!
+//! * **tree-backed** — the Section 5.2 operators (closest-black
+//!   preparation + pruned range queries at every step);
+//! * **graph-resident** — one distance-annotated self-join at `r_max`
+//!   builds a `StratifiedDiskGraph`; every radius of the sweep then
+//!   reads sorted-adjacency prefixes and the index is never touched
+//!   again.
+//!
+//! The binary *fails* (non-zero exit) when:
+//!
+//! 1. any step's graph-resident solution diverges from the tree-backed
+//!    one (byte-identical pinning);
+//! 2. the graph-resident sweep charges any distance computation beyond
+//!    the one `r_max` annotated self-join (the acceptance invariant: a
+//!    whole multi-radius sweep costs no more than one self-join);
+//! 3. graph-resident zooming stops beating the tree-backed sweep on
+//!    total distance computations;
+//! 4. the annotated self-join or the sharded stratified assembly loses
+//!    serial/parallel parity (counters, edge bytes, CSR bytes);
+//! 5. the graph-resident zoom-out and multi-radius runners diverge from
+//!    their tree-backed counterparts on the same workload.
+//!
+//! Usage: `cargo run --release -p disc-bench --bin zoom_graph_vs_tree
+//! [-- <output-path>]` (default `BENCH_zoom_graph.json`). `GRAPH_N`
+//! overrides the object count (CI smoke runs `GRAPH_N=2000`; the
+//! acceptance workload is 10_000). `SELF_JOIN_THREADS` forces the
+//! parallel side's worker/shard count (CI runs a 1/2/3/8 matrix).
+
+use disc_bench::{measure_zoom_graph_vs_tree, self_join_threads_from_env, BENCH_SEED};
+use disc_core::{
+    greedy_disc, greedy_zoom_out, multi_radius_basic_disc, multi_radius_graph,
+    multi_radius_greedy_disc, zoom_out_graph, GreedyVariant, ZoomOutVariant,
+};
+use disc_datasets::synthetic::clustered;
+use disc_mtree::{MTree, MTreeConfig};
+
+/// The sweep: fig9's standard radius 0.04 bracketed by one coarser and
+/// two finer settings; `R_MAX` is the stratified build radius.
+const R_MAX: f64 = 0.08;
+const TARGETS: [f64; 3] = [0.06, 0.04, 0.02];
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_zoom_graph.json".to_string());
+    let n: usize = std::env::var("GRAPH_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000);
+    let smoke = n < 10_000;
+
+    eprintln!(
+        "zoom_graph_vs_tree: clustered n={n} dim=2 clusters=8 seed={BENCH_SEED} \
+         r_max={R_MAX} targets={TARGETS:?}"
+    );
+    let data = clustered(n, 2, 8, BENCH_SEED);
+    let tree = MTree::build(&data, MTreeConfig::default());
+
+    let m = measure_zoom_graph_vs_tree(&tree, R_MAX, &TARGETS, self_join_threads_from_env());
+
+    eprintln!(
+        "  stratified build: {} edges, {} distance comps (plain self-join {}, \
+         annotation surcharge {}), {:.1}ms",
+        m.strat_edges,
+        m.strat_build_dc,
+        m.plain_selfjoin_dc,
+        m.strat_build_dc - m.plain_selfjoin_dc,
+        m.strat_build_ms
+    );
+    eprintln!("  sweep |S| per radius: {:?} (r_max then targets)", m.sizes);
+    eprintln!(
+        "  graph sweep: total {} dc (extra beyond build: {}), {:.1}ms; \
+         tree sweep: {} dc / {} accesses, {:.1}ms",
+        m.graph_total_dc(),
+        m.graph_sweep_extra_dc,
+        m.strat_build_ms + m.graph_sweep_ms,
+        m.tree_sweep_dc,
+        m.tree_sweep_accesses,
+        m.tree_sweep_ms
+    );
+    eprintln!(
+        "  annotated parity: dc {} vs {} (threads={}{}), edges_identical={}, \
+         csr_identical={}",
+        m.annotated_serial_dc,
+        m.annotated_parallel_dc,
+        m.threads,
+        if m.forced { " forced" } else { "" },
+        m.annotated_edges_identical,
+        m.stratified_csr_identical
+    );
+
+    // ---------------------------------------------------------------
+    // Gates.
+    // ---------------------------------------------------------------
+    assert!(
+        m.solutions_identical,
+        "graph-resident zooming diverged from the tree-backed operators"
+    );
+    assert_eq!(
+        m.graph_sweep_extra_dc, 0,
+        "the graph-resident sweep must cost no distance computations \
+         beyond the one r_max self-join"
+    );
+    assert!(
+        m.graph_total_dc() < m.tree_sweep_dc,
+        "graph-resident zooming ({} dc) no longer beats the tree-backed \
+         sweep ({} dc)",
+        m.graph_total_dc(),
+        m.tree_sweep_dc
+    );
+    assert_eq!(
+        m.annotated_parallel_dc, m.annotated_serial_dc,
+        "annotated self-join lost or double-counted distance computations"
+    );
+    assert!(
+        m.annotated_edges_identical,
+        "parallel annotated edge list diverged from the serial traversal"
+    );
+    assert!(
+        m.stratified_csr_identical,
+        "sharded stratified CSR diverged from the serial assembly"
+    );
+
+    // Zoom-out and multi-radius parity on the same stratified graph
+    // (reusing the measurement's build; keeps every graph-resident
+    // runner under one gate). The zoom-out seed is the first target
+    // radius — variant (c) recounts every remaining red with a pruned
+    // range query per selection on the tree side, so a finer seed
+    // (hundreds of reds) would turn this gate into the dominant cost of
+    // the acceptance run.
+    let strat = &m.strat;
+    let prev_small = greedy_disc(&tree, TARGETS[0], GreedyVariant::Grey, true);
+    for v in [
+        ZoomOutVariant::Plain,
+        ZoomOutVariant::GreedyA,
+        ZoomOutVariant::GreedyB,
+        ZoomOutVariant::GreedyC,
+    ] {
+        let tree_z = greedy_zoom_out(&tree, &prev_small, R_MAX, v);
+        let graph_z = zoom_out_graph(&tree, strat, &prev_small, R_MAX, v);
+        assert_eq!(
+            graph_z.result.solution, tree_z.result.solution,
+            "zoom-out {v:?} diverged between graph and tree"
+        );
+    }
+    let radii: Vec<f64> = (0..data.len())
+        .map(|id| if id % 2 == 0 { TARGETS[1] } else { R_MAX })
+        .collect();
+    assert_eq!(
+        multi_radius_graph(&tree, strat, &radii, true).solution,
+        multi_radius_greedy_disc(&tree, &radii, true).solution,
+        "multi-radius greedy diverged between graph and tree"
+    );
+    assert_eq!(
+        multi_radius_graph(&tree, strat, &radii, false).solution,
+        multi_radius_basic_disc(&tree, &radii, true).solution,
+        "multi-radius basic diverged between graph and tree"
+    );
+    eprintln!("  zoom-out and multi-radius parity: ok");
+
+    let json = format!(
+        "{{\n  \"workload\": {{\"dataset\": \"clustered\", \"n\": {n}, \"dim\": 2, \
+         \"clusters\": 8, \"seed\": {BENCH_SEED}, \"smoke\": {smoke}}},\n\
+         \x20 \"zoom_graph\": {}\n}}\n",
+        m.to_json()
+    );
+    std::fs::write(&out_path, &json).expect("write zoom-graph report");
+    eprintln!("zoom_graph_vs_tree: wrote {out_path}; all gates passed");
+    println!("{json}");
+}

@@ -19,9 +19,12 @@
 
 use std::time::Instant;
 
-use disc_core::{greedy_c, greedy_c_graph, greedy_disc, greedy_disc_graph, GreedyVariant};
+use disc_core::{
+    greedy_c, greedy_c_graph, greedy_disc, greedy_disc_graph, greedy_zoom_in, greedy_zoom_in_graph,
+    GreedyVariant,
+};
 use disc_datasets::synthetic::{clustered, uniform};
-use disc_graph::UnitDiskGraph;
+use disc_graph::{StratifiedDiskGraph, UnitDiskGraph};
 use disc_metric::Dataset;
 use disc_mtree::{MTree, MTreeConfig, SelfJoinConfig};
 
@@ -262,6 +265,229 @@ pub fn measure_selfjoin_par(
     }
 }
 
+/// One graph-resident vs tree-backed **zooming** measurement: a
+/// chained zoom-in sweep (`r_max`, then each target radius in turn)
+/// executed once over a radius-stratified graph and once with the
+/// tree-backed operators. Shared by `fig9_report`'s `zoom_graph`
+/// section and the gated `zoom_graph_vs_tree` binary, so the two
+/// reports cannot drift.
+pub struct ZoomGraphVsTree {
+    /// The sweep's largest radius (the stratified build radius).
+    pub r_max: f64,
+    /// The zoom-in targets below `r_max`, in sweep (descending) order.
+    pub targets: Vec<f64>,
+    /// Worker/shard count of the annotated parity check.
+    pub threads: usize,
+    /// Whether `threads` was forced (e.g. via `SELF_JOIN_THREADS`).
+    pub forced: bool,
+    /// Distance computations of the one annotated `r_max` self-join +
+    /// stratified CSR assembly — the graph pipeline's *total*: the
+    /// sweep itself adds zero.
+    pub strat_build_dc: u64,
+    /// Stratified build wall-clock (self-join + assembly).
+    pub strat_build_ms: f64,
+    /// Undirected edges of the stratified graph at `r_max`.
+    pub strat_edges: usize,
+    /// The stratified graph itself (the timed production build), so
+    /// callers needing further parity checks — e.g. the gated binary's
+    /// zoom-out and multi-radius gates — reuse it instead of paying a
+    /// second annotated self-join.
+    pub strat: StratifiedDiskGraph,
+    /// Distance computations charged during the graph-resident sweep
+    /// (must be 0 — the sweep never touches the index).
+    pub graph_sweep_extra_dc: u64,
+    /// Graph-resident sweep wall-clock (initial Greedy-DisC at `r_max`
+    /// plus every zoom-in step).
+    pub graph_sweep_ms: f64,
+    /// The *plain* (un-annotated) `r_max` self-join's distance
+    /// computations, for reference: the annotation surcharge is
+    /// `strat_build_dc - plain_selfjoin_dc`.
+    pub plain_selfjoin_dc: u64,
+    /// Tree-backed sweep distance computations (Greedy-DisC at `r_max`
+    /// plus every Greedy-Zoom-In, preparation included).
+    pub tree_sweep_dc: u64,
+    /// Tree-backed sweep node accesses (preparation included).
+    pub tree_sweep_accesses: u64,
+    /// Tree-backed sweep wall-clock.
+    pub tree_sweep_ms: f64,
+    /// Whether every step of the sweep produced byte-identical
+    /// solutions on both sides.
+    pub solutions_identical: bool,
+    /// Solution size at `r_max` and after each zoom-in step.
+    pub sizes: Vec<usize>,
+    /// Annotated self-join: serial distance computations.
+    pub annotated_serial_dc: u64,
+    /// Annotated self-join: forced-thread-count distance computations
+    /// (the parity gate requires equality with the serial total).
+    pub annotated_parallel_dc: u64,
+    /// Whether the serial and parallel annotated edge lists are
+    /// byte-identical (order and f64 annotations included).
+    pub annotated_edges_identical: bool,
+    /// Whether serial and sharded stratified CSR assembly agree byte
+    /// for byte (`offsets`, `neighbors` and `dists`).
+    pub stratified_csr_identical: bool,
+}
+
+impl ZoomGraphVsTree {
+    /// Total distance computations of the graph-resident sweep: the one
+    /// stratified build plus whatever the sweep added (gated to zero).
+    pub fn graph_total_dc(&self) -> u64 {
+        self.strat_build_dc + self.graph_sweep_extra_dc
+    }
+
+    /// The CI parity gate: identical solutions at every radius, exact
+    /// annotated counter parity, byte-identical annotated edges and
+    /// stratified CSR.
+    pub fn parity(&self) -> bool {
+        self.solutions_identical
+            && self.annotated_serial_dc == self.annotated_parallel_dc
+            && self.annotated_edges_identical
+            && self.stratified_csr_identical
+    }
+
+    /// The `zoom_graph` JSON object shared by `BENCH_fig9.json` and
+    /// `BENCH_zoom_graph.json` (no serde in the environment).
+    pub fn to_json(&self) -> String {
+        let targets = self
+            .targets
+            .iter()
+            .map(|r| format!("{r}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let sizes = self
+            .sizes
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{\"r_max\": {}, \"targets\": [{targets}], \"threads\": {}, \"forced\": {}, \
+             \"stratified_build\": {{\"distance_computations\": {}, \"edges\": {}, \
+             \"build_ms\": {:.3}}}, \
+             \"plain_self_join_distance_computations\": {}, \
+             \"graph_sweep\": {{\"extra_distance_computations\": {}, \
+             \"total_distance_computations\": {}, \"sweep_ms\": {:.3}}}, \
+             \"tree_sweep\": {{\"distance_computations\": {}, \"node_accesses\": {}, \
+             \"sweep_ms\": {:.3}}}, \
+             \"solution_sizes\": [{sizes}], \"solutions_identical\": {}, \"parity\": {}}}",
+            self.r_max,
+            self.threads,
+            self.forced,
+            self.strat_build_dc,
+            self.strat_edges,
+            self.strat_build_ms,
+            self.plain_selfjoin_dc,
+            self.graph_sweep_extra_dc,
+            self.graph_total_dc(),
+            self.graph_sweep_ms,
+            self.tree_sweep_dc,
+            self.tree_sweep_accesses,
+            self.tree_sweep_ms,
+            self.solutions_identical,
+            self.parity()
+        )
+    }
+}
+
+/// Measures a chained zoom-in sweep (Greedy-DisC at `r_max`, then
+/// Greedy-Zoom-In to each target radius in order) once graph-resident —
+/// one stratified build, zero index work afterwards — and once
+/// tree-backed, cross-checking byte-identical solutions at every step
+/// plus the serial/parallel determinism of the annotated pipeline.
+/// `forced_threads` overrides the worker/shard count (CI's
+/// `SELF_JOIN_THREADS` matrix). Resets (and so consumes) the tree's
+/// distance-computation and node-access counters.
+pub fn measure_zoom_graph_vs_tree(
+    tree: &MTree<'_>,
+    r_max: f64,
+    targets: &[f64],
+    forced_threads: Option<usize>,
+) -> ZoomGraphVsTree {
+    assert!(
+        targets.windows(2).all(|w| w[0] > w[1]) && targets.iter().all(|&r| r < r_max),
+        "targets must descend below r_max"
+    );
+    let threads = forced_threads.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    });
+
+    // Annotated serial/parallel parity (edge lists, counters, CSR).
+    tree.reset_distance_computations();
+    let serial_edges = tree.range_self_join_dist_serial(r_max);
+    let annotated_serial_dc = tree.reset_distance_computations();
+    let par_edges = tree.range_self_join_dist_with(r_max, SelfJoinConfig { threads });
+    let annotated_parallel_dc = tree.reset_distance_computations();
+    let serial_strat = StratifiedDiskGraph::from_dist_edges(tree.len(), r_max, &serial_edges);
+    let sharded_strat =
+        StratifiedDiskGraph::from_dist_edges_sharded(tree.len(), r_max, &par_edges, threads);
+    let annotated_edges_identical = serial_edges == par_edges;
+    let stratified_csr_identical = serial_strat.offsets() == sharded_strat.offsets()
+        && serial_strat.neighbors_flat() == sharded_strat.neighbors_flat()
+        && serial_strat.dists_flat() == sharded_strat.dists_flat();
+
+    // Timed production build.
+    tree.reset_distance_computations();
+    let t = Instant::now();
+    let strat = StratifiedDiskGraph::from_mtree(tree, r_max);
+    let strat_build_ms = t.elapsed().as_secs_f64() * 1_000.0;
+    let strat_build_dc = tree.reset_distance_computations();
+
+    // Plain self-join reference (annotation surcharge bookkeeping).
+    let _ = tree.range_self_join(r_max);
+    let plain_selfjoin_dc = tree.reset_distance_computations();
+
+    // Tree-backed sweep.
+    tree.reset_node_accesses();
+    let t = Instant::now();
+    let mut tree_sols: Vec<Vec<usize>> = Vec::new();
+    let mut prev = greedy_disc(tree, r_max, GreedyVariant::Grey, true);
+    tree_sols.push(prev.solution.clone());
+    for &r_new in targets {
+        prev = greedy_zoom_in(tree, &prev, r_new).result;
+        tree_sols.push(prev.solution.clone());
+    }
+    let tree_sweep_ms = t.elapsed().as_secs_f64() * 1_000.0;
+    let tree_sweep_dc = tree.reset_distance_computations();
+    let tree_sweep_accesses = tree.reset_node_accesses();
+
+    // Graph-resident sweep: everything reads the stratified graph.
+    let t = Instant::now();
+    let mut graph_sols: Vec<Vec<usize>> = Vec::new();
+    let mut prev_g = greedy_disc_graph(&strat.view(r_max).to_unit_disk_graph());
+    graph_sols.push(prev_g.solution.clone());
+    for &r_new in targets {
+        prev_g = greedy_zoom_in_graph(&strat, &prev_g, r_new).result;
+        graph_sols.push(prev_g.solution.clone());
+    }
+    let graph_sweep_ms = t.elapsed().as_secs_f64() * 1_000.0;
+    let graph_sweep_extra_dc = tree.reset_distance_computations();
+
+    ZoomGraphVsTree {
+        r_max,
+        targets: targets.to_vec(),
+        threads,
+        forced: forced_threads.is_some(),
+        strat_build_dc,
+        strat_build_ms,
+        strat_edges: strat.edge_count(),
+        strat,
+        graph_sweep_extra_dc,
+        graph_sweep_ms,
+        plain_selfjoin_dc,
+        tree_sweep_dc,
+        tree_sweep_accesses,
+        tree_sweep_ms,
+        solutions_identical: graph_sols == tree_sols,
+        sizes: graph_sols.iter().map(Vec::len).collect(),
+        annotated_serial_dc,
+        annotated_parallel_dc,
+        annotated_edges_identical,
+        stratified_csr_identical,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -298,5 +524,25 @@ mod tests {
         assert!(m.self_join_dc > 0 && m.self_join_dc < m.pairs_all);
         assert!(m.edges > 0);
         assert!(m.disc_size > 0 && m.c_size > 0);
+    }
+
+    #[test]
+    fn zoom_graph_measurement_holds_parity_and_adds_no_distances() {
+        let d = bench_clustered(600);
+        let t = bench_tree(&d);
+        for threads in [1, 2, 3, 8] {
+            let m = measure_zoom_graph_vs_tree(&t, 0.08, &[0.06, 0.04, 0.02], Some(threads));
+            assert!(m.parity(), "parity failed at threads={threads}");
+            assert!(m.forced && m.threads == threads);
+            assert_eq!(
+                m.graph_sweep_extra_dc, 0,
+                "graph sweep must not touch the index"
+            );
+            assert_eq!(m.sizes.len(), 4);
+            assert!(m.sizes.windows(2).all(|w| w[0] <= w[1]), "Lemma 5 sizes");
+            assert!(m.strat_build_dc >= m.plain_selfjoin_dc);
+        }
+        let auto = measure_zoom_graph_vs_tree(&t, 0.08, &[0.06, 0.04, 0.02], None);
+        assert!(auto.parity() && !auto.forced);
     }
 }

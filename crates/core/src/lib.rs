@@ -27,6 +27,13 @@
 //!   queries in the selection loop. Exact runners are pinned
 //!   byte-identical to their tree-backed counterparts; see [`resident`]
 //!   for the memory-vs-query trade.
+//! * [`zoom_in_graph`] / [`greedy_zoom_in_graph`] / [`zoom_out_graph`] /
+//!   [`multi_radius_graph`] — the adaptive-radius operators over a
+//!   [`disc_graph::StratifiedDiskGraph`] built once at the largest
+//!   radius of interest: every smaller radius reads sorted-adjacency
+//!   prefixes, so a whole zooming sweep costs no more distance
+//!   computations than the one annotated self-join. Also pinned
+//!   byte-identical to the tree-backed operators.
 //!
 //! ## Adaptive diversification (paper Sections 3 and 5.2)
 //!
@@ -67,7 +74,10 @@ pub use cover::{fast_c, greedy_c};
 pub use greedy::{greedy_disc, greedy_disc_with_update_radius, GreedyVariant};
 pub use local::{local_zoom, LocalZoomResult};
 pub use multi_radius::{multi_radius_basic_disc, multi_radius_greedy_disc, verify_multi_radius};
-pub use resident::{fast_c_graph, greedy_c_graph, greedy_disc_graph};
+pub use resident::{
+    fast_c_graph, greedy_c_graph, greedy_disc_graph, greedy_zoom_in_graph, multi_radius_graph,
+    zoom_in_graph, zoom_out_graph,
+};
 pub use result::{DiscResult, ZoomResult};
 pub use runner::Heuristic;
 pub use verify::{verify_coverage, verify_disc, VerifyReport};

@@ -26,6 +26,14 @@
 //! M-tree note: an edge `(p, q)` implies `dist(p, q) ≤ r(p)`, so the
 //! range query `Q(p, r(p))` retrieves every potential neighbour of `p`;
 //! hits are filtered by the exact `min` rule afterwards.
+//!
+//! Graph-resident note: over a [`disc_graph::StratifiedDiskGraph`] built
+//! at `r_max ≥ max r(p)`, the same `min` rule is a per-edge distance
+//! filter on the adjacency prefix at `r(p)` —
+//! [`crate::multi_radius_graph`] runs both heuristics byte-identically
+//! with zero queries, and the constant-radius reduction to Definition 1
+//! is pinned for that path too (it coincides with the `G_{P,r}` graph
+//! pipeline of [`crate::resident`]).
 
 use disc_metric::ObjId;
 use disc_mtree::{Color, ColorState, MTree, RangeHit};
@@ -205,15 +213,23 @@ fn query_into(
     }
 }
 
-fn check_radii(tree: &MTree<'_>, radii: &[f64]) {
-    assert_eq!(radii.len(), tree.len(), "one radius per object");
+/// Validates a radius assignment against an object count (shared with
+/// the graph-resident runner in [`crate::resident`]).
+pub(crate) fn check_radii_len(n: usize, radii: &[f64]) {
+    assert_eq!(radii.len(), n, "one radius per object");
     assert!(
         radii.iter().all(|r| r.is_finite() && *r >= 0.0),
         "radii must be finite and non-negative"
     );
 }
 
-fn mean_radius(radii: &[f64]) -> f64 {
+fn check_radii(tree: &MTree<'_>, radii: &[f64]) {
+    check_radii_len(tree.len(), radii);
+}
+
+/// Mean of a radius assignment — the reported `radius` of multi-radius
+/// results (shared with [`crate::resident`]).
+pub(crate) fn mean_radius(radii: &[f64]) -> f64 {
     radii.iter().sum::<f64>() / radii.len() as f64
 }
 
@@ -312,6 +328,46 @@ mod tests {
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(10))]
+        /// With a constant radius function the multi-radius
+        /// generalisation reduces verbatim to Definition 1 (the module
+        /// docs' promise): pinned against the tree-backed plain
+        /// heuristics, the `G_{P,r}` graph pipeline, *and* the
+        /// graph-resident multi-radius path over the stratified graph.
+        #[test]
+        fn constant_radius_reduces_to_definition1_graph_pipeline(
+            seed in 0u64..2_000,
+            r in 0.03..0.2f64,
+            cap in 4usize..12,
+        ) {
+            use crate::resident::{greedy_disc_graph, multi_radius_graph};
+            use disc_graph::{StratifiedDiskGraph, UnitDiskGraph};
+
+            let data = clustered(150, 2, 4, seed);
+            let tree = MTree::build(&data, MTreeConfig::with_capacity(cap));
+            let radii = vec![r; data.len()];
+
+            let mr_b = multi_radius_basic_disc(&tree, &radii, true);
+            let plain_b = basic_disc(&tree, r, BasicOrder::LeafOrder, true);
+            prop_assert_eq!(&mr_b.solution, &plain_b.solution);
+            let mr_g = multi_radius_greedy_disc(&tree, &radii, true);
+            let plain_g = greedy_disc(&tree, r, GreedyVariant::Grey, true);
+            prop_assert_eq!(&mr_g.solution, &plain_g.solution);
+
+            // Definition 1's graph pipeline over G_{P,r} ...
+            let udg = UnitDiskGraph::from_mtree(&tree, r);
+            prop_assert_eq!(&greedy_disc_graph(&udg).solution, &plain_g.solution);
+            // ... and the graph-resident multi-radius path coincide.
+            let strat = StratifiedDiskGraph::from_mtree(&tree, r);
+            prop_assert_eq!(
+                &multi_radius_graph(&tree, &strat, &radii, true).solution,
+                &plain_g.solution
+            );
+            prop_assert_eq!(
+                &multi_radius_graph(&tree, &strat, &radii, false).solution,
+                &plain_b.solution
+            );
+        }
+
         /// Both heuristics remain valid for arbitrary radius assignments.
         #[test]
         fn always_valid(seed in 0u64..2_000, fine in 0.02..0.08f64, coarse in 0.08..0.3f64) {

@@ -10,13 +10,19 @@
 //! and run the selection loop over CSR adjacency. The trade:
 //!
 //! * **graph-resident** — pays the self-join up front (memory: one CSR,
-//!   8 bytes per directed edge) and then selects with pure array scans;
-//!   total distance computations equal the self-join's, typically far
-//!   below the tree-backed run's.
+//!   8 bytes per directed edge; 16 for the distance-annotated
+//!   stratified variant) and then selects with pure array scans; total
+//!   distance computations equal the self-join's, typically far below
+//!   the tree-backed run's. Fixed-radius workloads use a
+//!   [`UnitDiskGraph`]; workloads whose radius **changes between
+//!   selections** — zoom-in/zoom-out sweeps, per-object radii — use a
+//!   [`StratifiedDiskGraph`] built once at the largest radius of
+//!   interest, whose `(distance, id)`-sorted rows answer every smaller
+//!   radius as a prefix (the former "each radius would need its own
+//!   graph" limitation of this module is thereby resolved).
 //! * **tree-backed** — no edge materialisation, so it wins when memory
-//!   is tight, when only a small part of the graph will be consumed
-//!   (local zooms, early termination), or when the radius changes
-//!   between selections (each radius would need its own graph).
+//!   is tight or when only a small part of the graph will be consumed
+//!   (local zooms, early termination).
 //!
 //! The runners reuse the tree pipeline's [`LazyMaxHeap`] and a
 //! `ColorState`-style colour array, and keep the same deterministic
@@ -27,13 +33,36 @@
 //! (no per-grey cascades, pop-time revalidation) but — because CSR
 //! adjacency is exact where Fast-C's truncated climbs are not — its
 //! solutions also coincide with Greedy-C's.
+//!
+//! ## Graph-resident zooming and multi-radius selection
+//!
+//! [`zoom_in_graph`] / [`greedy_zoom_in_graph`], [`zoom_out_graph`] and
+//! [`multi_radius_graph`] execute the adaptive-radius algorithms of
+//! paper Sections 3, 5.2 and 8 over one [`StratifiedDiskGraph`]:
+//!
+//! * the Zooming Rule's *closest-black-neighbour* distances become one
+//!   annotated adjacency scan per black object instead of one range
+//!   query per black ([`zoom_in_graph`]);
+//! * coverage at the new radius reads the adjacency prefix at `r'`
+//!   instead of issuing `Q(p, r')` queries;
+//! * the multi-radius `min(r(p), r(q))` edge rule becomes a per-edge
+//!   distance filter over the prefix at `r(p)`.
+//!
+//! All of them are pinned byte-identical (same solutions, in order) to
+//! their tree-backed counterparts in [`crate::zoom_in`],
+//! [`crate::zoom_out`] and [`crate::multi_radius`]; the leaf-order
+//! variants take the `&MTree` as well, but consult it **only** for the
+//! leaf-chain iteration order — never for queries — and charge zero
+//! node accesses.
 
-use disc_graph::UnitDiskGraph;
+use disc_graph::{StratifiedDiskGraph, UnitDiskGraph};
 use disc_metric::ObjId;
-use disc_mtree::Color;
+use disc_mtree::{Color, MTree};
 
 use crate::heap::LazyMaxHeap;
-use crate::result::DiscResult;
+use crate::multi_radius::{check_radii_len, mean_radius};
+use crate::result::{DiscResult, ZoomResult};
+use crate::zoom_out::ZoomOutVariant;
 
 /// Greedy-DisC (Algorithm 1) over a materialised graph. Identical
 /// solutions to the exact tree-backed variants
@@ -217,6 +246,402 @@ fn run_cover_graph(g: &UnitDiskGraph, lazy: bool) -> DiscResult {
     }
 }
 
+// ---------------------------------------------------------------------
+// Graph-resident zooming (paper Sections 3.1/3.2 and 5.2) and
+// multi-radius selection (Section 8) over a stratified graph.
+// ---------------------------------------------------------------------
+
+/// Distances from every object to its closest black neighbour within
+/// `r`, read off the annotated adjacency (one prefix scan per black;
+/// the graph-resident counterpart of the paper's post-processing pass).
+/// Black objects report 0; objects with no black within `r` report
+/// infinity.
+fn closest_black_strat(g: &StratifiedDiskGraph, blacks: &[ObjId], r: f64) -> Vec<f64> {
+    let mut dist = vec![f64::INFINITY; g.len()];
+    for &b in blacks {
+        dist[b] = 0.0;
+        for (q, d) in g.neighbors_within(b, r) {
+            if d < dist[q] {
+                dist[q] = d;
+            }
+        }
+    }
+    dist
+}
+
+/// Colouring for a zoom-in at `r_new`: previous blacks stay black,
+/// objects within `r_new` of a black are grey, the rest are white.
+fn recolor_strat(
+    g: &StratifiedDiskGraph,
+    prev: &DiscResult,
+    closest_black: &[f64],
+    r_new: f64,
+) -> Vec<Color> {
+    let mut color = vec![Color::White; g.len()];
+    for &b in &prev.solution {
+        color[b] = Color::Black;
+    }
+    for (id, c) in color.iter_mut().enumerate() {
+        if *c != Color::Black && closest_black[id] <= r_new {
+            *c = Color::Grey;
+        }
+    }
+    color
+}
+
+/// Colours `picked` black and greys every non-black object within
+/// `r_new` of it (whites and reds alike), appending it to the solution —
+/// the graph-resident `select_and_cover` of the zoom-out passes.
+fn select_and_cover_strat(
+    g: &StratifiedDiskGraph,
+    color: &mut [Color],
+    picked: ObjId,
+    r_new: f64,
+    solution: &mut Vec<ObjId>,
+) {
+    color[picked] = Color::Black;
+    for &q in g.row_within(picked, r_new).0 {
+        if color[q] != Color::Black {
+            color[q] = Color::Grey;
+        }
+    }
+    solution.push(picked);
+}
+
+/// A greedy selection pass over the remaining white objects, generic
+/// over the neighbour source, mirroring
+/// [`crate::counts::greedy_white_pass`] (same counts, same
+/// [`LazyMaxHeap`] tie-breaking) with adjacency reads instead of range
+/// queries. One instantiation per neighbour shape: the fixed-radius
+/// prefix (zooming) and the `min(r(p), r(q))`-filtered prefix
+/// (multi-radius). Selected objects are appended to `solution`.
+fn greedy_white_pass_over<N, F>(
+    n: usize,
+    neighbors_of: F,
+    color: &mut [Color],
+    solution: &mut Vec<ObjId>,
+) where
+    F: Fn(ObjId) -> N,
+    N: Iterator<Item = ObjId>,
+{
+    let mut white = color.iter().filter(|&&c| c == Color::White).count();
+    let mut counts = vec![0u32; n];
+    let mut heap = LazyMaxHeap::with_capacity(white);
+    for id in 0..n {
+        if color[id] == Color::White {
+            counts[id] = neighbors_of(id)
+                .filter(|&q| color[q] == Color::White)
+                .count() as u32;
+            heap.push(id, counts[id]);
+        }
+    }
+    let mut newly_grey: Vec<ObjId> = Vec::new();
+    while white > 0 {
+        let picked = heap
+            .pop_valid(|id| (color[id] == Color::White).then(|| counts[id]))
+            .expect("white objects remain, so the heap holds a candidate");
+        color[picked] = Color::Black;
+        white -= 1;
+        newly_grey.clear();
+        newly_grey.extend(neighbors_of(picked).filter(|&u| color[u] == Color::White));
+        for &u in &newly_grey {
+            color[u] = Color::Grey;
+            white -= 1;
+        }
+        for &u in &newly_grey {
+            for w in neighbors_of(u) {
+                if color[w] == Color::White {
+                    debug_assert!(counts[w] > 0, "exact counts cannot underflow");
+                    counts[w] -= 1;
+                    heap.push(w, counts[w]);
+                }
+            }
+        }
+        solution.push(picked);
+    }
+}
+
+/// [`greedy_white_pass_over`] at a fixed radius over the stratified
+/// adjacency prefix — the second pass of the zoom runners.
+fn greedy_white_pass_strat(
+    g: &StratifiedDiskGraph,
+    r: f64,
+    color: &mut [Color],
+    solution: &mut Vec<ObjId>,
+) {
+    greedy_white_pass_over(
+        g.len(),
+        |v| g.row_within(v, r).0.iter().copied(),
+        color,
+        solution,
+    );
+}
+
+/// Zoom-In (paper Section 3.1) over a stratified graph built at
+/// `r_max ≥ prev.radius`: adapts `prev` to the smaller radius `r_new`,
+/// producing `S^{r'} ⊇ S^r` (Lemma 5) — byte-identical to the
+/// tree-backed [`crate::zoom_in()`] — with **zero** range queries: the
+/// closest-black distances are one annotated adjacency scan per black,
+/// and coverage at `r_new` reads adjacency prefixes. The tree is
+/// consulted only for the leaf-chain selection order (never queried; no
+/// node accesses are charged, so both cost fields of the result are 0).
+pub fn zoom_in_graph(
+    tree: &MTree<'_>,
+    g: &StratifiedDiskGraph,
+    prev: &DiscResult,
+    r_new: f64,
+) -> ZoomResult {
+    assert!(
+        r_new < prev.radius,
+        "zooming in requires r' < r ({r_new} >= {})",
+        prev.radius
+    );
+    assert!(
+        prev.radius <= g.radius(),
+        "stratified graph built at {} cannot cover the previous radius {}",
+        g.radius(),
+        prev.radius
+    );
+    let closest_black = closest_black_strat(g, &prev.solution, prev.radius);
+    let mut color = recolor_strat(g, prev, &closest_black, r_new);
+    let mut solution = prev.solution.clone();
+    for object in tree.objects_in_leaf_order_uncounted() {
+        if color[object] != Color::White {
+            continue;
+        }
+        color[object] = Color::Black;
+        for &q in g.row_within(object, r_new).0 {
+            if color[q] == Color::White {
+                color[q] = Color::Grey;
+            }
+        }
+        solution.push(object);
+    }
+    debug_assert!(color.iter().all(|&c| c != Color::White));
+    ZoomResult {
+        result: DiscResult {
+            radius: r_new,
+            heuristic: "Zoom-In (Graph)".into(),
+            solution,
+            node_accesses: 0,
+        },
+        prep_accesses: 0,
+    }
+}
+
+/// Greedy-Zoom-In (paper Algorithm 2) over a stratified graph:
+/// byte-identical solutions to the tree-backed
+/// [`crate::greedy_zoom_in`], fully index-free (greedy selection needs
+/// no leaf order).
+pub fn greedy_zoom_in_graph(g: &StratifiedDiskGraph, prev: &DiscResult, r_new: f64) -> ZoomResult {
+    assert!(
+        r_new < prev.radius,
+        "zooming in requires r' < r ({r_new} >= {})",
+        prev.radius
+    );
+    assert!(
+        prev.radius <= g.radius(),
+        "stratified graph built at {} cannot cover the previous radius {}",
+        g.radius(),
+        prev.radius
+    );
+    let closest_black = closest_black_strat(g, &prev.solution, prev.radius);
+    let mut color = recolor_strat(g, prev, &closest_black, r_new);
+    let mut solution = prev.solution.clone();
+    greedy_white_pass_strat(g, r_new, &mut color, &mut solution);
+    ZoomResult {
+        result: DiscResult {
+            radius: r_new,
+            heuristic: "Greedy-Zoom-In (Graph)".into(),
+            solution,
+            node_accesses: 0,
+        },
+        prep_accesses: 0,
+    }
+}
+
+/// Zoom-Out (paper Algorithm 3, all four first-pass variants) over a
+/// stratified graph built at `r_max ≥ r_new`: byte-identical solutions
+/// to the tree-backed [`crate::zoom_out()`] / [`crate::greedy_zoom_out`]
+/// with zero range queries. Variant (c)'s per-selection white
+/// recounting — the expensive query loop of the paper's Figure 15 —
+/// becomes a per-selection prefix scan. The tree is consulted only for
+/// the [`ZoomOutVariant::Plain`] second pass's leaf order.
+pub fn zoom_out_graph(
+    tree: &MTree<'_>,
+    g: &StratifiedDiskGraph,
+    prev: &DiscResult,
+    r_new: f64,
+    variant: ZoomOutVariant,
+) -> ZoomResult {
+    assert!(
+        r_new > prev.radius,
+        "zooming out requires r' > r ({r_new} <= {})",
+        prev.radius
+    );
+    assert!(
+        r_new <= g.radius(),
+        "stratified graph built at {} cannot cover the new radius {r_new}",
+        g.radius()
+    );
+    let mut color = vec![Color::White; g.len()];
+    for &b in &prev.solution {
+        color[b] = Color::Red;
+    }
+
+    // The greedy (a)/(b) variants cache each red's neighbourhood at the
+    // new radius — here a prefix slice copy instead of a range query.
+    let cached: Vec<(ObjId, &[ObjId])> = match variant {
+        ZoomOutVariant::GreedyA | ZoomOutVariant::GreedyB => prev
+            .solution
+            .iter()
+            .map(|&red| (red, g.row_within(red, r_new).0))
+            .collect(),
+        _ => Vec::new(),
+    };
+
+    let mut solution: Vec<ObjId> = Vec::new();
+
+    // ---- First pass: re-examine the reds (Algorithm 3, lines 4-11). ----
+    match variant {
+        ZoomOutVariant::Plain => {
+            for &red in &prev.solution {
+                if color[red] != Color::Red {
+                    continue; // already covered by an earlier selection
+                }
+                select_and_cover_strat(g, &mut color, red, r_new, &mut solution);
+            }
+        }
+        ZoomOutVariant::GreedyA | ZoomOutVariant::GreedyB => loop {
+            let best = cached
+                .iter()
+                .filter(|(red, _)| color[*red] == Color::Red)
+                .map(|(red, hits)| {
+                    let red_nb = hits.iter().filter(|&&o| color[o] == Color::Red).count();
+                    (*red, red_nb)
+                })
+                .max_by(|a, b| {
+                    let primary = match variant {
+                        ZoomOutVariant::GreedyA => a.1.cmp(&b.1),
+                        _ => b.1.cmp(&a.1), // (b): fewest red neighbours
+                    };
+                    primary.then(b.0.cmp(&a.0)) // ties to smallest id
+                });
+            let Some((red, _)) = best else { break };
+            select_and_cover_strat(g, &mut color, red, r_new, &mut solution);
+        },
+        ZoomOutVariant::GreedyC => loop {
+            // Fresh white-neighbour counts for every remaining red, every
+            // iteration — a prefix scan here, a pruned range query in the
+            // tree-backed runner.
+            let best = color
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c == Color::Red)
+                .map(|(red, _)| {
+                    let white_nb = g
+                        .row_within(red, r_new)
+                        .0
+                        .iter()
+                        .filter(|&&o| color[o] == Color::White)
+                        .count();
+                    (red, white_nb)
+                })
+                .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)));
+            let Some((red, _)) = best else { break };
+            select_and_cover_strat(g, &mut color, red, r_new, &mut solution);
+        },
+    }
+    debug_assert!(color.iter().all(|&c| c != Color::Red));
+
+    // ---- Second pass: cover the leftovers (lines 12-19). ----
+    if color.contains(&Color::White) {
+        match variant {
+            ZoomOutVariant::Plain => {
+                for object in tree.objects_in_leaf_order_uncounted() {
+                    if color[object] == Color::White {
+                        select_and_cover_strat(g, &mut color, object, r_new, &mut solution);
+                    }
+                }
+            }
+            _ => greedy_white_pass_strat(g, r_new, &mut color, &mut solution),
+        }
+    }
+    debug_assert!(color.iter().all(|&c| c != Color::White));
+
+    ZoomResult {
+        result: DiscResult {
+            radius: r_new,
+            heuristic: format!("{} (Graph)", variant.name()),
+            solution,
+            node_accesses: 0,
+        },
+        prep_accesses: 0,
+    }
+}
+
+/// Multi-radius DisC selection (paper Section 8, the generalisation in
+/// [`crate::multi_radius`]) over a stratified graph built at
+/// `r_max ≥ max(radii)`: the `min(r(p), r(q))` edge rule is a per-edge
+/// distance filter over the adjacency prefix at `r(p)`. `greedy`
+/// selects by white-coverage count ([`crate::multi_radius_greedy_disc`]
+/// counterpart, index-free); otherwise selection follows the leaf order
+/// ([`crate::multi_radius_basic_disc`] counterpart — the tree is
+/// consulted only for that order). Byte-identical solutions either way,
+/// with zero node accesses.
+pub fn multi_radius_graph(
+    tree: &MTree<'_>,
+    g: &StratifiedDiskGraph,
+    radii: &[f64],
+    greedy: bool,
+) -> DiscResult {
+    check_radii_len(g.len(), radii);
+    assert!(
+        radii.iter().all(|&r| r <= g.radius()),
+        "stratified graph built at {} cannot cover the largest object radius",
+        g.radius()
+    );
+    let n = g.len();
+    // Neighbours of `p` under the min(r(p), r(q)) rule: the prefix at
+    // r(p) filtered by d ≤ r(q).
+    let min_neighbors = |p: ObjId| {
+        g.neighbors_within(p, radii[p])
+            .filter(move |&(q, d)| d <= radii[q])
+            .map(|(q, _)| q)
+    };
+    let mut color = vec![Color::White; n];
+    let mut solution = Vec::new();
+
+    if greedy {
+        greedy_white_pass_over(n, min_neighbors, &mut color, &mut solution);
+    } else {
+        for object in tree.objects_in_leaf_order_uncounted() {
+            if color[object] != Color::White {
+                continue;
+            }
+            color[object] = Color::Black;
+            for q in min_neighbors(object) {
+                if color[q] == Color::White {
+                    color[q] = Color::Grey;
+                }
+            }
+            solution.push(object);
+        }
+    }
+    debug_assert!(color.iter().all(|&c| c != Color::White));
+
+    DiscResult {
+        radius: mean_radius(radii),
+        heuristic: if greedy {
+            "MR-G-DisC (Graph)".into()
+        } else {
+            "MR-B-DisC (Graph)".into()
+        },
+        solution,
+        node_accesses: 0,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -301,6 +726,140 @@ mod tests {
         assert_eq!(greedy_disc_graph(&g).size(), 4);
         assert_eq!(greedy_c_graph(&g).size(), 4);
         assert_eq!(fast_c_graph(&g).size(), 4);
+    }
+
+    #[test]
+    fn zoom_in_graph_matches_tree_backed() {
+        use crate::zoom_in::{greedy_zoom_in, zoom_in};
+        let data = clustered(400, 2, 5, 84);
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(10));
+        let r = 0.1;
+        let g = StratifiedDiskGraph::from_mtree(&tree, r);
+        let prev = greedy_disc(&tree, r, GreedyVariant::Grey, true);
+        for r_new in [0.08, 0.05, 0.02] {
+            let tree_z = zoom_in(&tree, &prev, r_new);
+            let graph_z = zoom_in_graph(&tree, &g, &prev, r_new);
+            assert_eq!(
+                graph_z.result.solution, tree_z.result.solution,
+                "r'={r_new}"
+            );
+            assert_eq!(graph_z.result.node_accesses, 0);
+            assert_eq!(graph_z.prep_accesses, 0);
+            assert_eq!(graph_z.result.radius, r_new);
+
+            let tree_gz = greedy_zoom_in(&tree, &prev, r_new);
+            let graph_gz = greedy_zoom_in_graph(&g, &prev, r_new);
+            assert_eq!(
+                graph_gz.result.solution, tree_gz.result.solution,
+                "greedy r'={r_new}"
+            );
+            assert!(crate::verify::verify_disc(&data, &graph_gz.result.solution, r_new).is_valid());
+        }
+    }
+
+    #[test]
+    fn zoom_out_graph_matches_tree_backed_all_variants() {
+        use crate::zoom_out::greedy_zoom_out;
+        let data = clustered(400, 2, 5, 85);
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(10));
+        let r = 0.04;
+        let r_new = 0.1;
+        let g = StratifiedDiskGraph::from_mtree(&tree, r_new);
+        let prev = greedy_disc(&tree, r, GreedyVariant::Grey, true);
+        for v in [
+            ZoomOutVariant::Plain,
+            ZoomOutVariant::GreedyA,
+            ZoomOutVariant::GreedyB,
+            ZoomOutVariant::GreedyC,
+        ] {
+            let tree_z = greedy_zoom_out(&tree, &prev, r_new, v);
+            let graph_z = zoom_out_graph(&tree, &g, &prev, r_new, v);
+            assert_eq!(graph_z.result.solution, tree_z.result.solution, "{v:?}");
+            assert_eq!(graph_z.result.node_accesses, 0, "{v:?}");
+            assert_eq!(
+                graph_z.result.heuristic,
+                format!("{} (Graph)", v.name()),
+                "{v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_radius_graph_matches_tree_backed() {
+        use crate::multi_radius::{multi_radius_basic_disc, multi_radius_greedy_disc};
+        let data = clustered(350, 2, 5, 86);
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(9));
+        // Fine radii near the origin, coarse elsewhere.
+        let radii: Vec<f64> = data
+            .ids()
+            .map(|id| {
+                let p = data.point(id);
+                if (p.coord(0).powi(2) + p.coord(1).powi(2)).sqrt() < 0.5 {
+                    0.03
+                } else {
+                    0.12
+                }
+            })
+            .collect();
+        let r_max = radii.iter().cloned().fold(0.0, f64::max);
+        let g = StratifiedDiskGraph::from_mtree(&tree, r_max);
+        for pruned in [true, false] {
+            assert_eq!(
+                multi_radius_graph(&tree, &g, &radii, false).solution,
+                multi_radius_basic_disc(&tree, &radii, pruned).solution,
+                "basic, pruned={pruned}"
+            );
+            assert_eq!(
+                multi_radius_graph(&tree, &g, &radii, true).solution,
+                multi_radius_greedy_disc(&tree, &radii, pruned).solution,
+                "greedy, pruned={pruned}"
+            );
+        }
+        let basic = multi_radius_graph(&tree, &g, &radii, false);
+        assert_eq!(basic.heuristic, "MR-B-DisC (Graph)");
+        assert_eq!(basic.node_accesses, 0);
+        assert_eq!(
+            multi_radius_graph(&tree, &g, &radii, true).heuristic,
+            "MR-G-DisC (Graph)"
+        );
+    }
+
+    #[test]
+    fn zoom_graph_runners_charge_zero_accesses_and_distances() {
+        let data = clustered(300, 2, 4, 87);
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(8));
+        let r = 0.09;
+        let g = StratifiedDiskGraph::from_mtree(&tree, r);
+        let prev = greedy_disc(&tree, r, GreedyVariant::Grey, true);
+        tree.reset_node_accesses();
+        tree.reset_distance_computations();
+        let _ = zoom_in_graph(&tree, &g, &prev, 0.05);
+        let _ = greedy_zoom_in_graph(&g, &prev, 0.05);
+        let prev_small = greedy_disc(&tree, 0.03, GreedyVariant::Grey, true);
+        tree.reset_node_accesses();
+        tree.reset_distance_computations();
+        let _ = zoom_out_graph(&tree, &g, &prev_small, r, ZoomOutVariant::GreedyB);
+        let _ = multi_radius_graph(&tree, &g, &vec![r; data.len()], true);
+        assert_eq!(
+            tree.node_accesses(),
+            0,
+            "graph runners must not touch nodes"
+        );
+        assert_eq!(
+            tree.distance_computations(),
+            0,
+            "graph runners must not compute distances"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot cover the previous radius")]
+    fn zoom_in_graph_rejects_undersized_graph() {
+        let data = uniform(80, 2, 88);
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(8));
+        let g = StratifiedDiskGraph::from_mtree(&tree, 0.05);
+        let prev = greedy_disc(&tree, 0.2, GreedyVariant::Grey, true);
+        let _ = greedy_zoom_in_graph(&g, &prev, 0.1);
     }
 
     proptest! {

@@ -40,6 +40,12 @@ impl DiscResult {
 /// Outcome of a zooming operation: the adapted solution plus the cost of
 /// the preparatory pass (computing closest-black-neighbour distances for
 /// zoom-in; caching red neighbourhoods for greedy zoom-out).
+///
+/// The graph-resident zoom runners in [`crate::resident`] report **zero**
+/// in both cost fields: their preparation and selection read a
+/// materialised `StratifiedDiskGraph`, whose one-time build cost is
+/// charged to the M-tree's distance-computation counter at
+/// materialisation time instead.
 #[derive(Clone, Debug)]
 pub struct ZoomResult {
     /// The adapted solution for the new radius.

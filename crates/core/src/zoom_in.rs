@@ -9,6 +9,15 @@
 //! a post-processing pass after `S^r` is computed (pruning during the
 //! original computation interferes with these distances); the cost of
 //! that pass is reported separately as [`crate::ZoomResult::prep_accesses`].
+//!
+//! These are the **tree-backed** runners (one range query per black for
+//! the preparation pass, one per selection for coverage). When a
+//! [`disc_graph::StratifiedDiskGraph`] has been materialised at a radius
+//! `≥ r`, the graph-resident counterparts [`crate::zoom_in_graph`] /
+//! [`crate::greedy_zoom_in_graph`] produce byte-identical solutions with
+//! zero queries — the closest-black pass becomes one annotated adjacency
+//! scan per black, and a whole multi-step zoom-in sweep costs no
+//! distance computations beyond the one annotated self-join.
 
 // Object ids double as array indices and query arguments here, so
 // indexed loops are the clearer idiom.

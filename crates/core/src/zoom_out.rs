@@ -17,6 +17,12 @@
 //! neighbourhoods cached at pass start (one query per red); variant (c)
 //! recomputes white neighbourhoods with fresh queries at every selection,
 //! which reproduces its much higher cost in the paper's Figure 15.
+//!
+//! These are the **tree-backed** runners. With a
+//! [`disc_graph::StratifiedDiskGraph`] built at a radius `≥ r'`, the
+//! graph-resident [`crate::zoom_out_graph`] runs all four variants
+//! byte-identically with zero queries — variant (c)'s per-selection
+//! recounting becomes a per-selection adjacency prefix scan.
 
 use disc_metric::ObjId;
 use disc_mtree::{Color, ColorState, MTree};

@@ -13,3 +13,4 @@ pub mod fig9;
 pub mod lazy_ablation;
 pub mod lemma7;
 pub mod table3;
+pub mod zoom_graph;

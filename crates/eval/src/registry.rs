@@ -54,6 +54,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             run: experiments::fig14_16::run,
         },
         Experiment {
+            id: "zoom_graph",
+            title: "Zoom-in sweep over the radius-stratified graph vs tree-backed",
+            run: experiments::zoom_graph::run,
+        },
+        Experiment {
             id: "fig6",
             title: "Figure 6: qualitative model comparison",
             run: experiments::fig6::run,
@@ -96,8 +101,8 @@ mod tests {
     use super::*;
 
     #[test]
-    fn twelve_experiments_registered() {
-        assert_eq!(all_experiments().len(), 13);
+    fn fourteen_experiments_registered() {
+        assert_eq!(all_experiments().len(), 14);
     }
 
     #[test]
@@ -112,6 +117,6 @@ mod tests {
         let mut ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 13);
+        assert_eq!(ids.len(), 14);
     }
 }

@@ -1,0 +1,240 @@
+//! Shared CSR assembly: the serial and sharded counting sorts behind
+//! both [`crate::UnitDiskGraph`] (plain id rows) and
+//! [`crate::StratifiedDiskGraph`] (`(distance, id)` rows), generic over
+//! the per-row entry so the determinism-critical shard-range, prefix-sum
+//! and fill logic exists exactly once.
+//!
+//! Determinism contract: [`RowEntry::cmp_row`] must be a **total order**
+//! over the entries of one row (rows never repeat an id, so comparing
+//! the id — possibly after a payload key — suffices). Offsets are pure
+//! degree counts and every row is sorted by that total order, so the
+//! assembled arrays are a pure function of the edge *set* — serial and
+//! sharded assembly are byte-identical for every shard count (pinned by
+//! the graph tests and the workspace concurrency tier).
+
+use disc_metric::ObjId;
+
+/// A directed row entry derived from an undirected edge.
+pub(crate) trait RowEntry: Copy + Default + Send + Sync {
+    /// The undirected input edge type.
+    type Edge: Copy + Send + Sync;
+    /// Endpoints of an edge.
+    fn ends(e: &Self::Edge) -> (ObjId, ObjId);
+    /// The entry stored in one endpoint's row; `other` is the opposite
+    /// endpoint.
+    fn entry(e: &Self::Edge, other: ObjId) -> Self;
+    /// Total order of entries within a row (see the module docs).
+    fn cmp_row(a: &Self, b: &Self) -> std::cmp::Ordering;
+}
+
+/// Plain adjacency rows: the entry is the opposite endpoint, rows are
+/// sorted by id.
+impl RowEntry for ObjId {
+    type Edge = (ObjId, ObjId);
+
+    #[inline]
+    fn ends(e: &Self::Edge) -> (ObjId, ObjId) {
+        (e.0, e.1)
+    }
+
+    #[inline]
+    fn entry(_e: &Self::Edge, other: ObjId) -> Self {
+        other
+    }
+
+    #[inline]
+    fn cmp_row(a: &Self, b: &Self) -> std::cmp::Ordering {
+        a.cmp(b)
+    }
+}
+
+/// Distance-annotated rows: the entry carries the exact edge distance
+/// first, so rows sort by `(distance, id)` and every radius is a prefix.
+impl RowEntry for (f64, ObjId) {
+    type Edge = (ObjId, ObjId, f64);
+
+    #[inline]
+    fn ends(e: &Self::Edge) -> (ObjId, ObjId) {
+        (e.0, e.1)
+    }
+
+    #[inline]
+    fn entry(e: &Self::Edge, other: ObjId) -> Self {
+        (e.2, other)
+    }
+
+    #[inline]
+    fn cmp_row(a: &Self, b: &Self) -> std::cmp::Ordering {
+        a.0.total_cmp(&b.0).then(a.1.cmp(&b.1))
+    }
+}
+
+/// Serial counting-sort assembly: degree counts, prefix sum, fill,
+/// per-row sort. Returns `(offsets, entries)` with `n + 1` offsets.
+pub(crate) fn assemble<T: RowEntry>(n: usize, edges: &[T::Edge]) -> (Vec<usize>, Vec<T>) {
+    let mut offsets = vec![0usize; n + 1];
+    for e in edges {
+        let (i, j) = T::ends(e);
+        debug_assert!(i != j, "self-loop ({i}, {j})");
+        offsets[i + 1] += 1;
+        offsets[j + 1] += 1;
+    }
+    for v in 0..n {
+        offsets[v + 1] += offsets[v];
+    }
+    let mut entries = vec![T::default(); offsets[n]];
+    let mut cursor = offsets.clone();
+    for e in edges {
+        let (i, j) = T::ends(e);
+        entries[cursor[i]] = T::entry(e, j);
+        cursor[i] += 1;
+        entries[cursor[j]] = T::entry(e, i);
+        cursor[j] += 1;
+    }
+    for v in 0..n {
+        sort_row::<T>(&mut entries[offsets[v]..offsets[v + 1]], v);
+    }
+    (offsets, entries)
+}
+
+/// [`assemble`] as a parallel counting sort over `std::thread::scope`
+/// workers: shards own contiguous vertex ranges, count degrees and
+/// prefix-sum locally, then fill and sort disjoint slices of the entry
+/// array (an edge crossing two shards lands in both shards' buckets).
+/// Byte-identical output to [`assemble`] for every shard count.
+///
+/// `shards == 0` picks one shard per available core and falls back to
+/// the serial assembly when that is 1 or the input is small; an
+/// explicit shard count is honoured exactly (the concurrency tests
+/// force 1, 2, 3 and 8).
+pub(crate) fn assemble_sharded<T: RowEntry>(
+    n: usize,
+    edges: &[T::Edge],
+    shards: usize,
+) -> (Vec<usize>, Vec<T>) {
+    let shards = if shards == 0 {
+        // Below this size the serial assembly beats spawn + join.
+        const MIN_PARALLEL_EDGES: usize = 4_096;
+        let auto = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        if auto <= 1 || edges.len() < MIN_PARALLEL_EDGES {
+            return assemble(n, edges);
+        }
+        auto
+    } else {
+        shards
+    };
+    let shards = shards.clamp(1, n.max(1));
+    // Vertex ranges: shard s owns [s * span, min((s + 1) * span, n)).
+    let span = n.div_ceil(shards).max(1);
+    let range = |s: usize| (s * span).min(n)..((s + 1) * span).min(n);
+
+    // Bucket edges by owning shard once, preserving input order, so the
+    // counting and fill phases each scan O(|E|) total instead of
+    // O(shards × |E|).
+    let mut buckets: Vec<Vec<T::Edge>> = vec![Vec::new(); shards];
+    for e in edges {
+        let (i, j) = T::ends(e);
+        debug_assert!(i != j, "self-loop ({i}, {j})");
+        let si = (i / span).min(shards - 1);
+        let sj = (j / span).min(shards - 1);
+        buckets[si].push(*e);
+        if sj != si {
+            buckets[sj].push(*e);
+        }
+    }
+
+    // Phase 1: per-shard degree counts with a local exclusive prefix
+    // sum (index k holds the sum of degrees of the range's first k
+    // vertices; the final extra slot holds the shard total).
+    let locals: Vec<Vec<usize>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..shards)
+            .map(|s| {
+                let r = range(s);
+                let bucket = &buckets[s];
+                scope.spawn(move || {
+                    let mut counts = vec![0usize; r.len() + 1];
+                    for e in bucket {
+                        let (i, j) = T::ends(e);
+                        if r.contains(&i) {
+                            counts[i - r.start + 1] += 1;
+                        }
+                        if r.contains(&j) {
+                            counts[j - r.start + 1] += 1;
+                        }
+                    }
+                    for k in 0..r.len() {
+                        counts[k + 1] += counts[k];
+                    }
+                    counts
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("degree-count shard panicked"))
+            .collect()
+    });
+
+    // Combine: exclusive scan of the shard totals gives each shard's
+    // base offset; local prefix sums shift by the base.
+    let mut offsets = vec![0usize; n + 1];
+    let mut base = 0usize;
+    for (s, local) in locals.iter().enumerate() {
+        let r = range(s);
+        for (k, v) in r.clone().enumerate() {
+            offsets[v] = base + local[k];
+        }
+        base += local[r.len()];
+    }
+    offsets[n] = base;
+
+    // Phase 2: each shard fills and sorts its disjoint slice of the
+    // entry array (slices handed out via split_at_mut).
+    let mut entries = vec![T::default(); base];
+    std::thread::scope(|scope| {
+        let offsets = &offsets;
+        let mut rest: &mut [T] = &mut entries;
+        for (s, bucket) in buckets.iter().enumerate() {
+            let r = range(s);
+            let shard_len = offsets[r.end] - offsets[r.start];
+            let (mine, tail) = rest.split_at_mut(shard_len);
+            rest = tail;
+            scope.spawn(move || {
+                let shard_base = offsets[r.start];
+                let mut cursor: Vec<usize> =
+                    offsets[r.clone()].iter().map(|&o| o - shard_base).collect();
+                for e in bucket {
+                    let (i, j) = T::ends(e);
+                    if r.contains(&i) {
+                        mine[cursor[i - r.start]] = T::entry(e, j);
+                        cursor[i - r.start] += 1;
+                    }
+                    if r.contains(&j) {
+                        mine[cursor[j - r.start]] = T::entry(e, i);
+                        cursor[j - r.start] += 1;
+                    }
+                }
+                for v in r.clone() {
+                    sort_row::<T>(
+                        &mut mine[offsets[v] - shard_base..offsets[v + 1] - shard_base],
+                        v,
+                    );
+                }
+            });
+        }
+    });
+    (offsets, entries)
+}
+
+/// Sorts one row by the entry total order and (debug) rejects duplicate
+/// edges, which would surface as adjacent equal entries.
+fn sort_row<T: RowEntry>(row: &mut [T], v: ObjId) {
+    row.sort_unstable_by(T::cmp_row);
+    debug_assert!(
+        row.windows(2)
+            .all(|w| T::cmp_row(&w[0], &w[1]) != std::cmp::Ordering::Equal),
+        "duplicate edge incident to vertex {v}"
+    );
+}

@@ -21,9 +21,13 @@
 //!   Prefer it whenever the edge list fits in memory (≈16 bytes per
 //!   edge transiently, 8 bytes per directed edge resident) and the
 //!   whole graph will be consumed — i.e. a full Greedy-DisC / Greedy-C
-//!   run. Prefer the tree-backed runners instead when memory is tight,
+//!   run. Prefer the tree-backed runners instead when memory is tight or
 //!   when only a few selections are needed (zooming a small
-//!   neighbourhood), or when the radius changes between selections.
+//!   neighbourhood). When the radius *changes between selections* —
+//!   zoom-in/zoom-out sweeps, per-object radii — use the
+//!   radius-stratified sibling [`crate::StratifiedDiskGraph`], which
+//!   answers every radius below its build radius from one
+//!   distance-annotated self-join.
 //!   With the `parallel` feature enabled, both the self-join traversal
 //!   (see `disc-mtree`) and the CSR assembly below run multi-threaded,
 //!   producing a byte-identical graph.
@@ -99,31 +103,7 @@ impl UnitDiskGraph {
     /// must appear at most once, and self-loops are rejected (debug).
     pub fn from_edges(n: usize, radius: f64, edges: &[(ObjId, ObjId)]) -> Self {
         assert!(radius >= 0.0, "radius must be non-negative");
-        let mut offsets = vec![0usize; n + 1];
-        for &(i, j) in edges {
-            debug_assert!(i != j, "self-loop ({i}, {j})");
-            offsets[i + 1] += 1;
-            offsets[j + 1] += 1;
-        }
-        for v in 0..n {
-            offsets[v + 1] += offsets[v];
-        }
-        let mut neighbors = vec![0 as ObjId; offsets[n]];
-        let mut cursor = offsets.clone();
-        for &(i, j) in edges {
-            neighbors[cursor[i]] = j;
-            cursor[i] += 1;
-            neighbors[cursor[j]] = i;
-            cursor[j] += 1;
-        }
-        for v in 0..n {
-            let row = &mut neighbors[offsets[v]..offsets[v + 1]];
-            row.sort_unstable();
-            debug_assert!(
-                row.windows(2).all(|w| w[0] != w[1]),
-                "duplicate edge incident to vertex {v}"
-            );
-        }
+        let (offsets, neighbors) = crate::csr::assemble::<ObjId>(n, edges);
         Self {
             radius,
             offsets,
@@ -132,16 +112,15 @@ impl UnitDiskGraph {
     }
 
     /// [`UnitDiskGraph::from_edges`] as a parallel counting sort over
-    /// `std::thread::scope` workers. One serial pass buckets the edges
-    /// by owning shard (contiguous vertex ranges; an edge crossing two
-    /// shards lands in both buckets), then each shard counts the
-    /// degrees of its range, prefix-sums them locally and — after the
-    /// shard bases are combined serially — fills and sorts its disjoint
-    /// slice of the `neighbors` array, touching only its own bucket.
-    /// The resulting `offsets` / `neighbors` are **byte-identical** to
-    /// the serial assembly for every shard count: offsets are pure
-    /// degree counts, and every adjacency row is sorted and
-    /// duplicate-free, so its content does not depend on fill order.
+    /// `std::thread::scope` workers (the shared assembly in the crate's
+    /// private `csr` module, also behind the stratified variant): shards
+    /// own contiguous vertex ranges, count degrees and prefix-sum
+    /// locally, then fill and sort disjoint slices of the `neighbors`
+    /// array. The resulting `offsets` / `neighbors` are
+    /// **byte-identical** to the serial assembly for every shard count:
+    /// offsets are pure degree counts, and every adjacency row is
+    /// sorted and duplicate-free, so its content does not depend on
+    /// fill order.
     ///
     /// `shards == 0` picks one shard per available core and falls back
     /// to the serial assembly when that is 1 or the input is small; an
@@ -154,119 +133,7 @@ impl UnitDiskGraph {
         shards: usize,
     ) -> Self {
         assert!(radius >= 0.0, "radius must be non-negative");
-        let shards = if shards == 0 {
-            // Below this size the serial assembly beats spawn + join.
-            const MIN_PARALLEL_EDGES: usize = 4_096;
-            let auto = std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(1);
-            if auto <= 1 || edges.len() < MIN_PARALLEL_EDGES {
-                return Self::from_edges(n, radius, edges);
-            }
-            auto
-        } else {
-            shards
-        };
-        let shards = shards.clamp(1, n.max(1));
-        // Vertex ranges: shard s owns [s * span, min((s + 1) * span, n)).
-        let span = n.div_ceil(shards).max(1);
-        let range = |s: usize| (s * span).min(n)..((s + 1) * span).min(n);
-
-        // Bucket edges by owning shard once, preserving input order, so
-        // the counting and fill phases each scan O(|E|) total instead of
-        // O(shards × |E|) (an edge whose endpoints fall in different
-        // shards is duplicated into both buckets).
-        let mut buckets: Vec<Vec<(ObjId, ObjId)>> = vec![Vec::new(); shards];
-        for &(i, j) in edges {
-            debug_assert!(i != j, "self-loop ({i}, {j})");
-            let si = (i / span).min(shards - 1);
-            let sj = (j / span).min(shards - 1);
-            buckets[si].push((i, j));
-            if sj != si {
-                buckets[sj].push((i, j));
-            }
-        }
-
-        // Phase 1: per-shard degree counts with a local exclusive prefix
-        // sum (index k holds the sum of degrees of the range's first k
-        // vertices; the final extra slot holds the shard total).
-        let locals: Vec<Vec<usize>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..shards)
-                .map(|s| {
-                    let r = range(s);
-                    let bucket = &buckets[s];
-                    scope.spawn(move || {
-                        let mut counts = vec![0usize; r.len() + 1];
-                        for &(i, j) in bucket {
-                            if r.contains(&i) {
-                                counts[i - r.start + 1] += 1;
-                            }
-                            if r.contains(&j) {
-                                counts[j - r.start + 1] += 1;
-                            }
-                        }
-                        for k in 0..r.len() {
-                            counts[k + 1] += counts[k];
-                        }
-                        counts
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("degree-count shard panicked"))
-                .collect()
-        });
-
-        // Combine: exclusive scan of the shard totals gives each shard's
-        // base offset; local prefix sums shift by the base.
-        let mut offsets = vec![0usize; n + 1];
-        let mut base = 0usize;
-        for (s, local) in locals.iter().enumerate() {
-            let r = range(s);
-            for (k, v) in r.clone().enumerate() {
-                offsets[v] = base + local[k];
-            }
-            base += local[r.len()];
-        }
-        offsets[n] = base;
-
-        // Phase 2: each shard fills and sorts its disjoint slice of the
-        // neighbor array (slices handed out via split_at_mut).
-        let mut neighbors = vec![0 as ObjId; base];
-        std::thread::scope(|scope| {
-            let offsets = &offsets;
-            let mut rest: &mut [ObjId] = &mut neighbors;
-            for (s, bucket) in buckets.iter().enumerate() {
-                let r = range(s);
-                let shard_len = offsets[r.end] - offsets[r.start];
-                let (mine, tail) = rest.split_at_mut(shard_len);
-                rest = tail;
-                scope.spawn(move || {
-                    let shard_base = offsets[r.start];
-                    let mut cursor: Vec<usize> =
-                        offsets[r.clone()].iter().map(|&o| o - shard_base).collect();
-                    for &(i, j) in bucket {
-                        if r.contains(&i) {
-                            mine[cursor[i - r.start]] = j;
-                            cursor[i - r.start] += 1;
-                        }
-                        if r.contains(&j) {
-                            mine[cursor[j - r.start]] = i;
-                            cursor[j - r.start] += 1;
-                        }
-                    }
-                    for v in r.clone() {
-                        let row = &mut mine[offsets[v] - shard_base..offsets[v + 1] - shard_base];
-                        row.sort_unstable();
-                        debug_assert!(
-                            row.windows(2).all(|w| w[0] != w[1]),
-                            "duplicate edge incident to vertex {v}"
-                        );
-                    }
-                });
-            }
-        });
+        let (offsets, neighbors) = crate::csr::assemble_sharded::<ObjId>(n, edges, shards);
         Self {
             radius,
             offsets,

@@ -11,6 +11,12 @@
 //!   bulk from one M-tree range self-join
 //!   ([`UnitDiskGraph::from_mtree`]) — see [`graph`] for when to prefer
 //!   the graph-resident pipeline over tree-backed execution,
+//! * [`StratifiedDiskGraph`] — the radius-stratified variant: one
+//!   distance-annotated self-join at the largest radius of interest,
+//!   with per-row `(distance, id)`-sorted adjacency so the induced
+//!   subgraph at any smaller radius is a zero-cost prefix view
+//!   ([`StratifiedDiskGraph::view`]) — the substrate of the
+//!   graph-resident zooming and multi-radius runners in `disc-core`,
 //! * [`sets`] — the coverage/dominance and dissimilarity/independence
 //!   predicates of Definition 1,
 //! * [`exact`] — an exact branch-and-bound solver for the minimum
@@ -22,13 +28,16 @@
 //! * [`jaccard`] — the Jaccard distance between solutions, the similarity
 //!   measure of the zooming experiments (Figures 13 and 16).
 
+mod csr;
 pub mod exact;
 pub mod graph;
 pub mod jaccard;
 pub mod reference;
 pub mod sets;
+pub mod stratified;
 
 pub use exact::minimum_independent_dominating_set;
 pub use graph::UnitDiskGraph;
 pub use jaccard::jaccard_distance;
 pub use sets::{is_dominating, is_independent, is_independent_dominating};
+pub use stratified::{StratifiedDiskGraph, StratifiedView};

@@ -1,0 +1,628 @@
+//! Radius-stratified unit-disk graph: one distance-annotated self-join
+//! at the largest radius of interest, zero-cost subgraphs at every
+//! smaller radius.
+//!
+//! [`UnitDiskGraph`] materialises `G_{P,r}` for **one** radius; the
+//! adaptive-radius algorithms (zooming, Sections 3 and 5.2 of the paper;
+//! multiple radii per object, Section 8) consult neighbourhoods at
+//! *several* radii in one run, which previously forced them back onto
+//! tree-backed range queries ("each radius would need its own graph").
+//! The stratified graph removes that constraint: it stores the edge set
+//! of `G_{P,r_max}` with every edge's **exact distance**, and orders each
+//! CSR adjacency row by that distance — so for any `r' ≤ r_max` the
+//! induced subgraph `G_{P,r'}` is a per-row *prefix*, located by one
+//! binary search per row and no distance computations at all.
+//!
+//! ## Memory layout
+//!
+//! Three flat arrays (CSR):
+//!
+//! * `offsets` — `n + 1` row boundaries;
+//! * `neighbors` — concatenated adjacency rows (each undirected edge
+//!   appears twice, once per endpoint), each row sorted by
+//!   **(distance, id)** ascending;
+//! * `dists` — the exact edge distance aligned index-for-index with
+//!   `neighbors` (`dists[k]` is the distance to `neighbors[k]`).
+//!
+//! Sorting by the `(distance, id)` pair — a total order, since a row
+//! never repeats an id — makes the array contents a pure function of the
+//! edge *set*, so serial and sharded assembly are byte-identical, and
+//! duplicate distance values (ties) have a canonical ordering.
+//!
+//! Cost relative to the plain [`UnitDiskGraph`]: `dists` adds 8 bytes
+//! per directed edge on top of the 8-byte neighbor id. An `f32` ranking
+//! key (+4 bytes) was considered and rejected: the radius cutoffs must
+//! reproduce the *exact* `d ≤ r'` predicate of Definition 1 (the
+//! graph-resident runners are pinned byte-identical to tree-backed
+//! ones), and rounding a distance up through an `f32` could move an edge
+//! across a cutoff that lies between the two representations. The
+//! annotated self-join also computes slightly more distances than the
+//! plain one (its leaf-level inclusion shortcuts are distance-free; see
+//! [`disc_mtree::MTree::range_self_join_dist`]) — both costs are the
+//! price of answering *every* radius from one build.
+//!
+//! ## When to prefer it
+//!
+//! * a **single** radius, consumed whole → [`UnitDiskGraph::from_mtree`]
+//!   (cheaper build, half the edge memory);
+//! * **several** radii below a known maximum — a zoom-in/zoom-out sweep,
+//!   multi-radius relevance weighting, or interactive radius tuning →
+//!   [`StratifiedDiskGraph::from_mtree`] once, then
+//!   [`StratifiedDiskGraph::view`] / [`StratifiedDiskGraph::row_within`]
+//!   per radius at zero additional distance computations.
+
+use disc_metric::{Dataset, ObjId};
+use disc_mtree::{DistEdge, MTree};
+
+use crate::graph::UnitDiskGraph;
+
+/// Distance-annotated CSR adjacency over the objects of a dataset at a
+/// maximum radius `r_max`, rows sorted by `(distance, id)` so every
+/// `r' ≤ r_max` is a per-row prefix. See the [module docs](self).
+#[derive(Clone, Debug, PartialEq)]
+pub struct StratifiedDiskGraph {
+    /// The build radius `r_max`; prefix views exist for every `r'` up to
+    /// and including it.
+    radius: f64,
+    /// Row boundaries: `n + 1` entries, `offsets[0] == 0`.
+    offsets: Vec<usize>,
+    /// Concatenated adjacency rows, each sorted by `(dist, id)`.
+    neighbors: Vec<ObjId>,
+    /// Exact edge distances, aligned with `neighbors`.
+    dists: Vec<f64>,
+}
+
+impl StratifiedDiskGraph {
+    /// Materialises the stratified graph with one distance-annotated
+    /// M-tree self-join at `r_max` (distance computations are charged to
+    /// the tree's counter; the selection/zooming consumers then run at
+    /// zero additional distance computations for every radius
+    /// `≤ r_max`). With the `parallel` feature enabled both the
+    /// self-join traversal and the CSR assembly run multi-threaded — the
+    /// graph is byte-identical either way, distance annotations
+    /// included.
+    pub fn from_mtree(tree: &MTree<'_>, r_max: f64) -> Self {
+        let edges = tree.range_self_join_dist(r_max);
+        #[cfg(feature = "parallel")]
+        {
+            Self::from_dist_edges_sharded(tree.len(), r_max, &edges, 0)
+        }
+        #[cfg(not(feature = "parallel"))]
+        {
+            Self::from_dist_edges(tree.len(), r_max, &edges)
+        }
+    }
+
+    /// Materialises the stratified graph by examining all pairs (O(n²);
+    /// the validation reference the property tests compare against).
+    pub fn build(data: &Dataset, r_max: f64) -> Self {
+        assert!(r_max >= 0.0, "radius must be non-negative");
+        let n = data.len();
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = data.dist(i, j);
+                if d <= r_max {
+                    edges.push((i, j, d));
+                }
+            }
+        }
+        Self::from_dist_edges(n, r_max, &edges)
+    }
+
+    /// Assembles the stratified CSR from a distance-annotated undirected
+    /// edge list over `n` vertices. Edges may be in any order and
+    /// orientation; each unordered pair must appear at most once, with
+    /// its exact distance `≤ r_max`; self-loops are rejected (debug).
+    pub fn from_dist_edges(n: usize, r_max: f64, edges: &[DistEdge]) -> Self {
+        assert!(r_max >= 0.0, "radius must be non-negative");
+        debug_validate_distances(r_max, edges);
+        let (offsets, entries) = crate::csr::assemble::<(f64, ObjId)>(n, edges);
+        Self::from_parts(r_max, offsets, entries)
+    }
+
+    /// [`StratifiedDiskGraph::from_dist_edges`] as a parallel counting
+    /// sort over `std::thread::scope` workers — the same shared `csr`
+    /// assembly as [`UnitDiskGraph::from_edges_sharded`], with
+    /// `(distance, id)` row entries. Byte-identical `offsets` /
+    /// `neighbors` / `dists` for every shard count: offsets are pure
+    /// degree counts, and each row's `(distance, id)` sort key is a
+    /// total order (ids are unique within a row), so row content is
+    /// independent of fill order.
+    ///
+    /// `shards == 0` picks one shard per available core and falls back
+    /// to the serial assembly when that is 1 or the input is small; an
+    /// explicit shard count is honoured exactly (the concurrency tests
+    /// force 1, 2, 3 and 8).
+    pub fn from_dist_edges_sharded(
+        n: usize,
+        r_max: f64,
+        edges: &[DistEdge],
+        shards: usize,
+    ) -> Self {
+        assert!(r_max >= 0.0, "radius must be non-negative");
+        debug_validate_distances(r_max, edges);
+        let (offsets, entries) = crate::csr::assemble_sharded::<(f64, ObjId)>(n, edges, shards);
+        Self::from_parts(r_max, offsets, entries)
+    }
+
+    /// Splits the assembled `(distance, id)` rows into the aligned
+    /// `dists` / `neighbors` arrays.
+    fn from_parts(r_max: f64, offsets: Vec<usize>, entries: Vec<(f64, ObjId)>) -> Self {
+        let mut neighbors = Vec::with_capacity(entries.len());
+        let mut dists = Vec::with_capacity(entries.len());
+        for (d, id) in entries {
+            dists.push(d);
+            neighbors.push(id);
+        }
+        Self {
+            radius: r_max,
+            offsets,
+            neighbors,
+            dists,
+        }
+    }
+
+    /// The maximum radius the graph was built for (`r_max`).
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.offsets.len() == 1
+    }
+
+    /// Number of undirected edges at `r_max`.
+    pub fn edge_count(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Full adjacency row of `v` at `r_max`, sorted by `(dist, id)`.
+    #[inline]
+    pub fn neighbors(&self, v: ObjId) -> &[ObjId] {
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Edge distances aligned with [`StratifiedDiskGraph::neighbors`].
+    #[inline]
+    pub fn dists(&self, v: ObjId) -> &[f64] {
+        &self.dists[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Degree of `v` at `r_max`.
+    #[inline]
+    pub fn degree(&self, v: ObjId) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Length of `v`'s adjacency prefix at radius `r` (the number of
+    /// neighbours within `r`): one binary search on the distance-sorted
+    /// row, zero distance computations.
+    #[inline]
+    pub fn cutoff(&self, v: ObjId, r: f64) -> usize {
+        self.dists(v).partition_point(|&d| d <= r)
+    }
+
+    /// Adjacency prefix of `v` at radius `r ≤ r_max`: the ids and exact
+    /// distances of every neighbour within `r`, sorted by `(dist, id)`.
+    #[inline]
+    pub fn row_within(&self, v: ObjId, r: f64) -> (&[ObjId], &[f64]) {
+        let lo = self.offsets[v];
+        let row_d = &self.dists[lo..self.offsets[v + 1]];
+        let k = row_d.partition_point(|&d| d <= r);
+        (&self.neighbors[lo..lo + k], &row_d[..k])
+    }
+
+    /// Iterator form of [`StratifiedDiskGraph::row_within`].
+    #[inline]
+    pub fn neighbors_within(&self, v: ObjId, r: f64) -> impl Iterator<Item = (ObjId, f64)> + '_ {
+        let (ids, ds) = self.row_within(v, r);
+        ids.iter().copied().zip(ds.iter().copied())
+    }
+
+    /// The induced subgraph `G_{P,r'}` as a prefix view: per-vertex row
+    /// ends located once (one binary search per vertex), then every
+    /// adjacency read is a slice — no distance computations, no copying.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r'` is negative or exceeds the build radius (edges
+    /// beyond `r_max` were never materialised).
+    pub fn view(&self, r: f64) -> StratifiedView<'_> {
+        assert!(
+            (0.0..=self.radius).contains(&r),
+            "view radius {r} outside [0, {}]",
+            self.radius
+        );
+        let ends = (0..self.len())
+            .map(|v| self.offsets[v] + self.cutoff(v, r))
+            .collect();
+        StratifiedView {
+            graph: self,
+            radius: r,
+            ends,
+        }
+    }
+
+    /// The raw CSR row-boundary array (`n + 1` entries, first is 0).
+    /// Exposed so the concurrency tests can pin byte-equality of
+    /// serially and shardedly assembled graphs.
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The raw concatenated adjacency array (see
+    /// [`StratifiedDiskGraph::offsets`]).
+    pub fn neighbors_flat(&self) -> &[ObjId] {
+        &self.neighbors
+    }
+
+    /// The raw concatenated distance array, aligned with
+    /// [`StratifiedDiskGraph::neighbors_flat`].
+    pub fn dists_flat(&self) -> &[f64] {
+        &self.dists
+    }
+
+    /// Vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = ObjId> + '_ {
+        0..self.len()
+    }
+}
+
+/// Debug-only input validation: every annotated distance must be a
+/// real distance within the build radius (release builds trust the
+/// self-join).
+fn debug_validate_distances(r_max: f64, edges: &[DistEdge]) {
+    let _ = (r_max, edges);
+    #[cfg(debug_assertions)]
+    for &(i, j, d) in edges {
+        debug_assert!(
+            (0.0..=r_max).contains(&d),
+            "edge ({i}, {j}) distance {d} out of range"
+        );
+    }
+}
+
+/// A zero-cost subgraph `G_{P,r'}` of a [`StratifiedDiskGraph`]: every
+/// adjacency row is the prefix of the stratified row whose distances are
+/// `≤ r'`. Created by [`StratifiedDiskGraph::view`].
+#[derive(Clone, Debug)]
+pub struct StratifiedView<'g> {
+    graph: &'g StratifiedDiskGraph,
+    radius: f64,
+    /// Absolute end index of each vertex's prefix in the flat arrays.
+    ends: Vec<usize>,
+}
+
+impl StratifiedView<'_> {
+    /// The view radius `r'`.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Number of vertices (same as the underlying graph).
+    pub fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Whether the view has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_empty()
+    }
+
+    /// Neighbours of `v` within `r'`, sorted by `(dist, id)`.
+    #[inline]
+    pub fn neighbors(&self, v: ObjId) -> &[ObjId] {
+        &self.graph.neighbors[self.graph.offsets[v]..self.ends[v]]
+    }
+
+    /// Edge distances aligned with [`StratifiedView::neighbors`].
+    #[inline]
+    pub fn dists(&self, v: ObjId) -> &[f64] {
+        &self.graph.dists[self.graph.offsets[v]..self.ends[v]]
+    }
+
+    /// Degree of `v` within `r'`.
+    #[inline]
+    pub fn degree(&self, v: ObjId) -> usize {
+        self.ends[v] - self.graph.offsets[v]
+    }
+
+    /// Number of undirected edges within `r'`.
+    pub fn edge_count(&self) -> usize {
+        (0..self.len()).map(|v| self.degree(v)).sum::<usize>() / 2
+    }
+
+    /// Materialises the view as a plain [`UnitDiskGraph`] (rows
+    /// re-sorted by id). Pure array work — **zero** distance
+    /// computations — so a graph-resident pipeline can hand any radius
+    /// `r' ≤ r_max` to consumers expecting the id-sorted CSR (e.g.
+    /// `disc_core`'s `greedy_disc_graph`) without touching the index
+    /// again.
+    pub fn to_unit_disk_graph(&self) -> UnitDiskGraph {
+        let mut edges = Vec::with_capacity(self.edge_count());
+        for v in 0..self.len() {
+            for &u in self.neighbors(v) {
+                if v < u {
+                    edges.push((v, u));
+                }
+            }
+        }
+        UnitDiskGraph::from_edges(self.len(), self.radius, &edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disc_metric::{Metric, Point};
+    use disc_mtree::{MTreeConfig, SelfJoinConfig};
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, RngExt as _, SeedableRng};
+
+    fn random_data_metric(n: usize, seed: u64, metric: Metric) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts = (0..n)
+            .map(|_| {
+                if metric == Metric::Hamming {
+                    Point::categorical(&[
+                        rng.random_range(0..4u32),
+                        rng.random_range(0..4u32),
+                        rng.random_range(0..4u32),
+                        rng.random_range(0..4u32),
+                    ])
+                } else {
+                    Point::new2(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0))
+                }
+            })
+            .collect();
+        Dataset::new("random", metric, pts)
+    }
+
+    /// Prefix views at every radius of the sweep equal the plain graph
+    /// built directly at that radius.
+    fn assert_views_match(data: &Dataset, g: &StratifiedDiskGraph, radii: &[f64]) {
+        for &r in radii {
+            let direct = UnitDiskGraph::build(data, r);
+            let view = g.view(r);
+            assert_eq!(
+                view.to_unit_disk_graph(),
+                direct,
+                "r'={r} (r_max={})",
+                g.radius()
+            );
+            for v in g.vertices() {
+                assert_eq!(view.degree(v), direct.degree(v), "degree of {v} at r'={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn rows_are_distance_sorted_with_exact_distances() {
+        let data = random_data_metric(150, 60, Metric::Euclidean);
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(8));
+        let g = StratifiedDiskGraph::from_mtree(&tree, 0.3);
+        for v in g.vertices() {
+            let (ids, ds) = (g.neighbors(v), g.dists(v));
+            for (k, (&u, &d)) in ids.iter().zip(ds).enumerate() {
+                assert_eq!(d.to_bits(), data.dist(v, u).to_bits(), "({v}, {u})");
+                if k > 0 {
+                    assert!(
+                        (ds[k - 1], ids[k - 1]) < (d, u),
+                        "row {v} not (dist, id)-sorted at {k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn view_at_r_max_is_the_whole_graph() {
+        let data = random_data_metric(120, 61, Metric::Euclidean);
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(6));
+        let r_max = 0.25;
+        let g = StratifiedDiskGraph::from_mtree(&tree, r_max);
+        let view = g.view(r_max);
+        assert_eq!(view.edge_count(), g.edge_count());
+        assert_eq!(
+            view.to_unit_disk_graph(),
+            UnitDiskGraph::build(&data, r_max)
+        );
+        for v in g.vertices() {
+            assert_eq!(view.neighbors(v), g.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn view_at_zero_keeps_only_zero_distance_edges() {
+        // Distinct points: empty graph at r' = 0; coincident points keep
+        // their zero-distance edges.
+        let data = Dataset::new(
+            "mixed",
+            Metric::Euclidean,
+            vec![
+                Point::new2(0.1, 0.1),
+                Point::new2(0.1, 0.1),
+                Point::new2(0.9, 0.9),
+            ],
+        );
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(2));
+        let g = StratifiedDiskGraph::from_mtree(&tree, 2.0);
+        let view = g.view(0.0);
+        assert_eq!(view.neighbors(0), &[1]);
+        assert_eq!(view.neighbors(1), &[0]);
+        assert!(view.neighbors(2).is_empty());
+        assert_eq!(view.to_unit_disk_graph(), UnitDiskGraph::build(&data, 0.0));
+    }
+
+    #[test]
+    fn cutoffs_between_duplicate_distance_values() {
+        // Collinear points spaced 0.1 apart: each vertex sees many
+        // duplicated distances (0.1, 0.2, ...). Cutoffs exactly *at* a
+        // duplicated value include the whole tie group; cutoffs between
+        // two values include exactly the smaller groups.
+        let pts: Vec<Point> = (0..9).map(|i| Point::new2(i as f64 * 0.1, 0.0)).collect();
+        let data = Dataset::new("line", Metric::Euclidean, pts);
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(3));
+        let g = StratifiedDiskGraph::from_mtree(&tree, 1.0);
+        // Mid-vertex 4 has two neighbours at each of distances ~0.1..0.4.
+        let ds = g.dists(4);
+        assert_eq!(ds.len(), 8);
+        for r in [0.05, 0.1, 0.15, 0.2, 0.25, 0.30000000000000004, 0.35] {
+            let want = ds.iter().filter(|&&d| d <= r).count();
+            assert_eq!(g.cutoff(4, r), want, "r={r}");
+        }
+        assert_views_match(&data, &g, &[0.05, 0.15, 0.25, 0.35, 1.0]);
+    }
+
+    #[test]
+    fn all_duplicate_points_stratify_to_complete_prefixes() {
+        let n = 20;
+        let data = Dataset::new(
+            "all-dups",
+            Metric::Euclidean,
+            vec![Point::new2(0.4, 0.6); n],
+        );
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(3));
+        let g = StratifiedDiskGraph::from_mtree(&tree, 0.5);
+        assert_eq!(g.edge_count(), n * (n - 1) / 2);
+        // Every prefix — including r' = 0 — is the complete graph.
+        for r in [0.0, 0.25, 0.5] {
+            let view = g.view(r);
+            for v in g.vertices() {
+                assert_eq!(view.degree(v), n - 1, "r'={r}");
+            }
+        }
+        assert_views_match(&data, &g, &[0.0, 0.5]);
+    }
+
+    #[test]
+    fn degenerate_sizes_zero_and_one() {
+        let empty = StratifiedDiskGraph::from_dist_edges(0, 0.5, &[]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.offsets(), &[0]);
+        assert_eq!(empty.view(0.5).edge_count(), 0);
+        for shards in [1, 2, 3, 8] {
+            assert_eq!(
+                StratifiedDiskGraph::from_dist_edges_sharded(0, 0.5, &[], shards),
+                empty
+            );
+        }
+
+        let one_pt = Dataset::new("one", Metric::Euclidean, vec![Point::new2(0.5, 0.5)]);
+        let tree = MTree::build(&one_pt, MTreeConfig::default());
+        let one = StratifiedDiskGraph::from_mtree(&tree, 10.0);
+        assert_eq!(one.len(), 1);
+        assert!(one.neighbors(0).is_empty());
+        assert_eq!(one.view(1.0).degree(0), 0);
+    }
+
+    #[test]
+    fn sharded_assembly_is_byte_identical_to_serial() {
+        let data = random_data_metric(250, 62, Metric::Euclidean);
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(8));
+        for r in [0.0, 0.05, 0.2, 2.0] {
+            let edges = tree.range_self_join_dist_serial(r);
+            let serial = StratifiedDiskGraph::from_dist_edges(data.len(), r, &edges);
+            for shards in [1, 2, 3, 8] {
+                let sharded =
+                    StratifiedDiskGraph::from_dist_edges_sharded(data.len(), r, &edges, shards);
+                assert_eq!(sharded.offsets(), serial.offsets(), "shards={shards} r={r}");
+                assert_eq!(
+                    sharded.neighbors_flat(),
+                    serial.neighbors_flat(),
+                    "shards={shards} r={r}"
+                );
+                assert_eq!(
+                    sharded.dists_flat(),
+                    serial.dists_flat(),
+                    "shards={shards} r={r}"
+                );
+            }
+            assert_eq!(
+                StratifiedDiskGraph::from_dist_edges_sharded(
+                    data.len(),
+                    r,
+                    &edges,
+                    data.len() + 50
+                ),
+                serial
+            );
+        }
+    }
+
+    #[test]
+    fn from_dist_edges_any_orientation_and_order() {
+        let g =
+            StratifiedDiskGraph::from_dist_edges(4, 1.0, &[(2, 0, 0.7), (3, 2, 0.2), (0, 1, 0.5)]);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.dists(0), &[0.5, 0.7]);
+        assert_eq!(g.neighbors(2), &[3, 0]); // distance-sorted, not id-sorted
+        assert_eq!(g.dists(2), &[0.2, 0.7]);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.view(0.5).neighbors(0), &[1]);
+        assert_eq!(g.view(0.2).neighbors(2), &[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "view radius")]
+    fn view_beyond_r_max_is_rejected() {
+        let g = StratifiedDiskGraph::from_dist_edges(2, 0.5, &[(0, 1, 0.3)]);
+        let _ = g.view(0.6);
+    }
+
+    const ALL_METRICS: [Metric; 4] = [
+        Metric::Euclidean,
+        Metric::Manhattan,
+        Metric::Chebyshev,
+        Metric::Hamming,
+    ];
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        /// Prefix views of the stratified graph equal plain graphs built
+        /// directly at the view radius, on all four metrics, for
+        /// arbitrary build radii, view fractions and thread/shard counts.
+        #[test]
+        fn prefix_views_match_direct_builds_on_every_metric(
+            seed in 0u64..500,
+            frac_max in 0.05..1.05f64,
+            frac_view in 0.0..1.0f64,
+            cap in 2usize..10,
+            threads in 1usize..9,
+            metric_idx in 0usize..4,
+        ) {
+            let metric = ALL_METRICS[metric_idx];
+            let data = random_data_metric(80, seed, metric);
+            let r_max = frac_max * metric.max_range(data.dim());
+            let r_max = if metric.is_discrete() { r_max.floor() } else { r_max };
+            let r_view = frac_view * r_max;
+            let r_view = if metric.is_discrete() { r_view.floor() } else { r_view };
+
+            let tree = MTree::build(&data, MTreeConfig::with_capacity(cap));
+            let edges = tree.range_self_join_dist_with(
+                r_max,
+                SelfJoinConfig::with_threads(threads),
+            );
+            let g = StratifiedDiskGraph::from_dist_edges_sharded(
+                data.len(), r_max, &edges, threads,
+            );
+            prop_assert_eq!(
+                &g,
+                &StratifiedDiskGraph::build(&data, r_max),
+                "{:?} r_max={}", metric, r_max
+            );
+            prop_assert_eq!(
+                g.view(r_view).to_unit_disk_graph(),
+                UnitDiskGraph::build(&data, r_view),
+                "{:?} r'={} r_max={}", metric, r_view, r_max
+            );
+        }
+    }
+}

@@ -40,7 +40,7 @@ pub mod validate;
 pub use color::{Color, ColorState};
 pub use node::{LeafEntry, Node, NodeId, NodeKind};
 pub use query::RangeHit;
-pub use selfjoin::SelfJoinConfig;
+pub use selfjoin::{DistEdge, SelfJoinConfig};
 pub use split::{PartitionPolicy, PromotePolicy, SplitPolicy};
 pub use stats::TreeStats;
 pub use tree::{MTree, MTreeConfig};

@@ -35,6 +35,24 @@
 //! the O(n²) scan's (the property tests in `disc-graph` and the
 //! workspace concurrency tier pin this on all four metrics).
 //!
+//! ## Plain and distance-annotated output
+//!
+//! The traversal is generic over the edge element it emits:
+//!
+//! * **plain** — `(a, b)` pairs ([`MTree::range_self_join`] and
+//!   friends); leaf-level inclusion shortcuts emit edges distance-free;
+//! * **annotated** — [`DistEdge`] triples `(a, b, d(a, b))`
+//!   ([`MTree::range_self_join_dist`] and friends); every edge carries
+//!   its *exact* distance, so the inclusion shortcuts are disabled and
+//!   each joining pair computes one distance. The emitted edge list —
+//!   annotations stripped — is byte-identical to the plain variant's,
+//!   and the annotated traversal has the same serial/parallel parity
+//!   guarantees (a test pins both).
+//!
+//! The annotated variant feeds `disc-graph`'s `StratifiedDiskGraph`: one
+//! self-join at the largest radius of interest yields a graph every
+//! smaller radius can be read out of as a sorted-row prefix.
+//!
 //! ## Ordering contract
 //!
 //! Every edge is emitted as `(a, b)` with `a < b`, and the edge list is
@@ -130,13 +148,52 @@ impl SelfJoinConfig {
     }
 }
 
+/// A distance-annotated self-join edge: `(a, b, dist(a, b))` with
+/// `a < b`. The annotation is the *exact* metric distance (never a
+/// bound), so downstream structures can stratify edges by radius — see
+/// `disc-graph`'s `StratifiedDiskGraph`.
+pub type DistEdge = (ObjId, ObjId, f64);
+
+/// The element type a self-join traversal emits: plain `(a, b)` pairs or
+/// distance-annotated [`DistEdge`]s. Mirrors the `RangeSink::NEEDS_DIST`
+/// pattern in [`crate::query`]: annotated output disables the
+/// distance-free *inclusion* shortcuts (which prove `d(a, b) ≤ r` from
+/// cached reference distances without ever computing `d(a, b)`), so the
+/// annotated traversal computes slightly more distances than the plain
+/// one — every emitted edge then carries its exact distance. Exclusion
+/// bounds are unaffected, and the emitted edge *list* (ignoring the
+/// annotations) is byte-identical between the two modes.
+trait JoinEdge: Copy + Send {
+    /// Whether emission needs the exact pair distance.
+    const NEEDS_DIST: bool;
+    /// Builds an edge; `d` is the exact distance when `NEEDS_DIST`,
+    /// otherwise possibly just an upper bound (and ignored).
+    fn make(a: ObjId, b: ObjId, d: f64) -> Self;
+}
+
+impl JoinEdge for (ObjId, ObjId) {
+    const NEEDS_DIST: bool = false;
+    #[inline]
+    fn make(a: ObjId, b: ObjId, _d: f64) -> Self {
+        (a, b)
+    }
+}
+
+impl JoinEdge for DistEdge {
+    const NEEDS_DIST: bool = true;
+    #[inline]
+    fn make(a: ObjId, b: ObjId, d: f64) -> Self {
+        (a, b, d)
+    }
+}
+
 /// Edges produced by one work-list task, keyed by its task index (the
 /// merge key that restores serial output order).
-type TaskEdges = (usize, Vec<(ObjId, ObjId)>);
+type TaskEdges<E> = (usize, Vec<E>);
 
 /// One worker's results: per-task edge lists plus the worker's locally
 /// accumulated distance-computation and node-access counts.
-type WorkerResult = (Vec<TaskEdges>, u64, u64);
+type WorkerResult<E> = (Vec<TaskEdges<E>>, u64, u64);
 
 /// One independent unit of traversal work: a subtree joined with
 /// itself, or two disjoint subtrees joined with their pivot distance
@@ -154,14 +211,23 @@ enum Task {
 /// them. Workers keep one of these and flush the counters into the
 /// tree's global atomics in a single bulk charge at the end, so the
 /// global totals stay exact without per-distance atomic traffic.
-#[derive(Default)]
-struct JoinBuf {
-    edges: Vec<(ObjId, ObjId)>,
+struct JoinBuf<E> {
+    edges: Vec<E>,
     dist_comps: u64,
     accesses: u64,
 }
 
-impl JoinBuf {
+impl<E> Default for JoinBuf<E> {
+    fn default() -> Self {
+        Self {
+            edges: Vec::new(),
+            dist_comps: 0,
+            accesses: 0,
+        }
+    }
+}
+
+impl<E: JoinEdge> JoinBuf<E> {
     /// Records one node access.
     #[inline]
     fn touch(&mut self) {
@@ -175,13 +241,17 @@ impl JoinBuf {
         tree.data().dist(a, b)
     }
 
-    /// Emits one edge in normalised `(min, max)` orientation.
+    /// Emits one edge in normalised `(min, max)` orientation. `d` is the
+    /// exact distance on every path that can run in annotated mode
+    /// (distance-free inclusion shortcuts only fire when
+    /// `E::NEEDS_DIST` is false, and then pass an upper bound that the
+    /// plain edge type discards).
     #[inline]
-    fn push_edge(&mut self, a: ObjId, b: ObjId) {
+    fn push_edge(&mut self, a: ObjId, b: ObjId, d: f64) {
         if a < b {
-            self.edges.push((a, b));
+            self.edges.push(E::make(a, b, d));
         } else {
-            self.edges.push((b, a));
+            self.edges.push(E::make(b, a, d));
         }
     }
 }
@@ -223,19 +293,7 @@ impl MTree<'_> {
     /// [`MTree::range_self_join_serial`] into a reusable edge buffer
     /// (cleared first; same ordering contract).
     pub fn range_self_join_serial_into(&self, r: f64, out: &mut Vec<(ObjId, ObjId)>) {
-        assert!(r >= 0.0, "radius must be non-negative");
-        out.clear();
-        if self.is_empty() {
-            return;
-        }
-        let mut buf = JoinBuf {
-            edges: std::mem::take(out),
-            ..JoinBuf::default()
-        };
-        self.run_task(Task::Same(self.root()), r, &mut buf);
-        self.charge_accesses_bulk(buf.accesses);
-        self.charge_distances_bulk(buf.dist_comps);
-        *out = buf.edges;
+        self.join_serial_into(r, out);
     }
 
     /// The self-join with an explicit thread count (see
@@ -257,13 +315,103 @@ impl MTree<'_> {
         config: SelfJoinConfig,
         out: &mut Vec<(ObjId, ObjId)>,
     ) {
+        self.join_with_into(r, config, out);
+    }
+
+    /// The **distance-annotated** range self-join: the same edge list as
+    /// [`MTree::range_self_join`] — same `(a, b)` with `a < b`
+    /// normalisation, same deterministic task order — with every edge
+    /// carrying its exact distance `d(a, b) ≤ r`.
+    ///
+    /// Annotation disables the leaf-level *inclusion* shortcuts (which
+    /// prove `d ≤ r` from cached reference distances without computing
+    /// `d`), so this traversal charges somewhat more
+    /// [`MTree::distance_computations`] than the plain self-join at the
+    /// same radius — the price of exact per-edge distances. Stripped of
+    /// the annotations, the output is byte-identical to the plain
+    /// variant's.
+    ///
+    /// With the `parallel` feature enabled this dispatches to the
+    /// multi-threaded traversal (auto thread count, byte-identical
+    /// output — annotations included); without it, to the serial one.
+    pub fn range_self_join_dist(&self, r: f64) -> Vec<DistEdge> {
+        let mut out = Vec::new();
+        self.range_self_join_dist_into(r, &mut out);
+        out
+    }
+
+    /// [`MTree::range_self_join_dist`] into a reusable edge buffer
+    /// (cleared first; same ordering contract).
+    pub fn range_self_join_dist_into(&self, r: f64, out: &mut Vec<DistEdge>) {
+        #[cfg(feature = "parallel")]
+        self.range_self_join_dist_with_into(r, SelfJoinConfig::default(), out);
+        #[cfg(not(feature = "parallel"))]
+        self.range_self_join_dist_serial_into(r, out);
+    }
+
+    /// The single-threaded distance-annotated traversal (always
+    /// available; the reference side of the annotated parity gates).
+    pub fn range_self_join_dist_serial(&self, r: f64) -> Vec<DistEdge> {
+        let mut out = Vec::new();
+        self.range_self_join_dist_serial_into(r, &mut out);
+        out
+    }
+
+    /// [`MTree::range_self_join_dist_serial`] into a reusable edge
+    /// buffer (cleared first; same ordering contract).
+    pub fn range_self_join_dist_serial_into(&self, r: f64, out: &mut Vec<DistEdge>) {
+        self.join_serial_into(r, out);
+    }
+
+    /// The distance-annotated self-join with an explicit thread count.
+    /// Byte-identical output — edges, order *and* distance annotations —
+    /// and exact counter parity with
+    /// [`MTree::range_self_join_dist_serial`] for every thread count.
+    pub fn range_self_join_dist_with(&self, r: f64, config: SelfJoinConfig) -> Vec<DistEdge> {
+        let mut out = Vec::new();
+        self.range_self_join_dist_with_into(r, config, &mut out);
+        out
+    }
+
+    /// [`MTree::range_self_join_dist_with`] into a reusable edge buffer
+    /// (cleared first; same ordering contract).
+    pub fn range_self_join_dist_with_into(
+        &self,
+        r: f64,
+        config: SelfJoinConfig,
+        out: &mut Vec<DistEdge>,
+    ) {
+        self.join_with_into(r, config, out);
+    }
+
+    /// Generic serial driver behind both edge types.
+    fn join_serial_into<E: JoinEdge>(&self, r: f64, out: &mut Vec<E>) {
+        assert!(r >= 0.0, "radius must be non-negative");
+        out.clear();
+        if self.is_empty() {
+            return;
+        }
+        let mut buf = JoinBuf {
+            edges: std::mem::take(out),
+            ..JoinBuf::default()
+        };
+        self.run_task(Task::Same(self.root()), r, &mut buf);
+        self.charge_accesses_bulk(buf.accesses);
+        self.charge_distances_bulk(buf.dist_comps);
+        *out = buf.edges;
+    }
+
+    /// Generic two-phase parallel driver behind both edge types (see the
+    /// module docs for the determinism argument, which is edge-type
+    /// independent).
+    fn join_with_into<E: JoinEdge>(&self, r: f64, config: SelfJoinConfig, out: &mut Vec<E>) {
         assert!(r >= 0.0, "radius must be non-negative");
         let threads = if config.threads == 0 {
             let auto = std::thread::available_parallelism()
                 .map(|p| p.get())
                 .unwrap_or(1);
             if auto <= 1 || self.len() < MIN_PARALLEL {
-                return self.range_self_join_serial_into(r, out);
+                return self.join_serial_into(r, out);
             }
             auto
         } else {
@@ -307,7 +455,7 @@ impl MTree<'_> {
         // cursor; edges land in per-task slots, counters in per-worker
         // accumulators.
         let workers = threads.min(tasks.len()).max(1);
-        let mut slots: Vec<Vec<(ObjId, ObjId)>> = Vec::new();
+        let mut slots: Vec<Vec<E>> = Vec::new();
         if workers <= 1 {
             // One worker (or a frontier of one task): run in place.
             for &t in &tasks {
@@ -316,7 +464,7 @@ impl MTree<'_> {
         } else {
             let cursor = AtomicUsize::new(0);
             slots = vec![Vec::new(); tasks.len()];
-            let per_worker: Vec<WorkerResult> = std::thread::scope(|s| {
+            let per_worker: Vec<WorkerResult<E>> = std::thread::scope(|s| {
                 let tasks = &tasks;
                 let cursor = &cursor;
                 let handles: Vec<_> = (0..workers)
@@ -369,7 +517,7 @@ impl MTree<'_> {
 
     /// Runs a task to completion, depth-first, emitting its edges into
     /// `buf` in serial traversal order.
-    fn run_task(&self, task: Task, r: f64, buf: &mut JoinBuf) {
+    fn run_task<E: JoinEdge>(&self, task: Task, r: f64, buf: &mut JoinBuf<E>) {
         let mut stack = vec![task];
         let mut scratch = Vec::new();
         while let Some(t) = stack.pop() {
@@ -387,7 +535,13 @@ impl MTree<'_> {
     /// order* and return `false`. All pruning bounds and all counter
     /// charges happen here, identically for the serial recursion and
     /// the parallel expansion.
-    fn step(&self, task: Task, r: f64, buf: &mut JoinBuf, out: &mut Vec<Task>) -> bool {
+    fn step<E: JoinEdge>(
+        &self,
+        task: Task,
+        r: f64,
+        buf: &mut JoinBuf<E>,
+        out: &mut Vec<Task>,
+    ) -> bool {
         match task {
             Task::Same(node) => {
                 buf.touch();
@@ -478,8 +632,16 @@ impl MTree<'_> {
 
     /// All joining pairs within one leaf. Every bound below uses only
     /// distances cached in the leaf entries, so pairs that resolve via a
-    /// bound cost zero distance computations.
-    fn join_leaf_self(&self, leaf: NodeId, entries: &[LeafEntry], r: f64, buf: &mut JoinBuf) {
+    /// bound cost zero distance computations — except in annotated mode
+    /// (`E::NEEDS_DIST`), where the inclusion shortcuts are skipped and
+    /// every joining pair computes its exact distance.
+    fn join_leaf_self<E: JoinEdge>(
+        &self,
+        leaf: NodeId,
+        entries: &[LeafEntry],
+        r: f64,
+        buf: &mut JoinBuf<E>,
+    ) {
         let has_pivot = self.node(leaf).pivot.is_some();
         let use_cached = self.config().parent_pruning && has_pivot;
         for (i, ei) in entries.iter().enumerate() {
@@ -494,16 +656,18 @@ impl MTree<'_> {
                         continue;
                     }
                     // Inclusion: d(e_i, e_j) ≤ d(e_i, ref) + d(ref, e_j).
-                    if ei.dist_to_pivot + ej.dist_to_pivot <= r
-                        || ei.dist_to_vantage + ej.dist_to_vantage <= r
-                        || ei.dist_to_vantage2 + ej.dist_to_vantage2 <= r
+                    if !E::NEEDS_DIST
+                        && (ei.dist_to_pivot + ej.dist_to_pivot <= r
+                            || ei.dist_to_vantage + ej.dist_to_vantage <= r
+                            || ei.dist_to_vantage2 + ej.dist_to_vantage2 <= r)
                     {
-                        buf.push_edge(ei.object, ej.object);
+                        buf.push_edge(ei.object, ej.object, ei.dist_to_pivot + ej.dist_to_pivot);
                         continue;
                     }
                 }
-                if buf.dist_objs(self, ei.object, ej.object) <= r {
-                    buf.push_edge(ei.object, ej.object);
+                let d = buf.dist_objs(self, ei.object, ej.object);
+                if d <= r {
+                    buf.push_edge(ei.object, ej.object, d);
                 }
             }
         }
@@ -513,14 +677,14 @@ impl MTree<'_> {
     /// distance `d_pivots`. Each surviving left entry computes one
     /// distance to the right pivot, turning the right scan into a
     /// cached-annulus filter (exclusion and inclusion) per entry.
-    fn join_leaf_cross(
+    fn join_leaf_cross<E: JoinEdge>(
         &self,
         ea: &[LeafEntry],
         b: NodeId,
         eb: &[LeafEntry],
         d_pivots: f64,
         r: f64,
-        buf: &mut JoinBuf,
+        buf: &mut JoinBuf<E>,
     ) {
         let nb = self.node(b);
         let pb = nb.pivot.expect("non-root nodes have pivots");
@@ -539,13 +703,14 @@ impl MTree<'_> {
                     if (d1b - e2.dist_to_pivot).abs() > r {
                         continue;
                     }
-                    if d1b + e2.dist_to_pivot <= r {
-                        buf.push_edge(e1.object, e2.object);
+                    if !E::NEEDS_DIST && d1b + e2.dist_to_pivot <= r {
+                        buf.push_edge(e1.object, e2.object, d1b + e2.dist_to_pivot);
                         continue;
                     }
                 }
-                if buf.dist_objs(self, e1.object, e2.object) <= r {
-                    buf.push_edge(e1.object, e2.object);
+                let d = buf.dist_objs(self, e1.object, e2.object);
+                if d <= r {
+                    buf.push_edge(e1.object, e2.object, d);
                 }
             }
         }
@@ -777,6 +942,99 @@ mod tests {
         assert_eq!(buf, fresh);
     }
 
+    #[test]
+    fn dist_join_strips_to_plain_edge_list() {
+        // The annotated edge list, annotations removed, is byte-identical
+        // to the plain one (same edges, same task order), with and
+        // without the parent-distance lemma.
+        let data = random_data(280, 50);
+        for parent_pruning in [true, false] {
+            let tree = MTree::build(
+                &data,
+                MTreeConfig::with_capacity(7).with_parent_pruning(parent_pruning),
+            );
+            for r in [0.0, 0.05, 0.2, 2.0] {
+                let plain = tree.range_self_join_serial(r);
+                let annotated = tree.range_self_join_dist_serial(r);
+                let stripped: Vec<(ObjId, ObjId)> =
+                    annotated.iter().map(|&(a, b, _)| (a, b)).collect();
+                assert_eq!(stripped, plain, "lemma={parent_pruning} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn dist_join_annotations_are_exact_distances() {
+        let data = random_data(220, 51);
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(6));
+        for r in [0.0, 0.08, 0.3] {
+            for (a, b, d) in tree.range_self_join_dist(r) {
+                assert!(a < b);
+                assert!(d <= r);
+                // Exact, not a bound: bitwise equal to the dataset's
+                // distance kernel (the stratified prefix views rely on
+                // this).
+                assert_eq!(d.to_bits(), data.dist(a, b).to_bits(), "({a}, {b})");
+            }
+        }
+    }
+
+    #[test]
+    fn dist_join_costs_more_but_bounded_by_all_pairs() {
+        // Annotation disables the inclusion shortcuts, so it computes at
+        // least as many distances as the plain traversal, but still far
+        // fewer than the O(n²) scan on a sparse radius.
+        let data = random_data(600, 52);
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(16));
+        tree.reset_distance_computations();
+        let plain = tree.range_self_join_serial(0.05);
+        let plain_dc = tree.reset_distance_computations();
+        let annotated = tree.range_self_join_dist_serial(0.05);
+        let annotated_dc = tree.reset_distance_computations();
+        assert_eq!(plain.len(), annotated.len());
+        assert!(annotated_dc >= plain_dc);
+        let n = data.len() as u64;
+        assert!(annotated_dc < n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn parallel_dist_join_is_byte_identical_with_exact_counters() {
+        let data = random_data(400, 53);
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(9));
+        for r in [0.0, 0.08, 2.0] {
+            tree.reset_distance_computations();
+            tree.reset_node_accesses();
+            let serial = tree.range_self_join_dist_serial(r);
+            let serial_dc = tree.reset_distance_computations();
+            let serial_acc = tree.reset_node_accesses();
+            for threads in [1, 2, 3, 8] {
+                let par = tree.range_self_join_dist_with(r, SelfJoinConfig::with_threads(threads));
+                let par_dc = tree.reset_distance_computations();
+                let par_acc = tree.reset_node_accesses();
+                // Byte-identical includes the f64 annotations.
+                assert_eq!(par, serial, "threads={threads} r={r}");
+                assert_eq!(par_dc, serial_dc, "dc threads={threads} r={r}");
+                assert_eq!(par_acc, serial_acc, "accesses threads={threads} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn dist_into_variants_clear_the_buffer() {
+        let data = random_data(60, 54);
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(5));
+        let fresh = tree.range_self_join_dist(0.1);
+        let mut buf = vec![(7usize, 9usize, 0.5f64); 4];
+        tree.range_self_join_dist_into(0.1, &mut buf);
+        assert_eq!(buf, fresh);
+        buf.push((1, 2, 0.3));
+        tree.range_self_join_dist_serial_into(0.1, &mut buf);
+        assert_eq!(buf, fresh);
+        buf.push((3, 4, 0.1));
+        tree.range_self_join_dist_with_into(0.1, SelfJoinConfig::with_threads(2), &mut buf);
+        assert_eq!(buf, fresh);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(24))]
         /// The self-join equals the O(n²) scan for arbitrary data, radii
@@ -808,6 +1066,29 @@ mod tests {
             let tree = MTree::build(&data, MTreeConfig::with_capacity(cap));
             let serial = tree.range_self_join_serial(r);
             let par = tree.range_self_join_with(r, SelfJoinConfig::with_threads(threads));
+            prop_assert_eq!(par, serial);
+        }
+
+        /// The annotated traversal emits the plain edge list (stripped)
+        /// with exact distances, serial or parallel, for arbitrary
+        /// inputs.
+        #[test]
+        fn dist_self_join_is_exact(
+            seed in 0u64..1000,
+            r in 0.0..0.5f64,
+            cap in 2usize..12,
+            threads in 1usize..9,
+        ) {
+            let data = random_data(100, seed);
+            let tree = MTree::build(&data, MTreeConfig::with_capacity(cap));
+            let serial = tree.range_self_join_dist_serial(r);
+            let stripped: Vec<(ObjId, ObjId)> =
+                serial.iter().map(|&(a, b, _)| (a, b)).collect();
+            prop_assert_eq!(&stripped, &tree.range_self_join_serial(r));
+            for &(a, b, d) in &serial {
+                prop_assert_eq!(d.to_bits(), data.dist(a, b).to_bits());
+            }
+            let par = tree.range_self_join_dist_with(r, SelfJoinConfig::with_threads(threads));
             prop_assert_eq!(par, serial);
         }
     }

@@ -45,9 +45,11 @@ pub use disc_mtree as mtree;
 pub mod prelude {
     pub use disc_core::{
         basic_disc, fast_c, fast_c_graph, greedy_c, greedy_c_graph, greedy_disc, greedy_disc_graph,
-        greedy_zoom_in, greedy_zoom_out, local_zoom, verify_disc, zoom_in, zoom_out, BasicOrder,
-        DiscResult, GreedyVariant, ZoomOutVariant,
+        greedy_zoom_in, greedy_zoom_in_graph, greedy_zoom_out, local_zoom, multi_radius_graph,
+        verify_disc, zoom_in, zoom_in_graph, zoom_out, zoom_out_graph, BasicOrder, DiscResult,
+        GreedyVariant, ZoomOutVariant,
     };
+    pub use disc_graph::{StratifiedDiskGraph, UnitDiskGraph};
     pub use disc_metric::{Dataset, Metric, ObjId, Point};
     pub use disc_mtree::{MTree, MTreeConfig, PartitionPolicy, PromotePolicy, SplitPolicy};
 }

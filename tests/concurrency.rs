@@ -18,10 +18,16 @@
 //! * exact `distance_computations()` parity between the parallel and
 //!   serial traversals (lost or double-counted per-worker counters
 //!   would break every future hot-path claim pinned on the counter);
+//! * the same three guarantees for the **distance-annotated** pipeline
+//!   (`range_self_join_dist*` → [`StratifiedDiskGraph`]): edge lists
+//!   byte-identical *including the f64 annotations*, stratified CSR
+//!   byte-identical (`offsets`, `neighbors` **and** `dists`), exact
+//!   counter parity, and thread-count-independent graph-resident
+//!   zooming on top;
 //! * degenerate inputs: single object, all-duplicate points, r = 0 and
 //!   r ≥ diameter.
 
-use disc_diversity::graph::UnitDiskGraph;
+use disc_diversity::graph::{StratifiedDiskGraph, UnitDiskGraph};
 use disc_diversity::metric::{Dataset, Metric, ObjId, Point};
 use disc_diversity::mtree::{MTree, MTreeConfig, SelfJoinConfig};
 use disc_diversity::prelude::*;
@@ -215,6 +221,119 @@ fn degenerate_inputs_are_deterministic_across_thread_counts() {
     // constructors accept n = 0).
     for shards in COUNTS {
         assert!(UnitDiskGraph::from_edges_sharded(0, 1.0, &[], shards).is_empty());
+    }
+}
+
+#[test]
+fn stratified_csr_is_byte_identical_across_thread_and_shard_counts() {
+    // The distance-annotated pipeline (annotated self-join → stratified
+    // CSR with distance-sorted rows) is deterministic too: for every
+    // forced thread/shard count, edges (annotations included), offsets,
+    // neighbors *and* dists arrays equal the serial build's, on all four
+    // metrics.
+    for metric in ALL_METRICS {
+        let data = random_data_metric(140, 46, metric);
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(7));
+        for r in radii_for(metric) {
+            let serial_edges = tree.range_self_join_dist_serial(r);
+            let serial = StratifiedDiskGraph::from_dist_edges(data.len(), r, &serial_edges);
+            for threads in COUNTS {
+                let par_edges = tree.range_self_join_dist_with(r, SelfJoinConfig { threads });
+                // Byte-identical: same edges, same order, same f64
+                // distance annotations.
+                assert_eq!(
+                    par_edges, serial_edges,
+                    "{metric:?} r={r} threads={threads}"
+                );
+                let sharded = StratifiedDiskGraph::from_dist_edges_sharded(
+                    data.len(),
+                    r,
+                    &par_edges,
+                    threads,
+                );
+                assert_eq!(
+                    sharded.offsets(),
+                    serial.offsets(),
+                    "{metric:?} r={r} shards={threads}: offsets"
+                );
+                assert_eq!(
+                    sharded.neighbors_flat(),
+                    serial.neighbors_flat(),
+                    "{metric:?} r={r} shards={threads}: neighbors"
+                );
+                assert_eq!(
+                    sharded.dists_flat(),
+                    serial.dists_flat(),
+                    "{metric:?} r={r} shards={threads}: dists"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn annotated_self_join_charges_exact_counters_across_thread_counts() {
+    // Counter exactness for the annotated traversal: every forced
+    // thread count charges exactly the serial annotated traversal's
+    // distance computations and node accesses.
+    for metric in ALL_METRICS {
+        let data = random_data_metric(200, 47, metric);
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(8));
+        let r = if metric == Metric::Hamming { 2.0 } else { 0.1 };
+
+        tree.reset_distance_computations();
+        tree.reset_node_accesses();
+        let serial = tree.range_self_join_dist_serial(r);
+        let serial_dc = tree.reset_distance_computations();
+        let serial_acc = tree.reset_node_accesses();
+        assert!(
+            serial_dc > 0,
+            "{metric:?}: annotated join computed no distances"
+        );
+
+        for threads in COUNTS {
+            let par = tree.range_self_join_dist_with(r, SelfJoinConfig { threads });
+            let par_dc = tree.reset_distance_computations();
+            let par_acc = tree.reset_node_accesses();
+            assert_eq!(par, serial, "{metric:?} threads={threads}");
+            assert_eq!(
+                par_dc, serial_dc,
+                "{metric:?} threads={threads}: distance computations"
+            );
+            assert_eq!(
+                par_acc, serial_acc,
+                "{metric:?} threads={threads}: node accesses"
+            );
+        }
+    }
+}
+
+#[test]
+fn stratified_zooming_is_thread_count_independent() {
+    // End-to-end: stratified graphs assembled at every thread/shard
+    // count feed the graph-resident zoom runners identically, and the
+    // solutions match the tree-backed operators.
+    let data = random_data_metric(220, 48, Metric::Euclidean);
+    let tree = MTree::build(&data, MTreeConfig::default());
+    let (r, r_new) = (0.12, 0.06);
+    let serial_edges = tree.range_self_join_dist_serial(r);
+    let serial_graph = StratifiedDiskGraph::from_dist_edges(data.len(), r, &serial_edges);
+    let prev = greedy_disc(&tree, r, GreedyVariant::Grey, true);
+    let want = greedy_zoom_in(&tree, &prev, r_new).result.solution;
+    assert_eq!(
+        greedy_zoom_in_graph(&serial_graph, &prev, r_new)
+            .result
+            .solution,
+        want
+    );
+    for threads in COUNTS {
+        let edges = tree.range_self_join_dist_with(r, SelfJoinConfig { threads });
+        let graph = StratifiedDiskGraph::from_dist_edges_sharded(data.len(), r, &edges, threads);
+        assert_eq!(
+            greedy_zoom_in_graph(&graph, &prev, r_new).result.solution,
+            want,
+            "threads={threads}"
+        );
     }
 }
 
