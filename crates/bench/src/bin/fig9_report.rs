@@ -165,6 +165,23 @@ fn main() {
     );
 
     // ---------------------------------------------------------------
+    // Scalar vs batched one-to-many distance kernel (the leaf-block
+    // sweep primitive of the self-join); bitwise identity is asserted.
+    // ---------------------------------------------------------------
+    let kernel = disc_bench::measure_kernel(&data, 20);
+    assert!(
+        kernel.identical,
+        "batched distance kernel diverged bitwise from the scalar kernel"
+    );
+    eprintln!(
+        "  kernel (dim {}): scalar {:.2}ns/dist, batched {:.2}ns/dist, {:.2}x",
+        kernel.dim,
+        kernel.scalar_ns_per_dist(),
+        kernel.batch_ns_per_dist(),
+        kernel.speedup()
+    );
+
+    // ---------------------------------------------------------------
     // Graph-resident vs tree-backed Greedy-DisC (build + select),
     // shared with the gated `fig_graph_vs_tree` binary.
     // ---------------------------------------------------------------
@@ -272,23 +289,21 @@ fn main() {
         ));
     }
     json.push_str("  },\n");
-    // NaN is not valid JSON; a build without the `parallel` feature
-    // reports null for the threaded side.
-    let js_num = |v: f64| {
-        if v.is_finite() {
-            format!("{v:.3}")
-        } else {
-            "null".to_string()
-        }
+    // A build without the `parallel` feature has no threaded side to
+    // measure: record the reason instead of a null the downstream JSON
+    // consumers would have to special-case (NaN is not valid JSON
+    // either way).
+    let threaded_side = if cfg!(feature = "parallel") {
+        format!("\"parallel_ms\": {parallel_ms:.3}, \"speedup\": {speedup:.3}")
+    } else {
+        "\"skipped\": \"parallel feature disabled\"".to_string()
     };
     json.push_str(&format!(
         "  \"count_seeding_wall_clock\": {{\"serial_ms\": {serial_ms:.3}, \
-         \"parallel_ms\": {}, \"speedup\": {}, \
-         \"threads\": {threads}, \"parallel_feature\": {}}},\n",
-        js_num(parallel_ms),
-        js_num(speedup),
+         {threaded_side}, \"threads\": {threads}, \"parallel_feature\": {}}},\n",
         cfg!(feature = "parallel")
     ));
+    json.push_str(&format!("  \"kernel\": {},\n", kernel.to_json()));
     json.push_str(&format!(
         "  \"graph_vs_tree\": {{\"pairs_all\": {}, \
          \"self_join\": {{\"distance_computations\": {}, \"edges\": {}, \

@@ -23,9 +23,13 @@
 //!    whole multi-radius sweep costs no more than one self-join);
 //! 3. graph-resident zooming stops beating the tree-backed sweep on
 //!    total distance computations;
-//! 4. the annotated self-join or the sharded stratified assembly loses
+//! 4. the annotated build's distance computations exceed
+//!    `plain self-join + edges` (every annotated distance beyond the
+//!    plain traversal must belong to an emitted edge — the
+//!    inclusion-qualified pairs);
+//! 5. the annotated self-join or the sharded stratified assembly loses
 //!    serial/parallel parity (counters, edge bytes, CSR bytes);
-//! 5. the graph-resident zoom-out and multi-radius runners diverge from
+//! 6. the graph-resident zoom-out and multi-radius runners diverge from
 //!    their tree-backed counterparts on the same workload.
 //!
 //! Usage: `cargo run --release -p disc-bench --bin zoom_graph_vs_tree
@@ -68,12 +72,14 @@ fn main() {
 
     eprintln!(
         "  stratified build: {} edges, {} distance comps (plain self-join {}, \
-         annotation surcharge {}), {:.1}ms",
+         annotation surcharge {}), {:.1}ms (join {:.1}ms + assembly {:.1}ms)",
         m.strat_edges,
         m.strat_build_dc,
         m.plain_selfjoin_dc,
         m.strat_build_dc - m.plain_selfjoin_dc,
-        m.strat_build_ms
+        m.strat_build_ms,
+        m.strat_selfjoin_ms,
+        m.strat_assembly_ms
     );
     eprintln!("  sweep |S| per radius: {:?} (r_max then targets)", m.sizes);
     eprintln!(
@@ -115,6 +121,15 @@ fn main() {
          sweep ({} dc)",
         m.graph_total_dc(),
         m.tree_sweep_dc
+    );
+    assert!(
+        m.dc_within_edge_bound(),
+        "stratified build gate: annotated build computed {} distances, beyond the \
+         plain self-join's {} + {} edges — the annotated traversal is paying for \
+         non-edges",
+        m.strat_build_dc,
+        m.plain_selfjoin_dc,
+        m.strat_edges
     );
     assert_eq!(
         m.annotated_parallel_dc, m.annotated_serial_dc,

@@ -234,14 +234,24 @@ pub fn measure_selfjoin_par(
             .unwrap_or(1)
     });
 
+    // Warm both sides once (allocator pages, edge-buffer capacity)
+    // before timing: whichever side ran first used to pay the kernel's
+    // page-clearing for its freshly grown buffers, skewing a
+    // serial-vs-parallel comparison that should only see traversal
+    // cost.
+    let mut serial_edges = Vec::new();
+    tree.range_self_join_serial_into(radius, &mut serial_edges);
+    let mut parallel_edges = Vec::new();
+    tree.range_self_join_with_into(radius, SelfJoinConfig { threads }, &mut parallel_edges);
+
     tree.reset_distance_computations();
     let t = Instant::now();
-    let serial_edges = tree.range_self_join_serial(radius);
+    tree.range_self_join_serial_into(radius, &mut serial_edges);
     let serial_ms = t.elapsed().as_secs_f64() * 1_000.0;
     let serial_dc = tree.reset_distance_computations();
 
     let t = Instant::now();
-    let parallel_edges = tree.range_self_join_with(radius, SelfJoinConfig { threads });
+    tree.range_self_join_with_into(radius, SelfJoinConfig { threads }, &mut parallel_edges);
     let parallel_ms = t.elapsed().as_secs_f64() * 1_000.0;
     let parallel_dc = tree.reset_distance_computations();
 
@@ -286,6 +296,10 @@ pub struct ZoomGraphVsTree {
     pub strat_build_dc: u64,
     /// Stratified build wall-clock (self-join + assembly).
     pub strat_build_ms: f64,
+    /// The annotated self-join traversal's share of the build.
+    pub strat_selfjoin_ms: f64,
+    /// The radix-sorted CSR assembly's share of the build.
+    pub strat_assembly_ms: f64,
     /// Undirected edges of the stratified graph at `r_max`.
     pub strat_edges: usize,
     /// The stratified graph itself (the timed production build), so
@@ -345,6 +359,15 @@ impl ZoomGraphVsTree {
             && self.stratified_csr_identical
     }
 
+    /// The stratified-build cost gate: every distance the annotated
+    /// build computes beyond the plain self-join belongs to an emitted
+    /// edge (the inclusion-qualified pairs), so the annotated total
+    /// must stay within `plain + edges`. A regression here means the
+    /// annotated traversal started paying for non-edges.
+    pub fn dc_within_edge_bound(&self) -> bool {
+        self.strat_build_dc <= self.plain_selfjoin_dc + self.strat_edges as u64
+    }
+
     /// The `zoom_graph` JSON object shared by `BENCH_fig9.json` and
     /// `BENCH_zoom_graph.json` (no serde in the environment).
     pub fn to_json(&self) -> String {
@@ -363,7 +386,8 @@ impl ZoomGraphVsTree {
         format!(
             "{{\"r_max\": {}, \"targets\": [{targets}], \"threads\": {}, \"forced\": {}, \
              \"stratified_build\": {{\"distance_computations\": {}, \"edges\": {}, \
-             \"build_ms\": {:.3}}}, \
+             \"selfjoin_ms\": {:.3}, \"assembly_ms\": {:.3}, \"build_ms\": {:.3}, \
+             \"dc_within_edge_bound\": {}}}, \
              \"plain_self_join_distance_computations\": {}, \
              \"graph_sweep\": {{\"extra_distance_computations\": {}, \
              \"total_distance_computations\": {}, \"sweep_ms\": {:.3}}}, \
@@ -375,7 +399,10 @@ impl ZoomGraphVsTree {
             self.forced,
             self.strat_build_dc,
             self.strat_edges,
+            self.strat_selfjoin_ms,
+            self.strat_assembly_ms,
             self.strat_build_ms,
+            self.dc_within_edge_bound(),
             self.plain_selfjoin_dc,
             self.graph_sweep_extra_dc,
             self.graph_total_dc(),
@@ -426,12 +453,30 @@ pub fn measure_zoom_graph_vs_tree(
     let stratified_csr_identical = serial_strat.offsets() == sharded_strat.offsets()
         && serial_strat.neighbors_flat() == sharded_strat.neighbors_flat()
         && serial_strat.dists_flat() == sharded_strat.dists_flat();
+    // Free the parity transients before timing the production build:
+    // several hundred MB of live edge lists and graphs would otherwise
+    // push the build onto freshly faulted kernel pages and bill the
+    // page-clearing to the build (it roughly doubled the recorded
+    // wall clock at n = 10k).
+    drop(serial_strat);
+    drop(sharded_strat);
+    drop(serial_edges);
+    drop(par_edges);
 
-    // Timed production build.
+    // Timed production build — `StratifiedDiskGraph::from_mtree`'s two
+    // phases, driven through the same entry points it uses
+    // (`range_self_join_dist` + `from_dist_edges_auto`) so the
+    // annotated traversal and the radix-sorted CSR assembly are
+    // attributed separately without duplicating its dispatch.
     tree.reset_distance_computations();
     let t = Instant::now();
-    let strat = StratifiedDiskGraph::from_mtree(tree, r_max);
-    let strat_build_ms = t.elapsed().as_secs_f64() * 1_000.0;
+    let edges = tree.range_self_join_dist(r_max);
+    let strat_selfjoin_ms = t.elapsed().as_secs_f64() * 1_000.0;
+    let t = Instant::now();
+    let strat = StratifiedDiskGraph::from_dist_edges_auto(tree.len(), r_max, &edges);
+    let strat_assembly_ms = t.elapsed().as_secs_f64() * 1_000.0;
+    drop(edges);
+    let strat_build_ms = strat_selfjoin_ms + strat_assembly_ms;
     let strat_build_dc = tree.reset_distance_computations();
 
     // Plain self-join reference (annotation surcharge bookkeeping).
@@ -471,6 +516,8 @@ pub fn measure_zoom_graph_vs_tree(
         forced: forced_threads.is_some(),
         strat_build_dc,
         strat_build_ms,
+        strat_selfjoin_ms,
+        strat_assembly_ms,
         strat_edges: strat.edge_count(),
         strat,
         graph_sweep_extra_dc,
@@ -488,9 +535,151 @@ pub fn measure_zoom_graph_vs_tree(
     }
 }
 
+/// One scalar-vs-batched distance-kernel measurement (the `kernel`
+/// section of `BENCH_fig9.json`): the same one-to-many workload — one
+/// query object against the whole dataset — evaluated with per-pair
+/// [`disc_metric::Metric::dist_coords`] calls and with one
+/// [`disc_metric::Metric::dist_batch`] sweep over the lane-major block.
+pub struct KernelBench {
+    /// Block size (the dataset cardinality).
+    pub n: usize,
+    /// Dimensionality (selects the kernel specialization arm).
+    pub dim: usize,
+    /// Timed repetitions per side.
+    pub reps: usize,
+    /// Scalar loop wall-clock per repetition (ms).
+    pub scalar_ms: f64,
+    /// Batched kernel wall-clock per repetition (ms).
+    pub batch_ms: f64,
+    /// Whether every batched output was bitwise identical to the scalar
+    /// kernel's (the contract the self-join's parity pins depend on).
+    pub identical: bool,
+}
+
+impl KernelBench {
+    /// Scalar nanoseconds per distance.
+    pub fn scalar_ns_per_dist(&self) -> f64 {
+        self.scalar_ms * 1e6 / self.n as f64
+    }
+
+    /// Batched nanoseconds per distance.
+    pub fn batch_ns_per_dist(&self) -> f64 {
+        self.batch_ms * 1e6 / self.n as f64
+    }
+
+    /// Scalar / batched wall-clock ratio.
+    pub fn speedup(&self) -> f64 {
+        self.scalar_ms / self.batch_ms
+    }
+
+    /// The `kernel` JSON object of `BENCH_fig9.json` (no serde in the
+    /// environment; a sub-clock-resolution timing would make the
+    /// ratios non-finite, which is not valid JSON, so those serialise
+    /// as null).
+    pub fn to_json(&self) -> String {
+        let num = |v: f64, digits: usize| {
+            if v.is_finite() {
+                format!("{v:.digits$}")
+            } else {
+                "null".to_string()
+            }
+        };
+        format!(
+            "{{\"n\": {}, \"dim\": {}, \"reps\": {}, \
+             \"scalar_ns_per_dist\": {}, \"batch_ns_per_dist\": {}, \
+             \"speedup\": {}, \"identical\": {}}}",
+            self.n,
+            self.dim,
+            self.reps,
+            num(self.scalar_ns_per_dist(), 2),
+            num(self.batch_ns_per_dist(), 2),
+            num(self.speedup(), 3),
+            self.identical
+        )
+    }
+}
+
+/// Measures the scalar and batched one-to-many kernels on `data`
+/// (query = object 0 against every object) and cross-checks bitwise
+/// identity of every output pair.
+pub fn measure_kernel(data: &Dataset, reps: usize) -> KernelBench {
+    let (n, dim, metric) = (data.len(), data.dim(), data.metric());
+    // Lane-major transpose of the whole dataset, as the M-tree leaves
+    // store their blocks.
+    let mut lanes = vec![0.0f64; n * dim];
+    for id in 0..n {
+        for (d, &c) in data.row(id).iter().enumerate() {
+            lanes[d * n + id] = c;
+        }
+    }
+    let q: Vec<f64> = data.row(0).to_vec();
+    let mut scalar_out = vec![0.0f64; n];
+    let mut batch_out = vec![0.0f64; n];
+
+    let time = |out: &mut Vec<f64>, f: &dyn Fn(&mut Vec<f64>)| {
+        f(out); // warmup
+        let t = Instant::now();
+        for _ in 0..reps {
+            f(out);
+            std::hint::black_box(&*out);
+        }
+        t.elapsed().as_secs_f64() * 1_000.0 / reps.max(1) as f64
+    };
+    let scalar_ms = time(&mut scalar_out, &|out| {
+        for (id, o) in out.iter_mut().enumerate() {
+            *o = metric.dist_coords(&q, data.row(id));
+        }
+    });
+    let batch_ms = time(&mut batch_out, &|out| {
+        metric.dist_batch(&q, &lanes, n, out);
+    });
+
+    let identical = scalar_out
+        .iter()
+        .zip(&batch_out)
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    KernelBench {
+        n,
+        dim,
+        reps,
+        scalar_ms,
+        batch_ms,
+        identical,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn kernel_measurement_is_bitwise_identical() {
+        let d = bench_clustered(2_000);
+        let k = measure_kernel(&d, 2);
+        assert!(k.identical, "batched kernel diverged from scalar");
+        assert_eq!(k.n, 2_000);
+        assert_eq!(k.dim, 2);
+        assert!(k.scalar_ms > 0.0 && k.batch_ms > 0.0);
+    }
+
+    #[test]
+    fn stratified_build_stays_within_edge_bound() {
+        let d = bench_clustered(600);
+        let t = bench_tree(&d);
+        let m = measure_zoom_graph_vs_tree(&t, 0.08, &[0.06, 0.04, 0.02], Some(2));
+        assert!(
+            m.dc_within_edge_bound(),
+            "annotated build {} dc beyond plain {} + edges {}",
+            m.strat_build_dc,
+            m.plain_selfjoin_dc,
+            m.strat_edges
+        );
+        assert!(m.strat_selfjoin_ms >= 0.0 && m.strat_assembly_ms >= 0.0);
+        assert!(
+            (m.strat_build_ms - m.strat_selfjoin_ms - m.strat_assembly_ms).abs() < 1e-9,
+            "build wall clock must be the sum of its phases"
+        );
+    }
 
     #[test]
     fn fixtures_build() {

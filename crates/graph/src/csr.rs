@@ -1,16 +1,46 @@
 //! Shared CSR assembly: the serial and sharded counting sorts behind
 //! both [`crate::UnitDiskGraph`] (plain id rows) and
-//! [`crate::StratifiedDiskGraph`] (`(distance, id)` rows), generic over
-//! the per-row entry so the determinism-critical shard-range, prefix-sum
-//! and fill logic exists exactly once.
+//! [`crate::StratifiedDiskGraph`] (distance-annotated rows).
 //!
-//! Determinism contract: [`RowEntry::cmp_row`] must be a **total order**
-//! over the entries of one row (rows never repeat an id, so comparing
-//! the id — possibly after a payload key — suffices). Offsets are pure
-//! degree counts and every row is sorted by that total order, so the
-//! assembled arrays are a pure function of the edge *set* — serial and
-//! sharded assembly are byte-identical for every shard count (pinned by
-//! the graph tests and the workspace concurrency tier).
+//! Two row layouts share the determinism-critical shard-range,
+//! degree-count and prefix-sum logic ([`degree_offsets`],
+//! [`shard_plan`]):
+//!
+//! * **plain rows** ([`assemble`] / [`assemble_sharded`], generic over
+//!   [`RowEntry`]) — the entry is the opposite endpoint id, rows sort
+//!   by id;
+//! * **distance rows** ([`assemble_dist`] / [`assemble_dist_sharded`])
+//!   — each directed entry is written straight into the two *final*
+//!   aligned arrays (`dists`, `neighbors`), never materialising an
+//!   intermediate `(f64, id)` array-of-structs (the former split pass
+//!   was a fifth of the stratified assembly's wall clock); rows sort by
+//!   `(distance, id)`.
+//!
+//! Determinism contract: the per-row order must be **total** (rows
+//! never repeat an id, so the id — after the payload key, if any —
+//! suffices). Offsets are pure degree counts and every row is sorted by
+//! that total order, so the assembled arrays are a pure function of the
+//! edge *set* — serial and sharded assembly are byte-identical for
+//! every shard count (pinned by the graph tests and the workspace
+//! concurrency tier).
+//!
+//! ## Radix-sorted distance rows
+//!
+//! The `(distance, id)` rows are sorted by an MSD **radix sort on the
+//! order-preserving bit image of the f64** rather than a comparison
+//! sort: `to_bits`, with the sign bit flipped for non-negatives and all
+//! bits flipped for negatives, maps the `f64::total_cmp` order
+//! (−NaN < … < −0.0 < +0.0 < … < +NaN) onto plain `u64` order, so the
+//! composite integer `(key, id)` sorts in *exactly* the
+//! `(total_cmp(dist), id)` order the previous comparison sort produced
+//! — no float comparator anywhere. The sort is engineered around the
+//! row value distribution: an OR/AND scan finds the **highest byte that
+//! actually varies** (on a narrow build radius the sign/exponent bytes
+//! are constant and the low mantissa bytes almost never decide an
+//! order), one counting pass partitions on it, and buckets recurse
+//! until they are small enough for a branch-light integer sort. Unit
+//! tests pin order-identity against the comparison sort on duplicate
+//! distances, ±0.0, subnormals and all-equal rows.
 
 use disc_metric::ObjId;
 
@@ -48,33 +78,15 @@ impl RowEntry for ObjId {
     }
 }
 
-/// Distance-annotated rows: the entry carries the exact edge distance
-/// first, so rows sort by `(distance, id)` and every radius is a prefix.
-impl RowEntry for (f64, ObjId) {
-    type Edge = (ObjId, ObjId, f64);
+/// A distance-annotated undirected edge, as the self-join emits it.
+pub(crate) type DistEdge = (ObjId, ObjId, f64);
 
-    #[inline]
-    fn ends(e: &Self::Edge) -> (ObjId, ObjId) {
-        (e.0, e.1)
-    }
-
-    #[inline]
-    fn entry(e: &Self::Edge, other: ObjId) -> Self {
-        (e.2, other)
-    }
-
-    #[inline]
-    fn cmp_row(a: &Self, b: &Self) -> std::cmp::Ordering {
-        a.0.total_cmp(&b.0).then(a.1.cmp(&b.1))
-    }
-}
-
-/// Serial counting-sort assembly: degree counts, prefix sum, fill,
-/// per-row sort. Returns `(offsets, entries)` with `n + 1` offsets.
-pub(crate) fn assemble<T: RowEntry>(n: usize, edges: &[T::Edge]) -> (Vec<usize>, Vec<T>) {
+/// Degree counts turned into the `n + 1` CSR row boundaries — the one
+/// offsets definition every assembly path shares.
+fn degree_offsets<E>(n: usize, edges: &[E], ends: impl Fn(&E) -> (ObjId, ObjId)) -> Vec<usize> {
     let mut offsets = vec![0usize; n + 1];
     for e in edges {
-        let (i, j) = T::ends(e);
+        let (i, j) = ends(e);
         debug_assert!(i != j, "self-loop ({i}, {j})");
         offsets[i + 1] += 1;
         offsets[j + 1] += 1;
@@ -82,6 +94,123 @@ pub(crate) fn assemble<T: RowEntry>(n: usize, edges: &[T::Edge]) -> (Vec<usize>,
     for v in 0..n {
         offsets[v + 1] += offsets[v];
     }
+    offsets
+}
+
+/// The sharding plan every parallel assembly path shares: resolves the
+/// shard count (`0` = one per core, honouring the serial fallback for
+/// small inputs by returning `None`), buckets edges by owning shard
+/// (input order preserved; an edge crossing two shards lands in both
+/// buckets) and fixes the vertex ranges.
+struct ShardPlan<E> {
+    shards: usize,
+    span: usize,
+    buckets: Vec<Vec<E>>,
+}
+
+impl<E: Copy> ShardPlan<E> {
+    fn new(
+        n: usize,
+        edges: &[E],
+        shards: usize,
+        ends: impl Fn(&E) -> (ObjId, ObjId),
+    ) -> Option<Self> {
+        let shards = if shards == 0 {
+            // Below this size the serial assembly beats spawn + join.
+            const MIN_PARALLEL_EDGES: usize = 4_096;
+            let auto = std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1);
+            if auto <= 1 || edges.len() < MIN_PARALLEL_EDGES {
+                return None;
+            }
+            auto
+        } else {
+            shards
+        };
+        let shards = shards.clamp(1, n.max(1));
+        // Vertex ranges: shard s owns [s * span, min((s + 1) * span, n)).
+        let span = n.div_ceil(shards).max(1);
+        let mut buckets: Vec<Vec<E>> = vec![Vec::new(); shards];
+        for e in edges {
+            let (i, j) = ends(e);
+            debug_assert!(i != j, "self-loop ({i}, {j})");
+            let si = (i / span).min(shards - 1);
+            let sj = (j / span).min(shards - 1);
+            buckets[si].push(*e);
+            if sj != si {
+                buckets[sj].push(*e);
+            }
+        }
+        Some(Self {
+            shards,
+            span,
+            buckets,
+        })
+    }
+
+    fn range(&self, s: usize, n: usize) -> std::ops::Range<usize> {
+        (s * self.span).min(n)..((s + 1) * self.span).min(n)
+    }
+
+    /// Phase 1 of every sharded assembly: per-shard degree counts with
+    /// a local exclusive prefix sum, combined into the global offsets
+    /// array (identical to [`degree_offsets`]' output).
+    fn offsets(
+        &self,
+        n: usize,
+        ends: impl Fn(&E) -> (ObjId, ObjId) + Sync + Send + Copy,
+    ) -> Vec<usize>
+    where
+        E: Send + Sync,
+    {
+        let locals: Vec<Vec<usize>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.shards)
+                .map(|s| {
+                    let r = self.range(s, n);
+                    let bucket = &self.buckets[s];
+                    scope.spawn(move || {
+                        let mut counts = vec![0usize; r.len() + 1];
+                        for e in bucket {
+                            let (i, j) = ends(e);
+                            if r.contains(&i) {
+                                counts[i - r.start + 1] += 1;
+                            }
+                            if r.contains(&j) {
+                                counts[j - r.start + 1] += 1;
+                            }
+                        }
+                        for k in 0..r.len() {
+                            counts[k + 1] += counts[k];
+                        }
+                        counts
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("degree-count shard panicked"))
+                .collect()
+        });
+        let mut offsets = vec![0usize; n + 1];
+        let mut base = 0usize;
+        for (s, local) in locals.iter().enumerate() {
+            let r = self.range(s, n);
+            for (k, v) in r.clone().enumerate() {
+                offsets[v] = base + local[k];
+            }
+            base += local[r.len()];
+        }
+        offsets[n] = base;
+        offsets
+    }
+}
+
+/// Serial counting-sort assembly for plain rows: degree counts, prefix
+/// sum, fill, per-row sort. Returns `(offsets, entries)` with `n + 1`
+/// offsets.
+pub(crate) fn assemble<T: RowEntry>(n: usize, edges: &[T::Edge]) -> (Vec<usize>, Vec<T>) {
+    let offsets = degree_offsets(n, edges, T::ends);
     let mut entries = vec![T::default(); offsets[n]];
     let mut cursor = offsets.clone();
     for e in edges {
@@ -100,8 +229,7 @@ pub(crate) fn assemble<T: RowEntry>(n: usize, edges: &[T::Edge]) -> (Vec<usize>,
 /// [`assemble`] as a parallel counting sort over `std::thread::scope`
 /// workers: shards own contiguous vertex ranges, count degrees and
 /// prefix-sum locally, then fill and sort disjoint slices of the entry
-/// array (an edge crossing two shards lands in both shards' buckets).
-/// Byte-identical output to [`assemble`] for every shard count.
+/// array. Byte-identical output to [`assemble`] for every shard count.
 ///
 /// `shards == 0` picks one shard per available core and falls back to
 /// the serial assembly when that is 1 or the input is small; an
@@ -112,92 +240,19 @@ pub(crate) fn assemble_sharded<T: RowEntry>(
     edges: &[T::Edge],
     shards: usize,
 ) -> (Vec<usize>, Vec<T>) {
-    let shards = if shards == 0 {
-        // Below this size the serial assembly beats spawn + join.
-        const MIN_PARALLEL_EDGES: usize = 4_096;
-        let auto = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1);
-        if auto <= 1 || edges.len() < MIN_PARALLEL_EDGES {
-            return assemble(n, edges);
-        }
-        auto
-    } else {
-        shards
+    let Some(plan) = ShardPlan::new(n, edges, shards, T::ends) else {
+        return assemble(n, edges);
     };
-    let shards = shards.clamp(1, n.max(1));
-    // Vertex ranges: shard s owns [s * span, min((s + 1) * span, n)).
-    let span = n.div_ceil(shards).max(1);
-    let range = |s: usize| (s * span).min(n)..((s + 1) * span).min(n);
-
-    // Bucket edges by owning shard once, preserving input order, so the
-    // counting and fill phases each scan O(|E|) total instead of
-    // O(shards × |E|).
-    let mut buckets: Vec<Vec<T::Edge>> = vec![Vec::new(); shards];
-    for e in edges {
-        let (i, j) = T::ends(e);
-        debug_assert!(i != j, "self-loop ({i}, {j})");
-        let si = (i / span).min(shards - 1);
-        let sj = (j / span).min(shards - 1);
-        buckets[si].push(*e);
-        if sj != si {
-            buckets[sj].push(*e);
-        }
-    }
-
-    // Phase 1: per-shard degree counts with a local exclusive prefix
-    // sum (index k holds the sum of degrees of the range's first k
-    // vertices; the final extra slot holds the shard total).
-    let locals: Vec<Vec<usize>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..shards)
-            .map(|s| {
-                let r = range(s);
-                let bucket = &buckets[s];
-                scope.spawn(move || {
-                    let mut counts = vec![0usize; r.len() + 1];
-                    for e in bucket {
-                        let (i, j) = T::ends(e);
-                        if r.contains(&i) {
-                            counts[i - r.start + 1] += 1;
-                        }
-                        if r.contains(&j) {
-                            counts[j - r.start + 1] += 1;
-                        }
-                    }
-                    for k in 0..r.len() {
-                        counts[k + 1] += counts[k];
-                    }
-                    counts
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("degree-count shard panicked"))
-            .collect()
-    });
-
-    // Combine: exclusive scan of the shard totals gives each shard's
-    // base offset; local prefix sums shift by the base.
-    let mut offsets = vec![0usize; n + 1];
-    let mut base = 0usize;
-    for (s, local) in locals.iter().enumerate() {
-        let r = range(s);
-        for (k, v) in r.clone().enumerate() {
-            offsets[v] = base + local[k];
-        }
-        base += local[r.len()];
-    }
-    offsets[n] = base;
+    let offsets = plan.offsets(n, T::ends);
 
     // Phase 2: each shard fills and sorts its disjoint slice of the
     // entry array (slices handed out via split_at_mut).
-    let mut entries = vec![T::default(); base];
+    let mut entries = vec![T::default(); offsets[n]];
     std::thread::scope(|scope| {
         let offsets = &offsets;
         let mut rest: &mut [T] = &mut entries;
-        for (s, bucket) in buckets.iter().enumerate() {
-            let r = range(s);
+        for (s, bucket) in plan.buckets.iter().enumerate() {
+            let r = plan.range(s, n);
             let shard_len = offsets[r.end] - offsets[r.start];
             let (mine, tail) = rest.split_at_mut(shard_len);
             rest = tail;
@@ -228,8 +283,8 @@ pub(crate) fn assemble_sharded<T: RowEntry>(
     (offsets, entries)
 }
 
-/// Sorts one row by the entry total order and (debug) rejects duplicate
-/// edges, which would surface as adjacent equal entries.
+/// Sorts one plain row by the entry total order and (debug) rejects
+/// duplicate edges, which would surface as adjacent equal entries.
 fn sort_row<T: RowEntry>(row: &mut [T], v: ObjId) {
     row.sort_unstable_by(T::cmp_row);
     debug_assert!(
@@ -237,4 +292,442 @@ fn sort_row<T: RowEntry>(row: &mut [T], v: ObjId) {
             .all(|w| T::cmp_row(&w[0], &w[1]) != std::cmp::Ordering::Equal),
         "duplicate edge incident to vertex {v}"
     );
+}
+
+// ---------------------------------------------------------------------
+// Distance-annotated rows
+// ---------------------------------------------------------------------
+
+/// Serial assembly of distance-annotated rows, straight into the two
+/// aligned output arrays: returns `(offsets, dists, neighbors)` with
+/// each row sorted by `(total_cmp(dist), id)`.
+pub(crate) fn assemble_dist(n: usize, edges: &[DistEdge]) -> (Vec<usize>, Vec<f64>, Vec<ObjId>) {
+    let offsets = degree_offsets(n, edges, |e| (e.0, e.1));
+    let total = offsets[n];
+    let mut dists = vec![0.0f64; total];
+    let mut neighbors = vec![0 as ObjId; total];
+    let mut cursor = offsets.clone();
+    for &(i, j, d) in edges {
+        let ci = cursor[i];
+        dists[ci] = d;
+        neighbors[ci] = j;
+        cursor[i] = ci + 1;
+        let cj = cursor[j];
+        dists[cj] = d;
+        neighbors[cj] = i;
+        cursor[j] = cj + 1;
+    }
+    let mut scratch = DistSortScratch::default();
+    for v in 0..n {
+        let row = offsets[v]..offsets[v + 1];
+        sort_dist_row(
+            &mut dists[row.clone()],
+            &mut neighbors[row],
+            &mut scratch,
+            v,
+        );
+    }
+    (offsets, dists, neighbors)
+}
+
+/// [`assemble_dist`] as a parallel counting sort: same shard plan as
+/// [`assemble_sharded`], filling and sorting disjoint slices of *both*
+/// output arrays. Byte-identical to the serial assembly for every shard
+/// count.
+pub(crate) fn assemble_dist_sharded(
+    n: usize,
+    edges: &[DistEdge],
+    shards: usize,
+) -> (Vec<usize>, Vec<f64>, Vec<ObjId>) {
+    let ends = |e: &DistEdge| (e.0, e.1);
+    let Some(plan) = ShardPlan::new(n, edges, shards, ends) else {
+        return assemble_dist(n, edges);
+    };
+    let offsets = plan.offsets(n, ends);
+
+    let total = offsets[n];
+    let mut dists = vec![0.0f64; total];
+    let mut neighbors = vec![0 as ObjId; total];
+    std::thread::scope(|scope| {
+        let offsets = &offsets;
+        let mut rest_d: &mut [f64] = &mut dists;
+        let mut rest_n: &mut [ObjId] = &mut neighbors;
+        for (s, bucket) in plan.buckets.iter().enumerate() {
+            let r = plan.range(s, n);
+            let shard_len = offsets[r.end] - offsets[r.start];
+            let (mine_d, tail_d) = rest_d.split_at_mut(shard_len);
+            rest_d = tail_d;
+            let (mine_n, tail_n) = rest_n.split_at_mut(shard_len);
+            rest_n = tail_n;
+            scope.spawn(move || {
+                let shard_base = offsets[r.start];
+                let mut cursor: Vec<usize> =
+                    offsets[r.clone()].iter().map(|&o| o - shard_base).collect();
+                for &(i, j, d) in bucket {
+                    if r.contains(&i) {
+                        let c = cursor[i - r.start];
+                        mine_d[c] = d;
+                        mine_n[c] = j;
+                        cursor[i - r.start] = c + 1;
+                    }
+                    if r.contains(&j) {
+                        let c = cursor[j - r.start];
+                        mine_d[c] = d;
+                        mine_n[c] = i;
+                        cursor[j - r.start] = c + 1;
+                    }
+                }
+                let mut scratch = DistSortScratch::default();
+                for v in r.clone() {
+                    let row = offsets[v] - shard_base..offsets[v + 1] - shard_base;
+                    sort_dist_row(&mut mine_d[row.clone()], &mut mine_n[row], &mut scratch, v);
+                }
+            });
+        }
+    });
+    (offsets, dists, neighbors)
+}
+
+/// Reusable scatter buffers for [`sort_dist_row`], one per assembly
+/// worker, reused across the rows it sorts.
+#[derive(Default)]
+struct DistSortScratch {
+    spare_d: Vec<f64>,
+    spare_i: Vec<ObjId>,
+}
+
+/// Maps an `f64` onto a `u64` whose unsigned order equals
+/// [`f64::total_cmp`]'s: flip the sign bit of non-negatives, all bits
+/// of negatives.
+#[inline]
+fn dist_order_key(d: f64) -> u64 {
+    let b = d.to_bits();
+    b ^ (((b as i64 >> 63) as u64) | 0x8000_0000_0000_0000)
+}
+
+/// Partitions at or below this length sort by insertion on the bit
+/// image — the counting pass only pays off on larger slices. Either
+/// path produces the identical `(total_cmp(dist), id)` order.
+const RADIX_MIN: usize = 48;
+
+/// Sorts one `(distance, id)` row — stored as two aligned slices —
+/// into `(total_cmp(dist), id)` order via [`msd_radix`]. Debug builds
+/// reject duplicate edges, which would surface as equal (key, id)
+/// pairs.
+fn sort_dist_row(ds: &mut [f64], ids: &mut [ObjId], scratch: &mut DistSortScratch, v: ObjId) {
+    debug_assert_eq!(ds.len(), ids.len());
+    let n = ds.len();
+    if n < 2 {
+        return;
+    }
+    if n <= RADIX_MIN {
+        insertion(ds, ids);
+    } else {
+        let DistSortScratch { spare_d, spare_i } = scratch;
+        spare_d.resize(n.max(spare_d.len()), 0.0);
+        spare_i.resize(n.max(spare_i.len()), 0);
+        msd_radix(ds, ids, &mut spare_d[..n], &mut spare_i[..n]);
+    }
+    let _ = v;
+    debug_assert!(
+        ds.windows(2)
+            .zip(ids.windows(2))
+            .all(|(d, i)| (dist_order_key(d[0]), i[0]) < (dist_order_key(d[1]), i[1])),
+        "duplicate edge incident to vertex {v}"
+    );
+}
+
+/// Insertion sort of the aligned row slices under the
+/// `(dist_order_key, id)` order — the leaf sort of the MSD partitions.
+/// Buckets average a handful of elements, so a branch-light inline loop
+/// beats any dispatchy alternative at this size (the key recompute is
+/// three ALU ops).
+#[inline]
+fn insertion(ds: &mut [f64], ids: &mut [ObjId]) {
+    for i in 1..ds.len() {
+        let (d, id) = (ds[i], ids[i]);
+        let key = (dist_order_key(d), id);
+        let mut j = i;
+        while j > 0 && (dist_order_key(ds[j - 1]), ids[j - 1]) > key {
+            ds[j] = ds[j - 1];
+            ids[j] = ids[j - 1];
+            j -= 1;
+        }
+        ds[j] = d;
+        ids[j] = id;
+    }
+}
+
+/// In-place MSD radix sort of the aligned `(dist, id)` row slices under
+/// the composite `(dist_order_key, id)` order. An OR/AND scan finds the
+/// highest byte that varies across the slice (constant prefixes — the
+/// sign/exponent bytes of a narrow build radius, the high id bytes of
+/// any realistic graph — cost nothing), one counting pass partitions
+/// both arrays on it through the spare slices, and each bucket recurses
+/// until the insertion cutoff. Stability is irrelevant: `(key, id)`
+/// pairs are unique (rows never repeat an id).
+fn msd_radix(ds: &mut [f64], ids: &mut [ObjId], sd: &mut [f64], si: &mut [ObjId]) {
+    let n = ds.len();
+    if n <= RADIX_MIN {
+        insertion(ds, ids);
+        return;
+    }
+    let (mut or_k, mut and_k) = (0u64, !0u64);
+    let (mut or_i, mut and_i) = (0usize, !0usize);
+    for t in 0..n {
+        let k = dist_order_key(ds[t]);
+        or_k |= k;
+        and_k &= k;
+        or_i |= ids[t];
+        and_i &= ids[t];
+    }
+    let (vary_k, vary_i) = (or_k ^ and_k, (or_i ^ and_i) as u64);
+    let (use_key, shift) = if vary_k != 0 {
+        (true, 8 * ((63 - vary_k.leading_zeros() as usize) / 8))
+    } else if vary_i != 0 {
+        (false, 8 * ((63 - vary_i.leading_zeros() as usize) / 8))
+    } else {
+        return; // fully identical pairs — unreachable for valid rows
+    };
+
+    let mut hist = [0u32; 256];
+    if use_key {
+        for t in 0..n {
+            hist[((dist_order_key(ds[t]) >> shift) & 0xFF) as usize] += 1;
+        }
+    } else {
+        for t in 0..n {
+            hist[((ids[t] as u64 >> shift) & 0xFF) as usize] += 1;
+        }
+    }
+    let mut offs = [0u32; 256];
+    let mut sum = 0u32;
+    for (o, &c) in offs.iter_mut().zip(hist.iter()) {
+        *o = sum;
+        sum += c;
+    }
+
+    // Scatter both arrays through the spares, copy back, recurse per
+    // bucket (the spares slice along with the buckets, so recursion
+    // needs no extra allocation).
+    let mut cur = offs;
+    for t in 0..n {
+        let digit = if use_key {
+            (dist_order_key(ds[t]) >> shift) & 0xFF
+        } else {
+            (ids[t] as u64 >> shift) & 0xFF
+        } as usize;
+        let slot = cur[digit] as usize;
+        cur[digit] += 1;
+        sd[slot] = ds[t];
+        si[slot] = ids[t];
+    }
+    ds.copy_from_slice(sd);
+    ids.copy_from_slice(si);
+
+    for d in 0..256 {
+        let lo = offs[d] as usize;
+        let hi = lo + hist[d] as usize;
+        if hi - lo > 1 {
+            msd_radix(
+                &mut ds[lo..hi],
+                &mut ids[lo..hi],
+                &mut sd[lo..hi],
+                &mut si[lo..hi],
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The previous comparison sort, kept as the order reference the
+    /// radix sort must reproduce exactly.
+    fn reference_sort(mut row: Vec<(f64, ObjId)>) -> Vec<(f64, ObjId)> {
+        row.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        row
+    }
+
+    /// The production row sort, driven through the split-array layout.
+    fn radix(row: &[(f64, ObjId)]) -> Vec<(f64, ObjId)> {
+        let mut ds: Vec<f64> = row.iter().map(|e| e.0).collect();
+        let mut ids: Vec<ObjId> = row.iter().map(|e| e.1).collect();
+        let mut scratch = DistSortScratch::default();
+        sort_dist_row(&mut ds, &mut ids, &mut scratch, 0);
+        ds.into_iter().zip(ids).collect()
+    }
+
+    fn assert_order_identical(row: Vec<(f64, ObjId)>) {
+        let want = reference_sort(row.clone());
+        let got = radix(&row);
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.0.to_bits(), w.0.to_bits(), "distance bits diverged");
+            assert_eq!(g.1, w.1, "id order diverged");
+        }
+        // Long variant: replicate the row past the comparison cutoff
+        // (fresh ids keep the (dist, id) pairs unique) so the radix
+        // path itself is exercised.
+        if row.len() <= RADIX_MIN && !row.is_empty() {
+            let long: Vec<(f64, ObjId)> = (0..=RADIX_MIN)
+                .flat_map(|rep| row.iter().map(move |&(d, id)| (d, id + rep * 1_000_003)))
+                .collect();
+            let want = reference_sort(long.clone());
+            let got = radix(&long);
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.0.to_bits(), w.0.to_bits());
+                assert_eq!(g.1, w.1);
+            }
+        }
+    }
+
+    #[test]
+    fn key_mapping_matches_total_cmp() {
+        let values = [
+            f64::NEG_INFINITY,
+            -1.0e300,
+            -1.0,
+            -5e-324,
+            -0.0,
+            0.0,
+            5e-324,
+            f64::MIN_POSITIVE,
+            0.5,
+            1.0,
+            1.0e300,
+            f64::INFINITY,
+        ];
+        for (i, &a) in values.iter().enumerate() {
+            assert_eq!(
+                dist_order_key(a),
+                dist_order_key(a),
+                "key is a pure function"
+            );
+            for &b in &values[i + 1..] {
+                assert!(
+                    dist_order_key(a) < dist_order_key(b),
+                    "key order broke total_cmp for {a} < {b}"
+                );
+            }
+        }
+        // NaNs too: total_cmp puts +NaN above +inf, -NaN below -inf.
+        assert!(dist_order_key(f64::NAN) > dist_order_key(f64::INFINITY));
+        assert!(dist_order_key(-f64::NAN) < dist_order_key(f64::NEG_INFINITY));
+        // The key is injective on bit patterns (XOR with a
+        // sign-derived mask), so distinct bits — e.g. ±0.0 — keep
+        // distinct, ordered keys.
+        assert!(dist_order_key(-0.0) < dist_order_key(0.0));
+    }
+
+    #[test]
+    fn radix_order_on_duplicate_distances() {
+        // Many ties: ids must break them exactly as the comparison
+        // sort's `.then(id.cmp)` did.
+        let row: Vec<(f64, ObjId)> = (0..200)
+            .map(|i| ((i % 5) as f64 * 0.125, (997 * i + 13) % 1000))
+            .collect();
+        assert_order_identical(row);
+    }
+
+    #[test]
+    fn radix_order_on_signed_zeros_and_subnormals() {
+        let row = vec![
+            (0.0, 3),
+            (-0.0, 7),
+            (5e-324, 1),
+            (-5e-324, 2),
+            (f64::MIN_POSITIVE, 0),
+            (0.0, 1),
+            (-0.0, 0),
+            (2.2250738585072014e-308, 9),
+        ];
+        assert_order_identical(row);
+    }
+
+    #[test]
+    fn radix_order_on_all_equal_rows() {
+        // One distance value for the whole row: no key byte varies, so
+        // the id bytes carry the entire order.
+        let mut seen = std::collections::HashSet::new();
+        let row: Vec<(f64, ObjId)> = (0..150usize)
+            .map(|i| (0.25, (i.wrapping_mul(2_654_435_761) >> 7) % 100_000))
+            .filter(|&(_, id)| seen.insert(id))
+            .collect();
+        assert!(row.len() > RADIX_MIN);
+        assert_order_identical(row);
+    }
+
+    #[test]
+    fn radix_order_on_random_mixed_rows() {
+        // Long mixed-magnitude rows (normal, subnormal, huge, ±0) hit
+        // deep recursion and every digit position across seeds.
+        for seed in 0..8u64 {
+            let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            let mut next = move || {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            };
+            let row: Vec<(f64, ObjId)> = (0..300)
+                .map(|i| {
+                    let v = match next() % 5 {
+                        0 => (next() % 1_000_000) as f64 * 1e-9,
+                        1 => f64::from_bits(next() % 0x10_0000), // subnormals
+                        2 => (next() % 1_000) as f64 * 1e290,
+                        3 => 0.0,
+                        _ => -0.0,
+                    };
+                    (v, i)
+                })
+                .collect();
+            assert_order_identical(row);
+        }
+    }
+
+    #[test]
+    fn radix_handles_degenerate_lengths() {
+        assert_order_identical(vec![]);
+        assert_order_identical(vec![(0.5, 0)]);
+        assert_order_identical(vec![(0.5, 1), (0.5, 0)]);
+    }
+
+    #[test]
+    fn dist_assembly_serial_equals_sharded() {
+        // Deterministic pseudo-random multigraph-free edge set.
+        let n = 120;
+        let mut x = 0x1234_5678_9ABC_DEF0u64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut seen = std::collections::HashSet::new();
+        let mut edges: Vec<DistEdge> = Vec::new();
+        for _ in 0..800 {
+            let a = (next() % n as u64) as usize;
+            let b = (next() % n as u64) as usize;
+            if a == b {
+                continue;
+            }
+            let (a, b) = (a.min(b), a.max(b));
+            if seen.insert((a, b)) {
+                edges.push((a, b, (next() % 1_000) as f64 * 1e-3));
+            }
+        }
+        let serial = assemble_dist(n, &edges);
+        for shards in [0, 1, 2, 3, 8, 200] {
+            let sharded = assemble_dist_sharded(n, &edges, shards);
+            assert_eq!(serial.0, sharded.0, "offsets, shards={shards}");
+            assert_eq!(
+                serial.1.iter().map(|d| d.to_bits()).collect::<Vec<_>>(),
+                sharded.1.iter().map(|d| d.to_bits()).collect::<Vec<_>>(),
+                "dists, shards={shards}"
+            );
+            assert_eq!(serial.2, sharded.2, "neighbors, shards={shards}");
+        }
+    }
 }

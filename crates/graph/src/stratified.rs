@@ -27,7 +27,13 @@
 //! Sorting by the `(distance, id)` pair — a total order, since a row
 //! never repeats an id — makes the array contents a pure function of the
 //! edge *set*, so serial and sharded assembly are byte-identical, and
-//! duplicate distance values (ties) have a canonical ordering.
+//! duplicate distance values (ties) have a canonical ordering. The sort
+//! itself never compares floats: `f64::to_bits`, sign-flipped so
+//! unsigned integer order coincides with `f64::total_cmp`, feeds an MSD
+//! radix sort that partitions straight on the bytes that actually vary
+//! (see [`crate::csr`]'s module docs for the trick and its pins) and
+//! writes the `dists` / `neighbors` arrays directly — no intermediate
+//! `(f64, id)` rows, no comparator.
 //!
 //! Cost relative to the plain [`UnitDiskGraph`]: `dists` adds 8 bytes
 //! per directed edge on top of the 8-byte neighbor id. An `f32` ranking
@@ -36,9 +42,13 @@
 //! graph-resident runners are pinned byte-identical to tree-backed
 //! ones), and rounding a distance up through an `f32` could move an edge
 //! across a cutoff that lies between the two representations. The
-//! annotated self-join also computes slightly more distances than the
-//! plain one (its leaf-level inclusion shortcuts are distance-free; see
-//! [`disc_mtree::MTree::range_self_join_dist`]) — both costs are the
+//! annotated self-join also computes more distances than the plain one
+//! — its inclusion shortcuts must fill exact values — but the overhead
+//! is *bounded by the edge count* (only inclusion-qualified pairs, all
+//! of them edges, pay the extra distance) and is evaluated through the
+//! M-tree's batched SoA leaf sweeps (see
+//! [`disc_mtree::MTree::range_self_join_dist`]); the
+//! `zoom_graph_vs_tree` binary gates the bound. Both costs are the
 //! price of answering *every* radius from one build.
 //!
 //! ## When to prefer it
@@ -83,13 +93,22 @@ impl StratifiedDiskGraph {
     /// included.
     pub fn from_mtree(tree: &MTree<'_>, r_max: f64) -> Self {
         let edges = tree.range_self_join_dist(r_max);
+        Self::from_dist_edges_auto(tree.len(), r_max, &edges)
+    }
+
+    /// The assembly half of [`StratifiedDiskGraph::from_mtree`]: picks
+    /// the sharded (auto shard count) or serial CSR path exactly as the
+    /// production build does — sharded when the `parallel` feature is
+    /// on, serial otherwise. Exposed so benchmarks timing the build
+    /// phases separately measure the same pipeline `from_mtree` runs.
+    pub fn from_dist_edges_auto(n: usize, r_max: f64, edges: &[DistEdge]) -> Self {
         #[cfg(feature = "parallel")]
         {
-            Self::from_dist_edges_sharded(tree.len(), r_max, &edges, 0)
+            Self::from_dist_edges_sharded(n, r_max, edges, 0)
         }
         #[cfg(not(feature = "parallel"))]
         {
-            Self::from_dist_edges(tree.len(), r_max, &edges)
+            Self::from_dist_edges(n, r_max, edges)
         }
     }
 
@@ -117,14 +136,19 @@ impl StratifiedDiskGraph {
     pub fn from_dist_edges(n: usize, r_max: f64, edges: &[DistEdge]) -> Self {
         assert!(r_max >= 0.0, "radius must be non-negative");
         debug_validate_distances(r_max, edges);
-        let (offsets, entries) = crate::csr::assemble::<(f64, ObjId)>(n, edges);
-        Self::from_parts(r_max, offsets, entries)
+        let (offsets, dists, neighbors) = crate::csr::assemble_dist(n, edges);
+        Self {
+            radius: r_max,
+            offsets,
+            neighbors,
+            dists,
+        }
     }
 
     /// [`StratifiedDiskGraph::from_dist_edges`] as a parallel counting
-    /// sort over `std::thread::scope` workers — the same shared `csr`
-    /// assembly as [`UnitDiskGraph::from_edges_sharded`], with
-    /// `(distance, id)` row entries. Byte-identical `offsets` /
+    /// sort over `std::thread::scope` workers — the same shard plan as
+    /// [`UnitDiskGraph::from_edges_sharded`], writing the `dists` /
+    /// `neighbors` arrays directly. Byte-identical `offsets` /
     /// `neighbors` / `dists` for every shard count: offsets are pure
     /// degree counts, and each row's `(distance, id)` sort key is a
     /// total order (ids are unique within a row), so row content is
@@ -142,19 +166,7 @@ impl StratifiedDiskGraph {
     ) -> Self {
         assert!(r_max >= 0.0, "radius must be non-negative");
         debug_validate_distances(r_max, edges);
-        let (offsets, entries) = crate::csr::assemble_sharded::<(f64, ObjId)>(n, edges, shards);
-        Self::from_parts(r_max, offsets, entries)
-    }
-
-    /// Splits the assembled `(distance, id)` rows into the aligned
-    /// `dists` / `neighbors` arrays.
-    fn from_parts(r_max: f64, offsets: Vec<usize>, entries: Vec<(f64, ObjId)>) -> Self {
-        let mut neighbors = Vec::with_capacity(entries.len());
-        let mut dists = Vec::with_capacity(entries.len());
-        for (d, id) in entries {
-            dists.push(d);
-            neighbors.push(id);
-        }
+        let (offsets, dists, neighbors) = crate::csr::assemble_dist_sharded(n, edges, shards);
         Self {
             radius: r_max,
             offsets,

@@ -10,6 +10,20 @@
 //! children's pivots/radii while processing a node is part of *that node's*
 //! access; a child is only charged when it is itself processed. The query
 //! code in [`crate::query`] follows this accounting.
+//!
+//! ## Blocked SoA leaf layout
+//!
+//! Every leaf additionally carries its entries' coordinates in a
+//! **lane-major ("SoA") block** ([`Node::lanes`]): with `k` entries and
+//! dimensionality `dim`, coordinate `d` of entry `i` lives at
+//! `lanes[d * k + i]`. The block mirrors [`NodeKind::Leaf`]'s entry
+//! order exactly and is rewritten by the tree whenever the entry list
+//! changes (insert append, split redistribution), so it is always
+//! consistent — [`crate::validate::check_invariants`] pins this. The
+//! self-join's leaf kernels feed these blocks straight into
+//! `disc_metric::Metric::dist_batch`, turning per-pair metric dispatch
+//! into one dispatch per block sweep with unit-stride, vectorizable
+//! inner loops. Internal nodes keep the block empty.
 
 use disc_metric::ObjId;
 
@@ -73,6 +87,13 @@ pub struct Node {
     /// Next leaf in the left-to-right chain (`None` for internal nodes and
     /// the last leaf).
     pub next_leaf: Option<NodeId>,
+    /// Leaf-only blocked SoA coordinate lanes: with `k` entries and
+    /// dimensionality `dim`, coordinate `d` of entry `i` is
+    /// `lanes[d * k + i]`, in the same order as the
+    /// [`NodeKind::Leaf`] entry list (see the [module docs](self)).
+    /// Empty for internal nodes; maintained by the tree on every leaf
+    /// rewrite.
+    pub lanes: Vec<f64>,
     /// Children or objects.
     pub kind: NodeKind,
 }
@@ -88,6 +109,7 @@ impl Node {
             dist_to_parent: 0.0,
             parent,
             next_leaf: None,
+            lanes: Vec::new(),
             kind: NodeKind::Leaf(Vec::new()),
         }
     }
@@ -106,6 +128,7 @@ impl Node {
             dist_to_parent: 0.0,
             parent,
             next_leaf: None,
+            lanes: Vec::new(),
             kind: NodeKind::Internal(children),
         }
     }

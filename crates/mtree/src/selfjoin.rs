@@ -29,25 +29,54 @@
 //! * **leaf-entry bounds** — inside leaf pairs, every entry's cached
 //!   pivot (and, intra-leaf, vantage) distances give exclusion *and*
 //!   inclusion tests per object pair, so most pairs resolve without a
-//!   fresh distance computation.
+//!   fresh distance computation;
+//! * **subtree inclusion** — a task whose objects are *all* pairwise
+//!   within `r` (a self-task with `2 · radius ≤ r`, or a pair task with
+//!   `d(p_A, p_B) + radius(A) + radius(B) ≤ r`) stops recursing and
+//!   emits its complete cross product: distance-free in plain mode, at
+//!   batched-kernel cost in annotated mode (every such pair is an edge,
+//!   so the annotated surcharge stays bounded by the edge count).
 //!
 //! None of the bounds is approximate: the emitted edge set is exactly
 //! the O(n²) scan's (the property tests in `disc-graph` and the
 //! workspace concurrency tier pin this on all four metrics).
+//!
+//! ## Blocked leaf kernels
+//!
+//! Leaf-level work is evaluated as **block sweeps**, not per-pair
+//! `PointView` calls. Every leaf stores its entries' coordinates in a
+//! lane-major SoA block (see [`crate::node`]); for each left entry the
+//! kernel first classifies the opposing entries with the cached-bound
+//! filters above, then gathers the survivors that still need a distance
+//! into a reusable scratch block and evaluates them with **one**
+//! `disc_metric::Metric::dist_batch` call — one metric/dimension
+//! dispatch and a vectorizable unit-stride loop per sweep, bitwise
+//! identical to the scalar kernel per pair. Edges are emitted in
+//! opposing-entry order regardless of whether a pair's distance came
+//! from an inclusion bound or the batch, so the plain and annotated
+//! edge lists stay byte-identical (annotations aside) by construction.
+//! All scratch (survivor lists, gathered lanes, batch outputs, task
+//! stacks) lives in a per-traversal arena that the parallel path reuses
+//! across a worker's tasks.
 //!
 //! ## Plain and distance-annotated output
 //!
 //! The traversal is generic over the edge element it emits:
 //!
 //! * **plain** — `(a, b)` pairs ([`MTree::range_self_join`] and
-//!   friends); leaf-level inclusion shortcuts emit edges distance-free;
+//!   friends); inclusion shortcuts (leaf-entry and subtree) emit edges
+//!   distance-free;
 //! * **annotated** — [`DistEdge`] triples `(a, b, d(a, b))`
 //!   ([`MTree::range_self_join_dist`] and friends); every edge carries
-//!   its *exact* distance, so the inclusion shortcuts are disabled and
-//!   each joining pair computes one distance. The emitted edge list —
-//!   annotations stripped — is byte-identical to the plain variant's,
-//!   and the annotated traversal has the same serial/parallel parity
-//!   guarantees (a test pins both).
+//!   its *exact* distance, so inclusion-qualified pairs fill their
+//!   distances through the batched kernels instead of skipping the
+//!   computation. Every distance the annotated traversal computes
+//!   beyond the plain one belongs to an emitted edge, so its counter
+//!   total is bounded by `plain + edges` (the `zoom_graph_vs_tree`
+//!   binary gates this). The emitted edge list — annotations stripped —
+//!   is byte-identical to the plain variant's, and the annotated
+//!   traversal has the same serial/parallel parity guarantees (a test
+//!   pins both).
 //!
 //! The annotated variant feeds `disc-graph`'s `StratifiedDiskGraph`: one
 //! self-join at the largest radius of interest yields a graph every
@@ -102,9 +131,9 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use disc_metric::ObjId;
+use disc_metric::{Metric, ObjId};
 
-use crate::node::{LeafEntry, NodeId, NodeKind};
+use crate::node::{NodeId, NodeKind};
 use crate::tree::MTree;
 
 /// How many work items the expansion phase aims to produce per worker
@@ -135,9 +164,12 @@ const MIN_PARALLEL: usize = 1_024;
 pub struct SelfJoinConfig {
     /// Worker thread count. `0` (the default) means one worker per
     /// available core, falling back to the serial traversal for small
-    /// trees; any explicit value is honoured exactly, even on small
+    /// trees; any explicit value ≥ 2 is honoured exactly, even on small
     /// inputs (so tests can exercise the parallel machinery on tiny
-    /// trees).
+    /// trees). An *effective* count of 1 — explicit or auto-detected —
+    /// dispatches straight to the serial traversal: the frontier
+    /// expansion and slot merge only pay off with real workers, and the
+    /// output is byte-identical either way (a test pins this).
     pub threads: usize,
 }
 
@@ -187,13 +219,16 @@ impl JoinEdge for DistEdge {
     }
 }
 
-/// Edges produced by one work-list task, keyed by its task index (the
-/// merge key that restores serial output order).
-type TaskEdges<E> = (usize, Vec<E>);
+/// One task's slice of a worker's edge arena: `(task index, start,
+/// end)` — the task index is the merge key that restores serial output
+/// order.
+type TaskSlot = (usize, usize, usize);
 
-/// One worker's results: per-task edge lists plus the worker's locally
-/// accumulated distance-computation and node-access counts.
-type WorkerResult<E> = (Vec<TaskEdges<E>>, u64, u64);
+/// One worker's results: its task slots, the shared edge arena they
+/// index into (one allocation reused across all of the worker's tasks),
+/// and the worker's locally accumulated distance-computation and
+/// node-access counts.
+type WorkerResult<E> = (Vec<TaskSlot>, Vec<E>, u64, u64);
 
 /// One independent unit of traversal work: a subtree joined with
 /// itself, or two disjoint subtrees joined with their pivot distance
@@ -206,15 +241,52 @@ enum Task {
     Pair(NodeId, NodeId, f64),
 }
 
-/// Thread-local traversal state: the edges found so far plus the
+/// Reusable scratch arena for the blocked leaf kernels, the subtree
+/// inclusion sweeps and the task stacks. One arena lives per traversal
+/// (serial) or per worker (parallel) inside its [`JoinBuf`], so no leaf
+/// pair or task allocates on its own.
+#[derive(Default)]
+struct JoinScratch {
+    /// Survivors of one left entry's opposing-row filter:
+    /// `(block index, distance)` — the distance slot holds an inclusion
+    /// bound immediately, or is filled by the batch for candidates.
+    surv: Vec<(u32, f64)>,
+    /// Positions in `surv` whose distance comes from the batch kernel.
+    cand: Vec<u32>,
+    /// Left-phase survivors of a cross task: `(block index, d(e, p_B))`.
+    left: Vec<(u32, f64)>,
+    /// Gathered candidate coordinate lanes (SoA, stride = candidates).
+    lanes: Vec<f64>,
+    /// Batch kernel output.
+    dists: Vec<f64>,
+    /// DFS leaf list of a subtree sweep.
+    leaves: Vec<NodeId>,
+    /// Object ids of a gathered subtree (left side of an all-pair
+    /// sweep / the whole block of an all-self sweep).
+    ids_a: Vec<ObjId>,
+    /// Object ids of the right-side gathered subtree.
+    ids_b: Vec<ObjId>,
+    /// SoA coordinate block matching `ids_a`.
+    lanes_a: Vec<f64>,
+    /// SoA coordinate block matching `ids_b`.
+    lanes_b: Vec<f64>,
+    /// Depth-first task stack of `run_task`.
+    stack: Vec<Task>,
+    /// Subtask buffer one `step` writes into.
+    sub: Vec<Task>,
+}
+
+/// Thread-local traversal state: the edges found so far, the
 /// distance-computation and node-access counts accrued while finding
-/// them. Workers keep one of these and flush the counters into the
-/// tree's global atomics in a single bulk charge at the end, so the
-/// global totals stay exact without per-distance atomic traffic.
+/// them, and the reusable scratch arena. Workers keep one of these
+/// across all their tasks and flush the counters into the tree's global
+/// atomics in a single bulk charge at the end, so the global totals
+/// stay exact without per-distance atomic traffic.
 struct JoinBuf<E> {
     edges: Vec<E>,
     dist_comps: u64,
     accesses: u64,
+    scratch: JoinScratch,
 }
 
 impl<E> Default for JoinBuf<E> {
@@ -223,6 +295,7 @@ impl<E> Default for JoinBuf<E> {
             edges: Vec::new(),
             dist_comps: 0,
             accesses: 0,
+            scratch: JoinScratch::default(),
         }
     }
 }
@@ -240,20 +313,128 @@ impl<E: JoinEdge> JoinBuf<E> {
         self.dist_comps += 1;
         tree.data().dist(a, b)
     }
+}
 
-    /// Emits one edge in normalised `(min, max)` orientation. `d` is the
-    /// exact distance on every path that can run in annotated mode
-    /// (distance-free inclusion shortcuts only fire when
-    /// `E::NEEDS_DIST` is false, and then pass an upper bound that the
-    /// plain edge type discards).
-    #[inline]
-    fn push_edge(&mut self, a: ObjId, b: ObjId, d: f64) {
-        if a < b {
-            self.edges.push(E::make(a, b, d));
-        } else {
-            self.edges.push(E::make(b, a, d));
+/// Conservative acceptance test for the inclusion shortcuts (per-pair,
+/// per-row and per-subtree). `bound` is a sum of independently rounded distances (and
+/// covering radii, themselves maxima over rounded sums), so a
+/// mathematically valid `bound ≤ r` could be reached through a value
+/// that rounded *down* while the pair's computed distance rounds up
+/// past `r` — and the shortcut's emissions must match the O(n²) scan's
+/// computed-distance test exactly. Shaving a relative margin off the
+/// acceptance keeps every borderline pair on the compute-and-compare
+/// path instead (correct by construction). The margin scales with the
+/// dimensionality because the kernels' accumulated rounding does
+/// (≈ dim/2 + 2 ulps for the chunked Euclidean sum plus the sqrt, and
+/// the bound side stacks a handful of rounded terms of its own);
+/// `2·dim + 8` ulps covers the worst case with room. Exact cases —
+/// `bound == 0` at `r == 0`, duplicate points — stay unaffected
+/// because the margin scales with the bound.
+#[inline]
+fn within_inclusion(bound: f64, r: f64, dim: usize) -> bool {
+    bound + bound * ((2 * dim + 8) as f64 * f64::EPSILON) <= r
+}
+
+/// Emits one edge in normalised `(min, max)` orientation. `d` is the
+/// exact distance on every path that can run in annotated mode
+/// (distance-free inclusion shortcuts only fire when `E::NEEDS_DIST` is
+/// false, and then pass an upper bound that the plain edge type
+/// discards).
+#[inline]
+fn push_edge_into<E: JoinEdge>(edges: &mut Vec<E>, a: ObjId, b: ObjId, d: f64) {
+    if a < b {
+        edges.push(E::make(a, b, d));
+    } else {
+        edges.push(E::make(b, a, d));
+    }
+}
+
+/// Shared gather-and-batch core: gathers `m` entries of `block`
+/// (lane stride derived from the block and query lengths) selected by
+/// `idx` into the `lanes` scratch, then batch-evaluates their
+/// distances to `q` into `dists[..m]`. Returns the distance charge
+/// (`m`).
+fn batch_gather(
+    metric: Metric,
+    q: &[f64],
+    block: &[f64],
+    idx: impl Fn(usize) -> usize,
+    m: usize,
+    lanes: &mut Vec<f64>,
+    dists: &mut Vec<f64>,
+) -> u64 {
+    if m == 0 {
+        return 0;
+    }
+    let dim = q.len();
+    let stride = block.len() / dim;
+    // No clear() first: every retained slot is overwritten by the
+    // gather below, so only the grown tail needs initialising.
+    lanes.resize(dim * m, 0.0);
+    for d in 0..dim {
+        let src = &block[d * stride..(d + 1) * stride];
+        let dst = &mut lanes[d * m..(d + 1) * m];
+        for (t, slot) in dst.iter_mut().enumerate() {
+            *slot = src[idx(t)];
         }
     }
+    dists.resize(m, 0.0);
+    metric.dist_batch(q, lanes, m, &mut dists[..m]);
+    m as u64
+}
+
+/// [`batch_gather`] over the survivor list's candidates: `cand` holds
+/// positions in `surv` (whose first element is the entry's block
+/// index); the batched distances are scattered back into the selected
+/// survivors' distance slots.
+fn batch_fill(
+    metric: Metric,
+    q: &[f64],
+    block: &[f64],
+    surv: &mut [(u32, f64)],
+    cand: &[u32],
+    lanes: &mut Vec<f64>,
+    dists: &mut Vec<f64>,
+) -> u64 {
+    let charged = batch_gather(
+        metric,
+        q,
+        block,
+        |t| surv[cand[t] as usize].0 as usize,
+        cand.len(),
+        lanes,
+        dists,
+    );
+    for (t, &pos) in cand.iter().enumerate() {
+        surv[pos as usize].1 = dists[t];
+    }
+    charged
+}
+
+/// [`batch_gather`] for the case where *every* listed entry needs a
+/// distance (the left phase of a cross task): fills the listed
+/// entries' distance slots in place.
+fn batch_fill_all(
+    metric: Metric,
+    q: &[f64],
+    block: &[f64],
+    list: &mut [(u32, f64)],
+    lanes: &mut Vec<f64>,
+    dists: &mut Vec<f64>,
+) -> u64 {
+    let charged = batch_gather(
+        metric,
+        q,
+        block,
+        |t| list[t].0 as usize,
+        list.len(),
+        lanes,
+        dists,
+    );
+    for (t, slot) in list.iter_mut().enumerate() {
+        slot.1 = dists[t];
+    }
+    charged
 }
 
 impl MTree<'_> {
@@ -417,6 +598,14 @@ impl MTree<'_> {
         } else {
             config.threads
         };
+        if threads <= 1 {
+            // One worker degenerates to the serial traversal; skip the
+            // frontier expansion + slot merge entirely (they used to
+            // cost ~60% extra wall clock at an effective thread count
+            // of 1). Output and counters are byte-identical either way
+            // — the traversal order never depended on the phase split.
+            return self.join_serial_into(r, out);
+        }
         out.clear();
         if self.is_empty() {
             return;
@@ -429,15 +618,15 @@ impl MTree<'_> {
             edges: std::mem::take(out),
             ..JoinBuf::default()
         };
-        let target = threads.max(1) * TASKS_PER_WORKER;
+        let target = threads * TASKS_PER_WORKER;
         let mut tasks = vec![Task::Same(self.root())];
         for _ in 0..MAX_EXPANSION_PASSES {
-            if tasks.len() >= target || tasks.iter().all(|&t| self.is_leaf_level(t)) {
+            if tasks.len() >= target || tasks.iter().all(|&t| self.is_terminal(t, r)) {
                 break;
             }
             let mut next = Vec::with_capacity(tasks.len() * 4);
             for &t in &tasks {
-                if self.is_leaf_level(t) {
+                if self.is_terminal(t, r) {
                     next.push(t);
                 } else {
                     let done = self.step(t, r, &mut expand_buf, &mut next);
@@ -452,18 +641,20 @@ impl MTree<'_> {
         );
 
         // Phase 2: scoped workers drain the frontier through an atomic
-        // cursor; edges land in per-task slots, counters in per-worker
-        // accumulators.
-        let workers = threads.min(tasks.len()).max(1);
-        let mut slots: Vec<Vec<E>> = Vec::new();
+        // cursor; each worker pushes its tasks' edges into one arena
+        // (reused across tasks — no per-task allocation) and remembers
+        // the per-task slice bounds; counters accumulate per worker.
+        // threads >= 2 here (an effective count of 1 returned serial
+        // above) and the task list is never empty (it starts from the
+        // root), so this is at least 1.
+        let workers = threads.min(tasks.len());
         if workers <= 1 {
-            // One worker (or a frontier of one task): run in place.
+            // A frontier of one task: run in place.
             for &t in &tasks {
                 self.run_task(t, r, &mut expand_buf);
             }
         } else {
             let cursor = AtomicUsize::new(0);
-            slots = vec![Vec::new(); tasks.len()];
             let per_worker: Vec<WorkerResult<E>> = std::thread::scope(|s| {
                 let tasks = &tasks;
                 let cursor = &cursor;
@@ -475,10 +666,11 @@ impl MTree<'_> {
                             loop {
                                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                                 let Some(&task) = tasks.get(i) else { break };
+                                let start = buf.edges.len();
                                 self.run_task(task, r, &mut buf);
-                                done.push((i, std::mem::take(&mut buf.edges)));
+                                done.push((i, start, buf.edges.len()));
                             }
-                            (done, buf.dist_comps, buf.accesses)
+                            (done, buf.edges, buf.dist_comps, buf.accesses)
                         })
                     })
                     .collect();
@@ -487,46 +679,68 @@ impl MTree<'_> {
                     .map(|h| h.join().expect("self-join worker panicked"))
                     .collect()
             });
-            for (done, dist_comps, accesses) in per_worker {
+            // Merge in task order: the concatenation equals the serial
+            // traversal's output byte for byte.
+            let mut slots: Vec<(usize, usize, usize)> = vec![(usize::MAX, 0, 0); tasks.len()];
+            for (w, (done, _, dist_comps, accesses)) in per_worker.iter().enumerate() {
                 expand_buf.dist_comps += dist_comps;
                 expand_buf.accesses += accesses;
-                for (i, edges) in done {
-                    slots[i] = edges;
+                for &(i, start, end) in done {
+                    slots[i] = (w, start, end);
                 }
             }
-        }
-
-        // Merge in task order: the concatenation equals the serial
-        // traversal's output byte for byte.
-        for slot in &mut slots {
-            expand_buf.edges.append(slot);
+            for &(w, start, end) in &slots {
+                debug_assert!(w != usize::MAX, "every task is drained by some worker");
+                expand_buf
+                    .edges
+                    .extend_from_slice(&per_worker[w].1[start..end]);
+            }
         }
         self.charge_accesses_bulk(expand_buf.accesses);
         self.charge_distances_bulk(expand_buf.dist_comps);
         *out = expand_buf.edges;
     }
 
-    /// Whether a task is leaf-level (runs to completion in one step,
-    /// emitting edges) as opposed to internal (expands into subtasks).
-    fn is_leaf_level(&self, task: Task) -> bool {
+    /// Whether a task runs to completion in one `step` (emitting its
+    /// edges) as opposed to expanding into subtasks: leaf-level tasks,
+    /// and tasks caught by the subtree inclusion bounds (all pairs
+    /// provably within `r`). The expansion phase must agree with
+    /// [`MTree::step`] on this, so the frontier never emits.
+    fn is_terminal(&self, task: Task, r: f64) -> bool {
         match task {
-            Task::Same(n) => self.node(n).is_leaf(),
-            Task::Pair(a, b, _) => self.node(a).is_leaf() && self.node(b).is_leaf(),
+            Task::Same(n) => {
+                let nd = self.node(n);
+                nd.is_leaf()
+                    || (nd.pivot.is_some()
+                        && within_inclusion(2.0 * nd.radius, r, self.data().dim()))
+            }
+            Task::Pair(a, b, d) => {
+                let na = self.node(a);
+                let nb = self.node(b);
+                (na.is_leaf() && nb.is_leaf())
+                    || within_inclusion(d + na.radius + nb.radius, r, self.data().dim())
+            }
         }
     }
 
     /// Runs a task to completion, depth-first, emitting its edges into
-    /// `buf` in serial traversal order.
+    /// `buf` in serial traversal order. The task stack and subtask
+    /// buffer live in the buf's scratch arena, reused across tasks.
     fn run_task<E: JoinEdge>(&self, task: Task, r: f64, buf: &mut JoinBuf<E>) {
-        let mut stack = vec![task];
-        let mut scratch = Vec::new();
+        let mut stack = std::mem::take(&mut buf.scratch.stack);
+        let mut sub = std::mem::take(&mut buf.scratch.sub);
+        stack.clear();
+        sub.clear();
+        stack.push(task);
         while let Some(t) = stack.pop() {
-            if !self.step(t, r, buf, &mut scratch) {
+            if !self.step(t, r, buf, &mut sub) {
                 // Subtasks were produced in serial order; the stack pops
                 // in reverse, so push them reversed.
-                stack.extend(scratch.drain(..).rev());
+                stack.extend(sub.drain(..).rev());
             }
         }
+        buf.scratch.stack = stack;
+        buf.scratch.sub = sub;
     }
 
     /// Executes one level of the traversal. Leaf-level tasks run to
@@ -544,10 +758,18 @@ impl MTree<'_> {
     ) -> bool {
         match task {
             Task::Same(node) => {
+                let nd = self.node(node);
+                // Subtree inclusion: every pair is within the node's
+                // diameter bound, so the whole complete graph joins.
+                // (The root's radius is unset, hence the pivot gate.)
+                if nd.pivot.is_some() && within_inclusion(2.0 * nd.radius, r, self.data().dim()) {
+                    self.emit_all_same(node, buf);
+                    return true;
+                }
                 buf.touch();
-                match &self.node(node).kind {
-                    NodeKind::Leaf(entries) => {
-                        self.join_leaf_self(node, entries, r, buf);
+                match &nd.kind {
+                    NodeKind::Leaf(_) => {
+                        self.join_leaf_self(node, r, buf);
                         true
                     }
                     NodeKind::Internal(children) => {
@@ -581,11 +803,18 @@ impl MTree<'_> {
             Task::Pair(a, b, d_pivots) => {
                 let na = self.node(a);
                 let nb = self.node(b);
+                // Subtree inclusion: the two covering balls fit inside
+                // the query radius together, so the full cross product
+                // joins without any further bound checks.
+                if within_inclusion(d_pivots + na.radius + nb.radius, r, self.data().dim()) {
+                    self.emit_all_pair(a, b, d_pivots, buf);
+                    return true;
+                }
                 match (&na.kind, &nb.kind) {
-                    (NodeKind::Leaf(ea), NodeKind::Leaf(eb)) => {
+                    (NodeKind::Leaf(_), NodeKind::Leaf(_)) => {
                         buf.touch();
                         buf.touch();
-                        self.join_leaf_cross(ea, b, eb, d_pivots, r, buf);
+                        self.join_leaf_cross(a, b, d_pivots, r, buf);
                         true
                     }
                     _ => {
@@ -630,22 +859,64 @@ impl MTree<'_> {
         }
     }
 
-    /// All joining pairs within one leaf. Every bound below uses only
-    /// distances cached in the leaf entries, so pairs that resolve via a
-    /// bound cost zero distance computations — except in annotated mode
-    /// (`E::NEEDS_DIST`), where the inclusion shortcuts are skipped and
-    /// every joining pair computes its exact distance.
-    fn join_leaf_self<E: JoinEdge>(
-        &self,
-        leaf: NodeId,
-        entries: &[LeafEntry],
-        r: f64,
-        buf: &mut JoinBuf<E>,
-    ) {
-        let has_pivot = self.node(leaf).pivot.is_some();
-        let use_cached = self.config().parent_pruning && has_pivot;
+    /// All joining pairs within one leaf, as one block sweep per left
+    /// entry. The cached-annulus bounds classify the opposing entries
+    /// first (exclusion drops a pair distance-free; in plain mode
+    /// inclusion resolves it distance-free too); the remaining
+    /// candidates are gathered out of the leaf's SoA block and
+    /// evaluated with one batched kernel call. Edges are emitted in
+    /// opposing-entry order, so plain and annotated output stay
+    /// byte-identical (annotations aside).
+    fn join_leaf_self<E: JoinEdge>(&self, leaf: NodeId, r: f64, buf: &mut JoinBuf<E>) {
+        let data = self.data();
+        let (metric, dim) = (data.metric(), data.dim());
+        let node = self.node(leaf);
+        let entries = node.leaf_entries();
+        let k = entries.len();
+        let use_cached = self.config().parent_pruning && node.pivot.is_some();
+        let JoinBuf {
+            edges,
+            dist_comps,
+            scratch,
+            ..
+        } = buf;
         for (i, ei) in entries.iter().enumerate() {
-            for ej in &entries[i + 1..] {
+            let m = k - i - 1;
+            if m == 0 {
+                break;
+            }
+            // Row inclusion: d(e_i, e_j) ≤ d(e_i, p) + radius ≤ r for
+            // *every* remaining entry — emit the whole suffix without
+            // per-pair filters (distance-free in plain mode, one
+            // gather-free suffix sweep in annotated mode).
+            if use_cached && within_inclusion(ei.dist_to_pivot + node.radius, r, dim) {
+                if E::NEEDS_DIST {
+                    scratch.dists.resize(m, 0.0);
+                    metric.dist_batch(
+                        data.row(ei.object),
+                        &node.lanes[i + 1..],
+                        k,
+                        &mut scratch.dists[..m],
+                    );
+                    *dist_comps += m as u64;
+                    for (t, ej) in entries[i + 1..].iter().enumerate() {
+                        push_edge_into(edges, ei.object, ej.object, scratch.dists[t]);
+                    }
+                } else {
+                    for ej in &entries[i + 1..] {
+                        push_edge_into(
+                            edges,
+                            ei.object,
+                            ej.object,
+                            ei.dist_to_pivot + ej.dist_to_pivot,
+                        );
+                    }
+                }
+                continue;
+            }
+            scratch.surv.clear();
+            scratch.cand.clear();
+            for (j, ej) in entries.iter().enumerate().skip(i + 1) {
                 if use_cached {
                     // Exclusion by any cached reference annulus
                     // (pivot, vantage, second vantage).
@@ -656,61 +927,310 @@ impl MTree<'_> {
                         continue;
                     }
                     // Inclusion: d(e_i, e_j) ≤ d(e_i, ref) + d(ref, e_j).
-                    if !E::NEEDS_DIST
-                        && (ei.dist_to_pivot + ej.dist_to_pivot <= r
-                            || ei.dist_to_vantage + ej.dist_to_vantage <= r
-                            || ei.dist_to_vantage2 + ej.dist_to_vantage2 <= r)
-                    {
-                        buf.push_edge(ei.object, ej.object, ei.dist_to_pivot + ej.dist_to_pivot);
-                        continue;
+                    if !E::NEEDS_DIST {
+                        let b0 = ei.dist_to_pivot + ej.dist_to_pivot;
+                        let b1 = ei.dist_to_vantage + ej.dist_to_vantage;
+                        let b2 = ei.dist_to_vantage2 + ej.dist_to_vantage2;
+                        let bound = if within_inclusion(b0, r, dim) {
+                            b0
+                        } else if within_inclusion(b1, r, dim) {
+                            b1
+                        } else if within_inclusion(b2, r, dim) {
+                            b2
+                        } else {
+                            f64::INFINITY
+                        };
+                        if bound.is_finite() {
+                            scratch.surv.push((j as u32, bound));
+                            continue;
+                        }
                     }
                 }
-                let d = buf.dist_objs(self, ei.object, ej.object);
+                scratch.cand.push(scratch.surv.len() as u32);
+                scratch.surv.push((j as u32, 0.0));
+            }
+            if scratch.cand.len() == m {
+                // Nothing filtered: sweep the suffix straight out of the
+                // leaf block, no gather/scatter.
+                scratch.dists.resize(m, 0.0);
+                metric.dist_batch(
+                    data.row(ei.object),
+                    &node.lanes[i + 1..],
+                    k,
+                    &mut scratch.dists[..m],
+                );
+                *dist_comps += m as u64;
+                for (t, ej) in entries[i + 1..].iter().enumerate() {
+                    if scratch.dists[t] <= r {
+                        push_edge_into(edges, ei.object, ej.object, scratch.dists[t]);
+                    }
+                }
+                continue;
+            }
+            *dist_comps += batch_fill(
+                metric,
+                data.row(ei.object),
+                &node.lanes,
+                &mut scratch.surv,
+                &scratch.cand,
+                &mut scratch.lanes,
+                &mut scratch.dists,
+            );
+            for &(j, d) in &scratch.surv {
                 if d <= r {
-                    buf.push_edge(ei.object, ej.object, d);
+                    push_edge_into(edges, ei.object, entries[j as usize].object, d);
                 }
             }
         }
     }
 
     /// All joining pairs across two distinct leaves with known pivot
-    /// distance `d_pivots`. Each surviving left entry computes one
-    /// distance to the right pivot, turning the right scan into a
-    /// cached-annulus filter (exclusion and inclusion) per entry.
+    /// distance `d_pivots`, as block sweeps: one batch evaluates every
+    /// surviving left entry against the right pivot (turning the right
+    /// scan into a cached-annulus filter per entry), then one batch per
+    /// left entry evaluates its surviving right candidates.
     fn join_leaf_cross<E: JoinEdge>(
         &self,
-        ea: &[LeafEntry],
+        a: NodeId,
         b: NodeId,
-        eb: &[LeafEntry],
         d_pivots: f64,
         r: f64,
         buf: &mut JoinBuf<E>,
     ) {
+        let data = self.data();
+        let (metric, dim) = (data.metric(), data.dim());
+        let na = self.node(a);
         let nb = self.node(b);
+        let ea = na.leaf_entries();
+        let eb = nb.leaf_entries();
         let pb = nb.pivot.expect("non-root nodes have pivots");
         let lemma = self.config().parent_pruning;
-        for e1 in ea {
-            // d(e1, anything in B) ≥ d(p_A, p_B) − d(e1, p_A) − radius(B).
+        let JoinBuf {
+            edges,
+            dist_comps,
+            scratch,
+            ..
+        } = buf;
+        // Left phase: d(e1, anything in B) ≥ d(p_A, p_B) − d(e1, p_A)
+        // − radius(B) prefilters, one batch computes the survivors'
+        // pivot distances d(e1, p_B).
+        scratch.left.clear();
+        for (i, e1) in ea.iter().enumerate() {
             if lemma && d_pivots - e1.dist_to_pivot - nb.radius > r {
                 continue;
             }
-            let d1b = buf.dist_objs(self, e1.object, pb);
+            scratch.left.push((i as u32, 0.0));
+        }
+        *dist_comps += batch_fill_all(
+            metric,
+            data.row(pb),
+            &na.lanes,
+            &mut scratch.left,
+            &mut scratch.lanes,
+            &mut scratch.dists,
+        );
+        let kb = eb.len();
+        for t in 0..scratch.left.len() {
+            let (i, d1b) = scratch.left[t];
             if d1b > r + nb.radius {
                 continue;
             }
-            for e2 in eb {
+            let e1 = &ea[i as usize];
+            // Row inclusion: d(e1, e2) ≤ d(e1, p_B) + radius(B) ≤ r for
+            // *all* of B — emit the whole opposing row without per-pair
+            // filters (distance-free in plain mode, one gather-free
+            // block sweep in annotated mode).
+            if lemma && within_inclusion(d1b + nb.radius, r, dim) {
+                if E::NEEDS_DIST {
+                    scratch.dists.resize(kb, 0.0);
+                    metric.dist_batch(data.row(e1.object), &nb.lanes, kb, &mut scratch.dists[..kb]);
+                    *dist_comps += kb as u64;
+                    for (j, e2) in eb.iter().enumerate() {
+                        push_edge_into(edges, e1.object, e2.object, scratch.dists[j]);
+                    }
+                } else {
+                    for e2 in eb {
+                        push_edge_into(edges, e1.object, e2.object, d1b + e2.dist_to_pivot);
+                    }
+                }
+                continue;
+            }
+            scratch.surv.clear();
+            scratch.cand.clear();
+            for (j, e2) in eb.iter().enumerate() {
                 if lemma {
                     if (d1b - e2.dist_to_pivot).abs() > r {
                         continue;
                     }
-                    if !E::NEEDS_DIST && d1b + e2.dist_to_pivot <= r {
-                        buf.push_edge(e1.object, e2.object, d1b + e2.dist_to_pivot);
+                    if !E::NEEDS_DIST && within_inclusion(d1b + e2.dist_to_pivot, r, dim) {
+                        scratch.surv.push((j as u32, d1b + e2.dist_to_pivot));
                         continue;
                     }
                 }
-                let d = buf.dist_objs(self, e1.object, e2.object);
+                scratch.cand.push(scratch.surv.len() as u32);
+                scratch.surv.push((j as u32, 0.0));
+            }
+            if scratch.cand.len() == kb {
+                // Nothing filtered: sweep B's whole block directly.
+                scratch.dists.resize(kb, 0.0);
+                metric.dist_batch(data.row(e1.object), &nb.lanes, kb, &mut scratch.dists[..kb]);
+                *dist_comps += kb as u64;
+                for (j, e2) in eb.iter().enumerate() {
+                    if scratch.dists[j] <= r {
+                        push_edge_into(edges, e1.object, e2.object, scratch.dists[j]);
+                    }
+                }
+                continue;
+            }
+            *dist_comps += batch_fill(
+                metric,
+                data.row(e1.object),
+                &nb.lanes,
+                &mut scratch.surv,
+                &scratch.cand,
+                &mut scratch.lanes,
+                &mut scratch.dists,
+            );
+            for &(j, d) in &scratch.surv {
                 if d <= r {
-                    buf.push_edge(e1.object, e2.object, d);
+                    push_edge_into(edges, e1.object, eb[j as usize].object, d);
+                }
+            }
+        }
+    }
+
+    /// Depth-first subtree enumeration feeding the inclusion sweeps:
+    /// appends every object under `node` to `ids` (leaf-chain order
+    /// within the subtree), records the visited leaves, and charges one
+    /// access per visited node.
+    fn gather_subtree(
+        &self,
+        node: NodeId,
+        accesses: &mut u64,
+        ids: &mut Vec<ObjId>,
+        leaves: &mut Vec<NodeId>,
+    ) {
+        *accesses += 1;
+        match &self.node(node).kind {
+            NodeKind::Leaf(entries) => {
+                leaves.push(node);
+                ids.extend(entries.iter().map(|e| e.object));
+            }
+            NodeKind::Internal(children) => {
+                for &c in children {
+                    self.gather_subtree(c, accesses, ids, leaves);
+                }
+            }
+        }
+    }
+
+    /// Concatenates the SoA blocks of the gathered leaves into one
+    /// lane-major block of `m` points (stride `m`), matching the id
+    /// order [`MTree::gather_subtree`] produced. Pure `memcpy`s — each
+    /// leaf lane is contiguous in both source and destination.
+    fn fill_subtree_lanes(&self, leaves: &[NodeId], m: usize, lanes: &mut Vec<f64>) {
+        let dim = self.data().dim();
+        // No clear(): every slot is overwritten by the copies below.
+        lanes.resize(dim * m, 0.0);
+        for d in 0..dim {
+            let mut cur = d * m;
+            for &leaf in leaves {
+                let node = self.node(leaf);
+                let k = node.len();
+                lanes[cur..cur + k].copy_from_slice(&node.lanes[d * k..(d + 1) * k]);
+                cur += k;
+            }
+        }
+    }
+
+    /// Emits the complete graph on `node`'s subtree — every pair is
+    /// within the diameter bound `2 · radius ≤ r`. Plain mode emits all
+    /// pairs distance-free; annotated mode fills exact distances with
+    /// one batched prefix sweep per object (every one of them an edge,
+    /// so the surcharge is bounded by the emitted edge count). Pair
+    /// order: `(ids[i], ids[j])` for `j` ascending, `i < j`.
+    fn emit_all_same<E: JoinEdge>(&self, node: NodeId, buf: &mut JoinBuf<E>) {
+        let data = self.data();
+        let metric = data.metric();
+        let bound = 2.0 * self.node(node).radius;
+        let JoinBuf {
+            edges,
+            dist_comps,
+            accesses,
+            scratch,
+        } = buf;
+        scratch.ids_a.clear();
+        scratch.leaves.clear();
+        self.gather_subtree(node, accesses, &mut scratch.ids_a, &mut scratch.leaves);
+        let ids = &scratch.ids_a;
+        let m = ids.len();
+        if E::NEEDS_DIST {
+            self.fill_subtree_lanes(&scratch.leaves, m, &mut scratch.lanes_a);
+            for j in 1..m {
+                scratch.dists.resize(j, 0.0);
+                metric.dist_batch(
+                    data.row(ids[j]),
+                    &scratch.lanes_a,
+                    m,
+                    &mut scratch.dists[..j],
+                );
+                *dist_comps += j as u64;
+                for i in 0..j {
+                    push_edge_into(edges, ids[i], ids[j], scratch.dists[i]);
+                }
+            }
+        } else {
+            for j in 1..m {
+                for i in 0..j {
+                    push_edge_into(edges, ids[i], ids[j], bound);
+                }
+            }
+        }
+    }
+
+    /// Emits the full cross product of two subtrees — every cross pair
+    /// is within `d_pivots + radius(A) + radius(B) ≤ r`. Plain mode is
+    /// distance-free; annotated mode batches each left object against
+    /// the gathered right block. Pair order: left objects outer (subtree
+    /// order of `a`), right objects inner (subtree order of `b`).
+    fn emit_all_pair<E: JoinEdge>(
+        &self,
+        a: NodeId,
+        b: NodeId,
+        d_pivots: f64,
+        buf: &mut JoinBuf<E>,
+    ) {
+        let data = self.data();
+        let metric = data.metric();
+        let bound = d_pivots + self.node(a).radius + self.node(b).radius;
+        let JoinBuf {
+            edges,
+            dist_comps,
+            accesses,
+            scratch,
+        } = buf;
+        scratch.ids_a.clear();
+        scratch.leaves.clear();
+        self.gather_subtree(a, accesses, &mut scratch.ids_a, &mut scratch.leaves);
+        scratch.ids_b.clear();
+        scratch.leaves.clear();
+        self.gather_subtree(b, accesses, &mut scratch.ids_b, &mut scratch.leaves);
+        let (ids_a, ids_b) = (&scratch.ids_a, &scratch.ids_b);
+        let mb = ids_b.len();
+        if E::NEEDS_DIST {
+            self.fill_subtree_lanes(&scratch.leaves, mb, &mut scratch.lanes_b);
+            for &x in ids_a {
+                scratch.dists.resize(mb, 0.0);
+                metric.dist_batch(data.row(x), &scratch.lanes_b, mb, &mut scratch.dists[..mb]);
+                *dist_comps += mb as u64;
+                for (t, &y) in ids_b.iter().enumerate() {
+                    push_edge_into(edges, x, y, scratch.dists[t]);
+                }
+            }
+        } else {
+            for &x in ids_a {
+                for &y in ids_b {
+                    push_edge_into(edges, x, y, bound);
                 }
             }
         }
@@ -922,6 +1442,71 @@ mod tests {
                 assert_eq!(par, serial, "threads={threads}");
                 assert_eq!(par_dc, serial_dc, "distance comps, threads={threads}");
                 assert_eq!(par_acc, serial_acc, "node accesses, threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn forced_single_thread_dispatches_to_serial_byte_identically() {
+        // The single-core pessimization fix: an effective thread count
+        // of 1 must take the serial path (no frontier expansion + slot
+        // merge) while producing byte-identical output — edges, order,
+        // annotations — and charging the exact serial counters.
+        let data = random_data(900, 40);
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(12));
+        for r in [0.0, 0.04, 0.15, 2.0] {
+            tree.reset_distance_computations();
+            tree.reset_node_accesses();
+            let serial = tree.range_self_join_serial(r);
+            let serial_dc = tree.reset_distance_computations();
+            let serial_acc = tree.reset_node_accesses();
+            let one = tree.range_self_join_with(r, SelfJoinConfig::with_threads(1));
+            assert_eq!(one, serial, "plain threads=1 r={r}");
+            assert_eq!(tree.reset_distance_computations(), serial_dc, "dc r={r}");
+            assert_eq!(tree.reset_node_accesses(), serial_acc, "accesses r={r}");
+
+            let serial_d = tree.range_self_join_dist_serial(r);
+            let one_d = tree.range_self_join_dist_with(r, SelfJoinConfig::with_threads(1));
+            assert_eq!(one_d, serial_d, "annotated threads=1 r={r}");
+        }
+    }
+
+    #[test]
+    fn subtree_inclusion_shortcut_is_exact() {
+        // Tight clusters far apart: whole cluster subtrees fall inside
+        // the radius (self and cross inclusion both fire), yet the edge
+        // set must equal the scan's and annotations must stay exact.
+        let mut rng = StdRng::seed_from_u64(55);
+        let mut pts = Vec::new();
+        for c in 0..6 {
+            let (cx, cy) = ((c % 3) as f64 * 0.45, (c / 3) as f64 * 0.9);
+            for _ in 0..40 {
+                pts.push(Point::new2(
+                    cx + rng.random_range(0.0..0.01),
+                    cy + rng.random_range(0.0..0.01),
+                ));
+            }
+        }
+        let data = Dataset::new("clusters", Metric::Euclidean, pts);
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(5));
+        // Radii chosen so whole-cluster (0.05), cross-cluster (0.5) and
+        // everything (2.0) trigger the inclusion shortcuts.
+        for r in [0.05, 0.5, 2.0] {
+            assert_eq!(
+                sorted(tree.range_self_join(r)),
+                scan_edges(&data, r),
+                "r={r}"
+            );
+            for (a, b, d) in tree.range_self_join_dist_serial(r) {
+                assert_eq!(d.to_bits(), data.dist(a, b).to_bits(), "({a}, {b}) r={r}");
+            }
+            let serial = tree.range_self_join_dist_serial(r);
+            for threads in [2, 3, 8] {
+                assert_eq!(
+                    tree.range_self_join_dist_with(r, SelfJoinConfig::with_threads(threads)),
+                    serial,
+                    "threads={threads} r={r}"
+                );
             }
         }
     }

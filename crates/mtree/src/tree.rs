@@ -349,8 +349,32 @@ impl<'a> MTree<'a> {
             }
         }
         self.obj_leaf[object] = node;
+        self.rebuild_leaf_lanes(node);
         if self.nodes[node].len() > self.config.capacity {
             self.split(node);
+        }
+    }
+
+    /// Rewrites `leaf`'s blocked SoA coordinate lanes from its current
+    /// entry list (see [`Node::lanes`]): lane `d` of a `k`-entry leaf is
+    /// `lanes[d * k..(d + 1) * k]`, entry order preserved. Called after
+    /// every leaf mutation so the block never goes stale; O(dim · k)
+    /// copies, negligible next to the distance work of the mutation
+    /// itself.
+    fn rebuild_leaf_lanes(&mut self, leaf: NodeId) {
+        let data = self.data;
+        let dim = data.dim();
+        let node = &mut self.nodes[leaf];
+        let NodeKind::Leaf(entries) = &node.kind else {
+            unreachable!("rebuild_leaf_lanes on internal node");
+        };
+        let k = entries.len();
+        node.lanes.clear();
+        node.lanes.resize(dim * k, 0.0);
+        for (i, e) in entries.iter().enumerate() {
+            for (d, &c) in data.row(e.object).iter().enumerate() {
+                node.lanes[d * k + i] = c;
+            }
         }
     }
 
@@ -530,6 +554,7 @@ impl<'a> MTree<'a> {
         node.vantage = (!entries.is_empty()).then_some(vantage);
         node.vantage2 = (!entries.is_empty()).then_some(vantage2);
         node.kind = NodeKind::Leaf(entries);
+        self.rebuild_leaf_lanes(id);
     }
 
     /// Rewrites an internal node's pivot and children, recomputing the

@@ -20,7 +20,10 @@ use crate::tree::MTree;
 /// 4. all leaves are at the same depth (the tree is balanced);
 /// 5. node sizes never exceed the capacity;
 /// 6. every object appears in exactly one leaf and `leaf_of` agrees;
-/// 7. the leaf chain enumerates every leaf exactly once, in a single pass.
+/// 7. the leaf chain enumerates every leaf exactly once, in a single pass;
+/// 8. every leaf's blocked SoA coordinate lanes mirror its entry list
+///    bit for bit (lane `d` of entry `i` at `lanes[d * k + i]`), and
+///    internal nodes keep the block empty.
 pub fn check_invariants(tree: &MTree<'_>) -> Result<(), String> {
     let root = tree.root();
     if tree.node(root).parent.is_some() {
@@ -127,6 +130,26 @@ fn check_node(
         NodeKind::Leaf(entries) => {
             leaf_depths.push(depth);
             leaves.insert(node);
+            // 8. SoA lanes mirror the entry list exactly.
+            let k = entries.len();
+            if n.lanes.len() != k * data.dim() {
+                return Err(format!(
+                    "leaf {node}: SoA block holds {} values for {k} entries of dim {}",
+                    n.lanes.len(),
+                    data.dim()
+                ));
+            }
+            for (i, e) in entries.iter().enumerate() {
+                for (d, &c) in data.row(e.object).iter().enumerate() {
+                    if n.lanes[d * k + i].to_bits() != c.to_bits() {
+                        return Err(format!(
+                            "leaf {node}: SoA lane {d} of entry {i} is {} but object {} has {c}",
+                            n.lanes[d * k + i],
+                            e.object
+                        ));
+                    }
+                }
+            }
             for e in entries {
                 if !seen.insert(e.object) {
                     return Err(format!("object {} stored twice", e.object));
@@ -159,6 +182,9 @@ fn check_node(
         NodeKind::Internal(children) => {
             if children.is_empty() {
                 return Err(format!("internal node {node} has no children"));
+            }
+            if !n.lanes.is_empty() {
+                return Err(format!("internal node {node} carries a SoA leaf block"));
             }
             for &c in children {
                 if tree.node(c).parent != Some(node) {

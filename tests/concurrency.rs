@@ -272,6 +272,51 @@ fn stratified_csr_is_byte_identical_across_thread_and_shard_counts() {
 }
 
 #[test]
+fn stratified_csr_byte_identical_on_duplicate_heavy_rows() {
+    // A regular grid maximises duplicated edge distances (every row is
+    // full of exact ties), stressing the radix row sort's id
+    // tie-breaking: the sharded assembly must stay byte-identical to
+    // the serial one — dists included — for every shard count.
+    let mut pts = Vec::new();
+    for i in 0..12 {
+        for j in 0..12 {
+            pts.push(Point::new2(i as f64 / 12.0, j as f64 / 12.0));
+        }
+    }
+    let data = Dataset::new("grid", Metric::Euclidean, pts);
+    let tree = MTree::build(&data, MTreeConfig::with_capacity(6));
+    for r in [0.1, 0.3, 2.0] {
+        let edges = tree.range_self_join_dist_serial(r);
+        let serial = StratifiedDiskGraph::from_dist_edges(data.len(), r, &edges);
+        // Rows must be strictly (dist, id)-sorted despite the ties.
+        for v in 0..data.len() {
+            let (ids, ds) = (serial.neighbors(v), serial.dists(v));
+            for k in 1..ids.len() {
+                assert!(
+                    (ds[k - 1], ids[k - 1]) < (ds[k], ids[k]),
+                    "row {v} not strictly (dist, id)-sorted at {k} (r={r})"
+                );
+            }
+        }
+        for shards in COUNTS {
+            let sharded =
+                StratifiedDiskGraph::from_dist_edges_sharded(data.len(), r, &edges, shards);
+            assert_eq!(sharded.offsets(), serial.offsets(), "r={r} shards={shards}");
+            assert_eq!(
+                sharded.neighbors_flat(),
+                serial.neighbors_flat(),
+                "r={r} shards={shards}"
+            );
+            assert_eq!(
+                sharded.dists_flat(),
+                serial.dists_flat(),
+                "r={r} shards={shards}"
+            );
+        }
+    }
+}
+
+#[test]
 fn annotated_self_join_charges_exact_counters_across_thread_counts() {
     // Counter exactness for the annotated traversal: every forced
     // thread count charges exactly the serial annotated traversal's
