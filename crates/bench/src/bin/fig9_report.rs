@@ -17,7 +17,10 @@
 //!   (distance computations recorded against the O(n²) pair count),
 //!   then selection runs with zero index queries; build + select
 //!   wall-clock and distance computations for both pipelines (see the
-//!   `fig_graph_vs_tree` binary for the gated CI companion).
+//!   `fig_graph_vs_tree` binary for the gated CI companion);
+//! * **snapshot persistence** — save/load wall-clock and on-disk size of
+//!   the fail-closed `disc-store` snapshot of the stratified build, with
+//!   the round trip pinned byte-identical.
 //!
 //! Usage: `cargo run --release -p disc-bench --features parallel --bin
 //! fig9_report [-- <output-path>]` (default output `BENCH_fig9.json`).
@@ -229,6 +232,28 @@ fn main() {
         zg.graph_sweep_ms,
         zg.tree_sweep_ms
     );
+    // ---------------------------------------------------------------
+    // Snapshot persistence: save/load wall-clock and size for the
+    // stratified build the zooming section just measured, with the
+    // round trip pinned byte-identical (fail-closed store).
+    // ---------------------------------------------------------------
+    let (store, _loaded_data, loaded_graph) = disc_bench::measure_store(&data, &zg.strat);
+    assert!(
+        store.round_trip_identical,
+        "snapshot round trip was not byte-identical"
+    );
+    assert!(
+        loaded_graph.offsets() == zg.strat.offsets()
+            && loaded_graph.neighbors_flat() == zg.strat.neighbors_flat()
+            && loaded_graph.dists_flat() == zg.strat.dists_flat(),
+        "loaded stratified CSR diverged from the built graph"
+    );
+    drop(loaded_graph);
+    eprintln!(
+        "  store: snapshot {} bytes, save {:.1}ms, load {:.1}ms, round trip byte-identical",
+        store.snapshot_bytes, store.save_ms, store.load_ms
+    );
+
     // Only the JSON (scalar fields) is needed past this point; free the
     // carried stratified graph before the wall-clock-sensitive
     // self-join timing below so its resident set cannot skew the
@@ -323,6 +348,7 @@ fn main() {
         gvt.disc_size
     ));
     json.push_str(&format!("  \"zoom_graph\": {zoom_graph_json},\n"));
+    json.push_str(&format!("  \"store\": {},\n", store.to_json()));
     json.push_str(&format!("  \"selfjoin_par\": {}\n", sj.to_json()));
     json.push_str("}\n");
 

@@ -30,7 +30,10 @@
 //! 5. the annotated self-join or the sharded stratified assembly loses
 //!    serial/parallel parity (counters, edge bytes, CSR bytes);
 //! 6. the graph-resident zoom-out and multi-radius runners diverge from
-//!    their tree-backed counterparts on the same workload.
+//!    their tree-backed counterparts on the same workload;
+//! 7. the snapshot round trip (save → checksum-validated load) is not
+//!    byte-identical, or the zoom sweep replayed on the *loaded* graph
+//!    diverges from the sweep on the freshly built one.
 //!
 //! Usage: `cargo run --release -p disc-bench --bin zoom_graph_vs_tree
 //! [-- <output-path>]` (default `BENCH_zoom_graph.json`). `GRAPH_N`
@@ -38,10 +41,12 @@
 //! acceptance workload is 10_000). `SELF_JOIN_THREADS` forces the
 //! parallel side's worker/shard count (CI runs a 1/2/3/8 matrix).
 
-use disc_bench::{measure_zoom_graph_vs_tree, self_join_threads_from_env, BENCH_SEED};
+use disc_bench::{
+    measure_store, measure_zoom_graph_vs_tree, self_join_threads_from_env, BENCH_SEED,
+};
 use disc_core::{
-    greedy_disc, greedy_zoom_out, multi_radius_basic_disc, multi_radius_graph,
-    multi_radius_greedy_disc, zoom_out_graph, GreedyVariant, ZoomOutVariant,
+    greedy_disc, greedy_disc_graph, greedy_zoom_in_graph, greedy_zoom_out, multi_radius_basic_disc,
+    multi_radius_graph, multi_radius_greedy_disc, zoom_out_graph, GreedyVariant, ZoomOutVariant,
 };
 use disc_datasets::synthetic::clustered;
 use disc_mtree::{MTree, MTreeConfig};
@@ -181,11 +186,50 @@ fn main() {
     );
     eprintln!("  zoom-out and multi-radius parity: ok");
 
+    // Snapshot persistence smoke: the measured build goes through the
+    // fail-closed store (save → aligned read → checksum-validated
+    // decode), the round trip is pinned byte-identical, and the whole
+    // zoom sweep is replayed on the *loaded* graph against the freshly
+    // built one — the compatibility gate for the on-disk format.
+    let (store, _loaded_data, loaded_graph) = measure_store(&data, strat);
+    assert!(
+        store.round_trip_identical,
+        "snapshot round trip was not byte-identical"
+    );
+    assert!(
+        loaded_graph.offsets() == strat.offsets()
+            && loaded_graph.neighbors_flat() == strat.neighbors_flat()
+            && loaded_graph.dists_flat() == strat.dists_flat(),
+        "loaded stratified CSR diverged from the built graph"
+    );
+    let sweep = |g: &disc_graph::StratifiedDiskGraph| {
+        let mut sols = Vec::new();
+        let mut prev = greedy_disc_graph(&g.view(R_MAX).to_unit_disk_graph());
+        sols.push(prev.solution.clone());
+        for &r_new in &TARGETS {
+            prev = greedy_zoom_in_graph(g, &prev, r_new).result;
+            sols.push(prev.solution.clone());
+        }
+        sols
+    };
+    assert_eq!(
+        sweep(&loaded_graph),
+        sweep(strat),
+        "zoom sweep on the loaded graph diverged from the built graph"
+    );
+    eprintln!(
+        "  store: {} bytes, save {:.1}ms, load {:.1}ms, round trip byte-identical, \
+         loaded-graph sweep parity: ok",
+        store.snapshot_bytes, store.save_ms, store.load_ms
+    );
+
     let json = format!(
         "{{\n  \"workload\": {{\"dataset\": \"clustered\", \"n\": {n}, \"dim\": 2, \
          \"clusters\": 8, \"seed\": {BENCH_SEED}, \"smoke\": {smoke}}},\n\
-         \x20 \"zoom_graph\": {}\n}}\n",
-        m.to_json()
+         \x20 \"zoom_graph\": {},\n\
+         \x20 \"store\": {}\n}}\n",
+        m.to_json(),
+        store.to_json()
     );
     std::fs::write(&out_path, &json).expect("write zoom-graph report");
     eprintln!("zoom_graph_vs_tree: wrote {out_path}; all gates passed");

@@ -535,6 +535,75 @@ pub fn measure_zoom_graph_vs_tree(
     }
 }
 
+/// One snapshot save/load measurement (the `store` section of
+/// `BENCH_fig9.json` and the gated `zoom_graph_vs_tree` store smoke):
+/// the measured stratified graph and its dataset go through the full
+/// fail-closed persistence path — `disc_store::write_snapshot` to a
+/// temp file, `read_snapshot` into aligned storage, checksum-validated
+/// `decode` — and the round trip is pinned byte-identical by
+/// re-encoding the loaded pair and comparing against the file bytes.
+pub struct StoreBench {
+    /// Snapshot size on disk (bytes).
+    pub snapshot_bytes: u64,
+    /// Encode + write wall-clock (ms).
+    pub save_ms: f64,
+    /// Read + validate + decode wall-clock (ms).
+    pub load_ms: f64,
+    /// Whether re-encoding the loaded dataset/graph reproduced the file
+    /// byte for byte (covers coords, CSR arrays, distances, metadata).
+    pub round_trip_identical: bool,
+}
+
+impl StoreBench {
+    /// Hand-rolled JSON object (no serde in the environment).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"snapshot_bytes\": {}, \"save_ms\": {:.3}, \"load_ms\": {:.3}, \
+             \"round_trip_identical\": {}}}",
+            self.snapshot_bytes, self.save_ms, self.load_ms, self.round_trip_identical
+        )
+    }
+}
+
+/// Measures the snapshot save/load path for `data` + `strat` and
+/// returns the timings plus the byte-identity verdict, along with the
+/// loaded pair so callers can run further parity gates on the loaded
+/// graph (the `zoom_graph_vs_tree` binary replays its sweep on it).
+/// The temp file is removed before returning.
+pub fn measure_store(
+    data: &Dataset,
+    strat: &StratifiedDiskGraph,
+) -> (StoreBench, Dataset, StratifiedDiskGraph) {
+    let dir = std::env::temp_dir().join("disc-bench-store");
+    std::fs::create_dir_all(&dir).expect("create snapshot temp dir");
+    let path = dir.join(format!("snapshot-{}.discsnap", std::process::id()));
+
+    let t = Instant::now();
+    let snapshot_bytes = disc_store::write_snapshot(&path, data, strat).expect("write snapshot");
+    let save_ms = t.elapsed().as_secs_f64() * 1_000.0;
+
+    let t = Instant::now();
+    let bytes = disc_store::read_snapshot(&path).expect("read snapshot");
+    let (loaded_data, loaded_graph) =
+        disc_store::decode(bytes.as_bytes()).expect("decode snapshot");
+    let load_ms = t.elapsed().as_secs_f64() * 1_000.0;
+    let _ = std::fs::remove_file(&path);
+
+    let reencoded = disc_store::encode(&loaded_data, &loaded_graph).expect("re-encode snapshot");
+    let round_trip_identical = reencoded.as_slice() == bytes.as_bytes();
+
+    (
+        StoreBench {
+            snapshot_bytes,
+            save_ms,
+            load_ms,
+            round_trip_identical,
+        },
+        loaded_data,
+        loaded_graph,
+    )
+}
+
 /// One scalar-vs-batched distance-kernel measurement (the `kernel`
 /// section of `BENCH_fig9.json`): the same one-to-many workload — one
 /// query object against the whole dataset — evaluated with per-pair

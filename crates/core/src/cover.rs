@@ -105,11 +105,15 @@ fn run_cover(tree: &MTree<'_>, r: f64, fast: bool) -> DiscResult {
                 let bonus = u32::from(colors.is_white(cand));
                 heap.push(cand, fresh + bonus);
             }
-            selected.expect("white objects remain, so candidates exist")
+            match selected {
+                Some(s) => s,
+                None => unreachable!("white objects remain, so candidates exist"),
+            }
         } else {
-            let cand = heap
-                .pop_valid(|id| key_of(id, &colors, &counts))
-                .expect("white objects remain, so candidates exist");
+            let cand = match heap.pop_valid(|id| key_of(id, &colors, &counts)) {
+                Some(c) => c,
+                None => unreachable!("white objects remain, so candidates exist"),
+            };
             query_into(tree, cand, r, false, &colors, &mut sel_scratch);
             cand
         };

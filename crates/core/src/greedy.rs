@@ -118,9 +118,10 @@ fn run_greedy(
     let mut upd_scratch: Vec<ObjId> = Vec::new();
 
     while colors.any_white() {
-        let picked = heap
-            .pop_valid(|id| colors.is_white(id).then(|| counts[id]))
-            .expect("white objects remain, so the heap holds a candidate");
+        let picked = match heap.pop_valid(|id| colors.is_white(id).then(|| counts[id])) {
+            Some(p) => p,
+            None => unreachable!("white objects remain, so the heap holds a candidate"),
+        };
         colors.set_color(tree, picked, Color::Black);
         query_into(tree, picked, r, pruned, &colors, &mut sel_scratch);
         let newly_grey = grey_out_white_hits(tree, &mut colors, picked, &sel_scratch);

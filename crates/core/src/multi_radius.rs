@@ -107,9 +107,10 @@ pub fn multi_radius_greedy_disc(tree: &MTree<'_>, radii: &[f64], pruned: bool) -
 
     let mut solution = Vec::new();
     while colors.any_white() {
-        let picked = heap
-            .pop_valid(|id| colors.is_white(id).then(|| counts[id]))
-            .expect("white objects remain");
+        let picked = match heap.pop_valid(|id| colors.is_white(id).then(|| counts[id])) {
+            Some(p) => p,
+            None => unreachable!("white objects remain"),
+        };
         colors.set_color(tree, picked, Color::Black);
         let newly_grey: Vec<ObjId> = neighbors_of(tree, picked, radii, pruned, &colors)
             .into_iter()

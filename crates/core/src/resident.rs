@@ -94,9 +94,10 @@ pub fn greedy_disc_graph(g: &UnitDiskGraph) -> DiscResult {
     let mut newly_grey: Vec<ObjId> = Vec::new();
     let mut solution = Vec::new();
     while white > 0 {
-        let picked = heap
-            .pop_valid(|id| (color[id] == Color::White).then(|| counts[id]))
-            .expect("white objects remain, so the heap holds a candidate");
+        let picked = match heap.pop_valid(|id| (color[id] == Color::White).then(|| counts[id])) {
+            Some(p) => p,
+            None => unreachable!("white objects remain, so the heap holds a candidate"),
+        };
         color[picked] = Color::Black;
         white -= 1;
         newly_grey.clear();
@@ -196,10 +197,15 @@ fn run_cover_graph(g: &UnitDiskGraph, lazy: bool) -> DiscResult {
                 key[cand] = fresh;
                 heap.push(cand, fresh);
             }
-            selected.expect("white objects remain, so candidates exist")
+            match selected {
+                Some(s) => s,
+                None => unreachable!("white objects remain, so candidates exist"),
+            }
         } else {
-            heap.pop_valid(|id| cover_key(&color, &counts, id))
-                .expect("white objects remain, so candidates exist")
+            match heap.pop_valid(|id| cover_key(&color, &counts, id)) {
+                Some(c) => c,
+                None => unreachable!("white objects remain, so candidates exist"),
+            }
         };
 
         let was_white = color[picked] == Color::White;
@@ -349,9 +355,10 @@ fn greedy_white_pass_over<N, F>(
     }
     let mut newly_grey: Vec<ObjId> = Vec::new();
     while white > 0 {
-        let picked = heap
-            .pop_valid(|id| (color[id] == Color::White).then(|| counts[id]))
-            .expect("white objects remain, so the heap holds a candidate");
+        let picked = match heap.pop_valid(|id| (color[id] == Color::White).then(|| counts[id])) {
+            Some(p) => p,
+            None => unreachable!("white objects remain, so the heap holds a candidate"),
+        };
         color[picked] = Color::Black;
         white -= 1;
         newly_grey.clear();

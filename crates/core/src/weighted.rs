@@ -46,7 +46,9 @@ pub fn weighted_disc(tree: &MTree<'_>, r: f64, weights: &[f64], pruned: bool) ->
 
     let mut solution = Vec::new();
     while colors.any_white() {
-        let (_, Reverse(picked)) = heap.pop().expect("heap outlives the white set");
+        let Some((_, Reverse(picked))) = heap.pop() else {
+            unreachable!("heap outlives the white set")
+        };
         if !colors.is_white(picked) {
             continue;
         }
@@ -91,7 +93,11 @@ impl PartialOrd for OrderedWeight {
 
 impl Ord for OrderedWeight {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("finite weights")
+        match self.0.partial_cmp(&other.0) {
+            Some(o) => o,
+            // Weights are validated finite at construction.
+            None => unreachable!("finite weights are comparable"),
+        }
     }
 }
 

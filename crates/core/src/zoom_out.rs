@@ -166,8 +166,11 @@ fn run_zoom_out(
                             .count();
                         (red, white_nb)
                     })
-                    .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
-                    .expect("reds is non-empty");
+                    .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)));
+                let best = match best {
+                    Some(b) => b,
+                    None => unreachable!("reds is non-empty"),
+                };
                 select_and_cover(tree, &mut colors, best.0, r_new, &mut solution);
             }
         }

@@ -42,7 +42,16 @@
 //! tests pin order-identity against the comparison sort on duplicate
 //! distances, ±0.0, subnormals and all-equal rows.
 
+use disc_metric::cancel::{CancelToken, Cancelled};
 use disc_metric::ObjId;
+
+/// Work items between cancellation checkpoints in the assembly loops:
+/// one relaxed atomic load per this many edges/rows keeps the poll cost
+/// unmeasurable while bounding post-cancel latency to microseconds.
+const CANCEL_CHUNK: usize = 4_096;
+
+/// Raw distance-annotated CSR arrays: `(offsets, dists, neighbors)`.
+pub(crate) type DistCsr = (Vec<usize>, Vec<f64>, Vec<ObjId>);
 
 /// A directed row entry derived from an undirected edge.
 pub(crate) trait RowEntry: Copy + Default + Send + Sync {
@@ -189,7 +198,10 @@ impl<E: Copy> ShardPlan<E> {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("degree-count shard panicked"))
+                .map(|h| match h.join() {
+                    Ok(counts) => counts,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
                 .collect()
         });
         let mut offsets = vec![0usize; n + 1];
@@ -302,12 +314,35 @@ fn sort_row<T: RowEntry>(row: &mut [T], v: ObjId) {
 /// aligned output arrays: returns `(offsets, dists, neighbors)` with
 /// each row sorted by `(total_cmp(dist), id)`.
 pub(crate) fn assemble_dist(n: usize, edges: &[DistEdge]) -> (Vec<usize>, Vec<f64>, Vec<ObjId>) {
+    let Ok(out) = assemble_dist_serial_core(n, edges, None) else {
+        unreachable!("cancellation is impossible without a token")
+    };
+    out
+}
+
+/// [`assemble_dist`] with cooperative cancellation: the fill and sort
+/// loops poll the token every [`CANCEL_CHUNK`] work items. On
+/// `Err(Cancelled)` the partially assembled arrays are dropped — no
+/// partial CSR escapes.
+fn assemble_dist_serial_core(
+    n: usize,
+    edges: &[DistEdge],
+    cancel: Option<&CancelToken>,
+) -> Result<DistCsr, Cancelled> {
+    if let Some(c) = cancel {
+        c.checkpoint()?;
+    }
     let offsets = degree_offsets(n, edges, |e| (e.0, e.1));
     let total = offsets[n];
     let mut dists = vec![0.0f64; total];
     let mut neighbors = vec![0 as ObjId; total];
     let mut cursor = offsets.clone();
-    for &(i, j, d) in edges {
+    for (t, &(i, j, d)) in edges.iter().enumerate() {
+        if t % CANCEL_CHUNK == 0 {
+            if let Some(c) = cancel {
+                c.checkpoint()?;
+            }
+        }
         let ci = cursor[i];
         dists[ci] = d;
         neighbors[ci] = j;
@@ -319,6 +354,11 @@ pub(crate) fn assemble_dist(n: usize, edges: &[DistEdge]) -> (Vec<usize>, Vec<f6
     }
     let mut scratch = DistSortScratch::default();
     for v in 0..n {
+        if v % CANCEL_CHUNK == 0 {
+            if let Some(c) = cancel {
+                c.checkpoint()?;
+            }
+        }
         let row = offsets[v]..offsets[v + 1];
         sort_dist_row(
             &mut dists[row.clone()],
@@ -327,7 +367,7 @@ pub(crate) fn assemble_dist(n: usize, edges: &[DistEdge]) -> (Vec<usize>, Vec<f6
             v,
         );
     }
-    (offsets, dists, neighbors)
+    Ok((offsets, dists, neighbors))
 }
 
 /// [`assemble_dist`] as a parallel counting sort: same shard plan as
@@ -339,17 +379,40 @@ pub(crate) fn assemble_dist_sharded(
     edges: &[DistEdge],
     shards: usize,
 ) -> (Vec<usize>, Vec<f64>, Vec<ObjId>) {
+    let Ok(out) = assemble_dist_checked(n, edges, shards, None) else {
+        unreachable!("cancellation is impossible without a token")
+    };
+    out
+}
+
+/// The cancellable assembly entry point behind
+/// [`crate::StratifiedDiskGraph`]'s checked builders: sharded (or
+/// serial, per the shard plan) distance-row assembly that polls the
+/// token every [`CANCEL_CHUNK`] work items per worker. On
+/// `Err(Cancelled)` every partially filled slice is dropped with the
+/// arrays — callers never observe a partial CSR.
+pub(crate) fn assemble_dist_checked(
+    n: usize,
+    edges: &[DistEdge],
+    shards: usize,
+    cancel: Option<&CancelToken>,
+) -> Result<DistCsr, Cancelled> {
     let ends = |e: &DistEdge| (e.0, e.1);
     let Some(plan) = ShardPlan::new(n, edges, shards, ends) else {
-        return assemble_dist(n, edges);
+        return assemble_dist_serial_core(n, edges, cancel);
     };
+    if let Some(c) = cancel {
+        c.checkpoint()?;
+    }
     let offsets = plan.offsets(n, ends);
 
     let total = offsets[n];
     let mut dists = vec![0.0f64; total];
     let mut neighbors = vec![0 as ObjId; total];
+    let aborted = std::sync::atomic::AtomicBool::new(false);
     std::thread::scope(|scope| {
         let offsets = &offsets;
+        let aborted = &aborted;
         let mut rest_d: &mut [f64] = &mut dists;
         let mut rest_n: &mut [ObjId] = &mut neighbors;
         for (s, bucket) in plan.buckets.iter().enumerate() {
@@ -363,7 +426,15 @@ pub(crate) fn assemble_dist_sharded(
                 let shard_base = offsets[r.start];
                 let mut cursor: Vec<usize> =
                     offsets[r.clone()].iter().map(|&o| o - shard_base).collect();
-                for &(i, j, d) in bucket {
+                for (t, &(i, j, d)) in bucket.iter().enumerate() {
+                    if t % CANCEL_CHUNK == 0 {
+                        if let Some(c) = cancel {
+                            if c.checkpoint().is_err() {
+                                aborted.store(true, std::sync::atomic::Ordering::Relaxed);
+                                return;
+                            }
+                        }
+                    }
                     if r.contains(&i) {
                         let c = cursor[i - r.start];
                         mine_d[c] = d;
@@ -378,14 +449,25 @@ pub(crate) fn assemble_dist_sharded(
                     }
                 }
                 let mut scratch = DistSortScratch::default();
-                for v in r.clone() {
+                for (t, v) in r.clone().enumerate() {
+                    if t % CANCEL_CHUNK == 0 {
+                        if let Some(c) = cancel {
+                            if c.checkpoint().is_err() {
+                                aborted.store(true, std::sync::atomic::Ordering::Relaxed);
+                                return;
+                            }
+                        }
+                    }
                     let row = offsets[v] - shard_base..offsets[v + 1] - shard_base;
                     sort_dist_row(&mut mine_d[row.clone()], &mut mine_n[row], &mut scratch, v);
                 }
             });
         }
     });
-    (offsets, dists, neighbors)
+    if aborted.load(std::sync::atomic::Ordering::Relaxed) {
+        return Err(Cancelled);
+    }
+    Ok((offsets, dists, neighbors))
 }
 
 /// Reusable scatter buffers for [`sort_dist_row`], one per assembly
@@ -400,7 +482,7 @@ struct DistSortScratch {
 /// [`f64::total_cmp`]'s: flip the sign bit of non-negatives, all bits
 /// of negatives.
 #[inline]
-fn dist_order_key(d: f64) -> u64 {
+pub(crate) fn dist_order_key(d: f64) -> u64 {
     let b = d.to_bits();
     b ^ (((b as i64 >> 63) as u64) | 0x8000_0000_0000_0000)
 }

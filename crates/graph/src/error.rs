@@ -1,0 +1,148 @@
+//! Typed errors for the fallible graph entry points: checked builds,
+//! raw-parts reconstruction (the load path of `disc-store`) and radius
+//! validation.
+
+use std::fmt;
+
+use disc_metric::cancel::Cancelled;
+use disc_mtree::JoinError;
+
+/// Why a checked graph operation refused to run, stopped early, or
+/// rejected its input. Reconstruction from untrusted raw CSR arrays
+/// ([`crate::StratifiedDiskGraph::from_csr_parts`]) validates every
+/// structural invariant the query paths rely on and names the first
+/// violation precisely.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum GraphError {
+    /// A radius argument was NaN or negative.
+    InvalidRadius(f64),
+    /// A view/cutoff radius exceeded the build radius `r_max` — edges
+    /// beyond it were never materialised, so answering would silently
+    /// drop neighbours.
+    RadiusExceedsBuild {
+        /// The requested radius.
+        r: f64,
+        /// The radius the graph was built for.
+        r_max: f64,
+    },
+    /// The supplied [`disc_metric::CancelToken`] fired before the build
+    /// completed.
+    Cancelled,
+    /// The offsets array was empty (a valid CSR has `n + 1 ≥ 1` row
+    /// boundaries).
+    EmptyOffsets,
+    /// The first row boundary was not 0.
+    OffsetsStart {
+        /// The value found at `offsets[0]`.
+        found: usize,
+    },
+    /// Row boundaries must be non-decreasing; row `row`'s end precedes
+    /// its start.
+    OffsetsNotMonotone {
+        /// First row whose boundaries decrease.
+        row: usize,
+    },
+    /// `neighbors`/`dists` length disagrees with the final offset.
+    ArrayLengthMismatch {
+        /// Directed entry count promised by `offsets[n]`.
+        expected: usize,
+        /// Length of the neighbors array.
+        neighbors: usize,
+        /// Length of the dists array.
+        dists: usize,
+    },
+    /// A neighbor id references a vertex outside `0..n`.
+    NeighborOutOfRange {
+        /// Row holding the bad entry.
+        row: usize,
+        /// Flat index of the bad entry.
+        index: usize,
+        /// The out-of-range id.
+        id: usize,
+    },
+    /// A row lists its own vertex as a neighbor.
+    SelfLoop {
+        /// Row holding the loop.
+        row: usize,
+        /// Flat index of the loop entry.
+        index: usize,
+    },
+    /// A row is not strictly sorted by `(total_cmp(dist), id)` — the
+    /// order every prefix query (cutoff binary search) relies on.
+    RowNotSorted {
+        /// First row that breaks the order.
+        row: usize,
+        /// Flat index of the out-of-order entry.
+        index: usize,
+    },
+    /// An edge distance is NaN, negative, or exceeds the build radius.
+    DistanceOutOfRange {
+        /// Row holding the bad entry.
+        row: usize,
+        /// Flat index of the bad entry.
+        index: usize,
+        /// The offending distance.
+        value: f64,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidRadius(r) => {
+                write!(f, "radius must be finite and non-negative, got {r}")
+            }
+            Self::RadiusExceedsBuild { r, r_max } => write!(
+                f,
+                "radius {r} exceeds the build radius {r_max}; edges beyond r_max were never materialised"
+            ),
+            Self::Cancelled => f.write_str("graph build cancelled before completion"),
+            Self::EmptyOffsets => f.write_str("CSR offsets array is empty"),
+            Self::OffsetsStart { found } => {
+                write!(f, "CSR offsets must start at 0, found {found}")
+            }
+            Self::OffsetsNotMonotone { row } => {
+                write!(f, "CSR offsets decrease at row {row}")
+            }
+            Self::ArrayLengthMismatch {
+                expected,
+                neighbors,
+                dists,
+            } => write!(
+                f,
+                "CSR arrays disagree: offsets promise {expected} entries, neighbors has {neighbors}, dists has {dists}"
+            ),
+            Self::NeighborOutOfRange { row, index, id } => {
+                write!(f, "row {row} entry {index}: neighbor id {id} out of range")
+            }
+            Self::SelfLoop { row, index } => {
+                write!(f, "row {row} entry {index}: self-loop")
+            }
+            Self::RowNotSorted { row, index } => write!(
+                f,
+                "row {row} entry {index}: row not strictly (distance, id)-sorted"
+            ),
+            Self::DistanceOutOfRange { row, index, value } => write!(
+                f,
+                "row {row} entry {index}: distance {value} outside [0, r_max]"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<Cancelled> for GraphError {
+    fn from(_: Cancelled) -> Self {
+        Self::Cancelled
+    }
+}
+
+impl From<JoinError> for GraphError {
+    fn from(e: JoinError) -> Self {
+        match e {
+            JoinError::InvalidRadius(r) => Self::InvalidRadius(r),
+            JoinError::Cancelled => Self::Cancelled,
+        }
+    }
+}

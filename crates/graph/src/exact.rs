@@ -72,9 +72,10 @@ impl State<'_> {
             return;
         }
         // Branch on the lowest-id uncovered vertex.
-        let v = (0..self.g.len())
-            .find(|&u| self.cover_count[u] == 0)
-            .expect("uncovered > 0");
+        let v = match (0..self.g.len()).find(|&u| self.cover_count[u] == 0) {
+            Some(u) => u,
+            None => unreachable!("uncovered > 0 implies an uncovered vertex"),
+        };
         // Candidates: v and its neighbours, skipping blocked ones. v itself
         // is never blocked (otherwise it would be covered).
         let mut candidates: Vec<ObjId> = Vec::with_capacity(self.g.degree(v) + 1);

@@ -179,7 +179,10 @@ impl UnitDiskGraph {
                 .collect();
             handles
                 .into_iter()
-                .flat_map(|h| h.join().expect("scan shard panicked"))
+                .flat_map(|h| match h.join() {
+                    Ok(edges) => edges,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
                 .collect()
         });
         Self::from_edges(n, radius, &edges)

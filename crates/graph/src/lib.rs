@@ -29,6 +29,7 @@
 //!   measure of the zooming experiments (Figures 13 and 16).
 
 mod csr;
+pub mod error;
 pub mod exact;
 pub mod graph;
 pub mod jaccard;
@@ -36,6 +37,7 @@ pub mod reference;
 pub mod sets;
 pub mod stratified;
 
+pub use error::GraphError;
 pub use exact::minimum_independent_dominating_set;
 pub use graph::UnitDiskGraph;
 pub use jaccard::jaccard_distance;

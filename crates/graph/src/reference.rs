@@ -51,10 +51,13 @@ pub fn greedy_disc_ref(g: &UnitDiskGraph) -> Vec<ObjId> {
     let mut solution = Vec::new();
     while remaining_white > 0 {
         // Select the white object with the largest white neighbourhood.
-        let pick = (0..n)
+        let pick = match (0..n)
             .filter(|&v| color[v] == C::White)
             .max_by(|&a, &b| white_nb[a].cmp(&white_nb[b]).then(b.cmp(&a)))
-            .expect("white objects remain");
+        {
+            Some(v) => v,
+            None => unreachable!("remaining_white > 0 implies a white object"),
+        };
         color[pick] = C::Black;
         remaining_white -= 1;
         for &u in g.neighbors(pick) {
@@ -103,14 +106,14 @@ pub fn greedy_c_ref(g: &UnitDiskGraph) -> Vec<ObjId> {
         let gain = |v: usize, color: &[C], white_nb: &[usize]| {
             white_nb[v] + usize::from(color[v] == C::White)
         };
-        let pick = (0..n)
-            .filter(|&v| color[v] != C::Black)
-            .max_by(|&a, &b| {
-                gain(a, &color, &white_nb)
-                    .cmp(&gain(b, &color, &white_nb))
-                    .then(b.cmp(&a))
-            })
-            .expect("white objects remain, so candidates exist");
+        let pick = match (0..n).filter(|&v| color[v] != C::Black).max_by(|&a, &b| {
+            gain(a, &color, &white_nb)
+                .cmp(&gain(b, &color, &white_nb))
+                .then(b.cmp(&a))
+        }) {
+            Some(v) => v,
+            None => unreachable!("white objects remain, so candidates exist"),
+        };
         if color[pick] == C::White {
             remaining_white -= 1;
             // Grey objects remain candidates in Greedy-C, so their counts

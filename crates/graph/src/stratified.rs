@@ -61,9 +61,11 @@
 //!   [`StratifiedDiskGraph::view`] / [`StratifiedDiskGraph::row_within`]
 //!   per radius at zero additional distance computations.
 
+use disc_metric::cancel::CancelToken;
 use disc_metric::{Dataset, ObjId};
-use disc_mtree::{DistEdge, MTree};
+use disc_mtree::{DistEdge, MTree, SelfJoinConfig};
 
+use crate::error::GraphError;
 use crate::graph::UnitDiskGraph;
 
 /// Distance-annotated CSR adjacency over the objects of a dataset at a
@@ -94,6 +96,136 @@ impl StratifiedDiskGraph {
     pub fn from_mtree(tree: &MTree<'_>, r_max: f64) -> Self {
         let edges = tree.range_self_join_dist(r_max);
         Self::from_dist_edges_auto(tree.len(), r_max, &edges)
+    }
+
+    /// The fail-closed counterpart of
+    /// [`StratifiedDiskGraph::from_mtree`]: typed radius validation
+    /// instead of panics, and an optional [`CancelToken`] polled
+    /// throughout both build phases (self-join traversal and CSR
+    /// assembly). On [`GraphError::Cancelled`] no partial graph escapes
+    /// and the tree's counters account exactly for the work performed.
+    ///
+    /// `config.threads` drives both the traversal worker count and the
+    /// assembly shard count (`0` = auto). The built graph is
+    /// byte-identical to [`StratifiedDiskGraph::from_mtree`]'s for every
+    /// thread count.
+    pub fn from_mtree_checked(
+        tree: &MTree<'_>,
+        r_max: f64,
+        config: SelfJoinConfig,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Self, GraphError> {
+        let edges = tree.range_self_join_dist_checked(r_max, config, cancel)?;
+        Self::from_dist_edges_checked(tree.len(), r_max, &edges, config.threads, cancel)
+    }
+
+    /// Checked, cancellable CSR assembly from a distance-annotated edge
+    /// list (the assembly half of
+    /// [`StratifiedDiskGraph::from_mtree_checked`]). `shards == 0`
+    /// picks one shard per core with the usual serial fallback.
+    pub fn from_dist_edges_checked(
+        n: usize,
+        r_max: f64,
+        edges: &[DistEdge],
+        shards: usize,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Self, GraphError> {
+        if r_max.is_nan() || r_max < 0.0 {
+            return Err(GraphError::InvalidRadius(r_max));
+        }
+        debug_validate_distances(r_max, edges);
+        let (offsets, dists, neighbors) =
+            crate::csr::assemble_dist_checked(n, edges, shards, cancel)?;
+        Ok(Self {
+            radius: r_max,
+            offsets,
+            neighbors,
+            dists,
+        })
+    }
+
+    /// Reassembles a graph from its raw CSR arrays — the load path of a
+    /// persisted snapshot (`disc-store`), where the arrays come from
+    /// disk rather than from this crate's own assembly. Every
+    /// structural invariant the query paths rely on is re-validated
+    /// fail-closed, with the first violation named by a typed
+    /// [`GraphError`]:
+    ///
+    /// * `offsets` non-empty, starting at 0, non-decreasing, with
+    ///   `offsets[n]` equal to both array lengths;
+    /// * every neighbor id in range and never the row's own vertex;
+    /// * every row strictly `(total_cmp(dist), id)`-sorted (the cutoff
+    ///   binary searches are only correct on sorted rows);
+    /// * every distance within `[0, r_max]` and never NaN.
+    ///
+    /// The arrays are stored as given — a graph that round-trips
+    /// through `from_csr_parts` is byte-identical to the original.
+    pub fn from_csr_parts(
+        radius: f64,
+        offsets: Vec<usize>,
+        neighbors: Vec<ObjId>,
+        dists: Vec<f64>,
+    ) -> Result<Self, GraphError> {
+        if radius.is_nan() || radius < 0.0 {
+            return Err(GraphError::InvalidRadius(radius));
+        }
+        let Some((&first, _)) = offsets.split_first() else {
+            return Err(GraphError::EmptyOffsets);
+        };
+        if first != 0 {
+            return Err(GraphError::OffsetsStart { found: first });
+        }
+        let n = offsets.len() - 1;
+        for v in 0..n {
+            if offsets[v + 1] < offsets[v] {
+                return Err(GraphError::OffsetsNotMonotone { row: v });
+            }
+        }
+        let expected = offsets[n];
+        if neighbors.len() != expected || dists.len() != expected {
+            return Err(GraphError::ArrayLengthMismatch {
+                expected,
+                neighbors: neighbors.len(),
+                dists: dists.len(),
+            });
+        }
+        for v in 0..n {
+            let mut prev: Option<(u64, ObjId)> = None;
+            for k in offsets[v]..offsets[v + 1] {
+                let id = neighbors[k];
+                let d = dists[k];
+                if id >= n {
+                    return Err(GraphError::NeighborOutOfRange {
+                        row: v,
+                        index: k,
+                        id,
+                    });
+                }
+                if id == v {
+                    return Err(GraphError::SelfLoop { row: v, index: k });
+                }
+                if d.is_nan() || d < 0.0 || d > radius {
+                    return Err(GraphError::DistanceOutOfRange {
+                        row: v,
+                        index: k,
+                        value: d,
+                    });
+                }
+                let key = (crate::csr::dist_order_key(d), id);
+                if let Some(p) = prev {
+                    if key <= p {
+                        return Err(GraphError::RowNotSorted { row: v, index: k });
+                    }
+                }
+                prev = Some(key);
+            }
+        }
+        Ok(Self {
+            radius,
+            offsets,
+            neighbors,
+            dists,
+        })
     }
 
     /// The assembly half of [`StratifiedDiskGraph::from_mtree`]: picks
@@ -216,15 +348,28 @@ impl StratifiedDiskGraph {
     /// Length of `v`'s adjacency prefix at radius `r` (the number of
     /// neighbours within `r`): one binary search on the distance-sorted
     /// row, zero distance computations.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r` is NaN or negative — a NaN would silently return
+    /// an empty prefix (every `d <= NaN` comparison is false), serving
+    /// wrong neighbourhoods instead of failing.
     #[inline]
     pub fn cutoff(&self, v: ObjId, r: f64) -> usize {
+        assert!(r >= 0.0, "cutoff radius must be non-negative, got {r}");
         self.dists(v).partition_point(|&d| d <= r)
     }
 
     /// Adjacency prefix of `v` at radius `r ≤ r_max`: the ids and exact
     /// distances of every neighbour within `r`, sorted by `(dist, id)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r` is NaN or negative (see
+    /// [`StratifiedDiskGraph::cutoff`]).
     #[inline]
     pub fn row_within(&self, v: ObjId, r: f64) -> (&[ObjId], &[f64]) {
+        assert!(r >= 0.0, "cutoff radius must be non-negative, got {r}");
         let lo = self.offsets[v];
         let row_d = &self.dists[lo..self.offsets[v + 1]];
         let k = row_d.partition_point(|&d| d <= r);
@@ -260,6 +405,22 @@ impl StratifiedDiskGraph {
             radius: r,
             ends,
         }
+    }
+
+    /// Fallible counterpart of [`StratifiedDiskGraph::view`]: rejects a
+    /// NaN/negative radius or one beyond the build radius with a typed
+    /// [`GraphError`] instead of panicking.
+    pub fn try_view(&self, r: f64) -> Result<StratifiedView<'_>, GraphError> {
+        if r.is_nan() || r < 0.0 {
+            return Err(GraphError::InvalidRadius(r));
+        }
+        if r > self.radius {
+            return Err(GraphError::RadiusExceedsBuild {
+                r,
+                r_max: self.radius,
+            });
+        }
+        Ok(self.view(r))
     }
 
     /// The raw CSR row-boundary array (`n + 1` entries, first is 0).
@@ -636,5 +797,275 @@ mod tests {
                 "{:?} r'={} r_max={}", metric, r_view, r_max
             );
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Checked builds, raw-parts reconstruction and radius validation
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn checked_build_is_byte_identical_to_plain_build() {
+        let data = random_data_metric(250, 5, Metric::Euclidean);
+        let tree = MTree::build(&data, MTreeConfig::default());
+        let plain = StratifiedDiskGraph::from_mtree(&tree, 0.3);
+        for threads in [1, 3] {
+            let checked = StratifiedDiskGraph::from_mtree_checked(
+                &tree,
+                0.3,
+                SelfJoinConfig::with_threads(threads),
+                None,
+            )
+            .expect("uncancelled build succeeds");
+            assert_eq!(checked.offsets(), plain.offsets());
+            assert_eq!(checked.neighbors_flat(), plain.neighbors_flat());
+            assert_eq!(
+                checked
+                    .dists_flat()
+                    .iter()
+                    .map(|d| d.to_bits())
+                    .collect::<Vec<_>>(),
+                plain
+                    .dists_flat()
+                    .iter()
+                    .map(|d| d.to_bits())
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn checked_build_rejects_bad_radii_with_typed_errors() {
+        let data = random_data_metric(60, 6, Metric::Euclidean);
+        let tree = MTree::build(&data, MTreeConfig::default());
+        for r in [f64::NAN, -1.0] {
+            let err = StratifiedDiskGraph::from_mtree_checked(
+                &tree,
+                r,
+                SelfJoinConfig::with_threads(1),
+                None,
+            )
+            .unwrap_err();
+            assert!(matches!(err, GraphError::InvalidRadius(_)), "r={r}: {err}");
+            let err =
+                StratifiedDiskGraph::from_dist_edges_checked(10, r, &[], 1, None).unwrap_err();
+            assert!(matches!(err, GraphError::InvalidRadius(_)), "r={r}: {err}");
+        }
+    }
+
+    #[test]
+    fn checked_build_cancels_cleanly() {
+        let data = random_data_metric(300, 7, Metric::Euclidean);
+        let tree = MTree::build(&data, MTreeConfig::default());
+        let full = StratifiedDiskGraph::from_mtree(&tree, 0.3);
+        let token = CancelToken::new();
+        token.cancel();
+        let err = StratifiedDiskGraph::from_mtree_checked(
+            &tree,
+            0.3,
+            SelfJoinConfig::with_threads(2),
+            Some(&token),
+        )
+        .unwrap_err();
+        assert_eq!(err, GraphError::Cancelled);
+        // Retry without the token reproduces the build byte for byte.
+        let retry = StratifiedDiskGraph::from_mtree_checked(
+            &tree,
+            0.3,
+            SelfJoinConfig::with_threads(2),
+            None,
+        )
+        .expect("retry succeeds");
+        assert_eq!(retry, full);
+    }
+
+    #[test]
+    fn assembly_cancellation_drops_the_partial_csr() {
+        let data = random_data_metric(200, 8, Metric::Euclidean);
+        let tree = MTree::build(&data, MTreeConfig::default());
+        let edges = tree.range_self_join_dist(0.4);
+        assert!(!edges.is_empty());
+        let token = CancelToken::new();
+        token.cancel();
+        for shards in [1, 3] {
+            let err = StratifiedDiskGraph::from_dist_edges_checked(
+                200,
+                0.4,
+                &edges,
+                shards,
+                Some(&token),
+            )
+            .unwrap_err();
+            assert_eq!(err, GraphError::Cancelled);
+        }
+        // The same call without a token matches the plain assembly.
+        let plain = StratifiedDiskGraph::from_dist_edges(200, 0.4, &edges);
+        let checked = StratifiedDiskGraph::from_dist_edges_checked(200, 0.4, &edges, 3, None)
+            .expect("uncancelled assembly succeeds");
+        assert_eq!(checked, plain);
+    }
+
+    #[test]
+    fn from_csr_parts_round_trips_a_built_graph() {
+        for metric in [
+            Metric::Euclidean,
+            Metric::Manhattan,
+            Metric::Chebyshev,
+            Metric::Hamming,
+        ] {
+            let r_max = if metric == Metric::Hamming { 2.0 } else { 0.3 };
+            let data = random_data_metric(120, 9, metric);
+            let tree = MTree::build(&data, MTreeConfig::default());
+            let g = StratifiedDiskGraph::from_mtree(&tree, r_max);
+            let rebuilt = StratifiedDiskGraph::from_csr_parts(
+                g.radius(),
+                g.offsets().to_vec(),
+                g.neighbors_flat().to_vec(),
+                g.dists_flat().to_vec(),
+            )
+            .expect("valid parts reconstruct");
+            assert_eq!(rebuilt, g, "{metric:?}");
+        }
+    }
+
+    #[test]
+    fn from_csr_parts_rejects_every_structural_violation() {
+        // Hand-built valid graph: 3 vertices, edges (0,1,d=0.1), (1,2,d=0.2).
+        let offsets = vec![0usize, 1, 3, 4];
+        let neighbors = vec![1usize, 0, 2, 1];
+        let dists = vec![0.1, 0.1, 0.2, 0.2];
+        assert!(StratifiedDiskGraph::from_csr_parts(
+            0.5,
+            offsets.clone(),
+            neighbors.clone(),
+            dists.clone()
+        )
+        .is_ok());
+
+        type Case = (GraphError, f64, Vec<usize>, Vec<usize>, Vec<f64>);
+        let cases: Vec<Case> = vec![
+            (
+                GraphError::InvalidRadius(f64::NAN),
+                f64::NAN,
+                offsets.clone(),
+                neighbors.clone(),
+                dists.clone(),
+            ),
+            (
+                GraphError::EmptyOffsets,
+                0.5,
+                vec![],
+                neighbors.clone(),
+                dists.clone(),
+            ),
+            (
+                GraphError::OffsetsStart { found: 1 },
+                0.5,
+                vec![1, 1, 3, 4],
+                neighbors.clone(),
+                dists.clone(),
+            ),
+            (
+                GraphError::OffsetsNotMonotone { row: 1 },
+                0.5,
+                vec![0, 3, 1, 4],
+                neighbors.clone(),
+                dists.clone(),
+            ),
+            (
+                GraphError::ArrayLengthMismatch {
+                    expected: 4,
+                    neighbors: 3,
+                    dists: 4,
+                },
+                0.5,
+                offsets.clone(),
+                vec![1, 0, 2],
+                dists.clone(),
+            ),
+            (
+                GraphError::NeighborOutOfRange {
+                    row: 0,
+                    index: 0,
+                    id: 9,
+                },
+                0.5,
+                offsets.clone(),
+                vec![9, 0, 2, 1],
+                dists.clone(),
+            ),
+            (
+                GraphError::SelfLoop { row: 1, index: 1 },
+                0.5,
+                offsets.clone(),
+                vec![1, 1, 2, 1],
+                dists.clone(),
+            ),
+            (
+                GraphError::DistanceOutOfRange {
+                    row: 0,
+                    index: 0,
+                    value: 0.9,
+                },
+                0.5,
+                offsets.clone(),
+                neighbors.clone(),
+                vec![0.9, 0.1, 0.2, 0.2],
+            ),
+            (
+                // Row 1 holds entries at flat 1..3; swapping them breaks
+                // the (dist, id) order at flat index 2.
+                GraphError::RowNotSorted { row: 1, index: 2 },
+                0.5,
+                offsets.clone(),
+                vec![1, 2, 0, 1],
+                vec![0.1, 0.2, 0.1, 0.2],
+            ),
+        ];
+        for (want, r, o, nb, ds) in cases {
+            let got = StratifiedDiskGraph::from_csr_parts(r, o, nb, ds).unwrap_err();
+            match (&got, &want) {
+                // NaN != NaN under PartialEq; compare variants only.
+                (GraphError::InvalidRadius(a), GraphError::InvalidRadius(_)) => {
+                    assert!(a.is_nan())
+                }
+                _ => assert_eq!(got, want),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn cutoff_panics_on_nan_radius() {
+        let data = random_data_metric(10, 1, Metric::Euclidean);
+        let g = StratifiedDiskGraph::build(&data, 0.5);
+        let _ = g.cutoff(0, f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn row_within_panics_on_negative_radius() {
+        let data = random_data_metric(10, 1, Metric::Euclidean);
+        let g = StratifiedDiskGraph::build(&data, 0.5);
+        let _ = g.row_within(0, -0.1);
+    }
+
+    #[test]
+    fn try_view_rejects_bad_radii_with_typed_errors() {
+        let data = random_data_metric(30, 2, Metric::Euclidean);
+        let g = StratifiedDiskGraph::build(&data, 0.5);
+        assert!(matches!(
+            g.try_view(f64::NAN).unwrap_err(),
+            GraphError::InvalidRadius(_)
+        ));
+        assert!(matches!(
+            g.try_view(-0.2).unwrap_err(),
+            GraphError::InvalidRadius(_)
+        ));
+        assert_eq!(
+            g.try_view(0.6).unwrap_err(),
+            GraphError::RadiusExceedsBuild { r: 0.6, r_max: 0.5 }
+        );
+        let v = g.try_view(0.25).expect("in-range radius");
+        assert_eq!(v.radius(), 0.25);
     }
 }

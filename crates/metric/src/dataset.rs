@@ -15,11 +15,79 @@
 //! and derived datasets ([`Dataset::restrict`], [`Dataset::normalized`])
 //! are single-allocation copies of the relevant rows.
 
+use std::fmt;
+
 use crate::{
     distance::Metric,
     point::{Point, PointView},
     ObjId,
 };
+
+/// Typed construction error for [`Dataset`]: the ways an input point
+/// collection can be rejected. Construction is fail-closed — a dataset
+/// that exists is guaranteed non-empty, rectangular and entirely finite,
+/// so downstream distance computations can never observe NaN/±inf
+/// garbage.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DatasetError {
+    /// The point collection (or flat buffer) was empty.
+    Empty,
+    /// `dim` was zero.
+    ZeroDim,
+    /// Points disagree on dimensionality: object `id` has `found`
+    /// dimensions where the first point had `expected`.
+    MixedDim {
+        /// Offending object id.
+        id: ObjId,
+        /// Dimensionality of object 0.
+        expected: usize,
+        /// Dimensionality of the offending object.
+        found: usize,
+    },
+    /// The flat buffer's length is not a multiple of `dim`.
+    RaggedBuffer {
+        /// Buffer length supplied.
+        len: usize,
+        /// Row width expected.
+        dim: usize,
+    },
+    /// A coordinate is NaN or ±inf.
+    NonFinite {
+        /// Object holding the offending coordinate.
+        id: ObjId,
+        /// Dimension index of the offending coordinate.
+        dim: usize,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Empty => f.write_str("dataset must contain at least one point"),
+            Self::ZeroDim => f.write_str("a point needs at least one dimension"),
+            Self::MixedDim {
+                id,
+                expected,
+                found,
+            } => write!(
+                f,
+                "all points must share dimensionality: point {id} has {found} dims, expected {expected}"
+            ),
+            Self::RaggedBuffer { len, dim } => write!(
+                f,
+                "coordinate buffer must hold whole {dim}-wide rows, got {len} values"
+            ),
+            Self::NonFinite { id, dim, value } => write!(
+                f,
+                "point coordinates must be finite: point {id} dim {dim} is {value}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
 
 /// A named collection of points under a fixed metric.
 #[derive(Clone, Debug)]
@@ -31,34 +99,71 @@ pub struct Dataset {
     coords: Vec<f64>,
 }
 
+/// Rejects NaN/±inf anywhere in a row-major buffer, reporting the
+/// offending object and dimension.
+fn check_finite(coords: &[f64], dim: usize) -> Result<(), DatasetError> {
+    if let Some((i, &value)) = coords.iter().enumerate().find(|(_, c)| !c.is_finite()) {
+        return Err(DatasetError::NonFinite {
+            id: i / dim,
+            dim: i % dim,
+            value,
+        });
+    }
+    Ok(())
+}
+
 impl Dataset {
     /// Creates a dataset from owned points (flattening them into the
     /// contiguous buffer).
     ///
     /// # Panics
     ///
-    /// Panics if `points` is empty or if the points disagree on
-    /// dimensionality.
+    /// Panics if `points` is empty, if the points disagree on
+    /// dimensionality, or if any coordinate is non-finite. Use
+    /// [`Dataset::try_new`] to reject bad input with a typed error
+    /// instead.
     pub fn new(name: impl Into<String>, metric: Metric, points: Vec<Point>) -> Self {
-        assert!(
-            !points.is_empty(),
-            "dataset must contain at least one point"
-        );
-        let dim = points[0].dim();
-        assert!(
-            points.iter().all(|p| p.dim() == dim),
-            "all points must share dimensionality"
-        );
+        match Self::try_new(name, metric, points) {
+            Ok(d) => d,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible counterpart of [`Dataset::new`]: rejects empty
+    /// collections, mixed dimensionality and non-finite coordinates with
+    /// a typed [`DatasetError`].
+    pub fn try_new(
+        name: impl Into<String>,
+        metric: Metric,
+        points: Vec<Point>,
+    ) -> Result<Self, DatasetError> {
+        let Some(first) = points.first() else {
+            return Err(DatasetError::Empty);
+        };
+        let dim = first.dim();
+        if dim == 0 {
+            return Err(DatasetError::ZeroDim);
+        }
+        for (id, p) in points.iter().enumerate() {
+            if p.dim() != dim {
+                return Err(DatasetError::MixedDim {
+                    id,
+                    expected: dim,
+                    found: p.dim(),
+                });
+            }
+        }
         let mut coords = Vec::with_capacity(points.len() * dim);
         for p in &points {
             coords.extend_from_slice(p.coords());
         }
-        Self {
+        check_finite(&coords, dim)?;
+        Ok(Self {
             name: name.into(),
             metric,
             dim,
             coords,
-        }
+        })
     }
 
     /// Creates a dataset directly from a flat row-major coordinate
@@ -67,33 +172,49 @@ impl Dataset {
     /// # Panics
     ///
     /// Panics if `dim` is zero, `coords` is empty, `coords.len()` is not
-    /// a multiple of `dim`, or any coordinate is non-finite.
+    /// a multiple of `dim`, or any coordinate is non-finite. Use
+    /// [`Dataset::try_from_flat`] to reject bad input with a typed error
+    /// instead.
     pub fn from_flat(
         name: impl Into<String>,
         metric: Metric,
         dim: usize,
         coords: Vec<f64>,
     ) -> Self {
-        assert!(dim > 0, "a point needs at least one dimension");
-        assert!(
-            !coords.is_empty(),
-            "dataset must contain at least one point"
-        );
-        assert_eq!(
-            coords.len() % dim,
-            0,
-            "coordinate buffer must hold whole {dim}-wide rows"
-        );
-        assert!(
-            coords.iter().all(|c| c.is_finite()),
-            "point coordinates must be finite"
-        );
-        Self {
+        match Self::try_from_flat(name, metric, dim, coords) {
+            Ok(d) => d,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible counterpart of [`Dataset::from_flat`]: rejects zero
+    /// `dim`, empty or ragged buffers, and non-finite coordinates with a
+    /// typed [`DatasetError`].
+    pub fn try_from_flat(
+        name: impl Into<String>,
+        metric: Metric,
+        dim: usize,
+        coords: Vec<f64>,
+    ) -> Result<Self, DatasetError> {
+        if dim == 0 {
+            return Err(DatasetError::ZeroDim);
+        }
+        if coords.is_empty() {
+            return Err(DatasetError::Empty);
+        }
+        if !coords.len().is_multiple_of(dim) {
+            return Err(DatasetError::RaggedBuffer {
+                len: coords.len(),
+                dim,
+            });
+        }
+        check_finite(&coords, dim)?;
+        Ok(Self {
             name: name.into(),
             metric,
             dim,
             coords,
-        }
+        })
     }
 
     /// Dataset name (used in experiment output).
@@ -364,5 +485,75 @@ mod tests {
             Metric::Euclidean,
             vec![Point::new2(0.0, 0.0), Point::new(vec![1.0, 2.0, 3.0])],
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn new_rejects_non_finite_coordinates() {
+        let _ = Dataset::new(
+            "nan",
+            Metric::Euclidean,
+            vec![Point::new2(0.0, 0.0), Point::new2(f64::NAN, 1.0)],
+        );
+    }
+
+    #[test]
+    fn try_from_flat_reports_the_offending_coordinate() {
+        // (`Point::new` already panics on non-finite input, so the
+        // point-based constructor can only hit this via the flat path.)
+        let err = Dataset::try_from_flat(
+            "inf",
+            Metric::Euclidean,
+            2,
+            vec![0.0, 0.0, 1.0, f64::INFINITY],
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            DatasetError::NonFinite {
+                id: 1,
+                dim: 1,
+                value: f64::INFINITY
+            }
+        );
+    }
+
+    #[test]
+    fn try_from_flat_rejects_nan_neg_inf_and_ragged() {
+        let nan = Dataset::try_from_flat("x", Metric::Euclidean, 2, vec![0.0, f64::NAN]);
+        assert!(matches!(
+            nan.unwrap_err(),
+            DatasetError::NonFinite { id: 0, dim: 1, .. }
+        ));
+        let ninf = Dataset::try_from_flat("x", Metric::Euclidean, 1, vec![f64::NEG_INFINITY, 2.0]);
+        assert!(matches!(
+            ninf.unwrap_err(),
+            DatasetError::NonFinite { id: 0, dim: 0, .. }
+        ));
+        let ragged = Dataset::try_from_flat("x", Metric::Euclidean, 2, vec![0.0, 1.0, 2.0]);
+        assert_eq!(
+            ragged.unwrap_err(),
+            DatasetError::RaggedBuffer { len: 3, dim: 2 }
+        );
+        assert_eq!(
+            Dataset::try_from_flat("x", Metric::Euclidean, 0, vec![]).unwrap_err(),
+            DatasetError::ZeroDim
+        );
+        assert_eq!(
+            Dataset::try_from_flat("x", Metric::Euclidean, 2, vec![]).unwrap_err(),
+            DatasetError::Empty
+        );
+        assert_eq!(
+            Dataset::try_new("x", Metric::Euclidean, vec![]).unwrap_err(),
+            DatasetError::Empty
+        );
+    }
+
+    #[test]
+    fn try_constructors_accept_good_input() {
+        let d = Dataset::try_from_flat("ok", Metric::Manhattan, 2, vec![0.0, 1.0, 2.0, 3.0])
+            .expect("valid buffer");
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.metric(), Metric::Manhattan);
     }
 }

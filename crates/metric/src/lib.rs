@@ -16,12 +16,14 @@
 //! higher layers (M-tree, DisC heuristics, baselines) share this convention.
 
 pub mod bounds;
+pub mod cancel;
 pub mod dataset;
 pub mod distance;
 pub mod neighbors;
 pub mod point;
 
-pub use dataset::Dataset;
+pub use cancel::{CancelToken, Cancelled};
+pub use dataset::{Dataset, DatasetError};
 pub use distance::Metric;
 pub use point::{Point, PointView};
 

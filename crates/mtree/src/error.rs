@@ -1,0 +1,41 @@
+//! Typed errors for the fallible M-tree entry points.
+
+use std::fmt;
+
+use disc_metric::cancel::Cancelled;
+
+/// Why a checked self-join entry point refused to run or stopped early.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum JoinError {
+    /// The query radius was NaN or negative — there is no meaningful
+    /// neighbourhood at such a radius, and silently treating it as 0
+    /// (or letting NaN comparisons prune everything) would serve wrong
+    /// answers.
+    InvalidRadius(f64),
+    /// The supplied [`disc_metric::CancelToken`] fired before the
+    /// traversal completed. Counters still reflect exactly the work
+    /// performed; no partial edge list escapes.
+    Cancelled,
+}
+
+impl fmt::Display for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidRadius(r) => {
+                write!(
+                    f,
+                    "self-join radius must be finite and non-negative, got {r}"
+                )
+            }
+            Self::Cancelled => f.write_str("self-join cancelled before completion"),
+        }
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+impl From<Cancelled> for JoinError {
+    fn from(_: Cancelled) -> Self {
+        Self::Cancelled
+    }
+}

@@ -29,6 +29,7 @@
 //! * **fat-factor computation** ([`stats`]) for the Figure 10 experiment.
 
 pub mod color;
+pub mod error;
 pub mod node;
 pub mod query;
 pub mod selfjoin;
@@ -38,6 +39,7 @@ pub mod tree;
 pub mod validate;
 
 pub use color::{Color, ColorState};
+pub use error::JoinError;
 pub use node::{LeafEntry, Node, NodeId, NodeKind};
 pub use query::RangeHit;
 pub use selfjoin::{DistEdge, SelfJoinConfig};

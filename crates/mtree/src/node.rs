@@ -99,6 +99,17 @@ pub struct Node {
 }
 
 impl Node {
+    /// Pivot of a non-root node. Every node below the root is created
+    /// with a pivot (the root alone has `None`), so callers walking
+    /// children may rely on it.
+    #[inline]
+    pub fn pivot_id(&self) -> ObjId {
+        match self.pivot {
+            Some(p) => p,
+            None => unreachable!("non-root nodes have pivots"),
+        }
+    }
+
     /// Creates an empty leaf.
     pub fn new_leaf(pivot: Option<ObjId>, parent: Option<NodeId>) -> Self {
         Self {

@@ -328,7 +328,7 @@ impl MTree<'_> {
                 NodeKind::Internal(children) => {
                     for &child in children {
                         let c = self.node(child);
-                        let pivot = c.pivot.expect("children have pivots");
+                        let pivot = c.pivot_id();
                         if parent_pruning {
                             if let Some(dq) = d_q_pivot {
                                 if (dq - c.dist_to_parent).abs() > c.radius {

@@ -131,8 +131,10 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use disc_metric::cancel::{CancelToken, Cancelled};
 use disc_metric::{Metric, ObjId};
 
+use crate::error::JoinError;
 use crate::node::{NodeId, NodeKind};
 use crate::tree::MTree;
 
@@ -341,6 +343,15 @@ fn within_inclusion(bound: f64, r: f64, dim: usize) -> bool {
 /// false, and then pass an upper bound that the plain edge type
 /// discards).
 #[inline]
+/// Typed radius validation shared by the checked entry points: NaN and
+/// negative radii are rejected before any traversal state is touched.
+fn validate_radius(r: f64) -> Result<(), JoinError> {
+    if r.is_nan() || r < 0.0 {
+        return Err(JoinError::InvalidRadius(r));
+    }
+    Ok(())
+}
+
 fn push_edge_into<E: JoinEdge>(edges: &mut Vec<E>, a: ObjId, b: ObjId, d: f64) {
     if a < b {
         edges.push(E::make(a, b, d));
@@ -565,34 +576,108 @@ impl MTree<'_> {
         self.join_with_into(r, config, out);
     }
 
+    /// The fail-closed self-join entry point: validates the radius with
+    /// a typed error (instead of the panicking contract of
+    /// [`MTree::range_self_join`]) and polls an optional
+    /// [`CancelToken`] at task granularity.
+    ///
+    /// On cancellation the traversal stops cleanly with
+    /// [`JoinError::Cancelled`]: no partial edge list escapes, and the
+    /// [`MTree::distance_computations`] / [`MTree::node_accesses`]
+    /// counters reflect exactly the work performed up to the abandoned
+    /// task (never more, never less), so a retried run on a fresh
+    /// counter baseline is indistinguishable from a never-cancelled one.
+    pub fn range_self_join_checked(
+        &self,
+        r: f64,
+        config: SelfJoinConfig,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Vec<(ObjId, ObjId)>, JoinError> {
+        validate_radius(r)?;
+        let mut out = Vec::new();
+        self.join_with_core(r, config, &mut out, cancel)?;
+        Ok(out)
+    }
+
+    /// Checked counterpart of [`MTree::range_self_join_dist_with`]: the
+    /// distance-annotated self-join with typed radius validation and
+    /// cooperative cancellation. Same contract as
+    /// [`MTree::range_self_join_checked`].
+    pub fn range_self_join_dist_checked(
+        &self,
+        r: f64,
+        config: SelfJoinConfig,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Vec<DistEdge>, JoinError> {
+        validate_radius(r)?;
+        let mut out = Vec::new();
+        self.join_with_core(r, config, &mut out, cancel)?;
+        Ok(out)
+    }
+
     /// Generic serial driver behind both edge types.
     fn join_serial_into<E: JoinEdge>(&self, r: f64, out: &mut Vec<E>) {
+        let Ok(()) = self.join_serial_core(r, out, None) else {
+            unreachable!("cancellation is impossible without a token")
+        };
+    }
+
+    /// Serial driver core: optionally cancellable. On `Err(Cancelled)`
+    /// the counters are already charged for the work performed and
+    /// `out` is left empty (its allocation is preserved).
+    fn join_serial_core<E: JoinEdge>(
+        &self,
+        r: f64,
+        out: &mut Vec<E>,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(), Cancelled> {
         assert!(r >= 0.0, "radius must be non-negative");
         out.clear();
         if self.is_empty() {
-            return;
+            return Ok(());
         }
         let mut buf = JoinBuf {
             edges: std::mem::take(out),
             ..JoinBuf::default()
         };
-        self.run_task(Task::Same(self.root()), r, &mut buf);
+        let run = self.run_task(Task::Same(self.root()), r, &mut buf, cancel);
+        // Bulk-charge exactly the work performed — also on the abandoned
+        // path, so cancellation never loses or double-counts work.
         self.charge_accesses_bulk(buf.accesses);
         self.charge_distances_bulk(buf.dist_comps);
+        if run.is_err() {
+            buf.edges.clear();
+        }
         *out = buf.edges;
+        run
     }
 
-    /// Generic two-phase parallel driver behind both edge types (see the
-    /// module docs for the determinism argument, which is edge-type
-    /// independent).
+    /// Generic two-phase parallel driver behind both edge types.
     fn join_with_into<E: JoinEdge>(&self, r: f64, config: SelfJoinConfig, out: &mut Vec<E>) {
+        let Ok(()) = self.join_with_core(r, config, out, None) else {
+            unreachable!("cancellation is impossible without a token")
+        };
+    }
+
+    /// Parallel driver core behind both edge types (see the module docs
+    /// for the determinism argument, which is edge-type independent),
+    /// optionally cancellable at task granularity. On `Err(Cancelled)`
+    /// counters are charged for exactly the work performed across all
+    /// workers and `out` is left empty.
+    fn join_with_core<E: JoinEdge>(
+        &self,
+        r: f64,
+        config: SelfJoinConfig,
+        out: &mut Vec<E>,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(), Cancelled> {
         assert!(r >= 0.0, "radius must be non-negative");
         let threads = if config.threads == 0 {
             let auto = std::thread::available_parallelism()
                 .map(|p| p.get())
                 .unwrap_or(1);
             if auto <= 1 || self.len() < MIN_PARALLEL {
-                return self.join_serial_into(r, out);
+                return self.join_serial_core(r, out, cancel);
             }
             auto
         } else {
@@ -604,11 +689,11 @@ impl MTree<'_> {
             // cost ~60% extra wall clock at an effective thread count
             // of 1). Output and counters are byte-identical either way
             // — the traversal order never depended on the phase split.
-            return self.join_serial_into(r, out);
+            return self.join_serial_core(r, out, cancel);
         }
         out.clear();
         if self.is_empty() {
-            return;
+            return Ok(());
         }
 
         // Phase 1: bounded-depth serial expansion of the task frontier
@@ -621,6 +706,17 @@ impl MTree<'_> {
         let target = threads * TASKS_PER_WORKER;
         let mut tasks = vec![Task::Same(self.root())];
         for _ in 0..MAX_EXPANSION_PASSES {
+            if let Some(c) = cancel {
+                if c.checkpoint().is_err() {
+                    // Charge the expansion work already performed and
+                    // surface the cancellation with an empty buffer.
+                    self.charge_accesses_bulk(expand_buf.accesses);
+                    self.charge_distances_bulk(expand_buf.dist_comps);
+                    expand_buf.edges.clear();
+                    *out = expand_buf.edges;
+                    return Err(Cancelled);
+                }
+            }
             if tasks.len() >= target || tasks.iter().all(|&t| self.is_terminal(t, r)) {
                 break;
             }
@@ -648,10 +744,14 @@ impl MTree<'_> {
         // above) and the task list is never empty (it starts from the
         // root), so this is at least 1.
         let workers = threads.min(tasks.len());
+        let mut aborted = false;
         if workers <= 1 {
             // A frontier of one task: run in place.
             for &t in &tasks {
-                self.run_task(t, r, &mut expand_buf);
+                if self.run_task(t, r, &mut expand_buf, cancel).is_err() {
+                    aborted = true;
+                    break;
+                }
             }
         } else {
             let cursor = AtomicUsize::new(0);
@@ -667,7 +767,14 @@ impl MTree<'_> {
                                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                                 let Some(&task) = tasks.get(i) else { break };
                                 let start = buf.edges.len();
-                                self.run_task(task, r, &mut buf);
+                                if self.run_task(task, r, &mut buf, cancel).is_err() {
+                                    // Abandon mid-task: the slot stays
+                                    // unclaimed, which the merge below
+                                    // reads as cancellation. The buffer
+                                    // still carries this worker's exact
+                                    // counters.
+                                    break;
+                                }
                                 done.push((i, start, buf.edges.len()));
                             }
                             (done, buf.edges, buf.dist_comps, buf.accesses)
@@ -676,11 +783,18 @@ impl MTree<'_> {
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("self-join worker panicked"))
+                    .map(|h| match h.join() {
+                        Ok(res) => res,
+                        // A worker panic is a bug, not a recoverable
+                        // condition: re-raise it on the driver thread.
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    })
                     .collect()
             });
             // Merge in task order: the concatenation equals the serial
-            // traversal's output byte for byte.
+            // traversal's output byte for byte. Counters from every
+            // worker are folded in first so a cancelled run still
+            // charges exactly the work performed.
             let mut slots: Vec<(usize, usize, usize)> = vec![(usize::MAX, 0, 0); tasks.len()];
             for (w, (done, _, dist_comps, accesses)) in per_worker.iter().enumerate() {
                 expand_buf.dist_comps += dist_comps;
@@ -689,16 +803,29 @@ impl MTree<'_> {
                     slots[i] = (w, start, end);
                 }
             }
-            for &(w, start, end) in &slots {
-                debug_assert!(w != usize::MAX, "every task is drained by some worker");
-                expand_buf
-                    .edges
-                    .extend_from_slice(&per_worker[w].1[start..end]);
+            if slots.iter().any(|&(w, _, _)| w == usize::MAX) {
+                // At least one task was never completed: the token fired
+                // mid-drain. (A token that trips only after every slot
+                // was claimed does not fail the run — the output is
+                // already complete and exact.)
+                aborted = true;
+            } else {
+                for &(w, start, end) in &slots {
+                    expand_buf
+                        .edges
+                        .extend_from_slice(&per_worker[w].1[start..end]);
+                }
             }
         }
         self.charge_accesses_bulk(expand_buf.accesses);
         self.charge_distances_bulk(expand_buf.dist_comps);
+        if aborted {
+            expand_buf.edges.clear();
+            *out = expand_buf.edges;
+            return Err(Cancelled);
+        }
         *out = expand_buf.edges;
+        Ok(())
     }
 
     /// Whether a task runs to completion in one `step` (emitting its
@@ -726,21 +853,43 @@ impl MTree<'_> {
     /// Runs a task to completion, depth-first, emitting its edges into
     /// `buf` in serial traversal order. The task stack and subtask
     /// buffer live in the buf's scratch arena, reused across tasks.
-    fn run_task<E: JoinEdge>(&self, task: Task, r: f64, buf: &mut JoinBuf<E>) {
+    ///
+    /// The optional [`CancelToken`] is polled once per popped task — a
+    /// task either runs whole or not at all, so the counters charged
+    /// from `buf` always account for completed work exactly. On
+    /// `Err(Cancelled)` the buffer may hold a partial edge list; the
+    /// drivers discard it before surfacing the error.
+    fn run_task<E: JoinEdge>(
+        &self,
+        task: Task,
+        r: f64,
+        buf: &mut JoinBuf<E>,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(), Cancelled> {
         let mut stack = std::mem::take(&mut buf.scratch.stack);
         let mut sub = std::mem::take(&mut buf.scratch.sub);
         stack.clear();
         sub.clear();
         stack.push(task);
+        let mut result = Ok(());
         while let Some(t) = stack.pop() {
+            if let Some(c) = cancel {
+                if let Err(e) = c.checkpoint() {
+                    result = Err(e);
+                    break;
+                }
+            }
             if !self.step(t, r, buf, &mut sub) {
                 // Subtasks were produced in serial order; the stack pops
                 // in reverse, so push them reversed.
                 stack.extend(sub.drain(..).rev());
             }
         }
+        stack.clear();
+        sub.clear();
         buf.scratch.stack = stack;
         buf.scratch.sub = sub;
+        result
     }
 
     /// Executes one level of the traversal. Leaf-level tasks run to
@@ -788,8 +937,8 @@ impl MTree<'_> {
                                 {
                                     continue;
                                 }
-                                let pi = ni.pivot.expect("children have pivots");
-                                let pj = nj.pivot.expect("children have pivots");
+                                let pi = ni.pivot_id();
+                                let pj = nj.pivot_id();
                                 let d = buf.dist_objs(self, pi, pj);
                                 if d <= r + ni.radius + nj.radius {
                                     out.push(Task::Pair(ci, cj, d));
@@ -834,7 +983,7 @@ impl MTree<'_> {
                         };
                         buf.touch();
                         let nf = self.node(fixed);
-                        let pf = nf.pivot.expect("non-root nodes have pivots");
+                        let pf = nf.pivot_id();
                         let lemma = self.config().parent_pruning;
                         for &child in self.node(expanded).children() {
                             let nc = self.node(child);
@@ -846,7 +995,7 @@ impl MTree<'_> {
                             {
                                 continue;
                             }
-                            let pc = nc.pivot.expect("children have pivots");
+                            let pc = nc.pivot_id();
                             let d = buf.dist_objs(self, pf, pc);
                             if d <= r + nf.radius + nc.radius {
                                 out.push(Task::Pair(fixed, child, d));
@@ -1003,7 +1152,7 @@ impl MTree<'_> {
         let nb = self.node(b);
         let ea = na.leaf_entries();
         let eb = nb.leaf_entries();
-        let pb = nb.pivot.expect("non-root nodes have pivots");
+        let pb = nb.pivot_id();
         let lemma = self.config().parent_pruning;
         let JoinBuf {
             edges,
@@ -1676,5 +1825,136 @@ mod tests {
             let par = tree.range_self_join_dist_with(r, SelfJoinConfig::with_threads(threads));
             prop_assert_eq!(par, serial);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Checked entry points: typed radius validation and cancellation
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn checked_rejects_nan_and_negative_radius() {
+        let data = random_data(60, 1);
+        let tree = MTree::build(&data, MTreeConfig::default());
+        tree.reset_distance_computations();
+        for r in [f64::NAN, -0.5, f64::NEG_INFINITY] {
+            let err = tree
+                .range_self_join_checked(r, SelfJoinConfig::default(), None)
+                .unwrap_err();
+            assert!(matches!(err, JoinError::InvalidRadius(_)), "r={r}: {err}");
+            let err = tree
+                .range_self_join_dist_checked(r, SelfJoinConfig::default(), None)
+                .unwrap_err();
+            assert!(matches!(err, JoinError::InvalidRadius(_)), "r={r}: {err}");
+        }
+        // Rejection happens before any traversal state is touched.
+        assert_eq!(tree.reset_distance_computations(), 0);
+    }
+
+    #[test]
+    fn checked_without_token_matches_the_plain_join() {
+        let data = random_data(200, 7);
+        let tree = MTree::build(&data, MTreeConfig::default());
+        let plain = tree.range_self_join_serial(0.3);
+        for threads in [1, 3] {
+            let checked = tree
+                .range_self_join_checked(0.3, SelfJoinConfig::with_threads(threads), None)
+                .expect("uncancelled join succeeds");
+            assert_eq!(checked, plain);
+        }
+        let dist = tree.range_self_join_dist_serial(0.3);
+        let checked = tree
+            .range_self_join_dist_checked(0.3, SelfJoinConfig::with_threads(3), None)
+            .expect("uncancelled join succeeds");
+        assert_eq!(checked, dist);
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_before_any_distance_work() {
+        let data = random_data(200, 3);
+        let tree = MTree::build(&data, MTreeConfig::default());
+        tree.reset_distance_computations();
+        tree.reset_node_accesses();
+        let token = CancelToken::new();
+        token.cancel();
+        for threads in [1, 4] {
+            let err = tree
+                .range_self_join_checked(0.3, SelfJoinConfig::with_threads(threads), Some(&token))
+                .unwrap_err();
+            assert_eq!(err, JoinError::Cancelled);
+        }
+        assert_eq!(tree.distance_computations(), 0);
+        assert_eq!(tree.node_accesses(), 0);
+    }
+
+    #[test]
+    fn mid_build_cancellation_is_clean_and_counters_stay_exact() {
+        let data = random_data(300, 11);
+        let tree = MTree::build(&data, MTreeConfig::default());
+
+        // Reference: the full serial run's exact counters and output.
+        tree.reset_distance_computations();
+        tree.reset_node_accesses();
+        let full = tree
+            .range_self_join_checked(0.3, SelfJoinConfig::with_threads(1), None)
+            .expect("uncancelled join succeeds");
+        let full_dc = tree.reset_distance_computations();
+        let full_na = tree.reset_node_accesses();
+        assert!(full_dc > 0 && !full.is_empty());
+
+        // Cancel deterministically mid-traversal: the check budget trips
+        // after a handful of tasks, long before the join completes.
+        let token = CancelToken::with_check_budget(5);
+        let err = tree
+            .range_self_join_checked(0.3, SelfJoinConfig::with_threads(1), Some(&token))
+            .unwrap_err();
+        assert_eq!(err, JoinError::Cancelled);
+        let cancelled_dc = tree.reset_distance_computations();
+        let cancelled_na = tree.reset_node_accesses();
+        // Partial work is charged, but never more than the full run.
+        assert!(cancelled_dc < full_dc, "{cancelled_dc} vs {full_dc}");
+        assert!(cancelled_na < full_na, "{cancelled_na} vs {full_na}");
+
+        // No poisoned state: a retry on the same tree reproduces the
+        // full run byte-for-byte with the exact reference counters.
+        let retry = tree
+            .range_self_join_checked(0.3, SelfJoinConfig::with_threads(1), None)
+            .expect("retry after cancellation succeeds");
+        assert_eq!(retry, full);
+        assert_eq!(tree.reset_distance_computations(), full_dc);
+        assert_eq!(tree.reset_node_accesses(), full_na);
+    }
+
+    #[test]
+    fn parallel_cancellation_leaves_no_partial_state() {
+        let data = random_data(400, 13);
+        let tree = MTree::build(&data, MTreeConfig::default());
+        let full = tree.range_self_join_dist_with(0.3, SelfJoinConfig::with_threads(4));
+        tree.reset_distance_computations();
+        tree.reset_node_accesses();
+
+        let token = CancelToken::with_check_budget(10);
+        let err = tree
+            .range_self_join_dist_checked(0.3, SelfJoinConfig::with_threads(4), Some(&token))
+            .unwrap_err();
+        assert_eq!(err, JoinError::Cancelled);
+        tree.reset_distance_computations();
+        tree.reset_node_accesses();
+
+        // The retry is byte-identical to the uncancelled parallel run.
+        let retry = tree
+            .range_self_join_dist_checked(0.3, SelfJoinConfig::with_threads(4), None)
+            .expect("retry after cancellation succeeds");
+        assert_eq!(retry, full);
+    }
+
+    #[test]
+    fn expired_deadline_cancels_the_join() {
+        let data = random_data(200, 17);
+        let tree = MTree::build(&data, MTreeConfig::default());
+        let token = CancelToken::with_deadline(std::time::Duration::ZERO);
+        let err = tree
+            .range_self_join_checked(0.3, SelfJoinConfig::with_threads(2), Some(&token))
+            .unwrap_err();
+        assert_eq!(err, JoinError::Cancelled);
     }
 }

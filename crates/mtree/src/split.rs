@@ -174,7 +174,12 @@ pub fn split_entries(
             order.sort_by(|&a, &b| {
                 let da = data.dist(reps[a], p1) - data.dist(reps[a], p2);
                 let db = data.dist(reps[b], p1) - data.dist(reps[b], p2);
-                da.partial_cmp(&db).expect("finite distances")
+                match da.partial_cmp(&db) {
+                    Some(o) => o,
+                    // Datasets are finite by construction, so pairwise
+                    // distances (and their differences) never produce NaN.
+                    None => unreachable!("finite distances are comparable"),
+                }
             });
             side1.push(i1);
             side2.push(i2);

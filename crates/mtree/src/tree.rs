@@ -386,7 +386,7 @@ impl<'a> MTree<'a> {
         let mut best_enlarge: Option<(f64, NodeId)> = None;
         for &c in children {
             let node = &self.nodes[c];
-            let pivot = node.pivot.expect("non-root nodes have pivots");
+            let pivot = node.pivot_id();
             let d = self.dist_q(pivot, point);
             if d <= node.radius {
                 if best_inside.is_none_or(|(bd, _)| d < bd) {
@@ -399,10 +399,10 @@ impl<'a> MTree<'a> {
                 }
             }
         }
-        best_inside
-            .or(best_enlarge)
-            .map(|(_, c)| c)
-            .expect("internal node has at least one child")
+        match best_inside.or(best_enlarge) {
+            Some((_, c)) => c,
+            None => unreachable!("internal node has at least one child"),
+        }
     }
 
     /// Distance from `point` to the pivot of `node` (0 if the node has no
@@ -424,10 +424,9 @@ impl<'a> MTree<'a> {
         // entries, the child pivot for internal entries.
         let reps: Vec<ObjId> = match &self.nodes[node].kind {
             NodeKind::Leaf(entries) => entries.iter().map(|e| e.object).collect(),
-            NodeKind::Internal(children) => children
-                .iter()
-                .map(|&c| self.nodes[c].pivot.expect("children have pivots"))
-                .collect(),
+            NodeKind::Internal(children) => {
+                children.iter().map(|&c| self.nodes[c].pivot_id()).collect()
+            }
         };
         let outcome = split_entries(
             self.data,
@@ -562,7 +561,7 @@ impl<'a> MTree<'a> {
     fn install_internal(&mut self, id: NodeId, pivot: ObjId, children: Vec<NodeId>) {
         let mut radius = 0.0f64;
         for &c in &children {
-            let child_pivot = self.nodes[c].pivot.expect("children have pivots");
+            let child_pivot = self.nodes[c].pivot_id();
             let d = self.dist_objs(child_pivot, pivot);
             self.nodes[c].dist_to_parent = d;
             radius = radius.max(d + self.nodes[c].radius);
@@ -575,7 +574,9 @@ impl<'a> MTree<'a> {
 
     /// Refreshes `dist_to_parent` of `node` against its parent's pivot.
     fn refresh_dist_to_parent(&mut self, node: NodeId) {
-        let parent = self.nodes[node].parent.expect("called on non-root");
+        let Some(parent) = self.nodes[node].parent else {
+            unreachable!("called on non-root")
+        };
         let d = match (self.nodes[parent].pivot, self.nodes[node].pivot) {
             (Some(pp), Some(np)) => self.dist_objs(np, pp),
             _ => 0.0,

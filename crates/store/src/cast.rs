@@ -1,0 +1,146 @@
+//! Alignment-checked reinterpretation of byte buffers as `u64`/`f64`
+//! slices — the zero-copy substrate of the validated snapshot views —
+//! plus [`AlignedBytes`], an owned byte buffer whose storage is
+//! guaranteed to start on an 8-byte boundary.
+//!
+//! This is the only module in the workspace that uses `unsafe`. Both
+//! casts check the invariants they rely on (8-byte start alignment and a
+//! length that is a multiple of 8) and panic on violation; the load
+//! pipeline establishes those invariants before any cast by rejecting
+//! misaligned buffers with [`crate::StoreError::Misaligned`] and
+//! enforcing 8-byte-granular section extents.
+
+/// Reinterprets `bytes` as native-endian `u64`s without copying.
+///
+/// # Panics
+///
+/// Panics if `bytes` does not start on an 8-byte boundary or its length
+/// is not a multiple of 8. Callers inside this crate validate both
+/// before reaching here.
+pub(crate) fn as_u64s(bytes: &[u8]) -> &[u64] {
+    assert!(
+        bytes.as_ptr().align_offset(std::mem::align_of::<u64>()) == 0,
+        "byte buffer must be 8-byte aligned"
+    );
+    assert!(
+        bytes.len().is_multiple_of(8),
+        "byte length must be a multiple of 8, got {}",
+        bytes.len()
+    );
+    // SAFETY: the pointer is 8-byte aligned and the region holds
+    // `len / 8` complete u64 values, all within the borrowed slice; any
+    // bit pattern is a valid u64. The returned slice borrows `bytes`,
+    // so the aliasing and lifetime rules are inherited.
+    unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<u64>(), bytes.len() / 8) }
+}
+
+/// Reinterprets `bytes` as native-endian `f64`s without copying.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`as_u64s`].
+pub(crate) fn as_f64s(bytes: &[u8]) -> &[f64] {
+    assert!(
+        bytes.as_ptr().align_offset(std::mem::align_of::<f64>()) == 0,
+        "byte buffer must be 8-byte aligned"
+    );
+    assert!(
+        bytes.len().is_multiple_of(8),
+        "byte length must be a multiple of 8, got {}",
+        bytes.len()
+    );
+    // SAFETY: as in `as_u64s`; any bit pattern is a valid f64 (NaN
+    // payloads included — the semantic validators reject non-finite
+    // values downstream, by value rather than by representation).
+    unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<f64>(), bytes.len() / 8) }
+}
+
+/// An owned byte buffer backed by `u64` storage, so its first byte is
+/// always 8-byte aligned. File reads land here before validation:
+/// `Vec<u8>` from `std::fs::read` carries no alignment guarantee, and
+/// [`crate::load`] fails closed on misaligned input rather than copying
+/// behind the caller's back.
+#[derive(Clone, Debug)]
+pub struct AlignedBytes {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl AlignedBytes {
+    /// Copies `bytes` into fresh 8-byte-aligned storage.
+    pub fn copy_from(bytes: &[u8]) -> Self {
+        let mut words = vec![0u64; bytes.len().div_ceil(8)];
+        // Scatter through the u64 words without unsafe: each word packs
+        // up to 8 consecutive input bytes in native order.
+        for (w, chunk) in words.iter_mut().zip(bytes.chunks(8)) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            *w = u64::from_ne_bytes(buf);
+        }
+        Self {
+            words,
+            len: bytes.len(),
+        }
+    }
+
+    /// The buffer contents; the returned slice starts on an 8-byte
+    /// boundary.
+    pub fn as_bytes(&self) -> &[u8] {
+        // SAFETY: the Vec<u64> allocation is 8-byte aligned and holds at
+        // least `len` initialized bytes (`len <= words.len() * 8`); u8
+        // has no validity requirements. The slice borrows `self`.
+        unsafe { std::slice::from_raw_parts(self.words.as_ptr().cast::<u8>(), self.len) }
+    }
+
+    /// Number of bytes held.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_arbitrary_lengths() {
+        for len in 0..32usize {
+            let bytes: Vec<u8> = (0..len as u8).collect();
+            let aligned = AlignedBytes::copy_from(&bytes);
+            assert_eq!(aligned.as_bytes(), &bytes[..]);
+            assert_eq!(aligned.len(), len);
+            assert_eq!(aligned.is_empty(), len == 0);
+            assert_eq!(aligned.as_bytes().as_ptr().align_offset(8), 0);
+        }
+    }
+
+    #[test]
+    fn u64_and_f64_views_read_back_written_values() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&0xDEAD_BEEF_u64.to_ne_bytes());
+        bytes.extend_from_slice(&2.5f64.to_ne_bytes());
+        let aligned = AlignedBytes::copy_from(&bytes);
+        let b = aligned.as_bytes();
+        assert_eq!(as_u64s(&b[..8]), &[0xDEAD_BEEF]);
+        assert_eq!(as_f64s(&b[8..16]), &[2.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 8")]
+    fn rejects_ragged_lengths() {
+        let aligned = AlignedBytes::copy_from(&[1, 2, 3]);
+        let _ = as_u64s(aligned.as_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn rejects_misaligned_starts() {
+        let aligned = AlignedBytes::copy_from(&[0u8; 17]);
+        let _ = as_u64s(&aligned.as_bytes()[1..17]);
+    }
+}

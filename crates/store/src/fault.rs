@@ -1,0 +1,137 @@
+//! Fault injection for the snapshot format: deterministic corruption of
+//! a valid snapshot so tests (and operators reproducing a corruption
+//! report) can confirm that every damage class maps to the documented
+//! [`crate::StoreError`] variant and that nothing on the load path
+//! panics on damaged bytes.
+//!
+//! [`corrupt`] never mutates its input; it returns a fresh corrupted
+//! copy. Faults that model a *well-formed but unacceptable* file
+//! ([`Fault::VersionSkew`], [`Fault::ZeroChecksum`]) re-seal the outer
+//! checksum layers after tampering, so the load path reaches the check
+//! the fault targets instead of tripping over a checksum of the
+//! tampering itself.
+
+use crate::checksum::fnv1a_64;
+use crate::error::SectionId;
+use crate::snapshot::{
+    read_u64, write_u32, write_u64, HEADER_LEN, OFF_HEADER_CHECKSUM, OFF_TABLE_CHECKSUM,
+    OFF_VERSION, SECTION_ORDER, TABLE_END, TABLE_ENTRY_LEN,
+};
+
+/// A deterministic way to damage a snapshot byte buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Flip bit `bit` (0–7) of the byte at `offset` — models media or
+    /// transport corruption. Loading the result must fail with the
+    /// checksum (or outer-layer) error owning that byte.
+    BitFlip {
+        /// Byte offset to damage.
+        offset: usize,
+        /// Bit index within the byte, 0–7.
+        bit: u8,
+    },
+    /// Keep only the first `len` bytes — models a partial write or
+    /// interrupted download. Loading must fail with
+    /// [`crate::StoreError::Truncated`] at every boundary.
+    TruncateAt(
+        /// Bytes to keep.
+        usize,
+    ),
+    /// Rewrite the version field to `version` and re-seal the header
+    /// checksum — models a snapshot from a different format revision.
+    /// Loading must fail with [`crate::StoreError::UnsupportedVersion`]
+    /// (not a checksum error: the file is internally consistent).
+    VersionSkew(
+        /// Version to stamp.
+        u32,
+    ),
+    /// Zero the stored checksum guarding `section`, re-sealing the
+    /// layers outside it — models a writer that skipped checksumming.
+    /// Loading must fail with [`crate::StoreError::ChecksumMismatch`]
+    /// for exactly that section.
+    ZeroChecksum(
+        /// Whose stored checksum to zero.
+        SectionId,
+    ),
+    /// Prepend one pad byte so the payload starts off-boundary. To
+    /// observe [`crate::StoreError::Misaligned`], copy the result into
+    /// an [`crate::AlignedBytes`] and load from `as_bytes()[1..]` — a
+    /// plain `Vec<u8>` carries no alignment guarantee either way.
+    Misalign,
+}
+
+/// Re-seals table and header checksums after in-place tampering, so the
+/// tampered field itself (not the seal) is what the load path rejects.
+fn reseal(buf: &mut [u8]) {
+    let table = fnv1a_64(&buf[HEADER_LEN..TABLE_END]);
+    write_u64(buf, OFF_TABLE_CHECKSUM, table);
+    let header = fnv1a_64(&buf[..OFF_HEADER_CHECKSUM]);
+    write_u64(buf, OFF_HEADER_CHECKSUM, header);
+}
+
+/// Applies `fault` to a copy of `bytes` and returns the damaged buffer.
+///
+/// # Panics
+///
+/// Panics if the fault addresses bytes outside the buffer (e.g. a
+/// `BitFlip` offset past the end, or structural faults applied to a
+/// buffer shorter than the fixed header + table). Fault injection is a
+/// test harness for *valid* snapshots; it does not itself fail closed.
+pub fn corrupt(bytes: &[u8], fault: Fault) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    match fault {
+        Fault::BitFlip { offset, bit } => {
+            assert!(bit < 8, "bit index must be 0-7, got {bit}");
+            out[offset] ^= 1 << bit;
+        }
+        Fault::TruncateAt(len) => {
+            assert!(len <= out.len(), "cannot truncate {} to {len}", out.len());
+            out.truncate(len);
+        }
+        Fault::VersionSkew(version) => {
+            write_u32(&mut out, OFF_VERSION, version);
+            reseal(&mut out);
+        }
+        Fault::ZeroChecksum(section) => match section {
+            SectionId::Header => {
+                write_u64(&mut out, OFF_HEADER_CHECKSUM, 0);
+            }
+            SectionId::SectionTable => {
+                write_u64(&mut out, OFF_TABLE_CHECKSUM, 0);
+                let header = fnv1a_64(&out[..OFF_HEADER_CHECKSUM]);
+                write_u64(&mut out, OFF_HEADER_CHECKSUM, header);
+            }
+            payload => {
+                let idx = SECTION_ORDER
+                    .iter()
+                    .position(|&s| s == payload)
+                    .unwrap_or_else(|| unreachable!("{payload} is a payload section"));
+                let entry = HEADER_LEN + idx * TABLE_ENTRY_LEN;
+                write_u64(&mut out, entry + 24, 0);
+                reseal(&mut out);
+            }
+        },
+        Fault::Misalign => {
+            out.clear();
+            out.push(0);
+            out.extend_from_slice(bytes);
+        }
+    }
+    out
+}
+
+/// The stored checksum a [`Fault::ZeroChecksum`] would zero — exposed
+/// so tests can assert the seal actually changed.
+pub fn stored_checksum(bytes: &[u8], section: SectionId) -> u64 {
+    match section {
+        SectionId::Header => read_u64(bytes, OFF_HEADER_CHECKSUM),
+        SectionId::SectionTable => read_u64(bytes, OFF_TABLE_CHECKSUM),
+        payload => {
+            let idx = SECTION_ORDER
+                .iter()
+                .position(|&s| s == payload)
+                .unwrap_or_else(|| unreachable!("{payload} is a payload section"));
+            read_u64(bytes, HEADER_LEN + idx * TABLE_ENTRY_LEN + 24)
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Fail-closed persistence for DisC diversity state: a
+//! [`disc_metric::Dataset`] plus the [`disc_graph::StratifiedDiskGraph`]
+//! built over it, serialised into one versioned, checksummed,
+//! 8-byte-aligned snapshot. The expensive artefact is the graph — one
+//! distance-annotated self-join at `r_max` — and a snapshot lets a later
+//! process resume zooming at any radius without recomputing it.
+//!
+//! The design rule is *fail closed*: a snapshot either loads into
+//! exactly the bytes that were saved, or loading returns a typed
+//! [`StoreError`] naming the first broken layer. No panic on untrusted
+//! bytes, no silent acceptance of damage, no "best effort" partial
+//! loads.
+//!
+//! # On-disk layout (version 1)
+//!
+//! All multi-byte fields are **native-endian**; the endianness marker
+//! fails closed on foreign-endian snapshots (the format targets
+//! same-machine persistence and homogeneous clusters, like an mmap'd
+//! index file). Every section starts on an **8-byte boundary**, which is
+//! what makes the zero-copy `u64`/`f64` views of [`SnapshotView`] sound.
+//!
+//! ```text
+//! offset  size  field
+//! ------  ----  -----------------------------------------------------
+//!      0     8  magic "DISCSNAP"
+//!      8     4  version (u32, currently 1)
+//!     12     4  endianness marker (u32, 0x0A0B0C0D)
+//!     16     8  section count (u64, currently 6)
+//!     24     8  total file length in bytes (u64)
+//!     32     8  reserved (u64, must be 0)
+//!     40     8  FNV-1a 64 checksum of the section table (bytes 56..248)
+//!     48     8  FNV-1a 64 checksum of the header (bytes 0..48)
+//!     56   192  section table: 6 entries x 32 bytes, each
+//!               { id: u64, offset: u64, len: u64, checksum: u64 }
+//!    248     -  section payloads, contiguous, each 8-byte aligned
+//! ```
+//!
+//! Sections, in file order (ids 1–6):
+//!
+//! | id | section   | contents                                          |
+//! |----|-----------|---------------------------------------------------|
+//! | 1  | meta      | dim, n, metric tag, radius bits, edge total, name length (6 × u64) |
+//! | 2  | coords    | row-major coordinates, `n * dim` × f64            |
+//! | 3  | offsets   | CSR row boundaries, `n + 1` × u64                 |
+//! | 4  | neighbors | CSR neighbor ids, `edge_total` × u64              |
+//! | 5  | dists     | CSR edge distances, `edge_total` × f64            |
+//! | 6  | name      | UTF-8 dataset name, zero-padded to 8 bytes        |
+//!
+//! Section `len` is the **padded** length, so the extents tile the file
+//! exactly from byte 248 to `file_len` with no gaps: every byte of the
+//! file is covered by exactly one checksum (header bytes by the header
+//! checksum, the stored header checksum by being compared against a
+//! recomputation, table bytes by the table checksum, payload and
+//! padding bytes by their section checksum). Combined with FNV-1a's
+//! guaranteed sensitivity to any single-byte change, **every single-bit
+//! flip anywhere in a snapshot is detected**, and the fault-injection
+//! suite proves it exhaustively for small snapshots.
+//!
+//! # Failure taxonomy
+//!
+//! Checks run outside-in; the first broken layer names the error.
+//!
+//! | damage                                         | error                                     |
+//! |------------------------------------------------|-------------------------------------------|
+//! | buffer shorter than header or declared length  | [`StoreError::Truncated`]                 |
+//! | buffer not starting on an 8-byte boundary      | [`StoreError::Misaligned`]                |
+//! | first 8 bytes are not `DISCSNAP`               | [`StoreError::BadMagic`]                  |
+//! | endianness marker reads back wrong             | [`StoreError::EndianMismatch`]            |
+//! | bit flip in header bytes 8..12 or 16..56       | [`StoreError::ChecksumMismatch`] (header) |
+//! | consistent file with an unknown version        | [`StoreError::UnsupportedVersion`]        |
+//! | bit flip in the section table                  | [`StoreError::ChecksumMismatch`] (table)  |
+//! | bit flip in a section payload or its padding   | [`StoreError::ChecksumMismatch`] (section)|
+//! | crafted table/meta inconsistencies             | [`StoreError::BadLayout`] / [`StoreError::SectionSizeMismatch`] |
+//! | unknown metric tag                             | [`StoreError::UnknownMetric`]             |
+//! | stored coordinates invalid as a dataset        | [`StoreError::InvalidDataset`]            |
+//! | stored CSR invalid as a graph (offsets, order) | [`StoreError::InvalidGraph`]              |
+//!
+//! # Typical use
+//!
+//! ```
+//! use disc_metric::{Dataset, Metric, Point};
+//! use disc_graph::StratifiedDiskGraph;
+//!
+//! let data = Dataset::new(
+//!     "demo",
+//!     Metric::Euclidean,
+//!     vec![Point::new2(0.0, 0.0), Point::new2(0.5, 0.0), Point::new2(2.0, 0.0)],
+//! );
+//! let graph = StratifiedDiskGraph::build(&data, 1.0);
+//!
+//! let bytes = disc_store::encode(&data, &graph).unwrap();
+//! let view = disc_store::load(&bytes).unwrap();
+//! assert_eq!(view.len(), 3);
+//! let (data2, graph2) = disc_store::decode(&bytes).unwrap();
+//! assert_eq!(graph2, graph);
+//! assert_eq!(data2.flat_coords(), data.flat_coords());
+//! ```
+//!
+//! File I/O round-trips through [`write_snapshot`] / [`read_snapshot`];
+//! the latter copies into an [`AlignedBytes`] buffer because `Vec<u8>`
+//! from `std::fs::read` carries no alignment guarantee.
+//!
+//! The [`fault`] module provides the corruption harness ([`Fault`],
+//! [`fault::corrupt`]) used by the fault-injection test suite.
+
+mod cast;
+mod checksum;
+mod error;
+pub mod fault;
+mod snapshot;
+
+pub use cast::AlignedBytes;
+pub use checksum::fnv1a_64;
+pub use error::{SectionId, StoreError};
+pub use fault::Fault;
+pub use snapshot::{
+    decode, encode, encode_parts, load, read_snapshot, write_snapshot, SnapshotParts, SnapshotView,
+    ENDIAN_MARKER, MAGIC, VERSION,
+};

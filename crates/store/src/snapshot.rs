@@ -1,0 +1,632 @@
+//! Snapshot encode and fail-closed load.
+//!
+//! [`encode`] serialises a [`Dataset`] + [`StratifiedDiskGraph`] pair
+//! into the versioned, checksummed byte format described in the crate
+//! docs; [`load`] validates a byte buffer outside-in (length →
+//! alignment → magic → endianness → header checksum → version → section
+//! table → per-section checksums → semantic invariants) and returns a
+//! zero-copy [`SnapshotView`] over it. Every rejection is a typed
+//! [`StoreError`]; nothing on the load path panics on untrusted bytes.
+
+use std::path::Path;
+
+use disc_graph::{GraphError, StratifiedDiskGraph};
+use disc_metric::{Dataset, Metric, ObjId};
+
+use crate::cast::{as_f64s, as_u64s, AlignedBytes};
+use crate::checksum::fnv1a_64;
+use crate::error::{SectionId, StoreError};
+
+/// First eight bytes of every snapshot.
+pub const MAGIC: [u8; 8] = *b"DISCSNAP";
+/// The format version this build reads and writes.
+pub const VERSION: u32 = 1;
+/// Endianness sentinel: written native, read native — a snapshot from a
+/// machine with different byte order reads back as a different value.
+pub const ENDIAN_MARKER: u32 = 0x0A0B_0C0D;
+
+pub(crate) const HEADER_LEN: usize = 56;
+pub(crate) const SECTION_COUNT: usize = 6;
+pub(crate) const TABLE_ENTRY_LEN: usize = 32;
+/// End of the section table == start of the first section payload.
+pub(crate) const TABLE_END: usize = HEADER_LEN + SECTION_COUNT * TABLE_ENTRY_LEN;
+const META_LEN: usize = 48;
+
+pub(crate) const OFF_VERSION: usize = 8;
+const OFF_ENDIAN: usize = 12;
+const OFF_SECTION_COUNT: usize = 16;
+const OFF_FILE_LEN: usize = 24;
+const OFF_RESERVED: usize = 32;
+pub(crate) const OFF_TABLE_CHECKSUM: usize = 40;
+pub(crate) const OFF_HEADER_CHECKSUM: usize = 48;
+
+/// Payload sections in file order. Their numeric ids (1-based rank)
+/// are stamped into the section table.
+pub(crate) const SECTION_ORDER: [SectionId; SECTION_COUNT] = [
+    SectionId::Meta,
+    SectionId::Coords,
+    SectionId::Offsets,
+    SectionId::Neighbors,
+    SectionId::Dists,
+    SectionId::Name,
+];
+
+fn align8(len: usize) -> usize {
+    len.div_ceil(8) * 8
+}
+
+pub(crate) fn read_u64(bytes: &[u8], off: usize) -> u64 {
+    let mut a = [0u8; 8];
+    a.copy_from_slice(&bytes[off..off + 8]);
+    u64::from_ne_bytes(a)
+}
+
+fn read_u32(bytes: &[u8], off: usize) -> u32 {
+    let mut a = [0u8; 4];
+    a.copy_from_slice(&bytes[off..off + 4]);
+    u32::from_ne_bytes(a)
+}
+
+pub(crate) fn write_u64(bytes: &mut [u8], off: usize, v: u64) {
+    bytes[off..off + 8].copy_from_slice(&v.to_ne_bytes());
+}
+
+pub(crate) fn write_u32(bytes: &mut [u8], off: usize, v: u32) {
+    bytes[off..off + 4].copy_from_slice(&v.to_ne_bytes());
+}
+
+fn metric_tag(metric: Metric) -> u64 {
+    match metric {
+        Metric::Euclidean => 0,
+        Metric::Manhattan => 1,
+        Metric::Chebyshev => 2,
+        Metric::Hamming => 3,
+    }
+}
+
+fn metric_from_tag(tag: u64) -> Option<Metric> {
+    match tag {
+        0 => Some(Metric::Euclidean),
+        1 => Some(Metric::Manhattan),
+        2 => Some(Metric::Chebyshev),
+        3 => Some(Metric::Hamming),
+        _ => None,
+    }
+}
+
+/// The raw constituents of a snapshot, borrowed from the caller. The
+/// usual entry point is [`encode`]; this struct exists so degenerate
+/// states a [`Dataset`] cannot represent (notably `n == 0`) can still
+/// round-trip through the format.
+#[derive(Clone, Copy, Debug)]
+pub struct SnapshotParts<'a> {
+    /// Dataset name (UTF-8, stored verbatim).
+    pub name: &'a str,
+    /// Metric the coordinates are compared under.
+    pub metric: Metric,
+    /// Dimensionality of each coordinate row.
+    pub dim: usize,
+    /// Row-major coordinates, `n * dim` values.
+    pub coords: &'a [f64],
+    /// Build radius of the stratified graph.
+    pub radius: f64,
+    /// CSR row boundaries, `n + 1` values.
+    pub offsets: &'a [usize],
+    /// CSR neighbor ids, `offsets[n]` values.
+    pub neighbors: &'a [ObjId],
+    /// CSR edge distances, `offsets[n]` values.
+    pub dists: &'a [f64],
+}
+
+/// Serialises raw snapshot parts. Rejects structurally inconsistent
+/// parts (mismatched array lengths, invalid radius) with a typed error;
+/// deep semantic validation (row order, neighbor ranges, finiteness)
+/// is the load path's job and is re-run on every load.
+pub fn encode_parts(parts: &SnapshotParts<'_>) -> Result<Vec<u8>, StoreError> {
+    if parts.offsets.is_empty() {
+        return Err(GraphError::EmptyOffsets.into());
+    }
+    let n = parts.offsets.len() - 1;
+    let edge_total = parts.offsets[n];
+    if parts.coords.len() != n * parts.dim {
+        return Err(StoreError::SectionSizeMismatch {
+            section: SectionId::Coords,
+            expected: (n * parts.dim * 8) as u64,
+            found: (parts.coords.len() * 8) as u64,
+        });
+    }
+    if parts.neighbors.len() != edge_total || parts.dists.len() != edge_total {
+        return Err(GraphError::ArrayLengthMismatch {
+            expected: edge_total,
+            neighbors: parts.neighbors.len(),
+            dists: parts.dists.len(),
+        }
+        .into());
+    }
+    if !(parts.radius.is_finite() && parts.radius >= 0.0) {
+        return Err(GraphError::InvalidRadius(parts.radius).into());
+    }
+
+    let name_bytes = parts.name.as_bytes();
+    let payload_lens: [usize; SECTION_COUNT] = [
+        META_LEN,
+        parts.coords.len() * 8,
+        parts.offsets.len() * 8,
+        parts.neighbors.len() * 8,
+        parts.dists.len() * 8,
+        name_bytes.len(),
+    ];
+    let padded_lens = payload_lens.map(align8);
+    let file_len = TABLE_END + padded_lens.iter().sum::<usize>();
+    let mut buf = vec![0u8; file_len];
+
+    buf[..8].copy_from_slice(&MAGIC);
+    write_u32(&mut buf, OFF_VERSION, VERSION);
+    write_u32(&mut buf, OFF_ENDIAN, ENDIAN_MARKER);
+    write_u64(&mut buf, OFF_SECTION_COUNT, SECTION_COUNT as u64);
+    write_u64(&mut buf, OFF_FILE_LEN, file_len as u64);
+    write_u64(&mut buf, OFF_RESERVED, 0);
+
+    // Section payloads, contiguous and 8-byte aligned from TABLE_END on:
+    // every byte between two section starts belongs to (and is
+    // checksummed with) the earlier section, padding included.
+    let mut off = TABLE_END;
+    for (i, &padded) in padded_lens.iter().enumerate() {
+        match SECTION_ORDER[i] {
+            SectionId::Meta => {
+                let m = off;
+                write_u64(&mut buf, m, parts.dim as u64);
+                write_u64(&mut buf, m + 8, n as u64);
+                write_u64(&mut buf, m + 16, metric_tag(parts.metric));
+                write_u64(&mut buf, m + 24, parts.radius.to_bits());
+                write_u64(&mut buf, m + 32, edge_total as u64);
+                write_u64(&mut buf, m + 40, name_bytes.len() as u64);
+            }
+            SectionId::Coords => write_f64_section(&mut buf, off, parts.coords),
+            SectionId::Offsets => write_usize_section(&mut buf, off, parts.offsets),
+            SectionId::Neighbors => write_usize_section(&mut buf, off, parts.neighbors),
+            SectionId::Dists => write_f64_section(&mut buf, off, parts.dists),
+            SectionId::Name => buf[off..off + name_bytes.len()].copy_from_slice(name_bytes),
+            SectionId::Header | SectionId::SectionTable => unreachable!("not payload sections"),
+        }
+        let checksum = fnv1a_64(&buf[off..off + padded]);
+        let entry = HEADER_LEN + i * TABLE_ENTRY_LEN;
+        write_u64(&mut buf, entry, (i + 1) as u64);
+        write_u64(&mut buf, entry + 8, off as u64);
+        write_u64(&mut buf, entry + 16, padded as u64);
+        write_u64(&mut buf, entry + 24, checksum);
+        off += padded;
+    }
+
+    let table_checksum = fnv1a_64(&buf[HEADER_LEN..TABLE_END]);
+    write_u64(&mut buf, OFF_TABLE_CHECKSUM, table_checksum);
+    let header_checksum = fnv1a_64(&buf[..OFF_HEADER_CHECKSUM]);
+    write_u64(&mut buf, OFF_HEADER_CHECKSUM, header_checksum);
+    Ok(buf)
+}
+
+fn write_f64_section(buf: &mut [u8], off: usize, values: &[f64]) {
+    for (i, v) in values.iter().enumerate() {
+        buf[off + i * 8..off + i * 8 + 8].copy_from_slice(&v.to_bits().to_ne_bytes());
+    }
+}
+
+fn write_usize_section(buf: &mut [u8], off: usize, values: &[usize]) {
+    for (i, &v) in values.iter().enumerate() {
+        buf[off + i * 8..off + i * 8 + 8].copy_from_slice(&(v as u64).to_ne_bytes());
+    }
+}
+
+/// Serialises a dataset and the stratified graph built over it.
+/// Rejects pairs that disagree on the number of objects.
+pub fn encode(dataset: &Dataset, graph: &StratifiedDiskGraph) -> Result<Vec<u8>, StoreError> {
+    let graph_n = graph.offsets().len() - 1;
+    if dataset.len() != graph_n {
+        return Err(StoreError::VertexCountMismatch {
+            dataset: dataset.len(),
+            graph: graph_n,
+        });
+    }
+    encode_parts(&SnapshotParts {
+        name: dataset.name(),
+        metric: dataset.metric(),
+        dim: dataset.dim(),
+        coords: dataset.flat_coords(),
+        radius: graph.radius(),
+        offsets: graph.offsets(),
+        neighbors: graph.neighbors_flat(),
+        dists: graph.dists_flat(),
+    })
+}
+
+/// A validated, zero-copy view over a snapshot byte buffer. All slice
+/// accessors borrow the underlying bytes directly (alignment was
+/// verified at load time); [`SnapshotView::dataset`] and
+/// [`SnapshotView::graph`] materialise owned values, re-running the
+/// full semantic validation of their target types.
+#[derive(Clone, Copy, Debug)]
+pub struct SnapshotView<'a> {
+    name: &'a str,
+    metric: Metric,
+    dim: usize,
+    n: usize,
+    radius: f64,
+    edge_total: usize,
+    coords: &'a [f64],
+    offsets: &'a [u64],
+    neighbors: &'a [u64],
+    dists: &'a [f64],
+}
+
+fn to_usize(v: u64, what: &'static str) -> Result<usize, StoreError> {
+    usize::try_from(v).map_err(|_| StoreError::BadLayout { detail: what })
+}
+
+/// Validates `bytes` as a snapshot and returns a zero-copy view.
+///
+/// Checks run outside-in so that every failure is attributed to the
+/// outermost broken layer: buffer length, 8-byte alignment, magic,
+/// endianness marker, header checksum, version, header plausibility,
+/// declared file length, table checksum, table layout, then each
+/// section (checksum before interpretation, meta first so the expected
+/// sizes of the data sections are known). A buffer that passes yields a
+/// view whose offsets array is already known to start at 0, be
+/// monotone, and end at the meta edge total.
+pub fn load(bytes: &[u8]) -> Result<SnapshotView<'_>, StoreError> {
+    let addr_mod_8 = bytes.as_ptr().align_offset(8);
+    // align_offset reports how far forward the next aligned address is;
+    // 0 means already aligned.
+    if addr_mod_8 != 0 {
+        return Err(StoreError::Misaligned {
+            addr_mod_8: 8 - addr_mod_8,
+        });
+    }
+    if bytes.len() < HEADER_LEN {
+        return Err(StoreError::Truncated {
+            needed: HEADER_LEN as u64,
+            have: bytes.len() as u64,
+        });
+    }
+    if bytes[..8] != MAGIC {
+        let mut found = [0u8; 8];
+        found.copy_from_slice(&bytes[..8]);
+        return Err(StoreError::BadMagic { found });
+    }
+    let endian = read_u32(bytes, OFF_ENDIAN);
+    if endian != ENDIAN_MARKER {
+        return Err(StoreError::EndianMismatch { found: endian });
+    }
+    let stored_header = read_u64(bytes, OFF_HEADER_CHECKSUM);
+    let computed_header = fnv1a_64(&bytes[..OFF_HEADER_CHECKSUM]);
+    if stored_header != computed_header {
+        return Err(StoreError::ChecksumMismatch {
+            section: SectionId::Header,
+            stored: stored_header,
+            computed: computed_header,
+        });
+    }
+    let version = read_u32(bytes, OFF_VERSION);
+    if version != VERSION {
+        return Err(StoreError::UnsupportedVersion {
+            found: version,
+            supported: VERSION,
+        });
+    }
+    if read_u64(bytes, OFF_SECTION_COUNT) != SECTION_COUNT as u64 {
+        return Err(StoreError::BadLayout {
+            detail: "section count is not 6",
+        });
+    }
+    if read_u64(bytes, OFF_RESERVED) != 0 {
+        return Err(StoreError::BadLayout {
+            detail: "reserved header word is not zero",
+        });
+    }
+    let file_len = read_u64(bytes, OFF_FILE_LEN);
+    if file_len < TABLE_END as u64 {
+        return Err(StoreError::BadLayout {
+            detail: "declared file length does not cover the section table",
+        });
+    }
+    if (bytes.len() as u64) < file_len {
+        return Err(StoreError::Truncated {
+            needed: file_len,
+            have: bytes.len() as u64,
+        });
+    }
+    if (bytes.len() as u64) > file_len {
+        return Err(StoreError::BadLayout {
+            detail: "trailing bytes beyond the declared file length",
+        });
+    }
+    let stored_table = read_u64(bytes, OFF_TABLE_CHECKSUM);
+    let computed_table = fnv1a_64(&bytes[HEADER_LEN..TABLE_END]);
+    if stored_table != computed_table {
+        return Err(StoreError::ChecksumMismatch {
+            section: SectionId::SectionTable,
+            stored: stored_table,
+            computed: computed_table,
+        });
+    }
+
+    // Section table: contiguous 8-byte-granular extents starting right
+    // after the table and ending exactly at file_len, ids in file order.
+    let mut extents = [(0usize, 0usize); SECTION_COUNT];
+    let mut checksums = [0u64; SECTION_COUNT];
+    let mut expected_off = TABLE_END as u64;
+    for (i, (extent, checksum)) in extents.iter_mut().zip(checksums.iter_mut()).enumerate() {
+        let entry = HEADER_LEN + i * TABLE_ENTRY_LEN;
+        if read_u64(bytes, entry) != (i + 1) as u64 {
+            return Err(StoreError::BadLayout {
+                detail: "section ids out of order",
+            });
+        }
+        let off = read_u64(bytes, entry + 8);
+        let len = read_u64(bytes, entry + 16);
+        if off != expected_off {
+            return Err(StoreError::BadLayout {
+                detail: "section extents are not contiguous",
+            });
+        }
+        if !len.is_multiple_of(8) {
+            return Err(StoreError::BadLayout {
+                detail: "section length is not 8-byte aligned",
+            });
+        }
+        expected_off = off.checked_add(len).ok_or(StoreError::BadLayout {
+            detail: "section extent overflows",
+        })?;
+        *extent = (
+            to_usize(off, "section offset exceeds usize")?,
+            to_usize(len, "section length exceeds usize")?,
+        );
+        *checksum = read_u64(bytes, entry + 24);
+    }
+    if expected_off != file_len {
+        return Err(StoreError::BadLayout {
+            detail: "sections do not end at the declared file length",
+        });
+    }
+
+    let verify = |i: usize| -> Result<&[u8], StoreError> {
+        let (off, len) = extents[i];
+        let region = &bytes[off..off + len];
+        let computed = fnv1a_64(region);
+        if checksums[i] != computed {
+            return Err(StoreError::ChecksumMismatch {
+                section: SECTION_ORDER[i],
+                stored: checksums[i],
+                computed,
+            });
+        }
+        Ok(region)
+    };
+
+    // Meta first: its fields dictate every other section's size.
+    let meta = verify(0)?;
+    if meta.len() != META_LEN {
+        return Err(StoreError::SectionSizeMismatch {
+            section: SectionId::Meta,
+            expected: META_LEN as u64,
+            found: meta.len() as u64,
+        });
+    }
+    let dim_u = read_u64(meta, 0);
+    let n_u = read_u64(meta, 8);
+    let metric_tag = read_u64(meta, 16);
+    let radius = f64::from_bits(read_u64(meta, 24));
+    let edge_total_u = read_u64(meta, 32);
+    let name_len_u = read_u64(meta, 40);
+
+    let metric =
+        metric_from_tag(metric_tag).ok_or(StoreError::UnknownMetric { tag: metric_tag })?;
+    if !(radius.is_finite() && radius >= 0.0) {
+        return Err(GraphError::InvalidRadius(radius).into());
+    }
+    let dim = to_usize(dim_u, "dimensionality exceeds usize")?;
+    let n = to_usize(n_u, "object count exceeds usize")?;
+    let edge_total = to_usize(edge_total_u, "edge count exceeds usize")?;
+    let name_len = to_usize(name_len_u, "name length exceeds usize")?;
+    if n > 0 && dim == 0 {
+        return Err(StoreError::BadLayout {
+            detail: "nonzero object count with zero dimensionality",
+        });
+    }
+    let coords_bytes = n_u
+        .checked_mul(dim_u)
+        .and_then(|v| v.checked_mul(8))
+        .ok_or(StoreError::BadLayout {
+            detail: "coords size overflows",
+        })?;
+    let edges_bytes = edge_total_u.checked_mul(8).ok_or(StoreError::BadLayout {
+        detail: "edge array size overflows",
+    })?;
+    let offsets_bytes =
+        n_u.checked_add(1)
+            .and_then(|v| v.checked_mul(8))
+            .ok_or(StoreError::BadLayout {
+                detail: "offsets size overflows",
+            })?;
+    let expected_sizes: [u64; SECTION_COUNT] = [
+        META_LEN as u64,
+        coords_bytes,
+        offsets_bytes,
+        edges_bytes,
+        edges_bytes,
+        align8(name_len) as u64,
+    ];
+    for (i, &expected) in expected_sizes.iter().enumerate() {
+        let found = extents[i].1 as u64;
+        if found != expected {
+            return Err(StoreError::SectionSizeMismatch {
+                section: SECTION_ORDER[i],
+                expected,
+                found,
+            });
+        }
+    }
+
+    let coords = as_f64s(verify(1)?);
+    let offsets = as_u64s(verify(2)?);
+    let neighbors = as_u64s(verify(3)?);
+    let dists = as_f64s(verify(4)?);
+    let name_region = verify(5)?;
+
+    let name =
+        std::str::from_utf8(&name_region[..name_len]).map_err(|_| StoreError::BadLayout {
+            detail: "name is not valid UTF-8",
+        })?;
+    if name_region[name_len..].iter().any(|&b| b != 0) {
+        return Err(StoreError::BadLayout {
+            detail: "name padding is not zero",
+        });
+    }
+
+    // Offsets semantics: start at 0, monotone, end at the edge total.
+    // (Row order, neighbor ranges and distance ranges are re-validated
+    // by StratifiedDiskGraph::from_csr_parts when a graph is
+    // materialised; the view only guarantees what its own accessors
+    // rely on.)
+    if offsets[0] != 0 {
+        return Err(GraphError::OffsetsStart {
+            found: to_usize(offsets[0], "offset exceeds usize")?,
+        }
+        .into());
+    }
+    for (row, w) in offsets.windows(2).enumerate() {
+        if w[1] < w[0] {
+            return Err(GraphError::OffsetsNotMonotone { row }.into());
+        }
+    }
+    if offsets[n] != edge_total_u {
+        return Err(StoreError::BadLayout {
+            detail: "offsets do not end at the meta edge total",
+        });
+    }
+
+    Ok(SnapshotView {
+        name,
+        metric,
+        dim,
+        n,
+        radius,
+        edge_total,
+        coords,
+        offsets,
+        neighbors,
+        dists,
+    })
+}
+
+impl<'a> SnapshotView<'a> {
+    /// Dataset name.
+    pub fn name(&self) -> &'a str {
+        self.name
+    }
+
+    /// Metric tag decoded from the meta section.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Dimensionality of each coordinate row.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the snapshot holds zero objects (representable here,
+    /// though not by [`Dataset`]).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Build radius of the stored graph.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Total directed edge count.
+    pub fn edge_count(&self) -> usize {
+        self.edge_total
+    }
+
+    /// Row-major coordinates, borrowed from the snapshot bytes.
+    pub fn coords(&self) -> &'a [f64] {
+        self.coords
+    }
+
+    /// CSR row boundaries as stored (u64), borrowed from the snapshot
+    /// bytes. Guaranteed to start at 0, be monotone and end at
+    /// [`SnapshotView::edge_count`].
+    pub fn offsets_raw(&self) -> &'a [u64] {
+        self.offsets
+    }
+
+    /// CSR neighbor ids as stored (u64), borrowed from the snapshot
+    /// bytes.
+    pub fn neighbors_raw(&self) -> &'a [u64] {
+        self.neighbors
+    }
+
+    /// CSR edge distances, borrowed from the snapshot bytes.
+    pub fn dists(&self) -> &'a [f64] {
+        self.dists
+    }
+
+    /// Materialises the stored dataset, re-running [`Dataset`]'s own
+    /// construction validation (rejects `n == 0` snapshots and
+    /// non-finite coordinates with a typed error).
+    pub fn dataset(&self) -> Result<Dataset, StoreError> {
+        Dataset::try_from_flat(self.name, self.metric, self.dim, self.coords.to_vec())
+            .map_err(Into::into)
+    }
+
+    /// Materialises the stored graph through
+    /// [`StratifiedDiskGraph::from_csr_parts`], which re-validates every
+    /// structural invariant (row order, neighbor range, self-loops,
+    /// distance range) and fails closed on violation.
+    pub fn graph(&self) -> Result<StratifiedDiskGraph, StoreError> {
+        let mut offsets = Vec::with_capacity(self.offsets.len());
+        for &v in self.offsets {
+            offsets.push(to_usize(v, "offset exceeds usize")?);
+        }
+        let mut neighbors = Vec::with_capacity(self.neighbors.len());
+        for &v in self.neighbors {
+            neighbors.push(to_usize(v, "neighbor id exceeds usize")?);
+        }
+        StratifiedDiskGraph::from_csr_parts(self.radius, offsets, neighbors, self.dists.to_vec())
+            .map_err(Into::into)
+    }
+}
+
+/// Validates `bytes` and materialises both stored values in one step.
+pub fn decode(bytes: &[u8]) -> Result<(Dataset, StratifiedDiskGraph), StoreError> {
+    let view = load(bytes)?;
+    Ok((view.dataset()?, view.graph()?))
+}
+
+/// Encodes and writes a snapshot to `path`, returning the byte length
+/// written. Encoding failures surface as `InvalidData` I/O errors.
+pub fn write_snapshot(
+    path: impl AsRef<Path>,
+    dataset: &Dataset,
+    graph: &StratifiedDiskGraph,
+) -> std::io::Result<u64> {
+    let bytes = encode(dataset, graph)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    std::fs::write(path, &bytes)?;
+    Ok(bytes.len() as u64)
+}
+
+/// Reads a snapshot file into an 8-byte-aligned buffer, ready for
+/// [`load`]. Validation is the caller's next step — this function only
+/// does I/O.
+pub fn read_snapshot(path: impl AsRef<Path>) -> std::io::Result<AlignedBytes> {
+    let raw = std::fs::read(path)?;
+    Ok(AlignedBytes::copy_from(&raw))
+}

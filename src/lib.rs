@@ -14,7 +14,9 @@
 //! * [`core`] — the DisC heuristics and zooming operators,
 //! * [`baselines`] — MaxMin, MaxSum and k-medoids comparison models,
 //! * [`eval`] — the experiment harness that regenerates every table and
-//!   figure of the paper.
+//!   figure of the paper,
+//! * [`store`] — fail-closed snapshot persistence for dataset + graph
+//!   pairs (versioned, checksummed, fault-injectable).
 //!
 //! ## Quickstart
 //!
@@ -40,6 +42,7 @@ pub use disc_eval as eval;
 pub use disc_graph as graph;
 pub use disc_metric as metric;
 pub use disc_mtree as mtree;
+pub use disc_store as store;
 
 /// Commonly used items, importable in one line.
 pub mod prelude {
