@@ -33,7 +33,15 @@
 //!    their tree-backed counterparts on the same workload;
 //! 7. the snapshot round trip (save → checksum-validated load) is not
 //!    byte-identical, or the zoom sweep replayed on the *loaded* graph
-//!    diverges from the sweep on the freshly built one.
+//!    diverges from the sweep on the freshly built one — with either
+//!    load path: under `--features parallel` the load validates section
+//!    checksums on scoped threads, and this gate (plus the re-baselined
+//!    `load_ms` in the report) is exactly as strict, because
+//!    acceptance/rejection is pinned byte-identical to the serial
+//!    validator;
+//! 8. the hardened serving core loses hash parity with the in-process
+//!    runners, drops a request from its counters, or fails to
+//!    shed/degrade under deliberate saturation (`serve` section).
 //!
 //! Usage: `cargo run --release -p disc-bench --bin zoom_graph_vs_tree
 //! [-- <output-path>]` (default `BENCH_zoom_graph.json`). `GRAPH_N`
@@ -42,7 +50,8 @@
 //! parallel side's worker/shard count (CI runs a 1/2/3/8 matrix).
 
 use disc_bench::{
-    measure_store, measure_zoom_graph_vs_tree, self_join_threads_from_env, BENCH_SEED,
+    measure_serve, measure_store, measure_zoom_graph_vs_tree, self_join_threads_from_env,
+    BENCH_SEED,
 };
 use disc_core::{
     greedy_disc, greedy_disc_graph, greedy_zoom_in_graph, greedy_zoom_out, multi_radius_basic_disc,
@@ -218,18 +227,58 @@ fn main() {
         "zoom sweep on the loaded graph diverged from the built graph"
     );
     eprintln!(
-        "  store: {} bytes, save {:.1}ms, load {:.1}ms, round trip byte-identical, \
-         loaded-graph sweep parity: ok",
-        store.snapshot_bytes, store.save_ms, store.load_ms
+        "  store: {} bytes, save {:.1}ms, load {:.1}ms ({} validation), \
+         round trip byte-identical, loaded-graph sweep parity: ok",
+        store.snapshot_bytes,
+        store.save_ms,
+        store.load_ms,
+        if cfg!(feature = "parallel") {
+            "parallel-capable"
+        } else {
+            "serial"
+        }
+    );
+
+    // Hardened serving gate: the disc-cli pool serves the *loaded*
+    // graph — the exact bytes a production `disc serve` would open —
+    // and must (a) return hashes identical to the in-process runners,
+    // (b) account for every request exactly once, (c) degrade and shed
+    // under deliberate saturation.
+    let serve = measure_serve(
+        &_loaded_data,
+        &loaded_graph,
+        &[R_MAX, TARGETS[1], TARGETS[2]],
+        4,
+        if smoke { 3 } else { 5 },
+        10,
+    );
+    assert!(
+        serve.parity(),
+        "hardened serving gate failed: {}",
+        serve.to_json()
+    );
+    eprintln!(
+        "  serve: {} requests on {} workers in {:.1}ms ({:.2}ms/req, {} cache hits); \
+         flood {} -> {} degraded / {} shed; hash parity: ok",
+        serve.requests,
+        serve.workers,
+        serve.total_ms,
+        serve.per_request_ms(),
+        serve.cache_hits,
+        serve.flood,
+        serve.degraded,
+        serve.shed
     );
 
     let json = format!(
         "{{\n  \"workload\": {{\"dataset\": \"clustered\", \"n\": {n}, \"dim\": 2, \
          \"clusters\": 8, \"seed\": {BENCH_SEED}, \"smoke\": {smoke}}},\n\
          \x20 \"zoom_graph\": {},\n\
-         \x20 \"store\": {}\n}}\n",
+         \x20 \"store\": {},\n\
+         \x20 \"serve\": {}\n}}\n",
         m.to_json(),
-        store.to_json()
+        store.to_json(),
+        serve.to_json()
     );
     std::fs::write(&out_path, &json).expect("write zoom-graph report");
     eprintln!("zoom_graph_vs_tree: wrote {out_path}; all gates passed");

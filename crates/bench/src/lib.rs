@@ -17,8 +17,12 @@
 //! full `cargo bench` completes in minutes; the eval harness is the tool
 //! for paper-scale numbers.
 
-use std::time::Instant;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
+use disc_cli::serve::{ServeConfig, Server, Sink};
+use disc_cli::state::ServeState;
+use disc_cli::worker::{solution_hash, Op, Outcome, Reply, Request};
 use disc_core::{
     greedy_c, greedy_c_graph, greedy_disc, greedy_disc_graph, greedy_zoom_in, greedy_zoom_in_graph,
     GreedyVariant,
@@ -604,6 +608,222 @@ pub fn measure_store(
     )
 }
 
+/// One hardened-serving measurement (the `serve` section of
+/// `BENCH_zoom_graph.json`): request latency under a healthy pool, and
+/// shed/degraded behaviour under deliberate saturation, both against
+/// the same `disc-cli` serving core `disc serve` runs.
+pub struct ServeBench {
+    /// Worker threads of the throughput phase.
+    pub workers: usize,
+    /// Zoom requests submitted in the throughput phase.
+    pub requests: usize,
+    /// Distinct radii cycled through.
+    pub unique_radii: usize,
+    /// Submit-to-drained wall-clock of the throughput phase (ms).
+    pub total_ms: f64,
+    /// Requests completed in the throughput phase (gated to all).
+    pub completed: u64,
+    /// Worker-path cache hits during the throughput phase.
+    pub cache_hits: u64,
+    /// Whether every served hash equalled the in-process
+    /// `greedy_disc_graph` hash at its radius (parity by construction,
+    /// verified anyway).
+    pub solutions_identical: bool,
+    /// Whether the throughput phase's final counters satisfy the serve
+    /// bookkeeping identities.
+    pub counters_consistent: bool,
+    /// Requests flooded at a deliberately saturated 1-worker /
+    /// 1-slot-queue pool.
+    pub flood: usize,
+    /// Flood requests served degraded from the per-radius cache.
+    pub degraded: u64,
+    /// Flood requests shed with the typed overload reply.
+    pub shed: u64,
+    /// Whether the overload phase's final counters satisfy the
+    /// identities (every flooded request accounted for exactly once).
+    pub overload_consistent: bool,
+}
+
+impl ServeBench {
+    /// Mean wall-clock per request in the throughput phase.
+    pub fn per_request_ms(&self) -> f64 {
+        self.total_ms / self.requests.max(1) as f64
+    }
+
+    /// The CI serve gate: hash parity and exact counters in both
+    /// phases, and the saturated pool both degraded and shed (i.e.
+    /// admission control actually engaged).
+    pub fn parity(&self) -> bool {
+        self.solutions_identical
+            && self.counters_consistent
+            && self.overload_consistent
+            && self.completed == self.requests as u64
+            && self.degraded > 0
+            && self.shed > 0
+    }
+
+    /// The `serve` JSON object of `BENCH_zoom_graph.json` (no serde in
+    /// the environment).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"workers\": {}, \"requests\": {}, \"unique_radii\": {}, \
+             \"total_ms\": {:.3}, \"per_request_ms\": {:.4}, \"completed\": {}, \
+             \"cache_hits\": {}, \"solutions_identical\": {}, \
+             \"counters_consistent\": {}, \"flood\": {}, \"degraded\": {}, \
+             \"shed\": {}, \"overload_consistent\": {}, \"parity\": {}}}",
+            self.workers,
+            self.requests,
+            self.unique_radii,
+            self.total_ms,
+            self.per_request_ms(),
+            self.completed,
+            self.cache_hits,
+            self.solutions_identical,
+            self.counters_consistent,
+            self.flood,
+            self.degraded,
+            self.shed,
+            self.overload_consistent,
+            self.parity()
+        )
+    }
+}
+
+/// Sink collecting the hash of every successfully served zoom.
+#[derive(Default)]
+struct HashSink {
+    hashes: Mutex<Vec<u64>>,
+}
+
+impl Sink for HashSink {
+    fn deliver(&self, reply: &Reply) {
+        if let Outcome::Zoomed { value, .. } = &reply.outcome {
+            self.hashes
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .push(value.hash);
+        }
+    }
+
+    fn info(&self, _line: &str) {}
+}
+
+/// Measures the hardened serving core over `graph`: `rounds` cycles of
+/// zooms across `radii` on a `workers`-thread pool (latency +
+/// hash-parity against in-process `greedy_disc_graph`), then a
+/// deliberately saturated 1-worker pool flooded with `2 × flood_half`
+/// requests alternating a cached and an uncached radius (shed/degraded
+/// accounting). `radii` needs at least two entries within
+/// `(0, graph.radius()]`.
+pub fn measure_serve(
+    data: &Dataset,
+    graph: &StratifiedDiskGraph,
+    radii: &[f64],
+    workers: usize,
+    rounds: usize,
+    flood_half: usize,
+) -> ServeBench {
+    assert!(radii.len() >= 2, "serve bench needs two radii");
+    let state = Arc::new(ServeState {
+        name: data.name().to_string(),
+        metric: data.metric(),
+        n: data.len(),
+        r_max: graph.radius(),
+        graph: graph.clone(),
+    });
+    let expected: Vec<u64> = radii
+        .iter()
+        .map(|&r| solution_hash(&greedy_disc_graph(&graph.view(r).to_unit_disk_graph()).solution))
+        .collect();
+
+    // Throughput phase: queue large enough that nothing sheds.
+    let requests = radii.len() * rounds;
+    let sink = Arc::new(HashSink::default());
+    let server = Server::start(
+        Arc::clone(&state),
+        ServeConfig {
+            workers,
+            queue: requests.max(1),
+            cache: radii.len(),
+        },
+        Arc::<HashSink>::clone(&sink) as Arc<dyn Sink>,
+    );
+    let t = Instant::now();
+    for round in 0..rounds {
+        for (i, &radius) in radii.iter().enumerate() {
+            server.submit(Request {
+                id: (round * radii.len() + i) as u64,
+                op: Op::Zoom { radius },
+                deadline: None,
+            });
+        }
+    }
+    let drained = server.drain(Duration::from_secs(600));
+    let total_ms = t.elapsed().as_secs_f64() * 1_000.0;
+    let snap = server.shutdown();
+    let hashes = sink.hashes.lock().unwrap_or_else(|p| p.into_inner());
+    let solutions_identical =
+        hashes.len() == requests && hashes.iter().all(|h| expected.contains(h));
+
+    // Overload phase: one worker pinned by a sleep, one queue slot
+    // filled, then a flood alternating a cache-warm radius (must come
+    // back degraded) and a cache-cold one (must shed).
+    let overload_sink = Arc::new(HashSink::default());
+    let overload = Server::start(
+        state,
+        ServeConfig {
+            workers: 1,
+            queue: 1,
+            cache: radii.len(),
+        },
+        Arc::<HashSink>::clone(&overload_sink) as Arc<dyn Sink>,
+    );
+    overload.submit(Request {
+        id: 0,
+        op: Op::Zoom { radius: radii[0] },
+        deadline: None,
+    });
+    overload.drain(Duration::from_secs(600));
+    overload.submit(Request {
+        id: 1,
+        op: Op::Sleep { ms: 250 },
+        deadline: None,
+    });
+    std::thread::sleep(Duration::from_millis(50)); // worker picked up the sleep
+    overload.submit(Request {
+        id: 2,
+        op: Op::Sleep { ms: 1 },
+        deadline: None,
+    });
+    let flood = 2 * flood_half;
+    for i in 0..flood {
+        overload.submit(Request {
+            id: 100 + i as u64,
+            op: Op::Zoom {
+                radius: radii[i % 2],
+            },
+            deadline: None,
+        });
+    }
+    overload.drain(Duration::from_secs(600));
+    let overload_snap = overload.shutdown();
+
+    ServeBench {
+        workers,
+        requests,
+        unique_radii: radii.len(),
+        total_ms,
+        completed: snap.completed,
+        cache_hits: snap.cache_hits,
+        solutions_identical,
+        counters_consistent: drained && snap.is_consistent(),
+        flood,
+        degraded: overload_snap.degraded,
+        shed: overload_snap.shed,
+        overload_consistent: overload_snap.is_consistent(),
+    }
+}
+
 /// One scalar-vs-batched distance-kernel measurement (the `kernel`
 /// section of `BENCH_fig9.json`): the same one-to-many workload — one
 /// query object against the whole dataset — evaluated with per-pair
@@ -771,6 +991,20 @@ mod tests {
         }
         let auto = measure_selfjoin_par(&t, 0.04, None);
         assert!(auto.parity() && !auto.forced);
+    }
+
+    #[test]
+    fn serve_measurement_holds_parity_and_sheds_under_flood() {
+        let d = bench_clustered(500);
+        let g = StratifiedDiskGraph::build(&d, 0.08);
+        let m = measure_serve(&d, &g, &[0.08, 0.04, 0.02], 2, 3, 5);
+        assert!(m.solutions_identical, "served hashes diverged");
+        assert!(m.counters_consistent);
+        assert!(m.overload_consistent);
+        assert_eq!(m.completed, 9);
+        assert!(m.degraded > 0, "saturated pool never served degraded");
+        assert!(m.shed > 0, "saturated pool never shed");
+        assert!(m.parity(), "{}", m.to_json());
     }
 
     #[test]

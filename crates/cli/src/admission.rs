@@ -1,0 +1,158 @@
+//! Bounded admission queue between the request front-end and the
+//! worker pool.
+//!
+//! The queue is the server's only buffer: when it is full, new work is
+//! **shed immediately** with a typed [`Rejected`] instead of queueing
+//! without bound (memory growth) or blocking the front-end (head-of-line
+//! stall on the reader thread). The rejected value is handed back to the
+//! caller so the degraded path can still serve it from cache.
+//!
+//! Plain `Mutex` + `Condvar`; no external dependencies. Poisoned locks
+//! are recovered with `into_inner` — the queue's invariants hold at
+//! every await point, and a panicking worker is an isolated event the
+//! server is explicitly designed to survive.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Outcome of a failed [`Bounded::try_push`]: the queue was at
+/// capacity (or closed) and the item was not enqueued.
+#[derive(Debug)]
+pub struct Rejected<T> {
+    /// The item that was not admitted, returned for degraded handling.
+    pub item: T,
+    /// Capacity of the queue that shed it.
+    pub capacity: usize,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A fixed-capacity MPMC queue: non-blocking producers, blocking
+/// consumers, explicit close for shutdown.
+pub struct Bounded<T> {
+    inner: Mutex<Inner<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> Bounded<T> {
+    /// A queue admitting at most `capacity` items at a time.
+    /// `capacity` must be at least 1.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "admission queue needs at least one slot");
+        Self {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Admits `item` if a slot is free; sheds it otherwise. Never
+    /// blocks. Pushing to a closed queue is also a shed — shutdown must
+    /// not accept work it will never run.
+    pub fn try_push(&self, item: T) -> Result<(), Rejected<T>> {
+        let mut inner = self.lock();
+        if inner.closed || inner.items.len() >= self.capacity {
+            return Err(Rejected {
+                item,
+                capacity: self.capacity,
+            });
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available or the queue is closed and
+    /// drained; `None` means "no more work, ever" — the worker exits.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .available
+                .wait(inner)
+                .unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Closes the queue: queued items still drain, new pushes shed,
+    /// idle consumers wake up and exit.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.available.notify_all();
+    }
+
+    /// Items currently queued (for observability; racy by nature).
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sheds_exactly_past_capacity() {
+        let q = Bounded::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        let rejected = match q.try_push(3) {
+            Err(r) => r,
+            Ok(()) => unreachable!("third push must shed"),
+        };
+        assert_eq!(rejected.item, 3);
+        assert_eq!(rejected.capacity, 2);
+        // Draining one slot readmits.
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_push(3).is_ok());
+    }
+
+    #[test]
+    fn close_drains_then_wakes_consumers() {
+        let q = Arc::new(Bounded::new(4));
+        assert!(q.try_push(10).is_ok());
+        q.close();
+        // Queued work still drains after close...
+        assert_eq!(q.pop(), Some(10));
+        // ...then consumers see end-of-work, and producers shed.
+        assert_eq!(q.pop(), None);
+        assert!(q.try_push(11).is_err());
+    }
+
+    #[test]
+    fn blocked_consumer_wakes_on_push() {
+        let q = Arc::new(Bounded::new(1));
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert!(q.try_push(7).is_ok());
+        match consumer.join() {
+            Ok(got) => assert_eq!(got, Some(7)),
+            Err(p) => std::panic::resume_unwind(p),
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Small per-radius solution cache behind the degraded serving mode.
+//!
+//! A DisC solution is a pure function of (snapshot, radius), so a
+//! cached solution is never stale while the process serves one
+//! snapshot. The cache exists for one reason: when the admission queue
+//! is saturated, a zoom at a radius the pool has already answered can
+//! still be served — degraded in freshness of *latency statistics*,
+//! never in correctness — instead of being shed.
+//!
+//! Fixed capacity, least-recently-used eviction, keyed by the exact
+//! radius bit pattern (serving `zoom r=0.05` twice is the common case;
+//! nearby-but-different radii are different answers and must not
+//! alias).
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use disc_metric::ObjId;
+
+/// One cached per-radius answer, shared by `Arc` so a degraded hit
+/// never copies the solution under the submit lock.
+#[derive(Debug)]
+pub struct CachedSolution {
+    /// Radius the solution was computed for.
+    pub radius: f64,
+    /// Selected objects in selection order.
+    pub solution: Vec<ObjId>,
+    /// FNV-1a 64 over the solution ids (little-endian), the wire hash.
+    pub hash: u64,
+}
+
+struct Entry {
+    key: u64,
+    value: Arc<CachedSolution>,
+}
+
+/// Fixed-capacity LRU map from radius bits to a shared solution.
+pub struct SolutionCache {
+    // Recency-ordered: last entry is the most recently used. Linear
+    // scan is exact and fast at the intended capacity (tens).
+    entries: Mutex<Vec<Entry>>,
+    capacity: usize,
+}
+
+impl SolutionCache {
+    /// A cache holding at most `capacity` radii; zero disables caching.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            entries: Mutex::new(Vec::with_capacity(capacity)),
+            capacity,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Vec<Entry>> {
+        self.entries.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// The cached solution for exactly `radius`, refreshing its
+    /// recency.
+    pub fn get(&self, radius: f64) -> Option<Arc<CachedSolution>> {
+        let key = radius.to_bits();
+        let mut entries = self.lock();
+        let pos = entries.iter().position(|e| e.key == key)?;
+        let entry = entries.remove(pos);
+        let value = Arc::clone(&entry.value);
+        entries.push(entry);
+        Some(value)
+    }
+
+    /// Inserts (or refreshes) the solution for `radius`, evicting the
+    /// least recently used entry when full.
+    pub fn put(&self, value: Arc<CachedSolution>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let key = value.radius.to_bits();
+        let mut entries = self.lock();
+        if let Some(pos) = entries.iter().position(|e| e.key == key) {
+            entries.remove(pos);
+        } else if entries.len() >= self.capacity {
+            entries.remove(0);
+        }
+        entries.push(Entry { key, value });
+    }
+
+    /// Number of cached radii.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(radius: f64) -> Arc<CachedSolution> {
+        Arc::new(CachedSolution {
+            radius,
+            solution: vec![1, 2, 3],
+            hash: 42,
+        })
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_radius() {
+        let cache = SolutionCache::new(2);
+        cache.put(entry(0.1));
+        cache.put(entry(0.2));
+        // Touch 0.1 so 0.2 is the eviction victim.
+        assert!(cache.get(0.1).is_some());
+        cache.put(entry(0.3));
+        assert!(cache.get(0.2).is_none());
+        assert!(cache.get(0.1).is_some());
+        assert!(cache.get(0.3).is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn radii_key_by_exact_bits() {
+        let cache = SolutionCache::new(4);
+        cache.put(entry(0.1));
+        assert!(cache.get(0.1 + f64::EPSILON).is_none());
+        assert!(cache.get(0.1).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = SolutionCache::new(0);
+        cache.put(entry(0.1));
+        assert!(cache.get(0.1).is_none());
+        assert!(cache.is_empty());
+    }
+}

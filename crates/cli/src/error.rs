@@ -1,0 +1,191 @@
+//! The one error type every `disc` verb funnels into, and the stable
+//! process exit codes scripts are allowed to depend on.
+//!
+//! Every failure in the workspace already carries a typed error
+//! ([`StoreError`], [`GraphError`], [`DatasetError`], [`JoinError`],
+//! [`Cancelled`]); this module maps each family onto a distinct exit
+//! code so a supervisor can tell "the snapshot is damaged" (restore
+//! from backup) apart from "the operator typed a bad flag" (fix the
+//! invocation) apart from "the pool is saturated" (back off and retry)
+//! without parsing stderr.
+
+use std::fmt;
+
+use disc_graph::GraphError;
+use disc_metric::{Cancelled, DatasetError};
+use disc_mtree::JoinError;
+use disc_store::StoreError;
+
+/// Exit code for a clean run.
+pub const EXIT_OK: i32 = 0;
+/// Exit code for a usage error (unknown verb, bad flag, bad value).
+pub const EXIT_USAGE: i32 = 2;
+/// Exit code for a rejected snapshot (any [`StoreError`]).
+pub const EXIT_CORRUPT: i32 = 3;
+/// Exit code for an I/O failure (missing file, permission, short write).
+pub const EXIT_IO: i32 = 4;
+/// Exit code for a graph-layer error (bad radius, CSR mismatch).
+pub const EXIT_GRAPH: i32 = 5;
+/// Exit code for invalid dataset inputs.
+pub const EXIT_DATASET: i32 = 6;
+/// Exit code for a self-join error during a build.
+pub const EXIT_JOIN: i32 = 7;
+/// Exit code for a request cancelled by its deadline.
+pub const EXIT_CANCELLED: i32 = 8;
+/// Exit code for an admission-queue shed under saturation.
+pub const EXIT_OVERLOADED: i32 = 9;
+
+/// Error of any `disc` verb; each variant owns one exit code.
+#[derive(Debug)]
+pub enum CliError {
+    /// The command line itself was wrong; the message says how.
+    Usage(String),
+    /// The snapshot failed validation — fail closed, exit 3.
+    Store(StoreError),
+    /// Reading or writing a file failed.
+    Io(std::io::Error),
+    /// A graph operation rejected its inputs.
+    Graph(GraphError),
+    /// Generated or decoded points do not form a valid dataset.
+    Dataset(DatasetError),
+    /// The self-join rejected its inputs during a build.
+    Join(JoinError),
+    /// A deadline fired before the work completed.
+    Cancelled,
+    /// The admission queue was full and the request was shed.
+    Overloaded {
+        /// Capacity of the queue that shed the request.
+        capacity: usize,
+    },
+}
+
+impl CliError {
+    /// The stable process exit code for this error family.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            Self::Usage(_) => EXIT_USAGE,
+            Self::Store(_) => EXIT_CORRUPT,
+            Self::Io(_) => EXIT_IO,
+            Self::Graph(GraphError::Cancelled) => EXIT_CANCELLED,
+            Self::Graph(_) => EXIT_GRAPH,
+            Self::Dataset(_) => EXIT_DATASET,
+            Self::Join(_) => EXIT_JOIN,
+            Self::Cancelled => EXIT_CANCELLED,
+            Self::Overloaded { .. } => EXIT_OVERLOADED,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Usage(msg) => write!(f, "usage error: {msg}"),
+            Self::Store(e) => write!(f, "snapshot rejected: {e}"),
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::Graph(e) => write!(f, "graph error: {e}"),
+            Self::Dataset(e) => write!(f, "dataset error: {e}"),
+            Self::Join(e) => write!(f, "self-join error: {e}"),
+            Self::Cancelled => f.write_str("cancelled: deadline expired before completion"),
+            Self::Overloaded { capacity } => {
+                write!(f, "overloaded: admission queue full ({capacity} slots)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Store(e) => Some(e),
+            Self::Io(e) => Some(e),
+            Self::Graph(e) => Some(e),
+            Self::Dataset(e) => Some(e),
+            Self::Join(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for CliError {
+    fn from(e: StoreError) -> Self {
+        Self::Store(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<GraphError> for CliError {
+    fn from(e: GraphError) -> Self {
+        Self::Graph(e)
+    }
+}
+
+impl From<DatasetError> for CliError {
+    fn from(e: DatasetError) -> Self {
+        Self::Dataset(e)
+    }
+}
+
+impl From<Cancelled> for CliError {
+    fn from(_: Cancelled) -> Self {
+        Self::Cancelled
+    }
+}
+
+impl From<JoinError> for CliError {
+    fn from(e: JoinError) -> Self {
+        Self::Join(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disc_store::SectionId;
+
+    #[test]
+    fn exit_codes_are_distinct_and_stable() {
+        let errors: Vec<CliError> = vec![
+            CliError::Usage("bad flag".into()),
+            CliError::Store(StoreError::BadMagic { found: [0; 8] }),
+            CliError::Io(std::io::Error::new(std::io::ErrorKind::NotFound, "gone")),
+            CliError::Graph(GraphError::InvalidRadius(-1.0)),
+            CliError::Dataset(DatasetError::Empty),
+            CliError::Join(JoinError::InvalidRadius(-1.0)),
+            CliError::Cancelled,
+            CliError::Overloaded { capacity: 4 },
+        ];
+        let codes: Vec<i32> = errors.iter().map(CliError::exit_code).collect();
+        assert_eq!(codes, vec![2, 3, 4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn graph_cancellation_maps_to_the_cancelled_code() {
+        assert_eq!(
+            CliError::Graph(GraphError::Cancelled).exit_code(),
+            EXIT_CANCELLED
+        );
+    }
+
+    #[test]
+    fn every_corrupt_snapshot_family_exits_three() {
+        for e in [
+            StoreError::BadMagic { found: [0; 8] },
+            StoreError::Truncated {
+                needed: 100,
+                have: 10,
+            },
+            StoreError::ChecksumMismatch {
+                section: SectionId::Coords,
+                stored: 1,
+                computed: 2,
+            },
+        ] {
+            assert_eq!(CliError::from(e).exit_code(), EXIT_CORRUPT);
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! The `disc` binary: parse, dispatch, map the error family to its
+//! stable exit code.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match disc_cli::run(&argv) {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("disc: {e}");
+            std::process::exit(e.exit_code());
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Validate-once snapshot opening into the immutable serving state.
+//!
+//! A serving process opens its snapshot exactly once, through the
+//! fail-closed [`disc_store::load`] path: every checksum is verified
+//! before any worker sees a byte, so a corrupted file is a typed
+//! startup rejection (exit code 3, naming the owning section), never a
+//! crash mid-request. What survives validation is materialised into an
+//! owned [`ServeState`] — coordinates dropped, graph retained — and
+//! handed to the worker pool behind an `Arc`, so request handling does
+//! no validation, no locking, and no I/O.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use disc_graph::StratifiedDiskGraph;
+use disc_metric::Metric;
+use disc_store::{decode, read_snapshot};
+
+use crate::error::CliError;
+
+/// Immutable state shared by every worker: the materialised stratified
+/// disk graph plus the snapshot identity fields worth echoing back.
+pub struct ServeState {
+    /// Dataset name stamped in the snapshot.
+    pub name: String,
+    /// Distance metric the graph was built under.
+    pub metric: Metric,
+    /// Number of objects.
+    pub n: usize,
+    /// Radius the graph was materialised at; every serveable radius is
+    /// `0 < r ≤ r_max`.
+    pub r_max: f64,
+    /// The radius-stratified disk graph all zooming runs against.
+    pub graph: StratifiedDiskGraph,
+}
+
+impl ServeState {
+    /// Opens and fully validates the snapshot at `path`.
+    ///
+    /// I/O failures map to exit code 4; any validation failure — from a
+    /// flipped bit to a version skew — is a [`CliError::Store`] (exit
+    /// code 3) whose message names the first broken layer.
+    pub fn open(path: impl AsRef<Path>) -> Result<Arc<Self>, CliError> {
+        let bytes = read_snapshot(&path)?;
+        let (dataset, graph) = decode(bytes.as_bytes())?;
+        Ok(Arc::new(Self {
+            name: dataset.name().to_string(),
+            metric: dataset.metric(),
+            n: dataset.len(),
+            r_max: graph.radius(),
+            graph,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disc_metric::{Dataset, Point};
+
+    fn write_small_snapshot(dir: &Path) -> std::path::PathBuf {
+        let data = Dataset::new(
+            "state-test",
+            Metric::Euclidean,
+            vec![
+                Point::new2(0.0, 0.0),
+                Point::new2(0.3, 0.0),
+                Point::new2(0.0, 0.4),
+            ],
+        );
+        let graph = StratifiedDiskGraph::build(&data, 1.0);
+        let path = dir.join("state-test.snap");
+        match disc_store::write_snapshot(&path, &data, &graph) {
+            Ok(_) => path,
+            Err(e) => unreachable!("snapshot write must succeed in a temp dir: {e}"),
+        }
+    }
+
+    #[test]
+    fn open_materialises_identity_and_graph() {
+        let dir = std::env::temp_dir().join("disc-cli-state-open");
+        match std::fs::create_dir_all(&dir) {
+            Ok(()) => {}
+            Err(e) => unreachable!("temp dir: {e}"),
+        }
+        let path = write_small_snapshot(&dir);
+        let state = match ServeState::open(&path) {
+            Ok(s) => s,
+            Err(e) => unreachable!("clean snapshot must open: {e}"),
+        };
+        assert_eq!(state.name, "state-test");
+        assert_eq!(state.metric, Metric::Euclidean);
+        assert_eq!(state.n, 3);
+        assert_eq!(state.r_max, 1.0);
+        assert_eq!(state.graph.len(), 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error_not_a_store_error() {
+        let err = match ServeState::open("/nonexistent/disc-cli-no-such.snap") {
+            Err(e) => e,
+            Ok(_) => unreachable!("missing file cannot open"),
+        };
+        assert!(matches!(err, CliError::Io(_)));
+        assert_eq!(err.exit_code(), crate::error::EXIT_IO);
+    }
+}

@@ -1,0 +1,132 @@
+//! Implementations of the four `disc` verbs and the top-level dispatch.
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use disc_graph::StratifiedDiskGraph;
+use disc_metric::CancelToken;
+use disc_mtree::{MTree, MTreeConfig, SelfJoinConfig};
+
+use crate::args::{self, BuildArgs, Command, DoctorArgs, ServeArgs, ZoomArgs};
+use crate::error::CliError;
+use crate::serve::{run_lines, JsonSink, ServeConfig};
+use crate::state::ServeState;
+use crate::worker::{solve_sweep, solve_zoom};
+
+/// Parses and runs one invocation; the caller maps the error to an
+/// exit code.
+pub fn run(argv: &[String]) -> Result<(), CliError> {
+    match args::parse(argv)? {
+        Command::Help => {
+            println!("{}", args::USAGE);
+            Ok(())
+        }
+        Command::Build(build) => run_build(&build),
+        Command::Zoom(zoom) => run_zoom(&zoom),
+        Command::Serve(serve) => run_serve(&serve),
+        Command::Doctor(doctor) => run_doctor(&doctor),
+    }
+}
+
+/// `disc build`: generate points, materialise the stratified graph at
+/// `--radius` through the production pipeline (one M-tree self-join +
+/// CSR assembly, not the O(n²) reference build), write the snapshot.
+///
+/// `SELF_JOIN_THREADS` forces the self-join worker / assembly shard
+/// count when the `parallel` feature is compiled in; the snapshot is
+/// byte-identical for every count (CI pins this with a sha256 matrix).
+fn run_build(build: &BuildArgs) -> Result<(), CliError> {
+    if !(build.radius.is_finite() && build.radius > 0.0) {
+        return Err(CliError::Usage(format!(
+            "--radius must be finite and positive, got {}",
+            build.radius
+        )));
+    }
+    if build.n == 0 {
+        return Err(CliError::Usage("--n must be at least 1".into()));
+    }
+    let data = if build.uniform {
+        disc_datasets::synthetic::uniform(build.n, build.dim, build.seed)
+    } else {
+        disc_datasets::synthetic::clustered(build.n, build.dim, build.clusters, build.seed)
+    };
+    let threads = std::env::var("SELF_JOIN_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let tree = MTree::build(&data, MTreeConfig::default());
+    let graph = StratifiedDiskGraph::from_mtree_checked(
+        &tree,
+        build.radius,
+        SelfJoinConfig::with_threads(threads),
+        None,
+    )?;
+    let bytes = disc_store::encode(&data, &graph)?;
+    std::fs::write(&build.out, &bytes)?;
+    println!(
+        "{{\"op\":\"build\",\"status\":\"ok\",\"path\":{:?},\"n\":{},\"dim\":{},\"edges\":{},\"r_max\":{},\"bytes\":{}}}",
+        build.out.display().to_string(),
+        data.len(),
+        data.dim(),
+        graph.edge_count(),
+        build.radius,
+        bytes.len(),
+    );
+    Ok(())
+}
+
+/// `disc zoom`: open, solve the radius (or descending chain), print
+/// one JSON line per radius. The hashes printed here are byte-for-byte
+/// the hashes `disc serve` reports for the same snapshot and radii —
+/// both call the same graph-resident runners.
+fn run_zoom(zoom: &ZoomArgs) -> Result<(), CliError> {
+    let state = ServeState::open(&zoom.snapshot)?;
+    let token = zoom
+        .deadline_ms
+        .map(|ms| CancelToken::with_deadline(Duration::from_millis(ms)));
+    let steps = if zoom.radii.len() == 1 {
+        vec![solve_zoom(&state, zoom.radii[0], token.as_ref())?]
+    } else {
+        solve_sweep(&state, &zoom.radii, token.as_ref())?
+    };
+    for step in steps {
+        println!(
+            "{{\"op\":\"zoom\",\"status\":\"ok\",\"radius\":{},\"size\":{},\"hash\":\"{:#018x}\"}}",
+            step.radius,
+            step.solution.len(),
+            step.hash,
+        );
+    }
+    Ok(())
+}
+
+/// `disc serve`: the worker pool over stdin/stdout.
+fn run_serve(serve: &ServeArgs) -> Result<(), CliError> {
+    let state = ServeState::open(&serve.snapshot)?;
+    // Request panics are caught, counted, and answered; the default
+    // hook's full backtrace would just scare the operator. One line.
+    std::panic::set_hook(Box::new(|info| {
+        eprintln!("disc: worker contained a request panic: {info}");
+    }));
+    let config = ServeConfig {
+        workers: serve.workers,
+        queue: serve.queue,
+        cache: serve.cache,
+    };
+    let sink = Arc::new(JsonSink::new(Arc::new(Mutex::new(std::io::stdout()))));
+    let stdin = std::io::stdin();
+    run_lines(state, config, stdin.lock(), sink)?;
+    Ok(())
+}
+
+/// `disc doctor`: full triage to stdout; exit 0 only if the snapshot
+/// would be accepted for serving.
+fn run_doctor(doctor: &DoctorArgs) -> Result<(), CliError> {
+    let bytes = disc_store::read_snapshot(&doctor.snapshot)?;
+    let report = disc_store::inspect(bytes.as_bytes());
+    print!(
+        "{}",
+        crate::doctor::render(&doctor.snapshot.display().to_string(), &report)
+    );
+    report.verdict.map_err(CliError::from)
+}

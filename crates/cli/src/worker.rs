@@ -1,0 +1,298 @@
+//! Request execution: deadline enforcement, panic isolation, and the
+//! actual calls into the graph-resident DisC runners.
+//!
+//! Everything here is **index-free**: a snapshot persists the dataset
+//! and the stratified disk graph but not the M-tree, so serving uses
+//! exactly the graph-resident selection runners
+//! ([`disc_core::greedy_disc_graph_checked`] for one radius,
+//! [`disc_core::greedy_zoom_in_graph_checked`] chains for sweeps). The
+//! parity guarantee — a served solution is byte-identical to the same
+//! runner called in-process — holds by construction, because these are
+//! the same functions, and the `*_checked` runners are pinned
+//! byte-identical to their plain twins when the token never fires.
+//!
+//! Two diagnostic ops ride along: `sleep` (occupies a worker, polling
+//! its token — the saturation and deadline tests are built from it) and
+//! `panic` (panics on purpose — the isolation test). Both are part of
+//! the wire protocol so operators can probe a live pool.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use disc_core::{greedy_disc_graph_checked, greedy_zoom_in_graph_checked, DiscResult};
+use disc_metric::{CancelToken, ObjId};
+use disc_store::fnv1a_64;
+
+use crate::cache::{CachedSolution, SolutionCache};
+use crate::error::CliError;
+use crate::state::ServeState;
+
+/// What a request asks for.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// One DisC solution at `radius` (graph-resident greedy).
+    Zoom {
+        /// Query radius, `0 < radius ≤ r_max`.
+        radius: f64,
+    },
+    /// A descending chain of radii: full greedy at the first, then
+    /// greedy zoom-in for each subsequent radius.
+    Sweep {
+        /// Strictly descending radii, all in `(0, r_max]`.
+        radii: Vec<f64>,
+    },
+    /// Diagnostic: hold a worker for `ms` milliseconds, honouring the
+    /// deadline token while doing so.
+    Sleep {
+        /// How long to occupy the worker.
+        ms: u64,
+    },
+    /// Diagnostic: panic inside the worker. The pool must survive.
+    Panic,
+}
+
+/// One admitted unit of work.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Caller-chosen id echoed back in the reply.
+    pub id: u64,
+    /// What to do.
+    pub op: Op,
+    /// Absolute deadline; expired requests return `cancelled` without
+    /// running, running requests observe it through a [`CancelToken`].
+    pub deadline: Option<Instant>,
+}
+
+impl Request {
+    /// Wire name of the op, echoed in every reply.
+    pub fn op_name(&self) -> &'static str {
+        match self.op {
+            Op::Zoom { .. } => "zoom",
+            Op::Sweep { .. } => "sweep",
+            Op::Sleep { .. } => "sleep",
+            Op::Panic => "panic",
+        }
+    }
+}
+
+/// How a request ended.
+#[derive(Debug)]
+pub enum Outcome {
+    /// A zoom solved (or served from cache).
+    Zoomed {
+        /// The per-radius solution.
+        value: Arc<CachedSolution>,
+        /// Whether it came from the solution cache.
+        cached: bool,
+        /// Whether it was served on the degraded path (admission
+        /// rejected, answered from cache instead of shed).
+        degraded: bool,
+    },
+    /// A sweep solved every step.
+    Swept {
+        /// One solution per requested radius, in request order.
+        steps: Vec<Arc<CachedSolution>>,
+    },
+    /// A sleep ran to completion.
+    Slept {
+        /// The requested duration.
+        ms: u64,
+    },
+    /// The deadline fired before completion; no partial state escaped.
+    Cancelled,
+    /// The worker caught a panic from this request; the pool lives on.
+    Panicked,
+    /// The admission queue was full and no cached answer existed.
+    Shed {
+        /// Queue capacity at the time of the shed.
+        capacity: usize,
+    },
+    /// The request was invalid or failed; the message says why.
+    Failed {
+        /// Rendered error.
+        error: String,
+    },
+}
+
+/// A finished request: id and op echoed, outcome attached.
+#[derive(Debug)]
+pub struct Reply {
+    /// Id from the request.
+    pub id: u64,
+    /// Wire name of the op.
+    pub op: &'static str,
+    /// How it ended.
+    pub outcome: Outcome,
+}
+
+/// FNV-1a 64 over the solution ids as little-endian `u64`s — the wire
+/// hash that lets a script pin a served solution against an in-process
+/// run without shipping the id list.
+pub fn solution_hash(solution: &[ObjId]) -> u64 {
+    let mut bytes = Vec::with_capacity(solution.len() * 8);
+    for &id in solution {
+        bytes.extend_from_slice(&(id as u64).to_le_bytes());
+    }
+    fnv1a_64(&bytes)
+}
+
+fn cacheable(result: DiscResult) -> Arc<CachedSolution> {
+    let hash = solution_hash(&result.solution);
+    Arc::new(CachedSolution {
+        radius: result.radius,
+        solution: result.solution,
+        hash,
+    })
+}
+
+/// One DisC solution at `radius`, via the graph-resident greedy runner.
+pub fn solve_zoom(
+    state: &ServeState,
+    radius: f64,
+    cancel: Option<&CancelToken>,
+) -> Result<Arc<CachedSolution>, CliError> {
+    let view = state.graph.try_view(radius)?;
+    let unit = view.to_unit_disk_graph();
+    let result = greedy_disc_graph_checked(&unit, cancel)?;
+    Ok(cacheable(result))
+}
+
+/// Validates a sweep's radii: non-empty, finite, strictly descending,
+/// all within `(0, r_max]`.
+pub fn validate_radii(radii: &[f64], r_max: f64) -> Result<(), CliError> {
+    if radii.is_empty() {
+        return Err(CliError::Usage("sweep needs at least one radius".into()));
+    }
+    for &r in radii {
+        if !r.is_finite() || r <= 0.0 || r > r_max {
+            return Err(CliError::Usage(format!(
+                "radius {r} outside the serveable range (0, {r_max}]"
+            )));
+        }
+    }
+    for window in radii.windows(2) {
+        if window[1] >= window[0] {
+            return Err(CliError::Usage(format!(
+                "sweep radii must be strictly descending, got {} then {}",
+                window[0], window[1]
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// A descending radius sweep: full greedy at the first radius, then a
+/// greedy zoom-in chain — each step is byte-identical to calling the
+/// same runners in-process.
+pub fn solve_sweep(
+    state: &ServeState,
+    radii: &[f64],
+    cancel: Option<&CancelToken>,
+) -> Result<Vec<Arc<CachedSolution>>, CliError> {
+    validate_radii(radii, state.r_max)?;
+    let mut steps = Vec::with_capacity(radii.len());
+    let view = state.graph.try_view(radii[0])?;
+    let unit = view.to_unit_disk_graph();
+    let mut prev = greedy_disc_graph_checked(&unit, cancel)?;
+    steps.push(cacheable(prev.clone()));
+    for &r in &radii[1..] {
+        prev = greedy_zoom_in_graph_checked(&state.graph, &prev, r, cancel)?.result;
+        steps.push(cacheable(prev.clone()));
+    }
+    Ok(steps)
+}
+
+/// Sleeps `ms` milliseconds in 1 ms slices, polling the token between
+/// slices so a deadline interrupts promptly.
+fn run_sleep(ms: u64, cancel: Option<&CancelToken>) -> Result<(), CliError> {
+    for _ in 0..ms {
+        if let Some(token) = cancel {
+            token.checkpoint()?;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    if let Some(token) = cancel {
+        token.checkpoint()?;
+    }
+    Ok(())
+}
+
+fn run_op(
+    state: &ServeState,
+    cache: &SolutionCache,
+    op: &Op,
+    cancel: Option<&CancelToken>,
+) -> Result<Outcome, CliError> {
+    match op {
+        Op::Zoom { radius } => {
+            if let Some(hit) = cache.get(*radius) {
+                return Ok(Outcome::Zoomed {
+                    value: hit,
+                    cached: true,
+                    degraded: false,
+                });
+            }
+            let value = solve_zoom(state, *radius, cancel)?;
+            cache.put(Arc::clone(&value));
+            Ok(Outcome::Zoomed {
+                value,
+                cached: false,
+                degraded: false,
+            })
+        }
+        // Sweep steps are deliberately NOT cached: a step at radius r
+        // continues the chain from the radius above it, so its solution
+        // differs from a standalone zoom at r — caching it would let a
+        // later `zoom r=…` serve the wrong answer. The cache holds only
+        // standalone zoom solutions.
+        Op::Sweep { radii } => Ok(Outcome::Swept {
+            steps: solve_sweep(state, radii, cancel)?,
+        }),
+        Op::Sleep { ms } => {
+            run_sleep(*ms, cancel)?;
+            Ok(Outcome::Slept { ms: *ms })
+        }
+        Op::Panic => panic!("injected panic (diagnostic op)"),
+    }
+}
+
+/// Runs one request to a reply: deadline pre-check, token construction,
+/// panic containment. Never panics itself; a panicking op becomes
+/// [`Outcome::Panicked`] and the calling worker keeps serving.
+pub fn execute(state: &ServeState, cache: &SolutionCache, req: &Request) -> Reply {
+    let id = req.id;
+    let op_name = req.op_name();
+    // A request whose deadline already passed is answered `cancelled`
+    // without touching the graph: queue wait counts against the
+    // deadline, exactly like time spent scanning would.
+    let token = match req.deadline {
+        Some(deadline) => {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Reply {
+                    id,
+                    op: op_name,
+                    outcome: Outcome::Cancelled,
+                };
+            }
+            Some(CancelToken::with_deadline(remaining))
+        }
+        None => None,
+    };
+    let outcome = match std::panic::catch_unwind(AssertUnwindSafe(|| {
+        run_op(state, cache, &req.op, token.as_ref())
+    })) {
+        Ok(Ok(outcome)) => outcome,
+        Ok(Err(e)) if e.exit_code() == crate::error::EXIT_CANCELLED => Outcome::Cancelled,
+        Ok(Err(e)) => Outcome::Failed {
+            error: e.to_string(),
+        },
+        Err(_panic) => Outcome::Panicked,
+    };
+    Reply {
+        id,
+        op: op_name,
+        outcome,
+    }
+}

@@ -1,0 +1,499 @@
+//! Serve-under-fault acceptance suite.
+//!
+//! Pins the hardened serving contract end to end:
+//!
+//! - a fault-injected snapshot is rejected at startup with the owning
+//!   section named (exit-code family 3), never opened partially;
+//! - deadline-expired requests come back `cancelled` with exact
+//!   counters and no partial state (the cache stays clean);
+//! - one panicking request does not take down the pool — requests
+//!   after the panic are served;
+//! - saturation sheds with a typed overload reply, or serves degraded
+//!   from cache when the radius was answered before;
+//! - served solutions are byte-identical to the in-process
+//!   graph-resident runners at every radius, including through the
+//!   stdin/stdout line protocol.
+
+use std::io::Cursor;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use disc_cli::error::CliError;
+use disc_cli::serve::{parse_line, run_lines, LineCmd, ServeConfig, Server, Sink};
+use disc_cli::state::ServeState;
+use disc_cli::worker::{solution_hash, Op, Outcome, Reply, Request};
+use disc_core::{greedy_disc_graph, greedy_zoom_in_graph};
+use disc_graph::StratifiedDiskGraph;
+use disc_store::fault::{corrupt, Fault};
+use disc_store::SectionId;
+
+const R_MAX: f64 = 0.3;
+
+fn dataset() -> disc_metric::Dataset {
+    disc_datasets::synthetic::clustered(400, 2, 4, 7)
+}
+
+/// Writes a small clean snapshot to a fresh temp path.
+fn snapshot_file(tag: &str) -> std::path::PathBuf {
+    let data = dataset();
+    let graph = StratifiedDiskGraph::build(&data, R_MAX);
+    let dir = std::env::temp_dir().join("disc-cli-serve-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(format!("{tag}-{}.snap", std::process::id()));
+    disc_store::write_snapshot(&path, &data, &graph).expect("write snapshot");
+    path
+}
+
+fn open(tag: &str) -> Arc<ServeState> {
+    let path = snapshot_file(tag);
+    let state = ServeState::open(&path).expect("clean snapshot opens");
+    let _ = std::fs::remove_file(&path);
+    state
+}
+
+/// A sink that collects replies and lets tests wait for a count.
+#[derive(Default)]
+struct Collect {
+    replies: Mutex<Vec<(u64, &'static str, String)>>,
+    arrived: Condvar,
+}
+
+impl Collect {
+    fn wait_for(&self, n: usize, timeout: Duration) -> Vec<(u64, &'static str, String)> {
+        let deadline = Instant::now() + timeout;
+        let mut replies = self.replies.lock().expect("collect lock");
+        while replies.len() < n {
+            let left = deadline.saturating_duration_since(Instant::now());
+            assert!(!left.is_zero(), "timed out waiting for {n} replies");
+            let (guard, _) = self
+                .arrived
+                .wait_timeout(replies, left)
+                .expect("collect wait");
+            replies = guard;
+        }
+        replies.clone()
+    }
+}
+
+fn status_of(outcome: &Outcome) -> String {
+    match outcome {
+        Outcome::Zoomed {
+            cached, degraded, ..
+        } => format!("ok cached={cached} degraded={degraded}"),
+        Outcome::Swept { .. } => "ok".into(),
+        Outcome::Slept { .. } => "ok".into(),
+        Outcome::Cancelled => "cancelled".into(),
+        Outcome::Panicked => "panicked".into(),
+        Outcome::Shed { .. } => "shed".into(),
+        Outcome::Failed { error } => format!("error: {error}"),
+    }
+}
+
+impl Sink for Collect {
+    fn deliver(&self, reply: &Reply) {
+        self.replies.lock().expect("collect lock").push((
+            reply.id,
+            reply.op,
+            status_of(&reply.outcome),
+        ));
+        self.arrived.notify_all();
+    }
+
+    fn info(&self, _line: &str) {}
+}
+
+fn zoom(id: u64, radius: f64) -> Request {
+    Request {
+        id,
+        op: Op::Zoom { radius },
+        deadline: None,
+    }
+}
+
+fn sleep_req(id: u64, ms: u64) -> Request {
+    Request {
+        id,
+        op: Op::Sleep { ms },
+        deadline: None,
+    }
+}
+
+// ------------------------------------------------------------------
+// Startup: fault-injected snapshots are typed rejections.
+// ------------------------------------------------------------------
+
+#[test]
+fn corrupted_snapshot_rejected_at_startup_naming_the_section() {
+    let path = snapshot_file("startup-reject");
+    let bytes = std::fs::read(&path).expect("read snapshot back");
+    // Coords payload starts at byte 296 in the v1 layout.
+    let bad = corrupt(
+        &bytes,
+        Fault::BitFlip {
+            offset: 320,
+            bit: 4,
+        },
+    );
+    let bad_path = path.with_extension("corrupt.snap");
+    std::fs::write(&bad_path, &bad).expect("write corrupted copy");
+
+    let err = match ServeState::open(&bad_path) {
+        Err(e) => e,
+        Ok(_) => unreachable!("corrupted snapshot must not open"),
+    };
+    assert_eq!(err.exit_code(), 3, "corrupt snapshot is exit-code 3");
+    match &err {
+        CliError::Store(disc_store::StoreError::ChecksumMismatch { section, .. }) => {
+            assert_eq!(*section, SectionId::Coords)
+        }
+        other => unreachable!("expected coords checksum mismatch, got {other:?}"),
+    }
+    assert!(
+        err.to_string().contains("coords"),
+        "message must name the owning section: {err}"
+    );
+
+    // Truncation and version skew are equally typed at startup.
+    let cut = corrupt(&bytes, Fault::TruncateAt(bytes.len() - 8));
+    std::fs::write(&bad_path, &cut).expect("write truncated copy");
+    let err = ServeState::open(&bad_path)
+        .err()
+        .expect("truncated rejected");
+    assert_eq!(err.exit_code(), 3);
+
+    let skew = corrupt(&bytes, Fault::VersionSkew(9));
+    std::fs::write(&bad_path, &skew).expect("write skewed copy");
+    let err = ServeState::open(&bad_path).err().expect("skew rejected");
+    assert_eq!(err.exit_code(), 3);
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&bad_path);
+}
+
+// ------------------------------------------------------------------
+// Parity: served solutions == in-process graph-resident runners.
+// ------------------------------------------------------------------
+
+#[test]
+fn served_solutions_are_byte_identical_to_in_process_runners() {
+    let state = open("parity");
+    let sink = Arc::new(Collect::default());
+    let server = Server::start(
+        Arc::clone(&state),
+        ServeConfig {
+            workers: 3,
+            queue: 16,
+            cache: 16,
+        },
+        Arc::<Collect>::clone(&sink) as Arc<dyn Sink>,
+    );
+
+    // In-process references, exactly the functions serving uses: a
+    // standalone zoom at r is the full greedy runner at r; a sweep is
+    // full greedy at the top radius then the zoom-in chain.
+    let radii = [0.3, 0.15, 0.075];
+    let standalone: Vec<_> = radii
+        .iter()
+        .map(|&r| greedy_disc_graph(&state.graph.view(r).to_unit_disk_graph()))
+        .collect();
+    let top = standalone[0].clone();
+    let mid = greedy_zoom_in_graph(&state.graph, &top, radii[1]).result;
+    let low = greedy_zoom_in_graph(&state.graph, &mid, radii[2]).result;
+    let chain = [&top, &mid, &low];
+
+    for (i, &r) in radii.iter().enumerate() {
+        server.submit(zoom(i as u64, r));
+    }
+    // A sweep must reproduce the identical chain in one request.
+    server.submit(Request {
+        id: 99,
+        op: Op::Sweep {
+            radii: radii.to_vec(),
+        },
+        deadline: None,
+    });
+    assert!(server.drain(Duration::from_secs(30)), "pool drains");
+
+    // Compare through the solver API (the sink only carries statuses;
+    // solutions are checked against a direct worker call).
+    for (i, (&r, want)) in radii.iter().zip(&standalone).enumerate() {
+        let got = disc_cli::worker::solve_zoom(&state, r, None).expect("solve");
+        assert_eq!(got.solution, want.solution, "radius {r} (index {i})");
+        assert_eq!(got.hash, solution_hash(&want.solution));
+    }
+    let sweep = disc_cli::worker::solve_sweep(&state, &radii, None).expect("sweep");
+    for (step, want) in sweep.iter().zip(chain) {
+        assert_eq!(step.solution, want.solution);
+    }
+
+    let snap = server.shutdown();
+    assert_eq!(snap.submitted, 4);
+    assert_eq!(snap.admitted, 4);
+    assert_eq!(snap.completed, 4);
+    assert_eq!(
+        snap.shed + snap.degraded + snap.cancelled + snap.panicked + snap.failed,
+        0
+    );
+    assert!(snap.is_consistent(), "{snap:?}");
+    // The zoom at 0.3 ran before the sweep cached anything or after —
+    // either way every reply was an ok.
+    let replies = sink.wait_for(4, Duration::from_secs(1));
+    assert!(replies.iter().all(|(_, _, s)| s.starts_with("ok")));
+}
+
+// ------------------------------------------------------------------
+// Deadlines: expiry in queue and mid-scan, counters exact, no
+// partial state.
+// ------------------------------------------------------------------
+
+#[test]
+fn expired_deadlines_cancel_cleanly_with_exact_counters() {
+    let state = open("deadline");
+    let sink = Arc::new(Collect::default());
+    let server = Server::start(
+        Arc::clone(&state),
+        ServeConfig {
+            workers: 1,
+            queue: 8,
+            cache: 8,
+        },
+        Arc::<Collect>::clone(&sink) as Arc<dyn Sink>,
+    );
+
+    // Occupy the single worker long enough that the deadlined request
+    // expires while queued.
+    server.submit(sleep_req(1, 120));
+    server.submit(Request {
+        id: 2,
+        op: Op::Zoom { radius: 0.1 },
+        deadline: Some(Instant::now() + Duration::from_millis(10)),
+    });
+    // A mid-scan expiry: the sleep op polls its token every millisecond.
+    server.submit(Request {
+        id: 3,
+        op: Op::Sleep { ms: 10_000 },
+        deadline: Some(Instant::now() + Duration::from_millis(180)),
+    });
+    assert!(server.drain(Duration::from_secs(30)), "pool drains");
+
+    let replies = sink.wait_for(3, Duration::from_secs(1));
+    let status = |id: u64| {
+        replies
+            .iter()
+            .find(|(rid, _, _)| *rid == id)
+            .map(|(_, _, s)| s.clone())
+            .expect("reply present")
+    };
+    assert_eq!(status(1), "ok");
+    assert_eq!(status(2), "cancelled", "queue-expired request");
+    assert_eq!(status(3), "cancelled", "mid-scan-expired request");
+
+    let snap = server.shutdown();
+    assert_eq!(snap.submitted, 3);
+    assert_eq!(snap.admitted, 3);
+    assert_eq!(snap.completed, 1);
+    assert_eq!(snap.cancelled, 2);
+    assert_eq!(snap.failed + snap.panicked + snap.shed + snap.degraded, 0);
+    assert!(snap.is_consistent(), "{snap:?}");
+
+    // No partial state: the cancelled zoom must not have populated the
+    // cache — a fresh zoom at the same radius is computed, not cached.
+    let fresh = disc_cli::worker::solve_zoom(&state, 0.1, None).expect("solve");
+    let reference = greedy_disc_graph(&state.graph.view(0.1).to_unit_disk_graph());
+    assert_eq!(fresh.solution, reference.solution);
+}
+
+// ------------------------------------------------------------------
+// Panic isolation: the pool survives and keeps serving.
+// ------------------------------------------------------------------
+
+#[test]
+fn panicking_request_does_not_kill_the_pool() {
+    let state = open("panic");
+    let sink = Arc::new(Collect::default());
+    let server = Server::start(
+        Arc::clone(&state),
+        ServeConfig {
+            workers: 1,
+            queue: 8,
+            cache: 8,
+        },
+        Arc::<Collect>::clone(&sink) as Arc<dyn Sink>,
+    );
+
+    server.submit(Request {
+        id: 1,
+        op: Op::Panic,
+        deadline: None,
+    });
+    // Served-after-panic: the same single worker must answer this.
+    server.submit(zoom(2, 0.1));
+    assert!(server.drain(Duration::from_secs(30)), "pool drains");
+
+    let replies = sink.wait_for(2, Duration::from_secs(1));
+    assert_eq!(replies[0].2, "panicked");
+    assert!(
+        replies[1].2.starts_with("ok"),
+        "served after panic: {replies:?}"
+    );
+
+    let snap = server.shutdown();
+    assert_eq!(snap.panicked, 1);
+    assert_eq!(snap.completed, 1);
+    assert!(snap.is_consistent(), "{snap:?}");
+}
+
+// ------------------------------------------------------------------
+// Saturation: typed shed, degraded cache service.
+// ------------------------------------------------------------------
+
+#[test]
+fn saturation_sheds_typed_and_serves_degraded_from_cache() {
+    let state = open("saturate");
+    let sink = Arc::new(Collect::default());
+    let server = Server::start(
+        Arc::clone(&state),
+        ServeConfig {
+            workers: 1,
+            queue: 1,
+            cache: 8,
+        },
+        Arc::<Collect>::clone(&sink) as Arc<dyn Sink>,
+    );
+
+    // Warm the cache while the pool is idle.
+    server.submit(zoom(1, 0.1));
+    assert!(server.drain(Duration::from_secs(30)), "warm-up drains");
+
+    // Saturate: one sleep occupies the worker, one fills the queue.
+    server.submit(sleep_req(2, 250));
+    std::thread::sleep(Duration::from_millis(50)); // worker picked up #2
+    server.submit(sleep_req(3, 1));
+
+    // Queue now full: a cached radius is served degraded...
+    server.submit(zoom(4, 0.1));
+    // ...an uncached radius is shed with the typed overload reply.
+    server.submit(zoom(5, 0.2));
+
+    // Degraded and shed replies are delivered synchronously by submit.
+    let replies = sink.wait_for(3, Duration::from_secs(1));
+    let status = |id: u64| {
+        replies
+            .iter()
+            .find(|(rid, _, _)| *rid == id)
+            .map(|(_, _, s)| s.clone())
+            .expect("reply present")
+    };
+    assert_eq!(status(4), "ok cached=true degraded=true");
+    assert_eq!(status(5), "shed");
+
+    assert!(server.drain(Duration::from_secs(30)), "pool drains");
+    let snap = server.shutdown();
+    assert_eq!(snap.submitted, 5);
+    assert_eq!(snap.admitted, 3);
+    assert_eq!(snap.degraded, 1);
+    assert_eq!(snap.shed, 1);
+    assert_eq!(snap.completed, 3);
+    assert!(snap.cache_hits >= 1);
+    assert!(snap.is_consistent(), "{snap:?}");
+
+    // The typed error behind the wire reply carries the capacity.
+    let overload = CliError::Overloaded { capacity: 1 };
+    assert_eq!(overload.exit_code(), 9);
+}
+
+// ------------------------------------------------------------------
+// Line protocol end to end.
+// ------------------------------------------------------------------
+
+#[test]
+fn line_protocol_round_trips_and_matches_runner_hashes() {
+    let state = open("protocol");
+    let reference = greedy_disc_graph(&state.graph.view(0.1).to_unit_disk_graph());
+    let want_hash = format!("{:#018x}", solution_hash(&reference.solution));
+    // The sweep's 0.1 step continues the chain from 0.2 — a different
+    // solution (and hash) than the standalone zoom at 0.1.
+    let sweep_top = greedy_disc_graph(&state.graph.view(0.2).to_unit_disk_graph());
+    let sweep_step = greedy_zoom_in_graph(&state.graph, &sweep_top, 0.1).result;
+    let sweep_hash = format!("{:#018x}", solution_hash(&sweep_step.solution));
+
+    let input = Cursor::new(
+        "id=1 zoom r=0.1\n\
+         id=2 sweep radii=0.2,0.1\n\
+         this is not a command\n\
+         id=3 panic\n\
+         stats\n\
+         quit\n",
+    );
+    let out: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::new(disc_cli::serve::JsonSink::new(Arc::clone(&out)));
+    let snap = run_lines(
+        state,
+        ServeConfig {
+            workers: 2,
+            queue: 8,
+            cache: 8,
+        },
+        input,
+        sink,
+    )
+    .expect("serve loop runs");
+
+    assert_eq!(snap.submitted, 3);
+    assert_eq!(snap.completed, 2);
+    assert_eq!(snap.panicked, 1);
+    assert!(snap.is_consistent(), "{snap:?}");
+
+    let text = String::from_utf8(out.lock().expect("out lock").clone()).expect("utf8");
+    assert!(text.contains("\"op\":\"ready\""), "{text}");
+    assert!(
+        text.contains(&want_hash),
+        "zoom hash must match in-process: {text}"
+    );
+    assert!(
+        text.contains(&sweep_hash),
+        "sweep chain hash must match in-process: {text}"
+    );
+    assert!(text.contains("\"status\":\"panicked\""), "{text}");
+    assert!(
+        text.contains("\"op\":\"parse\""),
+        "malformed line reported: {text}"
+    );
+    assert!(text.contains("\"op\":\"stats\""), "{text}");
+
+    // parse_line grammar corners.
+    assert!(matches!(parse_line("stats"), Ok(LineCmd::Stats)));
+    assert!(matches!(parse_line("quit"), Ok(LineCmd::Quit)));
+    assert!(parse_line("id=1 zoom").is_err(), "zoom needs r=");
+    assert!(parse_line("zoom r=0.1").is_err(), "id required");
+    assert!(parse_line("id=1 warp r=0.1").is_err(), "unknown op");
+}
+
+// ------------------------------------------------------------------
+// Graph-level request errors are typed failures, not panics.
+// ------------------------------------------------------------------
+
+#[test]
+fn out_of_range_radius_is_a_typed_failure() {
+    let state = open("bad-radius");
+    let err = match disc_cli::worker::solve_zoom(&state, R_MAX * 2.0, None) {
+        Err(e) => e,
+        Ok(_) => unreachable!("radius beyond r_max must fail"),
+    };
+    assert_eq!(err.exit_code(), 5, "graph error family: {err}");
+
+    // And through the pool it becomes a status=error reply.
+    let sink = Arc::new(Collect::default());
+    let server = Server::start(
+        state,
+        ServeConfig::default(),
+        Arc::<Collect>::clone(&sink) as Arc<dyn Sink>,
+    );
+    server.submit(zoom(1, R_MAX * 2.0));
+    assert!(server.drain(Duration::from_secs(30)));
+    let replies = sink.wait_for(1, Duration::from_secs(1));
+    assert!(replies[0].2.starts_with("error:"), "{replies:?}");
+    let snap = server.shutdown();
+    assert_eq!(snap.failed, 1);
+    assert!(snap.is_consistent());
+}

@@ -11,11 +11,13 @@
 //! either way. Update loops reuse one scratch hit buffer per algorithm
 //! run instead of allocating a fresh `Vec` per range query.
 
+use disc_metric::cancel::{CancelToken, Cancelled};
 use disc_metric::ObjId;
 use disc_mtree::{Color, ColorState, MTree};
 
 use crate::heap::LazyMaxHeap;
 use crate::par;
+use crate::{checkpoint, never_cancelled};
 
 /// Initialises white-neighbourhood counts for *all* objects of a fresh
 /// (all-white) colouring, pushing every object into the heap. One range
@@ -147,9 +149,28 @@ pub fn greedy_white_pass(
     heap: &mut LazyMaxHeap,
     solution: &mut Vec<ObjId>,
 ) {
+    never_cancelled(greedy_white_pass_checked(
+        tree, r, colors, counts, heap, solution, None,
+    ));
+}
+
+/// [`greedy_white_pass`] polling a [`CancelToken`] once per selection
+/// round; `Err(Cancelled)` on a fired deadline — the caller discards its
+/// partial colouring/solution, so no partial state escapes.
+#[allow(clippy::too_many_arguments)]
+pub fn greedy_white_pass_checked(
+    tree: &MTree<'_>,
+    r: f64,
+    colors: &mut ColorState,
+    counts: &mut [u32],
+    heap: &mut LazyMaxHeap,
+    solution: &mut Vec<ObjId>,
+    cancel: Option<&CancelToken>,
+) -> Result<(), Cancelled> {
     let mut sel_scratch: Vec<ObjId> = Vec::new();
     let mut upd_scratch: Vec<ObjId> = Vec::new();
     while colors.any_white() {
+        checkpoint(cancel)?;
         let picked = match heap.pop_valid(|id| colors.is_white(id).then(|| counts[id])) {
             Some(p) => p,
             None => unreachable!("white objects remain, so the heap holds a candidate"),
@@ -169,6 +190,7 @@ pub fn greedy_white_pass(
         );
         solution.push(picked);
     }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -49,6 +49,19 @@
 //! * [`verify_disc`] / [`verify_coverage`] — brute-force checks of
 //!   Definition 1 used by tests and examples.
 //!
+//! ## Cancellation
+//!
+//! Every selection runner has a `*_checked` twin taking an optional
+//! [`disc_metric::CancelToken`] — the same cooperative primitive the
+//! graph builders poll. A checked runner polls the token once per
+//! selection round (plus once per black object in the zooming
+//! preparation passes) and returns `Err(Cancelled)` mid-scan: no
+//! partially built solution escapes, and counters charge exactly the
+//! work performed before the checkpoint fired. With a token that never
+//! cancels the checked runners are byte-identical to the plain ones —
+//! the serving layer relies on this to enforce per-request deadlines
+//! without perturbing solutions.
+//!
 //! All algorithms are deterministic: ties break towards the smallest
 //! object id, so results are reproducible and cross-checkable against the
 //! reference implementations in `disc-graph`.
@@ -73,14 +86,42 @@ pub use basic::{basic_disc, BasicOrder};
 pub use cover::{fast_c, greedy_c};
 pub use greedy::{greedy_disc, greedy_disc_with_update_radius, GreedyVariant};
 pub use local::{local_zoom, LocalZoomResult};
-pub use multi_radius::{multi_radius_basic_disc, multi_radius_greedy_disc, verify_multi_radius};
+pub use multi_radius::{
+    multi_radius_basic_disc, multi_radius_basic_disc_checked, multi_radius_greedy_disc,
+    multi_radius_greedy_disc_checked, verify_multi_radius,
+};
 pub use resident::{
-    fast_c_graph, greedy_c_graph, greedy_disc_graph, greedy_zoom_in_graph, multi_radius_graph,
-    zoom_in_graph, zoom_out_graph,
+    fast_c_graph, fast_c_graph_checked, greedy_c_graph, greedy_c_graph_checked, greedy_disc_graph,
+    greedy_disc_graph_checked, greedy_zoom_in_graph, greedy_zoom_in_graph_checked,
+    multi_radius_graph, multi_radius_graph_checked, zoom_in_graph, zoom_in_graph_checked,
+    zoom_out_graph, zoom_out_graph_checked,
 };
 pub use result::{DiscResult, ZoomResult};
 pub use runner::Heuristic;
 pub use verify::{verify_coverage, verify_disc, VerifyReport};
 pub use weighted::{solution_weight, weighted_disc};
-pub use zoom_in::{greedy_zoom_in, zoom_in};
-pub use zoom_out::{greedy_zoom_out, zoom_out, ZoomOutVariant};
+pub use zoom_in::{greedy_zoom_in, greedy_zoom_in_checked, zoom_in, zoom_in_checked};
+pub use zoom_out::{greedy_zoom_out, greedy_zoom_out_checked, zoom_out, ZoomOutVariant};
+
+use disc_metric::cancel::{CancelToken, Cancelled};
+
+/// Polls an optional cancellation token: the shared checkpoint of every
+/// `*_checked` selection runner. `None` never cancels, so the plain
+/// runners delegate to the checked implementations at zero cost.
+#[inline]
+pub(crate) fn checkpoint(cancel: Option<&CancelToken>) -> Result<(), Cancelled> {
+    match cancel {
+        Some(token) => token.checkpoint(),
+        None => Ok(()),
+    }
+}
+
+/// Unwraps a checked-runner result on the `None`-token path, where
+/// cancellation is impossible by construction.
+#[inline]
+pub(crate) fn never_cancelled<T>(result: Result<T, Cancelled>) -> T {
+    match result {
+        Ok(value) => value,
+        Err(Cancelled) => unreachable!("no cancellation token was supplied"),
+    }
+}

@@ -35,12 +35,14 @@
 //! is pinned for that path too (it coincides with the `G_{P,r}` graph
 //! pipeline of [`crate::resident`]).
 
+use disc_metric::cancel::{CancelToken, Cancelled};
 use disc_metric::ObjId;
 use disc_mtree::{Color, ColorState, MTree, RangeHit};
 
 use crate::heap::LazyMaxHeap;
 use crate::par;
 use crate::result::DiscResult;
+use crate::{checkpoint, never_cancelled};
 
 /// Computes a multi-radius DisC diverse subset in leaf order (the
 /// Basic-DisC counterpart).
@@ -49,6 +51,17 @@ use crate::result::DiscResult;
 ///
 /// Panics unless `radii` holds one positive finite radius per object.
 pub fn multi_radius_basic_disc(tree: &MTree<'_>, radii: &[f64], pruned: bool) -> DiscResult {
+    never_cancelled(multi_radius_basic_disc_checked(tree, radii, pruned, None))
+}
+
+/// [`multi_radius_basic_disc`] polling a [`CancelToken`] once per
+/// selection; `Err(Cancelled)` on a fired deadline, no partial state.
+pub fn multi_radius_basic_disc_checked(
+    tree: &MTree<'_>,
+    radii: &[f64],
+    pruned: bool,
+    cancel: Option<&CancelToken>,
+) -> Result<DiscResult, Cancelled> {
     check_radii(tree, radii);
     let start = tree.node_accesses();
     let mut colors = ColorState::new(tree);
@@ -68,6 +81,7 @@ pub fn multi_radius_basic_disc(tree: &MTree<'_>, radii: &[f64], pruned: bool) ->
             if !colors.is_white(object) {
                 continue;
             }
+            checkpoint(cancel)?;
             colors.set_color(tree, object, Color::Black);
             for (q, _) in neighbors_of(tree, object, radii, pruned, &colors) {
                 if colors.is_white(q) {
@@ -78,18 +92,30 @@ pub fn multi_radius_basic_disc(tree: &MTree<'_>, radii: &[f64], pruned: bool) ->
         }
     }
     debug_assert!(!colors.any_white());
-    DiscResult {
+    Ok(DiscResult {
         radius: mean_radius(radii),
         heuristic: format!("MR-B-DisC{}", if pruned { " (Pruned)" } else { "" }),
         solution,
         node_accesses: tree.node_accesses() - start,
-    }
+    })
 }
 
 /// Computes a multi-radius DisC diverse subset greedily: always select
 /// the white object covering the most uncovered objects under the `min`
 /// rule (the Greedy-DisC counterpart, with exact grey updates).
 pub fn multi_radius_greedy_disc(tree: &MTree<'_>, radii: &[f64], pruned: bool) -> DiscResult {
+    never_cancelled(multi_radius_greedy_disc_checked(tree, radii, pruned, None))
+}
+
+/// [`multi_radius_greedy_disc`] polling a [`CancelToken`] once per
+/// selection round; `Err(Cancelled)` on a fired deadline, no partial
+/// state.
+pub fn multi_radius_greedy_disc_checked(
+    tree: &MTree<'_>,
+    radii: &[f64],
+    pruned: bool,
+    cancel: Option<&CancelToken>,
+) -> Result<DiscResult, Cancelled> {
     check_radii(tree, radii);
     let start = tree.node_accesses();
     let n = tree.len();
@@ -107,6 +133,7 @@ pub fn multi_radius_greedy_disc(tree: &MTree<'_>, radii: &[f64], pruned: bool) -
 
     let mut solution = Vec::new();
     while colors.any_white() {
+        checkpoint(cancel)?;
         let picked = match heap.pop_valid(|id| colors.is_white(id).then(|| counts[id])) {
             Some(p) => p,
             None => unreachable!("white objects remain"),
@@ -133,12 +160,12 @@ pub fn multi_radius_greedy_disc(tree: &MTree<'_>, radii: &[f64], pruned: bool) -
         solution.push(picked);
     }
 
-    DiscResult {
+    Ok(DiscResult {
         radius: mean_radius(radii),
         heuristic: format!("MR-G-DisC{}", if pruned { " (Pruned)" } else { "" }),
         solution,
         node_accesses: tree.node_accesses() - start,
-    }
+    })
 }
 
 /// Verifies both conditions of the multi-radius generalisation by brute

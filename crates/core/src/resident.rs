@@ -68,6 +68,7 @@
 //! node accesses.
 
 use disc_graph::{StratifiedDiskGraph, UnitDiskGraph};
+use disc_metric::cancel::{CancelToken, Cancelled};
 use disc_metric::ObjId;
 use disc_mtree::{Color, MTree};
 
@@ -75,6 +76,7 @@ use crate::heap::LazyMaxHeap;
 use crate::multi_radius::{check_radii_len, mean_radius};
 use crate::result::{DiscResult, ZoomResult};
 use crate::zoom_out::ZoomOutVariant;
+use crate::{checkpoint, never_cancelled};
 
 /// Greedy-DisC (Algorithm 1) over a materialised graph. Identical
 /// solutions to the exact tree-backed variants
@@ -82,6 +84,17 @@ use crate::zoom_out::ZoomOutVariant;
 /// [`crate::GreedyVariant::White`]) and to
 /// [`disc_graph::reference::greedy_disc_ref`]; no node accesses.
 pub fn greedy_disc_graph(g: &UnitDiskGraph) -> DiscResult {
+    never_cancelled(greedy_disc_graph_checked(g, None))
+}
+
+/// [`greedy_disc_graph`] polling a [`CancelToken`] once per selection
+/// round: a fired deadline returns `Err(Cancelled)` mid-scan with no
+/// partial solution escaping. Byte-identical to the plain runner when
+/// the token never cancels.
+pub fn greedy_disc_graph_checked(
+    g: &UnitDiskGraph,
+    cancel: Option<&CancelToken>,
+) -> Result<DiscResult, Cancelled> {
     let n = g.len();
     let mut color = vec![Color::White; n];
     let mut white = n;
@@ -94,6 +107,7 @@ pub fn greedy_disc_graph(g: &UnitDiskGraph) -> DiscResult {
     let mut newly_grey: Vec<ObjId> = Vec::new();
     let mut solution = Vec::new();
     while white > 0 {
+        checkpoint(cancel)?;
         let picked = match heap.pop_valid(|id| (color[id] == Color::White).then(|| counts[id])) {
             Some(p) => p,
             None => unreachable!("white objects remain, so the heap holds a candidate"),
@@ -122,12 +136,12 @@ pub fn greedy_disc_graph(g: &UnitDiskGraph) -> DiscResult {
         }
         solution.push(picked);
     }
-    DiscResult {
+    Ok(DiscResult {
         radius: g.radius(),
         heuristic: "G-DisC (Graph)".into(),
         solution,
         node_accesses: 0,
-    }
+    })
 }
 
 /// Selection key of the coverage heuristics: white neighbours plus one
@@ -146,7 +160,16 @@ fn cover_key(color: &[Color], counts: &[u32], id: ObjId) -> Option<u32> {
 /// tree-backed [`crate::greedy_c`] and to
 /// [`disc_graph::reference::greedy_c_ref`]; no node accesses.
 pub fn greedy_c_graph(g: &UnitDiskGraph) -> DiscResult {
-    run_cover_graph(g, false)
+    never_cancelled(run_cover_graph(g, false, None))
+}
+
+/// [`greedy_c_graph`] polling a [`CancelToken`] once per selection
+/// round; `Err(Cancelled)` on a fired deadline, no partial state.
+pub fn greedy_c_graph_checked(
+    g: &UnitDiskGraph,
+    cancel: Option<&CancelToken>,
+) -> Result<DiscResult, Cancelled> {
+    run_cover_graph(g, false, cancel)
 }
 
 /// Fast-C over a materialised graph: the lazy-update strategy (no
@@ -156,10 +179,23 @@ pub fn greedy_c_graph(g: &UnitDiskGraph) -> DiscResult {
 /// tree-backed [`crate::fast_c`], whose truncated bottom-up climbs can
 /// leave counts stale — the solutions coincide with Greedy-C's.
 pub fn fast_c_graph(g: &UnitDiskGraph) -> DiscResult {
-    run_cover_graph(g, true)
+    never_cancelled(run_cover_graph(g, true, None))
 }
 
-fn run_cover_graph(g: &UnitDiskGraph, lazy: bool) -> DiscResult {
+/// [`fast_c_graph`] polling a [`CancelToken`] once per selection round;
+/// `Err(Cancelled)` on a fired deadline, no partial state.
+pub fn fast_c_graph_checked(
+    g: &UnitDiskGraph,
+    cancel: Option<&CancelToken>,
+) -> Result<DiscResult, Cancelled> {
+    run_cover_graph(g, true, cancel)
+}
+
+fn run_cover_graph(
+    g: &UnitDiskGraph,
+    lazy: bool,
+    cancel: Option<&CancelToken>,
+) -> Result<DiscResult, Cancelled> {
     let n = g.len();
     let mut color = vec![Color::White; n];
     let mut white = n;
@@ -179,6 +215,7 @@ fn run_cover_graph(g: &UnitDiskGraph, lazy: bool) -> DiscResult {
     let mut newly_grey: Vec<ObjId> = Vec::new();
     let mut solution = Vec::new();
     while white > 0 {
+        checkpoint(cancel)?;
         let picked = if lazy {
             let mut selected = None;
             while let Some(cand) = heap.pop_valid(|id| (color[id] != Color::Black).then(|| key[id]))
@@ -252,7 +289,7 @@ fn run_cover_graph(g: &UnitDiskGraph, lazy: bool) -> DiscResult {
         }
         solution.push(picked);
     }
-    DiscResult {
+    Ok(DiscResult {
         radius: g.radius(),
         heuristic: if lazy {
             "Fast-C (Graph)".into()
@@ -261,7 +298,7 @@ fn run_cover_graph(g: &UnitDiskGraph, lazy: bool) -> DiscResult {
         },
         solution,
         node_accesses: 0,
-    }
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -274,9 +311,15 @@ fn run_cover_graph(g: &UnitDiskGraph, lazy: bool) -> DiscResult {
 /// the graph-resident counterpart of the paper's post-processing pass).
 /// Black objects report 0; objects with no black within `r` report
 /// infinity.
-fn closest_black_strat(g: &StratifiedDiskGraph, blacks: &[ObjId], r: f64) -> Vec<f64> {
+fn closest_black_strat(
+    g: &StratifiedDiskGraph,
+    blacks: &[ObjId],
+    r: f64,
+    cancel: Option<&CancelToken>,
+) -> Result<Vec<f64>, Cancelled> {
     let mut dist = vec![f64::INFINITY; g.len()];
     for &b in blacks {
+        checkpoint(cancel)?;
         dist[b] = 0.0;
         for (q, d) in g.neighbors_within(b, r) {
             if d < dist[q] {
@@ -284,7 +327,7 @@ fn closest_black_strat(g: &StratifiedDiskGraph, blacks: &[ObjId], r: f64) -> Vec
             }
         }
     }
-    dist
+    Ok(dist)
 }
 
 /// Colouring for a zoom-in at `r_new`: previous blacks stay black,
@@ -338,7 +381,9 @@ fn greedy_white_pass_over<N, F>(
     neighbors_of: F,
     color: &mut [Color],
     solution: &mut Vec<ObjId>,
-) where
+    cancel: Option<&CancelToken>,
+) -> Result<(), Cancelled>
+where
     F: Fn(ObjId) -> N,
     N: Iterator<Item = ObjId>,
 {
@@ -355,6 +400,7 @@ fn greedy_white_pass_over<N, F>(
     }
     let mut newly_grey: Vec<ObjId> = Vec::new();
     while white > 0 {
+        checkpoint(cancel)?;
         let picked = match heap.pop_valid(|id| (color[id] == Color::White).then(|| counts[id])) {
             Some(p) => p,
             None => unreachable!("white objects remain, so the heap holds a candidate"),
@@ -378,6 +424,7 @@ fn greedy_white_pass_over<N, F>(
         }
         solution.push(picked);
     }
+    Ok(())
 }
 
 /// [`greedy_white_pass_over`] at a fixed radius over the stratified
@@ -387,13 +434,15 @@ fn greedy_white_pass_strat(
     r: f64,
     color: &mut [Color],
     solution: &mut Vec<ObjId>,
-) {
+    cancel: Option<&CancelToken>,
+) -> Result<(), Cancelled> {
     greedy_white_pass_over(
         g.len(),
         |v| g.row_within(v, r).0.iter().copied(),
         color,
         solution,
-    );
+        cancel,
+    )
 }
 
 /// Zoom-In (paper Section 3.1) over a stratified graph built at
@@ -410,6 +459,20 @@ pub fn zoom_in_graph(
     prev: &DiscResult,
     r_new: f64,
 ) -> ZoomResult {
+    never_cancelled(zoom_in_graph_checked(tree, g, prev, r_new, None))
+}
+
+/// [`zoom_in_graph`] polling a [`CancelToken`] once per black object in
+/// the preparation pass and once per selection; `Err(Cancelled)` on a
+/// fired deadline with no partial state. Byte-identical to the plain
+/// runner when the token never cancels.
+pub fn zoom_in_graph_checked(
+    tree: &MTree<'_>,
+    g: &StratifiedDiskGraph,
+    prev: &DiscResult,
+    r_new: f64,
+    cancel: Option<&CancelToken>,
+) -> Result<ZoomResult, Cancelled> {
     assert!(
         r_new < prev.radius,
         "zooming in requires r' < r ({r_new} >= {})",
@@ -421,13 +484,14 @@ pub fn zoom_in_graph(
         g.radius(),
         prev.radius
     );
-    let closest_black = closest_black_strat(g, &prev.solution, prev.radius);
+    let closest_black = closest_black_strat(g, &prev.solution, prev.radius, cancel)?;
     let mut color = recolor_strat(g, prev, &closest_black, r_new);
     let mut solution = prev.solution.clone();
     for object in tree.objects_in_leaf_order_uncounted() {
         if color[object] != Color::White {
             continue;
         }
+        checkpoint(cancel)?;
         color[object] = Color::Black;
         for &q in g.row_within(object, r_new).0 {
             if color[q] == Color::White {
@@ -437,7 +501,7 @@ pub fn zoom_in_graph(
         solution.push(object);
     }
     debug_assert!(color.iter().all(|&c| c != Color::White));
-    ZoomResult {
+    Ok(ZoomResult {
         result: DiscResult {
             radius: r_new,
             heuristic: "Zoom-In (Graph)".into(),
@@ -445,7 +509,7 @@ pub fn zoom_in_graph(
             node_accesses: 0,
         },
         prep_accesses: 0,
-    }
+    })
 }
 
 /// Greedy-Zoom-In (paper Algorithm 2) over a stratified graph:
@@ -453,6 +517,18 @@ pub fn zoom_in_graph(
 /// [`crate::greedy_zoom_in`], fully index-free (greedy selection needs
 /// no leaf order).
 pub fn greedy_zoom_in_graph(g: &StratifiedDiskGraph, prev: &DiscResult, r_new: f64) -> ZoomResult {
+    never_cancelled(greedy_zoom_in_graph_checked(g, prev, r_new, None))
+}
+
+/// [`greedy_zoom_in_graph`] polling a [`CancelToken`] once per black
+/// object in the preparation pass and once per selection round;
+/// `Err(Cancelled)` on a fired deadline with no partial state.
+pub fn greedy_zoom_in_graph_checked(
+    g: &StratifiedDiskGraph,
+    prev: &DiscResult,
+    r_new: f64,
+    cancel: Option<&CancelToken>,
+) -> Result<ZoomResult, Cancelled> {
     assert!(
         r_new < prev.radius,
         "zooming in requires r' < r ({r_new} >= {})",
@@ -464,11 +540,11 @@ pub fn greedy_zoom_in_graph(g: &StratifiedDiskGraph, prev: &DiscResult, r_new: f
         g.radius(),
         prev.radius
     );
-    let closest_black = closest_black_strat(g, &prev.solution, prev.radius);
+    let closest_black = closest_black_strat(g, &prev.solution, prev.radius, cancel)?;
     let mut color = recolor_strat(g, prev, &closest_black, r_new);
     let mut solution = prev.solution.clone();
-    greedy_white_pass_strat(g, r_new, &mut color, &mut solution);
-    ZoomResult {
+    greedy_white_pass_strat(g, r_new, &mut color, &mut solution, cancel)?;
+    Ok(ZoomResult {
         result: DiscResult {
             radius: r_new,
             heuristic: "Greedy-Zoom-In (Graph)".into(),
@@ -476,7 +552,7 @@ pub fn greedy_zoom_in_graph(g: &StratifiedDiskGraph, prev: &DiscResult, r_new: f
             node_accesses: 0,
         },
         prep_accesses: 0,
-    }
+    })
 }
 
 /// Zoom-Out (paper Algorithm 3, all four first-pass variants) over a
@@ -493,6 +569,19 @@ pub fn zoom_out_graph(
     r_new: f64,
     variant: ZoomOutVariant,
 ) -> ZoomResult {
+    never_cancelled(zoom_out_graph_checked(tree, g, prev, r_new, variant, None))
+}
+
+/// [`zoom_out_graph`] polling a [`CancelToken`] once per selection in
+/// both passes; `Err(Cancelled)` on a fired deadline, no partial state.
+pub fn zoom_out_graph_checked(
+    tree: &MTree<'_>,
+    g: &StratifiedDiskGraph,
+    prev: &DiscResult,
+    r_new: f64,
+    variant: ZoomOutVariant,
+    cancel: Option<&CancelToken>,
+) -> Result<ZoomResult, Cancelled> {
     assert!(
         r_new > prev.radius,
         "zooming out requires r' > r ({r_new} <= {})",
@@ -528,10 +617,12 @@ pub fn zoom_out_graph(
                 if color[red] != Color::Red {
                     continue; // already covered by an earlier selection
                 }
+                checkpoint(cancel)?;
                 select_and_cover_strat(g, &mut color, red, r_new, &mut solution);
             }
         }
         ZoomOutVariant::GreedyA | ZoomOutVariant::GreedyB => loop {
+            checkpoint(cancel)?;
             let best = cached
                 .iter()
                 .filter(|(red, _)| color[*red] == Color::Red)
@@ -550,6 +641,7 @@ pub fn zoom_out_graph(
             select_and_cover_strat(g, &mut color, red, r_new, &mut solution);
         },
         ZoomOutVariant::GreedyC => loop {
+            checkpoint(cancel)?;
             // Fresh white-neighbour counts for every remaining red, every
             // iteration — a prefix scan here, a pruned range query in the
             // tree-backed runner.
@@ -579,16 +671,17 @@ pub fn zoom_out_graph(
             ZoomOutVariant::Plain => {
                 for object in tree.objects_in_leaf_order_uncounted() {
                     if color[object] == Color::White {
+                        checkpoint(cancel)?;
                         select_and_cover_strat(g, &mut color, object, r_new, &mut solution);
                     }
                 }
             }
-            _ => greedy_white_pass_strat(g, r_new, &mut color, &mut solution),
+            _ => greedy_white_pass_strat(g, r_new, &mut color, &mut solution, cancel)?,
         }
     }
     debug_assert!(color.iter().all(|&c| c != Color::White));
 
-    ZoomResult {
+    Ok(ZoomResult {
         result: DiscResult {
             radius: r_new,
             heuristic: format!("{} (Graph)", variant.name()),
@@ -596,7 +689,7 @@ pub fn zoom_out_graph(
             node_accesses: 0,
         },
         prep_accesses: 0,
-    }
+    })
 }
 
 /// Multi-radius DisC selection (paper Section 8, the generalisation in
@@ -614,6 +707,18 @@ pub fn multi_radius_graph(
     radii: &[f64],
     greedy: bool,
 ) -> DiscResult {
+    never_cancelled(multi_radius_graph_checked(tree, g, radii, greedy, None))
+}
+
+/// [`multi_radius_graph`] polling a [`CancelToken`] once per selection;
+/// `Err(Cancelled)` on a fired deadline, no partial state.
+pub fn multi_radius_graph_checked(
+    tree: &MTree<'_>,
+    g: &StratifiedDiskGraph,
+    radii: &[f64],
+    greedy: bool,
+    cancel: Option<&CancelToken>,
+) -> Result<DiscResult, Cancelled> {
     check_radii_len(g.len(), radii);
     assert!(
         radii.iter().all(|&r| r <= g.radius()),
@@ -632,12 +737,13 @@ pub fn multi_radius_graph(
     let mut solution = Vec::new();
 
     if greedy {
-        greedy_white_pass_over(n, min_neighbors, &mut color, &mut solution);
+        greedy_white_pass_over(n, min_neighbors, &mut color, &mut solution, cancel)?;
     } else {
         for object in tree.objects_in_leaf_order_uncounted() {
             if color[object] != Color::White {
                 continue;
             }
+            checkpoint(cancel)?;
             color[object] = Color::Black;
             for q in min_neighbors(object) {
                 if color[q] == Color::White {
@@ -649,7 +755,7 @@ pub fn multi_radius_graph(
     }
     debug_assert!(color.iter().all(|&c| c != Color::White));
 
-    DiscResult {
+    Ok(DiscResult {
         radius: mean_radius(radii),
         heuristic: if greedy {
             "MR-G-DisC (Graph)".into()
@@ -658,7 +764,7 @@ pub fn multi_radius_graph(
         },
         solution,
         node_accesses: 0,
-    }
+    })
 }
 
 #[cfg(test)]

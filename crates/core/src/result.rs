@@ -3,7 +3,11 @@
 use disc_metric::ObjId;
 
 /// Outcome of a DisC (or r-C) computation.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` compares all fields (the byte-identity pins between the
+/// plain and `*_checked` runners rely on it); radii are finite in
+/// practice, so the `f64` comparison is exact.
+#[derive(Clone, Debug, PartialEq)]
 pub struct DiscResult {
     /// The radius the subset was computed for.
     pub radius: f64,
@@ -46,7 +50,7 @@ impl DiscResult {
 /// materialised `StratifiedDiskGraph`, whose one-time build cost is
 /// charged to the M-tree's distance-computation counter at
 /// materialisation time instead.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ZoomResult {
     /// The adapted solution for the new radius.
     pub result: DiscResult,

@@ -23,18 +23,27 @@
 // indexed loops are the clearer idiom.
 #![allow(clippy::needless_range_loop)]
 
+use disc_metric::cancel::{CancelToken, Cancelled};
 use disc_metric::ObjId;
 use disc_mtree::{Color, ColorState, MTree};
 
-use crate::counts::{greedy_white_pass, init_white_subset};
+use crate::counts::{greedy_white_pass_checked, init_white_subset};
 use crate::result::{DiscResult, ZoomResult};
+use crate::{checkpoint, never_cancelled};
 
 /// Distances from every object to its closest black neighbour, computed
 /// with one range query per black object (the paper's post-processing
-/// step). Black objects report 0.
-pub(crate) fn closest_black_distances(tree: &MTree<'_>, blacks: &[ObjId], r: f64) -> Vec<f64> {
+/// step). Black objects report 0. Polls the optional token once per
+/// black.
+pub(crate) fn closest_black_distances(
+    tree: &MTree<'_>,
+    blacks: &[ObjId],
+    r: f64,
+    cancel: Option<&CancelToken>,
+) -> Result<Vec<f64>, Cancelled> {
     let mut dist = vec![f64::INFINITY; tree.len()];
     for &b in blacks {
+        checkpoint(cancel)?;
         dist[b] = 0.0;
         for h in tree.range_query_obj(b, r) {
             if h.object != b && h.dist < dist[h.object] {
@@ -42,7 +51,7 @@ pub(crate) fn closest_black_distances(tree: &MTree<'_>, blacks: &[ObjId], r: f64
             }
         }
     }
-    dist
+    Ok(dist)
 }
 
 /// Sets up the colouring for the new radius: previous blacks stay black,
@@ -74,13 +83,26 @@ fn recolor_for_zoom_in(
 /// objects are selected in encounter order, exactly like Basic-DisC
 /// seeded with the previous solution.
 pub fn zoom_in(tree: &MTree<'_>, prev: &DiscResult, r_new: f64) -> ZoomResult {
+    never_cancelled(zoom_in_checked(tree, prev, r_new, None))
+}
+
+/// [`zoom_in()`] polling a [`CancelToken`] once per black in the
+/// preparation pass and once per selection; `Err(Cancelled)` on a fired
+/// deadline with no partial state. Byte-identical to the plain runner
+/// when the token never cancels.
+pub fn zoom_in_checked(
+    tree: &MTree<'_>,
+    prev: &DiscResult,
+    r_new: f64,
+    cancel: Option<&CancelToken>,
+) -> Result<ZoomResult, Cancelled> {
     assert!(
         r_new < prev.radius,
         "zooming in requires r' < r ({r_new} >= {})",
         prev.radius
     );
     let prep_start = tree.node_accesses();
-    let closest_black = closest_black_distances(tree, &prev.solution, prev.radius);
+    let closest_black = closest_black_distances(tree, &prev.solution, prev.radius, cancel)?;
     let prep_accesses = tree.node_accesses() - prep_start;
 
     let start = tree.node_accesses();
@@ -98,6 +120,7 @@ pub fn zoom_in(tree: &MTree<'_>, prev: &DiscResult, r_new: f64) -> ZoomResult {
             if !colors.is_white(object) {
                 continue;
             }
+            checkpoint(cancel)?;
             colors.set_color(tree, object, Color::Black);
             // Locate the objects for which `object` is now the closest
             // black neighbour and cover them.
@@ -111,7 +134,7 @@ pub fn zoom_in(tree: &MTree<'_>, prev: &DiscResult, r_new: f64) -> ZoomResult {
     }
     debug_assert!(!colors.any_white());
 
-    ZoomResult {
+    Ok(ZoomResult {
         result: DiscResult {
             radius: r_new,
             heuristic: "Zoom-In".into(),
@@ -119,20 +142,32 @@ pub fn zoom_in(tree: &MTree<'_>, prev: &DiscResult, r_new: f64) -> ZoomResult {
             node_accesses: tree.node_accesses() - start,
         },
         prep_accesses,
-    }
+    })
 }
 
 /// Greedy-Zoom-In (paper Algorithm 2): like [`zoom_in`] but the uncovered
 /// objects are selected greedily by white-neighbourhood size at the new
 /// radius.
 pub fn greedy_zoom_in(tree: &MTree<'_>, prev: &DiscResult, r_new: f64) -> ZoomResult {
+    never_cancelled(greedy_zoom_in_checked(tree, prev, r_new, None))
+}
+
+/// [`greedy_zoom_in`] polling a [`CancelToken`] once per black in the
+/// preparation pass and once per selection round; `Err(Cancelled)` on a
+/// fired deadline with no partial state.
+pub fn greedy_zoom_in_checked(
+    tree: &MTree<'_>,
+    prev: &DiscResult,
+    r_new: f64,
+    cancel: Option<&CancelToken>,
+) -> Result<ZoomResult, Cancelled> {
     assert!(
         r_new < prev.radius,
         "zooming in requires r' < r ({r_new} >= {})",
         prev.radius
     );
     let prep_start = tree.node_accesses();
-    let closest_black = closest_black_distances(tree, &prev.solution, prev.radius);
+    let closest_black = closest_black_distances(tree, &prev.solution, prev.radius, cancel)?;
     let prep_accesses = tree.node_accesses() - prep_start;
 
     let start = tree.node_accesses();
@@ -144,16 +179,17 @@ pub fn greedy_zoom_in(tree: &MTree<'_>, prev: &DiscResult, r_new: f64) -> ZoomRe
     }
     let (mut counts, mut heap) = init_white_subset(tree, r_new, &colors);
     let mut solution = prev.solution.clone();
-    greedy_white_pass(
+    greedy_white_pass_checked(
         tree,
         r_new,
         &mut colors,
         &mut counts,
         &mut heap,
         &mut solution,
-    );
+        cancel,
+    )?;
 
-    ZoomResult {
+    Ok(ZoomResult {
         result: DiscResult {
             radius: r_new,
             heuristic: "Greedy-Zoom-In".into(),
@@ -161,7 +197,7 @@ pub fn greedy_zoom_in(tree: &MTree<'_>, prev: &DiscResult, r_new: f64) -> ZoomRe
             node_accesses: tree.node_accesses() - start,
         },
         prep_accesses,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -240,7 +276,10 @@ mod tests {
         let data = uniform(150, 2, 84);
         let tree = MTree::build(&data, MTreeConfig::with_capacity(8));
         let prev = greedy_disc(&tree, 0.2, GreedyVariant::Grey, true);
-        let dist = closest_black_distances(&tree, &prev.solution, 0.2);
+        let dist = match closest_black_distances(&tree, &prev.solution, 0.2, None) {
+            Ok(d) => d,
+            Err(_) => unreachable!("no token supplied"),
+        };
         for id in data.ids() {
             let brute = prev
                 .solution

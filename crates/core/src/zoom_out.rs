@@ -24,11 +24,13 @@
 //! byte-identically with zero queries — variant (c)'s per-selection
 //! recounting becomes a per-selection adjacency prefix scan.
 
+use disc_metric::cancel::{CancelToken, Cancelled};
 use disc_metric::ObjId;
 use disc_mtree::{Color, ColorState, MTree};
 
-use crate::counts::{greedy_white_pass, init_white_subset};
+use crate::counts::{greedy_white_pass_checked, init_white_subset};
 use crate::result::{DiscResult, ZoomResult};
+use crate::{checkpoint, never_cancelled};
 
 /// First-pass ordering for zooming out.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -57,7 +59,7 @@ impl ZoomOutVariant {
 
 /// Zoom-Out with the plain (non-greedy) first pass.
 pub fn zoom_out(tree: &MTree<'_>, prev: &DiscResult, r_new: f64) -> ZoomResult {
-    run_zoom_out(tree, prev, r_new, ZoomOutVariant::Plain)
+    never_cancelled(run_zoom_out(tree, prev, r_new, ZoomOutVariant::Plain, None))
 }
 
 /// Greedy-Zoom-Out with the chosen first-pass variant.
@@ -67,7 +69,21 @@ pub fn greedy_zoom_out(
     r_new: f64,
     variant: ZoomOutVariant,
 ) -> ZoomResult {
-    run_zoom_out(tree, prev, r_new, variant)
+    never_cancelled(run_zoom_out(tree, prev, r_new, variant, None))
+}
+
+/// [`greedy_zoom_out`] (any variant, [`ZoomOutVariant::Plain`] included)
+/// polling a [`CancelToken`] once per selection in both passes;
+/// `Err(Cancelled)` on a fired deadline with no partial state.
+/// Byte-identical to the plain runner when the token never cancels.
+pub fn greedy_zoom_out_checked(
+    tree: &MTree<'_>,
+    prev: &DiscResult,
+    r_new: f64,
+    variant: ZoomOutVariant,
+    cancel: Option<&CancelToken>,
+) -> Result<ZoomResult, Cancelled> {
+    run_zoom_out(tree, prev, r_new, variant, cancel)
 }
 
 fn run_zoom_out(
@@ -75,7 +91,8 @@ fn run_zoom_out(
     prev: &DiscResult,
     r_new: f64,
     variant: ZoomOutVariant,
-) -> ZoomResult {
+    cancel: Option<&CancelToken>,
+) -> Result<ZoomResult, Cancelled> {
     assert!(
         r_new > prev.radius,
         "zooming out requires r' > r ({r_new} <= {})",
@@ -119,11 +136,13 @@ fn run_zoom_out(
                 if colors.color(red) != Color::Red {
                     continue; // already covered by an earlier selection
                 }
+                checkpoint(cancel)?;
                 select_and_cover(tree, &mut colors, red, r_new, &mut solution);
             }
         }
         ZoomOutVariant::GreedyA | ZoomOutVariant::GreedyB => {
             loop {
+                checkpoint(cancel)?;
                 // Selection key from the cached neighbourhoods + current
                 // colours: number of still-red neighbours.
                 let best = cached
@@ -149,6 +168,7 @@ fn run_zoom_out(
         }
         ZoomOutVariant::GreedyC => {
             loop {
+                checkpoint(cancel)?;
                 // Fresh white-neighbourhood counts for every remaining
                 // red: one pruned range query each, every iteration. This
                 // is what makes variant (c) expensive (paper Figure 15).
@@ -194,6 +214,7 @@ fn run_zoom_out(
                         .collect();
                     for object in members {
                         if colors.is_white(object) {
+                            checkpoint(cancel)?;
                             select_and_cover(tree, &mut colors, object, r_new, &mut solution);
                         }
                     }
@@ -201,20 +222,21 @@ fn run_zoom_out(
             }
             _ => {
                 let (mut counts, mut heap) = init_white_subset(tree, r_new, &colors);
-                greedy_white_pass(
+                greedy_white_pass_checked(
                     tree,
                     r_new,
                     &mut colors,
                     &mut counts,
                     &mut heap,
                     &mut solution,
-                );
+                    cancel,
+                )?;
             }
         }
     }
     debug_assert!(!colors.any_white());
 
-    ZoomResult {
+    Ok(ZoomResult {
         result: DiscResult {
             radius: r_new,
             heuristic: variant.name().into(),
@@ -222,7 +244,7 @@ fn run_zoom_out(
             node_accesses: tree.node_accesses() - start,
         },
         prep_accesses,
-    }
+    })
 }
 
 /// Colours `picked` black, greys everything within `r_new` of it (reds and

@@ -1,11 +1,15 @@
-//! Cooperative cancellation for long-running builds.
+//! Cooperative cancellation for long-running builds and selections.
 //!
 //! Building the neighbourhood graph of a large workload (the dual-tree
 //! range self-join plus sharded CSR assembly) can take hundreds of
-//! milliseconds to minutes; a serving process must be able to abandon a
-//! build cleanly — on shutdown, on a request deadline, on operator
-//! interrupt — without poisoning shared state. [`CancelToken`] is the
-//! cooperative primitive the work loops poll:
+//! milliseconds to minutes, and a greedy selection sweep over a dense
+//! graph is not instant either; a serving process must be able to
+//! abandon either cleanly — on shutdown, on a request deadline, on
+//! operator interrupt — without poisoning shared state. [`CancelToken`]
+//! is the cooperative primitive the work loops poll: the graph builders
+//! (`from_mtree_checked`) and every `*_checked` selection runner in
+//! `disc-core` take one, which is how the `disc serve` worker pool
+//! enforces per-request deadlines.
 //!
 //! * cancellation is **explicit** ([`CancelToken::cancel`]) or
 //!   **deadline-driven** ([`CancelToken::with_deadline`]);

@@ -101,18 +101,24 @@
 //! from `std::fs::read` carries no alignment guarantee.
 //!
 //! The [`fault`] module provides the corruption harness ([`Fault`],
-//! [`fault::corrupt`]) used by the fault-injection test suite.
+//! [`fault::corrupt`]) used by the fault-injection test suite, and the
+//! [`report`] module the non-fail-fast triage ([`inspect`]) behind the
+//! `disc doctor` operator tool — same layout knowledge, but it reports
+//! *every* determinable problem instead of stopping at the first, with
+//! a verdict pinned to [`load`]'s.
 
 mod cast;
 mod checksum;
 mod error;
 pub mod fault;
+pub mod report;
 mod snapshot;
 
 pub use cast::AlignedBytes;
 pub use checksum::fnv1a_64;
 pub use error::{SectionId, StoreError};
 pub use fault::Fault;
+pub use report::{inspect, SectionCheck, SnapshotReport};
 pub use snapshot::{
     decode, encode, encode_parts, load, read_snapshot, write_snapshot, SnapshotParts, SnapshotView,
     ENDIAN_MARKER, MAGIC, VERSION,

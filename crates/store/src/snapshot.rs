@@ -35,7 +35,7 @@ const META_LEN: usize = 48;
 pub(crate) const OFF_VERSION: usize = 8;
 const OFF_ENDIAN: usize = 12;
 const OFF_SECTION_COUNT: usize = 16;
-const OFF_FILE_LEN: usize = 24;
+pub(crate) const OFF_FILE_LEN: usize = 24;
 const OFF_RESERVED: usize = 32;
 pub(crate) const OFF_TABLE_CHECKSUM: usize = 40;
 pub(crate) const OFF_HEADER_CHECKSUM: usize = 48;
@@ -55,13 +55,55 @@ fn align8(len: usize) -> usize {
     len.div_ceil(8) * 8
 }
 
+/// Below this payload size the serial checksum pass beats six thread
+/// spawns — and the exhaustive bit-flip fault suite (thousands of tiny
+/// loads) stays on the serial path.
+#[cfg(feature = "parallel")]
+const PARALLEL_MIN_BYTES: usize = 1 << 20;
+
+/// Eagerly checksums all six sections on scoped threads. Returns `None`
+/// (leaving `verify` on the lazy serial fold) when the feature is off,
+/// the payload is small, or the machine is single-core.
+#[cfg(feature = "parallel")]
+fn parallel_section_checksums(
+    bytes: &[u8],
+    extents: &[(usize, usize); SECTION_COUNT],
+) -> Option<[u64; SECTION_COUNT]> {
+    let payload: usize = extents.iter().map(|&(_, len)| len).sum();
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    if payload < PARALLEL_MIN_BYTES || cores <= 1 {
+        return None;
+    }
+    let mut out = [0u64; SECTION_COUNT];
+    std::thread::scope(|s| {
+        let handles = extents.map(|(off, len)| s.spawn(move || fnv1a_64(&bytes[off..off + len])));
+        for (slot, handle) in out.iter_mut().zip(handles) {
+            *slot = match handle.join() {
+                Ok(sum) => sum,
+                Err(panic) => std::panic::resume_unwind(panic),
+            };
+        }
+    });
+    Some(out)
+}
+
+#[cfg(not(feature = "parallel"))]
+fn parallel_section_checksums(
+    _bytes: &[u8],
+    _extents: &[(usize, usize); SECTION_COUNT],
+) -> Option<[u64; SECTION_COUNT]> {
+    None
+}
+
 pub(crate) fn read_u64(bytes: &[u8], off: usize) -> u64 {
     let mut a = [0u8; 8];
     a.copy_from_slice(&bytes[off..off + 8]);
     u64::from_ne_bytes(a)
 }
 
-fn read_u32(bytes: &[u8], off: usize) -> u32 {
+pub(crate) fn read_u32(bytes: &[u8], off: usize) -> u32 {
     let mut a = [0u8; 4];
     a.copy_from_slice(&bytes[off..off + 4]);
     u32::from_ne_bytes(a)
@@ -388,10 +430,20 @@ pub fn load(bytes: &[u8]) -> Result<SnapshotView<'_>, StoreError> {
         });
     }
 
+    // Per-section checksums: the serial path folds each section lazily
+    // inside `verify`; with the `parallel` feature and a large enough
+    // payload all six are computed eagerly on scoped threads (FNV-1a is
+    // a sequential fold, so one thread per section is the only split).
+    // `verify` compares stored vs computed in the same order either
+    // way, so error attribution and precedence are byte-identical.
+    let precomputed = parallel_section_checksums(bytes, &extents);
     let verify = |i: usize| -> Result<&[u8], StoreError> {
         let (off, len) = extents[i];
         let region = &bytes[off..off + len];
-        let computed = fnv1a_64(region);
+        let computed = match precomputed {
+            Some(c) => c[i],
+            None => fnv1a_64(region),
+        };
         if checksums[i] != computed {
             return Err(StoreError::ChecksumMismatch {
                 section: SECTION_ORDER[i],

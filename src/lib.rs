@@ -16,7 +16,10 @@
 //! * [`eval`] — the experiment harness that regenerates every table and
 //!   figure of the paper,
 //! * [`store`] — fail-closed snapshot persistence for dataset + graph
-//!   pairs (versioned, checksummed, fault-injectable).
+//!   pairs (versioned, checksummed, fault-injectable),
+//! * [`cli`] — the `disc` operator binary (`build`/`zoom`/`serve`/
+//!   `doctor`) and the hardened serving core behind it (worker pool,
+//!   bounded admission, deadlines, panic isolation).
 //!
 //! ## Quickstart
 //!
@@ -36,6 +39,7 @@
 //! ```
 
 pub use disc_baselines as baselines;
+pub use disc_cli as cli;
 pub use disc_core as core;
 pub use disc_datasets as datasets;
 pub use disc_eval as eval;
