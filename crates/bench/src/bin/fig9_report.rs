@@ -160,10 +160,21 @@ fn main() {
     });
     #[cfg(not(feature = "parallel"))]
     let parallel_ms = f64::NAN;
+    // The threaded fan-out short-circuits to the serial loop when only
+    // one worker is available or the corpus is below its parallel
+    // floor; a "speedup" there would compare the serial code against
+    // itself, so it is reported as null with the marker instead.
+    let seeding_effective_threads = if threads <= 1 || data.len() < 2_048 {
+        1
+    } else {
+        threads
+    };
+    let seeding_short_circuited = !cfg!(feature = "parallel") || seeding_effective_threads <= 1;
     let speedup = serial_ms / parallel_ms;
     eprintln!(
         "  seeding wall-clock serial={serial_ms:.1}ms parallel={parallel_ms:.1}ms \
-         speedup={speedup:.2}x (threads={threads}, parallel feature {})",
+         speedup={speedup:.2}x (threads={threads}, effective={seeding_effective_threads}, \
+         short_circuited={seeding_short_circuited}, parallel feature {})",
         cfg!(feature = "parallel")
     );
 
@@ -237,7 +248,7 @@ fn main() {
     // stratified build the zooming section just measured, with the
     // round trip pinned byte-identical (fail-closed store).
     // ---------------------------------------------------------------
-    let (store, _loaded_data, loaded_graph) = disc_bench::measure_store(&data, &zg.strat);
+    let (store, _loaded_data, loaded_graph) = disc_bench::measure_store(&zg.data, &zg.strat);
     assert!(
         store.round_trip_identical,
         "snapshot round trip was not byte-identical"
@@ -318,14 +329,19 @@ fn main() {
     // measure: record the reason instead of a null the downstream JSON
     // consumers would have to special-case (NaN is not valid JSON
     // either way).
-    let threaded_side = if cfg!(feature = "parallel") {
-        format!("\"parallel_ms\": {parallel_ms:.3}, \"speedup\": {speedup:.3}")
-    } else {
+    let threaded_side = if !cfg!(feature = "parallel") {
         "\"skipped\": \"parallel feature disabled\"".to_string()
+    } else if seeding_short_circuited {
+        // Serial code on both sides: no speedup to report.
+        format!("\"parallel_ms\": {parallel_ms:.3}, \"speedup\": null")
+    } else {
+        format!("\"parallel_ms\": {parallel_ms:.3}, \"speedup\": {speedup:.3}")
     };
     json.push_str(&format!(
         "  \"count_seeding_wall_clock\": {{\"serial_ms\": {serial_ms:.3}, \
-         {threaded_side}, \"threads\": {threads}, \"parallel_feature\": {}}},\n",
+         {threaded_side}, \"threads\": {threads}, \
+         \"effective_threads\": {seeding_effective_threads}, \
+         \"short_circuited\": {seeding_short_circuited}, \"parallel_feature\": {}}},\n",
         cfg!(feature = "parallel")
     ));
     json.push_str(&format!("  \"kernel\": {},\n", kernel.to_json()));

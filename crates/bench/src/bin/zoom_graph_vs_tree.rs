@@ -65,6 +65,16 @@ use disc_mtree::{MTree, MTreeConfig};
 const R_MAX: f64 = 0.08;
 const TARGETS: [f64; 3] = [0.06, 0.04, 0.02];
 
+/// Acceptance-scale (n = 10_000) CSR-assembly wall-clock of the
+/// leaf-order renumbered build, as recorded in `BENCH_fig9.json`. The
+/// regression gate fails any acceptance run whose assembly exceeds
+/// 1.25× this; smoke runs (`GRAPH_N` below 10_000) skip the gate. The
+/// assembly phase streams ~150 MB, so the recorded value is bandwidth-
+/// bound: on a contended host it swings well beyond the ±10% that
+/// cache-resident sections show (compare `store.load_ms` in the same
+/// report before blaming a code change).
+const ASSEMBLY_BASELINE_MS: f64 = 551.2;
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -157,6 +167,14 @@ fn main() {
         m.stratified_csr_identical,
         "sharded stratified CSR diverged from the serial assembly"
     );
+    if !smoke {
+        assert!(
+            m.strat_assembly_ms <= ASSEMBLY_BASELINE_MS * 1.25,
+            "assembly regression gate: {:.1}ms exceeds the renumbered-build \
+             baseline {ASSEMBLY_BASELINE_MS}ms x 1.25",
+            m.strat_assembly_ms
+        );
+    }
 
     // Zoom-out and multi-radius parity on the same stratified graph
     // (reusing the measurement's build; keeps every graph-resident
@@ -166,6 +184,12 @@ fn main() {
     // (hundreds of reds) would turn this gate into the dominant cost of
     // the acceptance run.
     let strat = &m.strat;
+    // The measured graph is leaf-order renumbered; every graph-resident
+    // runner that also takes a tree needs the relabeled twin (same
+    // internal numbering as the graph). Rebuilding it is an O(n) id
+    // rewrite off the same deterministic leaf order.
+    let order = tree.objects_in_leaf_order_uncounted();
+    let tree2 = tree.relabeled(&m.data, &order);
     let prev_small = greedy_disc(&tree, TARGETS[0], GreedyVariant::Grey, true);
     for v in [
         ZoomOutVariant::Plain,
@@ -174,7 +198,7 @@ fn main() {
         ZoomOutVariant::GreedyC,
     ] {
         let tree_z = greedy_zoom_out(&tree, &prev_small, R_MAX, v);
-        let graph_z = zoom_out_graph(&tree, strat, &prev_small, R_MAX, v);
+        let graph_z = zoom_out_graph(&tree2, strat, &prev_small, R_MAX, v);
         assert_eq!(
             graph_z.result.solution, tree_z.result.solution,
             "zoom-out {v:?} diverged between graph and tree"
@@ -184,12 +208,12 @@ fn main() {
         .map(|id| if id % 2 == 0 { TARGETS[1] } else { R_MAX })
         .collect();
     assert_eq!(
-        multi_radius_graph(&tree, strat, &radii, true).solution,
+        multi_radius_graph(&tree2, strat, &radii, true).solution,
         multi_radius_greedy_disc(&tree, &radii, true).solution,
         "multi-radius greedy diverged between graph and tree"
     );
     assert_eq!(
-        multi_radius_graph(&tree, strat, &radii, false).solution,
+        multi_radius_graph(&tree2, strat, &radii, false).solution,
         multi_radius_basic_disc(&tree, &radii, true).solution,
         "multi-radius basic diverged between graph and tree"
     );
@@ -200,7 +224,7 @@ fn main() {
     // decode), the round trip is pinned byte-identical, and the whole
     // zoom sweep is replayed on the *loaded* graph against the freshly
     // built one — the compatibility gate for the on-disk format.
-    let (store, _loaded_data, loaded_graph) = measure_store(&data, strat);
+    let (store, _loaded_data, loaded_graph) = measure_store(&m.data, strat);
     assert!(
         store.round_trip_identical,
         "snapshot round trip was not byte-identical"

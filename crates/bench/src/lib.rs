@@ -147,6 +147,15 @@ pub struct SelfJoinPar {
     /// Whether the thread count was forced (e.g. via `SELF_JOIN_THREADS`)
     /// rather than auto-detected.
     pub forced: bool,
+    /// Worker threads the "parallel" side actually ran with: the
+    /// self-join short-circuits to the serial traversal when the
+    /// resolved thread count is 1 (e.g. a single-core host), so this is
+    /// 1 there and `threads` otherwise.
+    pub effective_threads: usize,
+    /// Whether the parallel side short-circuited to serial — in which
+    /// case a "speedup" would compare the serial code against itself
+    /// and is reported as `null` instead.
+    pub short_circuited: bool,
     /// Serial dual-tree traversal wall-clock (ms).
     pub serial_ms: f64,
     /// Parallel dual-tree traversal wall-clock (ms).
@@ -190,19 +199,25 @@ impl SelfJoinPar {
     /// reports cannot drift (no serde in the environment; a non-finite
     /// speedup serialises as `null`).
     pub fn to_json(&self) -> String {
-        let speedup = if self.speedup().is_finite() {
+        // A short-circuited "parallel" side ran the serial code: its
+        // wall-clock ratio is measurement noise, not a speedup, and
+        // serialises as null so downstream dashboards cannot chart it.
+        let speedup = if !self.short_circuited && self.speedup().is_finite() {
             format!("{:.3}", self.speedup())
         } else {
             "null".to_string()
         };
         format!(
-            "{{\"threads\": {}, \"forced\": {}, \"serial_ms\": {:.3}, \
+            "{{\"threads\": {}, \"forced\": {}, \"effective_threads\": {}, \
+             \"short_circuited\": {}, \"serial_ms\": {:.3}, \
              \"parallel_ms\": {:.3}, \"speedup\": {speedup}, \
              \"serial_distance_computations\": {}, \
              \"parallel_distance_computations\": {}, \"edges\": {}, \
              \"parity\": {}}}",
             self.threads,
             self.forced,
+            self.effective_threads,
+            self.short_circuited,
             self.serial_ms,
             self.parallel_ms,
             self.serial_dc,
@@ -266,6 +281,11 @@ pub fn measure_selfjoin_par(
     SelfJoinPar {
         threads,
         forced: forced_threads.is_some(),
+        // Mirror of the self-join's own dispatch: a resolved thread
+        // count of 1 falls back to the serial traversal, so the
+        // "parallel" measurement ran serial code.
+        effective_threads: threads.max(1),
+        short_circuited: threads <= 1,
         serial_ms,
         parallel_ms,
         serial_dc,
@@ -306,6 +326,15 @@ pub struct ZoomGraphVsTree {
     pub strat_assembly_ms: f64,
     /// Undirected edges of the stratified graph at `r_max`.
     pub strat_edges: usize,
+    /// Wall-clock of the leaf-order renumbering (order extraction,
+    /// dataset renumber, tree relabel). Kept outside `strat_build_ms`,
+    /// which remains self-join + assembly.
+    pub renumber_ms: f64,
+    /// The leaf-order renumbered dataset the production build ran on.
+    /// It carries the internal↔external bijection `strat` shares, so
+    /// callers persisting the build (`measure_store`) must pair `strat`
+    /// with this dataset, not the original one.
+    pub data: Dataset,
     /// The stratified graph itself (the timed production build), so
     /// callers needing further parity checks — e.g. the gated binary's
     /// zoom-out and multi-radius gates — reuse it instead of paying a
@@ -390,8 +419,8 @@ impl ZoomGraphVsTree {
         format!(
             "{{\"r_max\": {}, \"targets\": [{targets}], \"threads\": {}, \"forced\": {}, \
              \"stratified_build\": {{\"distance_computations\": {}, \"edges\": {}, \
-             \"selfjoin_ms\": {:.3}, \"assembly_ms\": {:.3}, \"build_ms\": {:.3}, \
-             \"dc_within_edge_bound\": {}}}, \
+             \"renumber_ms\": {:.3}, \"selfjoin_ms\": {:.3}, \"assembly_ms\": {:.3}, \
+             \"build_ms\": {:.3}, \"dc_within_edge_bound\": {}}}, \
              \"plain_self_join_distance_computations\": {}, \
              \"graph_sweep\": {{\"extra_distance_computations\": {}, \
              \"total_distance_computations\": {}, \"sweep_ms\": {:.3}}}, \
@@ -403,6 +432,7 @@ impl ZoomGraphVsTree {
             self.forced,
             self.strat_build_dc,
             self.strat_edges,
+            self.renumber_ms,
             self.strat_selfjoin_ms,
             self.strat_assembly_ms,
             self.strat_build_ms,
@@ -444,15 +474,28 @@ pub fn measure_zoom_graph_vs_tree(
             .unwrap_or(1)
     });
 
-    // Annotated serial/parallel parity (edge lists, counters, CSR).
-    tree.reset_distance_computations();
-    let serial_edges = tree.range_self_join_dist_serial(r_max);
-    let annotated_serial_dc = tree.reset_distance_computations();
-    let par_edges = tree.range_self_join_dist_with(r_max, SelfJoinConfig { threads });
-    let annotated_parallel_dc = tree.reset_distance_computations();
-    let serial_strat = StratifiedDiskGraph::from_dist_edges(tree.len(), r_max, &serial_edges);
+    // Leaf-order renumbering: the production build runs on a
+    // renumbered dataset and relabeled tree whose leaf order is the
+    // identity, so the annotated self-join emits endpoints in
+    // near-row order and CSR fill walks warm cache lines. Solutions
+    // stay in external ids on both sides (the graph carries the
+    // bijection and the runners translate at the boundary).
+    let t = Instant::now();
+    let order = tree.objects_in_leaf_order_uncounted();
+    let data2 = tree.data().renumbered(&order);
+    let tree2 = tree.relabeled(&data2, &order);
+    let renumber_ms = t.elapsed().as_secs_f64() * 1_000.0;
+
+    // Annotated serial/parallel parity (edge lists, counters, CSR) on
+    // the renumbered tree — the pipeline the production build uses.
+    tree2.reset_distance_computations();
+    let serial_edges = tree2.range_self_join_dist_serial(r_max);
+    let annotated_serial_dc = tree2.reset_distance_computations();
+    let par_edges = tree2.range_self_join_dist_with(r_max, SelfJoinConfig { threads });
+    let annotated_parallel_dc = tree2.reset_distance_computations();
+    let serial_strat = StratifiedDiskGraph::from_dist_edges(tree2.len(), r_max, &serial_edges);
     let sharded_strat =
-        StratifiedDiskGraph::from_dist_edges_sharded(tree.len(), r_max, &par_edges, threads);
+        StratifiedDiskGraph::from_dist_edges_sharded(tree2.len(), r_max, &par_edges, threads);
     let annotated_edges_identical = serial_edges == par_edges;
     let stratified_csr_identical = serial_strat.offsets() == sharded_strat.offsets()
         && serial_strat.neighbors_flat() == sharded_strat.neighbors_flat()
@@ -472,22 +515,27 @@ pub fn measure_zoom_graph_vs_tree(
     // (`range_self_join_dist` + `from_dist_edges_auto`) so the
     // annotated traversal and the radix-sorted CSR assembly are
     // attributed separately without duplicating its dispatch.
-    tree.reset_distance_computations();
+    tree2.reset_distance_computations();
     let t = Instant::now();
-    let edges = tree.range_self_join_dist(r_max);
+    let edges = tree2.range_self_join_dist(r_max);
     let strat_selfjoin_ms = t.elapsed().as_secs_f64() * 1_000.0;
     let t = Instant::now();
-    let strat = StratifiedDiskGraph::from_dist_edges_auto(tree.len(), r_max, &edges);
+    let strat = StratifiedDiskGraph::from_dist_edges_auto(tree2.len(), r_max, &edges);
     let strat_assembly_ms = t.elapsed().as_secs_f64() * 1_000.0;
     drop(edges);
+    // The bijection rides on the graph (outside the timed phases; the
+    // sweep below externalises every solution id through it).
+    let strat = strat.with_permutation(data2.permutation().cloned());
     let strat_build_ms = strat_selfjoin_ms + strat_assembly_ms;
-    let strat_build_dc = tree.reset_distance_computations();
+    let strat_build_dc = tree2.reset_distance_computations();
 
     // Plain self-join reference (annotation surcharge bookkeeping).
-    let _ = tree.range_self_join(r_max);
-    let plain_selfjoin_dc = tree.reset_distance_computations();
+    let _ = tree2.range_self_join(r_max);
+    let plain_selfjoin_dc = tree2.reset_distance_computations();
 
-    // Tree-backed sweep.
+    // Tree-backed sweep (original numbering; solutions are external
+    // ids on both sides, so the byte-identity check is direct).
+    tree.reset_distance_computations();
     tree.reset_node_accesses();
     let t = Instant::now();
     let mut tree_sols: Vec<Vec<usize>> = Vec::new();
@@ -511,7 +559,10 @@ pub fn measure_zoom_graph_vs_tree(
         graph_sols.push(prev_g.solution.clone());
     }
     let graph_sweep_ms = t.elapsed().as_secs_f64() * 1_000.0;
-    let graph_sweep_extra_dc = tree.reset_distance_computations();
+    // Neither tree may have been touched by the graph sweep.
+    let graph_sweep_extra_dc =
+        tree.reset_distance_computations() + tree2.reset_distance_computations();
+    drop(tree2);
 
     ZoomGraphVsTree {
         r_max,
@@ -523,6 +574,8 @@ pub fn measure_zoom_graph_vs_tree(
         strat_selfjoin_ms,
         strat_assembly_ms,
         strat_edges: strat.edge_count(),
+        renumber_ms,
+        data: data2,
         strat,
         graph_sweep_extra_dc,
         graph_sweep_ms,
@@ -988,6 +1041,14 @@ mod tests {
             assert!(m.parity(), "parity failed at threads={threads}");
             assert!(m.forced && m.threads == threads);
             assert!(m.edges > 0 && m.serial_dc > 0);
+            assert_eq!(m.short_circuited, threads <= 1);
+            assert_eq!(m.effective_threads, threads);
+            if m.short_circuited {
+                assert!(
+                    m.to_json().contains("\"speedup\": null"),
+                    "a short-circuited run must not report a speedup"
+                );
+            }
         }
         let auto = measure_selfjoin_par(&t, 0.04, None);
         assert!(auto.parity() && !auto.forced);
@@ -1033,6 +1094,18 @@ mod tests {
             assert_eq!(m.sizes.len(), 4);
             assert!(m.sizes.windows(2).all(|w| w[0] <= w[1]), "Lemma 5 sizes");
             assert!(m.strat_build_dc >= m.plain_selfjoin_dc);
+            assert_eq!(
+                m.data.permutation(),
+                m.strat.permutation(),
+                "renumbered dataset and graph must share the bijection"
+            );
+            assert!(
+                m.data.permutation().is_some(),
+                "leaf order must renumber a clustered corpus"
+            );
+            // The renumbered pair must persist through the store path.
+            let (store, _, _) = measure_store(&m.data, &m.strat);
+            assert!(store.round_trip_identical);
         }
         let auto = measure_zoom_graph_vs_tree(&t, 0.08, &[0.06, 0.04, 0.02], None);
         assert!(auto.parity() && !auto.forced);

@@ -10,11 +10,19 @@
 //! Fixed capacity, least-recently-used eviction, keyed by the exact
 //! radius bit pattern (serving `zoom r=0.05` twice is the common case;
 //! nearby-but-different radii are different answers and must not
-//! alias).
+//! alias) — except that `-0.0` keys as `0.0`, because the two compare
+//! equal and select identical solutions, so letting their bit patterns
+//! diverge would cache the same answer twice under different keys.
 
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use disc_metric::ObjId;
+
+/// The cache key of a radius: the bit pattern, with the `0.0 == -0.0`
+/// tie collapsed so equal radii can never occupy two slots.
+fn radius_key(radius: f64) -> u64 {
+    if radius == 0.0 { 0.0f64 } else { radius }.to_bits()
+}
 
 /// One cached per-radius answer, shared by `Arc` so a degraded hit
 /// never copies the solution under the submit lock.
@@ -57,7 +65,7 @@ impl SolutionCache {
     /// The cached solution for exactly `radius`, refreshing its
     /// recency.
     pub fn get(&self, radius: f64) -> Option<Arc<CachedSolution>> {
-        let key = radius.to_bits();
+        let key = radius_key(radius);
         let mut entries = self.lock();
         let pos = entries.iter().position(|e| e.key == key)?;
         let entry = entries.remove(pos);
@@ -72,7 +80,7 @@ impl SolutionCache {
         if self.capacity == 0 {
             return;
         }
-        let key = value.radius.to_bits();
+        let key = radius_key(value.radius);
         let mut entries = self.lock();
         if let Some(pos) = entries.iter().position(|e| e.key == key) {
             entries.remove(pos);
@@ -125,6 +133,18 @@ mod tests {
         cache.put(entry(0.1));
         assert!(cache.get(0.1 + f64::EPSILON).is_none());
         assert!(cache.get(0.1).is_some());
+    }
+
+    #[test]
+    fn negative_zero_aliases_to_positive_zero() {
+        // 0.0 and -0.0 are equal radii selecting identical solutions;
+        // their differing bit patterns must map to one cache slot.
+        let cache = SolutionCache::new(4);
+        cache.put(entry(-0.0));
+        assert!(cache.get(0.0).is_some(), "put(-0.0) must hit get(0.0)");
+        cache.put(entry(0.0));
+        assert!(cache.get(-0.0).is_some(), "put(0.0) must hit get(-0.0)");
+        assert_eq!(cache.len(), 1, "equal radii must share one slot");
     }
 
     #[test]

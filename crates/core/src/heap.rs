@@ -1,13 +1,16 @@
 //! The sorted candidate structure `L'` of the paper's greedy heuristics.
 //!
-//! A lazy max-heap: entries are `(key, object)` pairs ordered by key
-//! descending, ties towards the smallest object id (so all algorithms are
-//! deterministic and match the reference implementations in `disc-graph`).
-//! Keys in the heap may go stale when counts are decremented; the caller
-//! supplies the authoritative key at pop time and stale entries are
-//! re-inserted with their current key. This is correct as long as keys
-//! only ever *decrease*, which holds for all DisC heuristics (coverage
-//! counts shrink monotonically).
+//! A lazy max-heap: entries are `(key, rank, object)` triples ordered by
+//! key descending, ties towards the smallest *rank* (so all algorithms
+//! are deterministic and match the reference implementations in
+//! `disc-graph`). The rank defaults to the object id itself; runners on
+//! a renumbered graph pass the object's *external* id instead, which
+//! keeps pop order — and therefore every solution — independent of the
+//! internal numbering. Keys in the heap may go stale when counts are
+//! decremented; the caller supplies the authoritative key at pop time
+//! and stale entries are re-inserted with their current key. This is
+//! correct as long as keys only ever *decrease*, which holds for all
+//! DisC heuristics (coverage counts shrink monotonically).
 //!
 //! ## Stale-entry cap
 //!
@@ -17,9 +20,10 @@
 //! entries whose key no longer matches `latest` are discarded on pop
 //! without consulting the caller. When total entries exceed **2× the
 //! live objects** (plus a small floor to avoid thrashing tiny heaps),
-//! the heap rebuilds itself from `latest` — one entry per live object —
-//! so memory stays `O(live)` instead of `O(total pushes)` even for the
-//! Lazy variants' long runs of decrement-and-repush.
+//! the heap rebuilds itself from the heap's own surviving entries — one
+//! per live object — so memory stays `O(live)` instead of
+//! `O(total pushes)` even for the Lazy variants' long runs of
+//! decrement-and-repush.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -30,10 +34,13 @@ use disc_metric::ObjId;
 /// costs more than the duplicates it reclaims).
 const REBUILD_FLOOR: usize = 64;
 
-/// Lazy max-heap over `(key, object)` with smallest-id tie-breaking.
+/// Lazy max-heap over `(key, rank, object)` with smallest-rank
+/// tie-breaking (rank = object id unless pushed via [`push_ranked`]).
+///
+/// [`push_ranked`]: LazyMaxHeap::push_ranked
 #[derive(Clone, Debug, Default)]
 pub struct LazyMaxHeap {
-    heap: BinaryHeap<(u32, Reverse<ObjId>)>,
+    heap: BinaryHeap<(u32, Reverse<ObjId>, ObjId)>,
     /// Key of each object's most recent push, `None` once the object has
     /// been popped successfully or reported gone by the caller. Grown on
     /// demand.
@@ -52,10 +59,20 @@ impl LazyMaxHeap {
         }
     }
 
-    /// Inserts (or re-inserts after a key change) an object. Old entries
-    /// for the same object may remain; they are discarded lazily, and a
-    /// rebuild reclaims them once they outnumber live entries 2:1.
+    /// Inserts (or re-inserts after a key change) an object, breaking
+    /// key ties towards the smallest object id.
     pub fn push(&mut self, object: ObjId, key: u32) {
+        self.push_ranked(object, object, key);
+    }
+
+    /// Inserts (or re-inserts after a key change) an object with an
+    /// explicit tie-break rank. Every push of one object must use the
+    /// same rank, and ranks must be distinct across objects (a
+    /// bijection — e.g. the external id on a renumbered graph). Old
+    /// entries for the same object may remain; they are discarded
+    /// lazily, and a rebuild reclaims them once they outnumber live
+    /// entries 2:1.
+    pub fn push_ranked(&mut self, object: ObjId, rank: ObjId, key: u32) {
         if object >= self.latest.len() {
             self.latest.resize(object + 1, None);
         }
@@ -63,7 +80,7 @@ impl LazyMaxHeap {
             self.live += 1;
         }
         self.latest[object] = Some(key);
-        self.heap.push((key, Reverse(object)));
+        self.heap.push((key, Reverse(rank), object));
         if self.heap.len() > REBUILD_FLOOR && self.heap.len() > 2 * self.live {
             self.rebuild();
         }
@@ -76,22 +93,22 @@ impl LazyMaxHeap {
     /// duplicates of one object collapse too.
     fn rebuild(&mut self) {
         let entries = std::mem::take(&mut self.heap).into_vec();
-        let mut kept: Vec<(u32, Reverse<ObjId>)> = Vec::with_capacity(self.live);
-        for (key, Reverse(object)) in entries {
+        let mut kept: Vec<(u32, Reverse<ObjId>, ObjId)> = Vec::with_capacity(self.live);
+        for (key, rank, object) in entries {
             if self.latest[object] == Some(key) {
-                kept.push((key, Reverse(object)));
+                kept.push((key, rank, object));
                 self.latest[object] = None;
             }
         }
         debug_assert_eq!(kept.len(), self.live);
-        for &(key, Reverse(object)) in &kept {
+        for &(key, _, object) in &kept {
             self.latest[object] = Some(key);
         }
         self.heap = BinaryHeap::from(kept);
     }
 
     /// Pops the candidate with the largest current key (ties to the
-    /// smallest id). `current_key` returns the authoritative key for a
+    /// smallest rank). `current_key` returns the authoritative key for a
     /// still-valid candidate and `None` for objects that are no longer
     /// candidates.
     ///
@@ -100,7 +117,7 @@ impl LazyMaxHeap {
         &mut self,
         mut current_key: impl FnMut(ObjId) -> Option<u32>,
     ) -> Option<ObjId> {
-        while let Some((key, Reverse(object))) = self.heap.pop() {
+        while let Some((key, rank, object)) = self.heap.pop() {
             if self.latest[object] != Some(key) {
                 // Superseded by a later push, or the object was already
                 // retired: a fresher entry (if any) is still queued.
@@ -119,7 +136,7 @@ impl LazyMaxHeap {
                         "keys must only decrease (object {object}: {key} -> {cur})"
                     );
                     self.latest[object] = Some(cur);
-                    self.heap.push((cur, Reverse(object)));
+                    self.heap.push((cur, rank, object));
                 }
                 None => {
                     self.latest[object] = None;
@@ -171,6 +188,32 @@ mod tests {
         h.push(7, 4);
         let order: Vec<ObjId> = std::iter::from_fn(|| h.pop_valid(|_| Some(4))).collect();
         assert_eq!(order, vec![3, 7, 9]);
+    }
+
+    #[test]
+    fn ties_break_to_smallest_rank_not_id() {
+        // Ranks invert the id order: the pop sequence must follow the
+        // ranks, exactly as an external-id tie-break on a renumbered
+        // graph would.
+        let mut h = LazyMaxHeap::default();
+        h.push_ranked(0, 20, 4);
+        h.push_ranked(1, 10, 4);
+        h.push_ranked(2, 30, 4);
+        let order: Vec<ObjId> = std::iter::from_fn(|| h.pop_valid(|_| Some(4))).collect();
+        assert_eq!(order, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn ranked_stale_entries_keep_their_rank() {
+        let mut h = LazyMaxHeap::default();
+        h.push_ranked(0, 5, 10);
+        h.push_ranked(1, 2, 8);
+        // Object 0's key dropped to 8 since insertion: both tie at 8 and
+        // object 1 wins because its rank (2) beats object 0's rank (5),
+        // even though a plain id tie-break would favour object 0.
+        let keys = [8u32, 8];
+        assert_eq!(h.pop_valid(|o| Some(keys[o])), Some(1));
+        assert_eq!(h.pop_valid(|o| Some(keys[o])), Some(0));
     }
 
     #[test]
@@ -263,6 +306,30 @@ mod tests {
             keys[o] = 0; // retired objects keep returning their key; mark
         }
         assert_eq!(got.len(), n);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn rebuild_preserves_ranked_pop_order() {
+        // Same as above but with ranks decoupled from ids (reversed), so
+        // a rebuild that dropped ranks would scramble tie groups.
+        let n = 200usize;
+        let keys: Vec<u32> = (0..n).map(|i| ((i * 13) % 7) as u32 + 1).collect();
+        let rank = |i: usize| n - 1 - i;
+        let mut h = LazyMaxHeap::with_capacity(n);
+        for (i, &k) in keys.iter().enumerate() {
+            for extra in (0..4).rev() {
+                h.push_ranked(i, rank(i), k + extra);
+            }
+        }
+        let mut want: Vec<(u32, usize)> = keys.iter().copied().zip(0..n).collect();
+        want.sort_by(|a, b| b.0.cmp(&a.0).then(rank(a.1).cmp(&rank(b.1))));
+        let mut keys = keys;
+        let mut got = Vec::new();
+        while let Some(o) = h.pop_valid(|o| Some(keys[o])) {
+            got.push((keys[o], o));
+            keys[o] = 0;
+        }
         assert_eq!(got, want);
     }
 }

@@ -66,6 +66,23 @@
 //! variants take the `&MTree` as well, but consult it **only** for the
 //! leaf-chain iteration order — never for queries — and charge zero
 //! node accesses.
+//!
+//! ## Internal vs external ids
+//!
+//! A graph built from a leaf-order-renumbered dataset (see
+//! [`disc_metric::Dataset::renumbered`]) carries the internal↔external
+//! bijection. The runners here scan adjacency, colours and counts in
+//! *internal* ids (contiguous CSR rows, warm cache lines) and translate
+//! exactly once at the API boundary: every id **entering** a runner
+//! (`prev.solution`, per-object `radii`) is in external numbering and is
+//! internalised up front; every id **leaving** (`solution` vectors) is
+//! externalised at push. Tie-breaking uses the external id as the rank
+//! (via [`LazyMaxHeap::push_ranked`]), so solutions are byte-identical
+//! in external numbering whether or not the graph was renumbered. The
+//! `&MTree` passed alongside a renumbered graph must share the graph's
+//! internal numbering (i.e. be the [`MTree::relabeled`] tree) — its leaf
+//! order is then exactly `0..n`, so the leaf-order passes degrade into
+//! sequential row scans.
 
 use disc_graph::{StratifiedDiskGraph, UnitDiskGraph};
 use disc_metric::cancel::{CancelToken, Cancelled};
@@ -102,7 +119,7 @@ pub fn greedy_disc_graph_checked(
     let mut counts: Vec<u32> = (0..n).map(|v| g.degree(v) as u32).collect();
     let mut heap = LazyMaxHeap::with_capacity(n);
     for (id, &c) in counts.iter().enumerate() {
-        heap.push(id, c);
+        heap.push_ranked(id, g.external_id(id), c);
     }
     let mut newly_grey: Vec<ObjId> = Vec::new();
     let mut solution = Vec::new();
@@ -130,11 +147,11 @@ pub fn greedy_disc_graph_checked(
                 if color[w] == Color::White {
                     debug_assert!(counts[w] > 0, "exact counts cannot underflow");
                     counts[w] -= 1;
-                    heap.push(w, counts[w]);
+                    heap.push_ranked(w, g.external_id(w), counts[w]);
                 }
             }
         }
-        solution.push(picked);
+        solution.push(g.external_id(picked));
     }
     Ok(DiscResult {
         radius: g.radius(),
@@ -202,7 +219,7 @@ fn run_cover_graph(
     let mut counts: Vec<u32> = (0..n).map(|v| g.degree(v) as u32).collect();
     let mut heap = LazyMaxHeap::with_capacity(n);
     for (id, &c) in counts.iter().enumerate() {
-        heap.push(id, c + 1); // all white: self-term applies
+        heap.push_ranked(id, g.external_id(id), c + 1); // all white: self-term applies
     }
     // Lazy mode: `key[v]` mirrors the last key pushed for `v`, so the
     // pop closure can acknowledge stale keys and the revalidation scan
@@ -232,7 +249,7 @@ fn run_cover_graph(
                 }
                 debug_assert!(fresh < key[cand], "keys only shrink");
                 key[cand] = fresh;
-                heap.push(cand, fresh);
+                heap.push_ranked(cand, g.external_id(cand), fresh);
             }
             match selected {
                 Some(s) => s,
@@ -256,7 +273,11 @@ fn run_cover_graph(
                     if color[u] != Color::Black {
                         debug_assert!(counts[u] > 0, "exact counts cannot underflow");
                         counts[u] -= 1;
-                        heap.push(u, counts[u] + u32::from(color[u] == Color::White));
+                        heap.push_ranked(
+                            u,
+                            g.external_id(u),
+                            counts[u] + u32::from(color[u] == Color::White),
+                        );
                     }
                 }
             }
@@ -273,7 +294,7 @@ fn run_cover_graph(
             white -= 1;
             if !lazy {
                 // The candidate lost its self-term.
-                heap.push(u, counts[u]);
+                heap.push_ranked(u, g.external_id(u), counts[u]);
             }
         }
         if !lazy {
@@ -282,12 +303,16 @@ fn run_cover_graph(
                     if color[w] != Color::Black {
                         debug_assert!(counts[w] > 0, "exact counts cannot underflow");
                         counts[w] -= 1;
-                        heap.push(w, counts[w] + u32::from(color[w] == Color::White));
+                        heap.push_ranked(
+                            w,
+                            g.external_id(w),
+                            counts[w] + u32::from(color[w] == Color::White),
+                        );
                     }
                 }
             }
         }
-        solution.push(picked);
+        solution.push(g.external_id(picked));
     }
     Ok(DiscResult {
         radius: g.radius(),
@@ -309,8 +334,8 @@ fn run_cover_graph(
 /// Distances from every object to its closest black neighbour within
 /// `r`, read off the annotated adjacency (one prefix scan per black;
 /// the graph-resident counterpart of the paper's post-processing pass).
-/// Black objects report 0; objects with no black within `r` report
-/// infinity.
+/// `blacks` and the result are in internal (vertex) numbering. Black
+/// objects report 0; objects with no black within `r` report infinity.
 fn closest_black_strat(
     g: &StratifiedDiskGraph,
     blacks: &[ObjId],
@@ -332,14 +357,15 @@ fn closest_black_strat(
 
 /// Colouring for a zoom-in at `r_new`: previous blacks stay black,
 /// objects within `r_new` of a black are grey, the rest are white.
+/// `blacks` is in internal numbering.
 fn recolor_strat(
     g: &StratifiedDiskGraph,
-    prev: &DiscResult,
+    blacks: &[ObjId],
     closest_black: &[f64],
     r_new: f64,
 ) -> Vec<Color> {
     let mut color = vec![Color::White; g.len()];
-    for &b in &prev.solution {
+    for &b in blacks {
         color[b] = Color::Black;
     }
     for (id, c) in color.iter_mut().enumerate() {
@@ -350,9 +376,10 @@ fn recolor_strat(
     color
 }
 
-/// Colours `picked` black and greys every non-black object within
-/// `r_new` of it (whites and reds alike), appending it to the solution —
-/// the graph-resident `select_and_cover` of the zoom-out passes.
+/// Colours `picked` (internal) black and greys every non-black object
+/// within `r_new` of it (whites and reds alike), appending its
+/// *external* id to the solution — the graph-resident
+/// `select_and_cover` of the zoom-out passes.
 fn select_and_cover_strat(
     g: &StratifiedDiskGraph,
     color: &mut [Color],
@@ -366,7 +393,7 @@ fn select_and_cover_strat(
             color[q] = Color::Grey;
         }
     }
-    solution.push(picked);
+    solution.push(g.external_id(picked));
 }
 
 /// A greedy selection pass over the remaining white objects, generic
@@ -375,10 +402,13 @@ fn select_and_cover_strat(
 /// [`LazyMaxHeap`] tie-breaking) with adjacency reads instead of range
 /// queries. One instantiation per neighbour shape: the fixed-radius
 /// prefix (zooming) and the `min(r(p), r(q))`-filtered prefix
-/// (multi-radius). Selected objects are appended to `solution`.
-fn greedy_white_pass_over<N, F>(
+/// (multi-radius). `external` maps an internal id to its external one —
+/// it ranks the heap's tie-breaks and translates each selection before
+/// it is appended to `solution`.
+fn greedy_white_pass_over<N, F, E>(
     n: usize,
     neighbors_of: F,
+    external: E,
     color: &mut [Color],
     solution: &mut Vec<ObjId>,
     cancel: Option<&CancelToken>,
@@ -386,6 +416,7 @@ fn greedy_white_pass_over<N, F>(
 where
     F: Fn(ObjId) -> N,
     N: Iterator<Item = ObjId>,
+    E: Fn(ObjId) -> ObjId,
 {
     let mut white = color.iter().filter(|&&c| c == Color::White).count();
     let mut counts = vec![0u32; n];
@@ -395,7 +426,7 @@ where
             counts[id] = neighbors_of(id)
                 .filter(|&q| color[q] == Color::White)
                 .count() as u32;
-            heap.push(id, counts[id]);
+            heap.push_ranked(id, external(id), counts[id]);
         }
     }
     let mut newly_grey: Vec<ObjId> = Vec::new();
@@ -418,11 +449,11 @@ where
                 if color[w] == Color::White {
                     debug_assert!(counts[w] > 0, "exact counts cannot underflow");
                     counts[w] -= 1;
-                    heap.push(w, counts[w]);
+                    heap.push_ranked(w, external(w), counts[w]);
                 }
             }
         }
-        solution.push(picked);
+        solution.push(external(picked));
     }
     Ok(())
 }
@@ -439,6 +470,7 @@ fn greedy_white_pass_strat(
     greedy_white_pass_over(
         g.len(),
         |v| g.row_within(v, r).0.iter().copied(),
+        |v| g.external_id(v),
         color,
         solution,
         cancel,
@@ -484,8 +516,9 @@ pub fn zoom_in_graph_checked(
         g.radius(),
         prev.radius
     );
-    let closest_black = closest_black_strat(g, &prev.solution, prev.radius, cancel)?;
-    let mut color = recolor_strat(g, prev, &closest_black, r_new);
+    let blacks: Vec<ObjId> = prev.solution.iter().map(|&e| g.internal_id(e)).collect();
+    let closest_black = closest_black_strat(g, &blacks, prev.radius, cancel)?;
+    let mut color = recolor_strat(g, &blacks, &closest_black, r_new);
     let mut solution = prev.solution.clone();
     for object in tree.objects_in_leaf_order_uncounted() {
         if color[object] != Color::White {
@@ -498,7 +531,7 @@ pub fn zoom_in_graph_checked(
                 color[q] = Color::Grey;
             }
         }
-        solution.push(object);
+        solution.push(g.external_id(object));
     }
     debug_assert!(color.iter().all(|&c| c != Color::White));
     Ok(ZoomResult {
@@ -540,8 +573,9 @@ pub fn greedy_zoom_in_graph_checked(
         g.radius(),
         prev.radius
     );
-    let closest_black = closest_black_strat(g, &prev.solution, prev.radius, cancel)?;
-    let mut color = recolor_strat(g, prev, &closest_black, r_new);
+    let blacks: Vec<ObjId> = prev.solution.iter().map(|&e| g.internal_id(e)).collect();
+    let closest_black = closest_black_strat(g, &blacks, prev.radius, cancel)?;
+    let mut color = recolor_strat(g, &blacks, &closest_black, r_new);
     let mut solution = prev.solution.clone();
     greedy_white_pass_strat(g, r_new, &mut color, &mut solution, cancel)?;
     Ok(ZoomResult {
@@ -592,16 +626,16 @@ pub fn zoom_out_graph_checked(
         "stratified graph built at {} cannot cover the new radius {r_new}",
         g.radius()
     );
+    let reds: Vec<ObjId> = prev.solution.iter().map(|&e| g.internal_id(e)).collect();
     let mut color = vec![Color::White; g.len()];
-    for &b in &prev.solution {
+    for &b in &reds {
         color[b] = Color::Red;
     }
 
     // The greedy (a)/(b) variants cache each red's neighbourhood at the
     // new radius — here a prefix slice copy instead of a range query.
     let cached: Vec<(ObjId, &[ObjId])> = match variant {
-        ZoomOutVariant::GreedyA | ZoomOutVariant::GreedyB => prev
-            .solution
+        ZoomOutVariant::GreedyA | ZoomOutVariant::GreedyB => reds
             .iter()
             .map(|&red| (red, g.row_within(red, r_new).0))
             .collect(),
@@ -613,7 +647,7 @@ pub fn zoom_out_graph_checked(
     // ---- First pass: re-examine the reds (Algorithm 3, lines 4-11). ----
     match variant {
         ZoomOutVariant::Plain => {
-            for &red in &prev.solution {
+            for &red in &reds {
                 if color[red] != Color::Red {
                     continue; // already covered by an earlier selection
                 }
@@ -635,7 +669,9 @@ pub fn zoom_out_graph_checked(
                         ZoomOutVariant::GreedyA => a.1.cmp(&b.1),
                         _ => b.1.cmp(&a.1), // (b): fewest red neighbours
                     };
-                    primary.then(b.0.cmp(&a.0)) // ties to smallest id
+                    // Ties to the smallest external id, so renumbering
+                    // cannot change the pick.
+                    primary.then(g.external_id(b.0).cmp(&g.external_id(a.0)))
                 });
             let Some((red, _)) = best else { break };
             select_and_cover_strat(g, &mut color, red, r_new, &mut solution);
@@ -658,7 +694,10 @@ pub fn zoom_out_graph_checked(
                         .count();
                     (red, white_nb)
                 })
-                .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)));
+                .max_by(|a, b| {
+                    a.1.cmp(&b.1)
+                        .then(g.external_id(b.0).cmp(&g.external_id(a.0)))
+                });
             let Some((red, _)) = best else { break };
             select_and_cover_strat(g, &mut color, red, r_new, &mut solution);
         },
@@ -726,6 +765,15 @@ pub fn multi_radius_graph_checked(
         g.radius()
     );
     let n = g.len();
+    // `radii` arrives indexed by external id; a renumbered graph needs
+    // the per-vertex view.
+    let permuted: Vec<f64>;
+    let radii: &[f64] = if g.permutation().is_some() {
+        permuted = (0..n).map(|v| radii[g.external_id(v)]).collect();
+        &permuted
+    } else {
+        radii
+    };
     // Neighbours of `p` under the min(r(p), r(q)) rule: the prefix at
     // r(p) filtered by d ≤ r(q).
     let min_neighbors = |p: ObjId| {
@@ -737,7 +785,14 @@ pub fn multi_radius_graph_checked(
     let mut solution = Vec::new();
 
     if greedy {
-        greedy_white_pass_over(n, min_neighbors, &mut color, &mut solution, cancel)?;
+        greedy_white_pass_over(
+            n,
+            min_neighbors,
+            |v| g.external_id(v),
+            &mut color,
+            &mut solution,
+            cancel,
+        )?;
     } else {
         for object in tree.objects_in_leaf_order_uncounted() {
             if color[object] != Color::White {
@@ -750,7 +805,7 @@ pub fn multi_radius_graph_checked(
                     color[q] = Color::Grey;
                 }
             }
-            solution.push(object);
+            solution.push(g.external_id(object));
         }
     }
     debug_assert!(color.iter().all(|&c| c != Color::White));
@@ -985,6 +1040,89 @@ mod tests {
         let g = StratifiedDiskGraph::from_mtree(&tree, 0.05);
         let prev = greedy_disc(&tree, 0.2, GreedyVariant::Grey, true);
         let _ = greedy_zoom_in_graph(&g, &prev, 0.1);
+    }
+
+    #[test]
+    fn renumbered_graph_reproduces_external_solutions() {
+        // Leaf-order renumbering must be invisible in external ids:
+        // every runner, fed the renumbered dataset/tree/graph, returns
+        // byte-identical solutions to its run on the original numbering.
+        use crate::zoom_in::{greedy_zoom_in, zoom_in};
+        use crate::zoom_out::greedy_zoom_out;
+        let data = clustered(400, 2, 5, 89);
+        let tree = MTree::build(&data, MTreeConfig::with_capacity(10));
+        let order: Vec<ObjId> = tree.objects_in_leaf_order_uncounted();
+        let data2 = tree.data().renumbered(&order);
+        let tree2 = tree.relabeled(&data2, &order);
+        let r = 0.06;
+
+        let g = UnitDiskGraph::from_mtree(&tree, r);
+        let g2 = UnitDiskGraph::from_mtree(&tree2, r);
+        assert!(
+            g2.permutation().is_some(),
+            "leaf order is not identity here"
+        );
+        assert_eq!(
+            greedy_disc_graph(&g).solution,
+            greedy_disc_graph(&g2).solution
+        );
+        assert_eq!(greedy_c_graph(&g).solution, greedy_c_graph(&g2).solution);
+        assert_eq!(fast_c_graph(&g).solution, fast_c_graph(&g2).solution);
+
+        let r_max = 0.1;
+        let s = StratifiedDiskGraph::from_mtree(&tree, r_max);
+        let s2 = StratifiedDiskGraph::from_mtree(&tree2, r_max);
+        let prev = greedy_disc(&tree, r_max, GreedyVariant::Grey, true);
+        for r_new in [0.07, 0.03] {
+            assert_eq!(
+                zoom_in_graph(&tree, &s, &prev, r_new).result.solution,
+                zoom_in_graph(&tree2, &s2, &prev, r_new).result.solution,
+                "zoom-in r'={r_new}"
+            );
+            assert_eq!(
+                zoom_in_graph(&tree2, &s2, &prev, r_new).result.solution,
+                zoom_in(&tree, &prev, r_new).result.solution,
+                "zoom-in vs tree-backed r'={r_new}"
+            );
+            assert_eq!(
+                greedy_zoom_in_graph(&s, &prev, r_new).result.solution,
+                greedy_zoom_in_graph(&s2, &prev, r_new).result.solution,
+                "greedy zoom-in r'={r_new}"
+            );
+            assert_eq!(
+                greedy_zoom_in_graph(&s2, &prev, r_new).result.solution,
+                greedy_zoom_in(&tree, &prev, r_new).result.solution,
+                "greedy zoom-in vs tree-backed r'={r_new}"
+            );
+        }
+        let prev_small = greedy_disc(&tree, 0.03, GreedyVariant::Grey, true);
+        for v in [
+            ZoomOutVariant::Plain,
+            ZoomOutVariant::GreedyA,
+            ZoomOutVariant::GreedyB,
+            ZoomOutVariant::GreedyC,
+        ] {
+            assert_eq!(
+                zoom_out_graph(&tree2, &s2, &prev_small, r_max, v)
+                    .result
+                    .solution,
+                greedy_zoom_out(&tree, &prev_small, r_max, v)
+                    .result
+                    .solution,
+                "zoom-out {v:?}"
+            );
+        }
+        let radii: Vec<f64> = data
+            .ids()
+            .map(|id| if id % 3 == 0 { 0.04 } else { r_max })
+            .collect();
+        for greedy in [false, true] {
+            assert_eq!(
+                multi_radius_graph(&tree, &s, &radii, greedy).solution,
+                multi_radius_graph(&tree2, &s2, &radii, greedy).solution,
+                "multi-radius greedy={greedy}"
+            );
+        }
     }
 
     proptest! {

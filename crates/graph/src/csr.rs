@@ -41,6 +41,13 @@
 //! until they are small enough for a branch-light integer sort. Unit
 //! tests pin order-identity against the comparison sort on duplicate
 //! distances, ±0.0, subnormals and all-equal rows.
+//!
+//! In the sharded assembly the row sort runs as its own parallel phase
+//! after the fill ([`sort_dist_rows_sharded`]): rows are cut into
+//! contiguous ranges balanced by entry count (not by the fill's vertex
+//! ranges), so sort work distributes evenly even when degrees are
+//! skewed. Per-row sorts are independent, so the phase split changes no
+//! byte of output.
 
 use disc_metric::cancel::{CancelToken, Cancelled};
 use disc_metric::ObjId;
@@ -448,8 +455,59 @@ pub(crate) fn assemble_dist_checked(
                         cursor[j - r.start] = c + 1;
                     }
                 }
+            });
+        }
+    });
+    if aborted.load(std::sync::atomic::Ordering::Relaxed) {
+        return Err(Cancelled);
+    }
+    sort_dist_rows_sharded(&offsets, &mut dists, &mut neighbors, plan.shards, cancel)?;
+    Ok((offsets, dists, neighbors))
+}
+
+/// The sort half of the sharded distance-row assembly, decoupled from
+/// the fill: rows are partitioned into contiguous ranges balanced by
+/// **entry count** (one binary search on `offsets` per cut) rather than
+/// inheriting the fill's vertex-range shards, so a worker owning a few
+/// heavy rows sorts as much data as one owning many light rows. Each
+/// worker sorts a disjoint slice of both arrays with its own scratch;
+/// per-row sorts are independent, so the output is byte-identical to
+/// sorting serially (and to the former fused fill-and-sort).
+fn sort_dist_rows_sharded(
+    offsets: &[usize],
+    dists: &mut [f64],
+    neighbors: &mut [ObjId],
+    workers: usize,
+    cancel: Option<&CancelToken>,
+) -> Result<(), Cancelled> {
+    let n = offsets.len() - 1;
+    let total = offsets[n];
+    // Row cut before each worker's even share of the entries; cuts are
+    // row indices, non-decreasing, so ranges partition 0..n exactly.
+    let mut cuts = Vec::with_capacity(workers + 1);
+    cuts.push(0usize);
+    for w in 1..workers {
+        let target = total * w / workers;
+        cuts.push(offsets.partition_point(|&o| o < target).min(n));
+    }
+    cuts.push(n);
+
+    let aborted = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let aborted = &aborted;
+        let mut rest_d: &mut [f64] = dists;
+        let mut rest_n: &mut [ObjId] = neighbors;
+        for w in 0..workers {
+            let (lo, hi) = (cuts[w], cuts[w + 1]);
+            let len = offsets[hi] - offsets[lo];
+            let (mine_d, tail_d) = rest_d.split_at_mut(len);
+            rest_d = tail_d;
+            let (mine_n, tail_n) = rest_n.split_at_mut(len);
+            rest_n = tail_n;
+            scope.spawn(move || {
+                let base = offsets[lo];
                 let mut scratch = DistSortScratch::default();
-                for (t, v) in r.clone().enumerate() {
+                for (t, v) in (lo..hi).enumerate() {
                     if t % CANCEL_CHUNK == 0 {
                         if let Some(c) = cancel {
                             if c.checkpoint().is_err() {
@@ -458,7 +516,7 @@ pub(crate) fn assemble_dist_checked(
                             }
                         }
                     }
-                    let row = offsets[v] - shard_base..offsets[v + 1] - shard_base;
+                    let row = offsets[v] - base..offsets[v + 1] - base;
                     sort_dist_row(&mut mine_d[row.clone()], &mut mine_n[row], &mut scratch, v);
                 }
             });
@@ -467,7 +525,7 @@ pub(crate) fn assemble_dist_checked(
     if aborted.load(std::sync::atomic::Ordering::Relaxed) {
         return Err(Cancelled);
     }
-    Ok((offsets, dists, neighbors))
+    Ok(())
 }
 
 /// Reusable scatter buffers for [`sort_dist_row`], one per assembly

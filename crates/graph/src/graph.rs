@@ -48,12 +48,19 @@
 //!   degree counts and each adjacency row is sorted (and duplicate
 //!   free), so its final content is independent of fill order.
 
-use disc_metric::{Dataset, ObjId};
+use std::sync::Arc;
+
+use disc_metric::{Dataset, IdPermutation, ObjId};
 use disc_mtree::MTree;
 
 /// Undirected graph over the objects of a dataset, with an edge `(i, j)`
 /// iff `dist(i, j) ≤ r` and `i ≠ j`. Stored as CSR; adjacency rows are
 /// sorted by id.
+///
+/// Vertex ids are the dataset's *internal* ids (see `disc_metric::ids`);
+/// a graph built from a renumbered dataset carries the dataset's
+/// [`IdPermutation`] so boundary layers can translate back to external
+/// numbering via [`UnitDiskGraph::external_id`].
 #[derive(Clone, Debug, PartialEq)]
 pub struct UnitDiskGraph {
     radius: f64,
@@ -62,6 +69,9 @@ pub struct UnitDiskGraph {
     /// Concatenated sorted adjacency rows (each undirected edge appears
     /// twice, once per endpoint).
     neighbors: Vec<ObjId>,
+    /// Internal↔external id bijection of the dataset the graph was
+    /// built over; `None` = identity.
+    perm: Option<Arc<IdPermutation>>,
 }
 
 impl UnitDiskGraph {
@@ -78,7 +88,7 @@ impl UnitDiskGraph {
                 }
             }
         }
-        Self::from_edges(n, radius, &edges)
+        Self::from_edges(n, radius, &edges).with_permutation(data.permutation().cloned())
     }
 
     /// Materialises `G_{P,r}` with one M-tree range self-join (the bulk
@@ -89,13 +99,10 @@ impl UnitDiskGraph {
     pub fn from_mtree(tree: &MTree<'_>, radius: f64) -> Self {
         let edges = tree.range_self_join(radius);
         #[cfg(feature = "parallel")]
-        {
-            Self::from_edges_sharded(tree.len(), radius, &edges, 0)
-        }
+        let g = Self::from_edges_sharded(tree.len(), radius, &edges, 0);
         #[cfg(not(feature = "parallel"))]
-        {
-            Self::from_edges(tree.len(), radius, &edges)
-        }
+        let g = Self::from_edges(tree.len(), radius, &edges);
+        g.with_permutation(tree.data().permutation().cloned())
     }
 
     /// Assembles the CSR from an undirected edge list over `n` vertices.
@@ -108,6 +115,7 @@ impl UnitDiskGraph {
             radius,
             offsets,
             neighbors,
+            perm: None,
         }
     }
 
@@ -138,6 +146,7 @@ impl UnitDiskGraph {
             radius,
             offsets,
             neighbors,
+            perm: None,
         }
     }
 
@@ -185,7 +194,49 @@ impl UnitDiskGraph {
                 })
                 .collect()
         });
-        Self::from_edges(n, radius, &edges)
+        Self::from_edges(n, radius, &edges).with_permutation(data.permutation().cloned())
+    }
+
+    /// Attaches (or clears) the internal↔external id bijection — the
+    /// seam for producers assembling from raw edges or snapshot arrays,
+    /// where no dataset is at hand. An identity permutation normalizes
+    /// to `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the permutation's length disagrees with the vertex
+    /// count.
+    pub fn with_permutation(mut self, perm: Option<Arc<IdPermutation>>) -> Self {
+        if let Some(p) = &perm {
+            assert_eq!(p.len(), self.len(), "permutation must cover every vertex");
+        }
+        self.perm = perm.filter(|p| !p.is_identity());
+        self
+    }
+
+    /// The bijection from vertex (internal) ids back to the caller's
+    /// external numbering; `None` when they coincide.
+    pub fn permutation(&self) -> Option<&Arc<IdPermutation>> {
+        self.perm.as_ref()
+    }
+
+    /// External id of vertex `v` (identity without a permutation).
+    #[inline]
+    pub fn external_id(&self, v: ObjId) -> ObjId {
+        match &self.perm {
+            Some(p) => p.external(v),
+            None => v,
+        }
+    }
+
+    /// Vertex (internal) id of `external` (identity without a
+    /// permutation).
+    #[inline]
+    pub fn internal_id(&self, external: ObjId) -> ObjId {
+        match &self.perm {
+            Some(p) => p.internal(external),
+            None => external,
+        }
     }
 
     /// The radius the graph was built for.

@@ -61,8 +61,10 @@
 //!   [`StratifiedDiskGraph::view`] / [`StratifiedDiskGraph::row_within`]
 //!   per radius at zero additional distance computations.
 
+use std::sync::Arc;
+
 use disc_metric::cancel::CancelToken;
-use disc_metric::{Dataset, ObjId};
+use disc_metric::{Dataset, IdPermutation, ObjId};
 use disc_mtree::{DistEdge, MTree, SelfJoinConfig};
 
 use crate::error::GraphError;
@@ -71,6 +73,11 @@ use crate::graph::UnitDiskGraph;
 /// Distance-annotated CSR adjacency over the objects of a dataset at a
 /// maximum radius `r_max`, rows sorted by `(distance, id)` so every
 /// `r' ≤ r_max` is a per-row prefix. See the [module docs](self).
+///
+/// Vertex ids are the dataset's *internal* ids (see `disc_metric::ids`);
+/// a graph built from a renumbered dataset carries the dataset's
+/// [`IdPermutation`] so boundary layers can translate back to external
+/// numbering via [`StratifiedDiskGraph::external_id`].
 #[derive(Clone, Debug, PartialEq)]
 pub struct StratifiedDiskGraph {
     /// The build radius `r_max`; prefix views exist for every `r'` up to
@@ -82,6 +89,9 @@ pub struct StratifiedDiskGraph {
     neighbors: Vec<ObjId>,
     /// Exact edge distances, aligned with `neighbors`.
     dists: Vec<f64>,
+    /// Internal↔external id bijection of the dataset the graph was
+    /// built over; `None` = identity.
+    perm: Option<Arc<IdPermutation>>,
 }
 
 impl StratifiedDiskGraph {
@@ -96,6 +106,7 @@ impl StratifiedDiskGraph {
     pub fn from_mtree(tree: &MTree<'_>, r_max: f64) -> Self {
         let edges = tree.range_self_join_dist(r_max);
         Self::from_dist_edges_auto(tree.len(), r_max, &edges)
+            .with_permutation(tree.data().permutation().cloned())
     }
 
     /// The fail-closed counterpart of
@@ -116,7 +127,10 @@ impl StratifiedDiskGraph {
         cancel: Option<&CancelToken>,
     ) -> Result<Self, GraphError> {
         let edges = tree.range_self_join_dist_checked(r_max, config, cancel)?;
-        Self::from_dist_edges_checked(tree.len(), r_max, &edges, config.threads, cancel)
+        Ok(
+            Self::from_dist_edges_checked(tree.len(), r_max, &edges, config.threads, cancel)?
+                .with_permutation(tree.data().permutation().cloned()),
+        )
     }
 
     /// Checked, cancellable CSR assembly from a distance-annotated edge
@@ -141,6 +155,7 @@ impl StratifiedDiskGraph {
             offsets,
             neighbors,
             dists,
+            perm: None,
         })
     }
 
@@ -225,6 +240,7 @@ impl StratifiedDiskGraph {
             offsets,
             neighbors,
             dists,
+            perm: None,
         })
     }
 
@@ -258,7 +274,7 @@ impl StratifiedDiskGraph {
                 }
             }
         }
-        Self::from_dist_edges(n, r_max, &edges)
+        Self::from_dist_edges(n, r_max, &edges).with_permutation(data.permutation().cloned())
     }
 
     /// Assembles the stratified CSR from a distance-annotated undirected
@@ -274,6 +290,7 @@ impl StratifiedDiskGraph {
             offsets,
             neighbors,
             dists,
+            perm: None,
         }
     }
 
@@ -304,6 +321,49 @@ impl StratifiedDiskGraph {
             offsets,
             neighbors,
             dists,
+            perm: None,
+        }
+    }
+
+    /// Attaches (or clears) the internal↔external id bijection — the
+    /// seam for producers assembling from raw edges or snapshot arrays,
+    /// where no dataset is at hand. An identity permutation normalizes
+    /// to `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the permutation's length disagrees with the vertex
+    /// count.
+    pub fn with_permutation(mut self, perm: Option<Arc<IdPermutation>>) -> Self {
+        if let Some(p) = &perm {
+            assert_eq!(p.len(), self.len(), "permutation must cover every vertex");
+        }
+        self.perm = perm.filter(|p| !p.is_identity());
+        self
+    }
+
+    /// The bijection from vertex (internal) ids back to the caller's
+    /// external numbering; `None` when they coincide.
+    pub fn permutation(&self) -> Option<&Arc<IdPermutation>> {
+        self.perm.as_ref()
+    }
+
+    /// External id of vertex `v` (identity without a permutation).
+    #[inline]
+    pub fn external_id(&self, v: ObjId) -> ObjId {
+        match &self.perm {
+            Some(p) => p.external(v),
+            None => v,
+        }
+    }
+
+    /// Vertex (internal) id of `external` (identity without a
+    /// permutation).
+    #[inline]
+    pub fn internal_id(&self, external: ObjId) -> ObjId {
+        match &self.perm {
+            Some(p) => p.internal(external),
+            None => external,
         }
     }
 
@@ -528,6 +588,7 @@ impl StratifiedView<'_> {
             }
         }
         UnitDiskGraph::from_edges(self.len(), self.radius, &edges)
+            .with_permutation(self.graph.perm.clone())
     }
 }
 

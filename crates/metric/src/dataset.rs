@@ -16,9 +16,11 @@
 //! are single-allocation copies of the relevant rows.
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::{
     distance::Metric,
+    ids::IdPermutation,
     point::{Point, PointView},
     ObjId,
 };
@@ -90,6 +92,14 @@ impl fmt::Display for DatasetError {
 impl std::error::Error for DatasetError {}
 
 /// A named collection of points under a fixed metric.
+///
+/// ## Id numbering
+///
+/// Object `id` is a position in the coordinate buffer — an *internal*
+/// id. A dataset renumbered for locality ([`Dataset::renumbered`])
+/// additionally carries the [`IdPermutation`] back to the caller's
+/// original (*external*) numbering; `permutation() == None` means the
+/// two coincide. See [`crate::ids`] for the full contract.
 #[derive(Clone, Debug)]
 pub struct Dataset {
     name: String,
@@ -97,6 +107,8 @@ pub struct Dataset {
     dim: usize,
     /// Row-major coordinate buffer, `len() * dim` values.
     coords: Vec<f64>,
+    /// Internal↔external id bijection; `None` = identity.
+    perm: Option<Arc<IdPermutation>>,
 }
 
 /// Rejects NaN/±inf anywhere in a row-major buffer, reporting the
@@ -163,6 +175,7 @@ impl Dataset {
             metric,
             dim,
             coords,
+            perm: None,
         })
     }
 
@@ -214,6 +227,7 @@ impl Dataset {
             metric,
             dim,
             coords,
+            perm: None,
         })
     }
 
@@ -335,6 +349,8 @@ impl Dataset {
             metric: self.metric,
             dim,
             coords,
+            // Rescaling keeps the numbering, so the bijection survives.
+            perm: self.perm.clone(),
         }
     }
 
@@ -358,7 +374,93 @@ impl Dataset {
             metric: self.metric,
             dim: self.dim,
             coords,
+            // The restriction defines a fresh id space; the caller keeps
+            // the `ids` slice as its own new-to-old mapping.
+            perm: None,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Internal/external id numbering (see `crate::ids`)
+    // ------------------------------------------------------------------
+
+    /// The bijection from this dataset's (internal) ids back to the
+    /// caller's original (external) numbering; `None` when they
+    /// coincide.
+    pub fn permutation(&self) -> Option<&Arc<IdPermutation>> {
+        self.perm.as_ref()
+    }
+
+    /// External id of internal object `id` (identity without a
+    /// permutation).
+    #[inline]
+    pub fn external_id(&self, id: ObjId) -> ObjId {
+        match &self.perm {
+            Some(p) => p.external(id),
+            None => id,
+        }
+    }
+
+    /// Internal id of `external` (identity without a permutation).
+    #[inline]
+    pub fn internal_id(&self, external: ObjId) -> ObjId {
+        match &self.perm {
+            Some(p) => p.internal(external),
+            None => external,
+        }
+    }
+
+    /// A dataset holding the same points relabeled for locality: new id
+    /// `i` is this dataset's id `order[i]`. The returned dataset's
+    /// permutation composes with any permutation already present, so
+    /// external ids always refer to the numbering of the *original*
+    /// (never-renumbered) dataset; an identity composition normalizes to
+    /// `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `order` is not a permutation of `0..len()`.
+    pub fn renumbered(&self, order: &[ObjId]) -> Self {
+        assert_eq!(
+            order.len(),
+            self.len(),
+            "renumbering order must cover every object"
+        );
+        let mut coords = Vec::with_capacity(self.coords.len());
+        let to_external: Vec<ObjId> = order
+            .iter()
+            .map(|&old| {
+                coords.extend_from_slice(self.row(old));
+                self.external_id(old)
+            })
+            .collect();
+        let perm = match IdPermutation::try_new(to_external) {
+            Ok(p) => (!p.is_identity()).then(|| Arc::new(p)),
+            Err(e) => panic!("renumbering order is not a permutation: {e}"),
+        };
+        Self {
+            name: self.name.clone(),
+            metric: self.metric,
+            dim: self.dim,
+            coords,
+            perm,
+        }
+    }
+
+    /// Replaces the id permutation wholesale — the snapshot-load seam,
+    /// where the bijection comes from disk rather than from
+    /// [`Dataset::renumbered`]. An identity permutation normalizes to
+    /// `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the permutation's length disagrees with the dataset's.
+    pub fn with_permutation(mut self, perm: Option<Arc<IdPermutation>>) -> Self {
+        if let Some(p) = &perm {
+            assert_eq!(p.len(), self.len(), "permutation must cover every object");
+        }
+        self.perm = perm.filter(|p| !p.is_identity());
+        self
     }
 }
 
@@ -547,6 +649,39 @@ mod tests {
             Dataset::try_new("x", Metric::Euclidean, vec![]).unwrap_err(),
             DatasetError::Empty
         );
+    }
+
+    #[test]
+    fn renumbering_moves_rows_and_tracks_external_ids() {
+        let d = unit_square();
+        assert!(d.permutation().is_none());
+        let r = d.renumbered(&[2, 0, 3, 1]);
+        for (new, &old) in [2usize, 0, 3, 1].iter().enumerate() {
+            assert_eq!(r.row(new), d.row(old));
+            assert_eq!(r.external_id(new), old);
+            assert_eq!(r.internal_id(old), new);
+        }
+        // Renumbering a renumbered dataset composes back to the original
+        // numbering — here, back to the identity (perm normalizes away).
+        let back = r.renumbered(&[1, 3, 0, 2]);
+        assert!(back.permutation().is_none());
+        for id in back.ids() {
+            assert_eq!(back.row(id), d.row(id));
+        }
+    }
+
+    #[test]
+    fn identity_renumbering_normalizes_to_no_permutation() {
+        let d = unit_square();
+        let r = d.renumbered(&[0, 1, 2, 3]);
+        assert!(r.permutation().is_none());
+        assert_eq!(r.flat_coords(), d.flat_coords());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn renumbering_rejects_non_permutations() {
+        let _ = unit_square().renumbered(&[0, 0, 1, 2]);
     }
 
     #[test]

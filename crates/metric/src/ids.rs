@@ -1,0 +1,190 @@
+//! Internal-vs-external object numbering.
+//!
+//! ## The id contract
+//!
+//! Locality-aware renumbering (objects relabeled by M-tree leaf order so
+//! CSR fills and adjacency scans touch near-contiguous rows) splits the
+//! id space in two:
+//!
+//! * **internal ids** — positions in a (possibly renumbered) [`Dataset`]'s
+//!   coordinate buffer. Everything that indexes arrays uses these: the
+//!   M-tree, the self-join's edges, the CSR graphs, the runners' color /
+//!   count / heap state.
+//! * **external ids** — the numbering the caller handed the original
+//!   dataset in. Everything that crosses the API boundary uses these:
+//!   runner solution vectors, snapshot contents, serve-wire hashes.
+//!
+//! An [`IdPermutation`] is the bijection between the two. A dataset (and
+//! the graphs derived from it) optionally carries one; `None` means the
+//! two numberings coincide. Layers translate exactly once, at the
+//! boundary — runners *emit* external ids and *internalize* external
+//! inputs on entry, so no intermediate layer ever mixes the spaces.
+//!
+//! [`Dataset`]: crate::Dataset
+
+use std::fmt;
+
+use crate::ObjId;
+
+/// The ways a claimed permutation vector can fail to be one.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PermutationError {
+    /// The vector was empty.
+    Empty,
+    /// `value` at `index` is outside `0..len`.
+    OutOfRange {
+        /// Position of the offending entry.
+        index: usize,
+        /// The offending value.
+        value: ObjId,
+        /// Length of the vector (the exclusive value bound).
+        len: usize,
+    },
+    /// `value` appears more than once (second occurrence at `index`).
+    Duplicate {
+        /// Position of the second occurrence.
+        index: usize,
+        /// The repeated value.
+        value: ObjId,
+    },
+}
+
+impl fmt::Display for PermutationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Empty => f.write_str("permutation must map at least one id"),
+            Self::OutOfRange { index, value, len } => {
+                write!(f, "permutation entry {index} is {value}, outside 0..{len}")
+            }
+            Self::Duplicate { index, value } => {
+                write!(f, "permutation repeats id {value} (at entry {index})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PermutationError {}
+
+/// A bijection between internal ids (dataset/graph array positions) and
+/// external ids (the caller's original numbering). See the
+/// [module docs](self) for who uses which side.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IdPermutation {
+    /// `to_external[internal] == external`.
+    to_external: Vec<ObjId>,
+    /// `to_internal[external] == internal` — the inverse, precomputed so
+    /// both directions are O(1).
+    to_internal: Vec<ObjId>,
+}
+
+impl IdPermutation {
+    /// Builds the bijection from its internal-to-external side,
+    /// validating that the vector is a permutation of `0..len`.
+    pub fn try_new(to_external: Vec<ObjId>) -> Result<Self, PermutationError> {
+        let n = to_external.len();
+        if n == 0 {
+            return Err(PermutationError::Empty);
+        }
+        let mut to_internal = vec![usize::MAX; n];
+        for (index, &value) in to_external.iter().enumerate() {
+            if value >= n {
+                return Err(PermutationError::OutOfRange {
+                    index,
+                    value,
+                    len: n,
+                });
+            }
+            if to_internal[value] != usize::MAX {
+                return Err(PermutationError::Duplicate { index, value });
+            }
+            to_internal[value] = index;
+        }
+        Ok(Self {
+            to_external,
+            to_internal,
+        })
+    }
+
+    /// Number of ids mapped.
+    pub fn len(&self) -> usize {
+        self.to_external.len()
+    }
+
+    /// Whether the permutation maps no ids (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.to_external.is_empty()
+    }
+
+    /// Whether the permutation is the identity (callers normalize this
+    /// case to "no permutation").
+    pub fn is_identity(&self) -> bool {
+        self.to_external.iter().enumerate().all(|(i, &e)| i == e)
+    }
+
+    /// External id of `internal`.
+    #[inline]
+    pub fn external(&self, internal: ObjId) -> ObjId {
+        self.to_external[internal]
+    }
+
+    /// Internal id of `external`.
+    #[inline]
+    pub fn internal(&self, external: ObjId) -> ObjId {
+        self.to_internal[external]
+    }
+
+    /// The full internal-to-external side (index = internal id).
+    pub fn to_external(&self) -> &[ObjId] {
+        &self.to_external
+    }
+
+    /// The full external-to-internal side (index = external id).
+    pub fn to_internal(&self) -> &[ObjId] {
+        &self.to_internal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_directions_invert_each_other() {
+        let p = IdPermutation::try_new(vec![2, 0, 3, 1]).expect("valid permutation");
+        assert_eq!(p.len(), 4);
+        assert!(!p.is_identity());
+        for internal in 0..4 {
+            assert_eq!(p.internal(p.external(internal)), internal);
+        }
+        assert_eq!(p.to_external(), &[2, 0, 3, 1]);
+        assert_eq!(p.to_internal(), &[1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn identity_is_detected() {
+        let p = IdPermutation::try_new(vec![0, 1, 2]).expect("valid permutation");
+        assert!(p.is_identity());
+        let q = IdPermutation::try_new(vec![0, 2, 1]).expect("valid permutation");
+        assert!(!q.is_identity());
+    }
+
+    #[test]
+    fn invalid_vectors_are_rejected_with_typed_errors() {
+        assert_eq!(
+            IdPermutation::try_new(vec![]).unwrap_err(),
+            PermutationError::Empty
+        );
+        assert_eq!(
+            IdPermutation::try_new(vec![0, 3]).unwrap_err(),
+            PermutationError::OutOfRange {
+                index: 1,
+                value: 3,
+                len: 2
+            }
+        );
+        assert_eq!(
+            IdPermutation::try_new(vec![1, 1, 0]).unwrap_err(),
+            PermutationError::Duplicate { index: 1, value: 1 }
+        );
+    }
+}

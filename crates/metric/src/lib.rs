@@ -19,12 +19,14 @@ pub mod bounds;
 pub mod cancel;
 pub mod dataset;
 pub mod distance;
+pub mod ids;
 pub mod neighbors;
 pub mod point;
 
 pub use cancel::{CancelToken, Cancelled};
 pub use dataset::{Dataset, DatasetError};
 pub use distance::Metric;
+pub use ids::{IdPermutation, PermutationError};
 pub use point::{Point, PointView};
 
 /// Identifier of an object inside a [`Dataset`]: its position in the

@@ -17,7 +17,7 @@ pub enum SectionId {
     /// file length and reserved word (the stored header checksum at
     /// `48..56` guards them).
     Header,
-    /// Bytes `56..248`: the six 32-byte section-table entries (guarded
+    /// Bytes `56..280`: the seven 32-byte section-table entries (guarded
     /// by the table checksum stored in the header).
     SectionTable,
     /// Snapshot metadata: dimensions, counts, metric tag, radius, name
@@ -31,6 +31,10 @@ pub enum SectionId {
     Neighbors,
     /// CSR edge distances (`edge_total` f64 values).
     Dists,
+    /// External id of each internal object (`n` u64 values, a
+    /// permutation of `0..n`; the identity when the snapshot was not
+    /// renumbered).
+    ExtIds,
     /// UTF-8 dataset name, zero-padded to an 8-byte boundary.
     Name,
 }
@@ -45,6 +49,7 @@ impl fmt::Display for SectionId {
             Self::Offsets => "offsets",
             Self::Neighbors => "neighbors",
             Self::Dists => "dists",
+            Self::ExtIds => "ext ids",
             Self::Name => "name",
         })
     }

@@ -11,7 +11,7 @@
 //! bytes, no silent acceptance of damage, no "best effort" partial
 //! loads.
 //!
-//! # On-disk layout (version 1)
+//! # On-disk layout (version 2)
 //!
 //! All multi-byte fields are **native-endian**; the endianness marker
 //! fails closed on foreign-endian snapshots (the format targets
@@ -23,19 +23,19 @@
 //! offset  size  field
 //! ------  ----  -----------------------------------------------------
 //!      0     8  magic "DISCSNAP"
-//!      8     4  version (u32, currently 1)
+//!      8     4  version (u32, currently 2)
 //!     12     4  endianness marker (u32, 0x0A0B0C0D)
-//!     16     8  section count (u64, currently 6)
+//!     16     8  section count (u64, currently 7)
 //!     24     8  total file length in bytes (u64)
 //!     32     8  reserved (u64, must be 0)
-//!     40     8  FNV-1a 64 checksum of the section table (bytes 56..248)
+//!     40     8  FNV-1a 64 checksum of the section table (bytes 56..280)
 //!     48     8  FNV-1a 64 checksum of the header (bytes 0..48)
-//!     56   192  section table: 6 entries x 32 bytes, each
+//!     56   224  section table: 7 entries x 32 bytes, each
 //!               { id: u64, offset: u64, len: u64, checksum: u64 }
-//!    248     -  section payloads, contiguous, each 8-byte aligned
+//!    280     -  section payloads, contiguous, each 8-byte aligned
 //! ```
 //!
-//! Sections, in file order (ids 1–6):
+//! Sections, in file order (ids 1–7):
 //!
 //! | id | section   | contents                                          |
 //! |----|-----------|---------------------------------------------------|
@@ -44,10 +44,17 @@
 //! | 3  | offsets   | CSR row boundaries, `n + 1` × u64                 |
 //! | 4  | neighbors | CSR neighbor ids, `edge_total` × u64              |
 //! | 5  | dists     | CSR edge distances, `edge_total` × f64            |
-//! | 6  | name      | UTF-8 dataset name, zero-padded to 8 bytes        |
+//! | 6  | ext ids   | external id per internal object, `n` × u64 — a permutation of `0..n`; identity when not renumbered |
+//! | 7  | name      | UTF-8 dataset name, zero-padded to 8 bytes        |
+//!
+//! Version 2 added the ext-ids section: snapshots of leaf-order
+//! renumbered builds (see `disc_metric::Dataset::renumbered`) persist
+//! the internal↔external bijection, and [`decode`] re-attaches it to
+//! both the dataset and the graph. Version-1 files fail closed with
+//! [`StoreError::UnsupportedVersion`].
 //!
 //! Section `len` is the **padded** length, so the extents tile the file
-//! exactly from byte 248 to `file_len` with no gaps: every byte of the
+//! exactly from byte 280 to `file_len` with no gaps: every byte of the
 //! file is covered by exactly one checksum (header bytes by the header
 //! checksum, the stored header checksum by being compared against a
 //! recomputation, table bytes by the table checksum, payload and

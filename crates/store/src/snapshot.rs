@@ -9,9 +9,10 @@
 //! [`StoreError`]; nothing on the load path panics on untrusted bytes.
 
 use std::path::Path;
+use std::sync::Arc;
 
 use disc_graph::{GraphError, StratifiedDiskGraph};
-use disc_metric::{Dataset, Metric, ObjId};
+use disc_metric::{Dataset, IdPermutation, Metric, ObjId};
 
 use crate::cast::{as_f64s, as_u64s, AlignedBytes};
 use crate::checksum::fnv1a_64;
@@ -19,14 +20,17 @@ use crate::error::{SectionId, StoreError};
 
 /// First eight bytes of every snapshot.
 pub const MAGIC: [u8; 8] = *b"DISCSNAP";
-/// The format version this build reads and writes.
-pub const VERSION: u32 = 1;
+/// The format version this build reads and writes. Version 2 added the
+/// ext-ids section (the internal→external id permutation of renumbered
+/// snapshots); version-1 files are rejected with
+/// [`StoreError::UnsupportedVersion`] — re-encode with a current build.
+pub const VERSION: u32 = 2;
 /// Endianness sentinel: written native, read native — a snapshot from a
 /// machine with different byte order reads back as a different value.
 pub const ENDIAN_MARKER: u32 = 0x0A0B_0C0D;
 
 pub(crate) const HEADER_LEN: usize = 56;
-pub(crate) const SECTION_COUNT: usize = 6;
+pub(crate) const SECTION_COUNT: usize = 7;
 pub(crate) const TABLE_ENTRY_LEN: usize = 32;
 /// End of the section table == start of the first section payload.
 pub(crate) const TABLE_END: usize = HEADER_LEN + SECTION_COUNT * TABLE_ENTRY_LEN;
@@ -48,6 +52,7 @@ pub(crate) const SECTION_ORDER: [SectionId; SECTION_COUNT] = [
     SectionId::Offsets,
     SectionId::Neighbors,
     SectionId::Dists,
+    SectionId::ExtIds,
     SectionId::Name,
 ];
 
@@ -55,13 +60,13 @@ fn align8(len: usize) -> usize {
     len.div_ceil(8) * 8
 }
 
-/// Below this payload size the serial checksum pass beats six thread
+/// Below this payload size the serial checksum pass beats seven thread
 /// spawns — and the exhaustive bit-flip fault suite (thousands of tiny
 /// loads) stays on the serial path.
 #[cfg(feature = "parallel")]
 const PARALLEL_MIN_BYTES: usize = 1 << 20;
 
-/// Eagerly checksums all six sections on scoped threads. Returns `None`
+/// Eagerly checksums every payload section on scoped threads. Returns `None`
 /// (leaving `verify` on the lazy serial fold) when the feature is off,
 /// the payload is small, or the machine is single-core.
 #[cfg(feature = "parallel")]
@@ -158,6 +163,9 @@ pub struct SnapshotParts<'a> {
     pub neighbors: &'a [ObjId],
     /// CSR edge distances, `offsets[n]` values.
     pub dists: &'a [f64],
+    /// External id of each internal object — a permutation of `0..n`.
+    /// `None` writes the identity (an un-renumbered snapshot).
+    pub ext_ids: Option<&'a [ObjId]>,
 }
 
 /// Serialises raw snapshot parts. Rejects structurally inconsistent
@@ -188,6 +196,23 @@ pub fn encode_parts(parts: &SnapshotParts<'_>) -> Result<Vec<u8>, StoreError> {
     if !(parts.radius.is_finite() && parts.radius >= 0.0) {
         return Err(GraphError::InvalidRadius(parts.radius).into());
     }
+    if let Some(ext) = parts.ext_ids {
+        if ext.len() != n {
+            return Err(StoreError::SectionSizeMismatch {
+                section: SectionId::ExtIds,
+                expected: (n * 8) as u64,
+                found: (ext.len() * 8) as u64,
+            });
+        }
+        let mut seen = vec![false; n];
+        for &e in ext {
+            if e >= n || std::mem::replace(&mut seen[e], true) {
+                return Err(StoreError::BadLayout {
+                    detail: "external ids are not a permutation of 0..n",
+                });
+            }
+        }
+    }
 
     let name_bytes = parts.name.as_bytes();
     let payload_lens: [usize; SECTION_COUNT] = [
@@ -196,6 +221,7 @@ pub fn encode_parts(parts: &SnapshotParts<'_>) -> Result<Vec<u8>, StoreError> {
         parts.offsets.len() * 8,
         parts.neighbors.len() * 8,
         parts.dists.len() * 8,
+        n * 8,
         name_bytes.len(),
     ];
     let padded_lens = payload_lens.map(align8);
@@ -228,6 +254,14 @@ pub fn encode_parts(parts: &SnapshotParts<'_>) -> Result<Vec<u8>, StoreError> {
             SectionId::Offsets => write_usize_section(&mut buf, off, parts.offsets),
             SectionId::Neighbors => write_usize_section(&mut buf, off, parts.neighbors),
             SectionId::Dists => write_f64_section(&mut buf, off, parts.dists),
+            SectionId::ExtIds => match parts.ext_ids {
+                Some(ext) => write_usize_section(&mut buf, off, ext),
+                None => {
+                    for (j, chunk) in buf[off..off + n * 8].chunks_exact_mut(8).enumerate() {
+                        chunk.copy_from_slice(&(j as u64).to_ne_bytes());
+                    }
+                }
+            },
             SectionId::Name => buf[off..off + name_bytes.len()].copy_from_slice(name_bytes),
             SectionId::Header | SectionId::SectionTable => unreachable!("not payload sections"),
         }
@@ -260,13 +294,20 @@ fn write_usize_section(buf: &mut [u8], off: usize, values: &[usize]) {
 }
 
 /// Serialises a dataset and the stratified graph built over it.
-/// Rejects pairs that disagree on the number of objects.
+/// Rejects pairs that disagree on the number of objects or on the
+/// internal↔external id permutation (a graph must be snapshotted with
+/// the dataset it was built from).
 pub fn encode(dataset: &Dataset, graph: &StratifiedDiskGraph) -> Result<Vec<u8>, StoreError> {
     let graph_n = graph.offsets().len() - 1;
     if dataset.len() != graph_n {
         return Err(StoreError::VertexCountMismatch {
             dataset: dataset.len(),
             graph: graph_n,
+        });
+    }
+    if dataset.permutation().map(Arc::as_ref) != graph.permutation().map(Arc::as_ref) {
+        return Err(StoreError::BadLayout {
+            detail: "dataset and graph disagree on the id permutation",
         });
     }
     encode_parts(&SnapshotParts {
@@ -278,6 +319,7 @@ pub fn encode(dataset: &Dataset, graph: &StratifiedDiskGraph) -> Result<Vec<u8>,
         offsets: graph.offsets(),
         neighbors: graph.neighbors_flat(),
         dists: graph.dists_flat(),
+        ext_ids: dataset.permutation().map(|p| p.to_external()),
     })
 }
 
@@ -298,6 +340,7 @@ pub struct SnapshotView<'a> {
     offsets: &'a [u64],
     neighbors: &'a [u64],
     dists: &'a [f64],
+    ext_ids: &'a [u64],
 }
 
 fn to_usize(v: u64, what: &'static str) -> Result<usize, StoreError> {
@@ -356,7 +399,7 @@ pub fn load(bytes: &[u8]) -> Result<SnapshotView<'_>, StoreError> {
     }
     if read_u64(bytes, OFF_SECTION_COUNT) != SECTION_COUNT as u64 {
         return Err(StoreError::BadLayout {
-            detail: "section count is not 6",
+            detail: "section count is not 7",
         });
     }
     if read_u64(bytes, OFF_RESERVED) != 0 {
@@ -432,8 +475,8 @@ pub fn load(bytes: &[u8]) -> Result<SnapshotView<'_>, StoreError> {
 
     // Per-section checksums: the serial path folds each section lazily
     // inside `verify`; with the `parallel` feature and a large enough
-    // payload all six are computed eagerly on scoped threads (FNV-1a is
-    // a sequential fold, so one thread per section is the only split).
+    // payload all seven are computed eagerly on scoped threads (FNV-1a
+    // is a sequential fold, so one thread per section is the only split).
     // `verify` compares stored vs computed in the same order either
     // way, so error attribution and precedence are byte-identical.
     let precomputed = parallel_section_checksums(bytes, &extents);
@@ -499,12 +542,16 @@ pub fn load(bytes: &[u8]) -> Result<SnapshotView<'_>, StoreError> {
             .ok_or(StoreError::BadLayout {
                 detail: "offsets size overflows",
             })?;
+    let ext_ids_bytes = n_u.checked_mul(8).ok_or(StoreError::BadLayout {
+        detail: "ext ids size overflows",
+    })?;
     let expected_sizes: [u64; SECTION_COUNT] = [
         META_LEN as u64,
         coords_bytes,
         offsets_bytes,
         edges_bytes,
         edges_bytes,
+        ext_ids_bytes,
         align8(name_len) as u64,
     ];
     for (i, &expected) in expected_sizes.iter().enumerate() {
@@ -522,7 +569,8 @@ pub fn load(bytes: &[u8]) -> Result<SnapshotView<'_>, StoreError> {
     let offsets = as_u64s(verify(2)?);
     let neighbors = as_u64s(verify(3)?);
     let dists = as_f64s(verify(4)?);
-    let name_region = verify(5)?;
+    let ext_ids = as_u64s(verify(5)?);
+    let name_region = verify(6)?;
 
     let name =
         std::str::from_utf8(&name_region[..name_len]).map_err(|_| StoreError::BadLayout {
@@ -556,6 +604,19 @@ pub fn load(bytes: &[u8]) -> Result<SnapshotView<'_>, StoreError> {
         });
     }
 
+    // Ext-ids semantics: a permutation of 0..n. (Whether it is the
+    // identity only matters at materialisation time, where the identity
+    // normalises away.)
+    let mut seen = vec![false; n];
+    for &e in ext_ids {
+        let idx = to_usize(e, "external id exceeds usize")?;
+        if idx >= n || std::mem::replace(&mut seen[idx], true) {
+            return Err(StoreError::BadLayout {
+                detail: "external ids are not a permutation of 0..n",
+            });
+        }
+    }
+
     Ok(SnapshotView {
         name,
         metric,
@@ -567,6 +628,7 @@ pub fn load(bytes: &[u8]) -> Result<SnapshotView<'_>, StoreError> {
         offsets,
         neighbors,
         dists,
+        ext_ids,
     })
 }
 
@@ -630,18 +692,43 @@ impl<'a> SnapshotView<'a> {
         self.dists
     }
 
+    /// External id of each internal object as stored (u64), borrowed
+    /// from the snapshot bytes. Guaranteed to be a permutation of
+    /// `0..len` (the identity for un-renumbered snapshots).
+    pub fn ext_ids_raw(&self) -> &'a [u64] {
+        self.ext_ids
+    }
+
+    /// Materialises the stored internal↔external id bijection; `None`
+    /// when the stored ids are the identity.
+    pub fn permutation(&self) -> Result<Option<Arc<IdPermutation>>, StoreError> {
+        let mut ext = Vec::with_capacity(self.ext_ids.len());
+        for &v in self.ext_ids {
+            ext.push(to_usize(v, "external id exceeds usize")?);
+        }
+        match IdPermutation::try_new(ext) {
+            Ok(p) if p.is_identity() => Ok(None),
+            Ok(p) => Ok(Some(Arc::new(p))),
+            // load() already proved the permutation property; an empty
+            // snapshot (n == 0) is the only way to get here.
+            Err(_) => Ok(None),
+        }
+    }
+
     /// Materialises the stored dataset, re-running [`Dataset`]'s own
     /// construction validation (rejects `n == 0` snapshots and
-    /// non-finite coordinates with a typed error).
+    /// non-finite coordinates with a typed error), with the stored id
+    /// permutation attached.
     pub fn dataset(&self) -> Result<Dataset, StoreError> {
-        Dataset::try_from_flat(self.name, self.metric, self.dim, self.coords.to_vec())
-            .map_err(Into::into)
+        let data = Dataset::try_from_flat(self.name, self.metric, self.dim, self.coords.to_vec())?;
+        Ok(data.with_permutation(self.permutation()?))
     }
 
     /// Materialises the stored graph through
     /// [`StratifiedDiskGraph::from_csr_parts`], which re-validates every
     /// structural invariant (row order, neighbor range, self-loops,
-    /// distance range) and fails closed on violation.
+    /// distance range) and fails closed on violation; the stored id
+    /// permutation is attached to the result.
     pub fn graph(&self) -> Result<StratifiedDiskGraph, StoreError> {
         let mut offsets = Vec::with_capacity(self.offsets.len());
         for &v in self.offsets {
@@ -651,15 +738,24 @@ impl<'a> SnapshotView<'a> {
         for &v in self.neighbors {
             neighbors.push(to_usize(v, "neighbor id exceeds usize")?);
         }
-        StratifiedDiskGraph::from_csr_parts(self.radius, offsets, neighbors, self.dists.to_vec())
-            .map_err(Into::into)
+        let g = StratifiedDiskGraph::from_csr_parts(
+            self.radius,
+            offsets,
+            neighbors,
+            self.dists.to_vec(),
+        )?;
+        Ok(g.with_permutation(self.permutation()?))
     }
 }
 
 /// Validates `bytes` and materialises both stored values in one step.
+/// Dataset and graph share one [`IdPermutation`] allocation.
 pub fn decode(bytes: &[u8]) -> Result<(Dataset, StratifiedDiskGraph), StoreError> {
     let view = load(bytes)?;
-    Ok((view.dataset()?, view.graph()?))
+    let perm = view.permutation()?;
+    let dataset = view.dataset()?.with_permutation(perm.clone());
+    let graph = view.graph()?.with_permutation(perm);
+    Ok((dataset, graph))
 }
 
 /// Encodes and writes a snapshot to `path`, returning the byte length

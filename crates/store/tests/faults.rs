@@ -60,9 +60,10 @@ fn section_extents(data: &Dataset, graph: &StratifiedDiskGraph) -> Vec<(SectionI
         (SectionId::Offsets, (n + 1) * 8),
         (SectionId::Neighbors, e * 8),
         (SectionId::Dists, e * 8),
+        (SectionId::ExtIds, n * 8),
         (SectionId::Name, align8(data.name().len())),
     ];
-    let mut off = 248;
+    let mut off = 280;
     lens.map(|(s, len)| {
         let extent = (s, off, len);
         off += len;
@@ -133,7 +134,7 @@ fn every_single_bit_flip_is_detected_and_mapped() {
     let owner = |offset: usize| -> SectionId {
         match offset {
             0..=55 => SectionId::Header,
-            56..=247 => SectionId::SectionTable,
+            56..=279 => SectionId::SectionTable,
             _ => {
                 extents
                     .iter()
@@ -210,6 +211,7 @@ fn zeroed_checksums_are_rejected_per_section() {
         SectionId::Offsets,
         SectionId::Neighbors,
         SectionId::Dists,
+        SectionId::ExtIds,
         SectionId::Name,
     ] {
         assert_ne!(stored_checksum(&bytes, section), 0, "{section}");
@@ -259,8 +261,8 @@ fn tamper_sealed(bytes: &[u8], offset: usize, value: u64) -> Vec<u8> {
     out[offset..offset + 8].copy_from_slice(&value.to_ne_bytes());
     // Re-seal the owning section's stored checksum, then table, then
     // header (layout documented in the crate docs).
-    let mut start = 248usize;
-    for entry in 0..6usize {
+    let mut start = 280usize;
+    for entry in 0..7usize {
         let e = 56 + entry * 32;
         let mut len8 = [0u8; 8];
         len8.copy_from_slice(&out[e + 16..e + 24]);
@@ -271,7 +273,7 @@ fn tamper_sealed(bytes: &[u8], offset: usize, value: u64) -> Vec<u8> {
         }
         start += len;
     }
-    let table = fnv1a_64(&out[56..248]);
+    let table = fnv1a_64(&out[56..280]);
     out[40..48].copy_from_slice(&table.to_ne_bytes());
     let header = fnv1a_64(&out[..48]);
     out[48..56].copy_from_slice(&header.to_ne_bytes());
@@ -327,6 +329,18 @@ fn crafted_semantic_damage_is_rejected_with_typed_errors() {
         view.dataset().expect_err("NaN coordinate"),
         StoreError::InvalidDataset(disc_metric::DatasetError::NonFinite { id: 0, dim: 0, .. })
     ));
+
+    // Duplicate external id: rejected at load, before materialisation.
+    let (ext_off, _) = extent(SectionId::ExtIds);
+    let mut first8 = [0u8; 8];
+    first8.copy_from_slice(&bytes[ext_off + 8..ext_off + 16]);
+    let damaged = tamper_sealed(&bytes, ext_off, u64::from_ne_bytes(first8));
+    assert_eq!(
+        load_copy(&damaged).expect_err("duplicate external id"),
+        StoreError::BadLayout {
+            detail: "external ids are not a permutation of 0..n"
+        }
+    );
 
     // Out-of-range distance: graph materialisation fails closed.
     let (dists_off, _) = extent(SectionId::Dists);

@@ -27,6 +27,7 @@ fn big_snapshot() -> Vec<u8> {
         offsets: &offsets,
         neighbors: &[],
         dists: &[],
+        ext_ids: None,
     };
     match encode_parts(&parts) {
         Ok(b) => b,
@@ -61,15 +62,18 @@ fn clean_large_snapshot_loads() {
 fn large_snapshot_bit_flips_name_the_owning_section() {
     let bytes = big_snapshot();
     // Offsets computed from the documented layout: payloads start at
-    // 248, meta is 48 bytes, coords n*dim*8, offsets (n+1)*8.
-    let coords_off = 248 + 48;
+    // 280, meta is 48 bytes, coords n*dim*8, offsets (n+1)*8; neighbors
+    // and dists are empty, ext ids n*8.
+    let coords_off = 280 + 48;
     let offsets_off = coords_off + 20_000 * 8 * 8;
-    let neighbors_off = offsets_off + 20_001 * 8;
+    let ext_off = offsets_off + 20_001 * 8;
+    let name_off = ext_off + 20_000 * 8;
     for (section, offset) in [
-        (SectionId::Meta, 248 + 7),
+        (SectionId::Meta, 280 + 7),
         (SectionId::Coords, coords_off + 500_000),
         (SectionId::Offsets, offsets_off + 160_000),
-        (SectionId::Name, neighbors_off + 3),
+        (SectionId::ExtIds, ext_off + 80_000),
+        (SectionId::Name, name_off + 3),
     ] {
         let bad = corrupt(&bytes, Fault::BitFlip { offset, bit: 2 });
         match load_copy(&bad) {

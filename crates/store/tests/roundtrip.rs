@@ -121,6 +121,7 @@ fn empty_snapshot_round_trips_via_raw_parts() {
             offsets: &[0],
             neighbors: &[],
             dists: &[],
+            ext_ids: None,
         })
         .expect("n = 0 encodes");
         let view = load(&bytes).expect("n = 0 loads");
@@ -144,10 +145,57 @@ fn empty_snapshot_round_trips_via_raw_parts() {
             offsets: graph.offsets(),
             neighbors: graph.neighbors_flat(),
             dists: graph.dists_flat(),
+            ext_ids: None,
         })
         .expect("re-encode");
         assert_eq!(bytes2, bytes);
     }
+}
+
+#[test]
+fn renumbered_pair_round_trips_with_its_permutation() {
+    // A leaf-order renumbered build must persist its internal↔external
+    // bijection and load it back onto both values, byte-identically.
+    let data = Dataset::new(
+        "renum",
+        Metric::Euclidean,
+        (0..30)
+            .map(|i| point(Metric::Euclidean, (i * 7 % 30) as f64 * 0.1))
+            .collect(),
+    );
+    let tree = MTree::build(&data, MTreeConfig::with_capacity(4));
+    let order = tree.objects_in_leaf_order_uncounted();
+    let data2 = data.renumbered(&order);
+    let tree2 = tree.relabeled(&data2, &order);
+    let graph2 = StratifiedDiskGraph::from_mtree(&tree2, 0.8);
+    assert!(data2.permutation().is_some(), "corpus must not be identity");
+    assert_eq!(data2.permutation(), graph2.permutation());
+
+    assert_round_trip(&data2, &graph2);
+    let bytes = encode(&data2, &graph2).expect("encode");
+    let view = load(&bytes).expect("load");
+    assert_eq!(
+        view.ext_ids_raw(),
+        data2
+            .permutation()
+            .expect("perm present")
+            .to_external()
+            .iter()
+            .map(|&e| e as u64)
+            .collect::<Vec<_>>()
+            .as_slice()
+    );
+    let (data3, graph3) = decode(&bytes).expect("decode");
+    assert_eq!(data3.permutation(), data2.permutation());
+    assert_eq!(graph3.permutation(), graph2.permutation());
+
+    // Mismatched pairings fail closed at encode time.
+    assert_eq!(
+        encode(&data, &graph2).expect_err("perm mismatch"),
+        StoreError::BadLayout {
+            detail: "dataset and graph disagree on the id permutation"
+        }
+    );
 }
 
 #[test]
@@ -161,6 +209,7 @@ fn encode_parts_rejects_inconsistent_parts() {
         offsets: &[0, 0],
         neighbors: &[],
         dists: &[],
+        ext_ids: None,
     };
     assert!(matches!(
         encode_parts(&parts).expect_err("NaN radius"),
@@ -176,6 +225,7 @@ fn encode_parts_rejects_inconsistent_parts() {
         offsets: &[0, 0],
         neighbors: &[],
         dists: &[],
+        ext_ids: None,
     };
     assert!(matches!(
         encode_parts(&parts).expect_err("ragged coords"),
@@ -191,6 +241,7 @@ fn encode_parts_rejects_inconsistent_parts() {
         offsets: &[0, 2],
         neighbors: &[0],
         dists: &[0.0],
+        ext_ids: None,
     };
     assert!(matches!(
         encode_parts(&parts).expect_err("short edge arrays"),
