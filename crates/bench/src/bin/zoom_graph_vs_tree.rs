@@ -41,7 +41,11 @@
 //!    validator;
 //! 8. the hardened serving core loses hash parity with the in-process
 //!    runners, drops a request from its counters, or fails to
-//!    shed/degrade under deliberate saturation (`serve` section).
+//!    shed/degrade under deliberate saturation (`serve` section);
+//! 9. streaming mutations on the loaded catalog diverge from a
+//!    from-scratch rebuild over the final object set, or one insert
+//!    stops beating one full rebuild by at least 10×
+//!    (`streaming` section).
 //!
 //! Usage: `cargo run --release -p disc-bench --bin zoom_graph_vs_tree
 //! [-- <output-path>]` (default `BENCH_zoom_graph.json`). `GRAPH_N`
@@ -50,8 +54,8 @@
 //! parallel side's worker/shard count (CI runs a 1/2/3/8 matrix).
 
 use disc_bench::{
-    measure_serve, measure_store, measure_zoom_graph_vs_tree, self_join_threads_from_env,
-    BENCH_SEED,
+    measure_serve, measure_store, measure_streaming, measure_zoom_graph_vs_tree,
+    self_join_threads_from_env, BENCH_SEED,
 };
 use disc_core::{
     greedy_disc, greedy_disc_graph, greedy_zoom_in_graph, greedy_zoom_out, multi_radius_basic_disc,
@@ -294,15 +298,44 @@ fn main() {
         serve.shed
     );
 
+    // Streaming mutation gate: per-insert catalog maintenance on the
+    // loaded graph must answer identically to a from-scratch rebuild
+    // over the final object set and beat that rebuild at least 10× per
+    // insert.
+    let streaming = measure_streaming(
+        &_loaded_data,
+        &loaded_graph,
+        if smoke { 32 } else { 64 },
+        if smoke { 16 } else { 32 },
+        TARGETS[1],
+    );
+    assert!(
+        streaming.gate(),
+        "streaming gate failed (rebuild-beating 10x + rebuild parity): {}",
+        streaming.to_json()
+    );
+    eprintln!(
+        "  streaming: {} inserts at {:.3}ms each vs rebuild {:.1}ms \
+         ({:.0}x), {} deletes in {:.1}ms, rebuild parity: ok",
+        streaming.inserts,
+        streaming.per_insert_ms(),
+        streaming.rebuild_ms,
+        streaming.speedup(),
+        streaming.deletes,
+        streaming.delete_total_ms
+    );
+
     let json = format!(
         "{{\n  \"workload\": {{\"dataset\": \"clustered\", \"n\": {n}, \"dim\": 2, \
          \"clusters\": 8, \"seed\": {BENCH_SEED}, \"smoke\": {smoke}}},\n\
          \x20 \"zoom_graph\": {},\n\
          \x20 \"store\": {},\n\
-         \x20 \"serve\": {}\n}}\n",
+         \x20 \"serve\": {},\n\
+         \x20 \"streaming\": {}\n}}\n",
         m.to_json(),
         store.to_json(),
-        serve.to_json()
+        serve.to_json(),
+        streaming.to_json()
     );
     std::fs::write(&out_path, &json).expect("write zoom-graph report");
     eprintln!("zoom_graph_vs_tree: wrote {out_path}; all gates passed");

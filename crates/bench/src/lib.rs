@@ -28,8 +28,8 @@ use disc_core::{
     GreedyVariant,
 };
 use disc_datasets::synthetic::{clustered, uniform};
-use disc_graph::{StratifiedDiskGraph, UnitDiskGraph};
-use disc_metric::Dataset;
+use disc_graph::{StratifiedDiskGraph, StreamingCatalog, UnitDiskGraph};
+use disc_metric::{Dataset, IdPermutation};
 use disc_mtree::{MTree, MTreeConfig, SelfJoinConfig};
 
 /// Seed shared by all bench datasets.
@@ -777,13 +777,9 @@ pub fn measure_serve(
     flood_half: usize,
 ) -> ServeBench {
     assert!(radii.len() >= 2, "serve bench needs two radii");
-    let state = Arc::new(ServeState {
-        name: data.name().to_string(),
-        metric: data.metric(),
-        n: data.len(),
-        r_max: graph.radius(),
-        graph: graph.clone(),
-    });
+    let catalog = StreamingCatalog::try_new(data.clone(), graph.clone())
+        .expect("bench dataset/graph pair is consistent");
+    let state = ServeState::from_catalog(catalog);
     let expected: Vec<u64> = radii
         .iter()
         .map(|&r| solution_hash(&greedy_disc_graph(&graph.view(r).to_unit_disk_graph()).solution))
@@ -874,6 +870,151 @@ pub fn measure_serve(
         degraded: overload_snap.degraded,
         shed: overload_snap.shed,
         overload_consistent: overload_snap.is_consistent(),
+    }
+}
+
+/// One streaming-mutation measurement (the `streaming` section of
+/// `BENCH_zoom_graph.json`): per-insert catalog-maintenance latency
+/// against a full from-scratch rebuild of the stratified graph over
+/// the final object set, plus solution parity of the mutated catalog
+/// against that rebuild.
+pub struct StreamingBench {
+    /// Live objects before the mutations.
+    pub n: usize,
+    /// Points inserted.
+    pub inserts: usize,
+    /// Objects deleted.
+    pub deletes: usize,
+    /// Wall-clock of all inserts (ms).
+    pub insert_total_ms: f64,
+    /// Wall-clock of all deletes (ms).
+    pub delete_total_ms: f64,
+    /// Wall-clock of one from-scratch rebuild over the final object
+    /// set (M-tree build + self-join + CSR assembly), ms.
+    pub rebuild_ms: f64,
+    /// Distance computations charged by the mutation layer (exactly
+    /// `n` per insert, none per delete).
+    pub mutation_dc: u64,
+    /// Whether greedy solutions over the mutated catalog equal the
+    /// from-scratch rebuild at the probe radius (external ids).
+    pub solutions_match: bool,
+}
+
+impl StreamingBench {
+    /// Mean wall-clock per insert.
+    pub fn per_insert_ms(&self) -> f64 {
+        self.insert_total_ms / self.inserts.max(1) as f64
+    }
+
+    /// How many times cheaper one insert is than one full rebuild.
+    pub fn speedup(&self) -> f64 {
+        self.rebuild_ms / self.per_insert_ms()
+    }
+
+    /// The CI streaming gate: the mutated catalog answers like a
+    /// rebuild, and one insert beats one rebuild by at least 10×.
+    pub fn gate(&self) -> bool {
+        self.solutions_match && self.speedup() >= 10.0
+    }
+
+    /// The `streaming` JSON object of `BENCH_zoom_graph.json` (no
+    /// serde in the environment; a non-finite speedup serialises as
+    /// `null`).
+    pub fn to_json(&self) -> String {
+        let speedup = if self.speedup().is_finite() {
+            format!("{:.1}", self.speedup())
+        } else {
+            "null".to_string()
+        };
+        format!(
+            "{{\"n\": {}, \"inserts\": {}, \"deletes\": {}, \
+             \"insert_total_ms\": {:.3}, \"per_insert_ms\": {:.5}, \
+             \"delete_total_ms\": {:.3}, \"rebuild_ms\": {:.3}, \
+             \"speedup\": {speedup}, \"mutation_distance_computations\": {}, \
+             \"solutions_match\": {}, \"gate\": {}}}",
+            self.n,
+            self.inserts,
+            self.deletes,
+            self.insert_total_ms,
+            self.per_insert_ms(),
+            self.delete_total_ms,
+            self.rebuild_ms,
+            self.mutation_dc,
+            self.solutions_match,
+            self.gate()
+        )
+    }
+}
+
+/// Measures the streaming mutation layer over `graph`: `inserts`
+/// point insertions (duplicating existing coordinates, the worst case
+/// for edge splicing density) and `deletes` removals, timed against
+/// one from-scratch rebuild of the stratified graph over the final
+/// object set through the production M-tree self-join pipeline. The
+/// probe at `radius` pins that the mutated catalog and the rebuild
+/// select identical external ids.
+pub fn measure_streaming(
+    data: &Dataset,
+    graph: &StratifiedDiskGraph,
+    inserts: usize,
+    deletes: usize,
+    radius: f64,
+) -> StreamingBench {
+    let n = data.len();
+    assert!(deletes < n, "streaming bench must leave live objects");
+    let mut catalog = StreamingCatalog::try_new(data.clone(), graph.clone())
+        .expect("bench dataset/graph pair is consistent");
+    let dim = data.dim();
+
+    let t = Instant::now();
+    for i in 0..inserts {
+        let v = (i * 31) % n;
+        let coords = data.flat_coords()[v * dim..(v + 1) * dim].to_vec();
+        catalog.insert(&coords).expect("in-range insert");
+    }
+    let insert_total_ms = t.elapsed().as_secs_f64() * 1_000.0;
+
+    let t = Instant::now();
+    for ext in 0..deletes {
+        catalog.remove_external(ext).expect("live id");
+    }
+    let delete_total_ms = t.elapsed().as_secs_f64() * 1_000.0;
+    let mutation_dc = catalog.distance_computations();
+
+    // The alternative the mutation layer replaces: a full rebuild over
+    // the final object set through the production pipeline.
+    let t = Instant::now();
+    let perm =
+        IdPermutation::try_new_sparse(catalog.live_externals()).expect("live ids are unique");
+    let rebuilt_data = Dataset::from_flat(
+        "rebuild",
+        catalog.data().metric(),
+        catalog.data().dim(),
+        catalog.data().flat_coords().to_vec(),
+    )
+    .with_permutation(Some(Arc::new(perm)));
+    let tree = MTree::build(&rebuilt_data, MTreeConfig::default());
+    let rebuilt = StratifiedDiskGraph::from_mtree_checked(
+        &tree,
+        graph.radius(),
+        SelfJoinConfig::with_threads(self_join_threads_from_env().unwrap_or(0)),
+        None,
+    )
+    .expect("self-join over a clean dataset");
+    let rebuild_ms = t.elapsed().as_secs_f64() * 1_000.0;
+
+    let mine = greedy_disc_graph(&catalog.graph().view(radius).to_unit_disk_graph());
+    let scratch = greedy_disc_graph(&rebuilt.view(radius).to_unit_disk_graph());
+
+    StreamingBench {
+        n,
+        inserts,
+        deletes,
+        insert_total_ms,
+        delete_total_ms,
+        rebuild_ms,
+        mutation_dc,
+        solutions_match: mine.solution == scratch.solution,
     }
 }
 
@@ -1066,6 +1207,21 @@ mod tests {
         assert!(m.degraded > 0, "saturated pool never served degraded");
         assert!(m.shed > 0, "saturated pool never shed");
         assert!(m.parity(), "{}", m.to_json());
+    }
+
+    #[test]
+    fn streaming_measurement_matches_rebuild_and_beats_it() {
+        let d = bench_clustered(2_000);
+        let g = StratifiedDiskGraph::build(&d, 0.08);
+        let m = measure_streaming(&d, &g, 32, 16, 0.04);
+        assert_eq!(m.n, 2_000);
+        assert!(m.solutions_match, "mutated catalog diverged from rebuild");
+        assert!(m.mutation_dc >= (32 * 2_000) as u64, "exact insert charge");
+        assert!(
+            m.gate(),
+            "per-insert must beat a full rebuild 10x: {}",
+            m.to_json()
+        );
     }
 
     #[test]

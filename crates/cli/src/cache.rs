@@ -1,11 +1,12 @@
 //! Small per-radius solution cache behind the degraded serving mode.
 //!
-//! A DisC solution is a pure function of (snapshot, radius), so a
-//! cached solution is never stale while the process serves one
-//! snapshot. The cache exists for one reason: when the admission queue
-//! is saturated, a zoom at a radius the pool has already answered can
-//! still be served — degraded in freshness of *latency statistics*,
-//! never in correctness — instead of being shed.
+//! A DisC solution is a pure function of (catalog state, radius), so a
+//! cached solution is exact for as long as the catalog it was computed
+//! against stays unmutated. The cache exists for one reason: when the
+//! admission queue is saturated, a zoom at a radius the pool has
+//! already answered can still be served — degraded in freshness of
+//! *latency statistics*, never in cover validity — instead of being
+//! shed.
 //!
 //! Fixed capacity, least-recently-used eviction, keyed by the exact
 //! radius bit pattern (serving `zoom r=0.05` twice is the common case;
@@ -13,6 +14,24 @@
 //! alias) — except that `-0.0` keys as `0.0`, because the two compare
 //! equal and select identical solutions, so letting their bit patterns
 //! diverge would cache the same answer twice under different keys.
+//!
+//! # Mutations and the generation counter
+//!
+//! `insert`/`delete` requests mutate the catalog underneath the cache.
+//! Two staleness channels exist and both are closed here:
+//!
+//! * **resident entries** — the mutating worker calls
+//!   [`SolutionCache::invalidate_if`] (while it still holds the catalog
+//!   write lock) to drop exactly the radii whose cached cover the
+//!   mutation broke;
+//! * **in-flight solves** — a zoom computed against the pre-mutation
+//!   catalog must not be inserted afterwards. Every mutation advances a
+//!   monotonic *generation*; solvers capture
+//!   [`SolutionCache::generation`] before taking the catalog read lock
+//!   and publish through [`SolutionCache::put_if_current`], which drops
+//!   the value when any mutation intervened. Conservative (a still-valid
+//!   solution may be discarded), never unsound (a stale one can never
+//!   enter).
 
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -30,7 +49,7 @@ fn radius_key(radius: f64) -> u64 {
 pub struct CachedSolution {
     /// Radius the solution was computed for.
     pub radius: f64,
-    /// Selected objects in selection order.
+    /// Selected objects (external ids) in selection order.
     pub solution: Vec<ObjId>,
     /// FNV-1a 64 over the solution ids (little-endian), the wire hash.
     pub hash: u64,
@@ -41,11 +60,19 @@ struct Entry {
     value: Arc<CachedSolution>,
 }
 
-/// Fixed-capacity LRU map from radius bits to a shared solution.
-pub struct SolutionCache {
+/// Everything the one mutex guards: the recency-ordered entries plus
+/// the mutation generation, so an invalidation and its generation bump
+/// are observed atomically.
+struct Inner {
     // Recency-ordered: last entry is the most recently used. Linear
     // scan is exact and fast at the intended capacity (tens).
-    entries: Mutex<Vec<Entry>>,
+    entries: Vec<Entry>,
+    generation: u64,
+}
+
+/// Fixed-capacity LRU map from radius bits to a shared solution.
+pub struct SolutionCache {
+    inner: Mutex<Inner>,
     capacity: usize,
 }
 
@@ -53,46 +80,93 @@ impl SolutionCache {
     /// A cache holding at most `capacity` radii; zero disables caching.
     pub fn new(capacity: usize) -> Self {
         Self {
-            entries: Mutex::new(Vec::with_capacity(capacity)),
+            inner: Mutex::new(Inner {
+                entries: Vec::with_capacity(capacity),
+                generation: 0,
+            }),
             capacity,
         }
     }
 
-    fn lock(&self) -> MutexGuard<'_, Vec<Entry>> {
-        self.entries.lock().unwrap_or_else(|p| p.into_inner())
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
     }
 
     /// The cached solution for exactly `radius`, refreshing its
     /// recency.
     pub fn get(&self, radius: f64) -> Option<Arc<CachedSolution>> {
         let key = radius_key(radius);
-        let mut entries = self.lock();
-        let pos = entries.iter().position(|e| e.key == key)?;
-        let entry = entries.remove(pos);
+        let mut inner = self.lock();
+        let pos = inner.entries.iter().position(|e| e.key == key)?;
+        let entry = inner.entries.remove(pos);
         let value = Arc::clone(&entry.value);
-        entries.push(entry);
+        inner.entries.push(entry);
         Some(value)
     }
 
-    /// Inserts (or refreshes) the solution for `radius`, evicting the
+    /// The current mutation generation. Capture it *before* taking the
+    /// catalog read lock, and hand it back to
+    /// [`SolutionCache::put_if_current`].
+    pub fn generation(&self) -> u64 {
+        self.lock().generation
+    }
+
+    /// Inserts (or refreshes) the solution for its radius, evicting the
     /// least recently used entry when full.
     pub fn put(&self, value: Arc<CachedSolution>) {
+        self.lock_and_put(value);
+    }
+
+    /// [`SolutionCache::put`], but only if no mutation has advanced the
+    /// generation past `observed` since the solve began. Returns
+    /// whether the value was kept.
+    pub fn put_if_current(&self, observed: u64, value: Arc<CachedSolution>) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        let mut inner = self.lock();
+        if inner.generation != observed {
+            return false;
+        }
+        Self::insert_locked(&mut inner, self.capacity, value);
+        true
+    }
+
+    fn lock_and_put(&self, value: Arc<CachedSolution>) {
         if self.capacity == 0 {
             return;
         }
+        let mut inner = self.lock();
+        Self::insert_locked(&mut inner, self.capacity, value);
+    }
+
+    fn insert_locked(inner: &mut Inner, capacity: usize, value: Arc<CachedSolution>) {
         let key = radius_key(value.radius);
-        let mut entries = self.lock();
-        if let Some(pos) = entries.iter().position(|e| e.key == key) {
-            entries.remove(pos);
-        } else if entries.len() >= self.capacity {
-            entries.remove(0);
+        if let Some(pos) = inner.entries.iter().position(|e| e.key == key) {
+            inner.entries.remove(pos);
+        } else if inner.entries.len() >= capacity {
+            inner.entries.remove(0);
         }
-        entries.push(Entry { key, value });
+        inner.entries.push(Entry { key, value });
+    }
+
+    /// Drops every entry `stale` flags and advances the generation —
+    /// one atomic step, called by a mutating worker while it still
+    /// holds the catalog write lock. Returns how many entries were
+    /// dropped. The generation advances even when nothing matched,
+    /// because in-flight solves against the pre-mutation catalog are
+    /// stale regardless of what was resident.
+    pub fn invalidate_if(&self, stale: impl Fn(&CachedSolution) -> bool) -> usize {
+        let mut inner = self.lock();
+        inner.generation += 1;
+        let before = inner.entries.len();
+        inner.entries.retain(|e| !stale(&e.value));
+        before - inner.entries.len()
     }
 
     /// Number of cached radii.
     pub fn len(&self) -> usize {
-        self.lock().len()
+        self.lock().entries.len()
     }
 
     /// Whether the cache is empty.
@@ -153,5 +227,37 @@ mod tests {
         cache.put(entry(0.1));
         assert!(cache.get(0.1).is_none());
         assert!(cache.is_empty());
+        assert!(!cache.put_if_current(cache.generation(), entry(0.1)));
+    }
+
+    #[test]
+    fn invalidate_if_drops_exactly_the_flagged_radii() {
+        let cache = SolutionCache::new(4);
+        cache.put(entry(0.1));
+        cache.put(entry(0.2));
+        cache.put(entry(0.3));
+        let dropped = cache.invalidate_if(|c| c.radius > 0.15);
+        assert_eq!(dropped, 2);
+        assert!(cache.get(0.1).is_some());
+        assert!(cache.get(0.2).is_none());
+        assert!(cache.get(0.3).is_none());
+    }
+
+    #[test]
+    fn stale_generation_puts_are_rejected() {
+        let cache = SolutionCache::new(4);
+        let observed = cache.generation();
+        assert!(cache.put_if_current(observed, entry(0.1)));
+        // A mutation intervenes: the old observation no longer admits.
+        let dropped = cache.invalidate_if(|_| false);
+        assert_eq!(dropped, 0, "nothing was flagged");
+        assert!(
+            !cache.put_if_current(observed, entry(0.2)),
+            "a solve that began before the mutation must not publish"
+        );
+        assert!(cache.get(0.2).is_none());
+        // A fresh observation admits again.
+        assert!(cache.put_if_current(cache.generation(), entry(0.2)));
+        assert!(cache.get(0.2).is_some());
     }
 }

@@ -9,7 +9,7 @@
 //! `neighbors`, `dists`, `name`), the header diagnosis, and a final
 //! `verdict:` line a script can grep.
 
-use disc_store::{SectionCheck, SnapshotReport, ENDIAN_MARKER, VERSION};
+use disc_store::{SectionCheck, SnapshotReport, ENDIAN_MARKER, STREAM_VERSION, VERSION};
 
 fn render_check(check: &SectionCheck) -> String {
     let status = match check.computed {
@@ -44,8 +44,11 @@ pub fn render(label: &str, report: &SnapshotReport) -> String {
     ));
     match report.version {
         Some(v) if v == VERSION => out.push_str(&format!("version:  {v} (supported)\n")),
+        Some(v) if v == STREAM_VERSION => {
+            out.push_str(&format!("version:  {v} (supported, streaming)\n"))
+        }
         Some(v) => out.push_str(&format!(
-            "version:  {v} (UNSUPPORTED, this build reads {VERSION})\n"
+            "version:  {v} (UNSUPPORTED, this build reads {VERSION} and {STREAM_VERSION})\n"
         )),
         None => out.push_str("version:  unreadable (header missing)\n"),
     }

@@ -11,7 +11,7 @@
 
 use std::fmt;
 
-use disc_graph::GraphError;
+use disc_graph::{GraphError, StreamError};
 use disc_metric::{Cancelled, DatasetError};
 use disc_mtree::JoinError;
 use disc_store::StoreError;
@@ -142,6 +142,26 @@ impl From<JoinError> for CliError {
     }
 }
 
+impl From<StreamError> for CliError {
+    /// Streaming-mutation failures fold into the existing exit-code
+    /// families: the graph/dataset layers keep their codes, a delete of
+    /// an id that is not live is the operator's mistake (usage, exit
+    /// 2), and a dataset/graph disagreement means the persisted state
+    /// itself is unusable (the corrupt-snapshot family, exit 3).
+    fn from(e: StreamError) -> Self {
+        match e {
+            StreamError::Graph(e) => Self::Graph(e),
+            StreamError::Dataset(e) => Self::Dataset(e),
+            StreamError::UnknownExternalId { id } => Self::Usage(format!(
+                "external id {id} is not live (tombstoned or never assigned)"
+            )),
+            StreamError::Inconsistent { what } => {
+                Self::Store(StoreError::BadLayout { detail: what })
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,6 +188,29 @@ mod tests {
         assert_eq!(
             CliError::Graph(GraphError::Cancelled).exit_code(),
             EXIT_CANCELLED
+        );
+    }
+
+    #[test]
+    fn stream_errors_fold_into_existing_families() {
+        assert_eq!(
+            CliError::from(StreamError::UnknownExternalId { id: 7 }).exit_code(),
+            EXIT_USAGE
+        );
+        assert_eq!(
+            CliError::from(StreamError::Inconsistent {
+                what: "object count"
+            })
+            .exit_code(),
+            EXIT_CORRUPT
+        );
+        assert_eq!(
+            CliError::from(StreamError::Graph(GraphError::InvalidRadius(-1.0))).exit_code(),
+            EXIT_GRAPH
+        );
+        assert_eq!(
+            CliError::from(StreamError::Dataset(DatasetError::Empty)).exit_code(),
+            EXIT_DATASET
         );
     }
 

@@ -15,7 +15,7 @@
 //! |---------------|----------------------------------------------------------------|
 //! | `disc build`  | generate a synthetic dataset, materialise the stratified disk graph at `--radius`, write one snapshot file |
 //! | `disc zoom`   | open a snapshot, solve one radius (`--radius`) or a descending chain (`--radii`), print one JSON line per radius |
-//! | `disc serve`  | open a snapshot once, then serve zoom/sweep requests from stdin on a fixed worker pool, JSON replies on stdout |
+//! | `disc serve`  | open a snapshot once, then serve zoom/sweep requests and `insert`/`delete` mutations from stdin on a fixed worker pool, JSON replies on stdout |
 //! | `disc doctor` | non-fail-fast triage of a snapshot file: per-section checksum report, truncation point, version/endianness diagnosis, and the exact accept/reject verdict serving would reach |
 //!
 //! ## Exit codes (stable; scripts may depend on them)
@@ -69,6 +69,8 @@
 //! id=2 sweep radii=0.2,0.1,0.05
 //! id=3 sleep ms=40
 //! id=4 panic
+//! id=5 insert coords=0.31,0.62
+//! id=6 delete ext=17
 //! stats
 //! quit
 //! ```
@@ -78,6 +80,24 @@
 //! hash for the same snapshot and radius because both paths call the
 //! same graph-resident runners — served answers are byte-identical to
 //! in-process ones by construction.
+//!
+//! ## Streaming mutations
+//!
+//! `insert coords=<c1,...>` adds one point to the live catalog (next
+//! never-reused external id, exactly n distance computations to splice
+//! its edges); `delete ext=<id>` tombstones an external id forever.
+//! Both reply `{"status":"ok","external":…,"neighbors":…,"n":…,
+//! "invalidated":…}` where `invalidated` counts the per-radius cache
+//! entries dropped — only the radii whose cached cover the mutation
+//! broke are invalidated (an insert covered by a cached solution, or a
+//! delete of a non-selected object, keeps the entry). Surviving
+//! entries stay valid DisC covers of the mutated catalog under the
+//! same bounded-drift contract as [`disc_core::RepairableSolution`];
+//! an unknown/tombstoned `ext` is a usage error reply. A mutated
+//! catalog persists as a **version-3** snapshot (`next_external` + the
+//! sorted tombstone list + explicit external ids appended to the v2
+//! layout); dense catalogs keep writing byte-identical v2 files, and
+//! both versions load for serving.
 //!
 //! ## Doctor output
 //!

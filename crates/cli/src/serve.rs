@@ -22,9 +22,14 @@
 //! admitted  == completed + cancelled + panicked + failed
 //! ```
 //!
-//! Deadline-expired requests land in `cancelled` whether they expired
-//! in the queue or mid-scan; a panicking request lands in `panicked`
-//! and kills nothing else.
+//! Deadline-expired requests land in `cancelled` whether they were born
+//! expired at submit, expired in the queue, or expired mid-scan; a
+//! panicking request lands in `panicked` and kills nothing else.
+//!
+//! The streaming verbs `insert` and `delete` ride the same queue:
+//! mutations are admitted like any other request (never served
+//! degraded), take the catalog write lock inside a worker, and
+//! invalidate only the cache radii whose cover they broke.
 
 use std::io::{BufRead, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -117,7 +122,10 @@ impl Counters {
                     Self::bump(&self.cache_hits);
                 }
             }
-            Outcome::Swept { .. } | Outcome::Slept { .. } => Self::bump(&self.completed),
+            Outcome::Swept { .. }
+            | Outcome::Slept { .. }
+            | Outcome::Inserted { .. }
+            | Outcome::Deleted { .. } => Self::bump(&self.completed),
             Outcome::Cancelled => Self::bump(&self.cancelled),
             Outcome::Panicked => Self::bump(&self.panicked),
             Outcome::Failed { .. } => Self::bump(&self.failed),
@@ -176,6 +184,20 @@ pub fn render_reply(reply: &Reply) -> String {
             )
         }
         Outcome::Slept { ms } => format!("{head},\"status\":\"ok\",\"slept_ms\":{ms}}}"),
+        Outcome::Inserted {
+            external,
+            neighbors,
+            n,
+            invalidated,
+        }
+        | Outcome::Deleted {
+            external,
+            neighbors,
+            n,
+            invalidated,
+        } => format!(
+            "{head},\"status\":\"ok\",\"external\":{external},\"neighbors\":{neighbors},\"n\":{n},\"invalidated\":{invalidated}}}"
+        ),
         Outcome::Cancelled => format!("{head},\"status\":\"cancelled\"}}"),
         Outcome::Panicked => format!("{head},\"status\":\"panicked\"}}"),
         Outcome::Shed { capacity } => {
@@ -304,11 +326,27 @@ impl Server {
     /// Submits one request; never blocks. Admission, degraded service,
     /// and shedding are all decided here:
     ///
-    /// 1. queue slot free → admitted, a worker will reply;
-    /// 2. queue full, zoom at a cached radius → degraded reply now;
-    /// 3. otherwise → typed shed reply now.
+    /// 1. deadline already expired → cancelled reply now, no queue slot;
+    /// 2. queue slot free → admitted, a worker will reply;
+    /// 3. queue full, zoom at a cached radius → degraded reply now;
+    /// 4. otherwise → typed shed reply now.
     pub fn submit(&self, req: Request) {
         Counters::bump(&self.counters.submitted);
+        // A request born expired (0 ms deadline) sheds cleanly through
+        // the `cancelled` counter without consuming a queue slot,
+        // reaching a worker, or touching the per-radius cache.
+        if let Some(deadline) = req.deadline {
+            if deadline.saturating_duration_since(Instant::now()).is_zero() {
+                Counters::bump(&self.counters.admitted);
+                Counters::bump(&self.counters.cancelled);
+                self.sink.deliver(&Reply {
+                    id: req.id,
+                    op: req.op_name(),
+                    outcome: Outcome::Cancelled,
+                });
+                return;
+            }
+        }
         match self.queue.try_push(req) {
             Ok(()) => Counters::bump(&self.counters.admitted),
             Err(rejected) => {
@@ -410,10 +448,12 @@ fn parse_f64(key: &str, value: &str) -> Result<f64, String> {
 /// ```text
 /// stats
 /// quit
-/// id=<u64> zoom  r=<f64>          [deadline_ms=<u64>]
-/// id=<u64> sweep radii=<f64,...>  [deadline_ms=<u64>]
-/// id=<u64> sleep ms=<u64>         [deadline_ms=<u64>]
+/// id=<u64> zoom   r=<f64>           [deadline_ms=<u64>]
+/// id=<u64> sweep  radii=<f64,...>   [deadline_ms=<u64>]
+/// id=<u64> sleep  ms=<u64>          [deadline_ms=<u64>]
 /// id=<u64> panic
+/// id=<u64> insert coords=<f64,...>  [deadline_ms=<u64>]
+/// id=<u64> delete ext=<u64>         [deadline_ms=<u64>]
 /// ```
 pub fn parse_line(line: &str) -> Result<LineCmd, String> {
     let tokens: Vec<&str> = line.split_whitespace().collect();
@@ -434,6 +474,8 @@ pub fn parse_line(line: &str) -> Result<LineCmd, String> {
             let mut radii = None;
             let mut ms = None;
             let mut deadline_ms = None;
+            let mut coords = None;
+            let mut ext = None;
             for token in rest {
                 let (key, value) = parse_kv(token)?;
                 match key {
@@ -447,6 +489,14 @@ pub fn parse_line(line: &str) -> Result<LineCmd, String> {
                     }
                     "ms" => ms = Some(parse_u64("ms", value)?),
                     "deadline_ms" => deadline_ms = Some(parse_u64("deadline_ms", value)?),
+                    "coords" => {
+                        let parsed: Result<Vec<f64>, String> = value
+                            .split(',')
+                            .map(|part| parse_f64("coords", part))
+                            .collect();
+                        coords = Some(parsed?);
+                    }
+                    "ext" => ext = Some(parse_u64("ext", value)?),
                     other => return Err(format!("unknown parameter {other:?}")),
                 }
             }
@@ -461,6 +511,12 @@ pub fn parse_line(line: &str) -> Result<LineCmd, String> {
                     ms: ms.ok_or("sleep needs ms=<millis>")?,
                 },
                 "panic" => Op::Panic,
+                "insert" => Op::Insert {
+                    coords: coords.ok_or("insert needs coords=<c1,c2,...>")?,
+                },
+                "delete" => Op::Delete {
+                    external: ext.ok_or("delete needs ext=<id>")? as disc_metric::ObjId,
+                },
                 other => return Err(format!("unknown op {other:?}")),
             };
             let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
@@ -482,7 +538,7 @@ pub fn run_lines(
         "{{\"op\":\"ready\",\"snapshot\":\"{}\",\"metric\":\"{:?}\",\"n\":{},\"r_max\":{},\"workers\":{},\"queue\":{},\"cache\":{}}}",
         escape(&state.name),
         state.metric,
-        state.n,
+        state.n(),
         state.r_max,
         config.workers.max(1),
         config.queue.max(1),

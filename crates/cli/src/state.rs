@@ -1,61 +1,90 @@
-//! Validate-once snapshot opening into the immutable serving state.
+//! Validate-once snapshot opening into the shared serving state.
 //!
 //! A serving process opens its snapshot exactly once, through the
 //! fail-closed [`disc_store::load`] path: every checksum is verified
 //! before any worker sees a byte, so a corrupted file is a typed
 //! startup rejection (exit code 3, naming the owning section), never a
-//! crash mid-request. What survives validation is materialised into an
-//! owned [`ServeState`] — coordinates dropped, graph retained — and
-//! handed to the worker pool behind an `Arc`, so request handling does
-//! no validation, no locking, and no I/O.
+//! crash mid-request. What survives validation is materialised into a
+//! [`disc_graph::StreamingCatalog`] — dataset and stratified graph in
+//! lock-step — behind a reader–writer lock: zoom and sweep requests
+//! share read access, while the streaming `insert`/`delete` verbs take
+//! the write side. The identity fields worth echoing back (`name`,
+//! `metric`, `r_max`) never change under mutation and stay lock-free.
+//!
+//! Lock poisoning is recovered (`into_inner`), matching the pool's
+//! availability-first stance: request panics are already contained by
+//! the worker's `catch_unwind`, and catalog mutations validate their
+//! inputs before splicing, so a poisoned guard means a contained panic,
+//! not a torn catalog.
 
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
-use disc_graph::StratifiedDiskGraph;
+use disc_graph::StreamingCatalog;
 use disc_metric::Metric;
-use disc_store::{decode, read_snapshot};
+use disc_store::{decode_stream, read_snapshot};
 
 use crate::error::CliError;
 
-/// Immutable state shared by every worker: the materialised stratified
-/// disk graph plus the snapshot identity fields worth echoing back.
+/// State shared by every worker: the live streaming catalog plus the
+/// snapshot identity fields worth echoing back.
 pub struct ServeState {
     /// Dataset name stamped in the snapshot.
     pub name: String,
     /// Distance metric the graph was built under.
     pub metric: Metric,
-    /// Number of objects.
-    pub n: usize,
     /// Radius the graph was materialised at; every serveable radius is
-    /// `0 < r ≤ r_max`.
+    /// `0 < r ≤ r_max`, and inserts splice edges up to `r_max`.
     pub r_max: f64,
-    /// The radius-stratified disk graph all zooming runs against.
-    pub graph: StratifiedDiskGraph,
+    /// The mutable dataset + stratified-graph pair.
+    catalog: RwLock<StreamingCatalog>,
 }
 
 impl ServeState {
-    /// Opens and fully validates the snapshot at `path`.
+    /// Opens and fully validates the snapshot at `path` (dense v2 or
+    /// streaming v3).
     ///
     /// I/O failures map to exit code 4; any validation failure — from a
     /// flipped bit to a version skew — is a [`CliError::Store`] (exit
     /// code 3) whose message names the first broken layer.
     pub fn open(path: impl AsRef<Path>) -> Result<Arc<Self>, CliError> {
         let bytes = read_snapshot(&path)?;
-        let (dataset, graph) = decode(bytes.as_bytes())?;
-        Ok(Arc::new(Self {
-            name: dataset.name().to_string(),
-            metric: dataset.metric(),
-            n: dataset.len(),
-            r_max: graph.radius(),
-            graph,
-        }))
+        Ok(Self::from_catalog(decode_stream(bytes.as_bytes())?))
+    }
+
+    /// Wraps an already-validated catalog (tests and benches build
+    /// their state in memory).
+    pub fn from_catalog(catalog: StreamingCatalog) -> Arc<Self> {
+        Arc::new(Self {
+            name: catalog.data().name().to_string(),
+            metric: catalog.data().metric(),
+            r_max: catalog.graph().radius(),
+            catalog: RwLock::new(catalog),
+        })
+    }
+
+    /// Shared (read) access to the catalog — what zoom and sweep
+    /// solvers hold while they run.
+    pub fn catalog(&self) -> RwLockReadGuard<'_, StreamingCatalog> {
+        self.catalog.read().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Exclusive (write) access to the catalog — what the `insert` and
+    /// `delete` verbs hold while they mutate and invalidate.
+    pub fn catalog_mut(&self) -> RwLockWriteGuard<'_, StreamingCatalog> {
+        self.catalog.write().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Live object count right now (changes under mutation).
+    pub fn n(&self) -> usize {
+        self.catalog().len()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use disc_graph::StratifiedDiskGraph;
     use disc_metric::{Dataset, Point};
 
     fn write_small_snapshot(dir: &Path) -> std::path::PathBuf {
@@ -90,9 +119,9 @@ mod tests {
         };
         assert_eq!(state.name, "state-test");
         assert_eq!(state.metric, Metric::Euclidean);
-        assert_eq!(state.n, 3);
+        assert_eq!(state.n(), 3);
         assert_eq!(state.r_max, 1.0);
-        assert_eq!(state.graph.len(), 3);
+        assert_eq!(state.catalog().graph().len(), 3);
         let _ = std::fs::remove_file(&path);
     }
 
@@ -104,5 +133,30 @@ mod tests {
         };
         assert!(matches!(err, CliError::Io(_)));
         assert_eq!(err.exit_code(), crate::error::EXIT_IO);
+    }
+
+    #[test]
+    fn mutation_through_the_write_guard_is_visible_to_readers() {
+        let data = Dataset::new(
+            "state-mutate",
+            Metric::Euclidean,
+            vec![Point::new2(0.0, 0.0), Point::new2(0.3, 0.0)],
+        );
+        let graph = StratifiedDiskGraph::build(&data, 1.0);
+        let catalog = match StreamingCatalog::try_new(data, graph) {
+            Ok(c) => c,
+            Err(e) => unreachable!("fresh pair is consistent: {e}"),
+        };
+        let state = ServeState::from_catalog(catalog);
+        assert_eq!(state.n(), 2);
+        let receipt = match state.catalog_mut().insert(&[0.1, 0.1]) {
+            Ok(r) => r,
+            Err(e) => unreachable!("in-range insert succeeds: {e}"),
+        };
+        assert_eq!(receipt.external, 2);
+        assert_eq!(state.n(), 3);
+        assert_eq!(state.catalog().graph().len(), 3);
+        // Identity fields are immutable under mutation.
+        assert_eq!(state.r_max, 1.0);
     }
 }

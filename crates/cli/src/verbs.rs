@@ -11,7 +11,7 @@ use crate::args::{self, BuildArgs, Command, DoctorArgs, ServeArgs, ZoomArgs};
 use crate::error::CliError;
 use crate::serve::{run_lines, JsonSink, ServeConfig};
 use crate::state::ServeState;
-use crate::worker::{solve_sweep, solve_zoom};
+use crate::worker::{solve_sweep, solve_zoom, validate_radii};
 
 /// Parses and runs one invocation; the caller maps the error to an
 /// exit code.
@@ -91,8 +91,13 @@ fn run_build(build: &BuildArgs) -> Result<(), CliError> {
 /// one JSON line per radius. The hashes printed here are byte-for-byte
 /// the hashes `disc serve` reports for the same snapshot and radii —
 /// both call the same graph-resident runners.
+///
+/// The radius chain is validated up front — non-descending or
+/// duplicate radii, and radii outside `(0, r_max]`, are a typed usage
+/// error (exit code 2) before any solve starts.
 fn run_zoom(zoom: &ZoomArgs) -> Result<(), CliError> {
     let state = ServeState::open(&zoom.snapshot)?;
+    validate_radii(&zoom.radii, state.r_max)?;
     let token = zoom
         .deadline_ms
         .map(|ms| CancelToken::with_deadline(Duration::from_millis(ms)));

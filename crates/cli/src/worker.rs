@@ -15,6 +15,18 @@
 //! its token — the saturation and deadline tests are built from it) and
 //! `panic` (panics on purpose — the isolation test). Both are part of
 //! the wire protocol so operators can probe a live pool.
+//!
+//! The streaming verbs `insert` and `delete` mutate the catalog under
+//! the write lock and invalidate **only the affected radii** in the
+//! [`SolutionCache`]: an entry survives an insert when one of its
+//! selected objects covers the new point at the entry's radius (the
+//! point joins the covered set, the cached cover stays valid), and
+//! survives a delete when the removed object was not selected (a
+//! covered object leaving cannot break independence or domination).
+//! Surviving entries are valid DisC covers of the mutated catalog;
+//! they are byte-identical to a fresh solve only until a mutation
+//! touches their neighborhood — the same bounded-drift contract
+//! [`disc_core::RepairableSolution`] documents.
 
 use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
@@ -50,6 +62,17 @@ pub enum Op {
     },
     /// Diagnostic: panic inside the worker. The pool must survive.
     Panic,
+    /// Streaming mutation: insert one point into the live catalog. The
+    /// new object takes the next never-used external id.
+    Insert {
+        /// Coordinates, `dim` values in dataset axis order.
+        coords: Vec<f64>,
+    },
+    /// Streaming mutation: remove the object with this external id.
+    Delete {
+        /// External id to remove; tombstoned forever afterwards.
+        external: ObjId,
+    },
 }
 
 /// One admitted unit of work.
@@ -72,6 +95,8 @@ impl Request {
             Op::Sweep { .. } => "sweep",
             Op::Sleep { .. } => "sleep",
             Op::Panic => "panic",
+            Op::Insert { .. } => "insert",
+            Op::Delete { .. } => "delete",
         }
     }
 }
@@ -98,6 +123,30 @@ pub enum Outcome {
     Slept {
         /// The requested duration.
         ms: u64,
+    },
+    /// An insert was applied to the live catalog.
+    Inserted {
+        /// External id assigned to the new object.
+        external: ObjId,
+        /// Neighbors within `r_max` the insert spliced in.
+        neighbors: usize,
+        /// Live object count after the mutation.
+        n: usize,
+        /// Cache entries dropped because the new point broke their
+        /// cover (no selected object within the entry's radius).
+        invalidated: usize,
+    },
+    /// A delete was applied to the live catalog.
+    Deleted {
+        /// The removed (now tombstoned) external id.
+        external: ObjId,
+        /// Surviving neighbors the object had within `r_max`.
+        neighbors: usize,
+        /// Live object count after the mutation.
+        n: usize,
+        /// Cache entries dropped because they had selected the removed
+        /// object.
+        invalidated: usize,
     },
     /// The deadline fired before completion; no partial state escaped.
     Cancelled,
@@ -147,12 +196,14 @@ fn cacheable(result: DiscResult) -> Arc<CachedSolution> {
 }
 
 /// One DisC solution at `radius`, via the graph-resident greedy runner.
+/// Holds the catalog read lock for the duration of the solve.
 pub fn solve_zoom(
     state: &ServeState,
     radius: f64,
     cancel: Option<&CancelToken>,
 ) -> Result<Arc<CachedSolution>, CliError> {
-    let view = state.graph.try_view(radius)?;
+    let catalog = state.catalog();
+    let view = catalog.graph().try_view(radius)?;
     let unit = view.to_unit_disk_graph();
     let result = greedy_disc_graph_checked(&unit, cancel)?;
     Ok(cacheable(result))
@@ -184,20 +235,23 @@ pub fn validate_radii(radii: &[f64], r_max: f64) -> Result<(), CliError> {
 
 /// A descending radius sweep: full greedy at the first radius, then a
 /// greedy zoom-in chain — each step is byte-identical to calling the
-/// same runners in-process.
+/// same runners in-process. One catalog read lock spans the whole
+/// chain, so every step of a sweep sees the same catalog state even
+/// while mutations are queued.
 pub fn solve_sweep(
     state: &ServeState,
     radii: &[f64],
     cancel: Option<&CancelToken>,
 ) -> Result<Vec<Arc<CachedSolution>>, CliError> {
     validate_radii(radii, state.r_max)?;
+    let catalog = state.catalog();
     let mut steps = Vec::with_capacity(radii.len());
-    let view = state.graph.try_view(radii[0])?;
+    let view = catalog.graph().try_view(radii[0])?;
     let unit = view.to_unit_disk_graph();
     let mut prev = greedy_disc_graph_checked(&unit, cancel)?;
     steps.push(cacheable(prev.clone()));
     for &r in &radii[1..] {
-        prev = greedy_zoom_in_graph_checked(&state.graph, &prev, r, cancel)?.result;
+        prev = greedy_zoom_in_graph_checked(catalog.graph(), &prev, r, cancel)?.result;
         steps.push(cacheable(prev.clone()));
     }
     Ok(steps)
@@ -233,8 +287,13 @@ fn run_op(
                     degraded: false,
                 });
             }
+            // Observe the mutation generation before the catalog read
+            // lock: if an insert/delete lands while this solve runs,
+            // `put_if_current` rejects the (now pre-mutation) solution
+            // instead of caching a stale cover.
+            let generation = cache.generation();
             let value = solve_zoom(state, *radius, cancel)?;
-            cache.put(Arc::clone(&value));
+            cache.put_if_current(generation, Arc::clone(&value));
             Ok(Outcome::Zoomed {
                 value,
                 cached: false,
@@ -254,6 +313,44 @@ fn run_op(
             Ok(Outcome::Slept { ms: *ms })
         }
         Op::Panic => panic!("injected panic (diagnostic op)"),
+        Op::Insert { coords } => {
+            let mut catalog = state.catalog_mut();
+            let receipt = catalog.insert(coords)?;
+            let n = catalog.len();
+            // Invalidate while still holding the write lock, so no
+            // reader can observe the mutated catalog next to a stale
+            // cache. An entry at radius r stays valid iff some selected
+            // object covers the new point within r.
+            let invalidated = cache.invalidate_if(|cached| {
+                !receipt
+                    .neighbors
+                    .iter()
+                    .any(|&(b, d)| d <= cached.radius && cached.solution.contains(&b))
+            });
+            drop(catalog);
+            Ok(Outcome::Inserted {
+                external: receipt.external,
+                neighbors: receipt.neighbors.len(),
+                n,
+                invalidated,
+            })
+        }
+        Op::Delete { external } => {
+            let mut catalog = state.catalog_mut();
+            let receipt = catalog.remove_external(*external)?;
+            let n = catalog.len();
+            // A cover survives a delete iff the removed object was
+            // merely covered (grey): losing a selected object breaks
+            // domination for its neighborhood.
+            let invalidated = cache.invalidate_if(|cached| cached.solution.contains(external));
+            drop(catalog);
+            Ok(Outcome::Deleted {
+                external: receipt.external,
+                neighbors: receipt.neighbors.len(),
+                n,
+                invalidated,
+            })
+        }
     }
 }
 

@@ -82,6 +82,8 @@ fn status_of(outcome: &Outcome) -> String {
         } => format!("ok cached={cached} degraded={degraded}"),
         Outcome::Swept { .. } => "ok".into(),
         Outcome::Slept { .. } => "ok".into(),
+        Outcome::Inserted { invalidated, .. } => format!("inserted invalidated={invalidated}"),
+        Outcome::Deleted { invalidated, .. } => format!("deleted invalidated={invalidated}"),
         Outcome::Cancelled => "cancelled".into(),
         Outcome::Panicked => "panicked".into(),
         Outcome::Shed { .. } => "shed".into(),
@@ -192,13 +194,15 @@ fn served_solutions_are_byte_identical_to_in_process_runners() {
     // standalone zoom at r is the full greedy runner at r; a sweep is
     // full greedy at the top radius then the zoom-in chain.
     let radii = [0.3, 0.15, 0.075];
+    let cat = state.catalog();
     let standalone: Vec<_> = radii
         .iter()
-        .map(|&r| greedy_disc_graph(&state.graph.view(r).to_unit_disk_graph()))
+        .map(|&r| greedy_disc_graph(&cat.graph().view(r).to_unit_disk_graph()))
         .collect();
     let top = standalone[0].clone();
-    let mid = greedy_zoom_in_graph(&state.graph, &top, radii[1]).result;
-    let low = greedy_zoom_in_graph(&state.graph, &mid, radii[2]).result;
+    let mid = greedy_zoom_in_graph(cat.graph(), &top, radii[1]).result;
+    let low = greedy_zoom_in_graph(cat.graph(), &mid, radii[2]).result;
+    drop(cat);
     let chain = [&top, &mid, &low];
 
     for (i, &r) in radii.iter().enumerate() {
@@ -299,7 +303,7 @@ fn expired_deadlines_cancel_cleanly_with_exact_counters() {
     // No partial state: the cancelled zoom must not have populated the
     // cache — a fresh zoom at the same radius is computed, not cached.
     let fresh = disc_cli::worker::solve_zoom(&state, 0.1, None).expect("solve");
-    let reference = greedy_disc_graph(&state.graph.view(0.1).to_unit_disk_graph());
+    let reference = greedy_disc_graph(&state.catalog().graph().view(0.1).to_unit_disk_graph());
     assert_eq!(fresh.solution, reference.solution);
 }
 
@@ -409,19 +413,25 @@ fn saturation_sheds_typed_and_serves_degraded_from_cache() {
 #[test]
 fn line_protocol_round_trips_and_matches_runner_hashes() {
     let state = open("protocol");
-    let reference = greedy_disc_graph(&state.graph.view(0.1).to_unit_disk_graph());
+    let cat = state.catalog();
+    let reference = greedy_disc_graph(&cat.graph().view(0.1).to_unit_disk_graph());
     let want_hash = format!("{:#018x}", solution_hash(&reference.solution));
     // The sweep's 0.1 step continues the chain from 0.2 — a different
     // solution (and hash) than the standalone zoom at 0.1.
-    let sweep_top = greedy_disc_graph(&state.graph.view(0.2).to_unit_disk_graph());
-    let sweep_step = greedy_zoom_in_graph(&state.graph, &sweep_top, 0.1).result;
+    let sweep_top = greedy_disc_graph(&cat.graph().view(0.2).to_unit_disk_graph());
+    let sweep_step = greedy_zoom_in_graph(cat.graph(), &sweep_top, 0.1).result;
     let sweep_hash = format!("{:#018x}", solution_hash(&sweep_step.solution));
+    drop(cat);
 
+    // One worker keeps execution strictly FIFO, so the mutations run
+    // after the zoom/sweep solves and cannot perturb their hashes.
     let input = Cursor::new(
         "id=1 zoom r=0.1\n\
          id=2 sweep radii=0.2,0.1\n\
          this is not a command\n\
          id=3 panic\n\
+         id=4 insert coords=0.5,0.5\n\
+         id=5 delete ext=0\n\
          stats\n\
          quit\n",
     );
@@ -430,7 +440,7 @@ fn line_protocol_round_trips_and_matches_runner_hashes() {
     let snap = run_lines(
         state,
         ServeConfig {
-            workers: 2,
+            workers: 1,
             queue: 8,
             cache: 8,
         },
@@ -439,8 +449,8 @@ fn line_protocol_round_trips_and_matches_runner_hashes() {
     )
     .expect("serve loop runs");
 
-    assert_eq!(snap.submitted, 3);
-    assert_eq!(snap.completed, 2);
+    assert_eq!(snap.submitted, 5);
+    assert_eq!(snap.completed, 4);
     assert_eq!(snap.panicked, 1);
     assert!(snap.is_consistent(), "{snap:?}");
 
@@ -456,6 +466,14 @@ fn line_protocol_round_trips_and_matches_runner_hashes() {
     );
     assert!(text.contains("\"status\":\"panicked\""), "{text}");
     assert!(
+        text.contains("\"op\":\"insert\",\"status\":\"ok\",\"external\":400"),
+        "insert takes the next external id: {text}"
+    );
+    assert!(
+        text.contains("\"op\":\"delete\",\"status\":\"ok\",\"external\":0"),
+        "delete echoes the tombstoned id: {text}"
+    );
+    assert!(
         text.contains("\"op\":\"parse\""),
         "malformed line reported: {text}"
     );
@@ -467,6 +485,202 @@ fn line_protocol_round_trips_and_matches_runner_hashes() {
     assert!(parse_line("id=1 zoom").is_err(), "zoom needs r=");
     assert!(parse_line("zoom r=0.1").is_err(), "id required");
     assert!(parse_line("id=1 warp r=0.1").is_err(), "unknown op");
+    assert!(parse_line("id=1 insert").is_err(), "insert needs coords=");
+    assert!(parse_line("id=1 delete").is_err(), "delete needs ext=");
+    assert!(parse_line("id=1 delete ext=zap").is_err(), "ext is a u64");
+    assert!(
+        matches!(
+            parse_line("id=1 insert coords=0.5,0.5"),
+            Ok(LineCmd::Request(Request {
+                op: Op::Insert { .. },
+                ..
+            }))
+        ),
+        "insert parses"
+    );
+    assert!(
+        matches!(
+            parse_line("id=1 delete ext=7"),
+            Ok(LineCmd::Request(Request {
+                op: Op::Delete { external: 7 },
+                ..
+            }))
+        ),
+        "delete parses"
+    );
+}
+
+// ------------------------------------------------------------------
+// Born-expired deadlines: clean shed through `cancelled` at submit.
+// ------------------------------------------------------------------
+
+#[test]
+fn born_expired_requests_never_reach_a_worker_or_the_cache() {
+    let state = open("born-expired");
+    let sink = Arc::new(Collect::default());
+    let server = Server::start(
+        Arc::clone(&state),
+        ServeConfig {
+            workers: 1,
+            queue: 1,
+            cache: 8,
+        },
+        Arc::<Collect>::clone(&sink) as Arc<dyn Sink>,
+    );
+
+    // Occupy the single worker and fill the single queue slot, so a
+    // request that consumed a slot here would have to be shed.
+    server.submit(sleep_req(1, 200));
+    std::thread::sleep(Duration::from_millis(50)); // worker picked up #1
+    server.submit(sleep_req(2, 1));
+
+    // Born expired (0 ms budget): answered `cancelled` synchronously at
+    // submit — no queue slot, no worker, no cache write.
+    server.submit(Request {
+        id: 3,
+        op: Op::Zoom { radius: 0.1 },
+        deadline: Some(Instant::now()),
+    });
+    let replies = sink.wait_for(1, Duration::from_secs(1));
+    let born = replies
+        .iter()
+        .find(|(rid, _, _)| *rid == 3)
+        .expect("synchronous reply");
+    assert_eq!(born.2, "cancelled");
+
+    assert!(server.drain(Duration::from_secs(30)), "pool drains");
+
+    // The per-radius LRU stays unpolluted: a later zoom at the same
+    // radius is computed, not served from cache.
+    server.submit(zoom(4, 0.1));
+    assert!(server.drain(Duration::from_secs(30)), "follow-up drains");
+    let replies = sink.wait_for(4, Duration::from_secs(1));
+    let status = |id: u64| {
+        replies
+            .iter()
+            .find(|(rid, _, _)| *rid == id)
+            .map(|(_, _, s)| s.clone())
+            .expect("reply present")
+    };
+    assert_eq!(status(4), "ok cached=false degraded=false");
+
+    let snap = server.shutdown();
+    assert_eq!(snap.submitted, 4);
+    assert_eq!(snap.admitted, 4);
+    assert_eq!(snap.completed, 3);
+    assert_eq!(snap.cancelled, 1);
+    // shed == 0 proves the born-expired request consumed no queue slot:
+    // the queue was full the moment it arrived.
+    assert_eq!(snap.shed + snap.degraded + snap.failed + snap.panicked, 0);
+    assert_eq!(snap.cache_hits, 0, "the cancelled zoom touched no cache");
+    assert!(snap.is_consistent(), "{snap:?}");
+}
+
+// ------------------------------------------------------------------
+// Streaming mutations: only the affected radii leave the cache.
+// ------------------------------------------------------------------
+
+#[test]
+fn mutations_invalidate_only_the_affected_radii() {
+    let state = open("mutate");
+    let sink = Arc::new(Collect::default());
+    let server = Server::start(
+        Arc::clone(&state),
+        ServeConfig {
+            workers: 1,
+            queue: 8,
+            cache: 8,
+        },
+        Arc::<Collect>::clone(&sink) as Arc<dyn Sink>,
+    );
+
+    // Warm the cache at one radius, then pick a selected (black) and a
+    // merely-covered (grey) object plus the black's coordinates.
+    let r = 0.12;
+    server.submit(zoom(1, r));
+    assert!(server.drain(Duration::from_secs(30)), "warm-up drains");
+    let solution = disc_cli::worker::solve_zoom(&state, r, None)
+        .expect("solve")
+        .solution
+        .clone();
+    let black = solution[0];
+    let (grey, black_coords) = {
+        let cat = state.catalog();
+        let grey = cat
+            .live_externals()
+            .into_iter()
+            .find(|e| !solution.contains(e))
+            .expect("some live object is unselected");
+        let v = cat.internal_of(black).expect("selected object is live");
+        let dim = cat.data().dim();
+        let coords = cat.data().flat_coords()[v * dim..(v + 1) * dim].to_vec();
+        (grey, coords)
+    };
+
+    // FIFO through the single worker: each mutation lands before the
+    // zoom probing the cache behind it.
+    server.submit(Request {
+        id: 2,
+        op: Op::Insert {
+            coords: black_coords,
+        },
+        deadline: None,
+    });
+    server.submit(zoom(3, r));
+    server.submit(Request {
+        id: 4,
+        op: Op::Delete { external: grey },
+        deadline: None,
+    });
+    server.submit(zoom(5, r));
+    server.submit(Request {
+        id: 6,
+        op: Op::Delete { external: black },
+        deadline: None,
+    });
+    server.submit(zoom(7, r));
+    server.submit(Request {
+        id: 8,
+        op: Op::Delete {
+            external: 1_000_000,
+        },
+        deadline: None,
+    });
+    assert!(server.drain(Duration::from_secs(30)), "pool drains");
+
+    let replies = sink.wait_for(8, Duration::from_secs(1));
+    let status = |id: u64| {
+        replies
+            .iter()
+            .find(|(rid, _, _)| *rid == id)
+            .map(|(_, _, s)| s.clone())
+            .expect("reply present")
+    };
+    // A duplicate of a selected object is covered at distance zero:
+    // the cached cover stays valid.
+    assert_eq!(status(2), "inserted invalidated=0");
+    assert_eq!(status(3), "ok cached=true degraded=false");
+    // Deleting a grey removes a covered object; nothing breaks.
+    assert_eq!(status(4), "deleted invalidated=0");
+    assert_eq!(status(5), "ok cached=true degraded=false");
+    // Deleting the black breaks every cover that selected it.
+    assert_eq!(status(6), "deleted invalidated=1");
+    assert_eq!(status(7), "ok cached=false degraded=false");
+    // An unknown external id is a typed failure reply, not a panic.
+    assert!(status(8).starts_with("error:"), "{replies:?}");
+
+    let snap = server.shutdown();
+    assert_eq!(snap.submitted, 8);
+    assert_eq!(snap.admitted, 8);
+    assert_eq!(snap.completed, 7);
+    assert_eq!(snap.failed, 1);
+    assert!(snap.is_consistent(), "{snap:?}");
+
+    // The post-mutation answer is byte-identical to a fresh in-process
+    // solve over the mutated catalog.
+    let fresh = disc_cli::worker::solve_zoom(&state, r, None).expect("solve");
+    let reference = greedy_disc_graph(&state.catalog().graph().view(r).to_unit_disk_graph());
+    assert_eq!(fresh.solution, reference.solution);
 }
 
 // ------------------------------------------------------------------

@@ -1,0 +1,83 @@
+//! Pins `disc zoom` radius-chain validation (stable exit code 2).
+//!
+//! A sweep is only meaningful over strictly descending radii — the
+//! zoom-in chain refines the solution at radius r into the solution at
+//! r' < r. Non-descending or duplicate chains, and radii outside
+//! `(0, r_max]`, used to slip through to the solvers; they are now a
+//! typed [`disc_cli::CliError::Usage`] before any solve starts.
+
+use disc_cli::error::EXIT_USAGE;
+use disc_graph::StratifiedDiskGraph;
+
+const R_MAX: f64 = 0.3;
+
+fn snapshot_file(tag: &str) -> std::path::PathBuf {
+    let data = disc_datasets::synthetic::clustered(200, 2, 4, 7);
+    let graph = StratifiedDiskGraph::build(&data, R_MAX);
+    let dir = std::env::temp_dir().join("disc-cli-zoom-validation");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(format!("{tag}-{}.snap", std::process::id()));
+    disc_store::write_snapshot(&path, &data, &graph).expect("write snapshot");
+    path
+}
+
+fn run_zoom(snapshot: &std::path::Path, radii_flag: &str, radii: &str) -> Result<(), i32> {
+    let argv: Vec<String> = [
+        "zoom",
+        "--snapshot",
+        &snapshot.display().to_string(),
+        radii_flag,
+        radii,
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    disc_cli::run(&argv).map_err(|e| e.exit_code())
+}
+
+#[test]
+fn non_descending_or_duplicate_radius_chains_are_usage_errors() {
+    let path = snapshot_file("chains");
+
+    // Ascending chain.
+    assert_eq!(
+        run_zoom(&path, "--radii", "0.05,0.1,0.2"),
+        Err(EXIT_USAGE),
+        "ascending chain must be rejected"
+    );
+    // One non-descending step inside an otherwise-descending chain.
+    assert_eq!(
+        run_zoom(&path, "--radii", "0.2,0.05,0.1"),
+        Err(EXIT_USAGE),
+        "a single ascending step must be rejected"
+    );
+    // Duplicate radii.
+    assert_eq!(
+        run_zoom(&path, "--radii", "0.2,0.1,0.1"),
+        Err(EXIT_USAGE),
+        "duplicate radii must be rejected"
+    );
+    // Out-of-range radii are the same typed family, before any solve.
+    assert_eq!(
+        run_zoom(&path, "--radius", "0"),
+        Err(EXIT_USAGE),
+        "zero radius must be rejected"
+    );
+    assert_eq!(
+        run_zoom(&path, "--radius", "0.6"),
+        Err(EXIT_USAGE),
+        "radius beyond r_max must be rejected"
+    );
+    assert_eq!(
+        run_zoom(&path, "--radii", "0.2,0.1,-0.05"),
+        Err(EXIT_USAGE),
+        "negative radius must be rejected"
+    );
+
+    // Valid invocations still run: a single radius and a strictly
+    // descending chain.
+    assert_eq!(run_zoom(&path, "--radius", "0.1"), Ok(()));
+    assert_eq!(run_zoom(&path, "--radii", "0.2,0.1,0.05"), Ok(()));
+
+    let _ = std::fs::remove_file(&path);
+}

@@ -77,6 +77,7 @@ pub mod par;
 pub mod resident;
 pub mod result;
 pub mod runner;
+pub mod stream;
 pub mod verify;
 pub mod weighted;
 pub mod zoom_in;
@@ -98,6 +99,7 @@ pub use resident::{
 };
 pub use result::{DiscResult, ZoomResult};
 pub use runner::Heuristic;
+pub use stream::{RepairError, RepairReport, RepairableSolution};
 pub use verify::{verify_coverage, verify_disc, VerifyReport};
 pub use weighted::{solution_weight, weighted_disc};
 pub use zoom_in::{greedy_zoom_in, greedy_zoom_in_checked, zoom_in, zoom_in_checked};

@@ -459,8 +459,9 @@ where
 }
 
 /// [`greedy_white_pass_over`] at a fixed radius over the stratified
-/// adjacency prefix — the second pass of the zoom runners.
-fn greedy_white_pass_strat(
+/// adjacency prefix — the second pass of the zoom runners and the
+/// re-cover pass of [`crate::stream::RepairableSolution`].
+pub(crate) fn greedy_white_pass_strat(
     g: &StratifiedDiskGraph,
     r: f64,
     color: &mut [Color],

@@ -84,6 +84,26 @@ pub enum GraphError {
         /// The offending distance.
         value: f64,
     },
+    /// A streaming mutation addressed a vertex outside `0..n`.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        id: usize,
+        /// Current vertex count.
+        len: usize,
+    },
+    /// A streaming insert listed the same neighbor twice.
+    DuplicateNeighbor {
+        /// The repeated neighbor id.
+        id: usize,
+    },
+    /// A streaming insert reused an external id that is already mapped.
+    DuplicateExternalId {
+        /// The colliding external id.
+        id: usize,
+    },
+    /// A streaming delete would empty the graph (the id bijection cannot
+    /// represent zero vertices, and a dataset is never empty either).
+    LastVertex,
 }
 
 impl fmt::Display for GraphError {
@@ -126,6 +146,16 @@ impl fmt::Display for GraphError {
                 f,
                 "row {row} entry {index}: distance {value} outside [0, r_max]"
             ),
+            Self::VertexOutOfRange { id, len } => {
+                write!(f, "vertex id {id} is outside 0..{len}")
+            }
+            Self::DuplicateNeighbor { id } => {
+                write!(f, "neighbor id {id} listed more than once")
+            }
+            Self::DuplicateExternalId { id } => {
+                write!(f, "external id {id} is already mapped to a live vertex")
+            }
+            Self::LastVertex => f.write_str("cannot remove the last remaining vertex"),
         }
     }
 }

@@ -36,6 +36,7 @@ pub mod jaccard;
 pub mod reference;
 pub mod sets;
 pub mod stratified;
+pub mod stream;
 
 pub use error::GraphError;
 pub use exact::minimum_independent_dominating_set;
@@ -43,3 +44,4 @@ pub use graph::UnitDiskGraph;
 pub use jaccard::jaccard_distance;
 pub use sets::{is_dominating, is_independent, is_independent_dominating};
 pub use stratified::{StratifiedDiskGraph, StratifiedView};
+pub use stream::{InsertReceipt, RemoveReceipt, StreamError, StreamingCatalog};

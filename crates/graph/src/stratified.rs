@@ -483,6 +483,177 @@ impl StratifiedDiskGraph {
         Ok(self.view(r))
     }
 
+    // ------------------------------------------------------------------
+    // Streaming mutation (insert/delete with external-id tracking)
+    // ------------------------------------------------------------------
+
+    /// Inserts one vertex with the given `r_max`-neighborhood, assigning
+    /// it internal id `n` (the largest) and external id `external`. The
+    /// neighbor list is exactly what one M-tree range query at `r_max`
+    /// returns for the new point: every existing vertex within the build
+    /// radius, with its exact distance. Each affected CSR row receives a
+    /// positional splice — the new id is larger than every existing one,
+    /// so `(dist, id)` order puts it immediately after the row's equal-
+    /// distance entries, located by one binary search per row; the new
+    /// row is the sorted neighbor list itself. **Zero** distance
+    /// computations happen here: the caller's range query (charged to
+    /// the tree's counter) already paid for every distance it hands in.
+    ///
+    /// Returns the new internal id. The rebuilt arrays satisfy every
+    /// invariant [`StratifiedDiskGraph::from_csr_parts`] checks.
+    pub fn insert_object(
+        &mut self,
+        external: ObjId,
+        neighbors: &[(ObjId, f64)],
+    ) -> Result<ObjId, GraphError> {
+        let n = self.len();
+        let mut adj: Vec<Option<f64>> = vec![None; n];
+        for (index, &(u, d)) in neighbors.iter().enumerate() {
+            if u >= n {
+                return Err(GraphError::NeighborOutOfRange {
+                    row: n,
+                    index,
+                    id: u,
+                });
+            }
+            if d.is_nan() || d < 0.0 || d > self.radius {
+                return Err(GraphError::DistanceOutOfRange {
+                    row: n,
+                    index,
+                    value: d,
+                });
+            }
+            if adj[u].is_some() {
+                return Err(GraphError::DuplicateNeighbor { id: u });
+            }
+            adj[u] = Some(d);
+        }
+        let taken = match &self.perm {
+            Some(p) => p.contains_external(external),
+            None => external < n,
+        };
+        if taken {
+            return Err(GraphError::DuplicateExternalId { id: external });
+        }
+        let next_perm = match (&self.perm, external == n) {
+            (None, true) => None,
+            (None, false) => {
+                let mut ext: Vec<ObjId> = (0..n).collect();
+                ext.push(external);
+                match IdPermutation::try_new_sparse(ext) {
+                    Ok(p) => Some(Arc::new(p)),
+                    Err(_) => unreachable!("identity + fresh external id has no duplicates"),
+                }
+            }
+            (Some(p), _) => match p.appended(external) {
+                Ok(p) => Some(Arc::new(p)),
+                Err(_) => unreachable!("collision was checked above"),
+            },
+        };
+
+        let total = self.neighbors.len() + 2 * neighbors.len();
+        let mut new_off = Vec::with_capacity(n + 2);
+        let mut new_nb = Vec::with_capacity(total);
+        let mut new_ds = Vec::with_capacity(total);
+        new_off.push(0);
+        for (v, spliced) in adj.iter().enumerate() {
+            let lo = self.offsets[v];
+            let hi = self.offsets[v + 1];
+            match *spliced {
+                None => {
+                    new_nb.extend_from_slice(&self.neighbors[lo..hi]);
+                    new_ds.extend_from_slice(&self.dists[lo..hi]);
+                }
+                Some(d) => {
+                    // All existing ids are < n, so the splice point is
+                    // right after the row's `dist <= d` prefix (equal
+                    // distances sort before the larger new id).
+                    let key = crate::csr::dist_order_key(d);
+                    let row_d = &self.dists[lo..hi];
+                    let k = row_d.partition_point(|&x| crate::csr::dist_order_key(x) <= key);
+                    new_nb.extend_from_slice(&self.neighbors[lo..lo + k]);
+                    new_ds.extend_from_slice(&row_d[..k]);
+                    new_nb.push(n);
+                    new_ds.push(d);
+                    new_nb.extend_from_slice(&self.neighbors[lo + k..hi]);
+                    new_ds.extend_from_slice(&row_d[k..]);
+                }
+            }
+            new_off.push(new_nb.len());
+        }
+        let mut row: Vec<(u64, ObjId, f64)> = neighbors
+            .iter()
+            .map(|&(u, d)| (crate::csr::dist_order_key(d), u, d))
+            .collect();
+        row.sort_unstable_by_key(|&(key, u, _)| (key, u));
+        for &(_, u, d) in &row {
+            new_nb.push(u);
+            new_ds.push(d);
+        }
+        new_off.push(new_nb.len());
+
+        self.offsets = new_off;
+        self.neighbors = new_nb;
+        self.dists = new_ds;
+        self.perm = next_perm;
+        Ok(n)
+    }
+
+    /// Removes vertex `v`, compacting the id space: internal ids above
+    /// `v` shift down by one (a strictly monotone map, so every row's
+    /// `(dist, id)` order survives the renumbering untouched), and `v`'s
+    /// external id becomes unmapped. Each row is a single filter pass —
+    /// zero distance computations. Returns the removed external id.
+    pub fn remove_object(&mut self, v: ObjId) -> Result<ObjId, GraphError> {
+        let n = self.len();
+        if v >= n {
+            return Err(GraphError::VertexOutOfRange { id: v, len: n });
+        }
+        if n == 1 {
+            return Err(GraphError::LastVertex);
+        }
+        let external = self.external_id(v);
+        let next_perm = match &self.perm {
+            Some(p) => match p.removed(v) {
+                Some(q) => (!q.is_identity()).then(|| Arc::new(q)),
+                None => unreachable!("length and range were checked above"),
+            },
+            None if v == n - 1 => None,
+            None => {
+                let ext: Vec<ObjId> = (0..n).filter(|&i| i != v).collect();
+                match IdPermutation::try_new_sparse(ext) {
+                    Ok(p) => Some(Arc::new(p)),
+                    Err(_) => unreachable!("identity minus one entry has no duplicates"),
+                }
+            }
+        };
+
+        let mut new_off = Vec::with_capacity(n);
+        let mut new_nb = Vec::with_capacity(self.neighbors.len());
+        let mut new_ds = Vec::with_capacity(self.dists.len());
+        new_off.push(0);
+        for u in 0..n {
+            if u == v {
+                continue;
+            }
+            for k in self.offsets[u]..self.offsets[u + 1] {
+                let w = self.neighbors[k];
+                if w == v {
+                    continue;
+                }
+                new_nb.push(if w > v { w - 1 } else { w });
+                new_ds.push(self.dists[k]);
+            }
+            new_off.push(new_nb.len());
+        }
+
+        self.offsets = new_off;
+        self.neighbors = new_nb;
+        self.dists = new_ds;
+        self.perm = next_perm;
+        Ok(external)
+    }
+
     /// The raw CSR row-boundary array (`n + 1` entries, first is 0).
     /// Exposed so the concurrency tests can pin byte-equality of
     /// serially and shardedly assembled graphs.
@@ -1092,6 +1263,144 @@ mod tests {
                 _ => assert_eq!(got, want),
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Streaming mutation
+    // ------------------------------------------------------------------
+
+    /// Brute-force neighbor list of `q` at `r` (what an M-tree range
+    /// query returns), in arbitrary order.
+    fn neighbors_of(data: &Dataset, q: &[f64], r: f64) -> Vec<(ObjId, f64)> {
+        data.ids()
+            .filter_map(|i| {
+                let d = data.dist_to_coords(i, q);
+                (d <= r).then_some((i, d))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn insert_object_matches_a_from_scratch_build() {
+        let r_max = 0.35;
+        let mut data = random_data_metric(80, 70, Metric::Euclidean);
+        let mut g = StratifiedDiskGraph::build(&data, r_max);
+        let mut rng = StdRng::seed_from_u64(71);
+        for step in 0..12 {
+            let q = [rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)];
+            let nb = neighbors_of(&data, &q, r_max);
+            let external = data.len() + step; // dense appends keep identity
+            let internal = g.insert_object(external, &nb).expect("fresh id");
+            assert_eq!(internal, data.len());
+            data.push_point_external(&q, external).expect("fresh id");
+            let fresh = StratifiedDiskGraph::build(&data, r_max);
+            assert_eq!(g, fresh, "step {step}");
+            // The mutated arrays still satisfy every from_csr_parts check.
+            StratifiedDiskGraph::from_csr_parts(
+                g.radius(),
+                g.offsets().to_vec(),
+                g.neighbors_flat().to_vec(),
+                g.dists_flat().to_vec(),
+            )
+            .expect("row-sort invariant holds after insert");
+        }
+    }
+
+    #[test]
+    fn remove_object_matches_a_from_scratch_build() {
+        let r_max = 0.35;
+        let mut data = random_data_metric(60, 72, Metric::Euclidean);
+        let mut g = StratifiedDiskGraph::build(&data, r_max);
+        let mut rng = StdRng::seed_from_u64(73);
+        for step in 0..12 {
+            let v = rng.random_range(0..data.len());
+            let ext_graph = g.remove_object(v).expect("in range");
+            let ext_data = data.remove_point(v).expect("in range");
+            assert_eq!(ext_graph, ext_data, "step {step}");
+            let fresh = StratifiedDiskGraph::build(&data, r_max).with_permutation(None);
+            // Compare structure; the permutation is tracked separately.
+            assert_eq!(g.offsets(), fresh.offsets(), "step {step}");
+            assert_eq!(g.neighbors_flat(), fresh.neighbors_flat(), "step {step}");
+            assert_eq!(g.dists_flat(), fresh.dists_flat(), "step {step}");
+            // Graph and dataset agree on the surviving external ids.
+            for v in g.vertices() {
+                assert_eq!(g.external_id(v), data.external_id(v), "step {step}");
+            }
+            StratifiedDiskGraph::from_csr_parts(
+                g.radius(),
+                g.offsets().to_vec(),
+                g.neighbors_flat().to_vec(),
+                g.dists_flat().to_vec(),
+            )
+            .expect("row-sort invariant holds after remove");
+        }
+    }
+
+    #[test]
+    fn interleaved_inserts_and_removes_track_external_ids() {
+        let r_max = 0.4;
+        let mut data = random_data_metric(30, 74, Metric::Manhattan);
+        let mut g = StratifiedDiskGraph::build(&data, r_max);
+        let mut rng = StdRng::seed_from_u64(75);
+        let mut next_external = data.len();
+        for _ in 0..40 {
+            if rng.random_range(0..3) == 0 && data.len() > 1 {
+                let v = rng.random_range(0..data.len());
+                assert_eq!(
+                    g.remove_object(v).expect("in range"),
+                    data.remove_point(v).expect("in range")
+                );
+            } else {
+                let q = [rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)];
+                let nb = neighbors_of(&data, &q, r_max);
+                let i = g.insert_object(next_external, &nb).expect("fresh id");
+                assert_eq!(
+                    data.push_point_external(&q, next_external)
+                        .expect("fresh id"),
+                    i
+                );
+                next_external += 1;
+            }
+        }
+        let fresh = StratifiedDiskGraph::build(&data, r_max);
+        assert_eq!(g.offsets(), fresh.offsets());
+        assert_eq!(g.neighbors_flat(), fresh.neighbors_flat());
+        assert_eq!(g.dists_flat(), fresh.dists_flat());
+        for v in g.vertices() {
+            assert_eq!(g.external_id(v), data.external_id(v));
+            assert_eq!(g.internal_id(g.external_id(v)), v);
+        }
+    }
+
+    #[test]
+    fn mutation_rejects_malformed_input_with_typed_errors() {
+        let mut g = StratifiedDiskGraph::from_dist_edges(3, 0.5, &[(0, 1, 0.1), (1, 2, 0.2)]);
+        assert_eq!(
+            g.insert_object(3, &[(9, 0.1)]).unwrap_err(),
+            GraphError::NeighborOutOfRange {
+                row: 3,
+                index: 0,
+                id: 9
+            }
+        );
+        assert!(matches!(
+            g.insert_object(3, &[(0, 0.9)]).unwrap_err(),
+            GraphError::DistanceOutOfRange { value: v, .. } if v == 0.9
+        ));
+        assert_eq!(
+            g.insert_object(3, &[(0, 0.1), (0, 0.2)]).unwrap_err(),
+            GraphError::DuplicateNeighbor { id: 0 }
+        );
+        assert_eq!(
+            g.insert_object(1, &[]).unwrap_err(),
+            GraphError::DuplicateExternalId { id: 1 }
+        );
+        assert_eq!(
+            g.remove_object(7).unwrap_err(),
+            GraphError::VertexOutOfRange { id: 7, len: 3 }
+        );
+        let mut one = StratifiedDiskGraph::from_dist_edges(1, 0.5, &[]);
+        assert_eq!(one.remove_object(0).unwrap_err(), GraphError::LastVertex);
     }
 
     #[test]

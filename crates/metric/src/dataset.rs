@@ -62,6 +62,19 @@ pub enum DatasetError {
         /// The offending value.
         value: f64,
     },
+    /// A streaming insert reused an external id that is already mapped
+    /// (live, not tombstoned).
+    ExternalIdTaken {
+        /// The colliding external id.
+        external: ObjId,
+    },
+    /// A streaming delete addressed an internal id outside `0..len`.
+    OutOfRange {
+        /// The offending internal id.
+        id: ObjId,
+        /// Number of objects currently held.
+        len: usize,
+    },
 }
 
 impl fmt::Display for DatasetError {
@@ -85,6 +98,12 @@ impl fmt::Display for DatasetError {
                 f,
                 "point coordinates must be finite: point {id} dim {dim} is {value}"
             ),
+            Self::ExternalIdTaken { external } => {
+                write!(f, "external id {external} is already mapped to a live point")
+            }
+            Self::OutOfRange { id, len } => {
+                write!(f, "internal id {id} is outside 0..{len}")
+            }
         }
     }
 }
@@ -447,6 +466,107 @@ impl Dataset {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Streaming mutation (insert/delete with external-id tracking)
+    // ------------------------------------------------------------------
+
+    /// Appends one point with a caller-assigned external id, returning
+    /// its internal id (`len() - 1` after the push). The permutation
+    /// stays normalized: appending external id `len()` to an identity
+    /// numbering keeps `permutation() == None`, anything else
+    /// materializes the (possibly sparse) bijection.
+    ///
+    /// Rejects wrong-width rows, non-finite coordinates, and an
+    /// external id that is already mapped (reported as [`DatasetError`]
+    /// so streaming callers keep one error family per layer).
+    pub fn push_point_external(
+        &mut self,
+        point: &[f64],
+        external: ObjId,
+    ) -> Result<ObjId, DatasetError> {
+        if point.len() != self.dim {
+            return Err(DatasetError::MixedDim {
+                id: self.len(),
+                expected: self.dim,
+                found: point.len(),
+            });
+        }
+        if let Some((d, &value)) = point.iter().enumerate().find(|(_, c)| !c.is_finite()) {
+            return Err(DatasetError::NonFinite {
+                id: self.len(),
+                dim: d,
+                value,
+            });
+        }
+        let n = self.len();
+        let taken = match &self.perm {
+            Some(p) => p.contains_external(external),
+            None => external < n,
+        };
+        if taken {
+            return Err(DatasetError::ExternalIdTaken { external });
+        }
+        let next = match (&self.perm, external == n) {
+            (None, true) => None,
+            (None, false) => {
+                let mut ext: Vec<ObjId> = (0..n).collect();
+                ext.push(external);
+                match IdPermutation::try_new_sparse(ext) {
+                    Ok(p) => Some(Arc::new(p)),
+                    Err(_) => unreachable!("identity + fresh external id has no duplicates"),
+                }
+            }
+            (Some(p), _) => match p.appended(external) {
+                Ok(p) => Some(Arc::new(p)),
+                Err(_) => unreachable!("collision was checked above"),
+            },
+        };
+        self.coords.extend_from_slice(point);
+        self.perm = next;
+        Ok(n)
+    }
+
+    /// Removes the point at internal id `internal`, compacting the
+    /// buffer: internal ids above it shift down by one, matching
+    /// `StratifiedDiskGraph::remove_object`'s renumbering. The removed
+    /// external id becomes unmapped (a tombstone in the streaming id
+    /// space). Returns the removed external id.
+    ///
+    /// Rejects an out-of-range id and the removal of the last remaining
+    /// point (a dataset is never empty).
+    pub fn remove_point(&mut self, internal: ObjId) -> Result<ObjId, DatasetError> {
+        if internal >= self.len() {
+            return Err(DatasetError::OutOfRange {
+                id: internal,
+                len: self.len(),
+            });
+        }
+        if self.len() == 1 {
+            return Err(DatasetError::Empty);
+        }
+        let external = self.external_id(internal);
+        let next = match &self.perm {
+            Some(p) => match p.removed(internal) {
+                Some(q) => (!q.is_identity()).then(|| Arc::new(q)),
+                None => unreachable!("length and range were checked above"),
+            },
+            // Identity numbering: removing the last internal id keeps
+            // the identity; removing any other leaves a hole.
+            None if internal == self.len() - 1 => None,
+            None => {
+                let ext: Vec<ObjId> = (0..self.len()).filter(|&i| i != internal).collect();
+                match IdPermutation::try_new_sparse(ext) {
+                    Ok(p) => Some(Arc::new(p)),
+                    Err(_) => unreachable!("identity minus one entry has no duplicates"),
+                }
+            }
+        };
+        self.coords
+            .drain(internal * self.dim..(internal + 1) * self.dim);
+        self.perm = next;
+        Ok(external)
+    }
+
     /// Replaces the id permutation wholesale — the snapshot-load seam,
     /// where the bijection comes from disk rather than from
     /// [`Dataset::renumbered`]. An identity permutation normalizes to
@@ -682,6 +802,75 @@ mod tests {
     #[should_panic(expected = "not a permutation")]
     fn renumbering_rejects_non_permutations() {
         let _ = unit_square().renumbered(&[0, 0, 1, 2]);
+    }
+
+    #[test]
+    fn push_point_tracks_external_ids_and_normalizes_identity() {
+        let mut d = unit_square();
+        // Appending the "next" external id keeps the identity numbering.
+        let internal = d.push_point_external(&[0.5, 0.5], 4).expect("fresh id");
+        assert_eq!(internal, 4);
+        assert!(d.permutation().is_none());
+        assert_eq!(d.row(4), &[0.5, 0.5]);
+        // A gap in the external numbering materializes a sparse bijection.
+        let internal = d.push_point_external(&[2.0, 2.0], 9).expect("fresh id");
+        assert_eq!(internal, 5);
+        let p = d.permutation().expect("sparse bijection");
+        assert!(!p.is_dense());
+        assert_eq!(d.external_id(5), 9);
+        assert_eq!(d.internal_id(9), 5);
+        // Collisions and malformed rows are typed rejections.
+        assert_eq!(
+            d.push_point_external(&[0.0, 0.0], 9).unwrap_err(),
+            DatasetError::ExternalIdTaken { external: 9 }
+        );
+        assert!(matches!(
+            d.push_point_external(&[1.0], 10).unwrap_err(),
+            DatasetError::MixedDim { .. }
+        ));
+        assert!(matches!(
+            d.push_point_external(&[f64::NAN, 0.0], 10).unwrap_err(),
+            DatasetError::NonFinite { .. }
+        ));
+    }
+
+    #[test]
+    fn remove_point_compacts_and_tombstones() {
+        let mut d = unit_square();
+        // Removing the last internal id of an identity numbering keeps it.
+        assert_eq!(d.remove_point(3).expect("in range"), 3);
+        assert!(d.permutation().is_none());
+        assert_eq!(d.len(), 3);
+        // A mid removal shifts later rows down and tombstones external 1.
+        assert_eq!(d.remove_point(1).expect("in range"), 1);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.row(1), &[0.0, 1.0], "old internal 2 shifted down");
+        assert_eq!(d.external_id(1), 2);
+        let p = d.permutation().expect("sparse bijection");
+        assert_eq!(p.internal_checked(1), None, "external 1 tombstoned");
+        assert_eq!(
+            d.remove_point(5).unwrap_err(),
+            DatasetError::OutOfRange { id: 5, len: 2 }
+        );
+        assert_eq!(d.remove_point(0).expect("in range"), 0);
+        assert_eq!(
+            d.remove_point(0).unwrap_err(),
+            DatasetError::Empty,
+            "cannot empty a dataset"
+        );
+    }
+
+    #[test]
+    fn push_then_remove_round_trips_through_renumbered_datasets() {
+        let d = unit_square().renumbered(&[2, 0, 3, 1]);
+        let mut d = d;
+        let internal = d.push_point_external(&[5.0, 5.0], 4).expect("fresh id");
+        assert_eq!(d.external_id(internal), 4);
+        assert_eq!(d.internal_id(4), internal);
+        let removed = d.remove_point(0).expect("in range");
+        assert_eq!(removed, 2, "internal 0 was external 2 after renumbering");
+        assert_eq!(d.internal_id(4), 3, "later internals shifted down");
+        assert_eq!(d.external_id(0), 0);
     }
 
     #[test]

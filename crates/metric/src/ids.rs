@@ -85,15 +85,31 @@ impl IdPermutation {
         if n == 0 {
             return Err(PermutationError::Empty);
         }
-        let mut to_internal = vec![usize::MAX; n];
+        if let Some((index, &value)) = to_external.iter().enumerate().find(|(_, &v)| v >= n) {
+            return Err(PermutationError::OutOfRange {
+                index,
+                value,
+                len: n,
+            });
+        }
+        Self::try_new_sparse(to_external)
+    }
+
+    /// Builds a *sparse* bijection: internal ids are still `0..len`, but
+    /// the external side may be any set of distinct ids — the streaming
+    /// id space, where deletions tombstone external ids (leaving holes)
+    /// and insertions append fresh ids at and beyond the original `n`.
+    /// Only duplicates are rejected; [`IdPermutation::is_dense`] reports
+    /// whether the result happens to be a permutation of `0..len` (the
+    /// only shape snapshot format v2 can persist).
+    pub fn try_new_sparse(to_external: Vec<ObjId>) -> Result<Self, PermutationError> {
+        let n = to_external.len();
+        if n == 0 {
+            return Err(PermutationError::Empty);
+        }
+        let max = to_external.iter().copied().max().unwrap_or(0);
+        let mut to_internal = vec![usize::MAX; max + 1];
         for (index, &value) in to_external.iter().enumerate() {
-            if value >= n {
-                return Err(PermutationError::OutOfRange {
-                    index,
-                    value,
-                    len: n,
-                });
-            }
             if to_internal[value] != usize::MAX {
                 return Err(PermutationError::Duplicate { index, value });
             }
@@ -103,6 +119,58 @@ impl IdPermutation {
             to_external,
             to_internal,
         })
+    }
+
+    /// Whether the external side is exactly a permutation of `0..len`
+    /// (no holes, no appended ids). Dense permutations are what
+    /// [`IdPermutation::try_new`] accepts and what snapshot format v2
+    /// persists; a streaming catalog that has deleted or appended
+    /// objects goes sparse and needs format v3.
+    pub fn is_dense(&self) -> bool {
+        self.to_internal.len() == self.to_external.len()
+    }
+
+    /// The largest external id mapped.
+    pub fn max_external(&self) -> ObjId {
+        self.to_internal.len() - 1
+    }
+
+    /// Whether `external` is mapped by this bijection.
+    pub fn contains_external(&self, external: ObjId) -> bool {
+        external < self.to_internal.len() && self.to_internal[external] != usize::MAX
+    }
+
+    /// A copy with `external` appended as the external id of the next
+    /// internal id (`len()`). Rejects an already-mapped external id as
+    /// [`PermutationError::Duplicate`].
+    pub fn appended(&self, external: ObjId) -> Result<Self, PermutationError> {
+        if self.contains_external(external) {
+            return Err(PermutationError::Duplicate {
+                index: self.to_internal[external],
+                value: external,
+            });
+        }
+        let mut ext = self.to_external.clone();
+        ext.push(external);
+        Self::try_new_sparse(ext)
+    }
+
+    /// A copy with internal id `internal` removed: later internal ids
+    /// shift down by one (matching a compacting delete in the dataset
+    /// and graph), the removed external id becomes unmapped. Returns
+    /// `None` when removing the last entry (an empty bijection is not
+    /// representable) or when `internal` is out of range.
+    pub fn removed(&self, internal: ObjId) -> Option<Self> {
+        if internal >= self.len() || self.len() == 1 {
+            return None;
+        }
+        let mut ext = self.to_external.clone();
+        ext.remove(internal);
+        match Self::try_new_sparse(ext) {
+            Ok(p) => Some(p),
+            // Removing an entry cannot introduce a duplicate.
+            Err(_) => unreachable!("removal preserves distinctness"),
+        }
     }
 
     /// Number of ids mapped.
@@ -127,10 +195,21 @@ impl IdPermutation {
         self.to_external[internal]
     }
 
-    /// Internal id of `external`.
+    /// Internal id of `external`. For sparse bijections prefer
+    /// [`IdPermutation::internal_checked`]: an unmapped external id
+    /// panics here (out of range) or returns an unusable sentinel (a
+    /// tombstoned hole).
     #[inline]
     pub fn internal(&self, external: ObjId) -> ObjId {
         self.to_internal[external]
+    }
+
+    /// Internal id of `external`, or `None` when the external id is not
+    /// mapped (tombstoned or never assigned).
+    #[inline]
+    pub fn internal_checked(&self, external: ObjId) -> Option<ObjId> {
+        let v = *self.to_internal.get(external)?;
+        (v != usize::MAX).then_some(v)
     }
 
     /// The full internal-to-external side (index = internal id).
@@ -166,6 +245,49 @@ mod tests {
         assert!(p.is_identity());
         let q = IdPermutation::try_new(vec![0, 2, 1]).expect("valid permutation");
         assert!(!q.is_identity());
+    }
+
+    #[test]
+    fn sparse_bijections_allow_holes_and_appended_ids() {
+        // Externals {7, 0, 3}: a hole-y streaming id space.
+        let p = IdPermutation::try_new_sparse(vec![7, 0, 3]).expect("distinct externals");
+        assert!(!p.is_dense());
+        assert_eq!(p.max_external(), 7);
+        assert_eq!(p.external(0), 7);
+        assert_eq!(p.internal_checked(7), Some(0));
+        assert_eq!(p.internal_checked(3), Some(2));
+        assert_eq!(p.internal_checked(1), None, "tombstoned hole");
+        assert_eq!(p.internal_checked(99), None, "beyond the mapped range");
+        assert!(p.contains_external(0) && !p.contains_external(2));
+        // Dense inputs stay dense through the sparse constructor.
+        let d = IdPermutation::try_new_sparse(vec![2, 0, 1]).expect("dense");
+        assert!(d.is_dense());
+        assert_eq!(
+            IdPermutation::try_new_sparse(vec![5, 5]).unwrap_err(),
+            PermutationError::Duplicate { index: 1, value: 5 }
+        );
+    }
+
+    #[test]
+    fn append_and_remove_maintain_the_bijection() {
+        let p = IdPermutation::try_new(vec![1, 0, 2]).expect("valid");
+        let q = p.appended(9).expect("fresh external id");
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.external(3), 9);
+        assert_eq!(q.internal_checked(9), Some(3));
+        assert!(!q.is_dense());
+        assert!(matches!(
+            q.appended(9),
+            Err(PermutationError::Duplicate { value: 9, .. })
+        ));
+        // Removing internal 0 (external 1) shifts later internals down.
+        let r = q.removed(0).expect("mid removal");
+        assert_eq!(r.to_external(), &[0, 2, 9]);
+        assert_eq!(r.internal_checked(1), None, "external 1 tombstoned");
+        assert_eq!(r.internal_checked(9), Some(2));
+        assert!(q.removed(17).is_none(), "out of range");
+        let last = IdPermutation::try_new(vec![0]).expect("singleton");
+        assert!(last.removed(0).is_none(), "cannot empty the bijection");
     }
 
     #[test]

@@ -101,8 +101,21 @@ pub struct MTree<'a> {
 impl<'a> MTree<'a> {
     /// Builds a tree by inserting every object of `data` in id order.
     pub fn build(data: &'a Dataset, config: MTreeConfig) -> Self {
+        Self::build_prefix(data, config, data.len())
+    }
+
+    /// Builds a tree over only the first `prefix` objects of `data` —
+    /// the streaming entry point: later objects (already present in the
+    /// dataset's buffer) are added one at a time with
+    /// [`MTree::insert_object`], producing the same tree `build` would,
+    /// since `build` is itself insertion in id order.
+    pub fn build_prefix(data: &'a Dataset, config: MTreeConfig, prefix: usize) -> Self {
         assert!(config.capacity >= 2, "node capacity must be at least 2");
-        let n = data.len();
+        assert!(
+            (1..=data.len()).contains(&prefix),
+            "prefix {prefix} outside 1..={}",
+            data.len()
+        );
         let root = 0;
         let mut tree = Self {
             data,
@@ -111,15 +124,46 @@ impl<'a> MTree<'a> {
             root,
             height: 1,
             first_leaf: root,
-            obj_leaf: vec![usize::MAX; n],
+            obj_leaf: vec![usize::MAX; prefix],
             accesses: PaddedCounter::default(),
             dist_comps: PaddedCounter::default(),
             rng: StdRng::seed_from_u64(config.seed),
         };
-        for id in data.ids() {
+        for id in 0..prefix {
             tree.insert(id);
         }
         tree
+    }
+
+    /// Inserts the next dataset object into the tree — the streaming
+    /// leaf insert. `object` must be exactly [`MTree::len`] (streaming
+    /// ids are append-only; the dataset appends new points at the end of
+    /// its buffer, with any fresh *external* id appended to its
+    /// [`disc_metric::IdPermutation`]). The target leaf's entry list,
+    /// cached reference distances and blocked SoA coordinate lanes are
+    /// all refreshed (see [`MTree::build`]'s insertion path — this is
+    /// the same code), and splits propagate as during the build, so the
+    /// resulting tree is byte-identical to one built over the longer
+    /// prefix from scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `object` is not the dataset row right after the
+    /// currently indexed prefix.
+    pub fn insert_object(&mut self, object: ObjId) {
+        assert!(
+            object < self.data.len(),
+            "object {object} is not in the dataset (len {})",
+            self.data.len()
+        );
+        assert_eq!(
+            object,
+            self.obj_leaf.len(),
+            "streaming inserts are append-only: expected object {}",
+            self.obj_leaf.len()
+        );
+        self.obj_leaf.push(usize::MAX);
+        self.insert(object);
     }
 
     /// The dataset this tree indexes.
@@ -856,6 +900,69 @@ mod tests {
             data2.external_id(o)
         });
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn streaming_inserts_reproduce_the_batch_build() {
+        // `build` is insertion in id order, so a prefix build plus
+        // streaming inserts must yield the same tree — structure, cached
+        // distances, SoA lanes and obj→leaf mapping alike.
+        let data = random_points(200, 10);
+        let batch = MTree::build(&data, MTreeConfig::with_capacity(6));
+        let mut streamed = MTree::build_prefix(&data, MTreeConfig::with_capacity(6), 120);
+        assert_eq!(streamed.len(), 120);
+        for id in 120..200 {
+            streamed.insert_object(id);
+        }
+        assert_eq!(streamed.len(), batch.len());
+        assert_eq!(streamed.node_count(), batch.node_count());
+        assert_eq!(streamed.height(), batch.height());
+        assert_eq!(
+            streamed.objects_in_leaf_order_uncounted(),
+            batch.objects_in_leaf_order_uncounted()
+        );
+        for id in 0..batch.node_count() {
+            let (a, b) = (streamed.node(id), batch.node(id));
+            assert_eq!(a.pivot, b.pivot, "node {id}");
+            assert_eq!(a.radius.to_bits(), b.radius.to_bits(), "node {id}");
+            assert_eq!(a.lanes, b.lanes, "node {id} SoA lanes");
+        }
+        for id in data.ids() {
+            assert_eq!(streamed.leaf_of(id), batch.leaf_of(id), "object {id}");
+        }
+        check_invariants(&streamed).unwrap();
+    }
+
+    #[test]
+    fn streaming_insert_keeps_the_id_bijection_consistent() {
+        // A renumbered dataset extended with a fresh external id: the
+        // tree indexes internal ids, the dataset's permutation carries
+        // the appended external id, and range queries stay correct.
+        let base = random_points(60, 11);
+        let order: Vec<ObjId> = (0..60).rev().collect();
+        let mut data = base.renumbered(&order);
+        let appended_internal = data
+            .push_point_external(&[0.5, 0.5], 77)
+            .expect("fresh external id");
+        assert_eq!(appended_internal, 60);
+        let mut tree = MTree::build_prefix(&data, MTreeConfig::with_capacity(6), 60);
+        tree.insert_object(appended_internal);
+        assert_eq!(tree.len(), 61);
+        assert_eq!(data.external_id(appended_internal), 77);
+        check_invariants(&tree).unwrap();
+        let hits = tree.range_query(&Point::new2(0.5, 0.5), 0.0);
+        assert!(
+            hits.iter().any(|h| h.object == appended_internal),
+            "the appended object is indexed and findable"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "append-only")]
+    fn streaming_insert_rejects_id_gaps() {
+        let data = random_points(10, 12);
+        let mut tree = MTree::build_prefix(&data, MTreeConfig::default(), 5);
+        tree.insert_object(7); // 5 is next; 7 leaves a gap
     }
 
     #[test]

@@ -5,7 +5,7 @@
 
 use std::fmt;
 
-use disc_graph::GraphError;
+use disc_graph::{GraphError, StreamError};
 use disc_metric::DatasetError;
 
 /// The checksummed regions of a snapshot file, in file order. Used by
@@ -216,5 +216,18 @@ impl From<DatasetError> for StoreError {
 impl From<GraphError> for StoreError {
     fn from(e: GraphError) -> Self {
         Self::InvalidGraph(e)
+    }
+}
+
+impl From<StreamError> for StoreError {
+    fn from(e: StreamError) -> Self {
+        match e {
+            StreamError::Graph(g) => Self::InvalidGraph(g),
+            StreamError::Dataset(d) => Self::InvalidDataset(d),
+            StreamError::Inconsistent { what } => Self::BadLayout { detail: what },
+            StreamError::UnknownExternalId { .. } => Self::BadLayout {
+                detail: "streaming state references an unknown external id",
+            },
+        }
     }
 }

@@ -127,6 +127,7 @@ pub use error::{SectionId, StoreError};
 pub use fault::Fault;
 pub use report::{inspect, SectionCheck, SnapshotReport};
 pub use snapshot::{
-    decode, encode, encode_parts, load, read_snapshot, write_snapshot, SnapshotParts, SnapshotView,
-    ENDIAN_MARKER, MAGIC, VERSION,
+    decode, decode_stream, encode, encode_parts, encode_stream, encode_stream_parts, load,
+    read_snapshot, write_snapshot, SnapshotParts, SnapshotView, ENDIAN_MARKER, MAGIC,
+    STREAM_VERSION, VERSION,
 };

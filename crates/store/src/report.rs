@@ -19,7 +19,8 @@ use crate::checksum::fnv1a_64;
 use crate::error::{SectionId, StoreError};
 use crate::snapshot::{
     load, read_u32, read_u64, ENDIAN_MARKER, HEADER_LEN, MAGIC, OFF_FILE_LEN, OFF_HEADER_CHECKSUM,
-    OFF_TABLE_CHECKSUM, SECTION_COUNT, SECTION_ORDER, TABLE_END, TABLE_ENTRY_LEN, VERSION,
+    OFF_TABLE_CHECKSUM, SECTION_COUNT, SECTION_ORDER, STREAM_VERSION, TABLE_END, TABLE_ENTRY_LEN,
+    VERSION,
 };
 
 const OFF_ENDIAN: usize = 12;
@@ -94,9 +95,10 @@ impl SnapshotReport {
             .collect()
     }
 
-    /// Whether the version matches what this build reads.
+    /// Whether the version is one this build reads (the dense baseline
+    /// or the streaming extension).
     pub fn version_ok(&self) -> bool {
-        self.version == Some(VERSION)
+        matches!(self.version, Some(VERSION | STREAM_VERSION))
     }
 
     /// Whether the endianness marker reads back as written.

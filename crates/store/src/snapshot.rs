@@ -11,7 +11,7 @@
 use std::path::Path;
 use std::sync::Arc;
 
-use disc_graph::{GraphError, StratifiedDiskGraph};
+use disc_graph::{GraphError, StratifiedDiskGraph, StreamingCatalog};
 use disc_metric::{Dataset, IdPermutation, Metric, ObjId};
 
 use crate::cast::{as_f64s, as_u64s, AlignedBytes};
@@ -20,11 +20,19 @@ use crate::error::{SectionId, StoreError};
 
 /// First eight bytes of every snapshot.
 pub const MAGIC: [u8; 8] = *b"DISCSNAP";
-/// The format version this build reads and writes. Version 2 added the
-/// ext-ids section (the internal→external id permutation of renumbered
-/// snapshots); version-1 files are rejected with
-/// [`StoreError::UnsupportedVersion`] — re-encode with a current build.
+/// The baseline format version this build writes for dense snapshots.
+/// Version 2 added the ext-ids section (the internal→external id
+/// permutation of renumbered snapshots); version-1 files are rejected
+/// with [`StoreError::UnsupportedVersion`] — re-encode with a current
+/// build.
 pub const VERSION: u32 = 2;
+/// The format version for snapshots carrying streaming state (appended
+/// external ids + tombstones). The ext-ids payload becomes
+/// `[next_external u64][tombstone_count u64][sorted tombstones…][n
+/// external ids]`. [`encode_stream`] emits it **only** when streaming
+/// state is present, so every dense snapshot stays byte-identical to
+/// version 2; [`load`] accepts both.
+pub const STREAM_VERSION: u32 = 3;
 /// Endianness sentinel: written native, read native — a snapshot from a
 /// machine with different byte order reads back as a different value.
 pub const ENDIAN_MARKER: u32 = 0x0A0B_0C0D;
@@ -168,11 +176,33 @@ pub struct SnapshotParts<'a> {
     pub ext_ids: Option<&'a [ObjId]>,
 }
 
-/// Serialises raw snapshot parts. Rejects structurally inconsistent
-/// parts (mismatched array lengths, invalid radius) with a typed error;
-/// deep semantic validation (row order, neighbor ranges, finiteness)
-/// is the load path's job and is re-run on every load.
+/// Serialises raw snapshot parts as a version-2 (dense) snapshot.
+/// Rejects structurally inconsistent parts (mismatched array lengths,
+/// invalid radius) with a typed error; deep semantic validation (row
+/// order, neighbor ranges, finiteness) is the load path's job and is
+/// re-run on every load.
 pub fn encode_parts(parts: &SnapshotParts<'_>) -> Result<Vec<u8>, StoreError> {
+    encode_with_stream(parts, None)
+}
+
+/// Serialises raw snapshot parts plus streaming state (`next_external`
+/// and the sorted tombstone list) as a version-3 snapshot. Unlike
+/// [`encode_parts`], `parts.ext_ids` is **required** and holds sparse
+/// external ids: distinct, below `next_external`, disjoint from the
+/// tombstones, with `n + tombstones.len() == next_external` (every id
+/// ever assigned is live or tombstoned).
+pub fn encode_stream_parts(
+    parts: &SnapshotParts<'_>,
+    next_external: ObjId,
+    tombstones: &[ObjId],
+) -> Result<Vec<u8>, StoreError> {
+    encode_with_stream(parts, Some((next_external, tombstones)))
+}
+
+fn encode_with_stream(
+    parts: &SnapshotParts<'_>,
+    stream: Option<(ObjId, &[ObjId])>,
+) -> Result<Vec<u8>, StoreError> {
     if parts.offsets.is_empty() {
         return Err(GraphError::EmptyOffsets.into());
     }
@@ -204,24 +234,69 @@ pub fn encode_parts(parts: &SnapshotParts<'_>) -> Result<Vec<u8>, StoreError> {
                 found: (ext.len() * 8) as u64,
             });
         }
-        let mut seen = vec![false; n];
-        for &e in ext {
-            if e >= n || std::mem::replace(&mut seen[e], true) {
+    }
+    match stream {
+        None => {
+            if let Some(ext) = parts.ext_ids {
+                let mut seen = vec![false; n];
+                for &e in ext {
+                    if e >= n || std::mem::replace(&mut seen[e], true) {
+                        return Err(StoreError::BadLayout {
+                            detail: "external ids are not a permutation of 0..n",
+                        });
+                    }
+                }
+            }
+        }
+        Some((next_external, tombstones)) => {
+            let Some(ext) = parts.ext_ids else {
                 return Err(StoreError::BadLayout {
-                    detail: "external ids are not a permutation of 0..n",
+                    detail: "streaming snapshot requires explicit external ids",
                 });
+            };
+            if n + tombstones.len() != next_external {
+                return Err(StoreError::BadLayout {
+                    detail: "live + tombstoned ids do not account for every assigned id",
+                });
+            }
+            // One mark per ever-assigned id catches duplicates and
+            // live/tombstone overlap in a single pass.
+            let mut seen = vec![false; next_external];
+            for (k, &t) in tombstones.iter().enumerate() {
+                if k > 0 && tombstones[k - 1] >= t {
+                    return Err(StoreError::BadLayout {
+                        detail: "tombstones are not strictly ascending",
+                    });
+                }
+                if t >= next_external {
+                    return Err(StoreError::BadLayout {
+                        detail: "tombstone at or past the next external id",
+                    });
+                }
+                seen[t] = true;
+            }
+            for &e in ext {
+                if e >= next_external || std::mem::replace(&mut seen[e], true) {
+                    return Err(StoreError::BadLayout {
+                        detail: "external ids are not distinct live ids below next_external",
+                    });
+                }
             }
         }
     }
 
     let name_bytes = parts.name.as_bytes();
+    let ext_ids_len = match stream {
+        None => n * 8,
+        Some((_, tombstones)) => (2 + tombstones.len() + n) * 8,
+    };
     let payload_lens: [usize; SECTION_COUNT] = [
         META_LEN,
         parts.coords.len() * 8,
         parts.offsets.len() * 8,
         parts.neighbors.len() * 8,
         parts.dists.len() * 8,
-        n * 8,
+        ext_ids_len,
         name_bytes.len(),
     ];
     let padded_lens = payload_lens.map(align8);
@@ -229,7 +304,11 @@ pub fn encode_parts(parts: &SnapshotParts<'_>) -> Result<Vec<u8>, StoreError> {
     let mut buf = vec![0u8; file_len];
 
     buf[..8].copy_from_slice(&MAGIC);
-    write_u32(&mut buf, OFF_VERSION, VERSION);
+    let version = match stream {
+        None => VERSION,
+        Some(_) => STREAM_VERSION,
+    };
+    write_u32(&mut buf, OFF_VERSION, version);
     write_u32(&mut buf, OFF_ENDIAN, ENDIAN_MARKER);
     write_u64(&mut buf, OFF_SECTION_COUNT, SECTION_COUNT as u64);
     write_u64(&mut buf, OFF_FILE_LEN, file_len as u64);
@@ -254,9 +333,16 @@ pub fn encode_parts(parts: &SnapshotParts<'_>) -> Result<Vec<u8>, StoreError> {
             SectionId::Offsets => write_usize_section(&mut buf, off, parts.offsets),
             SectionId::Neighbors => write_usize_section(&mut buf, off, parts.neighbors),
             SectionId::Dists => write_f64_section(&mut buf, off, parts.dists),
-            SectionId::ExtIds => match parts.ext_ids {
-                Some(ext) => write_usize_section(&mut buf, off, ext),
-                None => {
+            SectionId::ExtIds => match (stream, parts.ext_ids) {
+                (Some((next_external, tombstones)), Some(ext)) => {
+                    write_u64(&mut buf, off, next_external as u64);
+                    write_u64(&mut buf, off + 8, tombstones.len() as u64);
+                    write_usize_section(&mut buf, off + 16, tombstones);
+                    write_usize_section(&mut buf, off + 16 + tombstones.len() * 8, ext);
+                }
+                (Some(_), None) => unreachable!("validated above: streaming requires ext ids"),
+                (None, Some(ext)) => write_usize_section(&mut buf, off, ext),
+                (None, None) => {
                     for (j, chunk) in buf[off..off + n * 8].chunks_exact_mut(8).enumerate() {
                         chunk.copy_from_slice(&(j as u64).to_ne_bytes());
                     }
@@ -323,6 +409,35 @@ pub fn encode(dataset: &Dataset, graph: &StratifiedDiskGraph) -> Result<Vec<u8>,
     })
 }
 
+/// Serialises a streaming catalog. A catalog with no streaming state
+/// (no tombstones, no appended ids) produces a version-2 snapshot
+/// **byte-identical** to [`encode`] on its dataset/graph pair — the
+/// existing corpus and its sha256 pins cannot drift; otherwise a
+/// version-3 snapshot carrying `next_external` and the tombstones.
+pub fn encode_stream(catalog: &StreamingCatalog) -> Result<Vec<u8>, StoreError> {
+    let data = catalog.data();
+    let graph = catalog.graph();
+    if catalog.tombstones().is_empty() && catalog.next_external() == data.len() {
+        return encode(data, graph);
+    }
+    let ext: Vec<ObjId> = (0..data.len()).map(|v| graph.external_id(v)).collect();
+    encode_stream_parts(
+        &SnapshotParts {
+            name: data.name(),
+            metric: data.metric(),
+            dim: data.dim(),
+            coords: data.flat_coords(),
+            radius: graph.radius(),
+            offsets: graph.offsets(),
+            neighbors: graph.neighbors_flat(),
+            dists: graph.dists_flat(),
+            ext_ids: Some(&ext),
+        },
+        catalog.next_external(),
+        catalog.tombstones(),
+    )
+}
+
 /// A validated, zero-copy view over a snapshot byte buffer. All slice
 /// accessors borrow the underlying bytes directly (alignment was
 /// verified at load time); [`SnapshotView::dataset`] and
@@ -336,6 +451,9 @@ pub struct SnapshotView<'a> {
     n: usize,
     radius: f64,
     edge_total: usize,
+    version: u32,
+    next_external: u64,
+    tombstones: &'a [u64],
     coords: &'a [f64],
     offsets: &'a [u64],
     neighbors: &'a [u64],
@@ -391,10 +509,10 @@ pub fn load(bytes: &[u8]) -> Result<SnapshotView<'_>, StoreError> {
         });
     }
     let version = read_u32(bytes, OFF_VERSION);
-    if version != VERSION {
+    if version != VERSION && version != STREAM_VERSION {
         return Err(StoreError::UnsupportedVersion {
             found: version,
-            supported: VERSION,
+            supported: STREAM_VERSION,
         });
     }
     if read_u64(bytes, OFF_SECTION_COUNT) != SECTION_COUNT as u64 {
@@ -545,18 +663,34 @@ pub fn load(bytes: &[u8]) -> Result<SnapshotView<'_>, StoreError> {
     let ext_ids_bytes = n_u.checked_mul(8).ok_or(StoreError::BadLayout {
         detail: "ext ids size overflows",
     })?;
+    // A streaming (v3) ext-ids section is `[next_external][count]
+    // [tombstones…][ids…]`: its exact size depends on the tombstone
+    // count stored *inside* the payload, so only the lower bound is
+    // checked here and the exact check runs after the section is read.
+    let ext_ids_min = if version == STREAM_VERSION {
+        ext_ids_bytes.checked_add(16).ok_or(StoreError::BadLayout {
+            detail: "ext ids size overflows",
+        })?
+    } else {
+        ext_ids_bytes
+    };
     let expected_sizes: [u64; SECTION_COUNT] = [
         META_LEN as u64,
         coords_bytes,
         offsets_bytes,
         edges_bytes,
         edges_bytes,
-        ext_ids_bytes,
+        ext_ids_min,
         align8(name_len) as u64,
     ];
     for (i, &expected) in expected_sizes.iter().enumerate() {
         let found = extents[i].1 as u64;
-        if found != expected {
+        let ok = if version == STREAM_VERSION && SECTION_ORDER[i] == SectionId::ExtIds {
+            found >= expected
+        } else {
+            found == expected
+        };
+        if !ok {
             return Err(StoreError::SectionSizeMismatch {
                 section: SECTION_ORDER[i],
                 expected,
@@ -569,8 +703,37 @@ pub fn load(bytes: &[u8]) -> Result<SnapshotView<'_>, StoreError> {
     let offsets = as_u64s(verify(2)?);
     let neighbors = as_u64s(verify(3)?);
     let dists = as_f64s(verify(4)?);
-    let ext_ids = as_u64s(verify(5)?);
+    let ext_region = as_u64s(verify(5)?);
     let name_region = verify(6)?;
+
+    // Split the ext-ids payload per version: v2 is the bare id array,
+    // v3 prefixes the streaming state.
+    let (next_external_u, tombstones, ext_ids) = if version == STREAM_VERSION {
+        let next = ext_region[0];
+        let t = to_usize(ext_region[1], "tombstone count exceeds usize")?;
+        let expected = (2u64)
+            .checked_add(t as u64)
+            .and_then(|v| v.checked_add(n_u))
+            .and_then(|v| v.checked_mul(8))
+            .ok_or(StoreError::BadLayout {
+                detail: "ext ids size overflows",
+            })?;
+        if (ext_region.len() * 8) as u64 != expected {
+            return Err(StoreError::SectionSizeMismatch {
+                section: SectionId::ExtIds,
+                expected,
+                found: (ext_region.len() * 8) as u64,
+            });
+        }
+        if n_u + t as u64 != next {
+            return Err(StoreError::BadLayout {
+                detail: "live + tombstoned ids do not account for every assigned id",
+            });
+        }
+        (next, &ext_region[2..2 + t], &ext_region[2 + t..])
+    } else {
+        (n_u, &ext_region[..0], ext_region)
+    };
 
     let name =
         std::str::from_utf8(&name_region[..name_len]).map_err(|_| StoreError::BadLayout {
@@ -604,16 +767,48 @@ pub fn load(bytes: &[u8]) -> Result<SnapshotView<'_>, StoreError> {
         });
     }
 
-    // Ext-ids semantics: a permutation of 0..n. (Whether it is the
-    // identity only matters at materialisation time, where the identity
-    // normalises away.)
-    let mut seen = vec![false; n];
-    for &e in ext_ids {
-        let idx = to_usize(e, "external id exceeds usize")?;
-        if idx >= n || std::mem::replace(&mut seen[idx], true) {
-            return Err(StoreError::BadLayout {
-                detail: "external ids are not a permutation of 0..n",
-            });
+    // Ext-ids semantics. Version 2: a permutation of 0..n (whether it
+    // is the identity only matters at materialisation time, where the
+    // identity normalises away). Version 3: distinct ids below
+    // next_external, disjoint from the strictly ascending tombstones —
+    // together they account for every assigned id (already checked
+    // against the meta count above, so the mark array is bounded).
+    if version == STREAM_VERSION {
+        let next = to_usize(next_external_u, "next external id exceeds usize")?;
+        let mut seen = vec![false; next];
+        let mut prev: Option<u64> = None;
+        for &t in tombstones {
+            if prev.is_some_and(|p| p >= t) {
+                return Err(StoreError::BadLayout {
+                    detail: "tombstones are not strictly ascending",
+                });
+            }
+            prev = Some(t);
+            let idx = to_usize(t, "tombstone exceeds usize")?;
+            if idx >= next {
+                return Err(StoreError::BadLayout {
+                    detail: "tombstone at or past the next external id",
+                });
+            }
+            seen[idx] = true;
+        }
+        for &e in ext_ids {
+            let idx = to_usize(e, "external id exceeds usize")?;
+            if idx >= next || std::mem::replace(&mut seen[idx], true) {
+                return Err(StoreError::BadLayout {
+                    detail: "external ids are not distinct live ids below next_external",
+                });
+            }
+        }
+    } else {
+        let mut seen = vec![false; n];
+        for &e in ext_ids {
+            let idx = to_usize(e, "external id exceeds usize")?;
+            if idx >= n || std::mem::replace(&mut seen[idx], true) {
+                return Err(StoreError::BadLayout {
+                    detail: "external ids are not a permutation of 0..n",
+                });
+            }
         }
     }
 
@@ -624,6 +819,9 @@ pub fn load(bytes: &[u8]) -> Result<SnapshotView<'_>, StoreError> {
         n,
         radius,
         edge_total,
+        version,
+        next_external: next_external_u,
+        tombstones,
         coords,
         offsets,
         neighbors,
@@ -693,10 +891,33 @@ impl<'a> SnapshotView<'a> {
     }
 
     /// External id of each internal object as stored (u64), borrowed
-    /// from the snapshot bytes. Guaranteed to be a permutation of
-    /// `0..len` (the identity for un-renumbered snapshots).
+    /// from the snapshot bytes. For version-2 snapshots a permutation
+    /// of `0..len` (the identity when un-renumbered); for version-3
+    /// snapshots distinct ids below [`SnapshotView::next_external`].
     pub fn ext_ids_raw(&self) -> &'a [u64] {
         self.ext_ids
+    }
+
+    /// Format version of the loaded snapshot (2 or 3).
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Whether the snapshot carries streaming state (version 3).
+    pub fn is_streaming(&self) -> bool {
+        self.version == STREAM_VERSION
+    }
+
+    /// The next external id a streaming insert would assign. Equals
+    /// [`SnapshotView::len`] for version-2 snapshots.
+    pub fn next_external(&self) -> u64 {
+        self.next_external
+    }
+
+    /// Tombstoned external ids, strictly ascending (empty for
+    /// version-2 snapshots), borrowed from the snapshot bytes.
+    pub fn tombstones_raw(&self) -> &'a [u64] {
+        self.tombstones
     }
 
     /// Materialises the stored internal↔external id bijection; `None`
@@ -706,13 +927,37 @@ impl<'a> SnapshotView<'a> {
         for &v in self.ext_ids {
             ext.push(to_usize(v, "external id exceeds usize")?);
         }
-        match IdPermutation::try_new(ext) {
+        let perm = if self.version == STREAM_VERSION {
+            // Sparse: ids may exceed n (appended) and leave holes
+            // (tombstones); load() proved distinctness.
+            IdPermutation::try_new_sparse(ext)
+        } else {
+            IdPermutation::try_new(ext)
+        };
+        match perm {
             Ok(p) if p.is_identity() => Ok(None),
             Ok(p) => Ok(Some(Arc::new(p))),
             // load() already proved the permutation property; an empty
             // snapshot (n == 0) is the only way to get here.
             Err(_) => Ok(None),
         }
+    }
+
+    /// Materialises the full streaming catalog: dataset and graph
+    /// sharing one permutation, re-wrapped with the stored
+    /// `next_external` and tombstones and re-validated by
+    /// [`StreamingCatalog::from_parts`]. Works on version-2 snapshots
+    /// too (no tombstones, dense ids), so one open path serves both.
+    pub fn catalog(&self) -> Result<StreamingCatalog, StoreError> {
+        let perm = self.permutation()?;
+        let dataset = self.dataset()?.with_permutation(perm.clone());
+        let graph = self.graph()?.with_permutation(perm);
+        let next = to_usize(self.next_external, "next external id exceeds usize")?;
+        let mut tombstones = Vec::with_capacity(self.tombstones.len());
+        for &t in self.tombstones {
+            tombstones.push(to_usize(t, "tombstone exceeds usize")?);
+        }
+        StreamingCatalog::from_parts(dataset, graph, next, tombstones).map_err(StoreError::from)
     }
 
     /// Materialises the stored dataset, re-running [`Dataset`]'s own
@@ -756,6 +1001,13 @@ pub fn decode(bytes: &[u8]) -> Result<(Dataset, StratifiedDiskGraph), StoreError
     let dataset = view.dataset()?.with_permutation(perm.clone());
     let graph = view.graph()?.with_permutation(perm);
     Ok((dataset, graph))
+}
+
+/// Validates `bytes` and materialises the streaming catalog in one
+/// step — the open path of a serving process that accepts inserts and
+/// deletes. Accepts version-2 and version-3 snapshots alike.
+pub fn decode_stream(bytes: &[u8]) -> Result<StreamingCatalog, StoreError> {
+    load(bytes)?.catalog()
 }
 
 /// Encodes and writes a snapshot to `path`, returning the byte length

@@ -8,7 +8,7 @@ use disc_metric::{Dataset, Metric, Point};
 use disc_mtree::{MTree, MTreeConfig};
 use disc_store::fault::{corrupt, stored_checksum};
 use disc_store::{
-    decode, encode, fnv1a_64, load, AlignedBytes, Fault, SectionId, StoreError, VERSION,
+    decode, encode, fnv1a_64, load, AlignedBytes, Fault, SectionId, StoreError, STREAM_VERSION,
 };
 use rand::{rngs::StdRng, RngExt as _, SeedableRng};
 
@@ -188,16 +188,37 @@ fn truncation_at_every_length_is_detected() {
 #[test]
 fn version_skew_is_rejected_as_unsupported() {
     let (_, _, bytes) = small_snapshot();
-    for skew in [0, VERSION + 1, u32::MAX] {
+    for skew in [0, 1, STREAM_VERSION + 1, u32::MAX] {
         let damaged = corrupt(&bytes, Fault::VersionSkew(skew));
         assert_eq!(
             load_copy(&damaged).expect_err("skewed version must be rejected"),
             StoreError::UnsupportedVersion {
                 found: skew,
-                supported: VERSION,
+                supported: STREAM_VERSION,
             }
         );
     }
+}
+
+#[test]
+fn dense_payload_stamped_as_streaming_is_rejected() {
+    // Stamping a v2 file's header with version 3 reinterprets the bare
+    // ext-ids array as `[next_external][count][…]` — the size equation
+    // `2 + tombstones + n` can no longer hold, so the load fails closed
+    // instead of inventing streaming state.
+    let (_, _, bytes) = small_snapshot();
+    let damaged = corrupt(&bytes, Fault::VersionSkew(STREAM_VERSION));
+    let err = load_copy(&damaged).expect_err("v2 payload under a v3 header must be rejected");
+    assert!(
+        matches!(
+            err,
+            StoreError::SectionSizeMismatch {
+                section: SectionId::ExtIds,
+                ..
+            } | StoreError::BadLayout { .. }
+        ),
+        "unexpected error: {err:?}"
+    );
 }
 
 #[test]
