@@ -69,15 +69,18 @@ use disc_mtree::{MTree, MTreeConfig};
 const R_MAX: f64 = 0.08;
 const TARGETS: [f64; 3] = [0.06, 0.04, 0.02];
 
-/// Acceptance-scale (n = 10_000) CSR-assembly wall-clock of the
-/// leaf-order renumbered build, as recorded in `BENCH_fig9.json`. The
-/// regression gate fails any acceptance run whose assembly exceeds
-/// 1.25× this; smoke runs (`GRAPH_N` below 10_000) skip the gate. The
-/// assembly phase streams ~150 MB, so the recorded value is bandwidth-
-/// bound: on a contended host it swings well beyond the ±10% that
-/// cache-resident sections show (compare `store.load_ms` in the same
-/// report before blaming a code change).
-const ASSEMBLY_BASELINE_MS: f64 = 551.2;
+/// CSR-assembly regression gate, expressed as a ratio against the
+/// same run's annotated self-join instead of an absolute wall-clock:
+/// both phases stream the same edge set on the same host in the same
+/// process, so host speed, memory bandwidth, and contention cancel
+/// out of the quotient. The renumbered build's recorded acceptance
+/// ratio is ~3.8 (assembly 470ms / self-join 125ms at n = 10_000);
+/// the gate fails any acceptance run whose assembly exceeds 6× the
+/// self-join — a genuine assembly regression moves the ratio, a slow
+/// CI host moves both numerators. Smoke runs (`GRAPH_N` below
+/// 10_000) skip the gate: at small n both phases are sub-millisecond
+/// and the quotient is noise.
+const ASSEMBLY_RATIO_LIMIT: f64 = 6.0;
 
 fn main() {
     let out_path = std::env::args()
@@ -173,10 +176,11 @@ fn main() {
     );
     if !smoke {
         assert!(
-            m.strat_assembly_ms <= ASSEMBLY_BASELINE_MS * 1.25,
-            "assembly regression gate: {:.1}ms exceeds the renumbered-build \
-             baseline {ASSEMBLY_BASELINE_MS}ms x 1.25",
-            m.strat_assembly_ms
+            m.strat_assembly_ms <= ASSEMBLY_RATIO_LIMIT * m.strat_selfjoin_ms,
+            "assembly regression gate: {:.1}ms exceeds {ASSEMBLY_RATIO_LIMIT}x \
+             the same run's annotated self-join ({:.1}ms)",
+            m.strat_assembly_ms,
+            m.strat_selfjoin_ms
         );
     }
 

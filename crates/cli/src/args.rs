@@ -15,6 +15,7 @@ disc — DisC diversity snapshots: build, query, serve, triage
 USAGE:
     disc build  --out <path> [--n <int>] [--dim <int>] [--clusters <int>]
                 [--seed <int>] [--radius <float>] [--uniform]
+                [--shards <int>]
     disc zoom   --snapshot <path> (--radius <float> | --radii <r1,r2,...>)
                 [--deadline-ms <int>]
     disc serve  --snapshot <path> [--workers <int>] [--queue <int>]
@@ -43,6 +44,10 @@ pub struct BuildArgs {
     pub radius: f64,
     /// Use the uniform generator instead of the clustered one.
     pub uniform: bool,
+    /// Spatial shard count for the sharded build pipeline; the snapshot
+    /// is byte-identical at every count (1 = one shard, still the
+    /// sharded pipeline).
+    pub shards: usize,
 }
 
 /// `disc zoom`: one-shot solve against a snapshot.
@@ -196,6 +201,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 "--seed",
                 "--radius",
                 "--uniform",
+                "--shards",
             ])?;
             Ok(Command::Build(BuildArgs {
                 out: PathBuf::from(flags.required("--out")?),
@@ -220,6 +226,16 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     None => 0.1,
                 },
                 uniform: flags.present("--uniform"),
+                shards: match flags.value("--shards") {
+                    Some(v) => {
+                        let shards = parse_usize("--shards", v)?;
+                        if shards == 0 {
+                            return Err(usage("--shards must be at least 1"));
+                        }
+                        shards
+                    }
+                    None => 1,
+                },
             }))
         }
         "zoom" => {

@@ -77,6 +77,7 @@ pub struct Counters {
     failed: AtomicU64,
     panicked: AtomicU64,
     cache_hits: AtomicU64,
+    drift: AtomicU64,
 }
 
 /// A point-in-time copy of every counter.
@@ -92,6 +93,12 @@ pub struct CounterSnapshot {
     pub failed: u64,
     pub panicked: u64,
     pub cache_hits: u64,
+    /// Cumulative selection churn of the maintained `r_max` cover
+    /// across every streaming mutation: Σ per-mutation
+    /// `newly_selected + unselected` from
+    /// [`disc_core::RepairableSolution`] repairs. Not a request count —
+    /// excluded from the bookkeeping identities.
+    pub drift: u64,
 }
 
 impl Counters {
@@ -111,6 +118,7 @@ impl Counters {
             failed: self.failed.load(Ordering::Relaxed),
             panicked: self.panicked.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            drift: self.drift.load(Ordering::Relaxed),
         }
     }
 
@@ -122,10 +130,11 @@ impl Counters {
                     Self::bump(&self.cache_hits);
                 }
             }
-            Outcome::Swept { .. }
-            | Outcome::Slept { .. }
-            | Outcome::Inserted { .. }
-            | Outcome::Deleted { .. } => Self::bump(&self.completed),
+            Outcome::Swept { .. } | Outcome::Slept { .. } => Self::bump(&self.completed),
+            Outcome::Inserted { drift, .. } | Outcome::Deleted { drift, .. } => {
+                Self::bump(&self.completed);
+                self.drift.fetch_add(*drift as u64, Ordering::Relaxed);
+            }
             Outcome::Cancelled => Self::bump(&self.cancelled),
             Outcome::Panicked => Self::bump(&self.panicked),
             Outcome::Failed { .. } => Self::bump(&self.failed),
@@ -189,14 +198,16 @@ pub fn render_reply(reply: &Reply) -> String {
             neighbors,
             n,
             invalidated,
+            drift,
         }
         | Outcome::Deleted {
             external,
             neighbors,
             n,
             invalidated,
+            drift,
         } => format!(
-            "{head},\"status\":\"ok\",\"external\":{external},\"neighbors\":{neighbors},\"n\":{n},\"invalidated\":{invalidated}}}"
+            "{head},\"status\":\"ok\",\"external\":{external},\"neighbors\":{neighbors},\"n\":{n},\"invalidated\":{invalidated},\"drift\":{drift}}}"
         ),
         Outcome::Cancelled => format!("{head},\"status\":\"cancelled\"}}"),
         Outcome::Panicked => format!("{head},\"status\":\"panicked\"}}"),
@@ -212,7 +223,7 @@ pub fn render_reply(reply: &Reply) -> String {
 /// Renders a counter snapshot as a single JSON line.
 pub fn render_stats(snap: &CounterSnapshot) -> String {
     format!(
-        "{{\"op\":\"stats\",\"submitted\":{},\"admitted\":{},\"shed\":{},\"degraded\":{},\"completed\":{},\"cancelled\":{},\"failed\":{},\"panicked\":{},\"cache_hits\":{}}}",
+        "{{\"op\":\"stats\",\"submitted\":{},\"admitted\":{},\"shed\":{},\"degraded\":{},\"completed\":{},\"cancelled\":{},\"failed\":{},\"panicked\":{},\"cache_hits\":{},\"drift\":{}}}",
         snap.submitted,
         snap.admitted,
         snap.shed,
@@ -222,6 +233,7 @@ pub fn render_stats(snap: &CounterSnapshot) -> String {
         snap.failed,
         snap.panicked,
         snap.cache_hits,
+        snap.drift,
     )
 }
 

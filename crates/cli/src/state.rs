@@ -18,8 +18,9 @@
 //! not a torn catalog.
 
 use std::path::Path;
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
+use disc_core::RepairableSolution;
 use disc_graph::StreamingCatalog;
 use disc_metric::Metric;
 use disc_store::{decode_stream, read_snapshot};
@@ -38,6 +39,11 @@ pub struct ServeState {
     pub r_max: f64,
     /// The mutable dataset + stratified-graph pair.
     catalog: RwLock<StreamingCatalog>,
+    /// The maintained `r_max` cover the streaming verbs repair in
+    /// lock-step with the catalog — `None` until the first mutation
+    /// bootstraps it. Lock order: catalog write guard first, then this
+    /// (mutations are the only path that takes both).
+    tracker: Mutex<Option<RepairableSolution>>,
 }
 
 impl ServeState {
@@ -60,6 +66,7 @@ impl ServeState {
             metric: catalog.data().metric(),
             r_max: catalog.graph().radius(),
             catalog: RwLock::new(catalog),
+            tracker: Mutex::new(None),
         })
     }
 
@@ -78,6 +85,13 @@ impl ServeState {
     /// Live object count right now (changes under mutation).
     pub fn n(&self) -> usize {
         self.catalog().len()
+    }
+
+    /// The maintained `r_max` cover (`None` before the first
+    /// mutation). Take the catalog **write** guard first when mutating
+    /// both — see the field's lock-order note.
+    pub fn tracker(&self) -> MutexGuard<'_, Option<RepairableSolution>> {
+        self.tracker.lock().unwrap_or_else(|p| p.into_inner())
     }
 }
 

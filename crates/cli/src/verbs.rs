@@ -3,9 +3,8 @@
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use disc_graph::StratifiedDiskGraph;
+use disc_core::{build_sharded_with, ShardedBuildConfig};
 use disc_metric::CancelToken;
-use disc_mtree::{MTree, MTreeConfig, SelfJoinConfig};
 
 use crate::args::{self, BuildArgs, Command, DoctorArgs, ServeArgs, ZoomArgs};
 use crate::error::CliError;
@@ -29,17 +28,21 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
 }
 
 /// `disc build`: generate points, materialise the stratified graph at
-/// `--radius` through the production pipeline (one M-tree self-join +
-/// CSR assembly, not the O(n²) reference build), write the snapshot.
+/// `--radius` through the sharded production pipeline
+/// ([`disc_core::build_sharded_with`]: spatial partition, per-shard
+/// M-tree self-joins, boundary cross-joins, multi-source CSR merge —
+/// not the O(n²) reference build), write the snapshot.
 ///
-/// The build renumbers objects by M-tree leaf order before the
-/// self-join, so edge endpoints land in near-contiguous CSR rows; the
-/// snapshot persists the internal↔external bijection (format v2) and
-/// every served solution and wire hash stays in external ids.
+/// The pipeline renumbers objects into the shard plan's canonical
+/// split order before any join — a spatially local order, so edge
+/// endpoints land in near-contiguous CSR rows — and the snapshot
+/// persists the internal↔external bijection (format v2); every served
+/// solution and wire hash stays in external ids.
 ///
-/// `SELF_JOIN_THREADS` forces the self-join worker / assembly shard
-/// count when the `parallel` feature is compiled in; the snapshot is
-/// byte-identical for every count (CI pins this with a sha256 matrix).
+/// The snapshot is **byte-identical at every `--shards` value** and at
+/// every worker count (`SELF_JOIN_THREADS` forces the worker count
+/// when the `parallel` feature is compiled in; CI pins both with
+/// sha256 matrices).
 fn run_build(build: &BuildArgs) -> Result<(), CliError> {
     if !(build.radius.is_finite() && build.radius > 0.0) {
         return Err(CliError::Usage(format!(
@@ -59,30 +62,27 @@ fn run_build(build: &BuildArgs) -> Result<(), CliError> {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(0);
-    let tree = MTree::build(&data, MTreeConfig::default());
-    // Renumber by leaf order: the relabeled tree's leaf order is the
-    // identity, so the self-join emits endpoints in near-row order and
-    // CSR fill walks warm cache lines. The permutation rides in the
-    // snapshot; ids re-externalise at every API boundary.
-    let order = tree.objects_in_leaf_order_uncounted();
-    let data = data.renumbered(&order);
-    let tree = tree.relabeled(&data, &order);
-    let graph = StratifiedDiskGraph::from_mtree_checked(
-        &tree,
-        build.radius,
-        SelfJoinConfig::with_threads(threads),
-        None,
-    )?;
-    let bytes = disc_store::encode(&data, &graph)?;
+    let config = ShardedBuildConfig {
+        threads,
+        ..ShardedBuildConfig::default()
+    };
+    let built = build_sharded_with(&data, build.radius, build.shards, config, None)?;
+    let bytes = disc_store::encode(&built.data, &built.graph)?;
     std::fs::write(&build.out, &bytes)?;
+    let s = &built.stats;
     println!(
-        "{{\"op\":\"build\",\"status\":\"ok\",\"path\":{:?},\"n\":{},\"dim\":{},\"edges\":{},\"r_max\":{},\"bytes\":{}}}",
+        "{{\"op\":\"build\",\"status\":\"ok\",\"path\":{:?},\"n\":{},\"dim\":{},\"edges\":{},\"r_max\":{},\"bytes\":{},\
+         \"shards\":{},\"boundary_pairs\":{},\"distance_computations\":{},\"boundary_join_dc\":{}}}",
         build.out.display().to_string(),
-        data.len(),
-        data.dim(),
-        graph.edge_count(),
+        built.data.len(),
+        built.data.dim(),
+        built.graph.edge_count(),
         build.radius,
         bytes.len(),
+        s.shards,
+        s.boundary_pairs_joined,
+        s.distance_computations(),
+        s.boundary_join_dc,
     );
     Ok(())
 }

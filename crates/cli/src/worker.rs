@@ -32,7 +32,10 @@ use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use disc_core::{greedy_disc_graph_checked, greedy_zoom_in_graph_checked, DiscResult};
+use disc_core::{
+    greedy_disc_graph_checked, greedy_zoom_in_graph_checked, DiscResult, RepairableSolution,
+};
+use disc_graph::{InsertReceipt, RemoveReceipt, StreamingCatalog};
 use disc_metric::{CancelToken, ObjId};
 use disc_store::fnv1a_64;
 
@@ -135,6 +138,12 @@ pub enum Outcome {
         /// Cache entries dropped because the new point broke their
         /// cover (no selected object within the entry's radius).
         invalidated: usize,
+        /// Selection churn this mutation caused in the maintained
+        /// `r_max` cover: `newly_selected + unselected` from the
+        /// [`disc_core::RepairableSolution`] repair (0 when the repair
+        /// left the selected set untouched, and for the bootstrap
+        /// mutation itself).
+        drift: usize,
     },
     /// A delete was applied to the live catalog.
     Deleted {
@@ -147,6 +156,10 @@ pub enum Outcome {
         /// Cache entries dropped because they had selected the removed
         /// object.
         invalidated: usize,
+        /// Selection churn in the maintained `r_max` cover (see
+        /// [`Outcome::Inserted::drift`]); deleting a selected object
+        /// counts 1 plus every neighbour the repair promoted.
+        drift: usize,
     },
     /// The deadline fired before completion; no partial state escaped.
     Cancelled,
@@ -272,6 +285,59 @@ fn run_sleep(ms: u64, cancel: Option<&CancelToken>) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Bootstraps the maintained `r_max` cover from a fresh greedy solve
+/// over the catalog's *current* object set (so the mutation that
+/// triggered the bootstrap contributes no drift — there was no prior
+/// selection to drift from).
+fn bootstrap_tracker(catalog: &StreamingCatalog, r_max: f64) -> Option<RepairableSolution> {
+    let view = catalog.graph().try_view(r_max).ok()?;
+    let unit = view.to_unit_disk_graph();
+    let result = greedy_disc_graph_checked(&unit, None).ok()?;
+    RepairableSolution::from_result(catalog, &result).ok()
+}
+
+/// Folds one mutation receipt into the maintained `r_max` cover and
+/// returns the selection churn (`newly_selected + unselected`). Called
+/// with the catalog write guard held, so tracker and catalog move in
+/// lock-step. A repair rejection means tracker and catalog fell out of
+/// step (only reachable after a contained panic between the two
+/// updates): the tracker is dropped so the next mutation
+/// re-bootstraps, and the mutation itself stands.
+fn track_mutation(
+    state: &ServeState,
+    catalog: &StreamingCatalog,
+    receipt: TrackReceipt<'_>,
+) -> usize {
+    let mut tracker = state.tracker();
+    match tracker.as_mut() {
+        Some(rs) => {
+            let report = match receipt {
+                TrackReceipt::Insert(r) => rs.repair_insert(r),
+                TrackReceipt::Remove(r) => rs.repair_remove(catalog, r),
+            };
+            match report {
+                Ok(report) => report.newly_selected + report.unselected,
+                Err(_) => {
+                    *tracker = None;
+                    0
+                }
+            }
+        }
+        None => {
+            *tracker = bootstrap_tracker(catalog, state.r_max);
+            0
+        }
+    }
+}
+
+/// Which streaming receipt a mutation produced.
+enum TrackReceipt<'a> {
+    /// An insert's receipt.
+    Insert(&'a InsertReceipt),
+    /// A delete's receipt (catalog already mutated).
+    Remove(&'a RemoveReceipt),
+}
+
 fn run_op(
     state: &ServeState,
     cache: &SolutionCache,
@@ -317,6 +383,7 @@ fn run_op(
             let mut catalog = state.catalog_mut();
             let receipt = catalog.insert(coords)?;
             let n = catalog.len();
+            let drift = track_mutation(state, &catalog, TrackReceipt::Insert(&receipt));
             // Invalidate while still holding the write lock, so no
             // reader can observe the mutated catalog next to a stale
             // cache. An entry at radius r stays valid iff some selected
@@ -333,12 +400,14 @@ fn run_op(
                 neighbors: receipt.neighbors.len(),
                 n,
                 invalidated,
+                drift,
             })
         }
         Op::Delete { external } => {
             let mut catalog = state.catalog_mut();
             let receipt = catalog.remove_external(*external)?;
             let n = catalog.len();
+            let drift = track_mutation(state, &catalog, TrackReceipt::Remove(&receipt));
             // A cover survives a delete iff the removed object was
             // merely covered (grey): losing a selected object breaks
             // domination for its neighborhood.
@@ -349,6 +418,7 @@ fn run_op(
                 neighbors: receipt.neighbors.len(),
                 n,
                 invalidated,
+                drift,
             })
         }
     }

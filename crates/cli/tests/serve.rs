@@ -711,3 +711,67 @@ fn out_of_range_radius_is_a_typed_failure() {
     assert_eq!(snap.failed, 1);
     assert!(snap.is_consistent());
 }
+
+// ------------------------------------------------------------------
+// Streaming mutations surface their repair drift in the counters.
+// ------------------------------------------------------------------
+
+#[test]
+fn mutation_drift_accumulates_into_the_stats_counter() {
+    use disc_metric::{Dataset, Metric, Point};
+
+    // Three isolated points at r_max = 1.0: the maintained cover
+    // selects every object, so each mutation's drift is hand-checkable.
+    let data = Dataset::new(
+        "drift-test",
+        Metric::Euclidean,
+        vec![
+            Point::new2(0.0, 0.0),
+            Point::new2(10.0, 0.0),
+            Point::new2(20.0, 0.0),
+        ],
+    );
+    let graph = StratifiedDiskGraph::build(&data, 1.0);
+    let catalog = disc_graph::StreamingCatalog::try_new(data, graph).expect("fresh pair");
+    let state = ServeState::from_catalog(catalog);
+
+    let sink = Arc::new(Collect::default());
+    let server = Server::start(
+        Arc::clone(&state),
+        ServeConfig {
+            workers: 1,
+            queue: 16,
+            cache: 4,
+        },
+        Arc::<Collect>::clone(&sink) as Arc<dyn Sink>,
+    );
+
+    let insert = |id: u64, x: f64, y: f64| Request {
+        id,
+        op: Op::Insert { coords: vec![x, y] },
+        deadline: None,
+    };
+    // external 3 — first mutation bootstraps the tracker from the
+    // post-insert catalog: no prior selection to drift from.
+    server.submit(insert(1, 30.0, 0.0));
+    // external 4 — isolated, promoted to a new black: drift 1.
+    server.submit(insert(2, 40.0, 0.0));
+    // external 5 — covered by 4's black at distance 0.1: drift 0.
+    server.submit(insert(3, 40.1, 0.0));
+    // Deleting the black at (40, 0) unselects it and re-promotes its
+    // orphaned neighbour 5: drift 2.
+    server.submit(Request {
+        id: 4,
+        op: Op::Delete { external: 4 },
+        deadline: None,
+    });
+    assert!(server.drain(Duration::from_secs(30)), "pool drains");
+    let snap = server.shutdown();
+    assert_eq!(snap.completed, 4);
+    assert_eq!(snap.drift, 3, "{snap:?}");
+    assert!(snap.is_consistent(), "{snap:?}");
+    assert!(
+        disc_cli::serve::render_stats(&snap).contains("\"drift\":3"),
+        "the stats line carries the cumulative drift"
+    );
+}

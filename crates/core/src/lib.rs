@@ -77,6 +77,7 @@ pub mod par;
 pub mod resident;
 pub mod result;
 pub mod runner;
+pub mod sharded;
 pub mod stream;
 pub mod verify;
 pub mod weighted;
@@ -99,6 +100,9 @@ pub use resident::{
 };
 pub use result::{DiscResult, ZoomResult};
 pub use runner::Heuristic;
+pub use sharded::{
+    build_sharded, build_sharded_with, ShardedBuild, ShardedBuildConfig, ShardedBuildStats,
+};
 pub use stream::{RepairError, RepairReport, RepairableSolution};
 pub use verify::{verify_coverage, verify_disc, VerifyReport};
 pub use weighted::{solution_weight, weighted_disc};

@@ -465,6 +465,92 @@ pub(crate) fn assemble_dist_checked(
     Ok((offsets, dists, neighbors))
 }
 
+/// Multi-source distance-row assembly for the sharded build: assembles
+/// one CSR from several per-task edge slices (intra-shard self-joins
+/// plus boundary cross-joins) **without concatenating them** — the
+/// degree count and fill walk the slices in place, then the row sort
+/// runs as the same entry-balanced parallel phase the single-source
+/// assembly uses.
+///
+/// Because offsets are pure degree counts and every row is sorted by
+/// the total `(dist_order_key, id)` order, the output is byte-identical
+/// to [`assemble_dist`] over any concatenation of the slices — and
+/// therefore to the unsharded build whenever the slices union to the
+/// same edge set. `workers == 0` sizes the sort phase to the available
+/// cores.
+///
+/// On `Err(Cancelled)` the partially assembled arrays are dropped — no
+/// partial CSR escapes.
+pub(crate) fn assemble_dist_multi_checked(
+    n: usize,
+    slices: &[&[DistEdge]],
+    workers: usize,
+    cancel: Option<&CancelToken>,
+) -> Result<(DistCsr, AssemblyTimings), Cancelled> {
+    if let Some(c) = cancel {
+        c.checkpoint()?;
+    }
+    let merge_start = std::time::Instant::now();
+    let mut offsets = vec![0usize; n + 1];
+    for slice in slices {
+        for &(i, j, _) in *slice {
+            debug_assert!(i != j, "self-loop ({i}, {j})");
+            offsets[i + 1] += 1;
+            offsets[j + 1] += 1;
+        }
+    }
+    for v in 0..n {
+        offsets[v + 1] += offsets[v];
+    }
+    let total = offsets[n];
+    let mut dists = vec![0.0f64; total];
+    let mut neighbors = vec![0 as ObjId; total];
+    let mut cursor = offsets.clone();
+    for slice in slices {
+        for (t, &(i, j, d)) in slice.iter().enumerate() {
+            if t % CANCEL_CHUNK == 0 {
+                if let Some(c) = cancel {
+                    c.checkpoint()?;
+                }
+            }
+            let ci = cursor[i];
+            dists[ci] = d;
+            neighbors[ci] = j;
+            cursor[i] = ci + 1;
+            let cj = cursor[j];
+            dists[cj] = d;
+            neighbors[cj] = i;
+            cursor[j] = cj + 1;
+        }
+    }
+    let workers = if workers == 0 {
+        if total < 4_096 {
+            1
+        } else {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        }
+    } else {
+        workers
+    };
+    let merge = merge_start.elapsed();
+    let sort_start = std::time::Instant::now();
+    sort_dist_rows_sharded(&offsets, &mut dists, &mut neighbors, workers.max(1), cancel)?;
+    let timings = AssemblyTimings {
+        merge,
+        sort: sort_start.elapsed(),
+    };
+    Ok(((offsets, dists, neighbors), timings))
+}
+
+/// Wall-clock split of the multi-source assembly: the degree-count +
+/// fill merge walk vs the parallel row-sort phase.
+pub(crate) struct AssemblyTimings {
+    pub merge: std::time::Duration,
+    pub sort: std::time::Duration,
+}
+
 /// The sort half of the sharded distance-row assembly, decoupled from
 /// the fill: rows are partitioned into contiguous ranges balanced by
 /// **entry count** (one binary search on `offsets` per cut) rather than
@@ -868,6 +954,28 @@ mod tests {
                 "dists, shards={shards}"
             );
             assert_eq!(serial.2, sharded.2, "neighbors, shards={shards}");
+        }
+
+        // Multi-source assembly over arbitrary splits of the same edge
+        // set (including empty slices) is byte-identical to the
+        // single-source serial assembly — the contract the sharded
+        // build's byte-identity gate rests on.
+        for cut in [0, 1, edges.len() / 3, edges.len()] {
+            let (a, b) = edges.split_at(cut);
+            let empty: &[DistEdge] = &[];
+            for workers in [1, 3] {
+                let Ok((multi, _)) = assemble_dist_multi_checked(n, &[a, empty, b], workers, None)
+                else {
+                    unreachable!("cancellation is impossible without a token")
+                };
+                assert_eq!(serial.0, multi.0, "offsets, cut={cut}");
+                assert_eq!(
+                    serial.1.iter().map(|d| d.to_bits()).collect::<Vec<_>>(),
+                    multi.1.iter().map(|d| d.to_bits()).collect::<Vec<_>>(),
+                    "dists, cut={cut}"
+                );
+                assert_eq!(serial.2, multi.2, "neighbors, cut={cut}");
+            }
         }
     }
 }

@@ -43,5 +43,5 @@ pub use exact::minimum_independent_dominating_set;
 pub use graph::UnitDiskGraph;
 pub use jaccard::jaccard_distance;
 pub use sets::{is_dominating, is_independent, is_independent_dominating};
-pub use stratified::{StratifiedDiskGraph, StratifiedView};
+pub use stratified::{AssemblyBreakdown, StratifiedDiskGraph, StratifiedView};
 pub use stream::{InsertReceipt, RemoveReceipt, StreamError, StreamingCatalog};

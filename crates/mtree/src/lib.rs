@@ -26,23 +26,33 @@
 //!   feature the traversal fans out over `std::thread::scope` workers
 //!   with byte-identical output and exact counters
 //!   ([`SelfJoinConfig`] forces the thread count in tests);
-//! * **fat-factor computation** ([`stats`]) for the Figure 10 experiment.
+//! * **fat-factor computation** ([`stats`]) for the Figure 10 experiment;
+//! * **sharded-build primitives** — a spatial partitioner with a
+//!   shard-count-independent canonical order ([`ShardPlan`]),
+//!   range-restricted tree construction ([`MTree::build_range`]) and a
+//!   cross-tree boundary join ([`cross_tree_join_dist_checked`]) so the
+//!   r-disk graph can be built shard by shard, byte-identical to the
+//!   single-tree build.
 
 pub mod color;
 pub mod error;
 pub mod node;
 pub mod query;
 pub mod selfjoin;
+pub mod shard;
 pub mod split;
 pub mod stats;
 pub mod tree;
 pub mod validate;
+pub mod xjoin;
 
 pub use color::{Color, ColorState};
 pub use error::JoinError;
 pub use node::{LeafEntry, Node, NodeId, NodeKind};
 pub use query::RangeHit;
 pub use selfjoin::{DistEdge, SelfJoinConfig};
+pub use shard::ShardPlan;
 pub use split::{PartitionPolicy, PromotePolicy, SplitPolicy};
 pub use stats::TreeStats;
 pub use tree::{MTree, MTreeConfig};
+pub use xjoin::cross_tree_join_dist_checked;

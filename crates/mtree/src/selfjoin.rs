@@ -333,7 +333,7 @@ impl<E: JoinEdge> JoinBuf<E> {
 /// `bound == 0` at `r == 0`, duplicate points — stay unaffected
 /// because the margin scales with the bound.
 #[inline]
-fn within_inclusion(bound: f64, r: f64, dim: usize) -> bool {
+pub(crate) fn within_inclusion(bound: f64, r: f64, dim: usize) -> bool {
     bound + bound * ((2 * dim + 8) as f64 * f64::EPSILON) <= r
 }
 

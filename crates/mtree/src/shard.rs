@@ -1,0 +1,369 @@
+//! Spatial shard planning for the out-of-core-ready sharded build.
+//!
+//! [`ShardPlan`] partitions a dataset into `s` spatial shards by a
+//! recursive **balanced median split**: each partition promotes two
+//! pivots with the M-tree's MinOverlap rule (anchor + farthest, see
+//! [`crate::split`]), orders its objects by the generalized-hyperplane
+//! key `d(x, p1) − d(x, p2)` (ties by id), and halves at the median.
+//! The recursion runs to a fixed stop size regardless of the requested
+//! shard count, producing one **canonical permutation** of the dataset
+//! (the depth-first concatenation of the final cells); the requested
+//! shard count only selects *which prefix of the recursion tree* the
+//! shard boundaries are read from. Two consequences the sharded build
+//! relies on:
+//!
+//! * **Shard-count independence.** The permutation — and therefore the
+//!   renumbered dataset, the assembled CSR and the snapshot bytes — is
+//!   a pure function of the dataset, never of `shards`. Byte-identity
+//!   of sharded and unsharded builds follows by construction.
+//! * **Contiguity.** Every shard is a contiguous id range of the
+//!   renumbered dataset, so a per-shard M-tree is just
+//!   [`crate::MTree::build_range`] over the shared dataset — the shape a
+//!   later out-of-process executor needs (ship one range + the boundary
+//!   ball table, nothing else).
+//!
+//! The plan also records one **covering ball** per shard (center = the
+//! shard's first object, radius = its farthest member), which
+//! [`ShardPlan::boundary_pairs`] uses to discard shard pairs that
+//! cannot join: by the triangle inequality, objects of shards `i` and
+//! `j` are all farther than `r` apart when
+//! `d(c_i, c_j) > r + rad_i + rad_j`. The skip test is conservative on
+//! the *keep* side (same ulp-margin style as the self-join's inclusion
+//! bounds), so rounding can only ever admit a fruitless cross-join,
+//! never drop a joining pair.
+//!
+//! Every distance the planner evaluates is counted and readable via
+//! [`ShardPlan::distance_computations`] — the sharded build's exact
+//! accounting includes the partitioning phase.
+
+use std::ops::Range;
+
+use disc_metric::{Dataset, ObjId};
+
+use crate::split::farthest_index;
+
+/// Default recursion stop: partitions at or below this size become
+/// cells and are never subdivided (so shard boundaries exist down to
+/// roughly `n / DEFAULT_STOP` shards; beyond that, extra shards come
+/// back empty). Matches the M-tree's default node capacity within a
+/// small factor, so cells stay leaf-sized.
+pub const DEFAULT_STOP: usize = 64;
+
+/// A spatial partition of a dataset into contiguous shards of a
+/// canonical, shard-count-independent permutation. See the [module
+/// docs](self).
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    /// Canonical permutation: new id `i` is old id `order[i]` (the
+    /// contract of `Dataset::renumbered`).
+    order: Vec<ObjId>,
+    /// Shard extents in the new numbering; disjoint, sorted, covering
+    /// `0..n`. Ranges may be empty when more shards were requested than
+    /// the recursion has cells.
+    ranges: Vec<Range<usize>>,
+    /// Covering ball per shard, `(center old id, radius)`; `None` for
+    /// empty shards. The center is the shard's first object — in new
+    /// numbering, `ranges[s].start` — stored under its *old* id so ball
+    /// geometry can be queried against the original dataset.
+    balls: Vec<Option<(ObjId, f64)>>,
+    /// Distances evaluated while planning (promotions, partition keys,
+    /// ball radii).
+    distance_computations: u64,
+}
+
+impl ShardPlan {
+    /// Plans `shards` spatial shards over `data` with the default
+    /// recursion stop size.
+    pub fn new(data: &Dataset, shards: usize) -> Self {
+        Self::with_stop(data, shards, DEFAULT_STOP)
+    }
+
+    /// [`ShardPlan::new`] with an explicit recursion stop size — a test
+    /// override: a small `stop` forces deep recursion (and therefore
+    /// non-trivial shard boundaries) on datasets small enough to
+    /// cross-validate against the O(n²) reference. `stop` is clamped to
+    /// at least 1.
+    ///
+    /// The permutation depends on `stop` but **never** on `shards`:
+    /// plans over the same dataset with the same `stop` agree on
+    /// [`ShardPlan::order`] for every shard count.
+    pub fn with_stop(data: &Dataset, shards: usize, stop: usize) -> Self {
+        let n = data.len();
+        let shards = shards.max(1);
+        let stop = stop.max(1);
+        let mut order: Vec<ObjId> = (0..n).collect();
+        let mut dc = 0u64;
+        split_recursive(data, &mut order, stop, &mut dc);
+
+        let mut ranges = Vec::with_capacity(shards);
+        shard_ranges(0, n, shards, stop, &mut ranges);
+        debug_assert_eq!(ranges.len(), shards);
+        debug_assert_eq!(ranges.iter().map(Range::len).sum::<usize>(), n);
+
+        let balls = ranges
+            .iter()
+            .map(|r| {
+                if r.is_empty() {
+                    return None;
+                }
+                let center = order[r.start];
+                let mut radius = 0.0f64;
+                for &x in &order[r.start + 1..r.end] {
+                    radius = radius.max(data.dist(center, x));
+                }
+                dc += (r.len() - 1) as u64;
+                Some((center, radius))
+            })
+            .collect();
+
+        Self {
+            order,
+            ranges,
+            balls,
+            distance_computations: dc,
+        }
+    }
+
+    /// The canonical permutation: new id `i` is old id `order[i]` —
+    /// feed this to `Dataset::renumbered`.
+    pub fn order(&self) -> &[ObjId] {
+        &self.order
+    }
+
+    /// Number of planned shards (including empty ones).
+    pub fn shards(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Shard extents in the new numbering; disjoint, sorted, covering
+    /// `0..n`.
+    pub fn ranges(&self) -> &[Range<usize>] {
+        &self.ranges
+    }
+
+    /// Covering ball of shard `s` as `(center old id, radius)`; `None`
+    /// for an empty shard.
+    pub fn ball(&self, s: usize) -> Option<(ObjId, f64)> {
+        self.balls[s]
+    }
+
+    /// Distances evaluated while planning.
+    pub fn distance_computations(&self) -> u64 {
+        self.distance_computations
+    }
+
+    /// Shard pairs whose covering balls are close enough that a
+    /// cross-join at radius `r` could produce edges, with the distance
+    /// charge of the filter. `data` must be the dataset the plan was
+    /// built from (ball centers are old ids). Pairs come back as
+    /// `(i, j)` with `i < j` in lexicographic order; pairs involving an
+    /// empty shard never join and are never returned.
+    ///
+    /// The skip test `d(c_i, c_j) > r + rad_i + rad_j` is exact by the
+    /// triangle inequality; a relative ulp margin on the keep side
+    /// (mirroring the self-join's inclusion margins) makes rounding
+    /// err towards keeping — a kept pair at worst wastes a cross-join
+    /// that finds nothing.
+    pub fn boundary_pairs(&self, data: &Dataset, r: f64) -> (Vec<(usize, usize)>, u64) {
+        let dim = data.dim();
+        let mut dc = 0u64;
+        let mut pairs = Vec::new();
+        for i in 0..self.ranges.len() {
+            let Some((ci, rad_i)) = self.balls[i] else {
+                continue;
+            };
+            for j in (i + 1)..self.ranges.len() {
+                let Some((cj, rad_j)) = self.balls[j] else {
+                    continue;
+                };
+                let d = data.dist(ci, cj);
+                dc += 1;
+                let bound = r + rad_i + rad_j;
+                if d <= bound + bound * ((2 * dim + 8) as f64 * f64::EPSILON) {
+                    pairs.push((i, j));
+                }
+            }
+        }
+        (pairs, dc)
+    }
+}
+
+/// Recursive balanced median split of one partition (a slice of the
+/// order array), in place. Promotion follows the MinOverlap rule on the
+/// partition: anchor on the first object, promote the farthest object
+/// from it. The partition key is the generalized hyperplane
+/// `d(x, p1) − d(x, p2)` with the object id as tiebreak — a strict
+/// total order, so the sorted result (and with it the whole canonical
+/// permutation) is implementation-independent.
+fn split_recursive(data: &Dataset, order: &mut [ObjId], stop: usize, dc: &mut u64) {
+    let len = order.len();
+    if len <= stop {
+        return;
+    }
+    let p1 = order[0];
+    let far = farthest_index(data, order, p1, 0);
+    *dc += (len - 1) as u64;
+    let p2 = order[far];
+    let mut keyed: Vec<(f64, ObjId)> = order
+        .iter()
+        .map(|&x| (data.dist(x, p1) - data.dist(x, p2), x))
+        .collect();
+    *dc += 2 * len as u64;
+    // Finite coordinates make every key finite; total_cmp is then the
+    // ordinary order, and the id tiebreak makes it strict.
+    keyed.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    for (slot, (_, x)) in order.iter_mut().zip(&keyed) {
+        *slot = *x;
+    }
+    let mid = len.div_ceil(2);
+    let (left, right) = order.split_at_mut(mid);
+    split_recursive(data, left, stop, dc);
+    split_recursive(data, right, stop, dc);
+}
+
+/// Reads `shards` shard extents off the recursion tree: the shard
+/// budget descends the same midpoint rule as [`split_recursive`]
+/// (which depends only on partition *lengths*), splitting the budget
+/// ceil/floor at each level. A partition at or below the stop size is
+/// a cell; a cell asked for more than one shard yields the cell plus
+/// empty shards (the degenerate the parity tests pin).
+fn shard_ranges(start: usize, len: usize, shards: usize, stop: usize, out: &mut Vec<Range<usize>>) {
+    if shards <= 1 || len <= stop {
+        out.push(start..start + len);
+        for _ in 1..shards {
+            out.push(start + len..start + len);
+        }
+        return;
+    }
+    let mid = len.div_ceil(2);
+    shard_ranges(start, mid, shards.div_ceil(2), stop, out);
+    shard_ranges(start + mid, len - mid, shards / 2, stop, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disc_metric::{Metric, Point};
+    use rand::{rngs::StdRng, RngExt as _, SeedableRng};
+
+    fn random_data(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let points = (0..n)
+            .map(|_| Point::new2(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)))
+            .collect();
+        Dataset::new("shard-test", Metric::Euclidean, points)
+    }
+
+    #[test]
+    fn order_is_a_permutation() {
+        let data = random_data(300, 1);
+        let plan = ShardPlan::with_stop(&data, 4, 16);
+        let mut seen = vec![false; 300];
+        for &o in plan.order() {
+            assert!(!seen[o]);
+            seen[o] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn order_is_shard_count_independent() {
+        let data = random_data(257, 2);
+        let reference = ShardPlan::with_stop(&data, 1, 16);
+        for s in [2, 3, 5, 8, 64] {
+            let plan = ShardPlan::with_stop(&data, s, 16);
+            assert_eq!(plan.order(), reference.order(), "shards={s}");
+            assert_eq!(plan.shards(), s);
+        }
+    }
+
+    #[test]
+    fn ranges_tile_the_dataset() {
+        let data = random_data(200, 3);
+        for s in [1, 2, 3, 8, 17] {
+            let plan = ShardPlan::with_stop(&data, s, 16);
+            let mut next = 0;
+            for r in plan.ranges() {
+                assert_eq!(r.start, next);
+                next = r.end;
+            }
+            assert_eq!(next, 200, "shards={s}");
+        }
+    }
+
+    #[test]
+    fn oversubscribed_plan_yields_empty_shards() {
+        let data = random_data(40, 4);
+        let plan = ShardPlan::with_stop(&data, 8, 64);
+        // n <= stop: everything is one cell, the other shards are empty.
+        assert_eq!(plan.shards(), 8);
+        assert_eq!(plan.ranges()[0], 0..40);
+        assert!(plan.ranges()[1..].iter().all(|r| r.is_empty()));
+        assert!(plan.ball(0).is_some());
+        assert!((1..8).all(|s| plan.ball(s).is_none()));
+    }
+
+    #[test]
+    fn balls_cover_their_shards() {
+        let data = random_data(500, 5);
+        let plan = ShardPlan::with_stop(&data, 4, 32);
+        for (s, r) in plan.ranges().iter().enumerate() {
+            let Some((center, radius)) = plan.ball(s) else {
+                assert!(r.is_empty());
+                continue;
+            };
+            for &x in &plan.order()[r.clone()] {
+                assert!(data.dist(center, x) <= radius);
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_pairs_only_skip_safe_pairs() {
+        let data = random_data(400, 6);
+        let r = 0.05;
+        let plan = ShardPlan::with_stop(&data, 8, 16);
+        let (pairs, dc) = plan.boundary_pairs(&data, r);
+        assert!(dc > 0);
+        let kept: std::collections::HashSet<(usize, usize)> = pairs.into_iter().collect();
+        // Every cross-shard pair within r must live in a kept shard pair.
+        let mut shard_of = vec![usize::MAX; 400];
+        for (s, range) in plan.ranges().iter().enumerate() {
+            for &x in &plan.order()[range.clone()] {
+                shard_of[x] = s;
+            }
+        }
+        for a in 0..400 {
+            for b in (a + 1)..400 {
+                if data.dist(a, b) <= r && shard_of[a] != shard_of[b] {
+                    let key = (shard_of[a].min(shard_of[b]), shard_of[a].max(shard_of[b]));
+                    assert!(kept.contains(&key), "pair ({a},{b}) lost by ball filter");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_straddling_a_boundary_stay_planned() {
+        // All points identical: keys tie everywhere, the id tiebreak
+        // still yields a valid permutation, and every shard ball has
+        // radius 0.
+        let points = vec![Point::new2(0.5, 0.5); 64];
+        let data = Dataset::new("dup", Metric::Euclidean, points);
+        let plan = ShardPlan::with_stop(&data, 4, 8);
+        let mut order = plan.order().to_vec();
+        order.sort_unstable();
+        assert_eq!(order, (0..64).collect::<Vec<_>>());
+        let (pairs, _) = plan.boundary_pairs(&data, 0.0);
+        // Zero-distance duplicates across shards must keep their pairs.
+        assert!(!pairs.is_empty());
+    }
+
+    #[test]
+    fn planner_counts_its_distances() {
+        let data = random_data(128, 7);
+        let plan = ShardPlan::with_stop(&data, 2, 16);
+        // At least one promotion (127) + keys (256) + ball radii.
+        assert!(plan.distance_computations() > 300);
+    }
+}

@@ -197,8 +197,11 @@ pub fn split_entries(
     }
 }
 
-/// Index of the entry farthest from `from`, excluding `skip`.
-fn farthest_index(data: &Dataset, reps: &[ObjId], from: ObjId, skip: usize) -> usize {
+/// Index of the entry farthest from `from`, excluding `skip`. Also the
+/// pivot-promotion core of the spatial shard planner
+/// ([`crate::shard::ShardPlan`]), which reuses the MinOverlap rule
+/// (anchor + farthest) on whole dataset partitions.
+pub(crate) fn farthest_index(data: &Dataset, reps: &[ObjId], from: ObjId, skip: usize) -> usize {
     let mut best = usize::MAX;
     let mut best_d = f64::NEG_INFINITY;
     for (i, &r) in reps.iter().enumerate() {

@@ -82,8 +82,13 @@ pub struct MTree<'a> {
     root: NodeId,
     height: usize,
     first_leaf: NodeId,
-    /// Leaf currently holding each object.
+    /// Leaf currently holding each object, indexed by object id. For
+    /// range-built trees ([`MTree::build_range`]) slots below the range
+    /// start stay unused.
     obj_leaf: Vec<NodeId>,
+    /// Number of objects actually indexed (`obj_leaf.len()` for prefix
+    /// and full builds; `range.len()` for range builds).
+    indexed: usize,
     /// Node accesses (the paper's cost metric). Atomic (relaxed) so
     /// read-only queries can account their cost, including from the
     /// parallel seeding fan-out in `disc-core`.
@@ -110,10 +115,32 @@ impl<'a> MTree<'a> {
     /// [`MTree::insert_object`], producing the same tree `build` would,
     /// since `build` is itself insertion in id order.
     pub fn build_prefix(data: &'a Dataset, config: MTreeConfig, prefix: usize) -> Self {
-        assert!(config.capacity >= 2, "node capacity must be at least 2");
         assert!(
             (1..=data.len()).contains(&prefix),
             "prefix {prefix} outside 1..={}",
+            data.len()
+        );
+        Self::build_range(data, config, 0..prefix)
+    }
+
+    /// Builds a tree over only the contiguous id range `range` of
+    /// `data` — the sharded-build entry point: each spatial shard of a
+    /// [renumbered](disc_metric::Dataset::renumbered) dataset is a
+    /// contiguous id range, and a range tree indexes exactly those
+    /// objects under their *global* ids, so intra-shard self-joins and
+    /// cross-shard joins emit edges directly in the global numbering
+    /// (and all cross-tree distances read the one shared dataset).
+    /// Objects are inserted in id order, so `build_range(data, c, 0..n)`
+    /// is byte-identical to `build(data, c)`.
+    pub fn build_range(
+        data: &'a Dataset,
+        config: MTreeConfig,
+        range: std::ops::Range<usize>,
+    ) -> Self {
+        assert!(config.capacity >= 2, "node capacity must be at least 2");
+        assert!(
+            range.start < range.end && range.end <= data.len(),
+            "range {range:?} must be non-empty and within 0..{}",
             data.len()
         );
         let root = 0;
@@ -124,12 +151,13 @@ impl<'a> MTree<'a> {
             root,
             height: 1,
             first_leaf: root,
-            obj_leaf: vec![usize::MAX; prefix],
+            obj_leaf: vec![usize::MAX; range.end],
+            indexed: range.len(),
             accesses: PaddedCounter::default(),
             dist_comps: PaddedCounter::default(),
             rng: StdRng::seed_from_u64(config.seed),
         };
-        for id in 0..prefix {
+        for id in range {
             tree.insert(id);
         }
         tree
@@ -163,6 +191,7 @@ impl<'a> MTree<'a> {
             self.obj_leaf.len()
         );
         self.obj_leaf.push(usize::MAX);
+        self.indexed += 1;
         self.insert(object);
     }
 
@@ -178,12 +207,12 @@ impl<'a> MTree<'a> {
 
     /// Number of indexed objects.
     pub fn len(&self) -> usize {
-        self.obj_leaf.len()
+        self.indexed
     }
 
     /// Whether the tree indexes no objects.
     pub fn is_empty(&self) -> bool {
-        self.obj_leaf.is_empty()
+        self.indexed == 0
     }
 
     /// Number of nodes (`m` in the fat-factor formula).
@@ -391,6 +420,7 @@ impl<'a> MTree<'a> {
             height: self.height,
             first_leaf: self.first_leaf,
             obj_leaf,
+            indexed: self.indexed,
             accesses: PaddedCounter(AtomicU64::new(self.node_accesses())),
             dist_comps: PaddedCounter(AtomicU64::new(self.distance_computations())),
             rng: StdRng::seed_from_u64(self.config.seed),

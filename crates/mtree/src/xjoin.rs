@@ -1,0 +1,323 @@
+//! Cross-tree range join for the sharded build's boundary pairs.
+//!
+//! [`cross_tree_join_dist_checked`] emits every pair `(a, b)` with
+//! `d(a, b) ≤ r` where `a` is indexed by one M-tree and `b` by another,
+//! both built over the *same* dataset (the sharded build's per-shard
+//! trees share the globally renumbered dataset, so edges emerge in
+//! global ids and never need translation). The traversal is a serial
+//! dual-tree descent with covering-radius pruning: a node pair whose
+//! pivot distance exceeds `r + radius_left + radius_right` cannot
+//! contain a joining pair (triangle inequality) and is cut. As
+//! everywhere in this workspace, exclusion bounds get a relative ulp
+//! margin on the keep side, so rounding can only ever descend into a
+//! fruitless subtree pair, never drop an edge — the property the
+//! sharded build's byte-identity gate rests on.
+//!
+//! Leaf×leaf pairs go through a batched kernel mirroring the self-join's
+//! cross-leaf step: one [`disc_metric::Metric::dist_batch`] sweep
+//! computes each surviving left entry's distances to the right leaf's
+//! SoA lane block, after a per-entry prefilter against the right pivot
+//! (`d(e, p_B) − radius_B > r` excludes `e` outright).
+//!
+//! Counters are charged in bulk to the **left** tree — the sharded
+//! build passes the lower-numbered shard on the left, making the
+//! boundary-join charge attribution deterministic and easy to sum. The
+//! traversal itself is serial, so at a fixed shard count the counts are
+//! identical at every worker-thread count.
+
+use disc_metric::cancel::CancelToken;
+
+use crate::error::JoinError;
+use crate::node::NodeId;
+use crate::selfjoin::DistEdge;
+use crate::tree::MTree;
+
+/// One pending node pair of the dual descent. Pruning happens at push
+/// time (the child's pivot distance to the fixed side is compared
+/// against the covering radii right when the child is generated), so a
+/// popped task is always worth descending.
+struct XTask {
+    a: NodeId,
+    b: NodeId,
+}
+
+/// Scratch and counters for one cross-join invocation.
+#[derive(Default)]
+struct XBuf {
+    edges: Vec<DistEdge>,
+    dist_comps: u64,
+    accesses: u64,
+    stack: Vec<XTask>,
+    left: Vec<(u32, f64)>,
+    dists: Vec<f64>,
+}
+
+/// Keep-side ulp margin for exclusion bounds, mirroring the self-join's
+/// inclusion margin budget (`2·dim + 8` ulps of the bound).
+#[inline]
+fn slack(bound: f64, dim: usize) -> f64 {
+    bound * ((2 * dim + 8) as f64 * f64::EPSILON)
+}
+
+/// Distance-annotated cross-tree range join of two M-trees over the
+/// same dataset (asserted), with typed radius validation and
+/// cooperative cancellation at task granularity. Edges come back
+/// normalized `a < b`; node accesses and distance computations are
+/// charged to `left`'s counters (see the [module docs](self)).
+///
+/// On cancellation the counters reflect exactly the work performed up
+/// to the abandoned task and no partial edge list escapes.
+pub fn cross_tree_join_dist_checked(
+    left: &MTree<'_>,
+    right: &MTree<'_>,
+    r: f64,
+    cancel: Option<&CancelToken>,
+) -> Result<Vec<DistEdge>, JoinError> {
+    assert!(
+        std::ptr::eq(left.data(), right.data()),
+        "cross-tree join requires both trees to index the same dataset"
+    );
+    if r.is_nan() || r < 0.0 {
+        return Err(JoinError::InvalidRadius(r));
+    }
+    let mut buf = XBuf::default();
+    buf.stack.push(XTask {
+        a: left.root(),
+        b: right.root(),
+    });
+    let result = run(left, right, r, &mut buf, cancel);
+    left.charge_accesses_bulk(buf.accesses);
+    left.charge_distances_bulk(buf.dist_comps);
+    match result {
+        Ok(()) => Ok(buf.edges),
+        Err(e) => Err(e),
+    }
+}
+
+fn run(
+    left: &MTree<'_>,
+    right: &MTree<'_>,
+    r: f64,
+    buf: &mut XBuf,
+    cancel: Option<&CancelToken>,
+) -> Result<(), JoinError> {
+    let data = left.data();
+    let dim = data.dim();
+    while let Some(task) = buf.stack.pop() {
+        if let Some(c) = cancel {
+            c.checkpoint()?;
+        }
+        let na = left.node(task.a);
+        let nb = right.node(task.b);
+        buf.accesses += 2;
+        if na.is_leaf() && nb.is_leaf() {
+            join_leaves(left, right, task.a, task.b, r, buf);
+            continue;
+        }
+        // Expansion priority: a side without a pivot contributes no
+        // pruning information, descend it first; then prefer internal
+        // nodes over leaves; then the larger covering radius.
+        let expand_a = if na.pivot.is_none() != nb.pivot.is_none() {
+            na.pivot.is_none()
+        } else if na.is_leaf() != nb.is_leaf() {
+            !na.is_leaf()
+        } else {
+            na.radius >= nb.radius
+        };
+        let (exp_tree, exp_id, fix_tree, fix_id, a_side) = if expand_a {
+            (left, task.a, right, task.b, true)
+        } else {
+            (right, task.b, left, task.a, false)
+        };
+        let children = exp_tree.node(exp_id).children().to_vec();
+        let fixed = fix_tree.node(fix_id);
+        let fixed_pivot = fixed.pivot;
+        for child in children {
+            let nc = exp_tree.node(child);
+            let pc = nc.pivot_id();
+            if let Some(pf) = fixed_pivot {
+                let d = data.dist(pc, pf);
+                buf.dist_comps += 1;
+                let bound = r + nc.radius + fixed.radius;
+                if d > bound + slack(bound, dim) {
+                    continue;
+                }
+            }
+            let (a, b) = if a_side {
+                (child, fix_id)
+            } else {
+                (fix_id, child)
+            };
+            buf.stack.push(XTask { a, b });
+        }
+    }
+    Ok(())
+}
+
+/// Batched leaf×leaf kernel. One batch computes each left entry's
+/// distance to the right pivot (prefiltering entries that cannot reach
+/// the right ball), then one batch per surviving entry sweeps the right
+/// leaf's lane block; pairs at `d ≤ r` are emitted with their exact
+/// computed distance — the same `dist_batch` kernel the self-join uses,
+/// so the annotation bits agree across pipelines.
+fn join_leaves(left: &MTree<'_>, right: &MTree<'_>, a: NodeId, b: NodeId, r: f64, buf: &mut XBuf) {
+    let data = left.data();
+    let metric = data.metric();
+    let dim = data.dim();
+    let na = left.node(a);
+    let nb = right.node(b);
+    let ea = na.leaf_entries();
+    let eb = nb.leaf_entries();
+    if ea.is_empty() || eb.is_empty() {
+        return;
+    }
+    let ka = ea.len();
+    let kb = eb.len();
+    buf.left.clear();
+    match nb.pivot {
+        Some(pb) => {
+            // d(e, x) ≥ d(e, p_B) − radius_B for every x in B: one
+            // lane sweep of the left block against p_B excludes left
+            // entries whole rows at a time.
+            buf.dists.resize(ka, 0.0);
+            metric.dist_batch(data.row(pb), &na.lanes, ka, &mut buf.dists[..ka]);
+            buf.dist_comps += ka as u64;
+            let bound = r + nb.radius;
+            let keep = bound + slack(bound, dim);
+            for (i, &d1b) in buf.dists[..ka].iter().enumerate() {
+                if d1b <= keep {
+                    buf.left.push((i as u32, d1b));
+                }
+            }
+        }
+        None => {
+            // Right tree is a single root leaf: no pivot, no prefilter.
+            buf.left.extend((0..ka as u32).map(|i| (i, 0.0)));
+        }
+    }
+    for t in 0..buf.left.len() {
+        let (i, _) = buf.left[t];
+        let e1 = ea[i as usize].object;
+        buf.dists.resize(kb, 0.0);
+        metric.dist_batch(data.row(e1), &nb.lanes, kb, &mut buf.dists[..kb]);
+        buf.dist_comps += kb as u64;
+        for (j, e2) in eb.iter().enumerate() {
+            let d = buf.dists[j];
+            if d <= r {
+                if e1 < e2.object {
+                    buf.edges.push((e1, e2.object, d));
+                } else {
+                    buf.edges.push((e2.object, e1, d));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{MTree, MTreeConfig};
+    use disc_metric::{Dataset, Metric, Point};
+    use rand::{rngs::StdRng, RngExt as _, SeedableRng};
+
+    fn random_data(n: usize, seed: u64, metric: Metric) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let points = (0..n)
+            .map(|_| Point::new2(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)))
+            .collect();
+        Dataset::new("xjoin-test", metric, points)
+    }
+
+    fn brute_cross(data: &Dataset, split: usize, r: f64) -> Vec<DistEdge> {
+        let mut edges = Vec::new();
+        for a in 0..split {
+            for b in split..data.len() {
+                let d = data.dist(a, b);
+                if d <= r {
+                    edges.push((a, b, d));
+                }
+            }
+        }
+        edges.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+        edges
+    }
+
+    fn check(n: usize, split: usize, r: f64, seed: u64, metric: Metric) {
+        let data = random_data(n, seed, metric);
+        let config = MTreeConfig::default();
+        let ta = MTree::build_range(&data, config, 0..split);
+        let tb = MTree::build_range(&data, config, split..n);
+        let mut got =
+            cross_tree_join_dist_checked(&ta, &tb, r, None).expect("valid radius never fails");
+        got.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+        assert_eq!(got, brute_cross(&data, split, r), "n={n} split={split}");
+    }
+
+    #[test]
+    fn matches_brute_force_across_metrics() {
+        for metric in [
+            Metric::Euclidean,
+            Metric::Manhattan,
+            Metric::Chebyshev,
+            Metric::Hamming,
+        ] {
+            check(240, 100, 0.12, 11, metric);
+        }
+    }
+
+    #[test]
+    fn handles_tiny_trees_and_zero_radius() {
+        check(3, 1, 0.5, 12, Metric::Euclidean);
+        check(2, 1, 0.0, 13, Metric::Euclidean);
+        check(64, 63, 0.2, 14, Metric::Euclidean);
+    }
+
+    #[test]
+    fn duplicates_across_the_split_join_at_zero_radius() {
+        let points = vec![Point::new2(0.25, 0.75); 10];
+        let data = Dataset::new("dup", Metric::Euclidean, points);
+        let config = MTreeConfig::default();
+        let ta = MTree::build_range(&data, config, 0..5);
+        let tb = MTree::build_range(&data, config, 5..10);
+        let edges = cross_tree_join_dist_checked(&ta, &tb, 0.0, None).expect("valid radius");
+        assert_eq!(edges.len(), 25);
+        assert!(edges.iter().all(|&(a, b, d)| a < 5 && b >= 5 && d == 0.0));
+    }
+
+    #[test]
+    fn rejects_invalid_radius_and_counts_work() {
+        let data = random_data(50, 15, Metric::Euclidean);
+        let config = MTreeConfig::default();
+        let ta = MTree::build_range(&data, config, 0..25);
+        let tb = MTree::build_range(&data, config, 25..50);
+        assert_eq!(
+            cross_tree_join_dist_checked(&ta, &tb, -1.0, None),
+            Err(JoinError::InvalidRadius(-1.0))
+        );
+        let (dc0, na0) = (ta.distance_computations(), ta.node_accesses());
+        let (dc0_b, na0_b) = (tb.distance_computations(), tb.node_accesses());
+        let edges = cross_tree_join_dist_checked(&ta, &tb, 0.3, None).expect("valid radius");
+        assert!(!edges.is_empty());
+        assert!(ta.distance_computations() > dc0);
+        assert!(ta.node_accesses() > na0);
+        // All charge lands on the left tree; the right tree keeps its
+        // build-time counts untouched.
+        assert_eq!(tb.distance_computations(), dc0_b);
+        assert_eq!(tb.node_accesses(), na0_b);
+    }
+
+    #[test]
+    fn cancellation_stops_cleanly() {
+        let data = random_data(200, 16, Metric::Euclidean);
+        let config = MTreeConfig::default();
+        let ta = MTree::build_range(&data, config, 0..100);
+        let tb = MTree::build_range(&data, config, 100..200);
+        let token = disc_metric::CancelToken::new();
+        token.cancel();
+        assert_eq!(
+            cross_tree_join_dist_checked(&ta, &tb, 0.5, Some(&token)),
+            Err(JoinError::Cancelled)
+        );
+    }
+}
